@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark suite.
+
+Every paper table/figure has one benchmark module.  By default the harness
+runs at a reduced resolution (320x180) with the small synthetic datasets so
+the whole suite finishes in a few minutes; set ``REPRO_FULL_RESOLUTION=1`` to
+run at the paper's 1920x1080.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+
+def _resolution():
+    if os.environ.get("REPRO_FULL_RESOLUTION"):
+        return (1920, 1080)
+    return (320, 180)
+
+
+@pytest.fixture(scope="session")
+def bench_resolution():
+    return _resolution()
+
+
+@pytest.fixture(scope="session")
+def bench_root(tmp_path_factory) -> Path:
+    return tmp_path_factory.mktemp("bench")
+
+
+@pytest.fixture(scope="session")
+def small_data() -> bool:
+    return not bool(os.environ.get("REPRO_FULL_RESOLUTION"))

@@ -1,0 +1,76 @@
+"""Ablations beyond the paper: which ChatVis components matter.
+
+The paper attributes ChatVis's success to (a) prompt rewriting, (b) few-shot
+examples and (c) the error-correction loop.  These ablations disable each
+component on the harder tasks and record whether the pipeline still converges
+— the design-choice analysis DESIGN.md calls out.
+"""
+
+import pytest
+
+from repro.core import ChatVis, ChatVisConfig, get_task, prepare_task_data
+from repro.eval.harness import scaled_prompt
+
+
+def _run(task_name, workdir, resolution, config):
+    task = get_task(task_name)
+    prepare_task_data(task, workdir, small=True)
+    assistant = ChatVis("gpt-4", working_dir=workdir, config=config)
+    return assistant.run(scaled_prompt(task, resolution))
+
+
+@pytest.fixture(scope="module")
+def resolution(bench_resolution):
+    # ablations always run at the reduced size; they measure convergence, not pixels
+    return (240, 135)
+
+
+def test_ablation_full_chatvis_converges(bench_root, resolution, benchmark):
+    result = benchmark.pedantic(
+        lambda: _run("streamlines", bench_root / "abl_full", resolution, ChatVisConfig()),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.success
+
+
+def test_ablation_no_error_correction_fails_on_hard_tasks(bench_root, resolution):
+    config = ChatVisConfig(use_error_correction=False)
+    result = _run("streamlines", bench_root / "abl_noloop", resolution, config)
+    assert not result.success
+    assert result.n_iterations == 1
+
+
+def test_ablation_no_few_shot_still_recovers_via_loop(bench_root, resolution):
+    # without examples the first generation hallucinates more, but the
+    # correction loop still converges for the frontier model
+    config = ChatVisConfig(use_few_shot=False, max_iterations=6)
+    result = _run("delaunay", bench_root / "abl_nofewshot", resolution, config)
+    assert result.success
+    full = _run("delaunay", bench_root / "abl_fewshot_ref", resolution, ChatVisConfig(max_iterations=6))
+    assert result.n_iterations >= full.n_iterations
+
+
+def test_ablation_no_prompt_rewriting(bench_root, resolution):
+    config = ChatVisConfig(use_prompt_rewriting=False)
+    result = _run("isosurface", bench_root / "abl_norewrite", resolution, config)
+    assert result.success
+
+
+def test_ablation_iteration_budget(bench_root, resolution):
+    generous = _run("streamlines", bench_root / "abl_budget5", resolution, ChatVisConfig(max_iterations=5))
+    tight = _run("streamlines", bench_root / "abl_budget1", resolution, ChatVisConfig(max_iterations=1))
+    assert generous.success
+    assert not tight.success
+
+
+def test_ablation_weak_base_model_does_not_converge(bench_root, resolution):
+    """ChatVis's loop cannot rescue a model that keeps injecting syntax errors."""
+    from repro.core import ChatVis
+
+    task = get_task("streamlines")
+    workdir = bench_root / "abl_weakbase"
+    prepare_task_data(task, workdir, small=True)
+    assistant = ChatVis("codegemma", working_dir=workdir, config=ChatVisConfig(max_iterations=3))
+    result = assistant.run(scaled_prompt(task, resolution))
+    assert not result.success

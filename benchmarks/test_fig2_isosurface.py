@@ -1,0 +1,60 @@
+"""Figure 2 — isosurfacing: ground truth vs ChatVis vs unassisted GPT-4.
+
+Paper result: both ChatVis and GPT-4 produce a correct isosurface image; the
+GPT-4 image differs cosmetically (gray background, different default zoom)
+while ChatVis matches the ground truth.
+"""
+
+import pytest
+
+from repro.eval import run_figure_comparison
+
+
+@pytest.fixture(scope="module")
+def figure(bench_root, bench_resolution, small_data):
+    return run_figure_comparison(
+        "isosurface", bench_root / "fig2", resolution=bench_resolution, small_data=small_data
+    )
+
+
+def test_fig2_chatvis_matches_ground_truth(figure):
+    chatvis = figure.method("ChatVis")
+    assert chatvis.produced
+    assert chatvis.mse < 1e-6
+    assert chatvis.ssim > 0.99
+
+
+def test_fig2_gpt4_produces_image_but_differs(figure):
+    gpt4 = figure.method("GPT-4")
+    assert gpt4.produced  # the one task unassisted GPT-4 completes
+    assert gpt4.mse > figure.method("ChatVis").mse
+
+
+def test_fig2_benchmark_chatvis_pipeline(benchmark, bench_root, bench_resolution, small_data):
+    from repro.core import ChatVis, get_task, prepare_task_data
+    from repro.eval.harness import scaled_prompt
+
+    task = get_task("isosurface")
+    workdir = bench_root / "fig2_bench"
+    prepare_task_data(task, workdir, small=small_data)
+
+    def run():
+        return ChatVis("gpt-4", working_dir=workdir).run(scaled_prompt(task, bench_resolution))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.success
+
+
+def _report(figure):
+    lines = [f"Figure 2 ({figure.figure or 'isosurfacing'}):"]
+    for method in figure.methods:
+        lines.append(
+            f"  {method.method}: produced={method.produced} "
+            f"mse={method.mse} ssim={method.ssim} coverage={method.coverage}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig2_print_report(figure, capsys):
+    with capsys.disabled():
+        print("\n" + _report(figure))

@@ -1,0 +1,53 @@
+"""Figure 3 — slicing followed by contouring.
+
+Paper result: ChatVis reproduces the ground truth exactly; unassisted GPT-4
+fails with AttributeErrors (non-existent proxy properties) and produces no
+screenshot.
+"""
+
+import pytest
+
+from repro.eval import run_figure_comparison
+
+
+@pytest.fixture(scope="module")
+def figure(bench_root, bench_resolution, small_data):
+    return run_figure_comparison(
+        "slice_contour", bench_root / "fig3", resolution=bench_resolution, small_data=small_data
+    )
+
+
+def test_fig3_chatvis_matches_ground_truth(figure):
+    chatvis = figure.method("ChatVis")
+    assert chatvis.produced
+    assert chatvis.mse < 1e-6
+
+
+def test_fig3_gpt4_fails(figure):
+    gpt4 = figure.method("GPT-4")
+    assert not gpt4.produced
+
+
+def test_fig3_benchmark_ground_truth_pipeline(benchmark, bench_root, bench_resolution, small_data):
+    from repro.core import get_task, prepare_task_data
+    from repro.eval import run_ground_truth
+
+    task = get_task("slice_contour")
+    workdir = bench_root / "fig3_bench"
+    prepare_task_data(task, workdir, small=small_data)
+
+    result = benchmark.pedantic(
+        lambda: run_ground_truth(task, workdir, resolution=bench_resolution),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.produced_screenshot
+
+
+def test_fig3_print_report(figure, capsys):
+    with capsys.disabled():
+        rows = [
+            f"  {m.method}: produced={m.produced} mse={m.mse} ssim={m.ssim}"
+            for m in figure.methods
+        ]
+        print("\nFigure 3 (slice+contour):\n" + "\n".join(rows))

@@ -1,0 +1,59 @@
+"""Figure 4 — volume rendering.
+
+Paper result: ChatVis reproduces the ground truth (up to the unspecified
+color palette); GPT-4's script runs without errors but does not enable volume
+rendering, so its screenshot is blank.
+"""
+
+import pytest
+
+from repro.eval import run_figure_comparison
+from repro.eval.image_metrics import image_coverage
+
+
+@pytest.fixture(scope="module")
+def figure(bench_root, bench_resolution, small_data):
+    return run_figure_comparison(
+        "volume_render", bench_root / "fig4", resolution=bench_resolution, small_data=small_data
+    )
+
+
+def test_fig4_chatvis_matches_ground_truth(figure):
+    chatvis = figure.method("ChatVis")
+    assert chatvis.produced
+    assert chatvis.mse < 1e-6
+    assert chatvis.coverage > 0.03  # real volume-rendered content
+
+
+def test_fig4_gpt4_blank_or_missing(figure):
+    gpt4 = figure.method("GPT-4")
+    if gpt4.produced:
+        # the script ran but did not volume render: far less content than GT
+        assert gpt4.coverage_delta > 0.1 or gpt4.mse > 0.01
+    else:
+        assert not gpt4.produced
+
+
+def test_fig4_benchmark_volume_render(benchmark, bench_resolution):
+    from repro.data import generate_marschner_lobb
+    from repro.rendering import Camera, volume_render
+
+    volume = generate_marschner_lobb(24)
+    camera = Camera().isometric_view(volume.bounds())
+
+    fb = benchmark.pedantic(
+        lambda: volume_render(volume, "var0", camera, *bench_resolution, n_samples=60),
+        rounds=1,
+        iterations=1,
+    )
+    assert fb.coverage() > 0.05
+
+
+def test_fig4_print_report(figure, capsys):
+    with capsys.disabled():
+        rows = [
+            f"  {m.method}: produced={m.produced} coverage={m.coverage} mse={m.mse}"
+            for m in figure.methods
+        ]
+        print(f"\nFigure 4 (volume rendering, GT coverage={figure.ground_truth_coverage:.3f}):\n"
+              + "\n".join(rows))

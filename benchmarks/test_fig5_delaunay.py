@@ -1,0 +1,56 @@
+"""Figure 5 — Delaunay triangulation, clip, wireframe rendering.
+
+Paper result: ChatVis reproduces the ground truth; unassisted GPT-4 fails
+because its script assigns the non-existent ``InsideOut`` property on the
+Clip filter.
+"""
+
+import pytest
+
+from repro.eval import run_figure_comparison
+from repro.eval.harness import run_unassisted
+
+
+@pytest.fixture(scope="module")
+def figure(bench_root, bench_resolution, small_data):
+    return run_figure_comparison(
+        "delaunay", bench_root / "fig5", resolution=bench_resolution, small_data=small_data
+    )
+
+
+def test_fig5_chatvis_matches_ground_truth(figure):
+    chatvis = figure.method("ChatVis")
+    assert chatvis.produced
+    assert chatvis.mse < 1e-6
+
+
+def test_fig5_gpt4_fails_with_clip_hallucination(bench_root, bench_resolution, small_data, figure):
+    from repro.core import get_task, prepare_task_data
+
+    assert not figure.method("GPT-4").produced
+    task = get_task("delaunay")
+    workdir = bench_root / "fig5_gpt4_check"
+    prepare_task_data(task, workdir, small=small_data)
+    script, execution = run_unassisted("gpt-4", task, workdir, resolution=bench_resolution)
+    assert not execution.success
+    assert "InsideOut" in script or execution.error_type == "AttributeError"
+
+
+def test_fig5_benchmark_delaunay_pipeline(benchmark, small_data):
+    from repro.algorithms import clip_dataset, delaunay_3d
+    from repro.data import generate_can_points
+
+    points = generate_can_points(150 if small_data else 600)
+
+    def run():
+        grid = delaunay_3d(points, backend="auto", max_native_points=200)
+        return clip_dataset(grid, origin=(0, 0, 0), normal=(1, 0, 0))
+
+    clipped = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert clipped.n_cells > 0
+
+
+def test_fig5_print_report(figure, capsys):
+    with capsys.disabled():
+        rows = [f"  {m.method}: produced={m.produced} mse={m.mse}" for m in figure.methods]
+        print("\nFigure 5 (Delaunay triangulation):\n" + "\n".join(rows))

@@ -1,0 +1,50 @@
+"""Figure 6 — streamline tracing with tubes and cone glyphs.
+
+Paper result: ChatVis reproduces the ground truth; unassisted GPT-4
+hallucinates Glyph properties and uses a view name before creating the view,
+so it fails to produce a screenshot.
+"""
+
+import pytest
+
+from repro.eval import run_figure_comparison
+
+
+@pytest.fixture(scope="module")
+def figure(bench_root, bench_resolution, small_data):
+    return run_figure_comparison(
+        "streamlines", bench_root / "fig6", resolution=bench_resolution, small_data=small_data
+    )
+
+
+def test_fig6_chatvis_matches_ground_truth(figure):
+    chatvis = figure.method("ChatVis")
+    assert chatvis.produced
+    assert chatvis.mse < 1e-6
+    assert chatvis.ssim > 0.99
+
+
+def test_fig6_gpt4_fails(figure):
+    assert not figure.method("GPT-4").produced
+
+
+def test_fig6_benchmark_streamline_pipeline(benchmark, small_data):
+    from repro.algorithms import glyph, stream_tracer, tube
+    from repro.data import generate_disk_flow
+
+    disk = generate_disk_flow(*(6, 16, 6) if small_data else (8, 28, 8))
+
+    def run():
+        lines = stream_tracer(disk, "V", n_seed_points=50)
+        return tube(lines, radius=0.05, n_sides=6), glyph(
+            lines, "cone", orientation_array="V", max_glyphs=100
+        )
+
+    tubes, glyphs = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert tubes.n_triangles > 0 and glyphs.n_triangles > 0
+
+
+def test_fig6_print_report(figure, capsys):
+    with capsys.disabled():
+        rows = [f"  {m.method}: produced={m.produced} mse={m.mse} ssim={m.ssim}" for m in figure.methods]
+        print("\nFigure 6 (streamline tracing):\n" + "\n".join(rows))

@@ -1,0 +1,59 @@
+"""Throughput benchmarks of the visualization substrate itself.
+
+Not a paper table — these document the cost of the main substrate pieces
+(isosurfacing, streamline tracing, rasterization, volume ray casting) so that
+regressions in the pure-NumPy kernels are visible.
+"""
+
+import pytest
+
+from repro.algorithms import contour, stream_tracer, tube
+from repro.data import generate_disk_flow, generate_marschner_lobb
+from repro.rendering import Actor, Camera, Scene, render_scene, volume_render
+
+
+@pytest.fixture(scope="module")
+def volume():
+    return generate_marschner_lobb(40)
+
+
+@pytest.fixture(scope="module")
+def disk():
+    return generate_disk_flow(6, 16, 6)
+
+
+def test_perf_isosurface_extraction(benchmark, volume):
+    surface = benchmark(lambda: contour(volume, 0.5, "var0"))
+    assert surface.n_triangles > 1000
+
+
+def test_perf_streamline_tracing(benchmark, disk):
+    lines = benchmark.pedantic(
+        lambda: stream_tracer(disk, "V", n_seed_points=50), rounds=1, iterations=1
+    )
+    assert lines.n_lines > 0
+
+
+def test_perf_surface_rasterization(benchmark, volume):
+    surface = contour(volume, 0.5, "var0")
+    scene = Scene()
+    scene.add(Actor(surface, color_by="var0"))
+    camera = Camera().isometric_view(scene.bounds())
+    fb = benchmark.pedantic(lambda: render_scene(scene, camera, 640, 360), rounds=1, iterations=1)
+    assert fb.coverage() > 0.05
+
+
+def test_perf_tube_generation(benchmark, disk):
+    lines = stream_tracer(disk, "V", n_seed_points=30)
+    wrapped = benchmark.pedantic(lambda: tube(lines, radius=0.05, n_sides=6), rounds=1, iterations=1)
+    assert wrapped.n_triangles > 0
+
+
+def test_perf_volume_raycasting(benchmark, volume):
+    camera = Camera().isometric_view(volume.bounds())
+    fb = benchmark.pedantic(
+        lambda: volume_render(volume, "var0", camera, 320, 180, n_samples=80),
+        rounds=1,
+        iterations=1,
+    )
+    assert fb.coverage() > 0.05

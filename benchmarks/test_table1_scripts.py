@@ -1,0 +1,55 @@
+"""Table I — generated scripts for streamline tracing (ChatVis vs GPT-4).
+
+Paper result: ChatVis's script executes correctly and orders the calls
+properly; GPT-4's script hallucinates Glyph properties (``Scalars`` /
+``Vectors``), uses ``'RenderView1'`` before creating the view and sets camera
+parameters that crop the screenshot.
+"""
+
+import pytest
+
+from repro.eval import run_table_one
+
+
+@pytest.fixture(scope="module")
+def table_one(bench_root, bench_resolution, small_data):
+    return run_table_one(bench_root / "table1", resolution=bench_resolution, small_data=small_data)
+
+
+def test_table1_chatvis_script_succeeds(table_one):
+    assert table_one.chatvis_execution_success
+    assert "StreamTracer" in table_one.chatvis_script
+    assert "Tube" in table_one.chatvis_script
+    assert "Glyph" in table_one.chatvis_script
+    assert not table_one.chatvis_comparison.candidate.has_hallucinations
+
+
+def test_table1_gpt4_script_fails_with_hallucinations(table_one):
+    assert not table_one.gpt4_execution_success
+    candidate = table_one.gpt4_comparison.candidate
+    assert candidate.has_hallucinations or "'RenderView1'" in table_one.gpt4_script
+
+
+def test_table1_chatvis_covers_reference_operations(table_one):
+    assert table_one.chatvis_comparison.operation_coverage >= 0.9
+
+
+def test_table1_benchmark(benchmark, bench_root, bench_resolution, small_data):
+    result = benchmark.pedantic(
+        lambda: run_table_one(
+            bench_root / "table1_bench", resolution=bench_resolution, small_data=small_data
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.chatvis_execution_success
+
+
+def test_table1_print_scripts(table_one, capsys):
+    with capsys.disabled():
+        print("\n=== Table I: ChatVis script (streamline tracing) ===")
+        print(table_one.chatvis_script)
+        print("=== Table I: unassisted GPT-4 script (streamline tracing) ===")
+        print(table_one.gpt4_script)
+        print("=== Summary ===")
+        print(table_one.summary())

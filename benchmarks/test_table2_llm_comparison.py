@@ -1,0 +1,81 @@
+"""Table II — model x task matrix: syntax/execution errors and screenshots.
+
+Paper result: ChatVis produces error-free scripts and screenshots for all
+five tasks; unassisted GPT-4 only completes isosurfacing (and produces an
+error-free but blank result for volume rendering); GPT-3.5, Llama-3-8B,
+CodeLlama and CodeGemma fail with errors on every task.
+"""
+
+import pytest
+
+from repro.core.tasks import task_names
+from repro.eval import run_table_two
+from repro.eval.harness import PAPER_MODELS
+
+
+@pytest.fixture(scope="module")
+def table_two(bench_root, bench_resolution, small_data):
+    return run_table_two(
+        bench_root / "table2",
+        models=PAPER_MODELS,
+        resolution=bench_resolution,
+        small_data=small_data,
+    )
+
+
+def test_table2_chatvis_succeeds_on_all_tasks(table_two):
+    for task in task_names():
+        cell = table_two.cell("ChatVis", task)
+        assert cell is not None
+        assert not cell.error, f"ChatVis errored on {task}"
+        assert cell.screenshot, f"ChatVis produced no screenshot for {task}"
+
+
+def test_table2_gpt4_only_completes_isosurfacing(table_two):
+    iso = table_two.cell("gpt-4", "isosurface")
+    assert iso.screenshot and not iso.error
+    # volume rendering runs without error but the other three tasks fail
+    volume = table_two.cell("gpt-4", "volume_render")
+    assert not volume.error
+    for task in ("slice_contour", "delaunay", "streamlines"):
+        cell = table_two.cell("gpt-4", task)
+        assert cell.error
+        assert not cell.screenshot
+
+
+def test_table2_weak_models_fail_everywhere(table_two):
+    for model in ("gpt-3.5-turbo", "llama3:8b", "codellama:7b", "codegemma"):
+        for task in task_names():
+            cell = table_two.cell(model, task)
+            assert cell.error, f"{model} unexpectedly ran {task} cleanly"
+            assert not cell.screenshot
+
+
+def test_table2_ranking_matches_paper(table_two):
+    counts = table_two.success_counts()
+    assert counts["ChatVis"] == 5
+    assert counts["gpt-4"] >= 1
+    assert all(counts[m] == 0 for m in ("gpt-3.5-turbo", "llama3:8b", "codellama:7b", "codegemma"))
+    assert counts["ChatVis"] > counts["gpt-4"] > counts["gpt-3.5-turbo"]
+
+
+def test_table2_benchmark_single_column(benchmark, bench_root, bench_resolution, small_data):
+    result = benchmark.pedantic(
+        lambda: run_table_two(
+            bench_root / "table2_bench",
+            models=("gpt-4",),
+            tasks=["isosurface"],
+            resolution=bench_resolution,
+            small_data=small_data,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.cell("ChatVis", "isosurface").screenshot
+
+
+def test_table2_print_matrix(table_two, capsys):
+    with capsys.disabled():
+        print("\n=== Table II (Error / Screenshot per model and task) ===")
+        print(table_two.format_table())
+        print("screenshots per method:", table_two.success_counts())

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Flow-visualization scenario: streamlines, tubes and glyphs of a disk flow.
+
+Reproduces the paper's hardest pipeline (Figure 6 / Table I) three ways and
+compares them:
+
+* the hand-written ground-truth script,
+* ChatVis (simulated GPT-4 with few-shot prompting and the correction loop),
+* unassisted simulated GPT-4 (the paper's baseline, which hallucinates
+  Glyph properties and fails).
+
+Run with::
+
+    python examples/streamlines_flow.py [output_directory]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.core import ChatVis, get_task, prepare_task_data
+from repro.eval import compare_scripts, run_ground_truth
+from repro.eval.harness import run_unassisted, scaled_prompt
+from repro.eval.image_metrics import mean_squared_error, structural_similarity
+
+RESOLUTION = (640, 360)
+
+
+def main() -> int:
+    workdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("streamlines_output")
+    task = get_task("streamlines")
+
+    # --- ground truth ------------------------------------------------------ #
+    gt_dir = workdir / "ground_truth"
+    prepare_task_data(task, gt_dir, small=True)
+    gt = run_ground_truth(task, gt_dir, resolution=RESOLUTION)
+    print("ground truth:", gt.summary())
+
+    # --- ChatVis ------------------------------------------------------------ #
+    cv_dir = workdir / "chatvis"
+    prepare_task_data(task, cv_dir, small=True)
+    assistant = ChatVis("gpt-4", working_dir=cv_dir)
+    run = assistant.run(scaled_prompt(task, RESOLUTION))
+    print("ChatVis:", run.summary())
+    for record in run.iterations:
+        status = "ok" if record.success else f"error: {record.error_type}"
+        print(f"  iteration {record.index}: {status}")
+
+    # --- unassisted GPT-4 --------------------------------------------------- #
+    gpt4_dir = workdir / "gpt4"
+    prepare_task_data(task, gpt4_dir, small=True)
+    gpt4_script, gpt4_result = run_unassisted("gpt-4", task, gpt4_dir, resolution=RESOLUTION)
+    print("unassisted GPT-4:", gpt4_result.summary())
+
+    # --- comparisons --------------------------------------------------------- #
+    if run.success and gt.produced_screenshot:
+        mse = mean_squared_error(run.screenshots[0], gt.screenshots[0])
+        ssim = structural_similarity(run.screenshots[0], gt.screenshots[0])
+        print(f"ChatVis vs ground truth image: MSE={mse:.6f}  SSIM={ssim:.4f}")
+
+    from repro.eval.ground_truth import ground_truth_script
+
+    reference = ground_truth_script(task, resolution=RESOLUTION)
+    print("ChatVis script analysis:", compare_scripts(run.final_script, reference).summary())
+    print("GPT-4   script analysis:", compare_scripts(gpt4_script, reference).summary())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

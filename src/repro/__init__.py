@@ -1,0 +1,25 @@
+"""ChatVis reproduction package.
+
+The package is organised bottom-up:
+
+* :mod:`repro.datamodel` — VTK-like datasets (image data, poly data, grids).
+* :mod:`repro.io` — legacy-VTK-style, Exodus-style, and PNG file I/O.
+* :mod:`repro.algorithms` — visualization filters (contour, slice, clip,
+  Delaunay, stream tracer, tube, glyph, ...).
+* :mod:`repro.rendering` — camera, color maps, software rasterizer and
+  volume ray-caster.
+* :mod:`repro.pvsim` — a ``paraview.simple``-compatible scripting layer plus
+  a PvPython-like sandboxed executor.
+* :mod:`repro.llm` — a deterministic simulated-LLM substrate with capability
+  profiles for the models compared in the paper.
+* :mod:`repro.core` — ChatVis itself: prompt generation, few-shot script
+  generation, error extraction and the iterative correction loop.
+* :mod:`repro.data` — synthetic dataset generators (Marschner–Lobb,
+  can-points, disk flow).
+* :mod:`repro.eval` — ground-truth scripts, image/script metrics, and the
+  harness that regenerates the paper's tables and figures.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,53 @@
+"""Visualization filters.
+
+Every filter is a plain function (or small class) that takes a dataset from
+:mod:`repro.datamodel` and returns a new dataset; the :mod:`repro.pvsim`
+proxy layer wraps these functions behind the ``paraview.simple`` API names.
+
+The geometric core is :mod:`repro.algorithms.isosurface`, which extracts the
+zero level set of an arbitrary per-point scalar from any dataset by
+tetrahedral decomposition (marching tetrahedra).  Contouring and slicing are
+both expressed through it: a contour is the level set of ``scalar - value``
+and a slice is the level set of the signed plane distance.
+"""
+
+from repro.algorithms.clip import clip_polydata, clip_unstructured, clip_dataset
+from repro.algorithms.contour import contour, contour_lines
+from repro.algorithms.delaunay3d import delaunay_3d, delaunay_tetrahedra
+from repro.algorithms.extract_surface import extract_surface
+from repro.algorithms.glyph import cone_source, arrow_source, sphere_source, glyph
+from repro.algorithms.implicit import Plane, Sphere, plane_signed_distance
+from repro.algorithms.interpolation import FieldInterpolator, trilinear_interpolate
+from repro.algorithms.isosurface import extract_level_set, extract_level_lines
+from repro.algorithms.slice_ import slice_dataset
+from repro.algorithms.stream_tracer import stream_tracer, trace_streamline, point_cloud_seeds
+from repro.algorithms.threshold import threshold
+from repro.algorithms.tube import tube
+
+__all__ = [
+    "FieldInterpolator",
+    "Plane",
+    "Sphere",
+    "arrow_source",
+    "clip_dataset",
+    "clip_polydata",
+    "clip_unstructured",
+    "cone_source",
+    "contour",
+    "contour_lines",
+    "delaunay_3d",
+    "delaunay_tetrahedra",
+    "extract_level_lines",
+    "extract_level_set",
+    "extract_surface",
+    "glyph",
+    "plane_signed_distance",
+    "point_cloud_seeds",
+    "slice_dataset",
+    "sphere_source",
+    "stream_tracer",
+    "threshold",
+    "trace_streamline",
+    "trilinear_interpolate",
+    "tube",
+]

@@ -1,0 +1,99 @@
+"""Contour / isosurface filter.
+
+For volumetric inputs (image data or unstructured grids with 3-d cells) the
+result is an isosurface (triangles); for surface inputs (PolyData with
+triangles) the result is a set of isolines (line segments), which is what the
+paper's "slice then contour" pipeline produces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.datamodel import Dataset, ImageData, PolyData, UnstructuredGrid
+from repro.algorithms.isosurface import extract_level_lines, extract_level_set
+
+__all__ = ["contour", "contour_lines"]
+
+
+def _point_scalars(dataset: Dataset, array_name: Optional[str]) -> np.ndarray:
+    """Fetch the contour array (defaults to the first point scalar array)."""
+    if array_name is None:
+        arr = dataset.point_data.first_scalar()
+        if arr is None:
+            raise ValueError("dataset has no point scalar array to contour")
+        return arr.as_scalar()
+    if array_name not in dataset.point_data:
+        raise KeyError(
+            f"no point array named {array_name!r}; available: {dataset.point_data.names()}"
+        )
+    return dataset.point_data[array_name].as_scalar()
+
+
+def contour(
+    dataset: Dataset,
+    isovalues: Union[float, Sequence[float]],
+    array_name: Optional[str] = None,
+    compute_normals: bool = True,
+) -> PolyData:
+    """Extract isosurfaces (3-d input) or isolines (surface input).
+
+    Parameters
+    ----------
+    dataset:
+        The input dataset.
+    isovalues:
+        One value or a sequence of values; the outputs for all values are
+        merged into a single PolyData.
+    array_name:
+        Point array to contour by; defaults to the first scalar array.
+    compute_normals:
+        When extracting surfaces, attach a ``Normals`` point array (used by
+        the renderer for shading).
+
+    Returns
+    -------
+    PolyData
+        Triangles for volumetric input, lines for surface input.
+    """
+    if isinstance(isovalues, (int, float, np.floating, np.integer)):
+        values: List[float] = [float(isovalues)]
+    else:
+        values = [float(v) for v in isovalues]
+        if not values:
+            raise ValueError("at least one isovalue is required")
+
+    scalars = _point_scalars(dataset, array_name)
+
+    pieces: List[PolyData] = []
+    for value in values:
+        g = scalars - value
+        if isinstance(dataset, PolyData):
+            piece = extract_level_lines(dataset, g)
+        elif isinstance(dataset, (ImageData, UnstructuredGrid)):
+            piece = extract_level_set(dataset, g)
+        else:
+            raise TypeError(f"cannot contour dataset of type {type(dataset).__name__}")
+        if not piece.is_empty:
+            pieces.append(piece)
+
+    if not pieces:
+        return PolyData()
+    result = pieces[0]
+    for piece in pieces[1:]:
+        result = result.merged_with(piece)
+
+    if compute_normals and result.n_triangles:
+        result.point_data.add_array("Normals", result.point_normals())
+    return result
+
+
+def contour_lines(
+    surface: PolyData,
+    isovalues: Union[float, Sequence[float]],
+    array_name: Optional[str] = None,
+) -> PolyData:
+    """Explicit isoline extraction on a triangle mesh (alias of :func:`contour`)."""
+    return contour(surface, isovalues, array_name=array_name, compute_normals=False)

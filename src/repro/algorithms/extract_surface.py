@@ -1,0 +1,70 @@
+"""Extract the renderable surface of any dataset as PolyData."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datamodel import Dataset, ImageData, PolyData, UnstructuredGrid
+
+__all__ = ["extract_surface"]
+
+
+def extract_surface(dataset: Dataset) -> PolyData:
+    """Return a surface (PolyData) representation of ``dataset``.
+
+    * PolyData is returned as a copy,
+    * UnstructuredGrid delegates to
+      :meth:`~repro.datamodel.UnstructuredGrid.extract_surface` (boundary
+      faces of volumetric cells, pass-through of 2-d/1-d/0-d cells),
+    * ImageData yields its six boundary faces as triangles, with point data
+      restricted to the boundary points.
+
+    The result carries area-weighted point normals in a ``Normals`` array.
+    """
+    if isinstance(dataset, PolyData):
+        surface = dataset.copy()
+    elif isinstance(dataset, UnstructuredGrid):
+        surface = dataset.extract_surface()
+    elif isinstance(dataset, ImageData):
+        surface = _image_surface(dataset)
+    else:
+        raise TypeError(f"cannot extract surface of {type(dataset).__name__}")
+    if surface.n_triangles and "Normals" not in surface.point_data:
+        surface.point_data.add_array("Normals", surface.point_normals())
+    return surface
+
+
+def _image_surface(image: ImageData) -> PolyData:
+    nx, ny, nz = image.dimensions
+    points = image.get_points()
+
+    def pid(i: int, j: int, k: int) -> int:
+        return i + nx * (j + ny * k)
+
+    quads = []
+
+    # k = 0 and k = nz-1 faces
+    for k in (0, nz - 1):
+        for j in range(ny - 1):
+            for i in range(nx - 1):
+                quads.append((pid(i, j, k), pid(i + 1, j, k), pid(i + 1, j + 1, k), pid(i, j + 1, k)))
+    # j = 0 and j = ny-1 faces
+    for j in (0, ny - 1):
+        for k in range(nz - 1):
+            for i in range(nx - 1):
+                quads.append((pid(i, j, k), pid(i + 1, j, k), pid(i + 1, j, k + 1), pid(i, j, k + 1)))
+    # i = 0 and i = nx-1 faces
+    for i in (0, nx - 1):
+        for k in range(nz - 1):
+            for j in range(ny - 1):
+                quads.append((pid(i, j, k), pid(i, j + 1, k), pid(i, j + 1, k + 1), pid(i, j, k + 1)))
+
+    triangles = []
+    for a, b, c, d in quads:
+        triangles.append((a, b, c))
+        triangles.append((a, c, d))
+
+    poly = PolyData(points=points.copy(), triangles=np.asarray(triangles, dtype=np.int64))
+    for name in image.point_data.names():
+        poly.add_point_array(name, image.point_data[name].values.copy())
+    return poly

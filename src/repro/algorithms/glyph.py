@@ -1,0 +1,249 @@
+"""Glyphing: place small oriented shapes (cones, arrows, spheres) at points.
+
+The paper's streamline pipeline adds cone glyphs oriented along the velocity
+field to indicate flow direction; this module provides the glyph source
+geometries and the placement/orientation/scaling logic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datamodel import Dataset, PolyData
+
+__all__ = ["cone_source", "arrow_source", "sphere_source", "glyph"]
+
+
+# --------------------------------------------------------------------------- #
+# glyph sources (unit-sized, pointing along +x, centered at the origin)
+# --------------------------------------------------------------------------- #
+def cone_source(resolution: int = 12, height: float = 1.0, radius: float = 0.35) -> PolyData:
+    """A cone pointing along +x with its center at the origin."""
+    if resolution < 3:
+        raise ValueError("cone resolution must be at least 3")
+    angles = np.linspace(0.0, 2.0 * np.pi, resolution, endpoint=False)
+    base_x = -height / 2.0
+    tip = np.array([[height / 2.0, 0.0, 0.0]])
+    base_center = np.array([[base_x, 0.0, 0.0]])
+    ring = np.column_stack(
+        [np.full(resolution, base_x), radius * np.cos(angles), radius * np.sin(angles)]
+    )
+    points = np.vstack([tip, base_center, ring])
+    triangles: List[Tuple[int, int, int]] = []
+    for i in range(resolution):
+        j = (i + 1) % resolution
+        triangles.append((0, 2 + i, 2 + j))      # side
+        triangles.append((1, 2 + j, 2 + i))      # base cap
+    return PolyData(points=points, triangles=np.asarray(triangles, dtype=np.int64))
+
+
+def arrow_source(
+    resolution: int = 12,
+    shaft_radius: float = 0.05,
+    tip_radius: float = 0.15,
+    tip_length: float = 0.35,
+) -> PolyData:
+    """An arrow along +x: a cylinder shaft plus a cone tip, unit length."""
+    if resolution < 3:
+        raise ValueError("arrow resolution must be at least 3")
+    angles = np.linspace(0.0, 2.0 * np.pi, resolution, endpoint=False)
+    cos_a, sin_a = np.cos(angles), np.sin(angles)
+    shaft_length = 1.0 - tip_length
+
+    shaft_back = np.column_stack([np.zeros(resolution), shaft_radius * cos_a, shaft_radius * sin_a])
+    shaft_front = shaft_back.copy()
+    shaft_front[:, 0] = shaft_length
+    tip_ring = np.column_stack([np.full(resolution, shaft_length), tip_radius * cos_a, tip_radius * sin_a])
+    tip_point = np.array([[1.0, 0.0, 0.0]])
+    back_center = np.array([[0.0, 0.0, 0.0]])
+
+    points = np.vstack([shaft_back, shaft_front, tip_ring, tip_point, back_center])
+    nb, nf, nt = 0, resolution, 2 * resolution
+    tip_id = 3 * resolution
+    back_id = 3 * resolution + 1
+
+    triangles: List[Tuple[int, int, int]] = []
+    for i in range(resolution):
+        j = (i + 1) % resolution
+        # shaft side
+        triangles.append((nb + i, nb + j, nf + j))
+        triangles.append((nb + i, nf + j, nf + i))
+        # tip side
+        triangles.append((nt + i, nt + j, tip_id))
+        # back cap
+        triangles.append((back_id, nb + j, nb + i))
+        # tip base ring (annulus approximated by triangles to the shaft front)
+        triangles.append((nf + i, nf + j, nt + j))
+        triangles.append((nf + i, nt + j, nt + i))
+    return PolyData(points=points, triangles=np.asarray(triangles, dtype=np.int64))
+
+
+def sphere_source(resolution: int = 12, radius: float = 0.5) -> PolyData:
+    """A UV sphere centered at the origin."""
+    if resolution < 4:
+        raise ValueError("sphere resolution must be at least 4")
+    n_theta = resolution
+    n_phi = resolution
+    thetas = np.linspace(0.0, np.pi, n_theta)
+    phis = np.linspace(0.0, 2.0 * np.pi, n_phi, endpoint=False)
+    points = []
+    for t in thetas:
+        for p in phis:
+            points.append(
+                (
+                    radius * np.sin(t) * np.cos(p),
+                    radius * np.sin(t) * np.sin(p),
+                    radius * np.cos(t),
+                )
+            )
+    pts = np.asarray(points)
+    triangles: List[Tuple[int, int, int]] = []
+    for i in range(n_theta - 1):
+        for j in range(n_phi):
+            j_next = (j + 1) % n_phi
+            a = i * n_phi + j
+            b = i * n_phi + j_next
+            c = (i + 1) * n_phi + j
+            d = (i + 1) * n_phi + j_next
+            triangles.append((a, b, d))
+            triangles.append((a, d, c))
+    return PolyData(points=pts, triangles=np.asarray(triangles, dtype=np.int64))
+
+
+_SOURCES = {
+    "cone": cone_source,
+    "arrow": arrow_source,
+    "sphere": sphere_source,
+}
+
+
+# --------------------------------------------------------------------------- #
+# orientation helper
+# --------------------------------------------------------------------------- #
+def _rotation_from_x(direction: np.ndarray) -> np.ndarray:
+    """Rotation matrix taking the +x axis onto ``direction`` (unit or not)."""
+    d = np.asarray(direction, dtype=np.float64)
+    norm = np.linalg.norm(d)
+    if norm < 1e-14:
+        return np.eye(3)
+    d = d / norm
+    x = np.array([1.0, 0.0, 0.0])
+    v = np.cross(x, d)
+    c = float(np.dot(x, d))
+    s = np.linalg.norm(v)
+    if s < 1e-14:
+        if c > 0:
+            return np.eye(3)
+        # 180 degree rotation about any axis orthogonal to x
+        return np.diag([-1.0, -1.0, 1.0])
+    vx = np.array([[0, -v[2], v[1]], [v[2], 0, -v[0]], [-v[1], v[0], 0]])
+    return np.eye(3) + vx + vx @ vx * ((1 - c) / (s * s))
+
+
+def glyph(
+    dataset: Dataset,
+    glyph_type: str = "cone",
+    orientation_array: Optional[str] = None,
+    scale_array: Optional[str] = None,
+    scale_factor: Optional[float] = None,
+    max_glyphs: int = 200,
+    stride: Optional[int] = None,
+    seed: int = 0,
+    source: Optional[PolyData] = None,
+) -> PolyData:
+    """Place glyphs on (a subset of) the dataset points.
+
+    Parameters
+    ----------
+    dataset:
+        Any dataset; glyphs are placed at its points.
+    glyph_type:
+        ``"cone"``, ``"arrow"`` or ``"sphere"`` (ignored when ``source`` is
+        given).
+    orientation_array:
+        Point vector array used to orient each glyph (+x of the source maps
+        onto the vector direction).  ``None`` leaves glyphs unrotated.
+    scale_array:
+        Point array whose magnitude scales each glyph (normalised to the
+        array maximum).
+    scale_factor:
+        Overall glyph size; default = 2.5% of the dataset bounds diagonal.
+    max_glyphs:
+        Upper bound on the number of glyphs; points are sampled uniformly
+        (every-nth) when the dataset has more points, mirroring ParaView's
+        "Uniform Spatial Distribution" intent.
+    stride:
+        Explicit sampling stride overriding ``max_glyphs``.
+
+    Returns
+    -------
+    PolyData
+        Triangles; glyph points inherit all point-data arrays from their
+        anchor point.
+    """
+    if source is None:
+        if glyph_type.lower() not in _SOURCES:
+            raise ValueError(
+                f"unknown glyph type {glyph_type!r}; expected one of {sorted(_SOURCES)}"
+            )
+        source = _SOURCES[glyph_type.lower()]()
+
+    points = dataset.get_points()
+    n = points.shape[0]
+    if n == 0:
+        return PolyData()
+
+    if stride is None:
+        stride = max(1, int(np.ceil(n / max(1, max_glyphs))))
+    anchor_ids = np.arange(0, n, stride, dtype=np.int64)
+
+    bounds = dataset.bounds()
+    if scale_factor is None:
+        scale_factor = 0.025 * bounds.diagonal if bounds.diagonal > 0 else 1.0
+
+    orient = None
+    if orientation_array is not None:
+        if orientation_array not in dataset.point_data:
+            raise KeyError(f"no point array named {orientation_array!r}")
+        arr = dataset.point_data[orientation_array]
+        if arr.n_components != 3:
+            raise ValueError(f"orientation array {orientation_array!r} is not a vector array")
+        orient = arr.values
+
+    scales = np.ones(n)
+    if scale_array is not None:
+        if scale_array not in dataset.point_data:
+            raise KeyError(f"no point array named {scale_array!r}")
+        mags = dataset.point_data[scale_array].as_scalar()
+        max_mag = float(np.max(np.abs(mags))) or 1.0
+        scales = 0.25 + 0.75 * np.abs(mags) / max_mag  # keep glyphs visible
+
+    src_points = source.points
+    src_triangles = source.triangles
+    n_src = src_points.shape[0]
+
+    out_points: List[np.ndarray] = []
+    out_triangles: List[np.ndarray] = []
+    anchor_of_point: List[np.ndarray] = []
+
+    for gi, pid in enumerate(anchor_ids):
+        transform = np.eye(3)
+        if orient is not None:
+            transform = _rotation_from_x(orient[pid])
+        size = scale_factor * scales[pid]
+        placed = (src_points * size) @ transform.T + points[pid]
+        out_points.append(placed)
+        out_triangles.append(src_triangles + gi * n_src)
+        anchor_of_point.append(np.full(n_src, pid, dtype=np.int64))
+
+    result = PolyData(
+        points=np.vstack(out_points),
+        triangles=np.vstack(out_triangles),
+    )
+    anchors = np.concatenate(anchor_of_point)
+    for name in dataset.point_data.names():
+        result.add_point_array(name, dataset.point_data[name].values[anchors])
+    result.point_data.add_array("Normals", result.point_normals())
+    return result

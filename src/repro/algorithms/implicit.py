@@ -1,0 +1,106 @@
+"""Implicit functions (plane, sphere, box) used by slice and clip filters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ImplicitFunction", "Plane", "Sphere", "Box", "plane_signed_distance"]
+
+
+class ImplicitFunction:
+    """Base class: an implicit function maps points to signed scalar values.
+
+    By convention negative values are "inside" (kept by a clip with
+    ``invert=False`` keeps ``f <= 0``), zero is the surface.
+    """
+
+    def evaluate(self, points: np.ndarray) -> np.ndarray:
+        """Evaluate at an ``(n, 3)`` array of points; returns ``(n,)``."""
+        raise NotImplementedError
+
+    def __call__(self, points: np.ndarray) -> np.ndarray:
+        return self.evaluate(points)
+
+
+def _normalize(vector: Sequence[float]) -> np.ndarray:
+    v = np.asarray(vector, dtype=np.float64).reshape(3)
+    norm = np.linalg.norm(v)
+    if norm == 0:
+        raise ValueError("normal/direction vector must be non-zero")
+    return v / norm
+
+
+def plane_signed_distance(points: np.ndarray, origin: Sequence[float], normal: Sequence[float]) -> np.ndarray:
+    """Signed distance of each point from the plane through ``origin`` with ``normal``."""
+    pts = np.asarray(points, dtype=np.float64).reshape(-1, 3)
+    n = _normalize(normal)
+    o = np.asarray(origin, dtype=np.float64).reshape(3)
+    return (pts - o) @ n
+
+
+@dataclass
+class Plane(ImplicitFunction):
+    """A plane defined by an origin point and a normal vector.
+
+    ``evaluate`` returns the signed distance: positive on the side the normal
+    points toward.
+    """
+
+    origin: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+    normal: Tuple[float, float, float] = (1.0, 0.0, 0.0)
+
+    def evaluate(self, points: np.ndarray) -> np.ndarray:
+        return plane_signed_distance(points, self.origin, self.normal)
+
+    @property
+    def unit_normal(self) -> np.ndarray:
+        return _normalize(self.normal)
+
+    @staticmethod
+    def axis_aligned(axis: str, position: float = 0.0) -> "Plane":
+        """Convenience: a plane perpendicular to one axis at the given position.
+
+        ``axis`` is ``"x"``, ``"y"`` or ``"z"``; e.g. ``axis_aligned("x", 0)``
+        is the y-z plane at x=0 (normal +x).
+        """
+        axis = axis.lower()
+        normals = {"x": (1.0, 0.0, 0.0), "y": (0.0, 1.0, 0.0), "z": (0.0, 0.0, 1.0)}
+        if axis not in normals:
+            raise ValueError(f"axis must be 'x', 'y' or 'z', got {axis!r}")
+        origin = [0.0, 0.0, 0.0]
+        origin["xyz".index(axis)] = float(position)
+        return Plane(origin=tuple(origin), normal=normals[axis])
+
+
+@dataclass
+class Sphere(ImplicitFunction):
+    """A sphere; ``evaluate`` is ``|p - center| - radius`` (negative inside)."""
+
+    center: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+    radius: float = 1.0
+
+    def evaluate(self, points: np.ndarray) -> np.ndarray:
+        pts = np.asarray(points, dtype=np.float64).reshape(-1, 3)
+        c = np.asarray(self.center, dtype=np.float64)
+        return np.linalg.norm(pts - c, axis=1) - float(self.radius)
+
+
+@dataclass
+class Box(ImplicitFunction):
+    """An axis-aligned box; negative inside (L-infinity style distance)."""
+
+    bounds: Tuple[float, float, float, float, float, float] = (-1.0, 1.0, -1.0, 1.0, -1.0, 1.0)
+
+    def evaluate(self, points: np.ndarray) -> np.ndarray:
+        pts = np.asarray(points, dtype=np.float64).reshape(-1, 3)
+        xmin, xmax, ymin, ymax, zmin, zmax = self.bounds
+        lo = np.array([xmin, ymin, zmin])
+        hi = np.array([xmax, ymax, zmax])
+        center = 0.5 * (lo + hi)
+        half = 0.5 * (hi - lo)
+        # distance from center along each axis, minus half extent; max over axes
+        d = np.abs(pts - center) - half
+        return np.max(d, axis=1)

@@ -1,0 +1,41 @@
+"""Plane slicing.
+
+A slice through a volumetric dataset is the zero level set of the signed
+plane distance, so the implementation delegates to
+:func:`repro.algorithms.isosurface.extract_level_set`.  Slicing a surface
+(PolyData) yields the intersection polyline via marching triangles.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.algorithms.implicit import Plane
+from repro.algorithms.isosurface import extract_level_lines, extract_level_set
+from repro.datamodel import Dataset, ImageData, PolyData, UnstructuredGrid
+
+__all__ = ["slice_dataset"]
+
+
+def slice_dataset(
+    dataset: Dataset,
+    origin: Sequence[float] = (0.0, 0.0, 0.0),
+    normal: Sequence[float] = (1.0, 0.0, 0.0),
+) -> PolyData:
+    """Slice a dataset with the plane defined by ``origin`` and ``normal``.
+
+    Returns triangles (for volumetric input) or line segments (for surface
+    input) with all point-data arrays interpolated onto the cut.
+    """
+    plane = Plane(origin=tuple(float(v) for v in origin), normal=tuple(float(v) for v in normal))
+    g = plane.evaluate(dataset.get_points())
+
+    if isinstance(dataset, PolyData):
+        if dataset.n_triangles == 0:
+            return PolyData()
+        return extract_level_lines(dataset, g)
+    if isinstance(dataset, (ImageData, UnstructuredGrid)):
+        return extract_level_set(dataset, g)
+    raise TypeError(f"cannot slice dataset of type {type(dataset).__name__}")

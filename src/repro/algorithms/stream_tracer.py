@@ -1,0 +1,312 @@
+"""Streamline tracing through a vector field.
+
+The tracer integrates the velocity field with a classical fourth-order
+Runge–Kutta scheme, starting from a set of seed points (by default a small
+point cloud centered in the dataset, mirroring ParaView's "Point Cloud" seed
+type).  Integration stops when the trajectory leaves the dataset bounds,
+exceeds the maximum number of steps or maximum arc length, or enters a region
+of negligible velocity.
+
+The output is a :class:`~repro.datamodel.PolyData` whose polylines are the
+streamlines.  Every point of a streamline carries:
+
+* all point-data arrays of the input, interpolated along the path (so the
+  paper's "color the streamlines by Temp" works),
+* ``IntegrationTime`` — the accumulated integration parameter, and
+* ``Vorticity``-free ``SpeedMagnitude`` — the local speed (handy for tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.algorithms.interpolation import FieldInterpolator
+from repro.datamodel import Dataset, PolyData
+
+__all__ = ["StreamTracerOptions", "point_cloud_seeds", "line_seeds", "trace_streamline", "stream_tracer"]
+
+
+@dataclass
+class StreamTracerOptions:
+    """Integration parameters for the stream tracer."""
+
+    max_steps: int = 500
+    step_size: Optional[float] = None  #: integration step; default = 1% of the bounds diagonal
+    max_length: Optional[float] = None  #: maximum arc length; default = 2x the bounds diagonal
+    min_speed: float = 1e-10
+    direction: str = "both"  #: "forward", "backward" or "both"
+    bounds_tolerance: float = 0.0
+
+
+def point_cloud_seeds(
+    dataset: Dataset,
+    n_points: int = 100,
+    center: Optional[Sequence[float]] = None,
+    radius: Optional[float] = None,
+    seed: int = 42,
+) -> np.ndarray:
+    """Random seed points in a sphere, like ParaView's "Point Cloud" seed type.
+
+    By default the sphere is centered at the dataset center with radius equal
+    to a quarter of the bounds diagonal.
+    """
+    bounds = dataset.bounds()
+    if center is None:
+        center = bounds.center
+    if radius is None:
+        radius = 0.25 * bounds.diagonal if bounds.diagonal > 0 else 1.0
+    rng = np.random.default_rng(seed)
+    # uniform in a ball via rejection-free radial sampling
+    directions = rng.normal(size=(n_points, 3))
+    norms = np.linalg.norm(directions, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    directions /= norms
+    radii = radius * rng.uniform(0.0, 1.0, size=(n_points, 1)) ** (1.0 / 3.0)
+    return np.asarray(center, dtype=np.float64) + directions * radii
+
+
+def line_seeds(point1: Sequence[float], point2: Sequence[float], resolution: int = 20) -> np.ndarray:
+    """Seeds along a line segment (ParaView's "High Resolution Line Source")."""
+    p1 = np.asarray(point1, dtype=np.float64)
+    p2 = np.asarray(point2, dtype=np.float64)
+    t = np.linspace(0.0, 1.0, max(int(resolution), 2))[:, None]
+    return p1 + t * (p2 - p1)
+
+
+def _rk4_step(
+    interpolator: FieldInterpolator,
+    array_name: str,
+    position: np.ndarray,
+    h: float,
+) -> Optional[np.ndarray]:
+    """One RK4 step; returns the new position or None if velocity vanishes."""
+
+    def velocity(p: np.ndarray) -> np.ndarray:
+        return interpolator.velocity(array_name, p.reshape(1, 3))[0]
+
+    k1 = velocity(position)
+    if not np.all(np.isfinite(k1)):
+        return None
+    k2 = velocity(position + 0.5 * h * k1)
+    k3 = velocity(position + 0.5 * h * k2)
+    k4 = velocity(position + h * k3)
+    return position + (h / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+
+
+def trace_streamline(
+    interpolator: FieldInterpolator,
+    array_name: str,
+    seed_point: Sequence[float],
+    options: StreamTracerOptions,
+    sign: float = 1.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Integrate a single streamline from one seed point.
+
+    Returns ``(positions, times)`` where ``positions`` is ``(k, 3)`` and
+    ``times`` the signed accumulated integration time at each position.
+    The seed point itself is always included.
+    """
+    bounds = interpolator.bounds
+    diagonal = bounds.diagonal if bounds.diagonal > 0 else 1.0
+    h = options.step_size if options.step_size is not None else 0.01 * diagonal
+    max_length = options.max_length if options.max_length is not None else 2.0 * diagonal
+
+    position = np.asarray(seed_point, dtype=np.float64).reshape(3)
+    positions = [position.copy()]
+    times = [0.0]
+    length = 0.0
+
+    for _step in range(options.max_steps):
+        speed = np.linalg.norm(interpolator.velocity(array_name, position.reshape(1, 3))[0])
+        if speed < options.min_speed:
+            break
+        new_position = _rk4_step(interpolator, array_name, position, sign * h)
+        if new_position is None:
+            break
+        if not bounds.contains(new_position, tol=options.bounds_tolerance * diagonal):
+            break
+        step_length = float(np.linalg.norm(new_position - position))
+        if step_length < 1e-14:
+            break
+        length += step_length
+        position = new_position
+        positions.append(position.copy())
+        times.append(times[-1] + sign * h)
+        if length >= max_length:
+            break
+
+    return np.asarray(positions), np.asarray(times)
+
+
+def _trace_batch(
+    interpolator: FieldInterpolator,
+    array_name: str,
+    seeds: np.ndarray,
+    options: StreamTracerOptions,
+    sign: float,
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Integrate all seeds simultaneously (vectorised RK4).
+
+    Each integration step performs four *batched* velocity evaluations over
+    every still-active streamline instead of one evaluation per seed, which
+    is the difference between seconds and minutes for the 100-seed default
+    point cloud on an unstructured grid.
+    Returns one ``(positions, times)`` pair per seed, matching
+    :func:`trace_streamline`.
+    """
+    bounds = interpolator.bounds
+    diagonal = bounds.diagonal if bounds.diagonal > 0 else 1.0
+    h = options.step_size if options.step_size is not None else 0.01 * diagonal
+    max_length = options.max_length if options.max_length is not None else 2.0 * diagonal
+
+    n = seeds.shape[0]
+    positions = seeds.astype(np.float64).copy()
+    lengths = np.zeros(n)
+    times = np.zeros(n)
+    active = np.ones(n, dtype=bool)
+    paths: List[List[np.ndarray]] = [[seeds[i].copy()] for i in range(n)]
+    path_times: List[List[float]] = [[0.0] for _ in range(n)]
+
+    def velocity(pts: np.ndarray) -> np.ndarray:
+        return interpolator.velocity(array_name, pts)
+
+    for _step in range(options.max_steps):
+        if not active.any():
+            break
+        idx = np.nonzero(active)[0]
+        p = positions[idx]
+        k1 = velocity(p)
+        speeds = np.linalg.norm(k1, axis=1)
+        still = speeds >= options.min_speed
+        active[idx[~still]] = False
+        idx = idx[still]
+        if idx.size == 0:
+            break
+        p = positions[idx]
+        k1 = k1[still]
+        hh = sign * h
+        k2 = velocity(p + 0.5 * hh * k1)
+        k3 = velocity(p + 0.5 * hh * k2)
+        k4 = velocity(p + hh * k3)
+        new_p = p + (hh / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+
+        inside = bounds.contains_points(new_p, tol=options.bounds_tolerance * diagonal)
+        step_lengths = np.linalg.norm(new_p - p, axis=1)
+        moved = step_lengths >= 1e-14
+
+        # seeds that exited / stalled stop here
+        keep = inside & moved
+        stopped = idx[~keep]
+        active[stopped] = False
+
+        advancing = idx[keep]
+        positions[advancing] = new_p[keep]
+        lengths[advancing] += step_lengths[keep]
+        times[advancing] += sign * h
+        for local, seed_index in enumerate(advancing):
+            paths[seed_index].append(new_p[keep][local].copy())
+            path_times[seed_index].append(times[seed_index])
+        too_long = advancing[lengths[advancing] >= max_length]
+        active[too_long] = False
+
+    return [
+        (np.asarray(paths[i]), np.asarray(path_times[i]))
+        for i in range(n)
+    ]
+
+
+def stream_tracer(
+    dataset: Dataset,
+    vector_array: Optional[str] = None,
+    seeds: Optional[np.ndarray] = None,
+    n_seed_points: int = 100,
+    options: Optional[StreamTracerOptions] = None,
+    seed: int = 42,
+) -> PolyData:
+    """Trace streamlines through a dataset's vector field.
+
+    Parameters
+    ----------
+    dataset:
+        Any dataset with a 3-component point array.
+    vector_array:
+        Name of the velocity array; defaults to the first vector array.
+    seeds:
+        Explicit ``(n, 3)`` seed positions; if omitted, a default point cloud
+        of ``n_seed_points`` seeds is generated.
+    options:
+        Integration options.
+
+    Returns
+    -------
+    PolyData
+        One polyline per seed (seeds whose trajectory contains fewer than two
+        points are dropped), with input point data, ``IntegrationTime`` and
+        ``SpeedMagnitude`` attached.
+    """
+    options = options or StreamTracerOptions()
+    if vector_array is None:
+        arr = dataset.point_data.first_vector()
+        if arr is None:
+            raise ValueError("dataset has no 3-component point array to trace")
+        vector_array = arr.name
+    elif vector_array not in dataset.point_data:
+        raise KeyError(
+            f"no point array named {vector_array!r}; available: {dataset.point_data.names()}"
+        )
+
+    interpolator = FieldInterpolator(dataset)
+    if seeds is None:
+        seeds = point_cloud_seeds(dataset, n_points=n_seed_points, seed=seed)
+    seeds = np.asarray(seeds, dtype=np.float64).reshape(-1, 3)
+
+    directions: List[float] = []
+    if options.direction in ("forward", "both"):
+        directions.append(1.0)
+    if options.direction in ("backward", "both"):
+        directions.append(-1.0)
+    if not directions:
+        raise ValueError(f"invalid direction {options.direction!r}")
+
+    # integrate every seed simultaneously, once per direction
+    traced = {sign: _trace_batch(interpolator, vector_array, seeds, options, sign) for sign in directions}
+
+    all_points: List[np.ndarray] = []
+    all_times: List[np.ndarray] = []
+    lines: List[np.ndarray] = []
+    offset = 0
+
+    for seed_index in range(seeds.shape[0]):
+        if len(directions) == 2:
+            fwd_pos, fwd_t = traced[1.0][seed_index]
+            back_pos, back_t = traced[-1.0][seed_index]
+            # join backward (reversed, excluding the duplicated seed) + forward
+            positions = np.vstack([back_pos[::-1][:-1], fwd_pos])
+            times = np.concatenate([back_t[::-1][:-1], fwd_t])
+        else:
+            positions, times = traced[directions[0]][seed_index]
+        if positions.shape[0] < 2:
+            continue
+        all_points.append(positions)
+        all_times.append(times)
+        lines.append(np.arange(offset, offset + positions.shape[0], dtype=np.int64))
+        offset += positions.shape[0]
+
+    if not all_points:
+        return PolyData()
+
+    points = np.vstack(all_points)
+    times = np.concatenate(all_times)
+    poly = PolyData(points=points, lines=lines)
+
+    # interpolate the input point data onto the streamline points
+    for name in dataset.point_data.names():
+        values = interpolator.interpolate(name, points)
+        poly.add_point_array(name, values)
+    poly.add_point_array("IntegrationTime", times)
+    speeds = np.linalg.norm(interpolator.velocity(vector_array, points), axis=1)
+    poly.add_point_array("SpeedMagnitude", speeds)
+    return poly

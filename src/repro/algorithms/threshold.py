@@ -1,0 +1,80 @@
+"""Threshold filter: keep the cells whose data lies inside a scalar range."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.datamodel import CellType, Dataset, ImageData, PolyData, UnstructuredGrid
+
+__all__ = ["threshold"]
+
+
+def _cell_passes(point_values: np.ndarray, lower: float, upper: float, all_points: bool) -> bool:
+    inside = (point_values >= lower) & (point_values <= upper)
+    return bool(inside.all() if all_points else inside.any())
+
+
+def threshold(
+    dataset: Dataset,
+    array_name: Optional[str] = None,
+    lower: float = -np.inf,
+    upper: float = np.inf,
+    all_points: bool = True,
+) -> UnstructuredGrid:
+    """Keep cells whose point values fall within ``[lower, upper]``.
+
+    Parameters
+    ----------
+    array_name:
+        Point scalar used for the test; defaults to the first scalar array.
+    all_points:
+        When true (default) every point of a cell must pass; otherwise a
+        single passing point keeps the cell (ParaView's "Any Point" mode).
+
+    Returns
+    -------
+    UnstructuredGrid
+        The surviving cells; point data is carried over unchanged (the point
+        set is not compacted, matching the simple behaviour of the VTK
+        filter before cleaning).
+    """
+    if array_name is None:
+        arr = dataset.point_data.first_scalar()
+        if arr is None:
+            raise ValueError("dataset has no point scalar array to threshold")
+        array_name = arr.name
+    elif array_name not in dataset.point_data:
+        raise KeyError(
+            f"no point array named {array_name!r}; available: {dataset.point_data.names()}"
+        )
+    values = dataset.point_data[array_name].as_scalar()
+
+    out = UnstructuredGrid(dataset.get_points().copy())
+    for name in dataset.point_data.names():
+        out.add_point_array(name, dataset.point_data[name].values.copy())
+
+    if isinstance(dataset, UnstructuredGrid):
+        for ctype, conn in dataset.cells():
+            if _cell_passes(values[list(conn)], lower, upper, all_points):
+                out.add_cell(ctype, conn)
+    elif isinstance(dataset, ImageData):
+        from repro.algorithms.isosurface import tetrahedra_of_dataset
+
+        for tet in tetrahedra_of_dataset(dataset):
+            if _cell_passes(values[tet], lower, upper, all_points):
+                out.add_cell(CellType.TETRA, tet.tolist())
+    elif isinstance(dataset, PolyData):
+        for tri in dataset.triangles:
+            if _cell_passes(values[tri], lower, upper, all_points):
+                out.add_cell(CellType.TRIANGLE, tri.tolist())
+        for vid in dataset.verts:
+            if _cell_passes(values[[int(vid)]], lower, upper, all_points):
+                out.add_cell(CellType.VERTEX, (int(vid),))
+        for line in dataset.lines:
+            if _cell_passes(values[line], lower, upper, all_points):
+                out.add_cell(CellType.POLY_LINE, line.tolist())
+    else:
+        raise TypeError(f"cannot threshold dataset of type {type(dataset).__name__}")
+    return out

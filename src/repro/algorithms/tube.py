@@ -1,0 +1,154 @@
+"""Tube filter: sweep a circle along polylines to make renderable 3-d tubes."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.datamodel import PolyData
+
+__all__ = ["tube"]
+
+
+def _frames_along_polyline(points: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compute tangent / normal / binormal frames at each polyline point.
+
+    A simple parallel-transport-style frame: the tangent is the normalised
+    central difference; the normal starts from any vector orthogonal to the
+    first tangent and is re-orthogonalised at every point to avoid sudden
+    flips.
+    """
+    n = points.shape[0]
+    tangents = np.zeros((n, 3))
+    tangents[1:-1] = points[2:] - points[:-2]
+    tangents[0] = points[1] - points[0]
+    tangents[-1] = points[-1] - points[-2]
+    lengths = np.linalg.norm(tangents, axis=1, keepdims=True)
+    lengths[lengths == 0] = 1.0
+    tangents /= lengths
+
+    normals = np.zeros((n, 3))
+    # initial normal: any vector not parallel to the first tangent
+    ref = np.array([0.0, 0.0, 1.0])
+    if abs(np.dot(ref, tangents[0])) > 0.9:
+        ref = np.array([0.0, 1.0, 0.0])
+    normal = np.cross(tangents[0], ref)
+    normal /= np.linalg.norm(normal)
+    for i in range(n):
+        # re-orthogonalise against the current tangent
+        normal = normal - np.dot(normal, tangents[i]) * tangents[i]
+        norm = np.linalg.norm(normal)
+        if norm < 1e-12:
+            ref = np.array([1.0, 0.0, 0.0])
+            if abs(np.dot(ref, tangents[i])) > 0.9:
+                ref = np.array([0.0, 1.0, 0.0])
+            normal = np.cross(tangents[i], ref)
+            norm = np.linalg.norm(normal)
+        normal = normal / norm
+        normals[i] = normal
+
+    binormals = np.cross(tangents, normals)
+    return tangents, normals, binormals
+
+
+def tube(
+    polydata: PolyData,
+    radius: float = 0.1,
+    n_sides: int = 8,
+    vary_radius_by: Optional[str] = None,
+    radius_factor: float = 2.0,
+) -> PolyData:
+    """Wrap every polyline of the input in a triangulated tube.
+
+    Parameters
+    ----------
+    polydata:
+        Input with polylines (e.g. stream tracer output).
+    radius:
+        Tube radius.
+    n_sides:
+        Number of sides of the tube cross-section (>= 3).
+    vary_radius_by:
+        Optional name of a point scalar; when given, the radius is scaled
+        linearly between ``radius`` (array minimum) and ``radius *
+        radius_factor`` (array maximum), like ParaView's "Vary Radius".
+
+    Returns
+    -------
+    PolyData
+        Triangles; all point-data arrays of the input are propagated to the
+        tube surface points (each cross-section inherits the values of its
+        centerline point).
+    """
+    if n_sides < 3:
+        raise ValueError("a tube needs at least 3 sides")
+    if radius <= 0:
+        raise ValueError("tube radius must be positive")
+    if polydata.n_lines == 0:
+        return PolyData()
+
+    scale = None
+    if vary_radius_by is not None:
+        if vary_radius_by not in polydata.point_data:
+            raise KeyError(f"no point array named {vary_radius_by!r}")
+        values = polydata.point_data[vary_radius_by].as_scalar()
+        vmin, vmax = float(values.min()), float(values.max())
+        span = vmax - vmin if vmax > vmin else 1.0
+        scale = 1.0 + (radius_factor - 1.0) * (values - vmin) / span
+
+    angles = np.linspace(0.0, 2.0 * np.pi, n_sides, endpoint=False)
+    cos_a = np.cos(angles)
+    sin_a = np.sin(angles)
+
+    out_points: List[np.ndarray] = []
+    out_triangles: List[Tuple[int, int, int]] = []
+    source_ids: List[int] = []
+    offset = 0
+
+    for line in polydata.lines:
+        ids = np.asarray(line, dtype=np.int64)
+        if ids.size < 2:
+            continue
+        centers = polydata.points[ids]
+        _t, normals, binormals = _frames_along_polyline(centers)
+
+        ring_radii = np.full(ids.size, radius)
+        if scale is not None:
+            ring_radii = radius * scale[ids]
+
+        # ring points: (n_line_pts, n_sides, 3)
+        rings = (
+            centers[:, None, :]
+            + ring_radii[:, None, None]
+            * (normals[:, None, :] * cos_a[None, :, None] + binormals[:, None, :] * sin_a[None, :, None])
+        )
+        n_pts = ids.size
+        out_points.append(rings.reshape(-1, 3))
+        source_ids.extend(np.repeat(ids, n_sides).tolist())
+
+        for i in range(n_pts - 1):
+            base0 = offset + i * n_sides
+            base1 = offset + (i + 1) * n_sides
+            for s in range(n_sides):
+                s_next = (s + 1) % n_sides
+                a = base0 + s
+                b = base0 + s_next
+                c = base1 + s
+                d = base1 + s_next
+                out_triangles.append((a, b, d))
+                out_triangles.append((a, d, c))
+        offset += n_pts * n_sides
+
+    if not out_points:
+        return PolyData()
+
+    result = PolyData(
+        points=np.vstack(out_points),
+        triangles=np.asarray(out_triangles, dtype=np.int64),
+    )
+    src = np.asarray(source_ids, dtype=np.int64)
+    for name in polydata.point_data.names():
+        result.add_point_array(name, polydata.point_data[name].values[src])
+    result.point_data.add_array("Normals", result.point_normals())
+    return result

@@ -1,0 +1,45 @@
+"""ChatVis: the iterative LLM assistant for scientific visualization scripting.
+
+The pipeline mirrors Figure 1 of the paper:
+
+1. :mod:`prompt_generation` — the user's natural-language request is rewritten
+   by the LLM into a step-by-step prompt (one example prompt pair is provided
+   as guidance).
+2. :mod:`script_generation` — the step-by-step prompt plus few-shot example
+   code snippets (:mod:`few_shot`) are sent to the LLM, which returns a
+   ParaView Python script.
+3. The script is executed with the PvPython-like executor
+   (:mod:`repro.pvsim.executor`).
+4. :mod:`error_extraction` — error messages are extracted from the execution
+   output (tracebacks collected line by line until the ``...Error:`` line).
+5. :mod:`correction` — the errors and the script are sent back to the LLM for
+   a revision; steps 3-5 repeat until the script runs cleanly or the
+   iteration budget is exhausted.
+
+:class:`~repro.core.assistant.ChatVis` orchestrates the loop and records every
+iteration in a :class:`~repro.core.session.ChatVisResult`.
+"""
+
+from repro.core.assistant import ChatVis, ChatVisConfig
+from repro.core.error_extraction import extract_error_messages, has_errors
+from repro.core.few_shot import ExampleLibrary
+from repro.core.prompt_generation import PromptGenerator
+from repro.core.script_generation import ScriptGenerator
+from repro.core.session import ChatVisResult, IterationRecord
+from repro.core.tasks import CANONICAL_TASKS, VisualizationTask, get_task, prepare_task_data
+
+__all__ = [
+    "CANONICAL_TASKS",
+    "ChatVis",
+    "ChatVisConfig",
+    "ChatVisResult",
+    "ExampleLibrary",
+    "IterationRecord",
+    "PromptGenerator",
+    "ScriptGenerator",
+    "VisualizationTask",
+    "extract_error_messages",
+    "get_task",
+    "has_errors",
+    "prepare_task_data",
+]

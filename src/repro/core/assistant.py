@@ -1,0 +1,137 @@
+"""The ChatVis orchestrator: generate → execute → extract errors → correct.
+
+This is the paper's primary contribution (Figure 1).  A :class:`ChatVis`
+instance wires together a prompt generator, a few-shot script generator, the
+PvPython-like executor and the error-correction loop, and records every
+iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.core.correction import request_correction
+from repro.core.error_extraction import extract_error_messages
+from repro.core.few_shot import ExampleLibrary
+from repro.core.prompt_generation import PromptGenerator
+from repro.core.script_generation import ScriptGenerator
+from repro.core.session import ChatVisResult, IterationRecord
+from repro.llm.base import LLMClient
+from repro.llm.registry import get_model
+from repro.pvsim.executor import ExecutionResult, PvPythonExecutor
+
+__all__ = ["ChatVisConfig", "ChatVis"]
+
+
+@dataclass
+class ChatVisConfig:
+    """Tunable knobs of the assistant (ablation axes of the benchmark suite)."""
+
+    max_iterations: int = 5
+    use_prompt_rewriting: bool = True
+    use_few_shot: bool = True
+    use_error_correction: bool = True
+    #: stop as soon as a screenshot is produced even if stderr had warnings
+    require_screenshot: bool = True
+    script_name: str = "chatvis_script.py"
+
+
+class ChatVis:
+    """The iterative assistant.
+
+    Parameters
+    ----------
+    llm:
+        An :class:`~repro.llm.base.LLMClient` or a model name understood by
+        :func:`repro.llm.registry.get_model` (e.g. ``"gpt-4"``).
+    working_dir:
+        Directory where scripts execute (data files are expected there and
+        screenshots are written there).
+    config:
+        Loop configuration; defaults match the paper's setup.
+    """
+
+    def __init__(
+        self,
+        llm: Union[LLMClient, str] = "gpt-4",
+        working_dir: Union[str, Path, None] = None,
+        config: Optional[ChatVisConfig] = None,
+        example_library: Optional[ExampleLibrary] = None,
+    ) -> None:
+        self.llm: LLMClient = get_model(llm) if isinstance(llm, str) else llm
+        self.config = config or ChatVisConfig()
+        self.working_dir = Path(working_dir) if working_dir is not None else Path.cwd()
+        self.working_dir.mkdir(parents=True, exist_ok=True)
+
+        self.prompt_generator = PromptGenerator(self.llm, use_llm=self.config.use_prompt_rewriting)
+        self.script_generator = ScriptGenerator(
+            self.llm,
+            example_library=example_library,
+            use_few_shot=self.config.use_few_shot,
+        )
+        self.executor = PvPythonExecutor(working_dir=self.working_dir)
+
+    # ------------------------------------------------------------------ #
+    def run(self, user_prompt: str) -> ChatVisResult:
+        """Run the full loop for one natural-language request."""
+        result = ChatVisResult(
+            user_prompt=user_prompt,
+            model=self.llm.model_name,
+            working_dir=str(self.working_dir),
+        )
+
+        # 1. prompt generation
+        if self.config.use_prompt_rewriting:
+            result.generated_prompt = self.prompt_generator.generate(user_prompt)
+        else:
+            result.generated_prompt = ""
+
+        # 2. initial script generation
+        script = self.script_generator.generate(
+            user_prompt, step_prompt=result.generated_prompt or None
+        )
+
+        # 3-5. execute / extract / correct loop
+        for index in range(1, self.config.max_iterations + 1):
+            execution = self.executor.run(script, script_name=self.config.script_name)
+            record = self._record_iteration(index, script, execution)
+            result.iterations.append(record)
+
+            if self._is_successful(execution):
+                result.success = True
+                result.final_script = script
+                result.screenshots = list(execution.screenshots)
+                break
+
+            if not self.config.use_error_correction or index == self.config.max_iterations:
+                result.final_script = script
+                break
+
+            errors = extract_error_messages(execution.output)
+            script = request_correction(self.llm, script, errors, user_request=user_prompt)
+
+        if not result.final_script:
+            result.final_script = script
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _is_successful(self, execution: ExecutionResult) -> bool:
+        if not execution.success:
+            return False
+        if self.config.require_screenshot:
+            return execution.produced_screenshot
+        return True
+
+    @staticmethod
+    def _record_iteration(index: int, script: str, execution: ExecutionResult) -> IterationRecord:
+        return IterationRecord(
+            index=index,
+            script=script,
+            success=execution.success and execution.produced_screenshot,
+            error_type=execution.error_type,
+            error_messages=extract_error_messages(execution.output),
+            screenshots=list(execution.screenshots),
+            stdout=execution.stdout,
+        )

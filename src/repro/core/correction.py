@@ -1,0 +1,48 @@
+"""Error-correction prompting (the feedback edge of Figure 1)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.llm.base import ChatMessage, LLMClient, system, user
+from repro.llm.codegen import extract_code_block
+
+__all__ = ["CorrectionPromptBuilder", "request_correction"]
+
+_SYSTEM_PROMPT = (
+    "You are an expert in ParaView Python scripting. You are given a script that failed "
+    "to execute and the error messages extracted from its execution. Fix the code so the "
+    "script runs without errors and still performs the requested visualization."
+)
+
+
+class CorrectionPromptBuilder:
+    """Builds the "here is the error, fix the code" prompt."""
+
+    def build(self, script: str, error_messages: Sequence[str], user_request: str = "") -> List[ChatMessage]:
+        error_block = "\n\n".join(error_messages) if error_messages else "(no error text captured)"
+        sections = [
+            "The following ParaView Python script failed to execute.",
+            f"```python\n{script.rstrip()}\n```",
+            "Error messages extracted from the execution output:",
+            error_block,
+        ]
+        if user_request:
+            sections.append("Original user request:\n" + user_request)
+        sections.append(
+            "Please fix the code and generate the visualization. Return the full corrected "
+            "script in a Python code block."
+        )
+        return [system(_SYSTEM_PROMPT), user("\n\n".join(sections))]
+
+
+def request_correction(
+    llm: LLMClient,
+    script: str,
+    error_messages: Sequence[str],
+    user_request: str = "",
+) -> str:
+    """Ask the LLM to repair a failed script; returns the revised script text."""
+    builder = CorrectionPromptBuilder()
+    response = llm.complete(builder.build(script, error_messages, user_request))
+    return extract_code_block(response.text)

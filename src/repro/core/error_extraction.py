@@ -1,0 +1,104 @@
+"""Error detection and extraction from PvPython output (paper §III-C).
+
+The paper's tool "operates by first splitting the output into individual
+lines and initializing a list to store these messages.  It then identifies
+tracebacks, which typically start with ``File``, and gathers subsequent lines
+until it encounters specific errors, such as ``AttributeError``.  Once all
+relevant lines are collected, the function compiles these into a list and
+returns the error messages."  This module implements exactly that behaviour
+(generalised to any ``...Error:`` / ``...Exception:`` terminator) plus a few
+helpers for summarising and classifying errors.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "extract_error_messages",
+    "has_errors",
+    "final_error",
+    "classify_error",
+    "ERROR_LINE_PATTERN",
+]
+
+#: matches the final line of a Python traceback ("SomeError: message")
+ERROR_LINE_PATTERN = re.compile(r"^\s*([A-Za-z_][\w.]*(?:Error|Exception|Warning))\s*:\s?(.*)$")
+
+_TRACEBACK_START = re.compile(r'^\s*(Traceback \(most recent call last\):|File ")')
+
+
+def extract_error_messages(output: str) -> List[str]:
+    """Extract error blocks from a pvpython-style output dump.
+
+    Returns a list of error messages; each message is the traceback fragment
+    from its first ``File ...`` line through the terminating ``XxxError: ...``
+    line.  Lines outside tracebacks (regular stdout, progress messages,
+    warnings not attached to a traceback) are ignored.
+    """
+    if not output:
+        return []
+    lines = output.splitlines()
+    messages: List[str] = []
+    current: List[str] = []
+    collecting = False
+
+    for line in lines:
+        if _TRACEBACK_START.search(line):
+            collecting = True
+            current.append(line.rstrip())
+            continue
+        if collecting:
+            current.append(line.rstrip())
+            if ERROR_LINE_PATTERN.match(line):
+                messages.append("\n".join(part for part in current if part.strip()))
+                current = []
+                collecting = False
+    # an unterminated traceback at the end of output still counts
+    if collecting and current:
+        messages.append("\n".join(part for part in current if part.strip()))
+
+    # stand-alone error lines that were never preceded by a traceback header
+    if not messages:
+        for line in lines:
+            if ERROR_LINE_PATTERN.match(line) and "Warning" not in line.split(":", 1)[0]:
+                messages.append(line.strip())
+    return messages
+
+
+def has_errors(output: str) -> bool:
+    """Whether the output contains any error message."""
+    return len(extract_error_messages(output)) > 0
+
+
+def final_error(output: str) -> Tuple[Optional[str], Optional[str]]:
+    """The (error type, message) of the last error in the output, if any."""
+    messages = extract_error_messages(output)
+    if not messages:
+        return None, None
+    for line in reversed(messages[-1].splitlines()):
+        match = ERROR_LINE_PATTERN.match(line)
+        if match:
+            return match.group(1), match.group(2).strip()
+    return None, None
+
+
+def classify_error(output: str) -> str:
+    """Coarse error category used by the evaluation harness.
+
+    Returns one of ``"none"``, ``"syntax"``, ``"hallucinated_attribute"``,
+    ``"name"``, ``"pipeline"`` or ``"other"``.
+    """
+    error_type, _message = final_error(output)
+    if error_type is None:
+        return "none"
+    if error_type in ("SyntaxError", "IndentationError"):
+        return "syntax"
+    if error_type == "AttributeError":
+        return "hallucinated_attribute"
+    if error_type == "NameError":
+        return "name"
+    if "Pipeline" in error_type or error_type in ("RuntimeError", "PVSimError"):
+        return "pipeline"
+    return "other"

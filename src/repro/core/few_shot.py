@@ -1,0 +1,211 @@
+"""Few-shot example library.
+
+ChatVis supplies the LLM with example ParaView code snippets alongside the
+generated step-by-step prompt; the examples cover "reading input data and
+configuring visualization filters like slices, contours, clips, glyphs, tubes
+and stream tracers ... managing render views ... and saving screenshots"
+(paper §III-B).  :class:`ExampleLibrary` stores one snippet per operation and
+selects the relevant subset for a plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.llm.nl_parser import VisualizationPlan, parse_request
+
+__all__ = ["Example", "ExampleLibrary", "FEW_SHOT_HEADER"]
+
+#: the header the simulated models key on to know the prompt is "assisted"
+FEW_SHOT_HEADER = "Example ParaView code snippets:"
+
+
+@dataclass(frozen=True)
+class Example:
+    """One named code snippet covering an operation."""
+
+    name: str
+    kinds: tuple
+    description: str
+    code: str
+
+
+_DEFAULT_EXAMPLES: List[Example] = [
+    Example(
+        name="read_vtk",
+        kinds=("read_file",),
+        description="Read a legacy VTK file",
+        code=(
+            "# Read a legacy .vtk file\n"
+            "reader = LegacyVTKReader(FileNames=['input.vtk'])"
+        ),
+    ),
+    Example(
+        name="read_exodus",
+        kinds=("read_file",),
+        description="Read an Exodus file",
+        code=(
+            "# Read an Exodus .ex2 file\n"
+            "reader = ExodusIIReader(FileName='input.ex2')"
+        ),
+    ),
+    Example(
+        name="contour",
+        kinds=("isosurface", "contour"),
+        description="Isosurface / contour of a scalar",
+        code=(
+            "contour = Contour(Input=reader)\n"
+            "contour.ContourBy = ['POINTS', 'scalar_name']\n"
+            "contour.Isosurfaces = [0.5]"
+        ),
+    ),
+    Example(
+        name="slice",
+        kinds=("slice",),
+        description="Slice with a plane",
+        code=(
+            "slice1 = Slice(Input=reader)\n"
+            "slice1.SliceType.Origin = [0.0, 0.0, 0.0]\n"
+            "slice1.SliceType.Normal = [1.0, 0.0, 0.0]"
+        ),
+    ),
+    Example(
+        name="clip",
+        kinds=("clip",),
+        description="Clip with a plane (Invert=1 keeps the -normal side)",
+        code=(
+            "clip1 = Clip(Input=reader)\n"
+            "clip1.ClipType.Origin = [0.0, 0.0, 0.0]\n"
+            "clip1.ClipType.Normal = [1.0, 0.0, 0.0]\n"
+            "clip1.Invert = 1"
+        ),
+    ),
+    Example(
+        name="delaunay",
+        kinds=("delaunay",),
+        description="3D Delaunay triangulation",
+        code="delaunay = Delaunay3D(Input=reader)",
+    ),
+    Example(
+        name="stream_tracer",
+        kinds=("streamlines",),
+        description="Streamlines seeded from a point cloud",
+        code=(
+            "streamTracer = StreamTracer(Input=reader, SeedType='Point Cloud')\n"
+            "streamTracer.Vectors = ['POINTS', 'velocity_name']\n"
+            "streamTracer.SeedType.NumberOfPoints = 100"
+        ),
+    ),
+    Example(
+        name="tube",
+        kinds=("tube",),
+        description="Tubes around streamlines",
+        code=(
+            "tube = Tube(Input=streamTracer)\n"
+            "tube.Radius = 0.05"
+        ),
+    ),
+    Example(
+        name="glyph",
+        kinds=("glyph",),
+        description="Oriented cone glyphs",
+        code=(
+            "glyph = Glyph(Input=streamTracer, GlyphType='Cone')\n"
+            "glyph.OrientationArray = ['POINTS', 'velocity_name']\n"
+            "glyph.ScaleFactor = 0.05"
+        ),
+    ),
+    Example(
+        name="volume",
+        kinds=("volume_render",),
+        description="Direct volume rendering with the default transfer function",
+        code=(
+            "display = Show(reader, renderView)\n"
+            "display.SetRepresentationType('Volume')\n"
+            "ColorBy(display, ('POINTS', 'scalar_name'))\n"
+            "display.RescaleTransferFunctionToDataRange(True)"
+        ),
+    ),
+    Example(
+        name="render_view",
+        kinds=("view_size", "screenshot", "view_direction"),
+        description="Render view setup, camera orientation and screenshots",
+        code=(
+            "renderView = GetActiveViewOrCreate('RenderView')\n"
+            "renderView.ViewSize = [1920, 1080]\n"
+            "renderView.Background = [1.0, 1.0, 1.0]\n"
+            "display = Show(contour, renderView)\n"
+            "ColorBy(display, ('POINTS', 'scalar_name'))\n"
+            "display.RescaleTransferFunctionToDataRange(True)\n"
+            "renderView.ResetCamera()                    # or renderView.ApplyIsometricView()\n"
+            "renderView.ResetActiveCameraToPositiveX()   # look down an axis\n"
+            "Render(renderView)\n"
+            "SaveScreenshot('screenshot.png', renderView, ImageResolution=[1920, 1080],\n"
+            "               OverrideColorPalette='WhiteBackground')"
+        ),
+    ),
+    Example(
+        name="solid_color",
+        kinds=("color",),
+        description="Color a representation with a solid color",
+        code=(
+            "ColorBy(display, None)\n"
+            "display.DiffuseColor = [1.0, 0.0, 0.0]\n"
+            "display.LineWidth = 3"
+        ),
+    ),
+    Example(
+        name="color_by_array",
+        kinds=("color_by",),
+        description="Color a representation by a data array",
+        code=(
+            "ColorBy(display, ('POINTS', 'array_name'))\n"
+            "display.RescaleTransferFunctionToDataRange(True)"
+        ),
+    ),
+    Example(
+        name="wireframe",
+        kinds=("wireframe",),
+        description="Wireframe representation",
+        code="display.SetRepresentationType('Wireframe')",
+    ),
+]
+
+
+class ExampleLibrary:
+    """Selects the example snippets relevant to a visualization plan."""
+
+    def __init__(self, examples: Optional[Sequence[Example]] = None) -> None:
+        self.examples: List[Example] = list(examples) if examples is not None else list(_DEFAULT_EXAMPLES)
+
+    def add(self, example: Example) -> None:
+        self.examples.append(example)
+
+    def names(self) -> List[str]:
+        return [example.name for example in self.examples]
+
+    def select(self, plan_or_request) -> List[Example]:
+        """Examples whose operation kinds appear in the plan (plus view setup)."""
+        if isinstance(plan_or_request, VisualizationPlan):
+            plan = plan_or_request
+        else:
+            plan = parse_request(str(plan_or_request))
+        kinds = set(plan.kinds())
+        kinds.update({"view_size", "screenshot"})  # always include view setup
+        selected = [ex for ex in self.examples if kinds.intersection(ex.kinds)]
+        # reading examples: keep only the one matching the file type mentioned
+        filenames = " ".join(plan.filenames()).lower()
+        if ".vtk" in filenames:
+            selected = [ex for ex in selected if ex.name != "read_exodus"]
+        elif filenames:
+            selected = [ex for ex in selected if ex.name != "read_vtk"]
+        return selected
+
+    def render(self, plan_or_request) -> str:
+        """The few-shot section of the generation prompt."""
+        selected = self.select(plan_or_request)
+        blocks = [FEW_SHOT_HEADER]
+        for example in selected:
+            blocks.append(f"# --- {example.description} ---\n{example.code}")
+        return "\n\n".join(blocks)

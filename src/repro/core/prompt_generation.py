@@ -1,0 +1,92 @@
+"""User input → step-by-step prompt generation (paper §III-A).
+
+ChatVis feeds the LLM the user's request together with a previously-crafted
+example (request, prompt) pair, and asks it to produce a step-by-step prompt
+that breaks the complex request into smaller sequential steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.llm.base import ChatMessage, LLMClient, system, user
+from repro.llm.nl_parser import parse_request
+
+__all__ = ["PromptGenerator", "EXAMPLE_REQUEST", "EXAMPLE_GENERATED_PROMPT", "REWRITE_INSTRUCTION"]
+
+#: instruction marker the simulated LLMs recognise as a prompt-rewriting request
+REWRITE_INSTRUCTION = "Rewrite the user request as step-by-step instructions"
+
+#: the example pair shown to the LLM (taken from the paper's isosurface task)
+EXAMPLE_REQUEST = (
+    "Please generate a ParaView Python script for the following operations. Read in the "
+    "file named example.vtk. Generate an isosurface of the variable density at value 0.1. "
+    "Save a screenshot of the result in the filename example-iso.png. The rendered view "
+    "and saved screenshot should be 800 x 600 pixels."
+)
+
+EXAMPLE_GENERATED_PROMPT = (
+    "Generate a Python script using ParaView for performing visualization tasks based on "
+    "the provided steps. This script utilizes ParaView to visualize an isosurface from the "
+    "example.vtk file. Operations include reading the file, generating an isosurface, "
+    "setting the view resolution, and saving a screenshot. Requirements step-by-step:\n"
+    "- Read the file example.vtk given the path.\n"
+    "- Generate an isosurface of the variable density at value 0.1.\n"
+    "- Configure the rendered view resolution to 800 x 600 pixels.\n"
+    "- Save a screenshot of the rendered view to example-iso.png."
+)
+
+
+class PromptGenerator:
+    """Turns a raw user request into a step-by-step generation prompt."""
+
+    def __init__(self, llm: Optional[LLMClient] = None, use_llm: bool = True) -> None:
+        self.llm = llm
+        self.use_llm = use_llm and llm is not None
+
+    # ------------------------------------------------------------------ #
+    def build_rewrite_messages(self, user_request: str) -> List[ChatMessage]:
+        """The chat messages asking the LLM to produce the step-by-step prompt."""
+        instructions = (
+            f"{REWRITE_INSTRUCTION} suitable for generating a ParaView Python script. "
+            "Identify the operations mentioned by the user and arrange them as small, "
+            "sequential steps (file reading, filter operations, rendering, camera setup, "
+            "screenshot capture).\n\n"
+            "Example user request:\n"
+            f"{EXAMPLE_REQUEST}\n\n"
+            "Example generated prompt:\n"
+            f"{EXAMPLE_GENERATED_PROMPT}\n\n"
+            "User request:\n"
+            f"{user_request}\n"
+        )
+        return [
+            system(
+                "You are an assistant that converts natural-language scientific "
+                "visualization requests into precise step-by-step prompts for ParaView "
+                "Python scripting."
+            ),
+            user(instructions),
+        ]
+
+    def generate(self, user_request: str) -> str:
+        """Produce the step-by-step prompt (via the LLM, or deterministically)."""
+        if self.use_llm:
+            response = self.llm.complete(self.build_rewrite_messages(user_request))
+            text = response.text.strip()
+            if text:
+                return text
+        return self.fallback(user_request)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def fallback(user_request: str) -> str:
+        """Deterministic rewrite used when no LLM is configured (or it fails)."""
+        plan = parse_request(user_request)
+        lines = [
+            "Generate a Python script using ParaView for performing visualization tasks "
+            "based on the provided steps.",
+            "Requirements step-by-step:",
+        ]
+        lines.extend(f"- {step}" for step in plan.steps())
+        return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Script generation with few-shot prompting (paper §III-B)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.few_shot import ExampleLibrary
+from repro.llm.base import ChatMessage, LLMClient, system, user
+from repro.llm.codegen import extract_code_block
+
+__all__ = ["ScriptGenerator"]
+
+_SYSTEM_PROMPT = (
+    "You are an expert in ParaView Python scripting. You write complete, runnable "
+    "paraview.simple scripts that follow the requested steps in order, use only "
+    "functions and properties that exist in the ParaView API, and always save the "
+    "requested screenshot."
+)
+
+
+class ScriptGenerator:
+    """Builds generation prompts and extracts scripts from LLM responses."""
+
+    def __init__(
+        self,
+        llm: LLMClient,
+        example_library: Optional[ExampleLibrary] = None,
+        use_few_shot: bool = True,
+    ) -> None:
+        self.llm = llm
+        self.examples = example_library or ExampleLibrary()
+        self.use_few_shot = use_few_shot
+
+    # ------------------------------------------------------------------ #
+    def build_generation_messages(
+        self,
+        user_request: str,
+        step_prompt: Optional[str] = None,
+    ) -> List[ChatMessage]:
+        """Messages for the initial script generation."""
+        sections: List[str] = []
+        if step_prompt:
+            sections.append("Step-by-step instructions:\n" + step_prompt)
+        sections.append("User request:\n" + user_request)
+        if self.use_few_shot:
+            sections.append(self.examples.render(user_request))
+        sections.append(
+            "Write the complete ParaView Python script implementing the steps above. "
+            "Use chain-of-thought reasoning to order the operations logically, then output "
+            "only the final script in a Python code block."
+        )
+        return [system(_SYSTEM_PROMPT), user("\n\n".join(sections))]
+
+    def generate(self, user_request: str, step_prompt: Optional[str] = None) -> str:
+        """Generate a script; returns the raw Python text (code fences removed)."""
+        messages = self.build_generation_messages(user_request, step_prompt)
+        response = self.llm.complete(messages)
+        return extract_code_block(response.text)

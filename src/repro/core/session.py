@@ -1,0 +1,86 @@
+"""Session records: what happened on each iteration of the ChatVis loop."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+__all__ = ["IterationRecord", "ChatVisResult"]
+
+
+@dataclass
+class IterationRecord:
+    """One generate/execute/extract cycle."""
+
+    index: int
+    script: str
+    success: bool
+    error_type: Optional[str] = None
+    error_messages: List[str] = field(default_factory=list)
+    screenshots: List[str] = field(default_factory=list)
+    stdout: str = ""
+    notes: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+@dataclass
+class ChatVisResult:
+    """The outcome of one ChatVis run."""
+
+    user_prompt: str
+    model: str
+    generated_prompt: str = ""
+    iterations: List[IterationRecord] = field(default_factory=list)
+    success: bool = False
+    final_script: str = ""
+    screenshots: List[str] = field(default_factory=list)
+    working_dir: str = ""
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def first_try_success(self) -> bool:
+        return bool(self.iterations) and self.iterations[0].success
+
+    def error_history(self) -> List[Optional[str]]:
+        """Error type per iteration (None for clean runs)."""
+        return [record.error_type for record in self.iterations]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "user_prompt": self.user_prompt,
+            "model": self.model,
+            "generated_prompt": self.generated_prompt,
+            "success": self.success,
+            "final_script": self.final_script,
+            "screenshots": self.screenshots,
+            "working_dir": self.working_dir,
+            "iterations": [record.to_dict() for record in self.iterations],
+        }
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the full session record as JSON."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2))
+        return path
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "ChatVisResult":
+        data = json.loads(Path(path).read_text())
+        iterations = [IterationRecord(**record) for record in data.pop("iterations", [])]
+        return ChatVisResult(iterations=iterations, **data)
+
+    def summary(self) -> str:
+        status = "succeeded" if self.success else "FAILED"
+        return (
+            f"ChatVis ({self.model}) {status} after {self.n_iterations} iteration(s); "
+            f"errors per iteration: {self.error_history()}"
+        )

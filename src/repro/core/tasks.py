@@ -1,0 +1,186 @@
+"""The five canonical visualization tasks of the paper's evaluation.
+
+Each task bundles the verbatim user prompt from the paper, the data files it
+needs (generated synthetically by :mod:`repro.data`), the expected screenshot
+filename and the requested resolution.  ``prepare_task_data`` materialises the
+input files into a working directory so that the generated scripts can read
+them by the names the prompts use (``ml-100.vtk``, ``can_points.ex2``,
+``disk.ex2``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+__all__ = ["VisualizationTask", "CANONICAL_TASKS", "get_task", "prepare_task_data", "task_names"]
+
+
+@dataclass(frozen=True)
+class VisualizationTask:
+    """One evaluation scenario."""
+
+    name: str
+    title: str
+    user_prompt: str
+    data_files: Tuple[str, ...]
+    screenshot: str
+    resolution: Tuple[int, int] = (1920, 1080)
+    #: qualitative complexity (number of chained pipeline stages)
+    complexity: int = 1
+    figure: str = ""
+
+    def describe(self) -> str:
+        return f"{self.title} ({self.name}): {len(self.data_files)} input file(s), output {self.screenshot}"
+
+
+_ISO_PROMPT = (
+    "Please generate a ParaView Python script for the following operations. "
+    "Read in the file named ml-100.vtk. Generate an isosurface of the variable var0 "
+    "at value 0.5. Save a screenshot of the result in the filename ml-iso-screenshot.png. "
+    "The rendered view and saved screenshot should be 1920 x 1080 pixels."
+)
+
+_SLICE_PROMPT = (
+    "Please generate a ParaView Python script for the following operations. "
+    "Read in the file named 'ml-100.vtk'. Slice the volume in a plane parallel to the "
+    "y-z plane at x=0. Take a contour through the slice at the value 0.5. Color the "
+    "contour red. Rotate the view to look at the +x direction. Save a screenshot of the "
+    "result in the filename 'ml-slice-iso-screenshot.png'. The rendered view and saved "
+    "screenshot should be 1920 x 1080 pixels."
+)
+
+_VOLUME_PROMPT = (
+    "Please generate a ParaView Python script for the following operations. "
+    "Read in the file named 'ml-100.vtk'. Generate a volume rendering using the default "
+    "transfer function. Rotate the view to an isometric direction. Save a screenshot of "
+    "the result in the filename 'ml-dvr-screenshot.png'. The rendered view and saved "
+    "screenshot should be 1920 x 1080 pixels."
+)
+
+_DELAUNAY_PROMPT = (
+    "Please generate a ParaView Python script for the following operations. "
+    "Read in the file named 'can_points.ex2'. Generate a 3d Delaunay triangulation of "
+    "the dataset. Clip the data with a y-z plane at x=0, keeping the -x half of the data "
+    "and removing the +x half. Render the image as a wireframe. View the result in an "
+    "isometric view. Save a screenshot of the result in the filename "
+    "'points-surf-clip-screenshot.png'. The rendered view and saved screenshot should be "
+    "1920 x 1080 pixels."
+)
+
+_STREAMLINE_PROMPT = (
+    "Please generate a ParaView Python script for the following operations. "
+    "Read in the file named 'disk.ex2'. Trace streamlines of the V data array seeded "
+    "from a default point cloud. Render the streamlines with tubes. Add cone glyphs to "
+    "the streamlines. Color the streamlines and glyphs by the Temp data array. View the "
+    "result in the +X direction. Save a screenshot of the result in the filename "
+    "'stream-glyph-screenshot.png'. The rendered view and saved screenshot should be "
+    "1920 x 1080 pixels."
+)
+
+
+CANONICAL_TASKS: Dict[str, VisualizationTask] = {
+    "isosurface": VisualizationTask(
+        name="isosurface",
+        title="Isosurfacing",
+        user_prompt=_ISO_PROMPT,
+        data_files=("ml-100.vtk",),
+        screenshot="ml-iso-screenshot.png",
+        complexity=1,
+        figure="Figure 2",
+    ),
+    "slice_contour": VisualizationTask(
+        name="slice_contour",
+        title="Slicing then contouring",
+        user_prompt=_SLICE_PROMPT,
+        data_files=("ml-100.vtk",),
+        screenshot="ml-slice-iso-screenshot.png",
+        complexity=2,
+        figure="Figure 3",
+    ),
+    "volume_render": VisualizationTask(
+        name="volume_render",
+        title="Volume rendering",
+        user_prompt=_VOLUME_PROMPT,
+        data_files=("ml-100.vtk",),
+        screenshot="ml-dvr-screenshot.png",
+        complexity=1,
+        figure="Figure 4",
+    ),
+    "delaunay": VisualizationTask(
+        name="delaunay",
+        title="Delaunay triangulation",
+        user_prompt=_DELAUNAY_PROMPT,
+        data_files=("can_points.ex2",),
+        screenshot="points-surf-clip-screenshot.png",
+        complexity=3,
+        figure="Figure 5",
+    ),
+    "streamlines": VisualizationTask(
+        name="streamlines",
+        title="Streamline tracing",
+        user_prompt=_STREAMLINE_PROMPT,
+        data_files=("disk.ex2",),
+        screenshot="stream-glyph-screenshot.png",
+        complexity=4,
+        figure="Figure 6",
+    ),
+}
+
+
+def task_names() -> List[str]:
+    """Task names in the paper's order."""
+    return list(CANONICAL_TASKS.keys())
+
+
+def get_task(name: str) -> VisualizationTask:
+    if name not in CANONICAL_TASKS:
+        raise KeyError(f"unknown task {name!r}; available: {task_names()}")
+    return CANONICAL_TASKS[name]
+
+
+# --------------------------------------------------------------------------- #
+# data preparation
+# --------------------------------------------------------------------------- #
+#: per-file generator, keyed by filename; ``small`` controls a low-resolution
+#: variant used by the test suite and the benchmark harness.
+def _generators(small: bool) -> Dict[str, Callable[[Path], Path]]:
+    from repro.data import write_can_points, write_disk_flow, write_marschner_lobb
+
+    ml_resolution = 24 if small else 64
+    can_points = 150 if small else 600
+    disk_res = (6, 16, 6) if small else (8, 28, 8)
+    return {
+        "ml-100.vtk": lambda path: write_marschner_lobb(path, resolution=ml_resolution),
+        "can_points.ex2": lambda path: write_can_points(path, n_points=can_points),
+        "disk.ex2": lambda path: write_disk_flow(path, *disk_res),
+    }
+
+
+def prepare_task_data(
+    task: Union[str, VisualizationTask],
+    working_dir: Union[str, Path],
+    small: bool = True,
+    overwrite: bool = False,
+) -> List[Path]:
+    """Generate the input files a task needs inside ``working_dir``.
+
+    Returns the list of created (or already-present) file paths.
+    """
+    if isinstance(task, str):
+        task = get_task(task)
+    working_dir = Path(working_dir)
+    working_dir.mkdir(parents=True, exist_ok=True)
+    generators = _generators(small)
+    created: List[Path] = []
+    for filename in task.data_files:
+        target = working_dir / filename
+        if target.exists() and not overwrite:
+            created.append(target)
+            continue
+        generator = generators.get(filename)
+        if generator is None:
+            raise KeyError(f"no generator registered for data file {filename!r}")
+        created.append(generator(target))
+    return created

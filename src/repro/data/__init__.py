@@ -1,0 +1,36 @@
+"""Synthetic datasets standing in for the paper's sample data.
+
+The paper uses three inputs:
+
+* ``ml-100.vtk`` — the Marschner–Lobb benchmark volume (:mod:`marschner_lobb`),
+* ``can_points.ex2`` — a point cloud extracted from ParaView's "can" sample
+  (:mod:`can_points`), and
+* ``disk.ex2`` — the "disk_out_ref" flow dataset with velocity ``V`` and
+  temperature ``Temp`` (:mod:`disk_flow`).
+
+Each generator can return the in-memory dataset or write it to disk in the
+format the corresponding ParaView reader expects, so the natural-language
+prompts from the paper can be used verbatim.
+"""
+
+from repro.data.can_points import generate_can_points, write_can_points
+from repro.data.disk_flow import generate_disk_flow, write_disk_flow
+from repro.data.generators import (
+    generate_random_point_cloud,
+    generate_structured_scalar_field,
+    generate_vortex_field,
+)
+from repro.data.marschner_lobb import generate_marschner_lobb, marschner_lobb_function, write_marschner_lobb
+
+__all__ = [
+    "generate_can_points",
+    "generate_disk_flow",
+    "generate_marschner_lobb",
+    "generate_random_point_cloud",
+    "generate_structured_scalar_field",
+    "generate_vortex_field",
+    "marschner_lobb_function",
+    "write_can_points",
+    "write_disk_flow",
+    "write_marschner_lobb",
+]

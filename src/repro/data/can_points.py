@@ -1,0 +1,106 @@
+"""A "can"-like point cloud (stand-in for ParaView's ``can_points.ex2``).
+
+The paper extracts a point cloud from ParaView's crushed-can sample data and
+Delaunay-triangulates it.  We generate a geometrically similar object: points
+sampled on the surface of a cylinder whose wall is dented on one side (the
+"crush"), plus cap points, with a small amount of jitter so the Delaunay
+triangulation is non-degenerate.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.datamodel import CellType, UnstructuredGrid
+from repro.io.exodus_like import write_exodus
+
+__all__ = ["generate_can_points", "write_can_points"]
+
+
+def generate_can_points(
+    n_points: int = 800,
+    radius: float = 1.0,
+    height: float = 2.5,
+    dent_depth: float = 0.35,
+    jitter: float = 0.01,
+    seed: int = 7,
+    displacement_name: str = "DISPL",
+) -> UnstructuredGrid:
+    """Generate the can-like point cloud.
+
+    Parameters
+    ----------
+    n_points:
+        Total number of points (wall + caps).
+    dent_depth:
+        Fraction of the radius removed on the dented (+y) side, largest at
+        mid-height, tapering to zero at the caps — a crude model of the
+        crushed can.
+    jitter:
+        Uniform positional noise amplitude, as a fraction of the radius.
+    seed:
+        RNG seed (the dataset is deterministic for a given seed).
+
+    Returns
+    -------
+    UnstructuredGrid
+        Vertex cells only, with a ``DISPL`` point vector (the dent
+        displacement) and a ``PointId`` scalar, mimicking the nodal variables
+        an Exodus file carries.
+    """
+    if n_points < 20:
+        raise ValueError("n_points must be at least 20")
+    rng = np.random.default_rng(seed)
+
+    n_wall = int(n_points * 0.7)
+    n_cap = (n_points - n_wall) // 2
+    n_cap_top = n_points - n_wall - n_cap
+
+    # wall points
+    theta = rng.uniform(0.0, 2.0 * np.pi, n_wall)
+    z = rng.uniform(0.0, height, n_wall)
+    dent = dent_depth * np.clip(np.sin(np.pi * z / height), 0.0, 1.0)
+    dent *= np.clip(np.sin(theta), 0.0, 1.0)  # dent only on the +y side
+    r_wall = radius * (1.0 - dent)
+    wall = np.column_stack([r_wall * np.cos(theta), r_wall * np.sin(theta), z])
+
+    # cap points (uniform in the disk)
+    def cap(n: int, z_value: float) -> np.ndarray:
+        rr = radius * np.sqrt(rng.uniform(0.0, 1.0, n))
+        tt = rng.uniform(0.0, 2.0 * np.pi, n)
+        return np.column_stack([rr * np.cos(tt), rr * np.sin(tt), np.full(n, z_value)])
+
+    bottom = cap(n_cap, 0.0)
+    top = cap(n_cap_top, height)
+
+    points = np.vstack([wall, bottom, top])
+    points += jitter * radius * rng.uniform(-1.0, 1.0, points.shape)
+
+    grid = UnstructuredGrid(points)
+    for pid in range(points.shape[0]):
+        grid.add_cell(CellType.VERTEX, (pid,))
+
+    # displacement field: vector from the undented cylinder surface
+    undented = points.copy()
+    radial = np.linalg.norm(points[:, :2], axis=1)
+    radial[radial == 0] = 1.0
+    scale = radius / radial
+    undented[:, 0] *= scale
+    undented[:, 1] *= scale
+    displacement = points - undented
+    grid.add_point_array(displacement_name, displacement)
+    grid.add_point_array("PointId", np.arange(points.shape[0], dtype=np.float64))
+    return grid
+
+
+def write_can_points(
+    path: Union[str, Path],
+    n_points: int = 800,
+    seed: int = 7,
+) -> Path:
+    """Generate and write the can point cloud to an exodus-like ``.ex2`` file."""
+    grid = generate_can_points(n_points=n_points, seed=seed)
+    return write_exodus(path, grid, title="can-like point cloud")

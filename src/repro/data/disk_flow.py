@@ -1,0 +1,122 @@
+"""A swirling-flow disk dataset (stand-in for ParaView's ``disk_out_ref.ex2``).
+
+The real dataset is a heated rotating-disk CFD solution with nodal variables
+including the velocity vector ``V`` and temperature ``Temp``.  We generate an
+analytic analogue on a cylindrical annulus:
+
+* the velocity field is a solid-body swirl around the z axis combined with an
+  axial updraft near the axis and a radial outflow near the top — enough
+  structure for streamlines to curl visibly, and
+* the temperature decays radially and axially away from a hot core.
+
+The mesh is a structured cylindrical lattice converted to hexahedral cells so
+that the Exodus-style reader returns a true unstructured grid, exercising the
+same code paths as the paper (point-cloud seeds, cell location, probing).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.datamodel import CellType, UnstructuredGrid
+from repro.io.exodus_like import write_exodus
+
+__all__ = ["generate_disk_flow", "disk_velocity", "disk_temperature", "write_disk_flow"]
+
+
+def disk_velocity(points: np.ndarray, swirl: float = 1.0, updraft: float = 0.6) -> np.ndarray:
+    """Analytic velocity field ``V`` evaluated at ``(n, 3)`` points."""
+    pts = np.asarray(points, dtype=np.float64).reshape(-1, 3)
+    x, y, z = pts[:, 0], pts[:, 1], pts[:, 2]
+    r = np.sqrt(x * x + y * y)
+    r_safe = np.where(r < 1e-9, 1e-9, r)
+    # swirl: tangential component ~ r (solid body) capped at large radius
+    v_theta = swirl * np.minimum(r, 1.5)
+    vx = -v_theta * y / r_safe
+    vy = v_theta * x / r_safe
+    # axial updraft strongest near the axis, decaying with radius
+    vz = updraft * np.exp(-(r ** 2)) * (1.0 - 0.3 * z)
+    # gentle radial outflow near the top of the annulus
+    radial = 0.25 * np.clip(z, 0.0, None) * np.exp(-((r - 1.0) ** 2))
+    vx += radial * x / r_safe
+    vy += radial * y / r_safe
+    return np.column_stack([vx, vy, vz])
+
+
+def disk_temperature(points: np.ndarray, core_temperature: float = 800.0, ambient: float = 300.0) -> np.ndarray:
+    """Analytic temperature field ``Temp`` evaluated at ``(n, 3)`` points."""
+    pts = np.asarray(points, dtype=np.float64).reshape(-1, 3)
+    x, y, z = pts[:, 0], pts[:, 1], pts[:, 2]
+    r = np.sqrt(x * x + y * y)
+    decay = np.exp(-0.8 * r ** 2 - 0.5 * np.abs(z))
+    return ambient + (core_temperature - ambient) * decay
+
+
+def generate_disk_flow(
+    radial_resolution: int = 8,
+    angular_resolution: int = 24,
+    axial_resolution: int = 8,
+    inner_radius: float = 0.25,
+    outer_radius: float = 2.0,
+    height: float = 2.0,
+) -> UnstructuredGrid:
+    """Generate the swirling-flow annulus as a hexahedral unstructured grid.
+
+    The grid carries two nodal variables: the 3-component ``V`` velocity and
+    the scalar ``Temp`` temperature, matching the names used by the paper's
+    streamline-tracing prompt.
+    """
+    if radial_resolution < 2 or angular_resolution < 3 or axial_resolution < 2:
+        raise ValueError("resolutions too small to build a hexahedral annulus")
+
+    radii = np.linspace(inner_radius, outer_radius, radial_resolution)
+    angles = np.linspace(0.0, 2.0 * np.pi, angular_resolution, endpoint=False)
+    heights = np.linspace(-height / 2.0, height / 2.0, axial_resolution)
+
+    # point lattice: index (k axial, j angular, i radial)
+    points = np.zeros((axial_resolution, angular_resolution, radial_resolution, 3))
+    for k, z in enumerate(heights):
+        for j, theta in enumerate(angles):
+            for i, r in enumerate(radii):
+                points[k, j, i] = (r * np.cos(theta), r * np.sin(theta), z)
+    flat_points = points.reshape(-1, 3)
+
+    def pid(k: int, j: int, i: int) -> int:
+        return (k * angular_resolution + (j % angular_resolution)) * radial_resolution + i
+
+    grid = UnstructuredGrid(flat_points)
+    for k in range(axial_resolution - 1):
+        for j in range(angular_resolution):  # wraps around
+            for i in range(radial_resolution - 1):
+                n0 = pid(k, j, i)
+                n1 = pid(k, j, i + 1)
+                n2 = pid(k, j + 1, i + 1)
+                n3 = pid(k, j + 1, i)
+                n4 = pid(k + 1, j, i)
+                n5 = pid(k + 1, j, i + 1)
+                n6 = pid(k + 1, j + 1, i + 1)
+                n7 = pid(k + 1, j + 1, i)
+                grid.add_cell(CellType.HEXAHEDRON, (n0, n1, n2, n3, n4, n5, n6, n7))
+
+    grid.add_point_array("V", disk_velocity(flat_points))
+    grid.add_point_array("Temp", disk_temperature(flat_points))
+    grid.add_point_array("Pres", 101.0 - 5.0 * np.linalg.norm(flat_points, axis=1))
+    return grid
+
+
+def write_disk_flow(
+    path: Union[str, Path],
+    radial_resolution: int = 8,
+    angular_resolution: int = 24,
+    axial_resolution: int = 8,
+) -> Path:
+    """Generate and write the disk flow dataset to an exodus-like ``.ex2`` file."""
+    grid = generate_disk_flow(
+        radial_resolution=radial_resolution,
+        angular_resolution=angular_resolution,
+        axial_resolution=axial_resolution,
+    )
+    return write_exodus(path, grid, title="swirling disk flow")

@@ -1,0 +1,82 @@
+"""General-purpose synthetic field generators used by tests and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datamodel import CellType, ImageData, UnstructuredGrid
+
+__all__ = [
+    "generate_structured_scalar_field",
+    "generate_vortex_field",
+    "generate_random_point_cloud",
+]
+
+
+def generate_structured_scalar_field(
+    resolution: int = 32,
+    function: Optional[Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]] = None,
+    array_name: str = "scalar",
+    extent: Tuple[float, float] = (-1.0, 1.0),
+) -> ImageData:
+    """Sample an arbitrary scalar function on a cube grid.
+
+    The default function is a smooth radial field ``1 - |p|``, whose 0.5
+    isosurface is a sphere — handy for verifying contouring geometry.
+    """
+    if function is None:
+        function = lambda x, y, z: 1.0 - np.sqrt(x * x + y * y + z * z)  # noqa: E731
+    lo, hi = extent
+    spacing = (hi - lo) / (resolution - 1)
+    image = ImageData(
+        (resolution, resolution, resolution),
+        origin=(lo, lo, lo),
+        spacing=(spacing, spacing, spacing),
+    )
+    coords = np.linspace(lo, hi, resolution)
+    zz, yy, xx = np.meshgrid(coords, coords, coords, indexing="ij")
+    image.set_scalar_volume(array_name, np.asarray(function(xx, yy, zz), dtype=np.float64))
+    return image
+
+
+def generate_vortex_field(
+    resolution: int = 16,
+    array_name: str = "velocity",
+    extent: Tuple[float, float] = (-1.0, 1.0),
+) -> ImageData:
+    """A simple vortex (rotation about z) vector field on a cube grid."""
+    lo, hi = extent
+    spacing = (hi - lo) / (resolution - 1)
+    image = ImageData(
+        (resolution, resolution, resolution),
+        origin=(lo, lo, lo),
+        spacing=(spacing, spacing, spacing),
+    )
+    coords = np.linspace(lo, hi, resolution)
+    zz, yy, xx = np.meshgrid(coords, coords, coords, indexing="ij")
+    vx = -yy
+    vy = xx
+    vz = 0.2 * np.ones_like(xx)
+    volume = np.stack([vx, vy, vz], axis=-1)
+    image.set_vector_volume(array_name, volume)
+    # a scalar to color by
+    image.set_scalar_volume("speed", np.sqrt(vx * vx + vy * vy + vz * vz))
+    return image
+
+
+def generate_random_point_cloud(
+    n_points: int = 200,
+    seed: int = 0,
+    scale: float = 1.0,
+    scalar_name: str = "value",
+) -> UnstructuredGrid:
+    """Uniform random points in a cube, as vertex cells with one scalar."""
+    rng = np.random.default_rng(seed)
+    points = scale * rng.uniform(-1.0, 1.0, size=(n_points, 3))
+    grid = UnstructuredGrid(points)
+    for pid in range(n_points):
+        grid.add_cell(CellType.VERTEX, (pid,))
+    grid.add_point_array(scalar_name, np.linalg.norm(points, axis=1))
+    return grid

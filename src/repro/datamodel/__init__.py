@@ -1,0 +1,43 @@
+"""VTK-like data model for the ParaView-compatible substrate.
+
+This package implements the small family of dataset types that the
+visualization filters and the :mod:`repro.pvsim` proxy layer operate on:
+
+* :class:`~repro.datamodel.arrays.DataArray` — a named, typed array of
+  point- or cell-associated values.
+* :class:`~repro.datamodel.arrays.FieldData` — an ordered collection of
+  :class:`DataArray` objects keyed by name (the equivalent of VTK's
+  ``vtkPointData`` / ``vtkCellData``).
+* :class:`~repro.datamodel.image_data.ImageData` — a regular structured grid
+  (VTK "structured points"), the type produced by volumetric readers.
+* :class:`~repro.datamodel.polydata.PolyData` — points plus vertices, lines
+  and triangles; the type produced by most geometry filters.
+* :class:`~repro.datamodel.unstructured.UnstructuredGrid` — points plus an
+  explicit cell list of mixed cell types (tetrahedra, triangles, ...).
+
+The data model is intentionally NumPy-first: every array is stored as an
+``np.ndarray`` and filters operate on whole arrays rather than per-point
+Python loops wherever possible.
+"""
+
+from repro.datamodel.arrays import DataArray, FieldData, AssociationError
+from repro.datamodel.bounds import Bounds
+from repro.datamodel.cells import CellType, CELL_TYPE_NPOINTS, cell_type_name
+from repro.datamodel.dataset import Dataset
+from repro.datamodel.image_data import ImageData
+from repro.datamodel.polydata import PolyData
+from repro.datamodel.unstructured import UnstructuredGrid
+
+__all__ = [
+    "AssociationError",
+    "Bounds",
+    "CellType",
+    "CELL_TYPE_NPOINTS",
+    "cell_type_name",
+    "DataArray",
+    "Dataset",
+    "FieldData",
+    "ImageData",
+    "PolyData",
+    "UnstructuredGrid",
+]

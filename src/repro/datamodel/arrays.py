@@ -1,0 +1,307 @@
+"""Named data arrays and attribute containers.
+
+These are the equivalents of ``vtkDataArray`` and ``vtkPointData`` /
+``vtkCellData``.  A :class:`DataArray` is a thin wrapper around a NumPy array
+that remembers its name and number of components; a :class:`FieldData` is an
+ordered, name-keyed collection of arrays that all share the same tuple count
+(one tuple per point or per cell of the owning dataset).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["AssociationError", "DataArray", "FieldData"]
+
+
+class AssociationError(ValueError):
+    """Raised when an array with the wrong tuple count is added to a dataset."""
+
+
+def _as_2d(values: np.ndarray) -> np.ndarray:
+    """Return ``values`` as a 2-d (n_tuples, n_components) float array view."""
+    arr = np.asarray(values)
+    if arr.ndim == 1:
+        return arr.reshape(-1, 1)
+    if arr.ndim == 2:
+        return arr
+    raise ValueError(f"DataArray values must be 1-d or 2-d, got ndim={arr.ndim}")
+
+
+class DataArray:
+    """A named array of per-point or per-cell values.
+
+    Parameters
+    ----------
+    name:
+        Array name, e.g. ``"var0"``, ``"V"`` or ``"Temp"``.
+    values:
+        Array of shape ``(n,)`` for scalars or ``(n, c)`` for ``c``-component
+        data (e.g. ``c == 3`` for vectors).
+    dtype:
+        Optional dtype override; defaults to ``float64`` for floating input
+        and preserves integer dtypes otherwise.
+    """
+
+    __slots__ = ("name", "_values")
+
+    def __init__(self, name: str, values, dtype=None) -> None:
+        if not isinstance(name, str) or not name:
+            raise ValueError("DataArray name must be a non-empty string")
+        arr = np.asarray(values, dtype=dtype)
+        if arr.dtype.kind not in "fiub":
+            raise TypeError(f"unsupported dtype {arr.dtype!r} for DataArray {name!r}")
+        if dtype is None and arr.dtype.kind == "f":
+            arr = arr.astype(np.float64, copy=False)
+        self.name = name
+        self._values = _as_2d(arr)
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying ``(n_tuples, n_components)`` array."""
+        return self._values
+
+    @property
+    def n_tuples(self) -> int:
+        return int(self._values.shape[0])
+
+    @property
+    def n_components(self) -> int:
+        return int(self._values.shape[1])
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._values.dtype
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.n_components == 1
+
+    @property
+    def is_vector(self) -> bool:
+        return self.n_components == 3
+
+    # ------------------------------------------------------------------ #
+    # views & statistics
+    # ------------------------------------------------------------------ #
+    def as_scalar(self) -> np.ndarray:
+        """Return a 1-d view for single-component arrays.
+
+        Multi-component arrays are reduced to their Euclidean magnitude, which
+        mirrors ParaView's "Magnitude" coloring mode for vectors.
+        """
+        if self.is_scalar:
+            return self._values[:, 0]
+        return np.linalg.norm(self._values, axis=1)
+
+    def component(self, index: int) -> np.ndarray:
+        """Return the 1-d array of a single component."""
+        if not 0 <= index < self.n_components:
+            raise IndexError(
+                f"component {index} out of range for array {self.name!r} "
+                f"with {self.n_components} components"
+            )
+        return self._values[:, index]
+
+    def range(self, component: Optional[int] = None) -> Tuple[float, float]:
+        """Return ``(min, max)`` of a component or of the magnitude."""
+        if self.n_tuples == 0:
+            return (0.0, 0.0)
+        if component is None:
+            data = self.as_scalar()
+        else:
+            data = self.component(component)
+        return (float(np.min(data)), float(np.max(data)))
+
+    def copy(self, name: Optional[str] = None) -> "DataArray":
+        return DataArray(name or self.name, self._values.copy())
+
+    def take(self, indices) -> "DataArray":
+        """Return a new array restricted to ``indices`` (tuple selection)."""
+        idx = np.asarray(indices)
+        return DataArray(self.name, self._values[idx])
+
+    def interpolate(self, indices_a, indices_b, t) -> "DataArray":
+        """Linear interpolation between tuple pairs.
+
+        ``result[i] = (1 - t[i]) * values[indices_a[i]] + t[i] * values[indices_b[i]]``
+
+        Used by contouring/slicing filters that create new points on edges.
+        """
+        a = self._values[np.asarray(indices_a)]
+        b = self._values[np.asarray(indices_b)]
+        tt = np.asarray(t, dtype=np.float64).reshape(-1, 1)
+        return DataArray(self.name, (1.0 - tt) * a + tt * b)
+
+    # ------------------------------------------------------------------ #
+    # dunder helpers
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self.n_tuples
+
+    def __array__(self, dtype=None) -> np.ndarray:
+        if dtype is None:
+            return self._values
+        return self._values.astype(dtype)
+
+    def __getitem__(self, item):
+        return self._values[item]
+
+    def __eq__(self, other) -> bool:  # pragma: no cover - trivial
+        if not isinstance(other, DataArray):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self._values.shape == other._values.shape
+            and bool(np.allclose(self._values, other._values))
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DataArray(name={self.name!r}, n_tuples={self.n_tuples}, "
+            f"n_components={self.n_components}, dtype={self.dtype})"
+        )
+
+
+class FieldData:
+    """An ordered mapping of array name → :class:`DataArray`.
+
+    All arrays stored in one :class:`FieldData` must have the same number of
+    tuples, enforced against the expected count supplied by the owning
+    dataset (``expected_tuples``), when given.
+    """
+
+    def __init__(self, expected_tuples: Optional[int] = None) -> None:
+        self._arrays: Dict[str, DataArray] = {}
+        self._expected = expected_tuples
+
+    # ------------------------------------------------------------------ #
+    # container protocol
+    # ------------------------------------------------------------------ #
+    def __contains__(self, name: str) -> bool:
+        return name in self._arrays
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._arrays)
+
+    def __len__(self) -> int:
+        return len(self._arrays)
+
+    def __getitem__(self, name: str) -> DataArray:
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise KeyError(
+                f"no data array named {name!r}; available: {sorted(self._arrays)}"
+            ) from None
+
+    def get(self, name: str, default=None):
+        return self._arrays.get(name, default)
+
+    def keys(self) -> List[str]:
+        return list(self._arrays.keys())
+
+    def names(self) -> List[str]:
+        return self.keys()
+
+    def arrays(self) -> List[DataArray]:
+        return list(self._arrays.values())
+
+    def items(self):
+        return self._arrays.items()
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    @property
+    def expected_tuples(self) -> Optional[int]:
+        return self._expected
+
+    def set_expected_tuples(self, n: Optional[int]) -> None:
+        """Set/validate the tuple count all arrays must match."""
+        if n is not None:
+            for arr in self._arrays.values():
+                if arr.n_tuples != n:
+                    raise AssociationError(
+                        f"array {arr.name!r} has {arr.n_tuples} tuples, expected {n}"
+                    )
+        self._expected = n
+
+    def add(self, array: DataArray) -> DataArray:
+        """Add (or replace) an array."""
+        if not isinstance(array, DataArray):
+            raise TypeError("FieldData.add expects a DataArray")
+        if self._expected is not None and array.n_tuples != self._expected:
+            raise AssociationError(
+                f"array {array.name!r} has {array.n_tuples} tuples, "
+                f"expected {self._expected}"
+            )
+        self._arrays[array.name] = array
+        return array
+
+    def add_array(self, name: str, values) -> DataArray:
+        """Convenience: wrap raw values into a :class:`DataArray` and add it."""
+        return self.add(DataArray(name, values))
+
+    def remove(self, name: str) -> None:
+        self._arrays.pop(name, None)
+
+    def clear(self) -> None:
+        self._arrays.clear()
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def first_scalar(self) -> Optional[DataArray]:
+        """Return the first single-component array, if any."""
+        for arr in self._arrays.values():
+            if arr.is_scalar:
+                return arr
+        return None
+
+    def first_vector(self) -> Optional[DataArray]:
+        """Return the first 3-component array, if any."""
+        for arr in self._arrays.values():
+            if arr.is_vector:
+                return arr
+        return None
+
+    def scalar_names(self) -> List[str]:
+        return [a.name for a in self._arrays.values() if a.is_scalar]
+
+    def vector_names(self) -> List[str]:
+        return [a.name for a in self._arrays.values() if a.is_vector]
+
+    # ------------------------------------------------------------------ #
+    # bulk transforms used by filters
+    # ------------------------------------------------------------------ #
+    def take(self, indices) -> "FieldData":
+        """Return a new FieldData with each array restricted to ``indices``."""
+        out = FieldData()
+        for arr in self._arrays.values():
+            out.add(arr.take(indices))
+        n = len(np.asarray(indices))
+        out.set_expected_tuples(n)
+        return out
+
+    def interpolate(self, indices_a, indices_b, t) -> "FieldData":
+        """Interpolate every array on edge (a, b) pairs with weights ``t``."""
+        out = FieldData()
+        for arr in self._arrays.values():
+            out.add(arr.interpolate(indices_a, indices_b, t))
+        out.set_expected_tuples(len(np.asarray(t)))
+        return out
+
+    def copy(self) -> "FieldData":
+        out = FieldData(self._expected)
+        for arr in self._arrays.values():
+            out.add(arr.copy())
+        return out
+
+    def __repr__(self) -> str:
+        return f"FieldData({sorted(self._arrays)})"

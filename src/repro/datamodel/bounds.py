@@ -1,0 +1,159 @@
+"""Axis-aligned bounding boxes.
+
+ParaView exposes dataset bounds as the 6-tuple
+``(xmin, xmax, ymin, ymax, zmin, zmax)``; :class:`Bounds` keeps that
+convention while adding the handful of geometric helpers the camera and the
+filters need (center, diagonal, union, containment, padding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+import numpy as np
+
+__all__ = ["Bounds"]
+
+
+@dataclass(frozen=True)
+class Bounds:
+    """An axis-aligned bounding box in 3-d."""
+
+    xmin: float = 0.0
+    xmax: float = -1.0
+    ymin: float = 0.0
+    ymax: float = -1.0
+    zmin: float = 0.0
+    zmax: float = -1.0
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def empty() -> "Bounds":
+        """An explicitly-empty bounds (max < min on every axis)."""
+        return Bounds(np.inf, -np.inf, np.inf, -np.inf, np.inf, -np.inf)
+
+    @staticmethod
+    def from_points(points) -> "Bounds":
+        """Bounds of an ``(n, 3)`` point array (empty bounds for ``n == 0``)."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.size == 0:
+            return Bounds.empty()
+        pts = pts.reshape(-1, 3)
+        mins = pts.min(axis=0)
+        maxs = pts.max(axis=0)
+        return Bounds(mins[0], maxs[0], mins[1], maxs[1], mins[2], maxs[2])
+
+    @staticmethod
+    def from_tuple(values: Iterable[float]) -> "Bounds":
+        vals = list(values)
+        if len(vals) != 6:
+            raise ValueError("Bounds.from_tuple expects 6 values")
+        return Bounds(*[float(v) for v in vals])
+
+    # ------------------------------------------------------------------ #
+    # predicates & metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def is_empty(self) -> bool:
+        return self.xmax < self.xmin or self.ymax < self.ymin or self.zmax < self.zmin
+
+    @property
+    def center(self) -> Tuple[float, float, float]:
+        if self.is_empty:
+            return (0.0, 0.0, 0.0)
+        return (
+            0.5 * (self.xmin + self.xmax),
+            0.5 * (self.ymin + self.ymax),
+            0.5 * (self.zmin + self.zmax),
+        )
+
+    @property
+    def lengths(self) -> Tuple[float, float, float]:
+        if self.is_empty:
+            return (0.0, 0.0, 0.0)
+        return (self.xmax - self.xmin, self.ymax - self.ymin, self.zmax - self.zmin)
+
+    @property
+    def diagonal(self) -> float:
+        dx, dy, dz = self.lengths
+        return float(np.sqrt(dx * dx + dy * dy + dz * dz))
+
+    @property
+    def max_length(self) -> float:
+        return max(self.lengths)
+
+    def contains(self, point, tol: float = 0.0) -> bool:
+        """Whether ``point`` lies inside (with optional tolerance ``tol``)."""
+        if self.is_empty:
+            return False
+        x, y, z = float(point[0]), float(point[1]), float(point[2])
+        return (
+            self.xmin - tol <= x <= self.xmax + tol
+            and self.ymin - tol <= y <= self.ymax + tol
+            and self.zmin - tol <= z <= self.zmax + tol
+        )
+
+    def contains_points(self, points, tol: float = 0.0) -> np.ndarray:
+        """Vectorized containment test for an ``(n, 3)`` array."""
+        pts = np.asarray(points, dtype=np.float64).reshape(-1, 3)
+        lo = np.array([self.xmin, self.ymin, self.zmin]) - tol
+        hi = np.array([self.xmax, self.ymax, self.zmax]) + tol
+        return np.all((pts >= lo) & (pts <= hi), axis=1)
+
+    # ------------------------------------------------------------------ #
+    # combination
+    # ------------------------------------------------------------------ #
+    def union(self, other: "Bounds") -> "Bounds":
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        return Bounds(
+            min(self.xmin, other.xmin),
+            max(self.xmax, other.xmax),
+            min(self.ymin, other.ymin),
+            max(self.ymax, other.ymax),
+            min(self.zmin, other.zmin),
+            max(self.zmax, other.zmax),
+        )
+
+    def expanded(self, fraction: float = 0.0, absolute: float = 0.0) -> "Bounds":
+        """Return bounds padded by ``fraction`` of the diagonal plus ``absolute``."""
+        if self.is_empty:
+            return self
+        pad = fraction * self.diagonal + absolute
+        return Bounds(
+            self.xmin - pad,
+            self.xmax + pad,
+            self.ymin - pad,
+            self.ymax + pad,
+            self.zmin - pad,
+            self.zmax + pad,
+        )
+
+    # ------------------------------------------------------------------ #
+    # conversions
+    # ------------------------------------------------------------------ #
+    def as_tuple(self) -> Tuple[float, float, float, float, float, float]:
+        return (self.xmin, self.xmax, self.ymin, self.ymax, self.zmin, self.zmax)
+
+    def corners(self) -> np.ndarray:
+        """The 8 corner points as an ``(8, 3)`` array."""
+        xs = (self.xmin, self.xmax)
+        ys = (self.ymin, self.ymax)
+        zs = (self.zmin, self.zmax)
+        return np.array([(x, y, z) for x in xs for y in ys for z in zs], dtype=np.float64)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.as_tuple())
+
+    def __repr__(self) -> str:
+        if self.is_empty:
+            return "Bounds(<empty>)"
+        return (
+            f"Bounds(x=[{self.xmin:g}, {self.xmax:g}], "
+            f"y=[{self.ymin:g}, {self.ymax:g}], z=[{self.zmin:g}, {self.zmax:g}])"
+        )

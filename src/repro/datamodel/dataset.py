@@ -1,0 +1,114 @@
+"""Abstract base for all dataset types."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.datamodel.arrays import DataArray, FieldData
+from repro.datamodel.bounds import Bounds
+
+__all__ = ["Dataset"]
+
+
+class Dataset:
+    """Base class for every dataset in the data model.
+
+    A dataset owns two attribute containers:
+
+    * :attr:`point_data` — one tuple per point,
+    * :attr:`cell_data` — one tuple per cell,
+
+    and exposes the geometric queries (:meth:`bounds`, :attr:`n_points`,
+    :attr:`n_cells`) every filter and the renderer need.  Subclasses must
+    implement :meth:`get_points` and :attr:`n_cells`.
+    """
+
+    def __init__(self) -> None:
+        self.point_data = FieldData()
+        self.cell_data = FieldData()
+
+    # ------------------------------------------------------------------ #
+    # geometry interface (subclasses override)
+    # ------------------------------------------------------------------ #
+    def get_points(self) -> np.ndarray:
+        """Return an ``(n_points, 3)`` float64 array of point coordinates."""
+        raise NotImplementedError
+
+    @property
+    def n_points(self) -> int:
+        return int(self.get_points().shape[0])
+
+    @property
+    def n_cells(self) -> int:
+        raise NotImplementedError
+
+    def bounds(self) -> Bounds:
+        """Axis-aligned bounds of the point set."""
+        return Bounds.from_points(self.get_points())
+
+    # ------------------------------------------------------------------ #
+    # attribute helpers
+    # ------------------------------------------------------------------ #
+    def add_point_array(self, name: str, values) -> DataArray:
+        """Attach a per-point array (validates the tuple count)."""
+        arr = DataArray(name, values)
+        if arr.n_tuples != self.n_points:
+            from repro.datamodel.arrays import AssociationError
+
+            raise AssociationError(
+                f"point array {name!r} has {arr.n_tuples} tuples but dataset "
+                f"has {self.n_points} points"
+            )
+        self.point_data.add(arr)
+        return arr
+
+    def add_cell_array(self, name: str, values) -> DataArray:
+        """Attach a per-cell array (validates the tuple count)."""
+        arr = DataArray(name, values)
+        if arr.n_tuples != self.n_cells:
+            from repro.datamodel.arrays import AssociationError
+
+            raise AssociationError(
+                f"cell array {name!r} has {arr.n_tuples} tuples but dataset "
+                f"has {self.n_cells} cells"
+            )
+        self.cell_data.add(arr)
+        return arr
+
+    def array_names(self) -> List[str]:
+        """All point- and cell-array names (point arrays first)."""
+        return self.point_data.names() + self.cell_data.names()
+
+    def find_array(self, name: str) -> Tuple[Optional[DataArray], str]:
+        """Locate an array by name.
+
+        Returns ``(array, association)`` where association is ``"POINTS"`` or
+        ``"CELLS"``; ``(None, "")`` if not found.
+        """
+        if name in self.point_data:
+            return self.point_data[name], "POINTS"
+        if name in self.cell_data:
+            return self.cell_data[name], "CELLS"
+        return None, ""
+
+    def scalar_range(self, name: str) -> Tuple[float, float]:
+        """``(min, max)`` of the named array (magnitude for vectors)."""
+        arr, _assoc = self.find_array(name)
+        if arr is None:
+            raise KeyError(f"no array named {name!r} in dataset")
+        return arr.range()
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+    def summary(self) -> str:
+        """One-line description used in logs and proxy information objects."""
+        return (
+            f"{type(self).__name__}(points={self.n_points}, cells={self.n_cells}, "
+            f"point_arrays={self.point_data.names()}, cell_arrays={self.cell_data.names()})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return self.summary()

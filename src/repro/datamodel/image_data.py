@@ -1,0 +1,207 @@
+"""Regular structured grids (VTK "structured points" / image data).
+
+:class:`ImageData` represents a dataset whose points lie on a regular lattice
+defined by ``dimensions`` (number of samples per axis), ``origin`` and
+``spacing``.  It is the natural output of the volumetric readers
+(Marschner–Lobb ``ml-100.vtk``) and the input of the isosurface, slice, clip
+and volume-rendering pipelines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datamodel.bounds import Bounds
+from repro.datamodel.dataset import Dataset
+
+__all__ = ["ImageData"]
+
+
+class ImageData(Dataset):
+    """A regular, axis-aligned structured grid.
+
+    Parameters
+    ----------
+    dimensions:
+        ``(nx, ny, nz)`` number of points along each axis (each ``>= 1``).
+    origin:
+        Coordinates of point ``(0, 0, 0)``.
+    spacing:
+        Distance between adjacent points along each axis (each ``> 0``).
+
+    Point ordering is the VTK convention: x varies fastest, then y, then z —
+    point id ``i + nx * (j + ny * k)`` corresponds to lattice index
+    ``(i, j, k)``.
+    """
+
+    def __init__(
+        self,
+        dimensions: Sequence[int],
+        origin: Sequence[float] = (0.0, 0.0, 0.0),
+        spacing: Sequence[float] = (1.0, 1.0, 1.0),
+    ) -> None:
+        super().__init__()
+        dims = tuple(int(d) for d in dimensions)
+        if len(dims) != 3 or any(d < 1 for d in dims):
+            raise ValueError(f"dimensions must be three integers >= 1, got {dimensions}")
+        sp = tuple(float(s) for s in spacing)
+        if len(sp) != 3 or any(s <= 0 for s in sp):
+            raise ValueError(f"spacing must be three positive floats, got {spacing}")
+        org = tuple(float(o) for o in origin)
+        if len(org) != 3:
+            raise ValueError(f"origin must have three components, got {origin}")
+
+        self.dimensions: Tuple[int, int, int] = dims
+        self.origin: Tuple[float, float, float] = org
+        self.spacing: Tuple[float, float, float] = sp
+        self.point_data.set_expected_tuples(self.n_points)
+        self.cell_data.set_expected_tuples(self.n_cells)
+
+    # ------------------------------------------------------------------ #
+    # topology
+    # ------------------------------------------------------------------ #
+    @property
+    def n_points(self) -> int:
+        nx, ny, nz = self.dimensions
+        return nx * ny * nz
+
+    @property
+    def cell_dimensions(self) -> Tuple[int, int, int]:
+        """Number of cells along each axis (0 along collapsed axes)."""
+        return tuple(max(d - 1, 0) for d in self.dimensions)  # type: ignore[return-value]
+
+    @property
+    def n_cells(self) -> int:
+        cx, cy, cz = self.cell_dimensions
+        # A collapsed axis (single sample) contributes a factor of 1, not 0,
+        # as long as at least one axis has cells.
+        factors = [c if c > 0 else 1 for c in (cx, cy, cz)]
+        if cx == 0 and cy == 0 and cz == 0:
+            return 0
+        return factors[0] * factors[1] * factors[2]
+
+    def point_id(self, i: int, j: int, k: int) -> int:
+        """Flat point id of lattice index ``(i, j, k)``."""
+        nx, ny, nz = self.dimensions
+        if not (0 <= i < nx and 0 <= j < ny and 0 <= k < nz):
+            raise IndexError(f"lattice index {(i, j, k)} out of range for dims {self.dimensions}")
+        return i + nx * (j + ny * k)
+
+    def point_index(self, point_id: int) -> Tuple[int, int, int]:
+        """Lattice index ``(i, j, k)`` of a flat point id."""
+        nx, ny, nz = self.dimensions
+        if not 0 <= point_id < self.n_points:
+            raise IndexError(f"point id {point_id} out of range")
+        i = point_id % nx
+        j = (point_id // nx) % ny
+        k = point_id // (nx * ny)
+        return i, j, k
+
+    # ------------------------------------------------------------------ #
+    # geometry
+    # ------------------------------------------------------------------ #
+    def axis_coordinates(self, axis: int) -> np.ndarray:
+        """Sample coordinates along one axis (0=x, 1=y, 2=z)."""
+        n = self.dimensions[axis]
+        return self.origin[axis] + self.spacing[axis] * np.arange(n, dtype=np.float64)
+
+    def get_points(self) -> np.ndarray:
+        xs = self.axis_coordinates(0)
+        ys = self.axis_coordinates(1)
+        zs = self.axis_coordinates(2)
+        # VTK ordering: x fastest.  indexing="ij" with (z, y, x) then reshape.
+        zz, yy, xx = np.meshgrid(zs, ys, xs, indexing="ij")
+        pts = np.column_stack([xx.ravel(), yy.ravel(), zz.ravel()])
+        return pts
+
+    def bounds(self) -> Bounds:
+        nx, ny, nz = self.dimensions
+        ox, oy, oz = self.origin
+        sx, sy, sz = self.spacing
+        return Bounds(
+            ox, ox + sx * (nx - 1),
+            oy, oy + sy * (ny - 1),
+            oz, oz + sz * (nz - 1),
+        )
+
+    def point_coordinates(self, i: int, j: int, k: int) -> np.ndarray:
+        """Physical coordinates of lattice index ``(i, j, k)``."""
+        return np.array(
+            [
+                self.origin[0] + self.spacing[0] * i,
+                self.origin[1] + self.spacing[1] * j,
+                self.origin[2] + self.spacing[2] * k,
+            ],
+            dtype=np.float64,
+        )
+
+    # ------------------------------------------------------------------ #
+    # scalar field access
+    # ------------------------------------------------------------------ #
+    def scalar_volume(self, name: str) -> np.ndarray:
+        """Return a point scalar array reshaped to ``(nz, ny, nx)``.
+
+        The (k, j, i) index order matches the flat VTK point ordering, i.e.
+        ``volume[k, j, i] == array[point_id(i, j, k)]``.
+        """
+        if name not in self.point_data:
+            raise KeyError(f"no point array named {name!r}")
+        arr = self.point_data[name]
+        if not arr.is_scalar:
+            raise ValueError(f"array {name!r} is not a scalar array")
+        nx, ny, nz = self.dimensions
+        return arr.as_scalar().reshape(nz, ny, nx)
+
+    def vector_volume(self, name: str) -> np.ndarray:
+        """Return a point vector array reshaped to ``(nz, ny, nx, 3)``."""
+        if name not in self.point_data:
+            raise KeyError(f"no point array named {name!r}")
+        arr = self.point_data[name]
+        if arr.n_components != 3:
+            raise ValueError(f"array {name!r} is not a 3-component vector array")
+        nx, ny, nz = self.dimensions
+        return arr.values.reshape(nz, ny, nx, 3)
+
+    def set_scalar_volume(self, name: str, volume: np.ndarray) -> None:
+        """Attach a ``(nz, ny, nx)`` scalar volume as a flat point array."""
+        nx, ny, nz = self.dimensions
+        vol = np.asarray(volume, dtype=np.float64)
+        if vol.shape != (nz, ny, nx):
+            raise ValueError(
+                f"volume shape {vol.shape} does not match dimensions (nz, ny, nx)="
+                f"{(nz, ny, nx)}"
+            )
+        self.add_point_array(name, vol.reshape(-1))
+
+    def set_vector_volume(self, name: str, volume: np.ndarray) -> None:
+        """Attach a ``(nz, ny, nx, 3)`` vector volume as a flat point array."""
+        nx, ny, nz = self.dimensions
+        vol = np.asarray(volume, dtype=np.float64)
+        if vol.shape != (nz, ny, nx, 3):
+            raise ValueError(
+                f"volume shape {vol.shape} does not match dimensions (nz, ny, nx, 3)="
+                f"{(nz, ny, nx, 3)}"
+            )
+        self.add_point_array(name, vol.reshape(-1, 3))
+
+    # ------------------------------------------------------------------ #
+    # interpolation
+    # ------------------------------------------------------------------ #
+    def world_to_continuous_index(self, points) -> np.ndarray:
+        """Convert world coordinates to fractional lattice indices ``(i, j, k)``."""
+        pts = np.asarray(points, dtype=np.float64).reshape(-1, 3)
+        origin = np.asarray(self.origin)
+        spacing = np.asarray(self.spacing)
+        return (pts - origin) / spacing
+
+    def copy_structure(self) -> "ImageData":
+        """A new ImageData with the same lattice but no data arrays."""
+        return ImageData(self.dimensions, self.origin, self.spacing)
+
+    def __repr__(self) -> str:
+        return (
+            f"ImageData(dimensions={self.dimensions}, origin={self.origin}, "
+            f"spacing={self.spacing}, point_arrays={self.point_data.names()})"
+        )

@@ -1,0 +1,257 @@
+"""Polygonal data: points with vertices, lines (polylines) and triangles.
+
+:class:`PolyData` is the output type of every geometry-producing filter
+(contour, slice, tube, glyph, stream tracer, surface extraction) and the
+input type of the surface rasterizer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datamodel.dataset import Dataset
+
+__all__ = ["PolyData"]
+
+
+def _as_points(points) -> np.ndarray:
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.size == 0:
+        return np.zeros((0, 3), dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 3:
+        raise ValueError(f"points must have shape (n, 3), got {pts.shape}")
+    return pts
+
+
+class PolyData(Dataset):
+    """Points plus explicit vertex / polyline / triangle connectivity.
+
+    Attributes
+    ----------
+    points:
+        ``(n_points, 3)`` array of coordinates.
+    verts:
+        1-d integer array of point ids rendered as points.
+    lines:
+        list of 1-d integer arrays; each is one polyline (>= 2 ids).
+    triangles:
+        ``(n_triangles, 3)`` integer array of triangle connectivity.
+    """
+
+    def __init__(
+        self,
+        points=None,
+        triangles=None,
+        lines: Optional[Sequence[Sequence[int]]] = None,
+        verts=None,
+    ) -> None:
+        super().__init__()
+        self.points: np.ndarray = _as_points(points if points is not None else [])
+        self.triangles: np.ndarray = (
+            np.asarray(triangles, dtype=np.int64).reshape(-1, 3)
+            if triangles is not None and len(np.asarray(triangles)) > 0
+            else np.zeros((0, 3), dtype=np.int64)
+        )
+        self.lines: List[np.ndarray] = [
+            np.asarray(line, dtype=np.int64).reshape(-1) for line in (lines or [])
+        ]
+        self.verts: np.ndarray = (
+            np.asarray(verts, dtype=np.int64).reshape(-1)
+            if verts is not None
+            else np.zeros((0,), dtype=np.int64)
+        )
+        self._validate()
+        self.point_data.set_expected_tuples(self.n_points)
+        self.cell_data.set_expected_tuples(self.n_cells)
+
+    # ------------------------------------------------------------------ #
+    # validation & topology
+    # ------------------------------------------------------------------ #
+    def _validate(self) -> None:
+        n = self.points.shape[0]
+        if self.triangles.size and (self.triangles.min() < 0 or self.triangles.max() >= n):
+            raise IndexError("triangle connectivity references out-of-range point ids")
+        if self.verts.size and (self.verts.min() < 0 or self.verts.max() >= n):
+            raise IndexError("vertex connectivity references out-of-range point ids")
+        for line in self.lines:
+            if line.size < 2:
+                raise ValueError("polylines must contain at least two point ids")
+            if line.min() < 0 or line.max() >= n:
+                raise IndexError("line connectivity references out-of-range point ids")
+
+    def get_points(self) -> np.ndarray:
+        return self.points
+
+    @property
+    def n_points(self) -> int:
+        return int(self.points.shape[0])
+
+    @property
+    def n_triangles(self) -> int:
+        return int(self.triangles.shape[0])
+
+    @property
+    def n_lines(self) -> int:
+        return len(self.lines)
+
+    @property
+    def n_verts(self) -> int:
+        return int(self.verts.shape[0])
+
+    @property
+    def n_cells(self) -> int:
+        return self.n_triangles + self.n_lines + self.n_verts
+
+    @property
+    def is_empty(self) -> bool:
+        return self.n_points == 0
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def from_points_only(points) -> "PolyData":
+        """A point cloud: every point becomes a vertex cell."""
+        pts = _as_points(points)
+        return PolyData(points=pts, verts=np.arange(pts.shape[0], dtype=np.int64))
+
+    @staticmethod
+    def from_polylines(points, polylines: Sequence[Sequence[int]]) -> "PolyData":
+        return PolyData(points=points, lines=polylines)
+
+    @staticmethod
+    def from_triangles(points, triangles) -> "PolyData":
+        return PolyData(points=points, triangles=triangles)
+
+    # ------------------------------------------------------------------ #
+    # derived geometry
+    # ------------------------------------------------------------------ #
+    def triangle_normals(self) -> np.ndarray:
+        """Unit normals of each triangle (``(n_triangles, 3)``)."""
+        if self.n_triangles == 0:
+            return np.zeros((0, 3), dtype=np.float64)
+        p = self.points
+        t = self.triangles
+        v0 = p[t[:, 0]]
+        v1 = p[t[:, 1]]
+        v2 = p[t[:, 2]]
+        n = np.cross(v1 - v0, v2 - v0)
+        lengths = np.linalg.norm(n, axis=1)
+        lengths[lengths == 0] = 1.0
+        return n / lengths[:, None]
+
+    def point_normals(self) -> np.ndarray:
+        """Area-weighted per-point normals (``(n_points, 3)``)."""
+        normals = np.zeros_like(self.points)
+        if self.n_triangles:
+            p = self.points
+            t = self.triangles
+            face_n = np.cross(p[t[:, 1]] - p[t[:, 0]], p[t[:, 2]] - p[t[:, 0]])
+            for i in range(3):
+                np.add.at(normals, t[:, i], face_n)
+        lengths = np.linalg.norm(normals, axis=1)
+        lengths[lengths == 0] = 1.0
+        return normals / lengths[:, None]
+
+    def triangle_areas(self) -> np.ndarray:
+        if self.n_triangles == 0:
+            return np.zeros((0,), dtype=np.float64)
+        p = self.points
+        t = self.triangles
+        cross = np.cross(p[t[:, 1]] - p[t[:, 0]], p[t[:, 2]] - p[t[:, 0]])
+        return 0.5 * np.linalg.norm(cross, axis=1)
+
+    def surface_area(self) -> float:
+        return float(self.triangle_areas().sum())
+
+    def line_segments(self) -> np.ndarray:
+        """All polyline segments as an ``(n_segments, 2)`` point-id array."""
+        segs: List[np.ndarray] = []
+        for line in self.lines:
+            if line.size >= 2:
+                segs.append(np.column_stack([line[:-1], line[1:]]))
+        if not segs:
+            return np.zeros((0, 2), dtype=np.int64)
+        return np.concatenate(segs, axis=0)
+
+    def edges(self) -> np.ndarray:
+        """Unique undirected edges over triangles and polylines."""
+        parts: List[np.ndarray] = []
+        if self.n_triangles:
+            t = self.triangles
+            parts.append(np.concatenate([t[:, [0, 1]], t[:, [1, 2]], t[:, [2, 0]]], axis=0))
+        segs = self.line_segments()
+        if segs.size:
+            parts.append(segs)
+        if not parts:
+            return np.zeros((0, 2), dtype=np.int64)
+        edges = np.concatenate(parts, axis=0)
+        edges = np.sort(edges, axis=1)
+        return np.unique(edges, axis=0)
+
+    # ------------------------------------------------------------------ #
+    # combination / transformation
+    # ------------------------------------------------------------------ #
+    def merged_with(self, other: "PolyData") -> "PolyData":
+        """Append ``other`` to this PolyData (point data merged by name).
+
+        Only point arrays present in *both* inputs survive the merge; this is
+        the behaviour a downstream ColorBy needs (an array must cover every
+        point to be usable as a color source).
+        """
+        offset = self.n_points
+        points = np.vstack([self.points, other.points]) if other.n_points else self.points.copy()
+        triangles = (
+            np.vstack([self.triangles, other.triangles + offset])
+            if other.n_triangles
+            else self.triangles.copy()
+        )
+        lines = [line.copy() for line in self.lines] + [line + offset for line in other.lines]
+        verts = (
+            np.concatenate([self.verts, other.verts + offset])
+            if other.n_verts
+            else self.verts.copy()
+        )
+        out = PolyData(points=points, triangles=triangles, lines=lines, verts=verts)
+        common = set(self.point_data.names()) & set(other.point_data.names())
+        for name in self.point_data.names():
+            if name in common:
+                merged = np.vstack(
+                    [self.point_data[name].values, other.point_data[name].values]
+                )
+                out.add_point_array(name, merged)
+        return out
+
+    def transformed(self, matrix: np.ndarray) -> "PolyData":
+        """Apply a 4x4 homogeneous transform to the points (copies data arrays)."""
+        m = np.asarray(matrix, dtype=np.float64)
+        if m.shape != (4, 4):
+            raise ValueError("transform matrix must be 4x4")
+        if self.n_points:
+            homo = np.hstack([self.points, np.ones((self.n_points, 1))])
+            new_pts = (homo @ m.T)[:, :3]
+        else:
+            new_pts = self.points.copy()
+        out = PolyData(
+            points=new_pts,
+            triangles=self.triangles.copy(),
+            lines=[line.copy() for line in self.lines],
+            verts=self.verts.copy(),
+        )
+        for name in self.point_data.names():
+            out.add_point_array(name, self.point_data[name].values.copy())
+        for name in self.cell_data.names():
+            out.add_cell_array(name, self.cell_data[name].values.copy())
+        return out
+
+    def copy(self) -> "PolyData":
+        return self.transformed(np.eye(4))
+
+    def __repr__(self) -> str:
+        return (
+            f"PolyData(points={self.n_points}, triangles={self.n_triangles}, "
+            f"lines={self.n_lines}, verts={self.n_verts}, "
+            f"point_arrays={self.point_data.names()})"
+        )

@@ -1,0 +1,219 @@
+"""Unstructured grids: explicit points plus a mixed-type cell list."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datamodel.cells import (
+    CellType,
+    cell_edges,
+    is_surface,
+    is_volumetric,
+    surface_triangles_of_tetra,
+    tetrahedralize_cell,
+    triangulate_cell,
+)
+from repro.datamodel.dataset import Dataset
+from repro.datamodel.polydata import PolyData
+
+__all__ = ["UnstructuredGrid"]
+
+
+class UnstructuredGrid(Dataset):
+    """A dataset whose topology is an explicit list of cells.
+
+    Cells are stored as ``(cell_type, connectivity)`` pairs where the
+    connectivity is a tuple of global point ids.  The Exodus-style reader and
+    the Delaunay filter produce this type.
+    """
+
+    def __init__(self, points=None) -> None:
+        super().__init__()
+        pts = np.asarray(points if points is not None else [], dtype=np.float64)
+        if pts.size == 0:
+            pts = np.zeros((0, 3), dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 3:
+            raise ValueError(f"points must have shape (n, 3), got {pts.shape}")
+        self.points: np.ndarray = pts
+        self._cell_types: List[int] = []
+        self._cells: List[Tuple[int, ...]] = []
+        self.point_data.set_expected_tuples(self.n_points)
+
+    # ------------------------------------------------------------------ #
+    # topology construction
+    # ------------------------------------------------------------------ #
+    def add_cell(self, cell_type: int, connectivity: Sequence[int]) -> int:
+        """Append a cell; returns its cell id."""
+        ct = CellType(cell_type)
+        conn = tuple(int(i) for i in connectivity)
+        if any(i < 0 or i >= self.n_points for i in conn):
+            raise IndexError(
+                f"cell connectivity {conn} references out-of-range point ids "
+                f"(dataset has {self.n_points} points)"
+            )
+        from repro.datamodel.cells import CELL_TYPE_NPOINTS
+
+        expected = CELL_TYPE_NPOINTS[ct]
+        if expected > 0 and len(conn) != expected:
+            raise ValueError(
+                f"cell type {ct.name} requires {expected} points, got {len(conn)}"
+            )
+        self._cell_types.append(int(ct))
+        self._cells.append(conn)
+        self.cell_data.set_expected_tuples(None)
+        return len(self._cells) - 1
+
+    def add_cells(self, cell_type: int, connectivity_array) -> None:
+        """Append many same-type cells from an ``(n, k)`` connectivity array."""
+        conn = np.asarray(connectivity_array, dtype=np.int64)
+        if conn.ndim != 2:
+            raise ValueError("connectivity array must be 2-d")
+        for row in conn:
+            self.add_cell(cell_type, row.tolist())
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def get_points(self) -> np.ndarray:
+        return self.points
+
+    @property
+    def n_points(self) -> int:
+        return int(self.points.shape[0])
+
+    @property
+    def n_cells(self) -> int:
+        return len(self._cells)
+
+    def cell(self, cell_id: int) -> Tuple[int, Tuple[int, ...]]:
+        """Return ``(cell_type, connectivity)`` of a cell."""
+        return self._cell_types[cell_id], self._cells[cell_id]
+
+    def cells(self) -> Iterable[Tuple[int, Tuple[int, ...]]]:
+        return zip(self._cell_types, self._cells)
+
+    def cell_types(self) -> List[int]:
+        return list(self._cell_types)
+
+    def cells_of_type(self, cell_type: int) -> np.ndarray:
+        """Connectivity of all cells of one fixed-size type as an ``(n, k)`` array."""
+        rows = [c for t, c in zip(self._cell_types, self._cells) if t == int(cell_type)]
+        if not rows:
+            return np.zeros((0, 0), dtype=np.int64)
+        return np.asarray(rows, dtype=np.int64)
+
+    def has_volumetric_cells(self) -> bool:
+        return any(is_volumetric(t) for t in self._cell_types)
+
+    def cell_centers(self) -> np.ndarray:
+        """Centroid of every cell (``(n_cells, 3)``)."""
+        centers = np.zeros((self.n_cells, 3), dtype=np.float64)
+        for cid, (_t, conn) in enumerate(self.cells()):
+            centers[cid] = self.points[list(conn)].mean(axis=0)
+        return centers
+
+    # ------------------------------------------------------------------ #
+    # conversions
+    # ------------------------------------------------------------------ #
+    def tetrahedralized(self) -> "UnstructuredGrid":
+        """Return a grid where every 3-d cell is decomposed into tetrahedra.
+
+        Surface / line / vertex cells are passed through unchanged.
+        """
+        out = UnstructuredGrid(self.points.copy())
+        for t, conn in self.cells():
+            if is_volumetric(t):
+                for tet in tetrahedralize_cell(t, conn):
+                    out.add_cell(CellType.TETRA, tet)
+            else:
+                out.add_cell(t, conn)
+        for name in self.point_data.names():
+            out.add_point_array(name, self.point_data[name].values.copy())
+        return out
+
+    def extract_surface(self) -> PolyData:
+        """Extract the external surface of the grid as triangles.
+
+        For volumetric cells the boundary faces (faces belonging to exactly one
+        cell) are kept; 2-d cells are triangulated directly; lines and
+        vertices are passed through.
+        """
+        face_count: Dict[Tuple[int, ...], Tuple[int, int, int]] = {}
+
+        def register(tri: Tuple[int, int, int]) -> None:
+            key = tuple(sorted(tri))
+            if key in face_count:
+                face_count[key] = None  # type: ignore[assignment]
+            else:
+                face_count[key] = tri
+
+        surface_tris: List[Tuple[int, int, int]] = []
+        lines: List[np.ndarray] = []
+        verts: List[int] = []
+
+        for t, conn in self.cells():
+            ct = CellType(t)
+            if is_volumetric(t):
+                for tet in tetrahedralize_cell(t, conn):
+                    for tri in surface_triangles_of_tetra(tet):
+                        register(tri)
+            elif is_surface(t):
+                surface_tris.extend(triangulate_cell(t, conn))
+            elif ct in (CellType.LINE, CellType.POLY_LINE):
+                lines.append(np.asarray(conn, dtype=np.int64))
+            elif ct == CellType.VERTEX:
+                verts.append(conn[0])
+
+        boundary = [tri for tri in face_count.values() if tri is not None]
+        surface_tris.extend(boundary)
+
+        poly = PolyData(
+            points=self.points.copy(),
+            triangles=np.asarray(surface_tris, dtype=np.int64).reshape(-1, 3),
+            lines=lines,
+            verts=np.asarray(verts, dtype=np.int64),
+        )
+        for name in self.point_data.names():
+            poly.add_point_array(name, self.point_data[name].values.copy())
+        return poly
+
+    def edges(self) -> np.ndarray:
+        """Unique undirected edges over all cells."""
+        all_edges: List[Tuple[int, int]] = []
+        for t, conn in self.cells():
+            if CellType(t) == CellType.VERTEX:
+                continue
+            all_edges.extend(cell_edges(t, conn))
+        if not all_edges:
+            return np.zeros((0, 2), dtype=np.int64)
+        arr = np.sort(np.asarray(all_edges, dtype=np.int64), axis=1)
+        return np.unique(arr, axis=0)
+
+    def as_point_cloud(self) -> PolyData:
+        """The points as a vertex-only PolyData (data arrays copied)."""
+        poly = PolyData.from_points_only(self.points.copy())
+        for name in self.point_data.names():
+            poly.add_point_array(name, self.point_data[name].values.copy())
+        return poly
+
+    def copy(self) -> "UnstructuredGrid":
+        out = UnstructuredGrid(self.points.copy())
+        for t, conn in self.cells():
+            out.add_cell(t, conn)
+        for name in self.point_data.names():
+            out.add_point_array(name, self.point_data[name].values.copy())
+        for name in self.cell_data.names():
+            out.add_cell_array(name, self.cell_data[name].values.copy())
+        return out
+
+    def __repr__(self) -> str:
+        type_counts: Dict[str, int] = {}
+        for t in self._cell_types:
+            name = CellType(t).name
+            type_counts[name] = type_counts.get(name, 0) + 1
+        return (
+            f"UnstructuredGrid(points={self.n_points}, cells={self.n_cells}, "
+            f"types={type_counts}, point_arrays={self.point_data.names()})"
+        )

@@ -1,0 +1,55 @@
+"""Evaluation: ground truth, image metrics, script metrics, experiment harness.
+
+This package regenerates the paper's evaluation artefacts:
+
+* :mod:`ground_truth` — the reference scripts standing in for the "manually
+  constructed with the ParaView GUI" pipelines, one per canonical task.
+* :mod:`image_metrics` — MSE / PSNR / SSIM / histogram similarity between a
+  generated screenshot and the ground truth (Figures 2-6 comparisons).
+* :mod:`script_metrics` — AST-level comparison of generated vs reference
+  scripts: which ParaView calls appear, which properties are set, and which
+  of them are hallucinations (Table I analysis).
+* :mod:`harness` — the Table II experiment (models × tasks, error /
+  screenshot criteria), the Table I script comparison, and the per-figure
+  image comparisons.
+"""
+
+from repro.eval.ground_truth import GROUND_TRUTH_SCRIPTS, ground_truth_script, run_ground_truth
+from repro.eval.harness import (
+    FigureComparison,
+    TableOneResult,
+    TableTwoCell,
+    TableTwoResult,
+    run_figure_comparison,
+    run_table_one,
+    run_table_two,
+)
+from repro.eval.image_metrics import (
+    histogram_similarity,
+    image_coverage,
+    mean_squared_error,
+    peak_signal_to_noise_ratio,
+    structural_similarity,
+)
+from repro.eval.script_metrics import ScriptAnalysis, analyze_script, compare_scripts
+
+__all__ = [
+    "FigureComparison",
+    "GROUND_TRUTH_SCRIPTS",
+    "ScriptAnalysis",
+    "TableOneResult",
+    "TableTwoCell",
+    "TableTwoResult",
+    "analyze_script",
+    "compare_scripts",
+    "ground_truth_script",
+    "histogram_similarity",
+    "image_coverage",
+    "mean_squared_error",
+    "peak_signal_to_noise_ratio",
+    "run_figure_comparison",
+    "run_ground_truth",
+    "run_table_one",
+    "run_table_two",
+    "structural_similarity",
+]

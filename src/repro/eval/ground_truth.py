@@ -1,0 +1,201 @@
+"""Ground-truth reference scripts.
+
+In the paper the ground truth is produced by manually building each pipeline
+in the ParaView GUI and saving the traced Python script plus a screenshot.
+Here the reference scripts are hand-written (below) against the same
+``paraview.simple`` API the generated scripts use; running them through the
+executor yields the ground-truth screenshots that Figures 2-6 compare
+against.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.core.tasks import VisualizationTask, get_task
+from repro.pvsim.executor import ExecutionResult, PvPythonExecutor
+
+__all__ = ["GROUND_TRUTH_SCRIPTS", "ground_truth_script", "run_ground_truth"]
+
+
+_ISO_GT = """\
+from paraview.simple import *
+
+# Manually constructed reference pipeline: isosurface of the Marschner-Lobb volume
+reader = LegacyVTKReader(FileNames=['ml-100.vtk'])
+
+contour = Contour(Input=reader)
+contour.ContourBy = ['POINTS', 'var0']
+contour.Isosurfaces = [0.5]
+
+renderView = GetActiveViewOrCreate('RenderView')
+renderView.ViewSize = [{width}, {height}]
+renderView.Background = [1.0, 1.0, 1.0]
+
+contourDisplay = Show(contour, renderView)
+ColorBy(contourDisplay, ('POINTS', 'var0'))
+contourDisplay.RescaleTransferFunctionToDataRange(True)
+
+renderView.ResetCamera()
+Render(renderView)
+SaveScreenshot('{screenshot}', renderView, ImageResolution=[{width}, {height}],
+               OverrideColorPalette='WhiteBackground')
+"""
+
+_SLICE_GT = """\
+from paraview.simple import *
+
+# Manually constructed reference pipeline: slice at x=0 followed by a contour at 0.5
+reader = LegacyVTKReader(FileNames=['ml-100.vtk'])
+
+slice1 = Slice(Input=reader)
+slice1.SliceType.Origin = [0.0, 0.0, 0.0]
+slice1.SliceType.Normal = [1.0, 0.0, 0.0]
+
+contour = Contour(Input=slice1)
+contour.Isosurfaces = [0.5]
+
+renderView = GetActiveViewOrCreate('RenderView')
+renderView.ViewSize = [{width}, {height}]
+renderView.Background = [1.0, 1.0, 1.0]
+
+sliceDisplay = Show(slice1, renderView)
+ColorBy(sliceDisplay, ('POINTS', 'var0'))
+sliceDisplay.RescaleTransferFunctionToDataRange(True)
+
+contourDisplay = Show(contour, renderView)
+ColorBy(contourDisplay, None)
+contourDisplay.DiffuseColor = [1.0, 0.0, 0.0]
+contourDisplay.LineWidth = 3
+
+renderView.ResetActiveCameraToPositiveX()
+Render(renderView)
+SaveScreenshot('{screenshot}', renderView, ImageResolution=[{width}, {height}],
+               OverrideColorPalette='WhiteBackground')
+"""
+
+_VOLUME_GT = """\
+from paraview.simple import *
+
+# Manually constructed reference pipeline: direct volume rendering
+reader = LegacyVTKReader(FileNames=['ml-100.vtk'])
+
+renderView = GetActiveViewOrCreate('RenderView')
+renderView.ViewSize = [{width}, {height}]
+renderView.Background = [1.0, 1.0, 1.0]
+
+volumeDisplay = Show(reader, renderView)
+volumeDisplay.SetRepresentationType('Volume')
+ColorBy(volumeDisplay, ('POINTS', 'var0'))
+volumeDisplay.RescaleTransferFunctionToDataRange(True)
+
+renderView.ApplyIsometricView()
+Render(renderView)
+SaveScreenshot('{screenshot}', renderView, ImageResolution=[{width}, {height}],
+               OverrideColorPalette='WhiteBackground')
+"""
+
+_DELAUNAY_GT = """\
+from paraview.simple import *
+
+# Manually constructed reference pipeline: Delaunay triangulation, clip, wireframe
+reader = ExodusIIReader(FileName='can_points.ex2')
+
+delaunay = Delaunay3D(Input=reader)
+
+clip1 = Clip(Input=delaunay)
+clip1.ClipType.Origin = [0.0, 0.0, 0.0]
+clip1.ClipType.Normal = [1.0, 0.0, 0.0]
+clip1.Invert = 1
+
+renderView = GetActiveViewOrCreate('RenderView')
+renderView.ViewSize = [{width}, {height}]
+renderView.Background = [1.0, 1.0, 1.0]
+
+clipDisplay = Show(clip1, renderView)
+clipDisplay.SetRepresentationType('Wireframe')
+
+renderView.ApplyIsometricView()
+Render(renderView)
+SaveScreenshot('{screenshot}', renderView, ImageResolution=[{width}, {height}],
+               OverrideColorPalette='WhiteBackground')
+"""
+
+_STREAM_GT = """\
+from paraview.simple import *
+
+# Manually constructed reference pipeline: streamlines with tubes and cone glyphs
+reader = ExodusIIReader(FileName='disk.ex2')
+
+streamTracer = StreamTracer(Input=reader, SeedType='Point Cloud')
+streamTracer.Vectors = ['POINTS', 'V']
+streamTracer.SeedType.NumberOfPoints = 100
+
+tube = Tube(Input=streamTracer)
+tube.Radius = 0.05
+
+glyph = Glyph(Input=streamTracer, GlyphType='Cone')
+glyph.OrientationArray = ['POINTS', 'V']
+glyph.ScaleFactor = 0.05
+
+renderView = GetActiveViewOrCreate('RenderView')
+renderView.ViewSize = [{width}, {height}]
+renderView.Background = [1.0, 1.0, 1.0]
+
+tubeDisplay = Show(tube, renderView)
+ColorBy(tubeDisplay, ('POINTS', 'Temp'))
+tubeDisplay.RescaleTransferFunctionToDataRange(True)
+
+glyphDisplay = Show(glyph, renderView)
+ColorBy(glyphDisplay, ('POINTS', 'Temp'))
+glyphDisplay.RescaleTransferFunctionToDataRange(True)
+
+renderView.ResetActiveCameraToPositiveX()
+renderView.ResetCamera()
+Render(renderView)
+SaveScreenshot('{screenshot}', renderView, ImageResolution=[{width}, {height}],
+               OverrideColorPalette='WhiteBackground')
+"""
+
+
+GROUND_TRUTH_SCRIPTS: Dict[str, str] = {
+    "isosurface": _ISO_GT,
+    "slice_contour": _SLICE_GT,
+    "volume_render": _VOLUME_GT,
+    "delaunay": _DELAUNAY_GT,
+    "streamlines": _STREAM_GT,
+}
+
+
+def ground_truth_script(
+    task: Union[str, VisualizationTask],
+    resolution: Optional[Tuple[int, int]] = None,
+    screenshot: Optional[str] = None,
+) -> str:
+    """The reference script of a task, formatted for a resolution/filename."""
+    if isinstance(task, str):
+        task = get_task(task)
+    template = GROUND_TRUTH_SCRIPTS.get(task.name)
+    if template is None:
+        raise KeyError(f"no ground-truth script for task {task.name!r}")
+    width, height = resolution or task.resolution
+    return template.format(
+        width=int(width),
+        height=int(height),
+        screenshot=screenshot or task.screenshot,
+    )
+
+
+def run_ground_truth(
+    task: Union[str, VisualizationTask],
+    working_dir: Union[str, Path],
+    resolution: Optional[Tuple[int, int]] = None,
+    screenshot: Optional[str] = None,
+) -> ExecutionResult:
+    """Execute the ground-truth script of a task in ``working_dir``."""
+    if isinstance(task, str):
+        task = get_task(task)
+    script = ground_truth_script(task, resolution=resolution, screenshot=screenshot)
+    executor = PvPythonExecutor(working_dir=working_dir)
+    return executor.run(script, script_name=f"ground_truth_{task.name}.py")

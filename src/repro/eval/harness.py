@@ -1,0 +1,381 @@
+"""Experiment harness: regenerates the paper's tables and figures.
+
+* :func:`run_table_two` — the Table II matrix: for each LLM and each of the
+  five canonical tasks, does the unassisted model produce a script that runs
+  without errors, and does it produce a screenshot?  A ChatVis column (the
+  assisted loop on the frontier model) is included for comparison.
+* :func:`run_table_one` — the Table I side-by-side: the ChatVis script and
+  the unassisted GPT-4 script for the streamline-tracing task, with an
+  AST-level defect analysis of each.
+* :func:`run_figure_comparison` — Figures 2-6: ground truth vs ChatVis
+  (vs unassisted GPT-4 where it produces anything), compared with image
+  metrics.
+
+All experiments run on synthetic data prepared by
+:func:`repro.core.tasks.prepare_task_data`; the default resolution is reduced
+from the paper's 1920x1080 so the full table regenerates in minutes on a
+laptop (pass ``resolution=(1920, 1080)`` for full-size figures).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.assistant import ChatVis, ChatVisConfig
+from repro.core.error_extraction import classify_error
+from repro.core.tasks import CANONICAL_TASKS, VisualizationTask, get_task, prepare_task_data
+from repro.eval.ground_truth import ground_truth_script, run_ground_truth
+from repro.eval.image_metrics import (
+    coverage_difference,
+    histogram_similarity,
+    image_coverage,
+    mean_squared_error,
+    structural_similarity,
+)
+from repro.eval.script_metrics import ScriptComparison, analyze_script, compare_scripts
+from repro.llm.base import LLMClient, user
+from repro.llm.codegen import extract_code_block
+from repro.llm.registry import get_model
+from repro.pvsim.executor import ExecutionResult, PvPythonExecutor
+
+__all__ = [
+    "PAPER_MODELS",
+    "TableTwoCell",
+    "TableTwoResult",
+    "TableOneResult",
+    "FigureComparison",
+    "scaled_prompt",
+    "run_unassisted",
+    "run_table_two",
+    "run_table_one",
+    "run_figure_comparison",
+]
+
+#: the unassisted models compared in Table II, in the paper's column order
+PAPER_MODELS: Tuple[str, ...] = (
+    "gpt-4",
+    "gpt-3.5-turbo",
+    "llama3:8b",
+    "codellama:7b",
+    "codegemma",
+)
+
+#: reduced default resolution for tractable full-table runs
+DEFAULT_RESOLUTION: Tuple[int, int] = (480, 270)
+
+
+def scaled_prompt(task: VisualizationTask, resolution: Tuple[int, int]) -> str:
+    """The task's user prompt with the requested resolution substituted."""
+    width, height = resolution
+    return re.sub(r"\d{3,5}\s*x\s*\d{3,5}\s*pixels", f"{width} x {height} pixels", task.user_prompt)
+
+
+# --------------------------------------------------------------------------- #
+# unassisted baseline
+# --------------------------------------------------------------------------- #
+def run_unassisted(
+    model: Union[str, LLMClient],
+    task: Union[str, VisualizationTask],
+    working_dir: Union[str, Path],
+    resolution: Tuple[int, int] = DEFAULT_RESOLUTION,
+) -> Tuple[str, ExecutionResult]:
+    """One unassisted generation: raw user prompt in, script out, execute once.
+
+    Returns ``(script, execution_result)``.
+    """
+    if isinstance(task, str):
+        task = get_task(task)
+    llm = get_model(model) if isinstance(model, str) else model
+    prompt = scaled_prompt(task, resolution)
+    response = llm.complete([user(prompt)])
+    script = extract_code_block(response.text)
+    executor = PvPythonExecutor(working_dir=working_dir)
+    result = executor.run(script, script_name=f"unassisted_{task.name}.py")
+    return script, result
+
+
+# --------------------------------------------------------------------------- #
+# Table II
+# --------------------------------------------------------------------------- #
+@dataclass
+class TableTwoCell:
+    """One (method, task) cell of Table II."""
+
+    method: str
+    task: str
+    error: bool
+    screenshot: bool
+    error_category: str = "none"
+    error_type: Optional[str] = None
+    iterations: int = 1
+
+    def as_row(self) -> Tuple[str, str]:
+        return ("Yes" if self.error else "No", "Yes" if self.screenshot else "No")
+
+
+@dataclass
+class TableTwoResult:
+    """The full Table II matrix."""
+
+    cells: List[TableTwoCell] = field(default_factory=list)
+    methods: List[str] = field(default_factory=list)
+    tasks: List[str] = field(default_factory=list)
+
+    def cell(self, method: str, task: str) -> Optional[TableTwoCell]:
+        for cell in self.cells:
+            if cell.method == method and cell.task == task:
+                return cell
+        return None
+
+    def success_counts(self) -> Dict[str, int]:
+        """Number of tasks per method that produced a screenshot."""
+        counts: Dict[str, int] = {method: 0 for method in self.methods}
+        for cell in self.cells:
+            if cell.screenshot:
+                counts[cell.method] = counts.get(cell.method, 0) + 1
+        return counts
+
+    def error_free_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {method: 0 for method in self.methods}
+        for cell in self.cells:
+            if not cell.error:
+                counts[cell.method] = counts.get(cell.method, 0) + 1
+        return counts
+
+    def format_table(self) -> str:
+        """Render the matrix the way Table II lays it out (Error / SS columns)."""
+        header = ["Visualization".ljust(26)]
+        for method in self.methods:
+            header.append(f"{method} (Err/SS)".ljust(26))
+        lines = ["".join(header)]
+        for task in self.tasks:
+            row = [CANONICAL_TASKS[task].title.ljust(26)]
+            for method in self.methods:
+                cell = self.cell(method, task)
+                if cell is None:
+                    row.append("-".ljust(26))
+                else:
+                    err, ss = cell.as_row()
+                    row.append(f"{err:3s} / {ss:3s}".ljust(26))
+            lines.append("".join(row))
+        return "\n".join(lines)
+
+
+def run_table_two(
+    working_dir: Union[str, Path],
+    models: Sequence[str] = PAPER_MODELS,
+    tasks: Optional[Sequence[str]] = None,
+    resolution: Tuple[int, int] = DEFAULT_RESOLUTION,
+    include_chatvis: bool = True,
+    chatvis_model: str = "gpt-4",
+    small_data: bool = True,
+    max_iterations: int = 5,
+) -> TableTwoResult:
+    """Regenerate the Table II experiment."""
+    working_dir = Path(working_dir)
+    task_names = list(tasks) if tasks is not None else list(CANONICAL_TASKS)
+    methods: List[str] = (["ChatVis"] if include_chatvis else []) + [str(m) for m in models]
+    result = TableTwoResult(methods=methods, tasks=task_names)
+
+    for task_name in task_names:
+        task = get_task(task_name)
+        task_dir = working_dir / task_name
+        prepare_task_data(task, task_dir, small=small_data)
+
+        if include_chatvis:
+            chatvis_dir = task_dir / "chatvis"
+            prepare_task_data(task, chatvis_dir, small=small_data)
+            assistant = ChatVis(
+                chatvis_model,
+                working_dir=chatvis_dir,
+                config=ChatVisConfig(max_iterations=max_iterations),
+            )
+            run = assistant.run(scaled_prompt(task, resolution))
+            final_error = run.iterations[-1].error_type if run.iterations else None
+            result.cells.append(
+                TableTwoCell(
+                    method="ChatVis",
+                    task=task_name,
+                    error=not run.success,
+                    screenshot=bool(run.screenshots),
+                    error_category="none" if run.success else "other",
+                    error_type=None if run.success else final_error,
+                    iterations=run.n_iterations,
+                )
+            )
+
+        for model in models:
+            model_dir = task_dir / str(model).replace(":", "_").replace("/", "_")
+            prepare_task_data(task, model_dir, small=small_data)
+            script, execution = run_unassisted(model, task, model_dir, resolution=resolution)
+            result.cells.append(
+                TableTwoCell(
+                    method=str(model),
+                    task=task_name,
+                    error=not execution.success,
+                    screenshot=execution.produced_screenshot,
+                    error_category=classify_error(execution.output),
+                    error_type=execution.error_type,
+                )
+            )
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Table I
+# --------------------------------------------------------------------------- #
+@dataclass
+class TableOneResult:
+    """Side-by-side scripts for the streamline-tracing task."""
+
+    chatvis_script: str
+    gpt4_script: str
+    chatvis_execution_success: bool
+    gpt4_execution_success: bool
+    chatvis_iterations: int
+    chatvis_comparison: ScriptComparison
+    gpt4_comparison: ScriptComparison
+    ground_truth: str
+
+    def summary(self) -> str:
+        return (
+            f"ChatVis: success={self.chatvis_execution_success} "
+            f"(iterations={self.chatvis_iterations}, "
+            f"hallucinations={len(self.chatvis_comparison.candidate.hallucinated_properties)}); "
+            f"GPT-4 unassisted: success={self.gpt4_execution_success} "
+            f"(hallucinations={len(self.gpt4_comparison.candidate.hallucinated_properties)}, "
+            f"unknown functions={len(self.gpt4_comparison.candidate.unknown_functions)})"
+        )
+
+
+def run_table_one(
+    working_dir: Union[str, Path],
+    task_name: str = "streamlines",
+    resolution: Tuple[int, int] = DEFAULT_RESOLUTION,
+    small_data: bool = True,
+) -> TableOneResult:
+    """Regenerate the Table I comparison (generated scripts for streamlines)."""
+    working_dir = Path(working_dir)
+    task = get_task(task_name)
+
+    chatvis_dir = working_dir / "chatvis"
+    prepare_task_data(task, chatvis_dir, small=small_data)
+    assistant = ChatVis("gpt-4", working_dir=chatvis_dir)
+    chatvis_run = assistant.run(scaled_prompt(task, resolution))
+
+    gpt4_dir = working_dir / "gpt4"
+    prepare_task_data(task, gpt4_dir, small=small_data)
+    gpt4_script, gpt4_execution = run_unassisted("gpt-4", task, gpt4_dir, resolution=resolution)
+
+    reference = ground_truth_script(task, resolution=resolution)
+    return TableOneResult(
+        chatvis_script=chatvis_run.final_script,
+        gpt4_script=gpt4_script,
+        chatvis_execution_success=chatvis_run.success,
+        gpt4_execution_success=gpt4_execution.success and gpt4_execution.produced_screenshot,
+        chatvis_iterations=chatvis_run.n_iterations,
+        chatvis_comparison=compare_scripts(chatvis_run.final_script, reference),
+        gpt4_comparison=compare_scripts(gpt4_script, reference),
+        ground_truth=reference,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Figures 2-6
+# --------------------------------------------------------------------------- #
+@dataclass
+class MethodImageResult:
+    """One method's screenshot and its similarity to the ground truth."""
+
+    method: str
+    screenshot: Optional[str]
+    produced: bool
+    mse: Optional[float] = None
+    ssim: Optional[float] = None
+    histogram: Optional[float] = None
+    coverage: Optional[float] = None
+    coverage_delta: Optional[float] = None
+
+
+@dataclass
+class FigureComparison:
+    """Ground truth vs generated screenshots for one task (one paper figure)."""
+
+    task: str
+    figure: str
+    ground_truth_screenshot: str
+    ground_truth_coverage: float
+    methods: List[MethodImageResult] = field(default_factory=list)
+
+    def method(self, name: str) -> Optional[MethodImageResult]:
+        for entry in self.methods:
+            if entry.method == name:
+                return entry
+        return None
+
+
+def run_figure_comparison(
+    task_name: str,
+    working_dir: Union[str, Path],
+    resolution: Tuple[int, int] = DEFAULT_RESOLUTION,
+    include_unassisted_gpt4: bool = True,
+    small_data: bool = True,
+) -> FigureComparison:
+    """Regenerate the figure for one task: ground truth vs ChatVis (vs GPT-4)."""
+    working_dir = Path(working_dir)
+    task = get_task(task_name)
+
+    # ground truth
+    gt_dir = working_dir / "ground_truth"
+    prepare_task_data(task, gt_dir, small=small_data)
+    gt_result = run_ground_truth(task, gt_dir, resolution=resolution)
+    if not gt_result.produced_screenshot:
+        raise RuntimeError(
+            f"ground-truth pipeline for {task_name!r} failed: {gt_result.summary()}"
+        )
+    gt_screenshot = gt_result.screenshots[0]
+
+    comparison = FigureComparison(
+        task=task_name,
+        figure=task.figure,
+        ground_truth_screenshot=gt_screenshot,
+        ground_truth_coverage=image_coverage(gt_screenshot),
+    )
+
+    # ChatVis
+    chatvis_dir = working_dir / "chatvis"
+    prepare_task_data(task, chatvis_dir, small=small_data)
+    assistant = ChatVis("gpt-4", working_dir=chatvis_dir)
+    chatvis_run = assistant.run(scaled_prompt(task, resolution))
+    comparison.methods.append(
+        _method_result("ChatVis", chatvis_run.screenshots, gt_screenshot)
+    )
+
+    # unassisted GPT-4
+    if include_unassisted_gpt4:
+        gpt4_dir = working_dir / "gpt4"
+        prepare_task_data(task, gpt4_dir, small=small_data)
+        _script, execution = run_unassisted("gpt-4", task, gpt4_dir, resolution=resolution)
+        comparison.methods.append(
+            _method_result("GPT-4", execution.screenshots, gt_screenshot)
+        )
+    return comparison
+
+
+def _method_result(name: str, screenshots: Sequence[str], gt_screenshot: str) -> MethodImageResult:
+    if not screenshots:
+        return MethodImageResult(method=name, screenshot=None, produced=False)
+    shot = screenshots[0]
+    return MethodImageResult(
+        method=name,
+        screenshot=shot,
+        produced=True,
+        mse=mean_squared_error(shot, gt_screenshot),
+        ssim=structural_similarity(shot, gt_screenshot),
+        histogram=histogram_similarity(shot, gt_screenshot),
+        coverage=image_coverage(shot),
+        coverage_delta=coverage_difference(shot, gt_screenshot),
+    )

@@ -1,0 +1,118 @@
+"""Image comparison metrics for screenshot evaluation.
+
+The paper compares generated screenshots against ground truth visually; the
+harness quantifies the comparison with standard full-reference metrics (MSE,
+PSNR, a windowed SSIM) plus two structure-light metrics that are robust to
+color-map differences (histogram similarity and foreground-coverage
+difference).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Tuple, Union
+
+import numpy as np
+from scipy.ndimage import uniform_filter
+
+from repro.io.png import read_png
+
+__all__ = [
+    "load_image",
+    "as_grayscale",
+    "mean_squared_error",
+    "peak_signal_to_noise_ratio",
+    "structural_similarity",
+    "histogram_similarity",
+    "image_coverage",
+    "coverage_difference",
+]
+
+ImageLike = Union[str, Path, np.ndarray]
+
+
+def load_image(image: ImageLike) -> np.ndarray:
+    """Load a PNG path or pass through an array; returns float RGB in [0, 1]."""
+    if isinstance(image, (str, Path)):
+        data = read_png(image)
+    else:
+        data = np.asarray(image)
+    if data.dtype == np.uint8:
+        data = data.astype(np.float64) / 255.0
+    else:
+        data = np.asarray(data, dtype=np.float64)
+    if data.ndim == 2:
+        data = np.stack([data] * 3, axis=-1)
+    if data.shape[2] == 4:
+        data = data[:, :, :3]
+    return data
+
+
+def _match_shapes(a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Nearest-neighbour resample ``b`` onto ``a``'s shape if they differ."""
+    if a.shape == b.shape:
+        return a, b
+    height, width = a.shape[:2]
+    rows = np.clip((np.arange(height) * b.shape[0] / height).astype(int), 0, b.shape[0] - 1)
+    cols = np.clip((np.arange(width) * b.shape[1] / width).astype(int), 0, b.shape[1] - 1)
+    return a, b[rows][:, cols]
+
+
+def as_grayscale(image: ImageLike) -> np.ndarray:
+    """Luminance channel in [0, 1]."""
+    rgb = load_image(image)
+    return 0.2126 * rgb[:, :, 0] + 0.7152 * rgb[:, :, 1] + 0.0722 * rgb[:, :, 2]
+
+
+def mean_squared_error(a: ImageLike, b: ImageLike) -> float:
+    """Pixel MSE over RGB in [0, 1]."""
+    ia, ib = _match_shapes(load_image(a), load_image(b))
+    return float(np.mean((ia - ib) ** 2))
+
+
+def peak_signal_to_noise_ratio(a: ImageLike, b: ImageLike) -> float:
+    """PSNR in dB (infinite for identical images)."""
+    mse = mean_squared_error(a, b)
+    if mse <= 0.0:
+        return float("inf")
+    return float(10.0 * np.log10(1.0 / mse))
+
+
+def structural_similarity(a: ImageLike, b: ImageLike, window: int = 7) -> float:
+    """Mean SSIM over the luminance channel (uniform window approximation)."""
+    ga, gb = _match_shapes(as_grayscale(a)[..., None], as_grayscale(b)[..., None])
+    ga, gb = ga[..., 0], gb[..., 0]
+    c1 = (0.01) ** 2
+    c2 = (0.03) ** 2
+    mu_a = uniform_filter(ga, window)
+    mu_b = uniform_filter(gb, window)
+    sigma_a = uniform_filter(ga * ga, window) - mu_a * mu_a
+    sigma_b = uniform_filter(gb * gb, window) - mu_b * mu_b
+    sigma_ab = uniform_filter(ga * gb, window) - mu_a * mu_b
+    numerator = (2 * mu_a * mu_b + c1) * (2 * sigma_ab + c2)
+    denominator = (mu_a ** 2 + mu_b ** 2 + c1) * (sigma_a + sigma_b + c2)
+    ssim_map = numerator / np.maximum(denominator, 1e-12)
+    return float(np.clip(np.mean(ssim_map), -1.0, 1.0))
+
+
+def histogram_similarity(a: ImageLike, b: ImageLike, bins: int = 32) -> float:
+    """Histogram intersection of the luminance distributions (1 = identical)."""
+    ga = as_grayscale(a).ravel()
+    gb = as_grayscale(b).ravel()
+    ha, _ = np.histogram(ga, bins=bins, range=(0.0, 1.0), density=False)
+    hb, _ = np.histogram(gb, bins=bins, range=(0.0, 1.0), density=False)
+    ha = ha / max(ha.sum(), 1)
+    hb = hb / max(hb.sum(), 1)
+    return float(np.minimum(ha, hb).sum())
+
+
+def image_coverage(image: ImageLike, background_threshold: float = 0.97) -> float:
+    """Fraction of pixels that are not (near-)background white."""
+    rgb = load_image(image)
+    foreground = np.any(rgb < background_threshold, axis=2)
+    return float(np.mean(foreground))
+
+
+def coverage_difference(a: ImageLike, b: ImageLike) -> float:
+    """Absolute difference in foreground coverage (0 = same amount of content)."""
+    return abs(image_coverage(a) - image_coverage(b))

@@ -1,0 +1,161 @@
+"""AST-level analysis and comparison of generated ParaView scripts.
+
+Used for the Table I style comparison ("which calls did each model make, in
+what order, and which of them do not exist in the ParaView API") and for the
+planned "automated script evaluation" extension the paper describes in its
+conclusion.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.llm.knowledge import ParaViewKnowledgeBase
+
+__all__ = ["ScriptAnalysis", "analyze_script", "compare_scripts", "ScriptComparison"]
+
+
+@dataclass
+class ScriptAnalysis:
+    """Structured summary of one script."""
+
+    parse_ok: bool
+    syntax_error: Optional[str] = None
+    calls: List[str] = field(default_factory=list)
+    constructors: List[str] = field(default_factory=list)
+    property_assignments: List[Tuple[str, str]] = field(default_factory=list)  # (var, property)
+    unknown_functions: List[str] = field(default_factory=list)
+    hallucinated_properties: List[Tuple[str, str]] = field(default_factory=list)
+    n_statements: int = 0
+
+    def call_set(self) -> Set[str]:
+        return set(self.calls) | set(self.constructors)
+
+    @property
+    def has_hallucinations(self) -> bool:
+        return bool(self.unknown_functions or self.hallucinated_properties)
+
+
+_BUILTIN_NAMES = {
+    "print", "len", "range", "str", "int", "float", "list", "dict", "tuple",
+    "enumerate", "zip", "abs", "min", "max", "sorted", "open", "round",
+}
+
+
+def analyze_script(script: str, knowledge: Optional[ParaViewKnowledgeBase] = None) -> ScriptAnalysis:
+    """Parse a script and summarise its ParaView API usage."""
+    knowledge = knowledge or ParaViewKnowledgeBase()
+    try:
+        tree = ast.parse(script)
+    except SyntaxError as exc:
+        return ScriptAnalysis(parse_ok=False, syntax_error=str(exc))
+
+    analysis = ScriptAnalysis(parse_ok=True)
+    proxy_types = set(knowledge.proxies())
+    var_types: Dict[str, str] = {}
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.stmt):
+            analysis.n_statements += 1
+
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name is None:
+                continue
+            is_method = isinstance(node.func, ast.Attribute)
+            if name in proxy_types:
+                analysis.constructors.append(name)
+            else:
+                analysis.calls.append(name)
+            # only free functions can be "unknown"; proxy methods (obj.Foo())
+            # are validated at run time by the strict proxies themselves
+            if (
+                not is_method
+                and name not in proxy_types
+                and not knowledge.has_function(name)
+                and name not in _BUILTIN_NAMES
+            ):
+                analysis.unknown_functions.append(name)
+
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            call_name = _call_name(node.value)
+            if call_name and call_name in proxy_types:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        var_types[target.id] = call_name
+
+    # second pass: property assignments on known proxy variables
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name):
+                    var = target.value.id
+                    prop = target.attr
+                    analysis.property_assignments.append((var, prop))
+                    proxy_type = var_types.get(var)
+                    if proxy_type and not knowledge.is_valid_property(proxy_type, prop):
+                        analysis.hallucinated_properties.append((proxy_type, prop))
+
+    return analysis
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        # view.ResetCamera() etc: record the attribute name only
+        return func.attr
+    return None
+
+
+@dataclass
+class ScriptComparison:
+    """How a candidate script compares to a reference script."""
+
+    reference_calls: Set[str]
+    candidate_calls: Set[str]
+    missing_calls: Set[str]
+    extra_calls: Set[str]
+    operation_coverage: float
+    candidate: ScriptAnalysis
+    reference: ScriptAnalysis
+
+    def summary(self) -> str:
+        return (
+            f"coverage={self.operation_coverage:.2f}, "
+            f"missing={sorted(self.missing_calls)}, extra={sorted(self.extra_calls)}, "
+            f"hallucinated={self.candidate.hallucinated_properties + [(f, '') for f in self.candidate.unknown_functions]}"
+        )
+
+
+#: calls that do not affect what the pipeline computes (ignored for coverage)
+_NON_SEMANTIC_CALLS = {
+    "Render", "UpdatePipeline", "GetActiveViewOrCreate", "CreateView", "CreateLayout",
+    "AssignView", "GetLayout", "print", "_DisableFirstRenderCameraReset",
+    "RescaleTransferFunctionToDataRange", "ResetCamera", "GetActiveCamera",
+}
+
+
+def compare_scripts(candidate: str, reference: str) -> ScriptComparison:
+    """Compare a generated script against the ground-truth script."""
+    knowledge = ParaViewKnowledgeBase()
+    cand = analyze_script(candidate, knowledge)
+    ref = analyze_script(reference, knowledge)
+
+    ref_calls = {c for c in ref.call_set() if c not in _NON_SEMANTIC_CALLS}
+    cand_calls = {c for c in cand.call_set() if c not in _NON_SEMANTIC_CALLS}
+    missing = ref_calls - cand_calls
+    extra = cand_calls - ref_calls
+    coverage = 1.0 if not ref_calls else len(ref_calls & cand_calls) / len(ref_calls)
+    return ScriptComparison(
+        reference_calls=ref_calls,
+        candidate_calls=cand_calls,
+        missing_calls=missing,
+        extra_calls=extra,
+        operation_coverage=coverage,
+        candidate=cand,
+        reference=ref,
+    )

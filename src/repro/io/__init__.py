@@ -1,0 +1,32 @@
+"""File I/O for the visualization substrate.
+
+Three file families are supported:
+
+* ``.vtk`` — an ASCII legacy-VTK-style format for structured points and
+  unstructured grids (:mod:`repro.io.vtk_legacy`).
+* ``.ex2`` / ``.exo`` — a simple JSON-headered container standing in for
+  ExodusII files (:mod:`repro.io.exodus_like`); it stores points, element
+  blocks and named point variables, which is all the paper's pipelines need.
+* ``.png`` — screenshots, written/read by a pure-Python encoder/decoder
+  (:mod:`repro.io.png`).
+
+:func:`repro.io.registry.open_data_file` dispatches on the file extension the
+way ParaView's ``OpenDataFile`` does.
+"""
+
+from repro.io.exodus_like import read_exodus, write_exodus
+from repro.io.png import read_png, write_png
+from repro.io.registry import open_data_file, register_reader, supported_extensions
+from repro.io.vtk_legacy import read_vtk, write_vtk
+
+__all__ = [
+    "open_data_file",
+    "read_exodus",
+    "read_png",
+    "read_vtk",
+    "register_reader",
+    "supported_extensions",
+    "write_exodus",
+    "write_png",
+    "write_vtk",
+]

@@ -1,0 +1,191 @@
+"""A simple ExodusII-style container format (``.ex2`` / ``.exo``).
+
+The real ExodusII format is NetCDF-based; reproducing it byte-for-byte is
+unnecessary for the paper's pipelines, which only need (a) a point cloud with
+optional element blocks and (b) named nodal variables such as ``V`` (velocity
+vector) and ``Temp``.  This module therefore stores the same logical content
+in a small self-describing text container:
+
+* a JSON header describing points, element blocks and variables,
+* followed by whitespace-separated ASCII float payloads, one block per array.
+
+The reader produces :class:`repro.datamodel.UnstructuredGrid` (when element
+blocks are present) or a vertex-only grid for bare point clouds, with all
+nodal variables attached as point data — exactly what ``ExodusIIReader``
+returns through :mod:`repro.pvsim`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.datamodel import CellType, UnstructuredGrid
+
+__all__ = ["write_exodus", "read_exodus", "ExodusParseError"]
+
+_MAGIC = "# repro exodus-like v1"
+
+_ELEMENT_TYPES: Dict[str, CellType] = {
+    "TETRA": CellType.TETRA,
+    "TET4": CellType.TETRA,
+    "HEX": CellType.HEXAHEDRON,
+    "HEX8": CellType.HEXAHEDRON,
+    "WEDGE": CellType.WEDGE,
+    "PYRAMID": CellType.PYRAMID,
+    "TRI": CellType.TRIANGLE,
+    "TRI3": CellType.TRIANGLE,
+    "QUAD": CellType.QUAD,
+    "QUAD4": CellType.QUAD,
+    "VERTEX": CellType.VERTEX,
+    "SPHERE": CellType.VERTEX,
+}
+
+_CELL_TO_ELEMENT = {
+    CellType.TETRA: "TETRA",
+    CellType.HEXAHEDRON: "HEX8",
+    CellType.WEDGE: "WEDGE",
+    CellType.PYRAMID: "PYRAMID",
+    CellType.TRIANGLE: "TRI3",
+    CellType.QUAD: "QUAD4",
+    CellType.VERTEX: "VERTEX",
+}
+
+
+class ExodusParseError(ValueError):
+    """Raised when an .ex2-style file cannot be parsed."""
+
+
+def write_exodus(
+    path: Union[str, Path],
+    grid: UnstructuredGrid,
+    title: str = "repro exodus-like dataset",
+) -> Path:
+    """Write an unstructured grid (points, blocks, nodal variables) to disk."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    # group cells into same-type blocks preserving order of first appearance
+    blocks: Dict[str, List[Sequence[int]]] = {}
+    for ctype, conn in grid.cells():
+        name = _CELL_TO_ELEMENT.get(CellType(ctype))
+        if name is None:
+            raise ValueError(f"cell type {ctype} not representable in exodus-like files")
+        blocks.setdefault(name, []).append(list(conn))
+
+    header = {
+        "title": title,
+        "num_nodes": grid.n_points,
+        "blocks": [
+            {"element_type": name, "num_elements": len(cells), "nodes_per_element": len(cells[0]) if cells else 0}
+            for name, cells in blocks.items()
+        ],
+        "nodal_variables": [
+            {"name": name, "components": grid.point_data[name].n_components}
+            for name in grid.point_data.names()
+        ],
+    }
+
+    parts: List[str] = [_MAGIC, json.dumps(header)]
+
+    def fmt(values: np.ndarray) -> str:
+        flat = np.asarray(values, dtype=np.float64).reshape(-1)
+        lines = []
+        for start in range(0, flat.size, 9):
+            lines.append(" ".join(f"{v:.9g}" for v in flat[start : start + 9]))
+        return "\n".join(lines) if lines else ""
+
+    parts.append("COORDINATES")
+    parts.append(fmt(grid.points))
+    for name, cells in blocks.items():
+        parts.append(f"BLOCK {name}")
+        for conn in cells:
+            parts.append(" ".join(str(int(i)) for i in conn))
+    for name in grid.point_data.names():
+        parts.append(f"VARIABLE {name}")
+        parts.append(fmt(grid.point_data[name].values))
+
+    path.write_text("\n".join(parts) + "\n")
+    return path
+
+
+def read_exodus(path: Union[str, Path]) -> UnstructuredGrid:
+    """Read an exodus-like file back into an :class:`UnstructuredGrid`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no such file: {path}")
+    lines = path.read_text().splitlines()
+    if not lines or lines[0].strip() != _MAGIC:
+        raise ExodusParseError(f"{path} is not a repro exodus-like file")
+    try:
+        header = json.loads(lines[1])
+    except (IndexError, json.JSONDecodeError) as exc:
+        raise ExodusParseError(f"{path}: invalid JSON header") from exc
+
+    num_nodes = int(header.get("num_nodes", 0))
+    block_specs = header.get("blocks", [])
+    var_specs = header.get("nodal_variables", [])
+
+    # split the remainder into sections
+    sections: Dict[str, List[str]] = {}
+    current: Optional[str] = None
+    order: List[str] = []
+    for line in lines[2:]:
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if (
+            stripped == "COORDINATES"
+            or stripped.startswith("BLOCK ")
+            or stripped.startswith("VARIABLE ")
+        ):
+            current = stripped
+            sections[current] = []
+            order.append(current)
+        else:
+            if current is None:
+                raise ExodusParseError(f"{path}: data before any section header")
+            sections[current].append(stripped)
+
+    if "COORDINATES" not in sections:
+        raise ExodusParseError(f"{path}: missing COORDINATES section")
+
+    coord_tokens = " ".join(sections["COORDINATES"]).split()
+    coords = np.array([float(t) for t in coord_tokens], dtype=np.float64).reshape(-1, 3)
+    if coords.shape[0] != num_nodes:
+        raise ExodusParseError(
+            f"{path}: header says {num_nodes} nodes but found {coords.shape[0]} coordinates"
+        )
+
+    grid = UnstructuredGrid(coords)
+
+    block_index = 0
+    for key in order:
+        if key.startswith("BLOCK "):
+            element_type = key.split(None, 1)[1].strip().upper()
+            cell_type = _ELEMENT_TYPES.get(element_type)
+            if cell_type is None:
+                raise ExodusParseError(f"{path}: unknown element type {element_type!r}")
+            for row in sections[key]:
+                conn = [int(tok) for tok in row.split()]
+                grid.add_cell(cell_type, conn)
+            block_index += 1
+
+    declared_vars = {spec["name"]: int(spec.get("components", 1)) for spec in var_specs}
+    for key in order:
+        if key.startswith("VARIABLE "):
+            name = key.split(None, 1)[1].strip()
+            ncomp = declared_vars.get(name, 1)
+            tokens = " ".join(sections[key]).split()
+            values = np.array([float(t) for t in tokens], dtype=np.float64).reshape(num_nodes, ncomp)
+            grid.add_point_array(name, values)
+
+    # Bare point clouds: promote every node to a vertex cell so downstream
+    # filters (Delaunay, Glyph) see a renderable dataset.
+    if grid.n_cells == 0 and grid.n_points > 0:
+        for pid in range(grid.n_points):
+            grid.add_cell(CellType.VERTEX, (pid,))
+    return grid

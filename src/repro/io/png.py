@@ -1,0 +1,152 @@
+"""Minimal pure-Python PNG writer/reader.
+
+Only the subset needed for screenshots is implemented: 8-bit RGB and RGBA
+images, no interlacing, no palettes.  Encoding uses zlib from the standard
+library; filtering uses the "None" filter for simplicity (the files are valid
+PNG and readable by any viewer, they are just not maximally compressed).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+from typing import Tuple, Union
+
+import numpy as np
+
+__all__ = ["write_png", "read_png"]
+
+_PNG_SIGNATURE = b"\x89PNG\r\n\x1a\n"
+
+
+def _chunk(tag: bytes, data: bytes) -> bytes:
+    """Assemble one PNG chunk (length, tag, data, CRC)."""
+    return (
+        struct.pack(">I", len(data))
+        + tag
+        + data
+        + struct.pack(">I", zlib.crc32(tag + data) & 0xFFFFFFFF)
+    )
+
+
+def write_png(path: Union[str, Path], image: np.ndarray) -> Path:
+    """Write an ``(h, w, 3)`` or ``(h, w, 4)`` uint8 array as a PNG file.
+
+    Float images in [0, 1] are accepted and converted.  Returns the path.
+    """
+    arr = np.asarray(image)
+    if arr.ndim == 2:
+        arr = np.stack([arr] * 3, axis=-1)
+    if arr.ndim != 3 or arr.shape[2] not in (3, 4):
+        raise ValueError(f"image must have shape (h, w, 3|4), got {arr.shape}")
+    if arr.dtype != np.uint8:
+        arr = np.clip(arr, 0.0, 1.0)
+        arr = (arr * 255.0 + 0.5).astype(np.uint8)
+
+    height, width, channels = arr.shape
+    color_type = 2 if channels == 3 else 6
+
+    # Prepend the per-scanline filter byte (0 = None).
+    raw = np.empty((height, 1 + width * channels), dtype=np.uint8)
+    raw[:, 0] = 0
+    raw[:, 1:] = arr.reshape(height, width * channels)
+
+    ihdr = struct.pack(">IIBBBBB", width, height, 8, color_type, 0, 0, 0)
+    idat = zlib.compress(raw.tobytes(), level=6)
+
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "wb") as fh:
+        fh.write(_PNG_SIGNATURE)
+        fh.write(_chunk(b"IHDR", ihdr))
+        fh.write(_chunk(b"IDAT", idat))
+        fh.write(_chunk(b"IEND", b""))
+    return out
+
+
+def _unfilter_scanline(
+    filter_type: int,
+    scanline: np.ndarray,
+    previous: np.ndarray,
+    bpp: int,
+) -> np.ndarray:
+    """Reverse one PNG scanline filter (types 0-4)."""
+    out = scanline.astype(np.int32)
+    n = out.shape[0]
+    if filter_type == 0:  # None
+        pass
+    elif filter_type == 1:  # Sub
+        for i in range(bpp, n):
+            out[i] = (out[i] + out[i - bpp]) & 0xFF
+    elif filter_type == 2:  # Up
+        out = (out + previous) & 0xFF
+    elif filter_type == 3:  # Average
+        for i in range(n):
+            left = out[i - bpp] if i >= bpp else 0
+            out[i] = (out[i] + ((left + int(previous[i])) >> 1)) & 0xFF
+    elif filter_type == 4:  # Paeth
+        for i in range(n):
+            a = out[i - bpp] if i >= bpp else 0
+            b = int(previous[i])
+            c = int(previous[i - bpp]) if i >= bpp else 0
+            p = a + b - c
+            pa, pb, pc = abs(p - a), abs(p - b), abs(p - c)
+            if pa <= pb and pa <= pc:
+                pred = a
+            elif pb <= pc:
+                pred = b
+            else:
+                pred = c
+            out[i] = (out[i] + pred) & 0xFF
+    else:
+        raise ValueError(f"unsupported PNG filter type {filter_type}")
+    return out.astype(np.uint8)
+
+
+def read_png(path: Union[str, Path]) -> np.ndarray:
+    """Read an 8-bit RGB/RGBA/greyscale PNG into an ``(h, w, c)`` uint8 array."""
+    data = Path(path).read_bytes()
+    if data[:8] != _PNG_SIGNATURE:
+        raise ValueError(f"{path} is not a PNG file")
+
+    pos = 8
+    width = height = None
+    bit_depth = color_type = None
+    idat = bytearray()
+    while pos < len(data):
+        (length,) = struct.unpack(">I", data[pos : pos + 4])
+        tag = data[pos + 4 : pos + 8]
+        chunk = data[pos + 8 : pos + 8 + length]
+        pos += 12 + length
+        if tag == b"IHDR":
+            width, height, bit_depth, color_type, _comp, _filt, interlace = struct.unpack(
+                ">IIBBBBB", chunk
+            )
+            if bit_depth != 8:
+                raise ValueError("only 8-bit PNGs are supported")
+            if interlace != 0:
+                raise ValueError("interlaced PNGs are not supported")
+        elif tag == b"IDAT":
+            idat.extend(chunk)
+        elif tag == b"IEND":
+            break
+
+    if width is None or height is None:
+        raise ValueError("PNG missing IHDR chunk")
+
+    channels = {0: 1, 2: 3, 4: 2, 6: 4}.get(color_type)
+    if channels is None:
+        raise ValueError(f"unsupported PNG color type {color_type}")
+
+    raw = np.frombuffer(zlib.decompress(bytes(idat)), dtype=np.uint8)
+    stride = 1 + width * channels
+    raw = raw.reshape(height, stride)
+
+    image = np.zeros((height, width * channels), dtype=np.uint8)
+    previous = np.zeros(width * channels, dtype=np.uint8)
+    for row in range(height):
+        filt = int(raw[row, 0])
+        image[row] = _unfilter_scanline(filt, raw[row, 1:], previous, channels)
+        previous = image[row]
+    return image.reshape(height, width, channels)

@@ -1,0 +1,58 @@
+"""Extension-based reader dispatch, modelled on ParaView's ``OpenDataFile``."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, List, Union
+
+from repro.datamodel import Dataset
+
+__all__ = ["open_data_file", "register_reader", "supported_extensions", "UnsupportedFormatError"]
+
+
+class UnsupportedFormatError(ValueError):
+    """Raised when no reader is registered for a file extension."""
+
+
+ReaderFunc = Callable[[Union[str, Path]], Dataset]
+
+_READERS: Dict[str, ReaderFunc] = {}
+
+
+def register_reader(extension: str, reader: ReaderFunc) -> None:
+    """Register ``reader`` for files ending in ``extension`` (e.g. ``".vtk"``)."""
+    ext = extension.lower()
+    if not ext.startswith("."):
+        ext = "." + ext
+    _READERS[ext] = reader
+
+
+def supported_extensions() -> List[str]:
+    """Sorted list of registered extensions."""
+    return sorted(_READERS)
+
+
+def open_data_file(path: Union[str, Path]) -> Dataset:
+    """Read ``path`` with the reader registered for its extension."""
+    p = Path(path)
+    ext = p.suffix.lower()
+    reader = _READERS.get(ext)
+    if reader is None:
+        raise UnsupportedFormatError(
+            f"no reader registered for {ext!r} files "
+            f"(supported: {', '.join(supported_extensions())})"
+        )
+    return reader(p)
+
+
+def _register_builtin_readers() -> None:
+    from repro.io.exodus_like import read_exodus
+    from repro.io.vtk_legacy import read_vtk
+
+    register_reader(".vtk", read_vtk)
+    register_reader(".ex2", read_exodus)
+    register_reader(".exo", read_exodus)
+    register_reader(".e", read_exodus)
+
+
+_register_builtin_readers()

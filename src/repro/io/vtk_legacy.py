@@ -1,0 +1,371 @@
+"""ASCII legacy-VTK-style reader and writer.
+
+Two dataset kinds are supported, which covers the paper's pipelines:
+
+* ``STRUCTURED_POINTS`` — read into :class:`repro.datamodel.ImageData`.
+* ``UNSTRUCTURED_GRID`` — read into :class:`repro.datamodel.UnstructuredGrid`.
+* ``POLYDATA`` — read into :class:`repro.datamodel.PolyData` (points,
+  vertices, lines, polygons-as-triangles).
+
+The on-disk layout mirrors the legacy VTK file format closely enough that the
+files are self-describing, but the reader is intentionally strict and simple:
+ASCII only, ``float`` / ``int`` data, ``POINT_DATA`` scalars and vectors.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.datamodel import (
+    CellType,
+    Dataset,
+    ImageData,
+    PolyData,
+    UnstructuredGrid,
+)
+
+__all__ = ["read_vtk", "write_vtk", "VtkParseError"]
+
+
+class VtkParseError(ValueError):
+    """Raised when a .vtk file cannot be parsed."""
+
+
+# --------------------------------------------------------------------------- #
+# tokenizer
+# --------------------------------------------------------------------------- #
+class _Tokens:
+    """A flat token stream over the file body (whitespace-separated)."""
+
+    def __init__(self, text: str) -> None:
+        self._tokens: List[str] = text.split()
+        self._pos = 0
+
+    def eof(self) -> bool:
+        return self._pos >= len(self._tokens)
+
+    def peek(self) -> Optional[str]:
+        return None if self.eof() else self._tokens[self._pos]
+
+    def next(self) -> str:
+        if self.eof():
+            raise VtkParseError("unexpected end of file")
+        tok = self._tokens[self._pos]
+        self._pos += 1
+        return tok
+
+    def next_int(self) -> int:
+        tok = self.next()
+        try:
+            return int(tok)
+        except ValueError as exc:
+            raise VtkParseError(f"expected integer, got {tok!r}") from exc
+
+    def next_float(self) -> float:
+        tok = self.next()
+        try:
+            return float(tok)
+        except ValueError as exc:
+            raise VtkParseError(f"expected float, got {tok!r}") from exc
+
+    def next_floats(self, count: int) -> np.ndarray:
+        vals = np.empty(count, dtype=np.float64)
+        for i in range(count):
+            vals[i] = self.next_float()
+        return vals
+
+    def next_ints(self, count: int) -> np.ndarray:
+        vals = np.empty(count, dtype=np.int64)
+        for i in range(count):
+            vals[i] = self.next_int()
+        return vals
+
+    def expect(self, keyword: str) -> None:
+        tok = self.next()
+        if tok.upper() != keyword.upper():
+            raise VtkParseError(f"expected keyword {keyword!r}, got {tok!r}")
+
+
+# --------------------------------------------------------------------------- #
+# reading
+# --------------------------------------------------------------------------- #
+def read_vtk(path: Union[str, Path]) -> Dataset:
+    """Read a legacy-style ``.vtk`` file into the matching dataset type."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no such file: {path}")
+    text = path.read_text()
+    lines = text.splitlines()
+    if len(lines) < 4:
+        raise VtkParseError(f"{path} is too short to be a legacy VTK file")
+    if not lines[0].lstrip().startswith("# vtk DataFile"):
+        raise VtkParseError(f"{path} does not start with a '# vtk DataFile' header")
+    fmt = lines[2].strip().upper()
+    if fmt != "ASCII":
+        raise VtkParseError(f"only ASCII files are supported, got {fmt!r}")
+
+    body = "\n".join(lines[3:])
+    toks = _Tokens(body)
+    toks.expect("DATASET")
+    kind = toks.next().upper()
+    if kind == "STRUCTURED_POINTS":
+        dataset: Dataset = _read_structured_points(toks)
+    elif kind == "UNSTRUCTURED_GRID":
+        dataset = _read_unstructured_grid(toks)
+    elif kind == "POLYDATA":
+        dataset = _read_polydata(toks)
+    else:
+        raise VtkParseError(f"unsupported dataset type {kind!r}")
+
+    _read_attributes(toks, dataset)
+    return dataset
+
+
+def _read_structured_points(toks: _Tokens) -> ImageData:
+    dims = spacing = origin = None
+    while True:
+        key = toks.peek()
+        if key is None:
+            break
+        key = key.upper()
+        if key == "DIMENSIONS":
+            toks.next()
+            dims = tuple(toks.next_ints(3).tolist())
+        elif key in ("SPACING", "ASPECT_RATIO"):
+            toks.next()
+            spacing = tuple(toks.next_floats(3).tolist())
+        elif key == "ORIGIN":
+            toks.next()
+            origin = tuple(toks.next_floats(3).tolist())
+        else:
+            break
+    if dims is None:
+        raise VtkParseError("STRUCTURED_POINTS missing DIMENSIONS")
+    return ImageData(
+        dims,
+        origin=origin or (0.0, 0.0, 0.0),
+        spacing=spacing or (1.0, 1.0, 1.0),
+    )
+
+
+def _read_points_block(toks: _Tokens) -> np.ndarray:
+    toks.expect("POINTS")
+    n = toks.next_int()
+    _dtype = toks.next()  # float / double — ignored, always float64 in memory
+    coords = toks.next_floats(3 * n)
+    return coords.reshape(n, 3)
+
+
+def _read_unstructured_grid(toks: _Tokens) -> UnstructuredGrid:
+    points = _read_points_block(toks)
+    grid = UnstructuredGrid(points)
+
+    toks.expect("CELLS")
+    n_cells = toks.next_int()
+    _total = toks.next_int()
+    connectivities: List[List[int]] = []
+    for _ in range(n_cells):
+        npts = toks.next_int()
+        connectivities.append(toks.next_ints(npts).tolist())
+
+    toks.expect("CELL_TYPES")
+    n_types = toks.next_int()
+    if n_types != n_cells:
+        raise VtkParseError("CELL_TYPES count does not match CELLS count")
+    for conn in connectivities:
+        cell_type = toks.next_int()
+        grid.add_cell(cell_type, conn)
+    return grid
+
+
+def _read_polydata(toks: _Tokens) -> PolyData:
+    points = _read_points_block(toks)
+    verts: List[int] = []
+    lines: List[List[int]] = []
+    triangles: List[List[int]] = []
+
+    while not toks.eof():
+        key = toks.peek()
+        if key is None:
+            break
+        key = key.upper()
+        if key == "VERTICES":
+            toks.next()
+            n = toks.next_int()
+            _total = toks.next_int()
+            for _ in range(n):
+                npts = toks.next_int()
+                verts.extend(toks.next_ints(npts).tolist())
+        elif key == "LINES":
+            toks.next()
+            n = toks.next_int()
+            _total = toks.next_int()
+            for _ in range(n):
+                npts = toks.next_int()
+                lines.append(toks.next_ints(npts).tolist())
+        elif key == "POLYGONS":
+            toks.next()
+            n = toks.next_int()
+            _total = toks.next_int()
+            for _ in range(n):
+                npts = toks.next_int()
+                ids = toks.next_ints(npts).tolist()
+                # fan-triangulate polygons with more than three vertices
+                for i in range(1, npts - 1):
+                    triangles.append([ids[0], ids[i], ids[i + 1]])
+        else:
+            break
+
+    return PolyData(
+        points=points,
+        triangles=np.asarray(triangles, dtype=np.int64).reshape(-1, 3),
+        lines=lines,
+        verts=np.asarray(verts, dtype=np.int64),
+    )
+
+
+def _read_attributes(toks: _Tokens, dataset: Dataset) -> None:
+    """Read POINT_DATA / CELL_DATA sections (SCALARS and VECTORS)."""
+    target = None  # "point" or "cell"
+    expected = 0
+    while not toks.eof():
+        key = toks.next().upper()
+        if key == "POINT_DATA":
+            expected = toks.next_int()
+            if expected != dataset.n_points:
+                raise VtkParseError(
+                    f"POINT_DATA count {expected} != number of points {dataset.n_points}"
+                )
+            target = "point"
+        elif key == "CELL_DATA":
+            expected = toks.next_int()
+            target = "cell"
+        elif key == "SCALARS":
+            name = toks.next()
+            _dtype = toks.next()
+            ncomp = 1
+            if toks.peek() is not None and toks.peek().isdigit():
+                ncomp = toks.next_int()
+            if toks.peek() is not None and toks.peek().upper() == "LOOKUP_TABLE":
+                toks.next()
+                toks.next()  # table name
+            values = toks.next_floats(expected * ncomp).reshape(expected, ncomp)
+            _attach(dataset, target, name, values)
+        elif key == "VECTORS":
+            name = toks.next()
+            _dtype = toks.next()
+            values = toks.next_floats(expected * 3).reshape(expected, 3)
+            _attach(dataset, target, name, values)
+        elif key == "FIELD":
+            _fname = toks.next()
+            n_arrays = toks.next_int()
+            for _ in range(n_arrays):
+                name = toks.next()
+                ncomp = toks.next_int()
+                ntuples = toks.next_int()
+                _dtype = toks.next()
+                values = toks.next_floats(ntuples * ncomp).reshape(ntuples, ncomp)
+                _attach(dataset, target, name, values)
+        else:
+            raise VtkParseError(f"unexpected keyword {key!r} in attribute section")
+
+
+def _attach(dataset: Dataset, target: Optional[str], name: str, values: np.ndarray) -> None:
+    if target == "cell":
+        dataset.add_cell_array(name, values)
+    else:
+        dataset.add_point_array(name, values)
+
+
+# --------------------------------------------------------------------------- #
+# writing
+# --------------------------------------------------------------------------- #
+def _format_floats(values: np.ndarray, per_line: int = 9) -> List[str]:
+    flat = np.asarray(values, dtype=np.float64).reshape(-1)
+    lines = []
+    for start in range(0, flat.size, per_line):
+        chunk = flat[start : start + per_line]
+        lines.append(" ".join(f"{v:.6g}" for v in chunk))
+    return lines
+
+
+def write_vtk(path: Union[str, Path], dataset: Dataset, title: str = "repro dataset") -> Path:
+    """Write a dataset to an ASCII legacy-style ``.vtk`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines: List[str] = [
+        "# vtk DataFile Version 3.0",
+        title,
+        "ASCII",
+    ]
+
+    if isinstance(dataset, ImageData):
+        lines.append("DATASET STRUCTURED_POINTS")
+        lines.append("DIMENSIONS {} {} {}".format(*dataset.dimensions))
+        lines.append("ORIGIN {:.6g} {:.6g} {:.6g}".format(*dataset.origin))
+        lines.append("SPACING {:.6g} {:.6g} {:.6g}".format(*dataset.spacing))
+    elif isinstance(dataset, UnstructuredGrid):
+        lines.append("DATASET UNSTRUCTURED_GRID")
+        lines.append(f"POINTS {dataset.n_points} float")
+        lines.extend(_format_floats(dataset.points))
+        cell_lines = []
+        total = 0
+        types = []
+        for ctype, conn in dataset.cells():
+            cell_lines.append(str(len(conn)) + " " + " ".join(str(i) for i in conn))
+            total += len(conn) + 1
+            types.append(str(int(ctype)))
+        lines.append(f"CELLS {dataset.n_cells} {total}")
+        lines.extend(cell_lines)
+        lines.append(f"CELL_TYPES {dataset.n_cells}")
+        lines.extend(types)
+    elif isinstance(dataset, PolyData):
+        lines.append("DATASET POLYDATA")
+        lines.append(f"POINTS {dataset.n_points} float")
+        lines.extend(_format_floats(dataset.points))
+        if dataset.n_verts:
+            lines.append(f"VERTICES {dataset.n_verts} {2 * dataset.n_verts}")
+            for vid in dataset.verts:
+                lines.append(f"1 {int(vid)}")
+        if dataset.n_lines:
+            total = sum(len(line) + 1 for line in dataset.lines)
+            lines.append(f"LINES {dataset.n_lines} {total}")
+            for line in dataset.lines:
+                lines.append(str(len(line)) + " " + " ".join(str(int(i)) for i in line))
+        if dataset.n_triangles:
+            lines.append(f"POLYGONS {dataset.n_triangles} {4 * dataset.n_triangles}")
+            for tri in dataset.triangles:
+                lines.append("3 " + " ".join(str(int(i)) for i in tri))
+    else:
+        raise TypeError(f"cannot write dataset of type {type(dataset).__name__}")
+
+    # attributes
+    if len(dataset.point_data):
+        lines.append(f"POINT_DATA {dataset.n_points}")
+        lines.extend(_attribute_lines(dataset.point_data))
+    if len(dataset.cell_data):
+        lines.append(f"CELL_DATA {dataset.n_cells}")
+        lines.extend(_attribute_lines(dataset.cell_data))
+
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def _attribute_lines(field) -> List[str]:
+    lines: List[str] = []
+    for name, arr in field.items():
+        if arr.n_components == 1:
+            lines.append(f"SCALARS {name} float 1")
+            lines.append("LOOKUP_TABLE default")
+            lines.extend(_format_floats(arr.values))
+        elif arr.n_components == 3:
+            lines.append(f"VECTORS {name} float")
+            lines.extend(_format_floats(arr.values))
+        else:
+            lines.append("FIELD FieldData 1")
+            lines.append(f"{name} {arr.n_components} {arr.n_tuples} float")
+            lines.extend(_format_floats(arr.values))
+    return lines

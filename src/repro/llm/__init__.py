@@ -1,0 +1,41 @@
+"""Simulated-LLM substrate.
+
+The paper drives ChatVis with OpenAI GPT-4 and compares against GPT-3.5,
+Llama-3-8B, CodeLlama and CodeGemma.  This offline reproduction replaces the
+hosted models with *deterministic simulated models*: each model is a
+capability profile (API knowledge, instruction following, hallucination
+tendencies, error-repair ability) driving a real natural-language →
+plan → ParaView-script synthesiser with controlled error injection.
+
+The substitution preserves the behaviours the paper measures — which models
+hallucinate non-existent ParaView attributes, which produce syntax errors,
+which benefit from few-shot examples and the error-correction loop — while
+making every experiment reproducible bit-for-bit without network access.
+:class:`repro.llm.openai_compat.OpenAICompatibleClient` shows where a real
+OpenAI client would be dropped in.
+"""
+
+from repro.llm.base import ChatMessage, CompletionResponse, LLMClient, Usage
+from repro.llm.knowledge import ParaViewKnowledgeBase
+from repro.llm.models import ModelProfile, SimulatedLLM
+from repro.llm.nl_parser import Operation, VisualizationPlan, parse_request
+from repro.llm.registry import available_models, get_model, register_model
+from repro.llm.tokenizer import SimpleTokenizer, count_tokens
+
+__all__ = [
+    "ChatMessage",
+    "CompletionResponse",
+    "LLMClient",
+    "ModelProfile",
+    "Operation",
+    "ParaViewKnowledgeBase",
+    "SimpleTokenizer",
+    "SimulatedLLM",
+    "Usage",
+    "VisualizationPlan",
+    "available_models",
+    "count_tokens",
+    "get_model",
+    "parse_request",
+    "register_model",
+]

@@ -1,0 +1,95 @@
+"""Core LLM client interfaces and message types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["ChatMessage", "Usage", "CompletionResponse", "LLMClient", "system", "user", "assistant"]
+
+
+@dataclass(frozen=True)
+class ChatMessage:
+    """One message of a chat conversation."""
+
+    role: str  #: "system", "user" or "assistant"
+    content: str
+
+    def __post_init__(self) -> None:
+        if self.role not in ("system", "user", "assistant"):
+            raise ValueError(f"invalid role {self.role!r}")
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"role": self.role, "content": self.content}
+
+
+def system(content: str) -> ChatMessage:
+    """Convenience constructor for a system message."""
+    return ChatMessage("system", content)
+
+
+def user(content: str) -> ChatMessage:
+    """Convenience constructor for a user message."""
+    return ChatMessage("user", content)
+
+
+def assistant(content: str) -> ChatMessage:
+    """Convenience constructor for an assistant message."""
+    return ChatMessage("assistant", content)
+
+
+@dataclass
+class Usage:
+    """Token accounting for one completion."""
+
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+    def __add__(self, other: "Usage") -> "Usage":
+        return Usage(
+            prompt_tokens=self.prompt_tokens + other.prompt_tokens,
+            completion_tokens=self.completion_tokens + other.completion_tokens,
+        )
+
+
+@dataclass
+class CompletionResponse:
+    """The result of one chat completion."""
+
+    text: str
+    model: str
+    usage: Usage = field(default_factory=Usage)
+    finish_reason: str = "stop"
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text
+
+
+class LLMClient:
+    """Abstract chat-completion client.
+
+    Both the simulated models and the optional OpenAI-compatible adapter
+    implement this interface; ChatVis only ever talks to it.
+    """
+
+    #: model identifier reported in responses
+    model_name: str = "base"
+
+    def complete(
+        self,
+        messages: Sequence[ChatMessage],
+        temperature: float = 0.0,
+        seed: Optional[int] = None,
+        max_tokens: Optional[int] = None,
+    ) -> CompletionResponse:
+        """Produce a completion for a chat conversation."""
+        raise NotImplementedError
+
+    def complete_text(self, prompt: str, **kwargs) -> str:
+        """Single-turn convenience wrapper returning just the text."""
+        return self.complete([user(prompt)], **kwargs).text

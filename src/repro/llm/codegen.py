@@ -1,0 +1,384 @@
+"""Plan → ParaView-Python script synthesis.
+
+:func:`canonical_script` turns a :class:`~repro.llm.nl_parser.VisualizationPlan`
+into the *correct* ``paraview.simple`` script for the requested pipeline.  It
+is used three ways:
+
+* the ground-truth generator (the stand-in for "manually constructed in the
+  ParaView GUI") renders it directly,
+* the simulated models start from it and then *degrade* it according to their
+  capability profile (see :mod:`repro.llm.errors`), and
+* ChatVis's assisted generation converges back to it through the
+  error-correction loop.
+
+Scripts are represented as a list of :class:`ScriptLine` objects tagged with
+a pipeline *stage* (``read``, ``contour``, ``view``, ``colorby``, ...) so
+that error injection and repair can target specific stages the way real
+hallucinations do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.llm.nl_parser import Operation, VisualizationPlan, parse_request
+
+__all__ = ["ScriptLine", "ScriptDraft", "canonical_script", "render_script", "extract_code_block"]
+
+
+@dataclass
+class ScriptLine:
+    """One line of a generated script, tagged with its pipeline stage."""
+
+    stage: str
+    code: str
+
+    def __repr__(self) -> str:
+        return f"ScriptLine({self.stage!r}, {self.code!r})"
+
+
+@dataclass
+class ScriptDraft:
+    """A structured script: ordered lines plus the variable names per stage."""
+
+    lines: List[ScriptLine] = field(default_factory=list)
+    variables: Dict[str, str] = field(default_factory=dict)
+    plan: Optional[VisualizationPlan] = None
+
+    def add(self, stage: str, code: str = "") -> None:
+        self.lines.append(ScriptLine(stage, code))
+
+    def text(self) -> str:
+        return render_script(self.lines)
+
+    def stages(self) -> List[str]:
+        return [line.stage for line in self.lines]
+
+    def copy(self) -> "ScriptDraft":
+        return ScriptDraft(
+            lines=[ScriptLine(line.stage, line.code) for line in self.lines],
+            variables=dict(self.variables),
+            plan=self.plan,
+        )
+
+
+def render_script(lines: Sequence[ScriptLine]) -> str:
+    """Render script lines to text (blank line between logical sections)."""
+    return "\n".join(line.code for line in lines) + "\n"
+
+
+def extract_code_block(text: str) -> str:
+    """Extract Python code from an LLM response.
+
+    Handles fenced blocks (```python ... ```), bare fences, and raw code; the
+    last fenced block wins if there are several.
+    """
+    if "```" not in text:
+        return text.strip() + "\n"
+    blocks: List[str] = []
+    parts = text.split("```")
+    # parts alternate prose / code / prose / code ...
+    for index in range(1, len(parts), 2):
+        block = parts[index]
+        if block.startswith(("python", "Python", "py")):
+            block = block.split("\n", 1)[1] if "\n" in block else ""
+        blocks.append(block)
+    if not blocks:
+        return text.strip() + "\n"
+    return blocks[-1].strip() + "\n"
+
+
+# --------------------------------------------------------------------------- #
+# canonical synthesis
+# --------------------------------------------------------------------------- #
+_AXIS_NORMALS = {"x": [1.0, 0.0, 0.0], "y": [0.0, 1.0, 0.0], "z": [0.0, 0.0, 1.0]}
+
+_VIEW_DIRECTION_CALLS = {
+    "+x": "ResetActiveCameraToPositiveX",
+    "-x": "ResetActiveCameraToNegativeX",
+    "+y": "ResetActiveCameraToPositiveY",
+    "-y": "ResetActiveCameraToNegativeY",
+    "+z": "ResetActiveCameraToPositiveZ",
+    "-z": "ResetActiveCameraToNegativeZ",
+}
+
+
+def _reader_line(filename: str, variable: str) -> str:
+    lower = filename.lower()
+    if lower.endswith(".vtk"):
+        return f"{variable} = LegacyVTKReader(FileNames=['{filename}'])"
+    if lower.endswith((".ex2", ".exo", ".e")):
+        return f"{variable} = ExodusIIReader(FileName='{filename}')"
+    return f"{variable} = OpenDataFile('{filename}')"
+
+
+def _plane_origin(axis: str, position: float) -> List[float]:
+    origin = [0.0, 0.0, 0.0]
+    origin["xyz".index(axis)] = float(position)
+    return origin
+
+
+def canonical_script(
+    plan_or_request,
+    default_resolution: Tuple[int, int] = (1920, 1080),
+) -> ScriptDraft:
+    """Produce the correct ParaView Python script for a plan (or raw request)."""
+    if isinstance(plan_or_request, VisualizationPlan):
+        plan = plan_or_request
+    else:
+        plan = parse_request(str(plan_or_request))
+
+    draft = ScriptDraft(plan=plan)
+    add = draft.add
+    variables = draft.variables
+
+    add("import", "from paraview.simple import *")
+    add("import", "")
+
+    # ----- reading --------------------------------------------------------- #
+    filenames = plan.filenames()
+    current = None
+    if filenames:
+        add("read", "# Read the input data")
+        reader_var = "reader"
+        add("read", _reader_line(filenames[0], reader_var))
+        variables["read"] = reader_var
+        current = reader_var
+    else:
+        # no file mentioned: fall back to a built-in source so the script runs
+        add("read", "# No input file specified; use the Wavelet source")
+        add("read", "reader = Wavelet()")
+        variables["read"] = "reader"
+        current = "reader"
+    add("read", "")
+
+    stream_var: Optional[str] = None
+    tube_var: Optional[str] = None
+    glyph_var: Optional[str] = None
+    show_targets: List[Tuple[str, str]] = []  # (variable, stage)
+    volume_requested = plan.has("volume_render")
+
+    structural_ops = [
+        op for op in plan.operations
+        if op.kind in (
+            "isosurface", "slice", "contour", "clip", "delaunay",
+            "streamlines", "tube", "glyph",
+        )
+    ]
+
+    for op in structural_ops:
+        if op.kind == "isosurface":
+            var = "contour"
+            add("contour", "# Generate the isosurface")
+            add("contour", f"{var} = Contour(Input={current})")
+            if op.params.get("array"):
+                add("contour", f"{var}.ContourBy = ['POINTS', '{op.params['array']}']")
+            add("contour", f"{var}.Isosurfaces = [{op.params.get('value', 0.5)}]")
+            add("contour", "")
+            variables["contour"] = var
+            current = var
+        elif op.kind == "slice":
+            var = "slice1"
+            axis = op.params.get("normal_axis", "x")
+            origin = _plane_origin(axis, op.params.get("position", 0.0))
+            add("slice", "# Slice the data")
+            add("slice", f"{var} = Slice(Input={current})")
+            add("slice", f"{var}.SliceType.Origin = {origin}")
+            add("slice", f"{var}.SliceType.Normal = {_AXIS_NORMALS[axis]}")
+            add("slice", "")
+            variables["slice"] = var
+            current = var
+        elif op.kind == "contour":
+            var = "contour" if "contour" not in variables else "contour2"
+            add("contour", "# Contour the current data")
+            add("contour", f"{var} = Contour(Input={current})")
+            if op.params.get("array"):
+                add("contour", f"{var}.ContourBy = ['POINTS', '{op.params['array']}']")
+            add("contour", f"{var}.Isosurfaces = [{op.params.get('value', 0.5)}]")
+            add("contour", "")
+            variables.setdefault("slice_contour", var)
+            variables["contour"] = var
+            current = var
+        elif op.kind == "clip":
+            var = "clip1"
+            axis = op.params.get("normal_axis", "x")
+            origin = _plane_origin(axis, op.params.get("position", 0.0))
+            keep_side = op.params.get("keep_side", "-")
+            add("clip", "# Clip the data with a plane")
+            add("clip", f"{var} = Clip(Input={current})")
+            add("clip", f"{var}.ClipType.Origin = {origin}")
+            add("clip", f"{var}.ClipType.Normal = {_AXIS_NORMALS[axis]}")
+            # Invert=1 keeps the side opposite the normal (the negative half)
+            add("clip", f"{var}.Invert = {1 if keep_side == '-' else 0}")
+            add("clip", "")
+            variables["clip"] = var
+            current = var
+        elif op.kind == "delaunay":
+            var = "delaunay"
+            add("delaunay", "# Delaunay triangulation of the points")
+            add("delaunay", f"{var} = Delaunay3D(Input={current})")
+            add("delaunay", "")
+            variables["delaunay"] = var
+            current = var
+        elif op.kind == "streamlines":
+            var = "streamTracer"
+            array = op.params.get("array") or "V"
+            add("stream", "# Trace streamlines through the vector field")
+            add("stream", f"{var} = StreamTracer(Input={current}, SeedType='Point Cloud')")
+            add("stream", f"{var}.Vectors = ['POINTS', '{array}']")
+            add("stream", f"{var}.SeedType.NumberOfPoints = 100")
+            add("stream", "")
+            variables["stream"] = var
+            stream_var = var
+            current = var
+        elif op.kind == "tube":
+            var = "tube"
+            source = stream_var or current
+            add("tube", "# Wrap the streamlines in tubes")
+            add("tube", f"{var} = Tube(Input={source})")
+            add("tube", f"{var}.Radius = 0.05")
+            add("tube", "")
+            variables["tube"] = var
+            tube_var = var
+        elif op.kind == "glyph":
+            var = "glyph"
+            source = stream_var or current
+            glyph_type = str(op.params.get("glyph_type", "cone")).capitalize()
+            stream_op = plan.first("streamlines")
+            orientation = (stream_op.params.get("array") if stream_op else None) or "V"
+            add("glyph", "# Add glyphs to indicate direction")
+            add("glyph", f"{var} = Glyph(Input={source}, GlyphType='{glyph_type}')")
+            add("glyph", f"{var}.OrientationArray = ['POINTS', '{orientation}']")
+            add("glyph", f"{var}.ScaleFactor = 0.05")
+            add("glyph", "")
+            variables["glyph"] = var
+            glyph_var = var
+
+    # ----- decide what is shown -------------------------------------------- #
+    if tube_var or glyph_var:
+        if tube_var:
+            show_targets.append((tube_var, "tube"))
+        if glyph_var:
+            show_targets.append((glyph_var, "glyph"))
+    elif plan.has("slice") and plan.has("contour") and "slice" in variables:
+        # show the slice (color mapped) and the contour lines on top
+        show_targets.append((variables["slice"], "slice"))
+        show_targets.append((variables["contour"], "contour"))
+    else:
+        show_targets.append((current, "main"))
+
+    # ----- view -------------------------------------------------------------- #
+    width, height = plan.resolution() if plan.first("view_size") else default_resolution
+    add("view", "# Set up the render view")
+    add("view", "renderView = GetActiveViewOrCreate('RenderView')")
+    add("view", f"renderView.ViewSize = [{width}, {height}]")
+    add("view", "renderView.Background = [1.0, 1.0, 1.0]")
+    add("view", "")
+    variables["view"] = "renderView"
+
+    # ----- displays ------------------------------------------------------------ #
+    color_ops = plan.all("color")
+    color_by_op = plan.first("color_by")
+    wireframe = plan.has("wireframe")
+
+    display_names: Dict[str, str] = {}
+    for target_var, stage in show_targets:
+        display_var = f"{target_var}Display"
+        display_names[stage] = display_var
+        add("display", f"{display_var} = Show({target_var}, renderView)")
+        variables.setdefault("display", display_var)
+
+        if volume_requested and stage == "main":
+            array = _default_scalar_for_plan(plan)
+            add("volume", f"{display_var}.SetRepresentationType('Volume')")
+            if array:
+                add("volume", f"ColorBy({display_var}, ('POINTS', '{array}'))")
+                add("volume", f"{display_var}.RescaleTransferFunctionToDataRange(True)")
+        elif wireframe:
+            add("display", f"{display_var}.SetRepresentationType('Wireframe')")
+
+        solid_color = _solid_color_for_stage(color_ops, stage)
+        if solid_color is not None:
+            rgb = list(solid_color)
+            add("colorby", f"ColorBy({display_var}, None)")
+            add("colorby", f"{display_var}.DiffuseColor = {rgb}")
+            add("colorby", f"{display_var}.LineWidth = 3")
+        elif color_by_op is not None and stage in ("tube", "glyph", "main"):
+            array = color_by_op.params["array"]
+            add("colorby", f"ColorBy({display_var}, ('POINTS', '{array}'))")
+            add("colorby", f"{display_var}.RescaleTransferFunctionToDataRange(True)")
+        elif stage == "slice":
+            array = _default_scalar_for_plan(plan)
+            if array:
+                add("colorby", f"ColorBy({display_var}, ('POINTS', '{array}'))")
+                add("colorby", f"{display_var}.RescaleTransferFunctionToDataRange(True)")
+        elif stage == "main" and not volume_requested:
+            array = _default_scalar_for_plan(plan)
+            if array and (plan.has("isosurface") or plan.has("contour")):
+                add("colorby", f"ColorBy({display_var}, ('POINTS', '{array}'))")
+                add("colorby", f"{display_var}.RescaleTransferFunctionToDataRange(True)")
+    add("display", "")
+
+    # ----- camera ----------------------------------------------------------------- #
+    view_op = plan.first("view_direction")
+    add("camera", "# Orient the camera and render")
+    if view_op is not None:
+        direction = view_op.params.get("direction")
+        if direction == "isometric":
+            add("camera", "renderView.ApplyIsometricView()")
+        else:
+            call = _VIEW_DIRECTION_CALLS.get(direction, "ResetCamera")
+            add("camera", f"renderView.{call}()")
+    else:
+        add("camera", "renderView.ResetCamera()")
+    add("camera", "Render(renderView)")
+    add("camera", "")
+
+    # ----- screenshot ----------------------------------------------------------------- #
+    screenshot = plan.screenshot_filename() or "screenshot.png"
+    add("screenshot", "# Save the screenshot")
+    add(
+        "screenshot",
+        f"SaveScreenshot('{screenshot}', renderView, ImageResolution=[{width}, {height}], "
+        "OverrideColorPalette='WhiteBackground')",
+    )
+    variables["screenshot"] = screenshot
+    return draft
+
+
+def _default_scalar_for_plan(plan: VisualizationPlan) -> Optional[str]:
+    """The scalar array the pipeline naturally colors by."""
+    iso = plan.first("isosurface")
+    if iso and iso.params.get("array"):
+        return iso.params["array"]
+    contour_op = plan.first("contour")
+    if contour_op and contour_op.params.get("array"):
+        return contour_op.params["array"]
+    color_by = plan.first("color_by")
+    if color_by:
+        return color_by.params.get("array")
+    # volume rendering of the Marschner-Lobb dataset: its array is var0
+    for name in plan.filenames():
+        if name.lower().startswith("ml"):
+            return "var0"
+    if plan.has("isosurface") or plan.has("contour") or plan.has("volume_render") or plan.has("slice"):
+        return "var0" if any(f.endswith(".vtk") for f in plan.filenames()) else None
+    return None
+
+
+def _solid_color_for_stage(color_ops: List[Operation], stage: str) -> Optional[Tuple[float, float, float]]:
+    """Match 'color the contour red'-style requests to the display they refer to."""
+    for op in color_ops:
+        target = str(op.params.get("target", "")).lower()
+        if stage == "contour" and "contour" in target:
+            return op.params.get("rgb")
+        if stage == "slice" and "slice" in target:
+            return op.params.get("rgb")
+        if stage == "main" and any(word in target for word in ("result", "surface", "mesh", "data")):
+            return op.params.get("rgb")
+        if stage == "tube" and "streamline" in target:
+            return op.params.get("rgb")
+        if stage == "glyph" and "glyph" in target:
+            return op.params.get("rgb")
+    return None

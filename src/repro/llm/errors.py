@@ -1,0 +1,426 @@
+"""Error injection and repair.
+
+The simulated models "hallucinate" by degrading the canonical script with the
+failure modes the paper documents for unassisted LLMs, and "learn from error
+messages" by repairing scripts with a pattern-matching fixer whose success
+probability is the model's repair skill.  Both sides are deterministic given
+the RNG the caller provides.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.llm.codegen import ScriptDraft, ScriptLine
+
+__all__ = [
+    "inject_attribute_hallucination",
+    "inject_nonexistent_function",
+    "inject_use_before_create",
+    "inject_missing_stage",
+    "inject_syntax_error",
+    "inject_gray_background",
+    "inject_wrong_camera",
+    "repair_script",
+    "REPAIR_MAP",
+]
+
+
+# --------------------------------------------------------------------------- #
+# hallucination templates per stage: (bad_line_template, replaces_pattern)
+# ``replaces_pattern`` is a substring of the canonical line the bad line
+# replaces; None means the bad line is inserted as an extra statement.
+# --------------------------------------------------------------------------- #
+_ATTRIBUTE_HALLUCINATIONS: Dict[str, List[Tuple[str, Optional[str]]]] = {
+    "glyph": [
+        ("{var}.Scalars = ['POINTS', 'Temp']", None),
+        ("{var}.Vectors = ['POINTS', 'V']", ".OrientationArray ="),
+        ("{var}.GlyphScaleMode = 'vector'", None),
+    ],
+    "contour": [
+        ("{var}.ContourValues = [0.5]", ".Isosurfaces ="),
+        ("{var}.UseSeparateColorMap = 1", None),
+    ],
+    "clip": [
+        ("{var}.InsideOut = 1", ".Invert ="),
+        ("{var}.ClipPlane = [0.0, 0.0, 0.0]", None),
+    ],
+    "slice": [
+        ("{var}.SlicePlane.Origin = [0.0, 0.0, 0.0]", ".SliceType.Origin ="),
+    ],
+    "stream": [
+        ("{var}.Source = 'Point Cloud'", None),
+        ("{var}.SeedPoints = 100", ".SeedType.NumberOfPoints ="),
+    ],
+    "view": [
+        ("{var}.ViewUp = [0.0, 1.0, 0.0]", None),
+        ("{var}.BackgroundColor = [1.0, 1.0, 1.0]", ".Background ="),
+    ],
+    "colorby": [
+        ("{var}.SetColor('red')", ".DiffuseColor ="),
+        ("{var}.WireframeColor = [0.0, 0.0, 0.0]", None),
+    ],
+    "display": [
+        ("{var}.VolumeRenderingMode = 'Smart'", None),
+    ],
+}
+
+_FUNCTION_HALLUCINATIONS: List[str] = [
+    "lut = GetLookupTableForArray('Temp', 1)",
+    "SetBackgroundColor(renderView, [1.0, 1.0, 1.0])",
+    "RenderAllViews()",
+    "camera = SetActiveCameraPosition([1.0, 0.0, 0.0])",
+]
+
+
+def _stage_variable(draft: ScriptDraft, stage: str) -> Optional[str]:
+    mapping = {
+        "glyph": "glyph",
+        "contour": "contour",
+        "clip": "clip",
+        "slice": "slice",
+        "stream": "stream",
+        "view": "view",
+        "colorby": "display",
+        "display": "display",
+        "tube": "tube",
+    }
+    return draft.variables.get(mapping.get(stage, stage))
+
+
+def _stage_line_indices(draft: ScriptDraft, stage: str) -> List[int]:
+    return [i for i, line in enumerate(draft.lines) if line.stage == stage and line.code.strip()]
+
+
+def inject_attribute_hallucination(
+    draft: ScriptDraft,
+    rng: np.random.Generator,
+    stage: Optional[str] = None,
+) -> Optional[str]:
+    """Insert or substitute a hallucinated proxy attribute; returns the bad line."""
+    candidate_stages = [s for s in _ATTRIBUTE_HALLUCINATIONS if _stage_line_indices(draft, s)]
+    if stage is not None:
+        candidate_stages = [s for s in candidate_stages if s == stage]
+    if not candidate_stages:
+        return None
+    chosen_stage = candidate_stages[int(rng.integers(len(candidate_stages)))]
+    options = _ATTRIBUTE_HALLUCINATIONS[chosen_stage]
+    template, replaces = options[int(rng.integers(len(options)))]
+    var = _stage_variable(draft, chosen_stage)
+    if var is None:
+        return None
+    bad_line = template.format(var=var)
+
+    indices = _stage_line_indices(draft, chosen_stage)
+    if replaces is not None:
+        for index in indices:
+            if replaces in draft.lines[index].code:
+                draft.lines[index] = ScriptLine(chosen_stage, bad_line)
+                return bad_line
+    insert_at = indices[-1] + 1
+    draft.lines.insert(insert_at, ScriptLine(chosen_stage, bad_line))
+    return bad_line
+
+
+def inject_nonexistent_function(draft: ScriptDraft, rng: np.random.Generator) -> str:
+    """Insert a call to a function that does not exist in paraview.simple."""
+    bad_line = _FUNCTION_HALLUCINATIONS[int(rng.integers(len(_FUNCTION_HALLUCINATIONS)))]
+    indices = _stage_line_indices(draft, "colorby") or _stage_line_indices(draft, "display")
+    insert_at = (indices[-1] + 1) if indices else len(draft.lines) - 1
+    draft.lines.insert(insert_at, ScriptLine("colorby", bad_line))
+    return bad_line
+
+
+def inject_use_before_create(draft: ScriptDraft, rng: np.random.Generator) -> Optional[str]:
+    """Make Show() reference a view name string before any view is created.
+
+    Reproduces the paper's observation that GPT-4 "used RenderView1 ... before
+    this view was created".
+    """
+    view_indices = _stage_line_indices(draft, "view")
+    display_indices = [
+        i for i in _stage_line_indices(draft, "display") if "Show(" in draft.lines[i].code
+    ]
+    if not view_indices or not display_indices:
+        return None
+    # replace the view argument in Show calls with the string 'RenderView1'
+    bad_line = None
+    for index in display_indices:
+        code = draft.lines[index].code
+        new_code = re.sub(r"Show\((\w+),\s*\w+\)", r"Show(\1, 'RenderView1')", code)
+        draft.lines[index] = ScriptLine("display", new_code)
+        bad_line = new_code
+    # drop the view-creation lines entirely (they come "too late" in the story)
+    for index in sorted(view_indices, reverse=True):
+        code = draft.lines[index].code
+        if "GetActiveViewOrCreate" in code or "CreateView" in code:
+            del draft.lines[index]
+    return bad_line
+
+
+def inject_missing_stage(draft: ScriptDraft, stage: str) -> int:
+    """Silently drop every line of a stage (e.g. the volume-rendering commands).
+
+    Returns the number of removed lines.  The script still runs — it simply
+    fails to do what was asked, which is how the paper describes GPT-4's
+    volume-rendering attempt (no errors, blank screenshot).
+    """
+    removed = 0
+    for index in sorted(_stage_line_indices(draft, stage), reverse=True):
+        del draft.lines[index]
+        removed += 1
+    return removed
+
+
+def inject_syntax_error(draft: ScriptDraft, rng: np.random.Generator) -> Optional[str]:
+    """Corrupt one statement so the script no longer parses."""
+    candidates = [
+        i
+        for i, line in enumerate(draft.lines)
+        if line.code.strip() and not line.code.strip().startswith("#") and "import" not in line.code
+    ]
+    if not candidates:
+        return None
+    index = candidates[int(rng.integers(len(candidates)))]
+    code = draft.lines[index].code
+    mode = int(rng.integers(3))
+    if mode == 0 and code.endswith(")"):
+        corrupted = code[:-1]  # drop the closing parenthesis
+    elif mode == 1 and "'" in code:
+        corrupted = code.replace("'", "", 1)  # unbalance a quote
+    else:
+        corrupted = code + " ="  # trailing assignment operator
+    draft.lines[index] = ScriptLine(draft.lines[index].stage, corrupted)
+    return corrupted
+
+
+def inject_gray_background(draft: ScriptDraft, rng: np.random.Generator) -> None:
+    """Cosmetic deviation: gray background and no white-palette override."""
+    for index, line in enumerate(draft.lines):
+        if "OverrideColorPalette" in line.code:
+            draft.lines[index] = ScriptLine(
+                line.stage, re.sub(r",\s*OverrideColorPalette='[^']*'", "", line.code)
+            )
+        if ".Background = [1.0, 1.0, 1.0]" in line.code:
+            draft.lines[index] = ScriptLine(line.stage, line.code.replace("[1.0, 1.0, 1.0]", "[0.32, 0.34, 0.43]"))
+
+
+def inject_wrong_camera(draft: ScriptDraft, rng: np.random.Generator) -> None:
+    """Replace the camera reset with hand-written (cropped) camera parameters."""
+    view_var = draft.variables.get("view", "renderView")
+    indices = _stage_line_indices(draft, "camera")
+    for index in sorted(indices, reverse=True):
+        code = draft.lines[index].code
+        if "Reset" in code or "Isometric" in code:
+            del draft.lines[index]
+    insert_at = indices[0] if indices else len(draft.lines) - 1
+    replacement = [
+        f"{view_var}.CameraPosition = [1.0, 0.0, 0.0]",
+        f"{view_var}.CameraFocalPoint = [0.0, 0.0, 0.0]",
+        f"{view_var}.CameraViewUp = [0.0, 0.0, 1.0]",
+    ]
+    for offset, code in enumerate(replacement):
+        draft.lines.insert(insert_at + offset, ScriptLine("camera", code))
+
+
+# --------------------------------------------------------------------------- #
+# repair
+# --------------------------------------------------------------------------- #
+#: (proxy attribute) -> correct replacement template; None means "delete the line"
+REPAIR_MAP: Dict[str, Optional[str]] = {
+    "Scalars": None,
+    "Vectors": "{var}.OrientationArray = ['POINTS', 'V']",
+    "GlyphScaleMode": None,
+    "ContourValues": "{var}.Isosurfaces = [0.5]",
+    "UseSeparateColorMap": None,
+    "InsideOut": "{var}.Invert = 1",
+    "ClipPlane": None,
+    "SlicePlane": "{var}.SliceType.Origin = [0.0, 0.0, 0.0]",
+    "Source": None,
+    "SeedPoints": "{var}.SeedType.NumberOfPoints = 100",
+    "ViewUp": "{var}.CameraViewUp = [0.0, 1.0, 0.0]",
+    "BackgroundColor": "{var}.Background = [1.0, 1.0, 1.0]",
+    "CameraOrientation": None,
+    "SetColor": "{var}.DiffuseColor = [1.0, 0.0, 0.0]",
+    "WireframeColor": None,
+    "VolumeRenderingMode": None,
+    "GlyphScaleFactor": None,
+}
+
+_HALLUCINATED_FUNCTIONS = {
+    "GetLookupTableForArray",
+    "SetBackgroundColor",
+    "RenderAllViews",
+    "SetActiveCameraPosition",
+}
+
+
+@dataclass
+class RepairOutcome:
+    """What the repair attempt did (for logging and tests)."""
+
+    script: str
+    changed: bool
+    actions: List[str]
+
+
+def _error_line_number(error_text: str) -> Optional[int]:
+    matches = re.findall(r'File "[^"]*", line (\d+)', error_text)
+    if matches:
+        return int(matches[-1])
+    return None
+
+
+def _final_error(error_text: str) -> Tuple[Optional[str], str]:
+    for line in reversed(error_text.strip().splitlines()):
+        match = re.match(r"^\s*([A-Za-z_]*Error[A-Za-z_]*)\s*:\s*(.*)$", line)
+        if match:
+            return match.group(1), match.group(2)
+    return None, ""
+
+
+def repair_script(
+    script_text: str,
+    error_text: str,
+    rng: np.random.Generator,
+    skill: float = 1.0,
+) -> RepairOutcome:
+    """Attempt to repair a script given a pvpython-style error report.
+
+    ``skill`` is the probability of applying the correct repair; an
+    unsuccessful roll either leaves the script unchanged or deletes an
+    arbitrary statement (modelling a weaker model flailing).
+    """
+    lines = script_text.splitlines()
+    actions: List[str] = []
+    error_name, message = _final_error(error_text)
+    line_no = _error_line_number(error_text)
+
+    if error_name is None:
+        return RepairOutcome(script_text, False, ["no error recognised"])
+
+    if rng.random() > skill:
+        # failed repair: remove a random non-import statement (often making
+        # things worse), which is what keeps weak models from converging.
+        candidates = [
+            i for i, line in enumerate(lines)
+            if line.strip()
+            and not line.strip().startswith(("#", "from", "import"))
+            and "SaveScreenshot" not in line  # never delete the task's goal
+        ]
+        if candidates and rng.random() < 0.5:
+            index = candidates[int(rng.integers(len(candidates)))]
+            removed = lines.pop(index)
+            actions.append(f"unskilled repair removed: {removed.strip()}")
+            return RepairOutcome("\n".join(lines) + "\n", True, actions)
+        actions.append("unskilled repair: no change")
+        return RepairOutcome(script_text, False, actions)
+
+    # ----- AttributeError on a proxy ---------------------------------------- #
+    if error_name == "AttributeError":
+        attr_match = re.search(r"has no attribute '?\"?(\w+)'?\"?", message)
+        attribute = attr_match.group(1) if attr_match else None
+        target_index = _line_index_for(lines, line_no, attribute)
+        if target_index is not None:
+            offending = lines[target_index]
+            var_match = re.match(r"\s*(\w+)\.", offending)
+            var = var_match.group(1) if var_match else "proxy"
+            replacement = REPAIR_MAP.get(attribute or "", None)
+            if replacement is None and attribute in REPAIR_MAP:
+                lines.pop(target_index)
+                actions.append(f"removed hallucinated attribute line: {offending.strip()}")
+            elif replacement is not None:
+                new_line = replacement.format(var=var)
+                # avoid duplicating an already-present correct line
+                if any(new_line.strip() == existing.strip() for existing in lines):
+                    lines.pop(target_index)
+                    actions.append(f"removed redundant hallucinated line: {offending.strip()}")
+                else:
+                    lines[target_index] = new_line
+                    actions.append(f"replaced with correct property: {new_line}")
+            else:
+                lines.pop(target_index)
+                actions.append(f"removed unknown-attribute line: {offending.strip()}")
+            return RepairOutcome("\n".join(lines) + "\n", True, actions)
+
+    # ----- NameError: hallucinated function or use-before-definition -------- #
+    if error_name == "NameError":
+        name_match = re.search(r"name '(\w+)' is not defined", message)
+        name = name_match.group(1) if name_match else None
+        target_index = _line_index_for(lines, line_no, name)
+        if target_index is not None:
+            if name in _HALLUCINATED_FUNCTIONS or name is None:
+                removed = lines.pop(target_index)
+                actions.append(f"removed call to non-existent function: {removed.strip()}")
+            else:
+                # variable used before definition: move the line after the
+                # last line that defines the missing name, if there is one
+                definition = None
+                for i, line in enumerate(lines):
+                    if re.match(rf"\s*{name}\s*=", line):
+                        definition = i
+                        break
+                offending = lines.pop(target_index)
+                if definition is not None and definition > target_index:
+                    lines.insert(definition, offending)
+                    actions.append(f"moved line after the definition of {name!r}")
+                else:
+                    actions.append(f"removed line using undefined name {name!r}: {offending.strip()}")
+            return RepairOutcome("\n".join(lines) + "\n", True, actions)
+
+    # ----- SyntaxError -------------------------------------------------------- #
+    if error_name == "SyntaxError":
+        if line_no is not None and 0 < line_no <= len(lines):
+            removed = lines.pop(line_no - 1)
+            actions.append(f"removed unparsable line: {removed.strip()}")
+            return RepairOutcome("\n".join(lines) + "\n", True, actions)
+
+    # ----- pipeline errors (wrong view argument, missing arrays, ...) -------- #
+    if "RenderView" in message and "string" not in message and "expected a RenderView" in message:
+        # Show(..., 'RenderView1') before creating a view
+        fixed: List[str] = []
+        inserted_view = any("GetActiveViewOrCreate" in line or "CreateView" in line for line in lines)
+        for line in lines:
+            if "'RenderView1'" in line or '"RenderView1"' in line:
+                if not inserted_view:
+                    fixed.append("renderView = GetActiveViewOrCreate('RenderView')")
+                    inserted_view = True
+                    actions.append("created the render view before using it")
+                line = line.replace("'RenderView1'", "renderView").replace('"RenderView1"', "renderView")
+                actions.append("replaced the view name string with the view object")
+            fixed.append(line)
+        return RepairOutcome("\n".join(fixed) + "\n", True, actions)
+
+    if "no array named" in message or "not present" in message:
+        target_index = _line_index_for(lines, line_no, None)
+        if target_index is not None:
+            offending = lines.pop(target_index)
+            actions.append(f"removed reference to a missing array: {offending.strip()}")
+            return RepairOutcome("\n".join(lines) + "\n", True, actions)
+
+    # fall back: delete the offending line if we can find it
+    target_index = _line_index_for(lines, line_no, None)
+    if target_index is not None:
+        removed = lines.pop(target_index)
+        actions.append(f"removed offending line: {removed.strip()}")
+        return RepairOutcome("\n".join(lines) + "\n", True, actions)
+
+    return RepairOutcome(script_text, False, ["could not locate the offending line"])
+
+
+def _line_index_for(lines: Sequence[str], line_no: Optional[int], token: Optional[str]) -> Optional[int]:
+    """Locate the offending line by reported number, falling back to a token search."""
+    if line_no is not None and 0 < line_no <= len(lines):
+        if token is None or token in lines[line_no - 1]:
+            return line_no - 1
+    if token:
+        for index, line in enumerate(lines):
+            if token in line:
+                return index
+    if line_no is not None and 0 < line_no <= len(lines):
+        return line_no - 1
+    return None

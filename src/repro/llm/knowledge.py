@@ -1,0 +1,180 @@
+"""ParaView API knowledge base.
+
+The knowledge base answers two questions the simulated models (and the
+script-quality metrics) need:
+
+* *What is valid?* — which ``paraview.simple`` functions exist and which
+  properties each proxy accepts.  This is introspected directly from the
+  :mod:`repro.pvsim` layer so it never drifts from the substrate.
+* *What do models hallucinate?* — a catalogue of plausible-but-invalid
+  attributes and calls, drawn from the failure cases the paper reports
+  (``Glyph.Scalars``, ``Clip.InsideOut``, ``RenderView.ViewUp``,
+  ``Contour.UseSeparateColorMap``, using ``'RenderView1'`` before creating a
+  view, ...).  Error injection samples from this catalogue so that the
+  simulated failures look like the real ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["ParaViewKnowledgeBase", "HallucinationCatalog"]
+
+
+@dataclass(frozen=True)
+class Hallucination:
+    """One plausible-but-wrong API usage."""
+
+    proxy: str  #: proxy class the attribute is (wrongly) set on, or "" for free functions
+    code_template: str  #: python statement template with ``{var}`` placeholder
+    description: str
+    error_kind: str  #: "attribute", "name", "type" — the error class it triggers
+
+
+class HallucinationCatalog:
+    """The catalogue of realistic hallucinations, grouped by pipeline stage."""
+
+    ENTRIES: Dict[str, List[Hallucination]] = {
+        "glyph": [
+            Hallucination("Glyph", "{var}.Scalars = ['POINTS', '{scalar}']",
+                          "Glyph proxies have no Scalars property", "attribute"),
+            Hallucination("Glyph", "{var}.Vectors = ['POINTS', '{vector}']",
+                          "Glyph proxies have no Vectors property", "attribute"),
+            Hallucination("Glyph", "{var}.GlyphScaleMode = 'vector'",
+                          "invented scale-mode property", "attribute"),
+        ],
+        "contour": [
+            Hallucination("Contour", "{var}.UseSeparateColorMap = 1",
+                          "UseSeparateColorMap belongs to displays, not Contour", "attribute"),
+            Hallucination("Contour", "{var}.ContourValues = [{value}]",
+                          "the property is named Isosurfaces, not ContourValues", "attribute"),
+        ],
+        "clip": [
+            Hallucination("Clip", "{var}.InsideOut = 1",
+                          "Clip uses Invert, not InsideOut", "attribute"),
+            Hallucination("Clip", "{var}.ClipPlane = [0.0, 0.0, 0.0]",
+                          "invented ClipPlane property", "attribute"),
+        ],
+        "slice": [
+            Hallucination("Slice", "{var}.SlicePlane.Origin = [0, 0, 0]",
+                          "the plane group is called SliceType, not SlicePlane", "attribute"),
+        ],
+        "view": [
+            Hallucination("RenderView", "{var}.ViewUp = [0.0, 1.0, 0.0]",
+                          "the property is CameraViewUp, not ViewUp", "attribute"),
+            Hallucination("RenderView", "{var}.BackgroundColor = [1, 1, 1]",
+                          "the property is Background, not BackgroundColor", "attribute"),
+            Hallucination("RenderView", "{var}.CameraOrientation = [0, 0, 1]",
+                          "invented camera property", "attribute"),
+        ],
+        "display": [
+            Hallucination("GeometryRepresentation", "{var}.WireframeColor = [0, 0, 0]",
+                          "invented display property", "attribute"),
+            Hallucination("GeometryRepresentation", "{var}.SetColor('red')",
+                          "displays have no SetColor method", "attribute"),
+        ],
+        "stream": [
+            Hallucination("StreamTracer", "{var}.Source = 'Point Cloud'",
+                          "the seed group is SeedType, not Source", "attribute"),
+            Hallucination("StreamTracer", "{var}.SeedPoints = 100",
+                          "invented seed property", "attribute"),
+        ],
+        "volume": [
+            Hallucination("GeometryRepresentation", "{var}.VolumeRenderingMode = 'Smart'",
+                          "invented volume property", "attribute"),
+        ],
+        "functions": [
+            Hallucination("", "SetBackgroundColor({view}, [1.0, 1.0, 1.0])",
+                          "there is no SetBackgroundColor free function", "name"),
+            Hallucination("", "lut = GetLookupTableForArray('{scalar}', 1)",
+                          "GetLookupTableForArray was removed from paraview.simple", "name"),
+            Hallucination("", "RenderAllViews()",
+                          "not available in this API subset", "name"),
+        ],
+        "show_before_view": [
+            Hallucination("", "{display} = Show({var}, 'RenderView1')",
+                          "passes a view *name string* before any view exists", "type"),
+        ],
+    }
+
+    @classmethod
+    def for_stage(cls, stage: str) -> List[Hallucination]:
+        return list(cls.ENTRIES.get(stage, []))
+
+    @classmethod
+    def all_entries(cls) -> List[Hallucination]:
+        out: List[Hallucination] = []
+        for entries in cls.ENTRIES.values():
+            out.extend(entries)
+        return out
+
+    @classmethod
+    def invalid_attribute_names(cls) -> Set[Tuple[str, str]]:
+        """Set of (proxy, attribute) pairs known to be hallucinations."""
+        pairs: Set[Tuple[str, str]] = set()
+        for entry in cls.all_entries():
+            if entry.error_kind == "attribute" and "." in entry.code_template:
+                attr = entry.code_template.split("{var}.")[-1].split(" ")[0].split("(")[0]
+                attr = attr.split(".")[0].split("=")[0].strip()
+                pairs.add((entry.proxy, attr))
+        return pairs
+
+
+class ParaViewKnowledgeBase:
+    """Introspected view of the valid ``paraview.simple`` API surface."""
+
+    def __init__(self) -> None:
+        self._functions: Set[str] = set()
+        self._proxy_properties: Dict[str, Set[str]] = {}
+        self._introspect()
+
+    def _introspect(self) -> None:
+        from repro.pvsim import simple as pvsimple
+        from repro.pvsim.proxies import Proxy
+
+        for name in getattr(pvsimple, "__all__", []):
+            self._functions.add(name)
+            obj = getattr(pvsimple, name, None)
+            if isinstance(obj, type) and issubclass(obj, Proxy):
+                props = set(obj._all_properties().keys()) | set(obj._all_groups().keys())
+                label = getattr(obj, "LABEL", None) or obj.__name__
+                self._proxy_properties[label] = props
+                self._proxy_properties[obj.__name__] = props
+
+        # views / displays are not in __all__ as classes; add them explicitly
+        from repro.pvsim.views import (
+            ColorTransferFunctionProxy,
+            DisplayProxy,
+            Layout,
+            OpacityTransferFunctionProxy,
+            RenderView,
+        )
+
+        for cls in (DisplayProxy, RenderView, Layout, ColorTransferFunctionProxy, OpacityTransferFunctionProxy):
+            props = set(cls._all_properties().keys()) | set(cls._all_groups().keys())
+            label = getattr(cls, "LABEL", None) or cls.__name__
+            self._proxy_properties[label] = props
+            self._proxy_properties[cls.__name__] = props
+
+    # ------------------------------------------------------------------ #
+    def functions(self) -> List[str]:
+        return sorted(self._functions)
+
+    def has_function(self, name: str) -> bool:
+        return name in self._functions
+
+    def proxies(self) -> List[str]:
+        return sorted(self._proxy_properties)
+
+    def properties_of(self, proxy: str) -> Set[str]:
+        return set(self._proxy_properties.get(proxy, set()))
+
+    def is_valid_property(self, proxy: str, property_name: str) -> bool:
+        props = self._proxy_properties.get(proxy)
+        if props is None:
+            return False
+        return property_name in props
+
+    def is_known_hallucination(self, proxy: str, property_name: str) -> bool:
+        return (proxy, property_name) in HallucinationCatalog.invalid_attribute_names()

@@ -1,0 +1,351 @@
+"""Simulated LLMs with capability profiles.
+
+A :class:`SimulatedLLM` recognises the three kinds of requests ChatVis makes
+(prompt rewriting, script generation, error correction) and responds the way
+a model of its capability class would:
+
+* **prompt rewriting** — all models can restate the request as step-by-step
+  instructions (the deterministic plan parser does the understanding),
+* **script generation** — the canonical script is degraded according to the
+  model's profile: frontier models make the specific, targeted mistakes the
+  paper reports for GPT-4; weak models additionally produce syntax errors
+  and more hallucinations; few-shot examples (ChatVis's assistance) sharply
+  reduce the degradation,
+* **error correction** — the model repairs the script with probability
+  ``repair_skill`` per error, using the same pattern-matching fixer a capable
+  model would apply after reading the traceback.
+
+All randomness flows through a generator seeded from (model name, prompt), so
+identical calls give identical answers — experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.llm.base import ChatMessage, CompletionResponse, LLMClient, Usage
+from repro.llm.codegen import ScriptDraft, canonical_script, extract_code_block
+from repro.llm.errors import (
+    inject_attribute_hallucination,
+    inject_gray_background,
+    inject_missing_stage,
+    inject_nonexistent_function,
+    inject_syntax_error,
+    inject_use_before_create,
+    inject_wrong_camera,
+    repair_script,
+)
+from repro.llm.nl_parser import VisualizationPlan, parse_request
+from repro.llm.tokenizer import count_tokens
+
+__all__ = ["ModelProfile", "SimulatedLLM", "DEFAULT_PROFILES"]
+
+
+# markers the ChatVis core embeds in its prompts; the simulated models key on
+# them to know which kind of request they are answering.
+PROMPT_REWRITE_MARKER = "Rewrite the user request as step-by-step instructions"
+FEW_SHOT_MARKER = "Example ParaView code snippets"
+CORRECTION_MARKER = "fix the code"
+
+
+@dataclass
+class ModelProfile:
+    """Capability profile of a simulated model."""
+
+    name: str
+    display_name: str
+    style: str = "weak"  #: "frontier" (GPT-4-like) or "weak"
+    api_knowledge: float = 0.5  #: 1.0 = never hallucinates ParaView API
+    syntax_reliability: float = 0.8  #: 1.0 = never emits syntax errors
+    repair_skill: float = 0.5  #: probability of fixing an error when shown it
+    follows_examples: float = 0.5  #: how much few-shot examples help
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        for attr in ("api_knowledge", "syntax_reliability", "repair_skill", "follows_examples"):
+            value = getattr(self, attr)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{attr} must be in [0, 1], got {value}")
+
+
+DEFAULT_PROFILES: Dict[str, ModelProfile] = {
+    "gpt-4-sim": ModelProfile(
+        name="gpt-4-sim",
+        display_name="GPT-4 (simulated)",
+        style="frontier",
+        api_knowledge=0.85,
+        syntax_reliability=1.0,
+        # the paper's GPT-4 reliably repairs errors once shown the message;
+        # a deterministic 1.0 keeps the headline "ChatVis always converges"
+        # result independent of the RNG draw for any prompt wording
+        repair_skill=1.0,
+        follows_examples=0.95,
+        description="Frontier model: correct Python, occasional ParaView-specific hallucinations.",
+    ),
+    "gpt-3.5-turbo-sim": ModelProfile(
+        name="gpt-3.5-turbo-sim",
+        display_name="GPT-3.5-turbo (simulated)",
+        style="weak",
+        api_knowledge=0.5,
+        syntax_reliability=0.55,
+        repair_skill=0.5,
+        follows_examples=0.6,
+        description="Weaker general model: frequent API hallucinations and syntax slips.",
+    ),
+    "llama-3-8b-sim": ModelProfile(
+        name="llama-3-8b-sim",
+        display_name="Llama 3 8B (simulated)",
+        style="weak",
+        api_knowledge=0.35,
+        syntax_reliability=0.5,
+        repair_skill=0.3,
+        follows_examples=0.5,
+        description="Small open model: poor ParaView knowledge.",
+    ),
+    "codellama-7b-sim": ModelProfile(
+        name="codellama-7b-sim",
+        display_name="CodeLlama 7B (simulated)",
+        style="weak",
+        api_knowledge=0.4,
+        syntax_reliability=0.55,
+        repair_skill=0.35,
+        follows_examples=0.55,
+        description="Code model without domain knowledge of ParaView proxies.",
+    ),
+    "codegemma-sim": ModelProfile(
+        name="codegemma-sim",
+        display_name="CodeGemma (simulated)",
+        style="weak",
+        api_knowledge=0.4,
+        syntax_reliability=0.5,
+        repair_skill=0.3,
+        follows_examples=0.55,
+        description="Code model without domain knowledge of ParaView proxies.",
+    ),
+}
+
+
+def _stable_seed(*parts: str) -> int:
+    text = "␟".join(parts)
+    return zlib.crc32(text.encode("utf-8")) & 0x7FFFFFFF
+
+
+class SimulatedLLM(LLMClient):
+    """A deterministic simulated chat model driven by a capability profile."""
+
+    def __init__(self, profile: ModelProfile) -> None:
+        self.profile = profile
+        self.model_name = profile.name
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def complete(
+        self,
+        messages: Sequence[ChatMessage],
+        temperature: float = 0.0,
+        seed: Optional[int] = None,
+        max_tokens: Optional[int] = None,
+    ) -> CompletionResponse:
+        prompt_text = "\n\n".join(m.content for m in messages)
+        rng = np.random.default_rng(
+            seed if seed is not None else _stable_seed(self.model_name, prompt_text)
+        )
+
+        if PROMPT_REWRITE_MARKER in prompt_text:
+            text = self._rewrite_prompt(prompt_text)
+        elif CORRECTION_MARKER in prompt_text.lower() and "Traceback" in prompt_text:
+            text = self._correct_script(prompt_text, rng)
+        else:
+            text = self._generate_script(prompt_text, rng)
+
+        usage = Usage(prompt_tokens=count_tokens(prompt_text), completion_tokens=count_tokens(text))
+        return CompletionResponse(text=text, model=self.model_name, usage=usage)
+
+    # ------------------------------------------------------------------ #
+    # prompt rewriting
+    # ------------------------------------------------------------------ #
+    def _rewrite_prompt(self, prompt_text: str) -> str:
+        request = _extract_user_request(prompt_text)
+        plan = parse_request(request)
+        steps = plan.steps()
+        filenames = plan.filenames()
+        header = (
+            "Generate a Python script using ParaView for performing visualization tasks "
+            "based on the provided steps."
+        )
+        if filenames:
+            header += (
+                f" This script utilizes ParaView to visualize data from the {filenames[0]} file."
+            )
+        lines = [header, "Requirements step-by-step:"]
+        lines.extend(f"- {step}" for step in steps)
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # script generation
+    # ------------------------------------------------------------------ #
+    def _generate_script(self, prompt_text: str, rng: np.random.Generator) -> str:
+        request = _extract_user_request(prompt_text)
+        plan = parse_request(request)
+        assisted = FEW_SHOT_MARKER in prompt_text
+        draft = canonical_script(plan)
+        self._degrade(draft, plan, assisted, rng)
+        script = draft.text()
+        preamble = (
+            f"Here is a ParaView Python script for the requested visualization "
+            f"({len(plan)} steps recognised)."
+        )
+        return f"{preamble}\n\n```python\n{script}```\n"
+
+    def _degrade(
+        self,
+        draft: ScriptDraft,
+        plan: VisualizationPlan,
+        assisted: bool,
+        rng: np.random.Generator,
+    ) -> None:
+        profile = self.profile
+        structural = [
+            op.kind
+            for op in plan.operations
+            if op.kind
+            in ("isosurface", "slice", "contour", "clip", "delaunay", "streamlines", "tube", "glyph", "volume_render")
+        ]
+        complexity = len(structural)
+
+        if assisted:
+            self._degrade_assisted(draft, complexity, rng)
+            return
+
+        if profile.style == "frontier":
+            self._degrade_frontier_unassisted(draft, plan, rng)
+            return
+
+        # ----- weak models, unassisted: unusable scripts ------------------- #
+        n_hallucinations = 1 + int(rng.integers(0, 2)) + (1 if complexity >= 3 else 0)
+        for _ in range(n_hallucinations):
+            inject_attribute_hallucination(draft, rng)
+        if rng.random() < 0.6:
+            inject_nonexistent_function(draft, rng)
+        # the paper reports syntax errors for every weak model on every task
+        inject_syntax_error(draft, rng)
+        if rng.random() > profile.syntax_reliability:
+            inject_syntax_error(draft, rng)
+        inject_gray_background(draft, rng)
+
+    def _degrade_assisted(self, draft: ScriptDraft, complexity: int, rng: np.random.Generator) -> None:
+        """Few-shot-assisted generation (the ChatVis path)."""
+        profile = self.profile
+        residual = (1.0 - profile.api_knowledge) * (1.0 - profile.follows_examples)
+        # frontier models: a small number of repairable slips that the
+        # correction loop will fix; weak models keep a noticeable error rate.
+        if profile.style == "frontier":
+            n_errors = 0
+            if complexity >= 2:
+                n_errors += 1
+            if complexity >= 4 and rng.random() < 0.75:
+                n_errors += 1
+            for _ in range(n_errors):
+                inject_attribute_hallucination(draft, rng)
+            return
+        n_errors = 1 + int(rng.random() < residual * 4)
+        for _ in range(n_errors):
+            inject_attribute_hallucination(draft, rng)
+        if rng.random() > (profile.syntax_reliability + profile.follows_examples) / 2.0:
+            inject_syntax_error(draft, rng)
+
+    def _degrade_frontier_unassisted(
+        self, draft: ScriptDraft, plan: VisualizationPlan, rng: np.random.Generator
+    ) -> None:
+        """GPT-4 without ChatVis: the paper's task-specific failure modes."""
+        has = plan.has
+        if has("streamlines"):
+            # hallucinated Glyph properties, Show before the view exists,
+            # hand-written (cropped) camera parameters.
+            inject_attribute_hallucination(draft, rng, stage="glyph")
+            inject_attribute_hallucination(draft, rng, stage="stream")
+            inject_use_before_create(draft, rng)
+            inject_wrong_camera(draft, rng)
+        elif has("delaunay") or (has("clip") and not has("slice")):
+            inject_attribute_hallucination(draft, rng, stage="clip")
+        elif has("volume_render"):
+            # runs without error but never issues the volume-rendering commands
+            # (nor shows the data), producing the paper's "blank screenshot"
+            inject_missing_stage(draft, "volume")
+            inject_missing_stage(draft, "display")
+            inject_missing_stage(draft, "colorby")
+            inject_gray_background(draft, rng)
+        elif has("slice") and has("contour"):
+            inject_attribute_hallucination(draft, rng, stage="contour")
+            inject_attribute_hallucination(draft, rng, stage="view")
+        elif has("isosurface"):
+            # correct but cosmetically different (gray background, default zoom)
+            inject_gray_background(draft, rng)
+        else:
+            inject_attribute_hallucination(draft, rng)
+
+    # ------------------------------------------------------------------ #
+    # error correction
+    # ------------------------------------------------------------------ #
+    def _correct_script(self, prompt_text: str, rng: np.random.Generator) -> str:
+        script = _extract_previous_script(prompt_text)
+        error_text = _extract_error_report(prompt_text)
+        outcome = repair_script(script, error_text, rng, skill=self.profile.repair_skill)
+        notes = "; ".join(outcome.actions) if outcome.actions else "no changes applied"
+        return (
+            f"I analysed the error and revised the script ({notes}).\n\n"
+            f"```python\n{outcome.script}```\n"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# prompt-part extraction helpers
+# --------------------------------------------------------------------------- #
+def _extract_user_request(prompt_text: str) -> str:
+    """Pull the natural-language visualization request out of a prompt.
+
+    ChatVis marks the request with ``User request:``; if the marker is absent
+    the whole prompt is treated as the request (the unassisted baseline sends
+    the raw user prompt).
+    """
+    marker = "User request:"
+    if marker in prompt_text:
+        tail = prompt_text.split(marker, 1)[1]
+        # stop at the next section header if present
+        for stop in ("Example ParaView code snippets", "Step-by-step instructions", "```"):
+            if stop in tail:
+                tail = tail.split(stop, 1)[0]
+        return tail.strip()
+    return prompt_text.strip()
+
+
+def _extract_previous_script(prompt_text: str) -> str:
+    """The script to fix is the first fenced code block of the prompt."""
+    code = extract_code_block(prompt_text)
+    # extract_code_block returns the *last* block; for correction prompts the
+    # script comes first and the error report may contain no fences, so try
+    # the first block explicitly.
+    if "```" in prompt_text:
+        parts = prompt_text.split("```")
+        if len(parts) >= 2:
+            block = parts[1]
+            if block.startswith(("python", "Python", "py")):
+                block = block.split("\n", 1)[1] if "\n" in block else ""
+            return block.strip() + "\n"
+    return code
+
+
+def _extract_error_report(prompt_text: str) -> str:
+    if "Traceback" in prompt_text:
+        start = prompt_text.index("Traceback")
+        tail = prompt_text[start:]
+        if "```" in tail:
+            tail = tail.split("```", 1)[0]
+        return tail.strip()
+    return ""

@@ -1,0 +1,449 @@
+"""Natural-language parsing of visualization requests.
+
+Both ChatVis's prompt-rewriting stage and the simulated models need to turn a
+natural-language request such as
+
+    "Read in the file named 'ml-100.vtk'.  Slice the volume in a plane
+     parallel to the y-z plane at x=0.  Take a contour through the slice at
+     the value 0.5. ..."
+
+into a structured :class:`VisualizationPlan` — an ordered list of
+:class:`Operation` objects (read_file, isosurface, slice, contour, clip,
+volume_render, delaunay, streamlines, tube, glyph, color, color_by,
+view_direction, view_size, screenshot, ...).  In the paper this
+"understanding" step is performed by GPT-4; here it is a deterministic
+rule-based parser, which is the part of the LLM simulation that must be
+*right* for every model (what differs between simulated models is how
+faithfully the plan is turned into code, not whether the English was
+understood).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Operation", "VisualizationPlan", "parse_request"]
+
+
+_AXES = ("x", "y", "z")
+
+_COLOR_NAMES: Dict[str, Tuple[float, float, float]] = {
+    "red": (1.0, 0.0, 0.0),
+    "green": (0.0, 1.0, 0.0),
+    "blue": (0.0, 0.0, 1.0),
+    "white": (1.0, 1.0, 1.0),
+    "black": (0.0, 0.0, 0.0),
+    "yellow": (1.0, 1.0, 0.0),
+    "orange": (1.0, 0.55, 0.0),
+    "purple": (0.6, 0.2, 0.8),
+    "cyan": (0.0, 1.0, 1.0),
+    "magenta": (1.0, 0.0, 1.0),
+    "gray": (0.5, 0.5, 0.5),
+    "grey": (0.5, 0.5, 0.5),
+}
+
+
+@dataclass
+class Operation:
+    """One step of a visualization plan."""
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    position: int = 0  #: character offset in the request, used for ordering
+    text: str = ""  #: the matched text fragment (for debugging / prompts)
+
+    def describe(self) -> str:
+        """A short English description of the step (used in generated prompts)."""
+        p = self.params
+        if self.kind == "read_file":
+            return f"Read the file {p['filename']!r}."
+        if self.kind == "isosurface":
+            return f"Generate an isosurface of the variable {p['array']!r} at value {p['value']}."
+        if self.kind == "slice":
+            return (
+                f"Slice the data with a plane normal to the {p['normal_axis']} axis "
+                f"at {p['normal_axis']}={p['position']}."
+            )
+        if self.kind == "contour":
+            array = f" of {p['array']!r}" if p.get("array") else ""
+            return f"Take a contour{array} through the current data at the value {p['value']}."
+        if self.kind == "clip":
+            return (
+                f"Clip the data with a plane normal to the {p['normal_axis']} axis at "
+                f"{p['normal_axis']}={p['position']}, keeping the {p['keep_side']}"
+                f"{p['normal_axis']} half."
+            )
+        if self.kind == "volume_render":
+            return "Generate a volume rendering using the default transfer function."
+        if self.kind == "delaunay":
+            return "Generate a 3D Delaunay triangulation of the dataset."
+        if self.kind == "streamlines":
+            return f"Trace streamlines of the {p['array']!r} data array seeded from a default point cloud."
+        if self.kind == "tube":
+            return "Render the streamlines with tubes."
+        if self.kind == "glyph":
+            return f"Add {p.get('glyph_type', 'cone')} glyphs to indicate direction."
+        if self.kind == "color":
+            return f"Color the {p.get('target', 'result')} {p['color_name']}."
+        if self.kind == "color_by":
+            return f"Color the result by the {p['array']!r} data array."
+        if self.kind == "wireframe":
+            return "Render the result as a wireframe."
+        if self.kind == "view_direction":
+            if p.get("direction") == "isometric":
+                return "Rotate the view to an isometric direction."
+            return f"Rotate the view to look in the {p['direction']} direction."
+        if self.kind == "view_size":
+            return f"Set the rendered view resolution to {p['width']} x {p['height']} pixels."
+        if self.kind == "screenshot":
+            return f"Save a screenshot of the rendered view to {p['filename']!r}."
+        if self.kind == "background":
+            return f"Set the background color to {p['color_name']}."
+        return self.kind.replace("_", " ")
+
+    def __repr__(self) -> str:
+        return f"Operation({self.kind}, {self.params})"
+
+
+@dataclass
+class VisualizationPlan:
+    """An ordered list of operations parsed from a request."""
+
+    operations: List[Operation] = field(default_factory=list)
+    request: str = ""
+
+    # ------------------------------------------------------------------ #
+    def kinds(self) -> List[str]:
+        return [op.kind for op in self.operations]
+
+    def has(self, kind: str) -> bool:
+        return any(op.kind == kind for op in self.operations)
+
+    def first(self, kind: str) -> Optional[Operation]:
+        for op in self.operations:
+            if op.kind == kind:
+                return op
+        return None
+
+    def all(self, kind: str) -> List[Operation]:
+        return [op for op in self.operations if op.kind == kind]
+
+    def filenames(self) -> List[str]:
+        return [op.params["filename"] for op in self.all("read_file")]
+
+    def screenshot_filename(self) -> Optional[str]:
+        op = self.first("screenshot")
+        return op.params["filename"] if op else None
+
+    def resolution(self) -> Tuple[int, int]:
+        op = self.first("view_size")
+        if op:
+            return int(op.params["width"]), int(op.params["height"])
+        return (1920, 1080)
+
+    def steps(self) -> List[str]:
+        """English step-by-step instructions (the "generated prompt" content)."""
+        return [op.describe() for op in self.operations]
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self):
+        return iter(self.operations)
+
+
+# --------------------------------------------------------------------------- #
+# parsing helpers
+# --------------------------------------------------------------------------- #
+def _find_filenames(text: str) -> List[Tuple[int, str]]:
+    """All data-file names mentioned, with their positions (excludes .png)."""
+    results: List[Tuple[int, str]] = []
+    pattern = re.compile(r"['\"]?([\w][\w\-.]*\.(?:vtk|ex2|exo|e|vti|vtu|csv))['\"]?", re.IGNORECASE)
+    for match in pattern.finditer(text):
+        results.append((match.start(), match.group(1).strip()))
+    return results
+
+
+def _find_screenshot(text: str) -> Optional[Tuple[int, str]]:
+    pattern = re.compile(r"['\"]?([\w][\w\-.]*\.png)['\"]?", re.IGNORECASE)
+    match = pattern.search(text)
+    if match:
+        return match.start(), match.group(1).strip()
+    return None
+
+
+def _other_axis(a: str, b: str) -> str:
+    for axis in _AXES:
+        if axis not in (a, b):
+            return axis
+    return "x"
+
+
+def parse_request(request: str) -> VisualizationPlan:
+    """Parse a natural-language visualization request into a plan."""
+    text = request or ""
+    lower = text.lower()
+    ops: List[Operation] = []
+
+    # ----- file reads ---------------------------------------------------- #
+    for pos, name in _find_filenames(text):
+        ops.append(Operation("read_file", {"filename": name}, position=pos))
+
+    # ----- isosurface ---------------------------------------------------- #
+    for match in re.finditer(
+        r"isosurface of (?:the )?(?:variable\s+)?['\"]?(\w+)['\"]?\s+at\s+(?:the\s+)?(?:value\s+)?(-?\d*\.?\d+)",
+        text,
+        flags=re.IGNORECASE,
+    ):
+        ops.append(
+            Operation(
+                "isosurface",
+                {"array": match.group(1), "value": float(match.group(2))},
+                position=match.start(),
+                text=match.group(0),
+            )
+        )
+    if "isosurface" in lower and not any(op.kind == "isosurface" for op in ops):
+        value_match = re.search(r"(?:value|at)\s+(-?\d*\.?\d+)", lower)
+        array_match = re.search(r"variable\s+['\"]?(\w+)['\"]?", text, flags=re.IGNORECASE)
+        ops.append(
+            Operation(
+                "isosurface",
+                {
+                    "array": array_match.group(1) if array_match else None,
+                    "value": float(value_match.group(1)) if value_match else 0.5,
+                },
+                position=lower.find("isosurface"),
+            )
+        )
+
+    # ----- slice ---------------------------------------------------------- #
+    slice_match = re.search(
+        r"slice[^.]*?plane parallel to the ([xyz])[- ]([xyz]) plane at ([xyz])\s*=\s*(-?\d*\.?\d+)",
+        lower,
+    )
+    if slice_match:
+        normal_axis = _other_axis(slice_match.group(1), slice_match.group(2))
+        ops.append(
+            Operation(
+                "slice",
+                {"normal_axis": normal_axis, "position": float(slice_match.group(4))},
+                position=slice_match.start(),
+                text=slice_match.group(0),
+            )
+        )
+    elif re.search(r"\bslice\b", lower) and "slice" not in [o.kind for o in ops]:
+        axis_match = re.search(r"slice[^.]*?\bat ([xyz])\s*=\s*(-?\d*\.?\d+)", lower)
+        if axis_match:
+            ops.append(
+                Operation(
+                    "slice",
+                    {"normal_axis": axis_match.group(1), "position": float(axis_match.group(2))},
+                    position=lower.find("slice"),
+                )
+            )
+        elif re.search(r"slice (?:the|of|through)", lower):
+            ops.append(Operation("slice", {"normal_axis": "x", "position": 0.0}, position=lower.find("slice")))
+
+    # ----- contour through the current data ------------------------------- #
+    contour_match = re.search(
+        r"contour(?! the)[^.]*?at (?:the )?value\s+(-?\d*\.?\d+)", lower
+    )
+    if contour_match and "isosurface" not in contour_match.group(0):
+        array_match = re.search(r"contour of (?:the )?['\"]?(\w+)['\"]?", text, flags=re.IGNORECASE)
+        ops.append(
+            Operation(
+                "contour",
+                {
+                    "value": float(contour_match.group(1)),
+                    "array": array_match.group(1) if array_match else None,
+                },
+                position=contour_match.start(),
+                text=contour_match.group(0),
+            )
+        )
+
+    # ----- clip ------------------------------------------------------------ #
+    clip_match = re.search(
+        r"clip[^.]*?([xyz])[- ]([xyz]) plane at ([xyz])\s*=\s*(-?\d*\.?\d+)", lower
+    )
+    if clip_match:
+        normal_axis = _other_axis(clip_match.group(1), clip_match.group(2))
+        keep_match = re.search(r"keep(?:ing)? the ([+-])\s*([xyz]) half", lower)
+        keep_side = keep_match.group(1) if keep_match else "-"
+        ops.append(
+            Operation(
+                "clip",
+                {
+                    "normal_axis": normal_axis,
+                    "position": float(clip_match.group(4)),
+                    "keep_side": keep_side,
+                },
+                position=clip_match.start(),
+                text=clip_match.group(0),
+            )
+        )
+    elif re.search(r"\bclip\b", lower):
+        keep_match = re.search(r"keep(?:ing)? the ([+-])\s*([xyz]) half", lower)
+        ops.append(
+            Operation(
+                "clip",
+                {
+                    "normal_axis": keep_match.group(2) if keep_match else "x",
+                    "position": 0.0,
+                    "keep_side": keep_match.group(1) if keep_match else "-",
+                },
+                position=lower.find("clip"),
+            )
+        )
+
+    # ----- volume rendering ------------------------------------------------ #
+    if "volume render" in lower or "volume-render" in lower or "direct volume" in lower:
+        ops.append(
+            Operation(
+                "volume_render",
+                {"default_transfer_function": "default transfer function" in lower},
+                position=lower.find("volume"),
+            )
+        )
+
+    # ----- Delaunay --------------------------------------------------------- #
+    if "delaunay" in lower:
+        ops.append(Operation("delaunay", {"dimension": 3}, position=lower.find("delaunay")))
+
+    # ----- streamlines ------------------------------------------------------- #
+    stream_match = re.search(
+        r"streamlines? of (?:the )?['\"]?(\w+)['\"]?(?:\s+data)?(?:\s+array)?",
+        text,
+        flags=re.IGNORECASE,
+    )
+    if stream_match:
+        ops.append(
+            Operation(
+                "streamlines",
+                {"array": stream_match.group(1), "seed": "point cloud" if "point cloud" in lower else "default"},
+                position=stream_match.start(),
+                text=stream_match.group(0),
+            )
+        )
+    elif "streamline" in lower:
+        ops.append(Operation("streamlines", {"array": None, "seed": "default"}, position=lower.find("streamline")))
+
+    # ----- tubes ------------------------------------------------------------- #
+    if re.search(r"\btubes?\b", lower):
+        ops.append(Operation("tube", {}, position=lower.find("tube")))
+
+    # ----- glyphs ------------------------------------------------------------ #
+    glyph_match = re.search(r"(cone|arrow|sphere)s?\s+glyphs?", lower) or re.search(
+        r"glyphs?(?:[^.]*?)\b(cone|arrow|sphere)s?\b", lower
+    )
+    if glyph_match:
+        ops.append(
+            Operation(
+                "glyph",
+                {"glyph_type": glyph_match.group(1)},
+                position=glyph_match.start(),
+                text=glyph_match.group(0),
+            )
+        )
+    elif "glyph" in lower:
+        ops.append(Operation("glyph", {"glyph_type": "arrow"}, position=lower.find("glyph")))
+
+    # ----- solid colors ------------------------------------------------------- #
+    for match in re.finditer(
+        r"color the (\w+(?: \w+)?)\s+(" + "|".join(_COLOR_NAMES) + r")\b", lower
+    ):
+        target = match.group(1).strip()
+        ops.append(
+            Operation(
+                "color",
+                {
+                    "target": target,
+                    "color_name": match.group(2),
+                    "rgb": _COLOR_NAMES[match.group(2)],
+                },
+                position=match.start(),
+                text=match.group(0),
+            )
+        )
+
+    # ----- color by array ------------------------------------------------------ #
+    colorby_match = re.search(
+        r"color (?:the )?([\w ,]+?) by (?:the )?['\"]?(\w+)['\"]?(?:\s+data)?(?:\s+array)?",
+        text,
+        flags=re.IGNORECASE,
+    )
+    if colorby_match:
+        ops.append(
+            Operation(
+                "color_by",
+                {"target": colorby_match.group(1).strip().lower(), "array": colorby_match.group(2)},
+                position=colorby_match.start(),
+                text=colorby_match.group(0),
+            )
+        )
+
+    # ----- wireframe ------------------------------------------------------------ #
+    if "wireframe" in lower:
+        ops.append(Operation("wireframe", {}, position=lower.find("wireframe")))
+
+    # ----- background ------------------------------------------------------------ #
+    bg_match = re.search(r"background(?: color)?(?: to)?\s+(" + "|".join(_COLOR_NAMES) + r")\b", lower)
+    if bg_match:
+        ops.append(
+            Operation(
+                "background",
+                {"color_name": bg_match.group(1), "rgb": _COLOR_NAMES[bg_match.group(1)]},
+                position=bg_match.start(),
+            )
+        )
+
+    # ----- view direction ---------------------------------------------------------- #
+    if "isometric" in lower:
+        ops.append(Operation("view_direction", {"direction": "isometric"}, position=lower.find("isometric")))
+    view_match = re.search(
+        r"(?:look(?:ing)?|view(?:ing)?|rotate the view)[^.]*?\bthe\s*([+-]?)\s*([xyz])\s*(?:direction|axis)",
+        lower,
+    )
+    if view_match:
+        sign = view_match.group(1) or "+"
+        ops.append(
+            Operation(
+                "view_direction",
+                {"direction": f"{sign}{view_match.group(2)}"},
+                position=view_match.start(),
+                text=view_match.group(0),
+            )
+        )
+
+    # ----- view size ------------------------------------------------------------------ #
+    size_match = re.search(r"(\d{2,5})\s*[x×]\s*(\d{2,5})\s*pixels", lower)
+    if size_match:
+        ops.append(
+            Operation(
+                "view_size",
+                {"width": int(size_match.group(1)), "height": int(size_match.group(2))},
+                position=size_match.start(),
+            )
+        )
+
+    # ----- screenshot ------------------------------------------------------------------- #
+    screenshot = _find_screenshot(text)
+    if screenshot:
+        ops.append(Operation("screenshot", {"filename": screenshot[1]}, position=screenshot[0]))
+    elif "screenshot" in lower:
+        ops.append(Operation("screenshot", {"filename": "screenshot.png"}, position=lower.find("screenshot")))
+
+    # ----- ordering -------------------------------------------------------------------- #
+    # Keep the order in which the request mentions operations, but force the
+    # terminal steps (view size, screenshot) to the end — ParaView scripts
+    # must create filters before configuring the view and saving.
+    structural = [op for op in ops if op.kind not in ("view_size", "screenshot")]
+    terminal = [op for op in ops if op.kind in ("view_size", "screenshot")]
+    structural.sort(key=lambda op: op.position)
+    terminal.sort(key=lambda op: (op.kind != "view_size", op.position))
+    ordered = structural + terminal
+
+    return VisualizationPlan(operations=ordered, request=request)

@@ -1,0 +1,148 @@
+"""OpenAI-style adapter.
+
+The paper drives ChatVis through the OpenAI Python API.  This module provides
+(1) an adapter exposing any :class:`~repro.llm.base.LLMClient` through the
+``client.chat.completions.create(...)`` call shape, so code written against
+the OpenAI SDK runs unchanged on the simulated models, and (2) a wrapper in
+the opposite direction, so a *real* OpenAI client object (when network access
+and credentials exist) can be plugged into ChatVis as an ``LLMClient``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.llm.base import ChatMessage, CompletionResponse, LLMClient, Usage
+from repro.llm.registry import get_model
+
+__all__ = ["OpenAICompatibleClient", "ExternalOpenAIClient"]
+
+
+# --------------------------------------------------------------------------- #
+# response envelope matching the OpenAI SDK's object shapes
+# --------------------------------------------------------------------------- #
+@dataclass
+class _Message:
+    role: str
+    content: str
+
+
+@dataclass
+class _Choice:
+    index: int
+    message: _Message
+    finish_reason: str = "stop"
+
+
+@dataclass
+class _Usage:
+    prompt_tokens: int
+    completion_tokens: int
+    total_tokens: int
+
+
+@dataclass
+class _ChatCompletion:
+    id: str
+    model: str
+    choices: List[_Choice]
+    usage: _Usage
+
+
+class _Completions:
+    def __init__(self, parent: "OpenAICompatibleClient") -> None:
+        self._parent = parent
+
+    def create(
+        self,
+        model: str,
+        messages: Sequence[Dict[str, str]],
+        temperature: float = 0.0,
+        seed: Optional[int] = None,
+        max_tokens: Optional[int] = None,
+        **_kwargs: Any,
+    ) -> _ChatCompletion:
+        client = self._parent.resolve(model)
+        chat = [ChatMessage(m["role"], m["content"]) for m in messages]
+        response = client.complete(chat, temperature=temperature, seed=seed, max_tokens=max_tokens)
+        self._parent.call_count += 1
+        return _ChatCompletion(
+            id=f"chatcmpl-sim-{self._parent.call_count:06d}",
+            model=response.model,
+            choices=[_Choice(index=0, message=_Message("assistant", response.text))],
+            usage=_Usage(
+                prompt_tokens=response.usage.prompt_tokens,
+                completion_tokens=response.usage.completion_tokens,
+                total_tokens=response.usage.total_tokens,
+            ),
+        )
+
+
+class _Chat:
+    def __init__(self, parent: "OpenAICompatibleClient") -> None:
+        self.completions = _Completions(parent)
+
+
+class OpenAICompatibleClient:
+    """Expose the simulated model registry through the OpenAI SDK call shape.
+
+    Example
+    -------
+    >>> client = OpenAICompatibleClient()
+    >>> out = client.chat.completions.create(
+    ...     model="gpt-4",
+    ...     messages=[{"role": "user", "content": "Please generate a ParaView Python script ..."}],
+    ... )
+    >>> text = out.choices[0].message.content
+    """
+
+    def __init__(self, default_model: str = "gpt-4-sim") -> None:
+        self.default_model = default_model
+        self.call_count = 0
+        self.chat = _Chat(self)
+
+    def resolve(self, model: Optional[str]) -> LLMClient:
+        return get_model(model or self.default_model)
+
+
+class ExternalOpenAIClient(LLMClient):
+    """Wrap a real OpenAI SDK client as an :class:`LLMClient`.
+
+    The wrapped object must provide ``chat.completions.create``; this is the
+    hook used to run ChatVis against the actual GPT-4 when network access and
+    an API key are available (not exercised in the offline test suite).
+    """
+
+    def __init__(self, openai_client: Any, model: str = "gpt-4") -> None:
+        self._client = openai_client
+        self.model_name = model
+
+    def complete(
+        self,
+        messages: Sequence[ChatMessage],
+        temperature: float = 0.0,
+        seed: Optional[int] = None,
+        max_tokens: Optional[int] = None,
+    ) -> CompletionResponse:
+        kwargs: Dict[str, Any] = {
+            "model": self.model_name,
+            "messages": [m.to_dict() for m in messages],
+            "temperature": temperature,
+        }
+        if seed is not None:
+            kwargs["seed"] = seed
+        if max_tokens is not None:
+            kwargs["max_tokens"] = max_tokens
+        response = self._client.chat.completions.create(**kwargs)
+        choice = response.choices[0]
+        usage = getattr(response, "usage", None)
+        return CompletionResponse(
+            text=choice.message.content,
+            model=getattr(response, "model", self.model_name),
+            usage=Usage(
+                prompt_tokens=getattr(usage, "prompt_tokens", 0) if usage else 0,
+                completion_tokens=getattr(usage, "completion_tokens", 0) if usage else 0,
+            ),
+            finish_reason=getattr(choice, "finish_reason", "stop"),
+        )

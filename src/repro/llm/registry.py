@@ -1,0 +1,58 @@
+"""Model registry: name → :class:`~repro.llm.base.LLMClient`."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.llm.base import LLMClient
+from repro.llm.models import DEFAULT_PROFILES, ModelProfile, SimulatedLLM
+
+__all__ = ["get_model", "register_model", "available_models"]
+
+_FACTORIES: Dict[str, Callable[[], LLMClient]] = {}
+
+#: paper-name aliases → simulated model names
+_ALIASES: Dict[str, str] = {
+    "gpt-4": "gpt-4-sim",
+    "gpt4": "gpt-4-sim",
+    "chatvis": "gpt-4-sim",
+    "gpt-3.5": "gpt-3.5-turbo-sim",
+    "gpt-3.5-turbo": "gpt-3.5-turbo-sim",
+    "llama3": "llama-3-8b-sim",
+    "llama-3-8b": "llama-3-8b-sim",
+    "llama3:8b": "llama-3-8b-sim",
+    "codellama": "codellama-7b-sim",
+    "codellama:7b": "codellama-7b-sim",
+    "codegemma": "codegemma-sim",
+}
+
+
+def register_model(name: str, factory: Callable[[], LLMClient]) -> None:
+    """Register a model factory under ``name`` (overwrites existing entries)."""
+    _FACTORIES[name.lower()] = factory
+
+
+def available_models() -> List[str]:
+    """Names of all registered models."""
+    return sorted(_FACTORIES)
+
+
+def get_model(name: str) -> LLMClient:
+    """Instantiate a model by name (accepts the paper's model names as aliases)."""
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    factory = _FACTORIES.get(key)
+    if factory is None:
+        raise KeyError(
+            f"unknown model {name!r}; available: {available_models()} "
+            f"(aliases: {sorted(_ALIASES)})"
+        )
+    return factory()
+
+
+def _register_defaults() -> None:
+    for profile_name, profile in DEFAULT_PROFILES.items():
+        register_model(profile_name, lambda p=profile: SimulatedLLM(p))
+
+
+_register_defaults()

@@ -1,0 +1,53 @@
+"""A small tokenizer for token accounting.
+
+Real LLM APIs report prompt/completion token counts; the simulated models do
+the same so that cost-style metrics (tokens per task, tokens per correction
+iteration) can be reported by the harness.  The tokenizer is a simple
+word/punctuation splitter with an approximate sub-word penalty for long
+words — close enough to BPE counts for accounting purposes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+__all__ = ["SimpleTokenizer", "count_tokens"]
+
+_TOKEN_PATTERN = re.compile(r"\w+|[^\w\s]")
+
+
+class SimpleTokenizer:
+    """Splits text into word and punctuation tokens.
+
+    Words longer than ``subword_length`` characters count as multiple tokens
+    (one per ``subword_length`` chunk), mimicking how BPE splits rare long
+    identifiers such as ``RescaleTransferFunctionToDataRange``.
+    """
+
+    def __init__(self, subword_length: int = 6) -> None:
+        if subword_length < 1:
+            raise ValueError("subword_length must be positive")
+        self.subword_length = subword_length
+
+    def tokenize(self, text: str) -> List[str]:
+        tokens: List[str] = []
+        for match in _TOKEN_PATTERN.finditer(text or ""):
+            token = match.group(0)
+            if len(token) <= self.subword_length or not token.isalnum():
+                tokens.append(token)
+            else:
+                for start in range(0, len(token), self.subword_length):
+                    tokens.append(token[start : start + self.subword_length])
+        return tokens
+
+    def count(self, text: str) -> int:
+        return len(self.tokenize(text))
+
+
+_DEFAULT = SimpleTokenizer()
+
+
+def count_tokens(text: str) -> int:
+    """Token count of ``text`` with the default tokenizer."""
+    return _DEFAULT.count(text)

@@ -1,0 +1,31 @@
+"""A ``paraview.simple``-compatible scripting layer.
+
+:mod:`repro.pvsim.simple` exposes the subset of the ParaView Python API that
+the paper's pipelines use — readers, filters, views, displays, color
+transfer functions and ``SaveScreenshot`` — implemented on top of
+:mod:`repro.algorithms` and :mod:`repro.rendering`.
+
+Two properties make it a faithful stand-in for ChatVis purposes:
+
+* **Strict proxies** — every proxy validates property names on assignment, so
+  a hallucinated attribute (``glyph.Scalars = ...``) raises ``AttributeError``
+  exactly like a real ParaView proxy, which is what the error-correction loop
+  feeds back to the LLM.
+* **PvPython-like execution** — :mod:`repro.pvsim.executor` runs a script
+  string in a clean namespace where ``import paraview.simple`` (and
+  ``from paraview.simple import *``) resolve to this layer, captures stdout /
+  stderr / tracebacks, and reports which screenshot files were produced.
+"""
+
+from repro.pvsim.errors import PVSimError, ProxyPropertyError
+from repro.pvsim.executor import ExecutionResult, PvPythonExecutor, run_script
+from repro.pvsim import simple
+
+__all__ = [
+    "ExecutionResult",
+    "PVSimError",
+    "ProxyPropertyError",
+    "PvPythonExecutor",
+    "run_script",
+    "simple",
+]

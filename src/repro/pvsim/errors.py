@@ -1,0 +1,22 @@
+"""Exception types for the ParaView-compatible layer."""
+
+from __future__ import annotations
+
+__all__ = ["PVSimError", "ProxyPropertyError", "PipelineError"]
+
+
+class PVSimError(RuntimeError):
+    """Base class for errors raised by the pvsim layer."""
+
+
+class ProxyPropertyError(AttributeError):
+    """Raised when a script sets or reads a property a proxy does not have.
+
+    It derives from :class:`AttributeError` so the textual traceback matches
+    what real ParaView proxies produce (``AttributeError: ...``), which is the
+    string ChatVis's error extractor looks for.
+    """
+
+
+class PipelineError(PVSimError):
+    """Raised when a filter cannot execute (missing input, bad array, ...)."""

@@ -1,0 +1,236 @@
+"""A PvPython-like script executor.
+
+ChatVis executes the generated ParaView Python script with ``pvpython`` and
+inspects the textual output for errors; this module provides the equivalent
+capability on top of :mod:`repro.pvsim.simple`:
+
+* the script text is executed in a fresh namespace inside a working
+  directory,
+* ``import paraview.simple`` / ``from paraview.simple import *`` resolve to
+  the pvsim layer (a synthetic ``paraview`` package is injected into
+  ``sys.modules`` for the duration of the run),
+* stdout and stderr are captured,
+* uncaught exceptions are formatted as a pvpython-style traceback restricted
+  to the script's own frames, and
+* the files produced by ``SaveScreenshot`` are reported.
+
+The resulting :class:`ExecutionResult` is what ChatVis's error-extraction
+tool parses.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import os
+import sys
+import traceback
+import types
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.pvsim import simple as pvsimple
+from repro.pvsim import state
+
+__all__ = ["ExecutionResult", "PvPythonExecutor", "run_script"]
+
+
+@dataclass
+class ExecutionResult:
+    """The outcome of running one script."""
+
+    success: bool
+    stdout: str = ""
+    stderr: str = ""
+    error_type: Optional[str] = None
+    error_message: Optional[str] = None
+    traceback_text: str = ""
+    screenshots: List[str] = field(default_factory=list)
+    produced_files: List[str] = field(default_factory=list)
+    script_name: str = "script.py"
+
+    @property
+    def output(self) -> str:
+        """Combined textual output, the way pvpython would print it."""
+        parts = []
+        if self.stdout:
+            parts.append(self.stdout)
+        if self.stderr:
+            parts.append(self.stderr)
+        if self.traceback_text:
+            parts.append(self.traceback_text)
+        return "\n".join(part for part in parts if part)
+
+    @property
+    def produced_screenshot(self) -> bool:
+        return len(self.screenshots) > 0
+
+    def summary(self) -> str:
+        if self.success:
+            return (
+                f"success: {len(self.screenshots)} screenshot(s) "
+                f"{[Path(p).name for p in self.screenshots]}"
+            )
+        return f"failure: {self.error_type}: {self.error_message}"
+
+
+def _display_error_name(exc: BaseException) -> str:
+    """The error-class name a real pvpython run would show.
+
+    The pvsim layer raises :class:`ProxyPropertyError` (a subclass of
+    ``AttributeError``) for hallucinated proxy attributes; real ParaView
+    raises a plain ``AttributeError``, and ChatVis's error extractor keys on
+    that name, so the subclass is presented as its builtin ancestor.
+    """
+    if isinstance(exc, AttributeError):
+        return "AttributeError"
+    return type(exc).__name__
+
+
+def _format_script_traceback(
+    exc: BaseException,
+    script_name: str,
+    script_lines: Sequence[str],
+) -> str:
+    """Format a traceback restricted to the executed script's frames.
+
+    This mirrors what pvpython prints: the ``Traceback (most recent call
+    last):`` header, the ``File "<name>", line N`` frames of the user script
+    (with the offending source line), and the final ``ErrorType: message``
+    line that ChatVis's extractor keys on.
+    """
+    lines: List[str] = ["Traceback (most recent call last):"]
+    tb = exc.__traceback__
+    frames = traceback.extract_tb(tb)
+    script_frames = [f for f in frames if f.filename == script_name]
+    if not script_frames:
+        # syntax errors have no frames inside the script; fall back to all frames
+        script_frames = frames[-1:] if frames else []
+    for frame in script_frames:
+        lines.append(f'  File "{frame.filename}", line {frame.lineno}, in {frame.name}')
+        source = None
+        if frame.filename == script_name and frame.lineno and 0 < frame.lineno <= len(script_lines):
+            source = script_lines[frame.lineno - 1].strip()
+        elif frame.line:
+            source = frame.line.strip()
+        if source:
+            lines.append(f"    {source}")
+    if isinstance(exc, SyntaxError):
+        if exc.filename == script_name and exc.lineno:
+            lines.append(f'  File "{exc.filename}", line {exc.lineno}')
+            if exc.text:
+                lines.append(f"    {exc.text.rstrip()}")
+    lines.append(f"{_display_error_name(exc)}: {exc}")
+    return "\n".join(lines)
+
+
+def _build_fake_paraview_module() -> Dict[str, types.ModuleType]:
+    """Create ``paraview`` / ``paraview.simple`` module objects for scripts."""
+    paraview_pkg = types.ModuleType("paraview")
+    paraview_pkg.__path__ = []  # mark as a package
+    simple_mod = types.ModuleType("paraview.simple")
+
+    exported = {}
+    for name in getattr(pvsimple, "__all__", dir(pvsimple)):
+        exported[name] = getattr(pvsimple, name)
+    simple_mod.__dict__.update(exported)
+    # also keep non-__all__ public names available (defensive scripts use them)
+    for name in dir(pvsimple):
+        if not name.startswith("__") and name not in simple_mod.__dict__:
+            simple_mod.__dict__[name] = getattr(pvsimple, name)
+
+    paraview_pkg.simple = simple_mod
+    paraview_pkg.servermanager = pvsimple.servermanager
+    simple_mod.paraview = paraview_pkg
+    return {"paraview": paraview_pkg, "paraview.simple": simple_mod}
+
+
+class PvPythonExecutor:
+    """Runs ParaView Python scripts against the pvsim layer.
+
+    Parameters
+    ----------
+    working_dir:
+        Directory the script runs in; relative paths in the script (data
+        files, screenshots) resolve against it.  Created if missing.
+    reset_state:
+        Reset the pvsim session (views, sources, transfer functions) before
+        each run — on by default, matching a fresh pvpython process.
+    """
+
+    def __init__(self, working_dir: Union[str, Path, None] = None, reset_state: bool = True) -> None:
+        self.working_dir = Path(working_dir) if working_dir is not None else Path.cwd()
+        self.working_dir.mkdir(parents=True, exist_ok=True)
+        self.reset_state = reset_state
+
+    # ------------------------------------------------------------------ #
+    def run(self, script_text: str, script_name: str = "script.py") -> ExecutionResult:
+        """Execute ``script_text`` and capture its outcome."""
+        script_lines = script_text.splitlines()
+        stdout_buffer = io.StringIO()
+        stderr_buffer = io.StringIO()
+
+        fake_modules = _build_fake_paraview_module()
+        saved_modules = {name: sys.modules.get(name) for name in fake_modules}
+        previous_cwd = Path.cwd()
+        files_before = {p.name for p in self.working_dir.iterdir()} if self.working_dir.exists() else set()
+
+        if self.reset_state:
+            state.reset_session()
+
+        namespace: Dict[str, object] = {"__name__": "__main__", "__file__": script_name}
+
+        success = True
+        error_type: Optional[str] = None
+        error_message: Optional[str] = None
+        traceback_text = ""
+
+        try:
+            sys.modules.update(fake_modules)
+            os.chdir(self.working_dir)
+            with contextlib.redirect_stdout(stdout_buffer), contextlib.redirect_stderr(stderr_buffer):
+                try:
+                    code = compile(script_text, script_name, "exec")
+                    exec(code, namespace)  # noqa: S102 - intentional script execution
+                except BaseException as exc:  # noqa: BLE001 - report all script errors
+                    success = False
+                    error_type = _display_error_name(exc)
+                    error_message = str(exc)
+                    traceback_text = _format_script_traceback(exc, script_name, script_lines)
+        finally:
+            os.chdir(previous_cwd)
+            for name, module in saved_modules.items():
+                if module is None:
+                    sys.modules.pop(name, None)
+                else:
+                    sys.modules[name] = module
+
+        screenshots = [
+            str((self.working_dir / Path(p)).resolve()) if not Path(p).is_absolute() else p
+            for p in state.screenshots()
+        ]
+        files_after = {p.name for p in self.working_dir.iterdir()}
+        produced = sorted(files_after - files_before)
+
+        return ExecutionResult(
+            success=success,
+            stdout=stdout_buffer.getvalue(),
+            stderr=stderr_buffer.getvalue(),
+            error_type=error_type,
+            error_message=error_message,
+            traceback_text=traceback_text,
+            screenshots=[p for p in screenshots if Path(p).exists()],
+            produced_files=produced,
+            script_name=script_name,
+        )
+
+
+def run_script(
+    script_text: str,
+    working_dir: Union[str, Path, None] = None,
+    script_name: str = "script.py",
+) -> ExecutionResult:
+    """Convenience wrapper: run one script in (an optionally fresh) executor."""
+    executor = PvPythonExecutor(working_dir=working_dir)
+    return executor.run(script_text, script_name=script_name)

@@ -1,0 +1,134 @@
+"""Pipeline-object base classes (sources and filters)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.datamodel import Dataset
+from repro.pvsim.errors import PipelineError
+from repro.pvsim.proxies import Proxy
+
+__all__ = ["SourceProxy", "FilterProxy", "array_selection"]
+
+
+def array_selection(value: Any, default_association: str = "POINTS") -> Tuple[str, Optional[str]]:
+    """Parse a ParaView array-selection value.
+
+    ParaView scripts pass array selections as ``['POINTS', 'Temp']``,
+    ``('POINTS', 'Temp')``, or sometimes just ``'Temp'``.  ``None`` (used by
+    ``ColorBy(rep, None)``) selects solid coloring and returns
+    ``(association, None)``.
+    """
+    if value is None:
+        return default_association, None
+    if isinstance(value, str):
+        return default_association, value
+    if isinstance(value, (list, tuple)):
+        items = [v for v in value]
+        if len(items) == 1:
+            return default_association, items[0]
+        if len(items) >= 2:
+            association = str(items[0]).upper() if items[0] else default_association
+            name = items[1]
+            if name in (None, ""):
+                return association, None
+            return association, str(name)
+    raise PipelineError(f"invalid array selection {value!r}")
+
+
+class SourceProxy(Proxy):
+    """Base class for every pipeline object that produces a dataset."""
+
+    def __init__(self, registrationName: Optional[str] = None, **kwargs: Any) -> None:
+        super().__init__(registrationName=registrationName, **kwargs)
+        # auto-register as the active source, like paraview.simple does
+        from repro.pvsim import state
+
+        state.register_source(self)
+
+    # ------------------------------------------------------------------ #
+    def get_output(self) -> Dataset:
+        """Execute the pipeline up to (and including) this proxy."""
+        cached = object.__getattribute__(self, "_cached_output")
+        modified = object.__getattribute__(self, "_modified")
+        if cached is not None and not modified and not self._upstream_modified():
+            return cached
+        output = self._execute()
+        object.__setattr__(self, "_cached_output", output)
+        object.__setattr__(self, "_modified", False)
+        return output
+
+    def _execute(self) -> Dataset:
+        raise NotImplementedError
+
+    def _upstream_modified(self) -> bool:
+        return False
+
+    # ParaView's proxies expose UpdatePipeline(); generated scripts call it.
+    def UpdatePipeline(self, time: Optional[float] = None) -> None:  # noqa: N802
+        self.get_output()
+
+    # A light-weight stand-in for GetDataInformation(): enough for scripts
+    # that query the number of points/cells or the available arrays.
+    def GetDataInformation(self) -> "DataInformation":  # noqa: N802
+        return DataInformation(self.get_output())
+
+    def PointData(self) -> List[str]:  # noqa: N802
+        return self.get_output().point_data.names()
+
+
+class DataInformation:
+    """Tiny subset of ``vtkPVDataInformation`` used by scripts and tests."""
+
+    def __init__(self, dataset: Dataset) -> None:
+        self._dataset = dataset
+
+    def GetNumberOfPoints(self) -> int:  # noqa: N802
+        return self._dataset.n_points
+
+    def GetNumberOfCells(self) -> int:  # noqa: N802
+        return self._dataset.n_cells
+
+    def GetBounds(self):  # noqa: N802
+        return self._dataset.bounds().as_tuple()
+
+    def GetPointDataInformation(self):  # noqa: N802
+        return self._dataset.point_data.names()
+
+
+class FilterProxy(SourceProxy):
+    """Base class for filters: proxies with an ``Input`` property."""
+
+    PROPERTIES: Dict[str, Any] = {"Input": None}
+
+    def __init__(self, registrationName: Optional[str] = None, **kwargs: Any) -> None:
+        # Allow the common ``Filter(Input=source)`` positional-ish pattern.
+        super().__init__(registrationName=registrationName, **kwargs)
+        if self.Input is None:
+            from repro.pvsim import state
+
+            active = state.get_active_source(exclude=self)
+            if active is not None:
+                # ParaView uses the active source when Input is omitted.
+                object.__getattribute__(self, "_values")["Input"] = active
+
+    def input_dataset(self) -> Dataset:
+        source = self.Input
+        if source is None:
+            raise PipelineError(
+                f"filter {self.registration_name!r} has no Input and no active source is set"
+            )
+        if isinstance(source, SourceProxy):
+            return source.get_output()
+        if isinstance(source, Dataset):
+            return source
+        raise PipelineError(
+            f"filter {self.registration_name!r} has an invalid Input of type "
+            f"{type(source).__name__}"
+        )
+
+    def _upstream_modified(self) -> bool:
+        source = self.Input
+        if isinstance(source, SourceProxy):
+            return bool(object.__getattribute__(source, "_modified")) or source._upstream_modified()
+        return False

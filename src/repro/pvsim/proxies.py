@@ -1,0 +1,213 @@
+"""Proxy infrastructure.
+
+ParaView scripts manipulate *proxies*: objects whose properties mirror the
+server-side VTK objects.  Assigning a property that does not exist raises an
+``AttributeError`` — that behaviour is essential here because hallucinated
+attributes are exactly the failure mode the paper reports for unassisted
+LLMs, and the string form of that error is what ChatVis's correction loop
+feeds back to the model.
+
+:class:`Proxy` implements strict property checking: each subclass declares a
+``PROPERTIES`` mapping of property name → default value, and any attempt to
+get or set a name outside that set (or outside the declared ``METHODS``)
+raises :class:`~repro.pvsim.errors.ProxyPropertyError`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.pvsim.errors import ProxyPropertyError
+
+__all__ = ["Proxy", "PropertyGroupProxy", "next_registration_name"]
+
+_REGISTRATION_COUNTER = itertools.count(1)
+
+
+def next_registration_name(base: str) -> str:
+    """ParaView-style automatic registration names (``Contour1``, ``Contour2``...)."""
+    return f"{base}{next(_REGISTRATION_COUNTER)}"
+
+
+class PropertyGroupProxy:
+    """A nested property group, e.g. the ``SliceType`` plane of a Slice filter.
+
+    Behaves like a miniature proxy: it has its own allowed property set and
+    strict checking, and notifies the owning proxy when modified.
+    """
+
+    def __init__(self, name: str, properties: Dict[str, Any], owner: Optional["Proxy"] = None) -> None:
+        object.__setattr__(self, "_name", name)
+        object.__setattr__(self, "_values", dict(properties))
+        object.__setattr__(self, "_owner", owner)
+
+    def __getattr__(self, name: str) -> Any:
+        values = object.__getattribute__(self, "_values")
+        if name in values:
+            return values[name]
+        raise ProxyPropertyError(
+            f"'{object.__getattribute__(self, '_name')}' object has no attribute {name!r}"
+        )
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        values = object.__getattribute__(self, "_values")
+        if name not in values:
+            raise ProxyPropertyError(
+                f"'{object.__getattribute__(self, '_name')}' object has no attribute {name!r}"
+            )
+        values[name] = value
+        owner = object.__getattribute__(self, "_owner")
+        if owner is not None:
+            owner._mark_modified()
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(object.__getattribute__(self, "_values"))
+
+    def __repr__(self) -> str:
+        return f"<{object.__getattribute__(self, '_name')} {self.as_dict()}>"
+
+
+class Proxy:
+    """Base class for every ParaView-style proxy.
+
+    Subclasses declare:
+
+    * ``PROPERTIES`` — mapping of property name → default value,
+    * ``GROUPS`` — mapping of group property name → dict of nested defaults
+      (each instance gets its own :class:`PropertyGroupProxy`),
+    * ``LABEL`` — class name used in error messages (defaults to the Python
+      class name).
+
+    Constructor keyword arguments assign properties (with validation), plus
+    the ubiquitous ``registrationName`` / ``Input`` conveniences.
+    """
+
+    PROPERTIES: Dict[str, Any] = {}
+    GROUPS: Dict[str, Dict[str, Any]] = {}
+    LABEL: Optional[str] = None
+
+    def __init__(self, registrationName: Optional[str] = None, **kwargs: Any) -> None:
+        cls = type(self)
+        label = cls.LABEL or cls.__name__
+        object.__setattr__(self, "_label", label)
+        object.__setattr__(self, "_values", {})
+        object.__setattr__(self, "_groups", {})
+        object.__setattr__(self, "_modified", True)
+        object.__setattr__(self, "_cached_output", None)
+        object.__setattr__(
+            self, "_registration_name", registrationName or next_registration_name(label)
+        )
+
+        values = object.__getattribute__(self, "_values")
+        for name, default in self._all_properties().items():
+            values[name] = _copy_default(default)
+        groups = object.__getattribute__(self, "_groups")
+        for name, defaults in self._all_groups().items():
+            groups[name] = PropertyGroupProxy(f"{label}.{name}", defaults, owner=self)
+
+        for name, value in kwargs.items():
+            setattr(self, name, value)
+
+    # ------------------------------------------------------------------ #
+    # property table assembly (walks the MRO so subclasses inherit)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def _all_properties(cls) -> Dict[str, Any]:
+        merged: Dict[str, Any] = {}
+        for klass in reversed(cls.__mro__):
+            merged.update(getattr(klass, "PROPERTIES", {}) or {})
+        return merged
+
+    @classmethod
+    def _all_groups(cls) -> Dict[str, Dict[str, Any]]:
+        merged: Dict[str, Dict[str, Any]] = {}
+        for klass in reversed(cls.__mro__):
+            merged.update(getattr(klass, "GROUPS", {}) or {})
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # strict attribute access
+    # ------------------------------------------------------------------ #
+    def __getattr__(self, name: str) -> Any:
+        # only called when normal lookup fails
+        if name.startswith("_"):
+            raise AttributeError(name)
+        values = object.__getattribute__(self, "_values")
+        if name in values:
+            return values[name]
+        groups = object.__getattribute__(self, "_groups")
+        if name in groups:
+            return groups[name]
+        raise ProxyPropertyError(
+            f"'{object.__getattribute__(self, '_label')}' object has no attribute {name!r}"
+        )
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name.startswith("_"):
+            object.__setattr__(self, name, value)
+            return
+        values = object.__getattribute__(self, "_values")
+        groups = object.__getattribute__(self, "_groups")
+        if name in groups:
+            # assigning a whole group (e.g. SeedType='Point Cloud') is allowed:
+            # string selections switch the group kind, dicts update values.
+            group = groups[name]
+            if isinstance(value, str):
+                self._select_group_kind(name, value)
+            elif isinstance(value, dict):
+                for key, val in value.items():
+                    setattr(group, key, val)
+            else:
+                raise ProxyPropertyError(
+                    f"cannot assign {type(value).__name__!r} to property group {name!r}"
+                )
+            self._mark_modified()
+            return
+        if name not in values:
+            raise ProxyPropertyError(
+                f"'{object.__getattribute__(self, '_label')}' object has no attribute {name!r}"
+            )
+        values[name] = value
+        self._mark_modified()
+
+    def _select_group_kind(self, group_name: str, kind: str) -> None:
+        """Hook for subclasses that support e.g. ``SeedType='Point Cloud'``."""
+        values = object.__getattribute__(self, "_values")
+        key = f"_{group_name}Kind"
+        values.setdefault(key, kind)
+        values[key] = kind
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+    def _mark_modified(self) -> None:
+        object.__setattr__(self, "_modified", True)
+        object.__setattr__(self, "_cached_output", None)
+
+    @property
+    def registration_name(self) -> str:
+        return object.__getattribute__(self, "_registration_name")
+
+    def property_names(self) -> List[str]:
+        return sorted(object.__getattribute__(self, "_values").keys()) + sorted(
+            object.__getattribute__(self, "_groups").keys()
+        )
+
+    def get_property(self, name: str) -> Any:
+        return getattr(self, name)
+
+    def set_properties(self, **kwargs: Any) -> None:
+        for name, value in kwargs.items():
+            setattr(self, name, value)
+
+    def __repr__(self) -> str:
+        return f"<{object.__getattribute__(self, '_label')} '{self.registration_name}'>"
+
+
+def _copy_default(value: Any) -> Any:
+    if isinstance(value, list):
+        return list(value)
+    if isinstance(value, dict):
+        return dict(value)
+    return value

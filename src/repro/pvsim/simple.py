@@ -1,0 +1,396 @@
+"""The ``paraview.simple``-compatible module.
+
+Scripts executed by :mod:`repro.pvsim.executor` import this module under the
+name ``paraview.simple`` and use it exactly like the real thing::
+
+    from paraview.simple import *
+
+    reader = LegacyVTKReader(FileNames=['ml-100.vtk'])
+    contour = Contour(Input=reader)
+    contour.ContourBy = ['POINTS', 'var0']
+    contour.Isosurfaces = [0.5]
+    view = GetActiveViewOrCreate('RenderView')
+    display = Show(contour, view)
+    view.ViewSize = [1920, 1080]
+    ResetCamera(view)
+    SaveScreenshot('ml-iso-screenshot.png', view, ImageResolution=[1920, 1080])
+
+Only the subset of the API exercised by the paper's pipelines (plus a few
+common extras) is provided; anything else raises the same kinds of errors a
+real ParaView would (``NameError`` for unknown functions, ``AttributeError``
+for unknown properties), which is exactly the signal ChatVis's correction
+loop relies on.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.pvsim import state
+from repro.pvsim.errors import PipelineError
+from repro.pvsim.filters import (
+    Calculator,
+    Clip,
+    Contour,
+    Delaunay3D,
+    ExtractSurface,
+    Glyph,
+    Slice,
+    StreamTracer,
+    Threshold,
+    Tube,
+)
+from repro.pvsim.pipeline import SourceProxy, array_selection
+from repro.pvsim.sources import (
+    ExodusIIReader,
+    LegacyVTKReader,
+    SphereSource,
+    Wavelet,
+    open_data_file_proxy,
+)
+from repro.pvsim.views import (
+    CameraProxy,
+    ColorTransferFunctionProxy,
+    DisplayProxy,
+    Layout,
+    OpacityTransferFunctionProxy,
+    RenderView,
+    ScalarBarProxy,
+)
+
+__all__ = [
+    # sources / readers
+    "LegacyVTKReader",
+    "ExodusIIReader",
+    "Wavelet",
+    "Sphere",
+    "OpenDataFile",
+    # filters
+    "Contour",
+    "Slice",
+    "Clip",
+    "Delaunay3D",
+    "StreamTracer",
+    "Tube",
+    "Glyph",
+    "Threshold",
+    "ExtractSurface",
+    "Calculator",
+    # views & layouts
+    "CreateView",
+    "CreateRenderView",
+    "GetActiveView",
+    "GetActiveViewOrCreate",
+    "SetActiveView",
+    "CreateLayout",
+    "GetLayout",
+    "AssignViewToLayout",
+    # displays & coloring
+    "Show",
+    "Hide",
+    "ColorBy",
+    "GetColorTransferFunction",
+    "GetOpacityTransferFunction",
+    "GetScalarBar",
+    "HideScalarBarIfNotNeeded",
+    "UpdateScalarBars",
+    "GetDisplayProperties",
+    # camera & rendering
+    "Render",
+    "ResetCamera",
+    "GetActiveCamera",
+    "SaveScreenshot",
+    "Interact",
+    # pipeline management
+    "GetActiveSource",
+    "SetActiveSource",
+    "GetSources",
+    "Delete",
+    "UpdatePipeline",
+    "servermanager",
+    "_DisableFirstRenderCameraReset",
+]
+
+
+# --------------------------------------------------------------------------- #
+# sources
+# --------------------------------------------------------------------------- #
+Sphere = SphereSource
+
+
+def OpenDataFile(filename: Union[str, Sequence[str]], **_kwargs: Any) -> SourceProxy:  # noqa: N802
+    """Open a data file with the reader matching its extension."""
+    if isinstance(filename, (list, tuple)):
+        filename = filename[0]
+    return open_data_file_proxy(str(filename))
+
+
+# --------------------------------------------------------------------------- #
+# views and layouts
+# --------------------------------------------------------------------------- #
+def CreateView(view_type: str = "RenderView", **kwargs: Any) -> RenderView:  # noqa: N802
+    if str(view_type).lower() not in ("renderview", "render view"):
+        raise PipelineError(f"CreateView: unsupported view type {view_type!r}")
+    return RenderView(**kwargs)
+
+
+def CreateRenderView(**kwargs: Any) -> RenderView:  # noqa: N802
+    return RenderView(**kwargs)
+
+
+def GetActiveView() -> Optional[RenderView]:  # noqa: N802
+    return state.get_active_view()
+
+
+def GetActiveViewOrCreate(view_type: str = "RenderView") -> RenderView:  # noqa: N802
+    view = state.get_active_view()
+    if view is None:
+        view = CreateView(view_type)
+    return view
+
+
+def SetActiveView(view: Optional[RenderView]) -> None:  # noqa: N802
+    state.set_active_view(view)
+
+
+def CreateLayout(name: Optional[str] = None) -> Layout:  # noqa: N802
+    return Layout(name=name)
+
+
+def GetLayout(view: Optional[RenderView] = None) -> Layout:  # noqa: N802
+    layout = Layout(name="Layout #1")
+    target = view or state.get_active_view()
+    if target is not None:
+        layout.AssignView(0, target)
+    return layout
+
+
+def AssignViewToLayout(view: Optional[RenderView] = None, layout: Optional[Layout] = None, hint: int = 0) -> None:  # noqa: N802
+    layout = layout or GetLayout()
+    view = view or state.get_active_view()
+    if view is not None:
+        layout.AssignView(hint, view)
+
+
+# --------------------------------------------------------------------------- #
+# displays
+# --------------------------------------------------------------------------- #
+def _resolve_view(view: Optional[RenderView]) -> RenderView:
+    if view is None:
+        return GetActiveViewOrCreate("RenderView")
+    if isinstance(view, RenderView):
+        return view
+    raise PipelineError(
+        f"expected a RenderView (or None), got {type(view).__name__!r}; "
+        "create the view with CreateView/GetActiveViewOrCreate before using it"
+    )
+
+
+def Show(  # noqa: N802
+    proxy: Optional[SourceProxy] = None,
+    view: Optional[RenderView] = None,
+    representation_type: Optional[str] = None,
+    **_kwargs: Any,
+) -> DisplayProxy:
+    """Add a pipeline object to a view and return its display proxy."""
+    if proxy is None:
+        proxy = state.get_active_source()
+        if proxy is None:
+            raise PipelineError("Show: there is no active source to show")
+    if not isinstance(proxy, SourceProxy):
+        raise PipelineError(f"Show: expected a pipeline object, got {type(proxy).__name__!r}")
+    target = _resolve_view(view)
+    display = target.add_display(proxy)
+    if representation_type:
+        display.SetRepresentationType(representation_type)
+    return display
+
+
+def Hide(proxy: Optional[SourceProxy] = None, view: Optional[RenderView] = None) -> None:  # noqa: N802
+    if proxy is None:
+        proxy = state.get_active_source()
+    target = _resolve_view(view)
+    if proxy is not None:
+        target.remove_display(proxy)
+
+
+def GetDisplayProperties(  # noqa: N802
+    proxy: Optional[SourceProxy] = None, view: Optional[RenderView] = None
+) -> DisplayProxy:
+    if proxy is None:
+        proxy = state.get_active_source()
+        if proxy is None:
+            raise PipelineError("GetDisplayProperties: no active source")
+    target = _resolve_view(view)
+    return target.add_display(proxy)
+
+
+def ColorBy(  # noqa: N802
+    rep: Optional[DisplayProxy] = None,
+    value: Any = None,
+    separate: bool = False,
+) -> None:
+    """Select the array a representation is colored by (None = solid color)."""
+    if rep is None:
+        raise PipelineError("ColorBy: a display proxy is required")
+    if not isinstance(rep, DisplayProxy):
+        raise PipelineError(
+            f"ColorBy: expected a display (from Show), got {type(rep).__name__!r}"
+        )
+    association, name = array_selection(value)
+    if name is None:
+        rep.ColorArrayName = [None, ""]
+        return
+    dataset = rep.source.get_output()
+    arr, found_assoc = dataset.find_array(name)
+    if arr is None:
+        raise PipelineError(
+            f"ColorBy: no array named {name!r} on {rep.source.registration_name}; "
+            f"available: {dataset.array_names()}"
+        )
+    rep.ColorArrayName = [found_assoc or association, name]
+    # make sure transfer functions exist so later Rescale calls work
+    GetColorTransferFunction(name)
+    GetOpacityTransferFunction(name)
+
+
+def GetColorTransferFunction(array_name: str, *_args: Any, **_kwargs: Any) -> ColorTransferFunctionProxy:  # noqa: N802
+    registry = state.color_transfer_functions()
+    if array_name not in registry:
+        registry[array_name] = ColorTransferFunctionProxy(array_name)
+    return registry[array_name]
+
+
+def GetOpacityTransferFunction(array_name: str, *_args: Any, **_kwargs: Any) -> OpacityTransferFunctionProxy:  # noqa: N802
+    registry = state.opacity_transfer_functions()
+    if array_name not in registry:
+        registry[array_name] = OpacityTransferFunctionProxy(array_name)
+    return registry[array_name]
+
+
+def GetScalarBar(ctf: ColorTransferFunctionProxy, view: Optional[RenderView] = None) -> ScalarBarProxy:  # noqa: N802
+    bar = ScalarBarProxy()
+    bar.Title = getattr(ctf, "array_name", "")
+    return bar
+
+
+def HideScalarBarIfNotNeeded(*_args: Any, **_kwargs: Any) -> None:  # noqa: N802
+    return None
+
+
+def UpdateScalarBars(*_args: Any, **_kwargs: Any) -> None:  # noqa: N802
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# camera & rendering
+# --------------------------------------------------------------------------- #
+def Render(view: Optional[RenderView] = None) -> RenderView:  # noqa: N802
+    target = _resolve_view(view)
+    target.Update()
+    return target
+
+
+def ResetCamera(view: Optional[RenderView] = None, *_args: Any) -> None:  # noqa: N802
+    target = _resolve_view(view)
+    target.ResetCamera()
+
+
+def GetActiveCamera() -> CameraProxy:  # noqa: N802
+    view = GetActiveViewOrCreate("RenderView")
+    return view.GetActiveCamera()
+
+
+def Interact(*_args: Any, **_kwargs: Any) -> None:  # noqa: N802
+    """Interactive rendering is a no-op in batch execution."""
+    return None
+
+
+def SaveScreenshot(  # noqa: N802
+    filename: str,
+    viewOrLayout: Optional[Union[RenderView, Layout]] = None,
+    *,
+    ImageResolution: Optional[Sequence[int]] = None,
+    OverrideColorPalette: Optional[str] = None,
+    TransparentBackground: int = 0,
+    **_kwargs: Any,
+) -> bool:
+    """Render the view and write it to ``filename`` (PNG)."""
+    target: Optional[RenderView]
+    if viewOrLayout is None:
+        target = state.get_active_view()
+        if target is None:
+            raise PipelineError("SaveScreenshot: no active view; create one with CreateView")
+    elif isinstance(viewOrLayout, Layout):
+        views = viewOrLayout.views()
+        if not views:
+            raise PipelineError("SaveScreenshot: the layout has no views assigned")
+        target = views[0]
+    elif isinstance(viewOrLayout, RenderView):
+        target = viewOrLayout
+    else:
+        raise PipelineError(
+            f"SaveScreenshot: expected a view or layout, got {type(viewOrLayout).__name__!r}"
+        )
+
+    background = None
+    if OverrideColorPalette:
+        palette = str(OverrideColorPalette).lower()
+        if "white" in palette:
+            background = (1.0, 1.0, 1.0)
+        elif "black" in palette:
+            background = (0.0, 0.0, 0.0)
+        elif "gray" in palette or "grey" in palette:
+            background = (0.32, 0.34, 0.43)
+
+    framebuffer = target.render_image(resolution=ImageResolution, background_override=background)
+    path = Path(filename)
+    framebuffer.save(path)
+    state.record_screenshot(str(path))
+    return True
+
+
+# --------------------------------------------------------------------------- #
+# pipeline management
+# --------------------------------------------------------------------------- #
+def GetActiveSource() -> Optional[SourceProxy]:  # noqa: N802
+    return state.get_active_source()
+
+
+def SetActiveSource(source: Optional[SourceProxy]) -> None:  # noqa: N802
+    state.set_active_source(source)
+
+
+def GetSources() -> Dict[Any, SourceProxy]:  # noqa: N802
+    return {
+        (source.registration_name, str(index)): source
+        for index, source in enumerate(state.all_sources(), start=1)
+    }
+
+
+def Delete(proxy: Any = None) -> None:  # noqa: N802
+    """Deleting proxies is a no-op (the session is reset between scripts)."""
+    return None
+
+
+def UpdatePipeline(time: Optional[float] = None, proxy: Optional[SourceProxy] = None) -> None:  # noqa: N802
+    source = proxy or state.get_active_source()
+    if source is not None:
+        source.UpdatePipeline(time)
+
+
+def _DisableFirstRenderCameraReset() -> None:  # noqa: N802
+    """Compatibility no-op (commonly emitted by ParaView's trace recorder)."""
+    return None
+
+
+class _ServerManagerShim:
+    """Minimal ``paraview.servermanager`` stand-in (fetch & misc no-ops)."""
+
+    @staticmethod
+    def Fetch(proxy: SourceProxy, *_args: Any, **_kwargs: Any):  # noqa: N802
+        return proxy.get_output()
+
+
+servermanager = _ServerManagerShim()

@@ -1,0 +1,142 @@
+"""Reader and source proxies."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.datamodel import Dataset, ImageData
+from repro.io.registry import open_data_file
+from repro.pvsim.errors import PipelineError
+from repro.pvsim.pipeline import SourceProxy
+
+__all__ = ["LegacyVTKReader", "ExodusIIReader", "Wavelet", "SphereSource", "open_data_file_proxy"]
+
+
+def _first_file(value: Union[str, List[str], None]) -> str:
+    if value is None:
+        raise PipelineError("reader has no file name set")
+    if isinstance(value, (list, tuple)):
+        if not value:
+            raise PipelineError("reader has an empty file-name list")
+        return str(value[0])
+    return str(value)
+
+
+class LegacyVTKReader(SourceProxy):
+    """Reads legacy ``.vtk`` files (``FileNames`` may be a string or a list)."""
+
+    LABEL = "LegacyVTKReader"
+    PROPERTIES: Dict[str, Any] = {
+        "FileNames": None,
+        "FileName": None,  # accepted as an alias, like OpenDataFile does
+    }
+
+    def _execute(self) -> Dataset:
+        file_name = self.FileNames if self.FileNames is not None else self.FileName
+        path = Path(_first_file(file_name))
+        if not path.exists():
+            raise PipelineError(f"LegacyVTKReader: no such file {str(path)!r}")
+        from repro.io.vtk_legacy import read_vtk
+
+        return read_vtk(path)
+
+
+class ExodusIIReader(SourceProxy):
+    """Reads the exodus-like ``.ex2`` containers used by the sample data."""
+
+    LABEL = "ExodusIIReader"
+    PROPERTIES: Dict[str, Any] = {
+        "FileName": None,
+        "PointVariables": [],
+        "ElementVariables": [],
+        "ApplyDisplacements": 1,
+        "DisplacementMagnitude": 1.0,
+    }
+
+    def _execute(self) -> Dataset:
+        path = Path(_first_file(self.FileName))
+        if not path.exists():
+            raise PipelineError(f"ExodusIIReader: no such file {str(path)!r}")
+        from repro.io.exodus_like import read_exodus
+
+        grid = read_exodus(path)
+        wanted = self.PointVariables or []
+        if wanted:
+            missing = [name for name in wanted if name not in grid.point_data]
+            if missing:
+                raise PipelineError(
+                    f"ExodusIIReader: point variables {missing} not present in {path.name}; "
+                    f"available: {grid.point_data.names()}"
+                )
+        return grid
+
+
+class Wavelet(SourceProxy):
+    """ParaView's Wavelet source: a smooth analytic scalar on a regular grid."""
+
+    LABEL = "Wavelet"
+    PROPERTIES: Dict[str, Any] = {
+        "WholeExtent": [-10, 10, -10, 10, -10, 10],
+        "Maximum": 255.0,
+        "XFreq": 60.0,
+        "YFreq": 30.0,
+        "ZFreq": 40.0,
+        "XMag": 10.0,
+        "YMag": 18.0,
+        "ZMag": 5.0,
+        "StandardDeviation": 0.5,
+    }
+
+    def _execute(self) -> Dataset:
+        ext = [int(v) for v in self.WholeExtent]
+        nx = ext[1] - ext[0] + 1
+        ny = ext[3] - ext[2] + 1
+        nz = ext[5] - ext[4] + 1
+        image = ImageData((nx, ny, nz), origin=(ext[0], ext[2], ext[4]), spacing=(1.0, 1.0, 1.0))
+        xs = np.arange(ext[0], ext[1] + 1, dtype=np.float64)
+        ys = np.arange(ext[2], ext[3] + 1, dtype=np.float64)
+        zs = np.arange(ext[4], ext[5] + 1, dtype=np.float64)
+        zz, yy, xx = np.meshgrid(zs, ys, xs, indexing="ij")
+        gauss = np.exp(-(xx ** 2 + yy ** 2 + zz ** 2) * self.StandardDeviation / 100.0)
+        values = self.Maximum * gauss * (
+            np.sin(np.radians(self.XFreq) * xx) * self.XMag / 10.0
+            + np.sin(np.radians(self.YFreq) * yy) * self.YMag / 10.0
+            + np.cos(np.radians(self.ZFreq) * zz) * self.ZMag / 10.0
+        ) / 3.0 + self.Maximum / 2.0
+        image.set_scalar_volume("RTData", values)
+        return image
+
+
+class SphereSource(SourceProxy):
+    """A triangulated sphere (ParaView's ``Sphere`` source)."""
+
+    LABEL = "Sphere"
+    PROPERTIES: Dict[str, Any] = {
+        "Radius": 0.5,
+        "Center": [0.0, 0.0, 0.0],
+        "ThetaResolution": 16,
+        "PhiResolution": 16,
+    }
+
+    def _execute(self) -> Dataset:
+        from repro.algorithms.glyph import sphere_source
+
+        resolution = max(int(self.ThetaResolution), int(self.PhiResolution), 4)
+        poly = sphere_source(resolution=resolution, radius=float(self.Radius))
+        center = np.asarray(self.Center, dtype=np.float64)
+        poly.points += center
+        return poly
+
+
+def open_data_file_proxy(file_name: str) -> SourceProxy:
+    """ParaView's ``OpenDataFile``: pick a reader proxy from the extension."""
+    path = Path(file_name)
+    ext = path.suffix.lower()
+    if ext == ".vtk":
+        return LegacyVTKReader(FileNames=[str(path)])
+    if ext in (".ex2", ".exo", ".e"):
+        return ExodusIIReader(FileName=str(path))
+    raise PipelineError(f"OpenDataFile: unsupported file extension {ext!r}")

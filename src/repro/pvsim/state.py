@@ -1,0 +1,122 @@
+"""Global session state for the ParaView-compatible layer.
+
+``paraview.simple`` keeps module-level notions of the *active view*, the
+*active source*, the set of registered sources/views and the per-array color
+and opacity transfer functions.  This module holds the equivalent state and a
+``reset_session()`` used by the executor before every script run so that
+scripts never observe each other's proxies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "reset_session",
+    "register_source",
+    "register_view",
+    "get_active_source",
+    "set_active_source",
+    "get_active_view",
+    "set_active_view",
+    "all_sources",
+    "all_views",
+    "color_transfer_functions",
+    "opacity_transfer_functions",
+    "record_screenshot",
+    "screenshots",
+]
+
+
+_sources: List[Any] = []
+_views: List[Any] = []
+_active_source: Optional[Any] = None
+_active_view: Optional[Any] = None
+_color_tfs: Dict[str, Any] = {}
+_opacity_tfs: Dict[str, Any] = {}
+_screenshots: List[str] = []
+
+
+def reset_session() -> None:
+    """Forget every proxy, view, transfer function and recorded screenshot."""
+    global _active_source, _active_view
+    _sources.clear()
+    _views.clear()
+    _color_tfs.clear()
+    _opacity_tfs.clear()
+    _screenshots.clear()
+    _active_source = None
+    _active_view = None
+
+
+# --------------------------------------------------------------------------- #
+# sources
+# --------------------------------------------------------------------------- #
+def register_source(source: Any) -> None:
+    global _active_source
+    _sources.append(source)
+    _active_source = source
+
+
+def get_active_source(exclude: Any = None) -> Optional[Any]:
+    if _active_source is not None and _active_source is not exclude:
+        return _active_source
+    for source in reversed(_sources):
+        if source is not exclude:
+            return source
+    return None
+
+
+def set_active_source(source: Any) -> None:
+    global _active_source
+    _active_source = source
+
+
+def all_sources() -> List[Any]:
+    return list(_sources)
+
+
+# --------------------------------------------------------------------------- #
+# views
+# --------------------------------------------------------------------------- #
+def register_view(view: Any) -> None:
+    global _active_view
+    _views.append(view)
+    _active_view = view
+
+
+def get_active_view() -> Optional[Any]:
+    return _active_view
+
+
+def set_active_view(view: Any) -> None:
+    global _active_view
+    _active_view = view
+    if view is not None and view not in _views:
+        _views.append(view)
+
+
+def all_views() -> List[Any]:
+    return list(_views)
+
+
+# --------------------------------------------------------------------------- #
+# transfer functions
+# --------------------------------------------------------------------------- #
+def color_transfer_functions() -> Dict[str, Any]:
+    return _color_tfs
+
+
+def opacity_transfer_functions() -> Dict[str, Any]:
+    return _opacity_tfs
+
+
+# --------------------------------------------------------------------------- #
+# screenshots
+# --------------------------------------------------------------------------- #
+def record_screenshot(path: str) -> None:
+    _screenshots.append(str(path))
+
+
+def screenshots() -> List[str]:
+    return list(_screenshots)

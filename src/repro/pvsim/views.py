@@ -1,0 +1,528 @@
+"""Views, displays (representations), layouts and transfer-function proxies."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datamodel import Bounds, ImageData
+from repro.pvsim.errors import PipelineError, ProxyPropertyError
+from repro.pvsim.pipeline import SourceProxy, array_selection
+from repro.pvsim.proxies import Proxy, next_registration_name
+from repro.rendering import (
+    Actor,
+    Camera,
+    ColorTransferFunction,
+    LookupTable,
+    OpacityTransferFunction,
+    RepresentationType,
+    Scene,
+    get_colormap,
+    render_scene,
+)
+from repro.rendering.colormaps import COLORMAP_PRESETS
+
+__all__ = [
+    "RenderView",
+    "DisplayProxy",
+    "Layout",
+    "CameraProxy",
+    "ColorTransferFunctionProxy",
+    "OpacityTransferFunctionProxy",
+    "ScalarBarProxy",
+]
+
+
+class DisplayProxy(Proxy):
+    """The representation of one pipeline object inside one view.
+
+    Returned by ``Show``; mirrors the commonly-scripted properties of
+    ParaView's ``GeometryRepresentation``.
+    """
+
+    LABEL = "GeometryRepresentation"
+    PROPERTIES: Dict[str, Any] = {
+        "Representation": "Surface",
+        "ColorArrayName": [None, ""],
+        "LookupTable": None,
+        "Opacity": 1.0,
+        "LineWidth": 1.0,
+        "PointSize": 3.0,
+        "RenderPointsAsSpheres": 0,
+        "RenderLinesAsTubes": 0,
+        "DiffuseColor": [0.8, 0.8, 0.8],
+        "AmbientColor": [0.8, 0.8, 0.8],
+        "Visibility": 1,
+        "Ambient": 0.0,
+        "Diffuse": 1.0,
+        "Specular": 0.0,
+        "SelectTFArray": None,
+        "ScalarOpacityUnitDistance": None,
+        "OSPRayScaleArray": None,
+        "OSPRayScaleFunction": None,
+        "ScaleFactor": None,
+        "GlyphType": None,
+    }
+
+    def __init__(self, source: SourceProxy, view: "RenderView", **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        object.__setattr__(self, "_source", source)
+        object.__setattr__(self, "_view", view)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def source(self) -> SourceProxy:
+        return object.__getattribute__(self, "_source")
+
+    @property
+    def view(self) -> "RenderView":
+        return object.__getattribute__(self, "_view")
+
+    # ------------------------------------------------------------------ #
+    # scripted methods
+    # ------------------------------------------------------------------ #
+    def SetRepresentationType(self, representation: str) -> None:  # noqa: N802
+        RepresentationType.from_string(representation)  # validates
+        self.Representation = representation
+
+    def RescaleTransferFunctionToDataRange(self, *_args: Any, **_kwargs: Any) -> None:  # noqa: N802
+        _assoc, name = array_selection(self.ColorArrayName)
+        if name is None:
+            return
+        dataset = self.source.get_output()
+        arr, _a = dataset.find_array(name)
+        if arr is None:
+            raise PipelineError(
+                f"cannot rescale transfer function: no array named {name!r} on "
+                f"{self.source.registration_name}"
+            )
+        lo, hi = arr.range()
+        from repro.pvsim import state
+
+        ctf = state.color_transfer_functions().get(name)
+        if ctf is not None:
+            ctf.RescaleTransferFunction(lo, hi)
+        otf = state.opacity_transfer_functions().get(name)
+        if otf is not None:
+            otf.RescaleTransferFunction(lo, hi)
+
+    def SetScalarBarVisibility(self, _view: Any = None, _visible: bool = True) -> bool:  # noqa: N802
+        return True
+
+    # ------------------------------------------------------------------ #
+    # conversion to a renderable actor
+    # ------------------------------------------------------------------ #
+    def to_actor(self) -> Actor:
+        from repro.pvsim import state
+
+        dataset = self.source.get_output()
+        representation = RepresentationType.from_string(str(self.Representation))
+        _assoc, color_name = array_selection(self.ColorArrayName)
+
+        lut: Optional[LookupTable] = None
+        color_function: Optional[ColorTransferFunction] = None
+        opacity_function: Optional[OpacityTransferFunction] = None
+        if color_name:
+            ctf_proxy = state.color_transfer_functions().get(color_name)
+            if ctf_proxy is not None:
+                lut = ctf_proxy.to_lookup_table()
+                color_function = ctf_proxy.to_color_transfer_function()
+            otf_proxy = state.opacity_transfer_functions().get(color_name)
+            if otf_proxy is not None:
+                opacity_function = otf_proxy.to_opacity_transfer_function()
+
+        volume_array = color_name
+        if representation == RepresentationType.VOLUME and volume_array is None:
+            if isinstance(dataset, ImageData):
+                first = dataset.point_data.first_scalar()
+                volume_array = first.name if first is not None else None
+
+        return Actor(
+            dataset=dataset,
+            representation=representation,
+            visible=bool(self.Visibility),
+            color=tuple(float(c) for c in (self.DiffuseColor or [0.8, 0.8, 0.8])),
+            color_by=color_name,
+            lookup_table=lut,
+            opacity=float(self.Opacity),
+            line_width=max(int(round(float(self.LineWidth))), 1),
+            point_size=max(int(round(float(self.PointSize))), 1),
+            color_function=color_function,
+            opacity_function=opacity_function,
+            volume_array=volume_array,
+        )
+
+
+class CameraProxy:
+    """The object returned by ``GetActiveCamera()`` — mutates its view."""
+
+    def __init__(self, view: "RenderView") -> None:
+        self._view = view
+
+    # positions ---------------------------------------------------------- #
+    def SetPosition(self, *position: float) -> None:  # noqa: N802
+        self._view.CameraPosition = list(_flatten3(position))
+
+    def GetPosition(self) -> List[float]:  # noqa: N802
+        return list(self._view.CameraPosition)
+
+    def SetFocalPoint(self, *focal: float) -> None:  # noqa: N802
+        self._view.CameraFocalPoint = list(_flatten3(focal))
+
+    def GetFocalPoint(self) -> List[float]:  # noqa: N802
+        return list(self._view.CameraFocalPoint)
+
+    def SetViewUp(self, *up: float) -> None:  # noqa: N802
+        self._view.CameraViewUp = list(_flatten3(up))
+
+    def GetViewUp(self) -> List[float]:  # noqa: N802
+        return list(self._view.CameraViewUp)
+
+    def SetViewAngle(self, angle: float) -> None:  # noqa: N802
+        self._view.CameraViewAngle = float(angle)
+
+    # relative motions ---------------------------------------------------- #
+    def Azimuth(self, degrees: float) -> None:  # noqa: N802
+        camera = self._view.to_camera()
+        camera.azimuth(float(degrees))
+        self._view.apply_camera(camera)
+
+    def Elevation(self, degrees: float) -> None:  # noqa: N802
+        camera = self._view.to_camera()
+        camera.elevation(float(degrees))
+        self._view.apply_camera(camera)
+
+    def Zoom(self, factor: float) -> None:  # noqa: N802
+        camera = self._view.to_camera()
+        camera.dolly(float(factor))
+        self._view.apply_camera(camera)
+
+    def Dolly(self, factor: float) -> None:  # noqa: N802
+        self.Zoom(factor)
+
+
+def _flatten3(values: Sequence[Any]) -> Tuple[float, float, float]:
+    if len(values) == 1 and isinstance(values[0], (list, tuple, np.ndarray)):
+        values = tuple(values[0])
+    if len(values) != 3:
+        raise ValueError(f"expected 3 components, got {values!r}")
+    return (float(values[0]), float(values[1]), float(values[2]))
+
+
+class RenderView(Proxy):
+    """A render view: camera state, background, and the displays shown in it."""
+
+    LABEL = "RenderView"
+    PROPERTIES: Dict[str, Any] = {
+        "ViewSize": [800, 600],
+        "Background": [1.0, 1.0, 1.0],
+        "Background2": [0.0, 0.0, 0.165],
+        "UseColorPaletteForBackground": 1,
+        "UseGradientBackground": 0,
+        "CameraPosition": [0.0, 0.0, 6.69],
+        "CameraFocalPoint": [0.0, 0.0, 0.0],
+        "CameraViewUp": [0.0, 1.0, 0.0],
+        "CameraViewAngle": 30.0,
+        "CameraParallelProjection": 0,
+        "CameraParallelScale": 1.0,
+        "OrientationAxesVisibility": 1,
+        "CenterAxesVisibility": 0,
+        "InteractionMode": "3D",
+        "AxesGrid": None,
+        "StereoType": "Crystal Eyes",
+        "HiddenLineRemoval": 0,
+        "EnableRayTracing": 0,
+    }
+
+    def __init__(self, registrationName: Optional[str] = None, **kwargs: Any) -> None:
+        super().__init__(registrationName=registrationName, **kwargs)
+        object.__setattr__(self, "_displays", [])
+        from repro.pvsim import state
+
+        state.register_view(self)
+
+    # ------------------------------------------------------------------ #
+    # display management
+    # ------------------------------------------------------------------ #
+    @property
+    def displays(self) -> List[DisplayProxy]:
+        return object.__getattribute__(self, "_displays")
+
+    def add_display(self, source: SourceProxy) -> DisplayProxy:
+        for display in self.displays:
+            if display.source is source:
+                display.Visibility = 1
+                return display
+        display = DisplayProxy(source, self)
+        self.displays.append(display)
+        return display
+
+    def remove_display(self, source: SourceProxy) -> None:
+        for display in self.displays:
+            if display.source is source:
+                display.Visibility = 0
+
+    def scene_bounds(self) -> Bounds:
+        bounds = Bounds.empty()
+        for display in self.displays:
+            if display.Visibility:
+                bounds = bounds.union(display.source.get_output().bounds())
+        return bounds
+
+    # ------------------------------------------------------------------ #
+    # camera plumbing
+    # ------------------------------------------------------------------ #
+    def to_camera(self) -> Camera:
+        return Camera(
+            position=tuple(float(v) for v in self.CameraPosition),
+            focal_point=tuple(float(v) for v in self.CameraFocalPoint),
+            view_up=tuple(float(v) for v in self.CameraViewUp),
+            view_angle=float(self.CameraViewAngle),
+            parallel_projection=bool(self.CameraParallelProjection),
+            parallel_scale=float(self.CameraParallelScale),
+        )
+
+    def apply_camera(self, camera: Camera) -> None:
+        self.CameraPosition = [float(v) for v in camera.position]
+        self.CameraFocalPoint = [float(v) for v in camera.focal_point]
+        self.CameraViewUp = [float(v) for v in camera.view_up]
+        self.CameraViewAngle = float(camera.view_angle)
+        self.CameraParallelProjection = int(camera.parallel_projection)
+        self.CameraParallelScale = float(camera.parallel_scale)
+
+    # scripted camera operations ----------------------------------------- #
+    def ResetCamera(self, *_args: Any, **_kwargs: Any) -> None:  # noqa: N802
+        bounds = self.scene_bounds()
+        if bounds.is_empty:
+            return
+        camera = self.to_camera()
+        camera.reset(bounds)
+        self.apply_camera(camera)
+
+    def _reset_along(self, direction: Sequence[float], up: Sequence[float]) -> None:
+        bounds = self.scene_bounds()
+        if bounds.is_empty:
+            # still orient the camera even with nothing shown
+            bounds = Bounds(-1, 1, -1, 1, -1, 1)
+        camera = self.to_camera()
+        camera.view_up = tuple(float(v) for v in up)
+        camera.reset(bounds, view_direction=direction)
+        self.apply_camera(camera)
+
+    def ResetActiveCameraToPositiveX(self) -> None:  # noqa: N802
+        """Place the camera on the +x side looking toward -x (ParaView's +X button)."""
+        self._reset_along((-1.0, 0.0, 0.0), (0.0, 0.0, 1.0))
+
+    def ResetActiveCameraToNegativeX(self) -> None:  # noqa: N802
+        self._reset_along((1.0, 0.0, 0.0), (0.0, 0.0, 1.0))
+
+    def ResetActiveCameraToPositiveY(self) -> None:  # noqa: N802
+        self._reset_along((0.0, -1.0, 0.0), (0.0, 0.0, 1.0))
+
+    def ResetActiveCameraToNegativeY(self) -> None:  # noqa: N802
+        self._reset_along((0.0, 1.0, 0.0), (0.0, 0.0, 1.0))
+
+    def ResetActiveCameraToPositiveZ(self) -> None:  # noqa: N802
+        self._reset_along((0.0, 0.0, -1.0), (0.0, 1.0, 0.0))
+
+    def ResetActiveCameraToNegativeZ(self) -> None:  # noqa: N802
+        self._reset_along((0.0, 0.0, 1.0), (0.0, 1.0, 0.0))
+
+    def ApplyIsometricView(self) -> None:  # noqa: N802
+        bounds = self.scene_bounds()
+        if bounds.is_empty:
+            bounds = Bounds(-1, 1, -1, 1, -1, 1)
+        camera = self.to_camera()
+        camera.isometric_view(bounds)
+        self.apply_camera(camera)
+
+    def GetActiveCamera(self) -> CameraProxy:  # noqa: N802
+        return CameraProxy(self)
+
+    def Update(self) -> None:  # noqa: N802
+        for display in self.displays:
+            display.source.get_output()
+
+    # ------------------------------------------------------------------ #
+    # rendering
+    # ------------------------------------------------------------------ #
+    def build_scene(self) -> Scene:
+        scene = Scene(background=tuple(float(c) for c in self.Background))
+        for display in self.displays:
+            if not display.Visibility:
+                continue
+            scene.add(display.to_actor())
+        return scene
+
+    def render_image(
+        self,
+        resolution: Optional[Sequence[int]] = None,
+        background_override: Optional[Sequence[float]] = None,
+    ):
+        width, height = (resolution or self.ViewSize or [800, 600])[:2]
+        width = max(int(width), 8)
+        height = max(int(height), 8)
+        scene = self.build_scene()
+        if background_override is not None:
+            scene.background = tuple(float(c) for c in background_override)
+        camera = self.to_camera()
+        return render_scene(scene, camera, width, height)
+
+
+class Layout(Proxy):
+    """A trivially simple layout: a grid of view slots."""
+
+    LABEL = "Layout"
+    PROPERTIES: Dict[str, Any] = {
+        "PreviewMode": [0, 0],
+        "SeparatorWidth": 4,
+    }
+
+    def __init__(self, registrationName: Optional[str] = None, name: Optional[str] = None, **kwargs: Any) -> None:
+        super().__init__(registrationName=registrationName or name, **kwargs)
+        object.__setattr__(self, "_assignments", {})
+
+    def AssignView(self, index: int, view: RenderView) -> None:  # noqa: N802
+        if not isinstance(view, RenderView):
+            raise PipelineError("Layout.AssignView expects a RenderView")
+        object.__getattribute__(self, "_assignments")[int(index)] = view
+
+    def GetViewLocation(self, view: RenderView) -> int:  # noqa: N802
+        for index, assigned in object.__getattribute__(self, "_assignments").items():
+            if assigned is view:
+                return index
+        return -1
+
+    def SplitLayoutHorizontal(self, *args: Any) -> int:  # noqa: N802
+        return len(object.__getattribute__(self, "_assignments"))
+
+    def SplitLayoutVertical(self, *args: Any) -> int:  # noqa: N802
+        return len(object.__getattribute__(self, "_assignments"))
+
+    def SetSize(self, *_args: Any) -> None:  # noqa: N802
+        return None
+
+    def views(self) -> List[RenderView]:
+        return list(object.__getattribute__(self, "_assignments").values())
+
+
+class ColorTransferFunctionProxy(Proxy):
+    """The object returned by ``GetColorTransferFunction(arrayName)``."""
+
+    LABEL = "PVLookupTable"
+    PROPERTIES: Dict[str, Any] = {
+        "RGBPoints": [],
+        "ColorSpace": "Diverging",
+        "NanColor": [1.0, 1.0, 0.0],
+        "ScalarRangeInitialized": 0,
+        "AutomaticRescaleRangeMode": "Grow and update on 'Apply'",
+    }
+
+    def __init__(self, array_name: str, **kwargs: Any) -> None:
+        super().__init__(registrationName=f"ColorTF-{array_name}", **kwargs)
+        object.__setattr__(self, "_array_name", array_name)
+        if not self.RGBPoints:
+            self._load_preset_points("Cool to Warm", 0.0, 1.0)
+
+    @property
+    def array_name(self) -> str:
+        return object.__getattribute__(self, "_array_name")
+
+    # ------------------------------------------------------------------ #
+    def _load_preset_points(self, preset: str, lo: float, hi: float) -> None:
+        for name, points in COLORMAP_PRESETS.items():
+            if name.lower() == preset.lower():
+                rgb_points: List[float] = []
+                for t, r, g, b in points:
+                    rgb_points.extend([lo + t * (hi - lo), r, g, b])
+                self.RGBPoints = rgb_points
+                return
+        raise PipelineError(f"unknown color preset {preset!r}")
+
+    def ApplyPreset(self, preset: str, rescale: bool = True) -> bool:  # noqa: N802
+        lo, hi = self.scalar_range() if not rescale else self.scalar_range()
+        self._load_preset_points(preset, lo, hi)
+        return True
+
+    def RescaleTransferFunction(self, lower: float, upper: float, *_args: Any) -> bool:  # noqa: N802
+        points = np.asarray(self.RGBPoints, dtype=np.float64).reshape(-1, 4)
+        old_lo, old_hi = points[:, 0].min(), points[:, 0].max()
+        span = old_hi - old_lo if old_hi > old_lo else 1.0
+        t = (points[:, 0] - old_lo) / span
+        points[:, 0] = lower + t * (upper - lower)
+        self.RGBPoints = points.reshape(-1).tolist()
+        self.ScalarRangeInitialized = 1
+        return True
+
+    def scalar_range(self) -> Tuple[float, float]:
+        points = np.asarray(self.RGBPoints, dtype=np.float64).reshape(-1, 4)
+        if points.size == 0:
+            return (0.0, 1.0)
+        return (float(points[:, 0].min()), float(points[:, 0].max()))
+
+    # conversions --------------------------------------------------------- #
+    def to_lookup_table(self) -> LookupTable:
+        points = np.asarray(self.RGBPoints, dtype=np.float64).reshape(-1, 4)
+        lo, hi = self.scalar_range()
+        span = hi - lo if hi > lo else 1.0
+        control = [((v - lo) / span, r, g, b) for v, r, g, b in points]
+        return LookupTable(control_points=control, scalar_range=(lo, hi), name=f"tf:{self.array_name}")
+
+    def to_color_transfer_function(self) -> ColorTransferFunction:
+        ctf = ColorTransferFunction()
+        points = np.asarray(self.RGBPoints, dtype=np.float64).reshape(-1, 4)
+        for v, r, g, b in points:
+            ctf.add_point(v, r, g, b)
+        return ctf
+
+
+class OpacityTransferFunctionProxy(Proxy):
+    """The object returned by ``GetOpacityTransferFunction(arrayName)``."""
+
+    LABEL = "PiecewiseFunction"
+    PROPERTIES: Dict[str, Any] = {
+        "Points": [0.0, 0.0, 0.5, 0.0, 1.0, 0.35, 0.5, 0.0],
+        "ScalarRangeInitialized": 0,
+        "AllowDuplicateScalars": 1,
+    }
+
+    def __init__(self, array_name: str, **kwargs: Any) -> None:
+        super().__init__(registrationName=f"OpacityTF-{array_name}", **kwargs)
+        object.__setattr__(self, "_array_name", array_name)
+
+    @property
+    def array_name(self) -> str:
+        return object.__getattribute__(self, "_array_name")
+
+    def RescaleTransferFunction(self, lower: float, upper: float, *_args: Any) -> bool:  # noqa: N802
+        points = np.asarray(self.Points, dtype=np.float64).reshape(-1, 4)
+        old_lo, old_hi = points[:, 0].min(), points[:, 0].max()
+        span = old_hi - old_lo if old_hi > old_lo else 1.0
+        t = (points[:, 0] - old_lo) / span
+        points[:, 0] = lower + t * (upper - lower)
+        self.Points = points.reshape(-1).tolist()
+        self.ScalarRangeInitialized = 1
+        return True
+
+    def to_opacity_transfer_function(self) -> OpacityTransferFunction:
+        otf = OpacityTransferFunction()
+        points = np.asarray(self.Points, dtype=np.float64).reshape(-1, 4)
+        for value, opacity, _mid, _sharp in points:
+            otf.add_point(value, opacity)
+        return otf
+
+
+class ScalarBarProxy(Proxy):
+    """A color-legend proxy; accepted and recorded but not rendered."""
+
+    LABEL = "ScalarBarWidgetRepresentation"
+    PROPERTIES: Dict[str, Any] = {
+        "Title": "",
+        "ComponentTitle": "",
+        "Visibility": 1,
+        "WindowLocation": "Lower Right Corner",
+        "Orientation": "Vertical",
+        "ScalarBarLength": 0.33,
+    }

@@ -1,0 +1,55 @@
+"""Software rendering: camera, color mapping, rasterization, volume ray casting.
+
+The renderer is intentionally small but real: it produces actual RGB images
+(saved as PNG by :mod:`repro.io.png`) from the datasets the filters emit, so
+the paper's figure comparisons can be made with pixel metrics rather than
+stubs.  It supports the representation modes the paper's pipelines use:
+
+* ``Surface`` — z-buffered triangle rasterization with headlight diffuse
+  shading and per-point scalar color mapping,
+* ``Wireframe`` — depth-tested line drawing of triangle edges and polylines,
+* ``Points`` — square point splats,
+* ``Volume`` — front-to-back ray casting through image data with color and
+  opacity transfer functions.
+"""
+
+from repro.rendering.camera import Camera
+from repro.rendering.colormaps import LookupTable, get_colormap, list_colormaps
+from repro.rendering.framebuffer import Framebuffer
+from repro.rendering.rasterizer import rasterize_lines, rasterize_points, rasterize_triangles
+from repro.rendering.scene import Actor, RepresentationType, Scene, render_scene
+from repro.rendering.transfer_function import (
+    ColorTransferFunction,
+    OpacityTransferFunction,
+    default_transfer_functions,
+)
+from repro.rendering.transforms import (
+    look_at_matrix,
+    orthographic_matrix,
+    perspective_matrix,
+    viewport_transform,
+)
+from repro.rendering.volume_render import volume_render
+
+__all__ = [
+    "Actor",
+    "Camera",
+    "ColorTransferFunction",
+    "Framebuffer",
+    "LookupTable",
+    "OpacityTransferFunction",
+    "RepresentationType",
+    "Scene",
+    "default_transfer_functions",
+    "get_colormap",
+    "list_colormaps",
+    "look_at_matrix",
+    "orthographic_matrix",
+    "perspective_matrix",
+    "rasterize_lines",
+    "rasterize_points",
+    "rasterize_triangles",
+    "render_scene",
+    "viewport_transform",
+    "volume_render",
+]

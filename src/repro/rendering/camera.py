@@ -1,0 +1,182 @@
+"""Camera model.
+
+The camera mirrors the parameters ParaView exposes on a render view:
+``CameraPosition``, ``CameraFocalPoint``, ``CameraViewUp`` and
+``CameraViewAngle``; plus the convenience operations the paper's scripts use
+(``ResetCamera``, looking down an axis, isometric view, azimuth/elevation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datamodel import Bounds
+from repro.rendering.transforms import (
+    look_at_matrix,
+    normalize,
+    orthographic_matrix,
+    perspective_matrix,
+    rotation_about_axis,
+)
+
+__all__ = ["Camera"]
+
+_AXIS_DIRECTIONS = {
+    "+x": np.array([1.0, 0.0, 0.0]),
+    "-x": np.array([-1.0, 0.0, 0.0]),
+    "+y": np.array([0.0, 1.0, 0.0]),
+    "-y": np.array([0.0, -1.0, 0.0]),
+    "+z": np.array([0.0, 0.0, 1.0]),
+    "-z": np.array([0.0, 0.0, -1.0]),
+}
+
+
+@dataclass
+class Camera:
+    """A perspective (or parallel-projection) camera."""
+
+    position: Tuple[float, float, float] = (0.0, 0.0, 5.0)
+    focal_point: Tuple[float, float, float] = (0.0, 0.0, 0.0)
+    view_up: Tuple[float, float, float] = (0.0, 1.0, 0.0)
+    view_angle: float = 30.0  #: vertical field of view in degrees
+    parallel_projection: bool = False
+    parallel_scale: float = 1.0  #: half of the view height in world units (parallel mode)
+    near_clip: Optional[float] = None
+    far_clip: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def direction(self) -> np.ndarray:
+        """Unit view direction (from the position toward the focal point)."""
+        return normalize(np.asarray(self.focal_point) - np.asarray(self.position))
+
+    @property
+    def distance(self) -> float:
+        return float(np.linalg.norm(np.asarray(self.focal_point) - np.asarray(self.position)))
+
+    def view_matrix(self) -> np.ndarray:
+        return look_at_matrix(self.position, self.focal_point, self.view_up)
+
+    def projection_matrix(self, aspect: float) -> np.ndarray:
+        near, far = self._clip_range()
+        if self.parallel_projection:
+            return orthographic_matrix(2.0 * self.parallel_scale, aspect, near, far)
+        return perspective_matrix(self.view_angle, aspect, near, far)
+
+    def view_projection_matrix(self, aspect: float) -> np.ndarray:
+        return self.projection_matrix(aspect) @ self.view_matrix()
+
+    def _clip_range(self) -> Tuple[float, float]:
+        near = self.near_clip if self.near_clip is not None else max(self.distance * 0.01, 1e-3)
+        far = self.far_clip if self.far_clip is not None else max(self.distance * 10.0, near * 10.0)
+        return near, far
+
+    # ------------------------------------------------------------------ #
+    # positioning helpers
+    # ------------------------------------------------------------------ #
+    def reset(self, bounds: Bounds, view_direction: Optional[Sequence[float]] = None) -> "Camera":
+        """Re-position the camera so that ``bounds`` fills the view.
+
+        Mirrors ParaView's ``ResetCamera``: the focal point moves to the
+        bounds center and the camera backs away along the (current or given)
+        view direction far enough that the bounding sphere fits inside the
+        vertical field of view.
+        """
+        if bounds.is_empty:
+            return self
+        center = np.asarray(bounds.center)
+        radius = max(bounds.diagonal / 2.0, 1e-6)
+
+        if view_direction is not None:
+            direction = normalize(view_direction)
+        else:
+            try:
+                direction = self.direction
+            except ValueError:
+                direction = np.array([0.0, 0.0, -1.0])
+
+        if self.parallel_projection:
+            distance = 3.0 * radius
+            self.parallel_scale = radius * 1.05
+        else:
+            distance = radius / np.sin(np.radians(self.view_angle) / 2.0)
+            distance *= 1.05  # a little margin, like ParaView
+
+        self.focal_point = tuple(center)
+        self.position = tuple(center - direction * distance)
+        self.near_clip = None
+        self.far_clip = None
+        self._fix_view_up(direction)
+        return self
+
+    def _fix_view_up(self, direction: np.ndarray) -> None:
+        up = np.asarray(self.view_up, dtype=np.float64)
+        if np.linalg.norm(np.cross(direction, up)) < 1e-6:
+            # view direction parallel to up: pick another up vector
+            self.view_up = (0.0, 1.0, 0.0) if abs(direction[1]) < 0.9 else (0.0, 0.0, 1.0)
+
+    def look_along_axis(self, axis: str, bounds: Bounds) -> "Camera":
+        """Look down one axis (e.g. ``"+x"`` looks from +x toward the center)."""
+        key = axis.lower().replace(" ", "")
+        if key in ("x", "y", "z"):
+            key = "+" + key
+        if key not in _AXIS_DIRECTIONS:
+            raise ValueError(f"unknown axis {axis!r}; expected one of {sorted(_AXIS_DIRECTIONS)}")
+        # looking in the +x direction means the camera sits on the +x side
+        # looking toward -x... ParaView's "Set view direction to +X" places the
+        # camera on the -x side looking along +x; we follow ParaView.
+        direction = _AXIS_DIRECTIONS[key]
+        if key in ("+z", "-z"):
+            self.view_up = (0.0, 1.0, 0.0)
+        else:
+            self.view_up = (0.0, 0.0, 1.0)
+        return self.reset(bounds, view_direction=direction)
+
+    def isometric_view(self, bounds: Bounds) -> "Camera":
+        """The classic isometric view direction (looking along (-1,-1,-1))."""
+        direction = normalize((-1.0, -1.0, -1.0))
+        self.view_up = (0.0, 0.0, 1.0)
+        return self.reset(bounds, view_direction=direction)
+
+    def azimuth(self, degrees: float) -> "Camera":
+        """Rotate the camera position about the view-up axis through the focal point."""
+        return self._orbit(self.view_up, degrees)
+
+    def elevation(self, degrees: float) -> "Camera":
+        """Rotate the camera position about the horizontal axis through the focal point."""
+        right = np.cross(self.direction, np.asarray(self.view_up, dtype=np.float64))
+        return self._orbit(right, degrees)
+
+    def _orbit(self, axis: Sequence[float], degrees: float) -> "Camera":
+        rot = rotation_about_axis(axis, degrees)[:3, :3]
+        focal = np.asarray(self.focal_point)
+        offset = np.asarray(self.position) - focal
+        self.position = tuple(focal + rot @ offset)
+        self.view_up = tuple(rot @ np.asarray(self.view_up, dtype=np.float64))
+        return self
+
+    def dolly(self, factor: float) -> "Camera":
+        """Move the camera toward (>1) or away from (<1) the focal point."""
+        if factor <= 0:
+            raise ValueError("dolly factor must be positive")
+        focal = np.asarray(self.focal_point)
+        offset = np.asarray(self.position) - focal
+        self.position = tuple(focal + offset / factor)
+        return self
+
+    def copy(self) -> "Camera":
+        return Camera(
+            position=tuple(self.position),
+            focal_point=tuple(self.focal_point),
+            view_up=tuple(self.view_up),
+            view_angle=self.view_angle,
+            parallel_projection=self.parallel_projection,
+            parallel_scale=self.parallel_scale,
+            near_clip=self.near_clip,
+            far_clip=self.far_clip,
+        )

@@ -1,0 +1,116 @@
+"""Color maps / lookup tables for scalar coloring.
+
+The default map is "Cool to Warm", the ParaView default; a handful of other
+common presets are included.  A :class:`LookupTable` maps scalar values in a
+configurable range to RGB colors by piecewise-linear interpolation between
+control points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["LookupTable", "get_colormap", "list_colormaps", "COLORMAP_PRESETS"]
+
+
+#: Preset control points: list of (t, r, g, b) with t in [0, 1].
+COLORMAP_PRESETS: Dict[str, List[Tuple[float, float, float, float]]] = {
+    # ParaView's default diverging map
+    "Cool to Warm": [
+        (0.0, 0.231, 0.298, 0.753),
+        (0.5, 0.865, 0.865, 0.865),
+        (1.0, 0.706, 0.016, 0.150),
+    ],
+    "Grayscale": [
+        (0.0, 0.0, 0.0, 0.0),
+        (1.0, 1.0, 1.0, 1.0),
+    ],
+    "Rainbow": [
+        (0.0, 0.0, 0.0, 1.0),
+        (0.25, 0.0, 1.0, 1.0),
+        (0.5, 0.0, 1.0, 0.0),
+        (0.75, 1.0, 1.0, 0.0),
+        (1.0, 1.0, 0.0, 0.0),
+    ],
+    # A compact approximation of matplotlib's viridis
+    "Viridis": [
+        (0.0, 0.267, 0.005, 0.329),
+        (0.25, 0.229, 0.322, 0.546),
+        (0.5, 0.128, 0.567, 0.551),
+        (0.75, 0.369, 0.789, 0.383),
+        (1.0, 0.993, 0.906, 0.144),
+    ],
+    "Black-Body Radiation": [
+        (0.0, 0.0, 0.0, 0.0),
+        (0.4, 0.9, 0.0, 0.0),
+        (0.8, 0.9, 0.9, 0.0),
+        (1.0, 1.0, 1.0, 1.0),
+    ],
+    "X Ray": [
+        (0.0, 1.0, 1.0, 1.0),
+        (1.0, 0.0, 0.0, 0.0),
+    ],
+}
+
+
+def list_colormaps() -> List[str]:
+    """Names of the available colormap presets."""
+    return sorted(COLORMAP_PRESETS)
+
+
+@dataclass
+class LookupTable:
+    """Piecewise-linear scalar → RGB lookup table."""
+
+    control_points: List[Tuple[float, float, float, float]] = field(
+        default_factory=lambda: list(COLORMAP_PRESETS["Cool to Warm"])
+    )
+    scalar_range: Tuple[float, float] = (0.0, 1.0)
+    nan_color: Tuple[float, float, float] = (1.0, 1.0, 0.0)
+    name: str = "Cool to Warm"
+
+    def __post_init__(self) -> None:
+        if len(self.control_points) < 2:
+            raise ValueError("a lookup table needs at least two control points")
+        self.control_points = sorted(self.control_points, key=lambda cp: cp[0])
+
+    # ------------------------------------------------------------------ #
+    def rescale(self, minimum: float, maximum: float) -> "LookupTable":
+        """Set the scalar range mapped onto the color map."""
+        if maximum < minimum:
+            minimum, maximum = maximum, minimum
+        if maximum == minimum:
+            maximum = minimum + 1e-12
+        self.scalar_range = (float(minimum), float(maximum))
+        return self
+
+    def map_scalars(self, values: np.ndarray) -> np.ndarray:
+        """Map scalars to RGB colors in ``[0, 1]``; returns ``(n, 3)``."""
+        vals = np.asarray(values, dtype=np.float64).reshape(-1)
+        lo, hi = self.scalar_range
+        t = np.clip((vals - lo) / (hi - lo), 0.0, 1.0)
+
+        ts = np.array([cp[0] for cp in self.control_points])
+        rgbs = np.array([cp[1:] for cp in self.control_points])
+
+        colors = np.empty((t.shape[0], 3), dtype=np.float64)
+        for channel in range(3):
+            colors[:, channel] = np.interp(t, ts, rgbs[:, channel])
+        nan_mask = ~np.isfinite(vals)
+        if nan_mask.any():
+            colors[nan_mask] = np.asarray(self.nan_color)
+        return colors
+
+    def map_scalar(self, value: float) -> Tuple[float, float, float]:
+        return tuple(self.map_scalars(np.array([value]))[0])
+
+
+def get_colormap(name: str, scalar_range: Tuple[float, float] = (0.0, 1.0)) -> LookupTable:
+    """Create a :class:`LookupTable` from a preset name (case-insensitive)."""
+    for preset, points in COLORMAP_PRESETS.items():
+        if preset.lower() == name.lower():
+            return LookupTable(control_points=list(points), scalar_range=scalar_range, name=preset)
+    raise KeyError(f"unknown colormap {name!r}; available: {list_colormaps()}")

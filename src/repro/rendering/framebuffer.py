@@ -1,0 +1,70 @@
+"""Framebuffer: color + depth buffers with PNG export."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.io.png import write_png
+
+__all__ = ["Framebuffer"]
+
+
+class Framebuffer:
+    """An RGB color buffer with a z-buffer.
+
+    Color is stored as float in ``[0, 1]``; depth follows the NDC convention
+    (smaller = closer), initialised to ``+inf``.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        background: Sequence[float] = (1.0, 1.0, 1.0),
+    ) -> None:
+        if width < 1 or height < 1:
+            raise ValueError("framebuffer dimensions must be positive")
+        self.width = int(width)
+        self.height = int(height)
+        self.background = tuple(float(c) for c in background)
+        self.color = np.empty((self.height, self.width, 3), dtype=np.float64)
+        self.color[:] = np.asarray(self.background)
+        self.depth = np.full((self.height, self.width), np.inf, dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    def clear(self, background: Sequence[float] = None) -> None:
+        """Reset to the background color and infinite depth."""
+        if background is not None:
+            self.background = tuple(float(c) for c in background)
+        self.color[:] = np.asarray(self.background)
+        self.depth[:] = np.inf
+
+    def to_uint8(self) -> np.ndarray:
+        """The color buffer as ``(h, w, 3)`` uint8."""
+        return (np.clip(self.color, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the color buffer to a PNG file."""
+        return write_png(path, self.to_uint8())
+
+    # ------------------------------------------------------------------ #
+    def coverage(self) -> float:
+        """Fraction of pixels whose depth was written (i.e. not background)."""
+        return float(np.mean(np.isfinite(self.depth)))
+
+    def foreground_mask(self) -> np.ndarray:
+        """Boolean mask of pixels covered by any primitive."""
+        return np.isfinite(self.depth)
+
+    def resized(self, width: int, height: int) -> "Framebuffer":
+        """Nearest-neighbour resample into a new framebuffer (used to upscale
+        low-resolution volume renderings to the requested screenshot size)."""
+        out = Framebuffer(width, height, self.background)
+        rows = np.clip((np.arange(height) * self.height / height).astype(int), 0, self.height - 1)
+        cols = np.clip((np.arange(width) * self.width / width).astype(int), 0, self.width - 1)
+        out.color = self.color[rows][:, cols].copy()
+        out.depth = self.depth[rows][:, cols].copy()
+        return out

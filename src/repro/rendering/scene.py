@@ -1,0 +1,275 @@
+"""Scene graph: actors (dataset + display properties) and scene rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datamodel import Bounds, Dataset, ImageData, PolyData, UnstructuredGrid
+from repro.rendering.camera import Camera
+from repro.rendering.colormaps import LookupTable, get_colormap
+from repro.rendering.framebuffer import Framebuffer
+from repro.rendering.rasterizer import rasterize_lines, rasterize_points, rasterize_triangles
+from repro.rendering.transfer_function import ColorTransferFunction, OpacityTransferFunction
+from repro.rendering.transforms import transform_points, viewport_transform
+from repro.rendering.volume_render import volume_render
+
+__all__ = ["RepresentationType", "Actor", "Scene", "render_scene"]
+
+
+class RepresentationType(str, Enum):
+    """How an actor is drawn (matches the ParaView representation names)."""
+
+    SURFACE = "Surface"
+    SURFACE_WITH_EDGES = "Surface With Edges"
+    WIREFRAME = "Wireframe"
+    POINTS = "Points"
+    VOLUME = "Volume"
+    OUTLINE = "Outline"
+
+    @classmethod
+    def from_string(cls, value: str) -> "RepresentationType":
+        for member in cls:
+            if member.value.lower() == str(value).lower():
+                return member
+        raise ValueError(
+            f"unknown representation {value!r}; expected one of "
+            f"{[m.value for m in cls]}"
+        )
+
+
+@dataclass
+class Actor:
+    """A dataset plus its display properties."""
+
+    dataset: Dataset
+    representation: RepresentationType = RepresentationType.SURFACE
+    visible: bool = True
+    #: solid color used when ``color_by`` is None
+    color: Tuple[float, float, float] = (0.8, 0.8, 0.8)
+    #: name of the point array used for scalar coloring (None = solid color)
+    color_by: Optional[str] = None
+    lookup_table: Optional[LookupTable] = None
+    opacity: float = 1.0
+    line_width: int = 1
+    point_size: int = 3
+    #: transfer functions for the VOLUME representation
+    color_function: Optional[ColorTransferFunction] = None
+    opacity_function: Optional[OpacityTransferFunction] = None
+    #: name of the scalar rendered in VOLUME mode
+    volume_array: Optional[str] = None
+    #: enable simple headlight shading for surfaces
+    lighting: bool = True
+
+    def effective_lookup_table(self) -> LookupTable:
+        """The lookup table for scalar coloring, rescaled to the data range."""
+        lut = self.lookup_table or get_colormap("Cool to Warm")
+        if self.color_by is not None:
+            arr, _assoc = self.dataset.find_array(self.color_by)
+            if arr is not None:
+                lo, hi = arr.range()
+                if (
+                    self.lookup_table is None
+                    or self.lookup_table.scalar_range == (0.0, 1.0)
+                ):
+                    lut.rescale(lo, hi)
+        return lut
+
+    def renderable_surface(self) -> PolyData:
+        """The PolyData actually sent to the rasterizer."""
+        dataset = self.dataset
+        if isinstance(dataset, PolyData):
+            return dataset
+        if isinstance(dataset, UnstructuredGrid):
+            if self.representation == RepresentationType.POINTS:
+                return dataset.as_point_cloud()
+            if self.representation == RepresentationType.WIREFRAME:
+                # keep the full edge set of the grid (not only the boundary)
+                poly = PolyData(points=dataset.points.copy())
+                edges = dataset.edges()
+                poly = PolyData(
+                    points=dataset.points.copy(),
+                    lines=[edges[i] for i in range(edges.shape[0])],
+                )
+                for name in dataset.point_data.names():
+                    poly.add_point_array(name, dataset.point_data[name].values.copy())
+                return poly
+            return dataset.extract_surface()
+        if isinstance(dataset, ImageData):
+            from repro.algorithms.extract_surface import extract_surface
+
+            return extract_surface(dataset)
+        raise TypeError(f"cannot render dataset of type {type(dataset).__name__}")
+
+
+@dataclass
+class Scene:
+    """An ordered list of actors plus a background color."""
+
+    actors: List[Actor] = field(default_factory=list)
+    background: Tuple[float, float, float] = (1.0, 1.0, 1.0)
+
+    def add(self, actor: Actor) -> Actor:
+        self.actors.append(actor)
+        return actor
+
+    def remove(self, actor: Actor) -> None:
+        if actor in self.actors:
+            self.actors.remove(actor)
+
+    def visible_actors(self) -> List[Actor]:
+        return [a for a in self.actors if a.visible]
+
+    def bounds(self) -> Bounds:
+        total = Bounds.empty()
+        for actor in self.visible_actors():
+            total = total.union(actor.dataset.bounds())
+        return total
+
+
+# --------------------------------------------------------------------------- #
+# rendering
+# --------------------------------------------------------------------------- #
+def _vertex_colors(actor: Actor, surface: PolyData) -> np.ndarray:
+    n = surface.n_points
+    if actor.color_by is not None and actor.color_by in surface.point_data:
+        lut = actor.effective_lookup_table()
+        values = surface.point_data[actor.color_by].as_scalar()
+        # if the lookup table range was never set, rescale to this data
+        if lut.scalar_range == (0.0, 1.0) and values.size:
+            lut = LookupTable(
+                control_points=list(lut.control_points),
+                scalar_range=(float(values.min()), float(values.max()) or 1.0),
+                name=lut.name,
+            )
+        return lut.map_scalars(values)
+    return np.tile(np.asarray(actor.color, dtype=np.float64), (n, 1))
+
+
+def _shading(actor: Actor, surface: PolyData, view_direction: np.ndarray) -> np.ndarray:
+    """Per-vertex brightness multiplier (headlight diffuse + ambient)."""
+    n = surface.n_points
+    if not actor.lighting or surface.n_triangles == 0:
+        return np.ones(n)
+    if "Normals" in surface.point_data and surface.point_data["Normals"].n_components == 3:
+        normals = surface.point_data["Normals"].values
+    else:
+        normals = surface.point_normals()
+    cosine = np.abs(normals @ view_direction)
+    return 0.30 + 0.70 * cosine
+
+
+def _project(surface: PolyData, camera: Camera, width: int, height: int):
+    vp = camera.view_projection_matrix(width / height)
+    clip_xyz, w = transform_points(vp, surface.points)
+    valid = w > 1e-9
+    ndc = np.zeros_like(clip_xyz)
+    ndc[valid] = clip_xyz[valid] / w[valid, None]
+    screen = viewport_transform(ndc, width, height)
+    return screen, valid
+
+
+def render_scene(
+    scene: Scene,
+    camera: Camera,
+    width: int = 800,
+    height: int = 600,
+    volume_samples: int = 160,
+) -> Framebuffer:
+    """Render all visible actors of a scene into a new framebuffer."""
+    framebuffer = Framebuffer(width, height, scene.background)
+
+    # volume actors first: their colors become the backdrop for geometry
+    for actor in scene.visible_actors():
+        if actor.representation != RepresentationType.VOLUME:
+            continue
+        dataset = actor.dataset
+        if not isinstance(dataset, ImageData):
+            raise TypeError("VOLUME representation requires ImageData")
+        array = actor.volume_array or actor.color_by
+        if array is None:
+            first = dataset.point_data.first_scalar()
+            if first is None:
+                raise ValueError("volume rendering requires a point scalar array")
+            array = first.name
+        vol_fb = volume_render(
+            dataset,
+            array,
+            camera,
+            width,
+            height,
+            color_function=actor.color_function,
+            opacity_function=actor.opacity_function,
+            background=scene.background,
+            n_samples=volume_samples,
+        )
+        framebuffer.color = vol_fb.color
+        # Mark volume-covered pixels at the far plane so that coverage() sees
+        # them while later geometry (NDC depth < 1) still draws on top.
+        covered = vol_fb.foreground_mask() & ~framebuffer.foreground_mask()
+        framebuffer.depth[covered] = 1.0
+
+    view_dir = camera.direction
+    for actor in scene.visible_actors():
+        if actor.representation == RepresentationType.VOLUME:
+            continue
+        surface = actor.renderable_surface()
+        if surface.n_points == 0:
+            continue
+        screen, valid = _project(surface, camera, width, height)
+        colors = _vertex_colors(actor, surface)
+        representation = actor.representation
+
+        if representation in (RepresentationType.SURFACE, RepresentationType.SURFACE_WITH_EDGES):
+            shade = _shading(actor, surface, view_dir)
+            shaded = colors * shade[:, None]
+            if surface.n_triangles:
+                rasterize_triangles(framebuffer, screen, surface.triangles, shaded, valid)
+            if surface.n_lines:
+                rasterize_lines(
+                    framebuffer, screen, surface.line_segments(), colors, valid,
+                    line_width=actor.line_width,
+                )
+            if surface.n_verts:
+                rasterize_points(
+                    framebuffer, screen, surface.verts, colors, valid,
+                    point_size=actor.point_size,
+                )
+            if representation == RepresentationType.SURFACE_WITH_EDGES and surface.n_triangles:
+                edge_colors = np.tile(np.array([0.1, 0.1, 0.1]), (surface.n_points, 1))
+                rasterize_lines(framebuffer, screen, surface.edges(), edge_colors, valid)
+        elif representation == RepresentationType.WIREFRAME:
+            segments = surface.edges()
+            rasterize_lines(
+                framebuffer, screen, segments, colors, valid, line_width=actor.line_width
+            )
+            if surface.n_verts:
+                rasterize_points(
+                    framebuffer, screen, surface.verts, colors, valid,
+                    point_size=actor.point_size,
+                )
+        elif representation == RepresentationType.POINTS:
+            ids = np.arange(surface.n_points, dtype=np.int64)
+            rasterize_points(
+                framebuffer, screen, ids, colors, valid, point_size=actor.point_size
+            )
+        elif representation == RepresentationType.OUTLINE:
+            corners = surface.bounds().corners()
+            outline = PolyData(points=corners)
+            o_screen, o_valid = _project(outline, camera, width, height)
+            box_edges = np.array(
+                [
+                    [0, 1], [0, 2], [1, 3], [2, 3],
+                    [4, 5], [4, 6], [5, 7], [6, 7],
+                    [0, 4], [1, 5], [2, 6], [3, 7],
+                ]
+            )
+            o_colors = np.tile(np.asarray(actor.color), (8, 1))
+            rasterize_lines(framebuffer, o_screen, box_edges, o_colors, o_valid)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unsupported representation {representation!r}")
+
+    return framebuffer

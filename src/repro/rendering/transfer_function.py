@@ -1,0 +1,133 @@
+"""Color and opacity transfer functions for volume rendering.
+
+ParaView builds a default pair of transfer functions from the data range of
+the selected array: a "Cool to Warm" color ramp and a linear opacity ramp
+from fully transparent at the minimum to moderately opaque at the maximum.
+:func:`default_transfer_functions` reproduces that behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.rendering.colormaps import COLORMAP_PRESETS
+
+__all__ = ["ColorTransferFunction", "OpacityTransferFunction", "default_transfer_functions"]
+
+
+@dataclass
+class ColorTransferFunction:
+    """Piecewise-linear mapping scalar → RGB over absolute scalar values."""
+
+    points: List[Tuple[float, float, float, float]] = field(default_factory=list)
+
+    def add_point(self, value: float, r: float, g: float, b: float) -> "ColorTransferFunction":
+        self.points.append((float(value), float(r), float(g), float(b)))
+        self.points.sort(key=lambda p: p[0])
+        return self
+
+    def rescale(self, minimum: float, maximum: float) -> "ColorTransferFunction":
+        """Stretch the existing control points onto a new scalar range."""
+        if not self.points:
+            raise ValueError("transfer function has no control points")
+        old = np.array([p[0] for p in self.points])
+        old_min, old_max = old.min(), old.max()
+        span = old_max - old_min if old_max > old_min else 1.0
+        t = (old - old_min) / span
+        new_values = minimum + t * (maximum - minimum)
+        self.points = [
+            (float(v), p[1], p[2], p[3]) for v, p in zip(new_values, self.points)
+        ]
+        return self
+
+    def map_scalars(self, values: np.ndarray) -> np.ndarray:
+        if len(self.points) < 2:
+            raise ValueError("transfer function needs at least two control points")
+        vals = np.asarray(values, dtype=np.float64).reshape(-1)
+        xs = np.array([p[0] for p in self.points])
+        rgb = np.array([p[1:] for p in self.points])
+        out = np.empty((vals.shape[0], 3))
+        for channel in range(3):
+            out[:, channel] = np.interp(vals, xs, rgb[:, channel])
+        return out
+
+    @property
+    def scalar_range(self) -> Tuple[float, float]:
+        if not self.points:
+            return (0.0, 1.0)
+        xs = [p[0] for p in self.points]
+        return (min(xs), max(xs))
+
+    @staticmethod
+    def from_preset(name: str, minimum: float, maximum: float) -> "ColorTransferFunction":
+        preset = None
+        for key, pts in COLORMAP_PRESETS.items():
+            if key.lower() == name.lower():
+                preset = pts
+                break
+        if preset is None:
+            raise KeyError(f"unknown colormap preset {name!r}")
+        ctf = ColorTransferFunction()
+        for t, r, g, b in preset:
+            ctf.add_point(minimum + t * (maximum - minimum), r, g, b)
+        return ctf
+
+
+@dataclass
+class OpacityTransferFunction:
+    """Piecewise-linear mapping scalar → opacity in ``[0, 1]``."""
+
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add_point(self, value: float, opacity: float) -> "OpacityTransferFunction":
+        self.points.append((float(value), float(np.clip(opacity, 0.0, 1.0))))
+        self.points.sort(key=lambda p: p[0])
+        return self
+
+    def rescale(self, minimum: float, maximum: float) -> "OpacityTransferFunction":
+        if not self.points:
+            raise ValueError("transfer function has no control points")
+        old = np.array([p[0] for p in self.points])
+        old_min, old_max = old.min(), old.max()
+        span = old_max - old_min if old_max > old_min else 1.0
+        t = (old - old_min) / span
+        new_values = minimum + t * (maximum - minimum)
+        self.points = [(float(v), p[1]) for v, p in zip(new_values, self.points)]
+        return self
+
+    def map_scalars(self, values: np.ndarray) -> np.ndarray:
+        if len(self.points) < 2:
+            raise ValueError("transfer function needs at least two control points")
+        vals = np.asarray(values, dtype=np.float64).reshape(-1)
+        xs = np.array([p[0] for p in self.points])
+        ys = np.array([p[1] for p in self.points])
+        return np.interp(vals, xs, ys)
+
+    @property
+    def scalar_range(self) -> Tuple[float, float]:
+        if not self.points:
+            return (0.0, 1.0)
+        xs = [p[0] for p in self.points]
+        return (min(xs), max(xs))
+
+
+def default_transfer_functions(
+    minimum: float,
+    maximum: float,
+    colormap: str = "Cool to Warm",
+    max_opacity: float = 0.35,
+) -> Tuple[ColorTransferFunction, OpacityTransferFunction]:
+    """Build the default (color, opacity) pair for a data range.
+
+    The opacity ramps linearly from 0 at the minimum to ``max_opacity`` at
+    the maximum, which is close to what ParaView produces when volume
+    rendering is enabled with the default transfer function.
+    """
+    ctf = ColorTransferFunction.from_preset(colormap, minimum, maximum)
+    otf = OpacityTransferFunction()
+    otf.add_point(minimum, 0.0)
+    otf.add_point(maximum, max_opacity)
+    return ctf, otf

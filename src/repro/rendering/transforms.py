@@ -1,0 +1,130 @@
+"""Homogeneous transforms used by the camera and the rasterizer."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "normalize",
+    "look_at_matrix",
+    "perspective_matrix",
+    "orthographic_matrix",
+    "viewport_transform",
+    "transform_points",
+    "rotation_about_axis",
+]
+
+
+def normalize(vector: Sequence[float]) -> np.ndarray:
+    """Return the unit vector along ``vector`` (raises on the zero vector)."""
+    v = np.asarray(vector, dtype=np.float64).reshape(3)
+    norm = np.linalg.norm(v)
+    if norm == 0:
+        raise ValueError("cannot normalize the zero vector")
+    return v / norm
+
+
+def look_at_matrix(
+    eye: Sequence[float],
+    target: Sequence[float],
+    up: Sequence[float],
+) -> np.ndarray:
+    """World → camera (view) matrix, right-handed, camera looking along -z."""
+    eye = np.asarray(eye, dtype=np.float64).reshape(3)
+    target = np.asarray(target, dtype=np.float64).reshape(3)
+    forward = target - eye
+    if np.linalg.norm(forward) == 0:
+        raise ValueError("camera position and focal point coincide")
+    f = normalize(forward)
+    up_v = np.asarray(up, dtype=np.float64).reshape(3)
+    # re-orthogonalise up against the view direction
+    side = np.cross(f, up_v)
+    if np.linalg.norm(side) < 1e-12:
+        # pick any vector not parallel to f
+        fallback = np.array([0.0, 1.0, 0.0]) if abs(f[1]) < 0.9 else np.array([1.0, 0.0, 0.0])
+        side = np.cross(f, fallback)
+    s = normalize(side)
+    u = np.cross(s, f)
+
+    view = np.eye(4)
+    view[0, :3] = s
+    view[1, :3] = u
+    view[2, :3] = -f
+    view[0, 3] = -np.dot(s, eye)
+    view[1, 3] = -np.dot(u, eye)
+    view[2, 3] = np.dot(f, eye)
+    return view
+
+
+def perspective_matrix(fov_y_degrees: float, aspect: float, near: float, far: float) -> np.ndarray:
+    """OpenGL-style perspective projection matrix."""
+    if near <= 0 or far <= near:
+        raise ValueError("invalid near/far clip range")
+    f = 1.0 / np.tan(np.radians(fov_y_degrees) / 2.0)
+    m = np.zeros((4, 4))
+    m[0, 0] = f / aspect
+    m[1, 1] = f
+    m[2, 2] = (far + near) / (near - far)
+    m[2, 3] = (2.0 * far * near) / (near - far)
+    m[3, 2] = -1.0
+    return m
+
+
+def orthographic_matrix(height: float, aspect: float, near: float, far: float) -> np.ndarray:
+    """Orthographic projection with the given view height (world units)."""
+    if far <= near:
+        raise ValueError("invalid near/far clip range")
+    half_h = height / 2.0
+    half_w = half_h * aspect
+    m = np.eye(4)
+    m[0, 0] = 1.0 / half_w
+    m[1, 1] = 1.0 / half_h
+    m[2, 2] = -2.0 / (far - near)
+    m[2, 3] = -(far + near) / (far - near)
+    return m
+
+
+def viewport_transform(ndc: np.ndarray, width: int, height: int) -> np.ndarray:
+    """Map normalised device coordinates ``[-1, 1]`` to pixel coordinates.
+
+    Returns an ``(n, 3)`` array of ``(x_pixel, y_pixel, depth)`` where y grows
+    downward (image row order) and depth is the NDC z in ``[-1, 1]``.
+    """
+    out = np.empty_like(ndc)
+    out[:, 0] = (ndc[:, 0] + 1.0) * 0.5 * (width - 1)
+    out[:, 1] = (1.0 - ndc[:, 1]) * 0.5 * (height - 1)
+    out[:, 2] = ndc[:, 2]
+    return out
+
+
+def transform_points(matrix: np.ndarray, points: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Apply a 4x4 matrix to ``(n, 3)`` points.
+
+    Returns ``(clip_xyz, w)`` where ``clip_xyz`` is the un-divided clip-space
+    xyz and ``w`` the homogeneous coordinate (needed for perspective division
+    and clipping decisions).
+    """
+    pts = np.asarray(points, dtype=np.float64).reshape(-1, 3)
+    homo = np.hstack([pts, np.ones((pts.shape[0], 1))])
+    clip = homo @ matrix.T
+    return clip[:, :3], clip[:, 3]
+
+
+def rotation_about_axis(axis: Sequence[float], degrees: float) -> np.ndarray:
+    """4x4 rotation matrix about an arbitrary axis through the origin."""
+    u = normalize(axis)
+    theta = np.radians(degrees)
+    c, s = np.cos(theta), np.sin(theta)
+    ux, uy, uz = u
+    rot = np.array(
+        [
+            [c + ux * ux * (1 - c), ux * uy * (1 - c) - uz * s, ux * uz * (1 - c) + uy * s],
+            [uy * ux * (1 - c) + uz * s, c + uy * uy * (1 - c), uy * uz * (1 - c) - ux * s],
+            [uz * ux * (1 - c) - uy * s, uz * uy * (1 - c) + ux * s, c + uz * uz * (1 - c)],
+        ]
+    )
+    m = np.eye(4)
+    m[:3, :3] = rot
+    return m

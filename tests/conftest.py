@@ -1,0 +1,79 @@
+"""Shared fixtures for the test suite.
+
+All fixtures use deliberately small datasets and image resolutions so that
+the full suite runs in a couple of minutes on a laptop; the benchmark suite
+is where full-size runs live.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    generate_can_points,
+    generate_disk_flow,
+    generate_marschner_lobb,
+    generate_structured_scalar_field,
+    generate_vortex_field,
+)
+
+
+@pytest.fixture(scope="session")
+def marschner_lobb_small():
+    """A 20^3 Marschner-Lobb volume (session-scoped: read-only in tests)."""
+    return generate_marschner_lobb(20)
+
+
+@pytest.fixture(scope="session")
+def sphere_field():
+    """A radial field whose 0.5 level set is a sphere of radius 0.5."""
+    return generate_structured_scalar_field(20)
+
+
+@pytest.fixture(scope="session")
+def vortex_field():
+    return generate_vortex_field(12)
+
+
+@pytest.fixture(scope="session")
+def disk_flow_small():
+    return generate_disk_flow(5, 12, 5)
+
+
+@pytest.fixture(scope="session")
+def can_points_small():
+    return generate_can_points(120, seed=3)
+
+
+@pytest.fixture()
+def work_dir(tmp_path: Path) -> Path:
+    """A per-test working directory."""
+    return tmp_path
+
+
+@pytest.fixture(scope="session")
+def task_data_dir(tmp_path_factory) -> Path:
+    """A session-scoped directory with the three task input files (small)."""
+    from repro.core.tasks import CANONICAL_TASKS, prepare_task_data
+
+    directory = tmp_path_factory.mktemp("task_data")
+    for task in CANONICAL_TASKS.values():
+        prepare_task_data(task, directory, small=True)
+    return directory
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+TEST_RESOLUTION = (160, 120)
+
+
+@pytest.fixture(scope="session")
+def test_resolution():
+    """Small render resolution used across rendering/integration tests."""
+    return TEST_RESOLUTION

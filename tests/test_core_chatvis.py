@@ -1,0 +1,237 @@
+"""Tests for the ChatVis core: tasks, few-shot library, error extraction,
+correction prompts, session records and the full assistant loop."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    CANONICAL_TASKS,
+    ChatVis,
+    ChatVisConfig,
+    ChatVisResult,
+    ExampleLibrary,
+    IterationRecord,
+    PromptGenerator,
+    ScriptGenerator,
+    extract_error_messages,
+    get_task,
+    has_errors,
+    prepare_task_data,
+)
+from repro.core.correction import CorrectionPromptBuilder, request_correction
+from repro.core.error_extraction import classify_error, final_error
+from repro.core.tasks import task_names
+from repro.eval.harness import scaled_prompt
+from repro.llm import get_model
+
+
+class TestTasks:
+    def test_five_canonical_tasks(self):
+        assert len(CANONICAL_TASKS) == 5
+        assert set(task_names()) == {
+            "isosurface", "slice_contour", "volume_render", "delaunay", "streamlines",
+        }
+
+    def test_get_task_unknown(self):
+        with pytest.raises(KeyError):
+            get_task("teapot")
+
+    def test_prompts_mention_their_files_and_screenshots(self):
+        for task in CANONICAL_TASKS.values():
+            for filename in task.data_files:
+                assert filename in task.user_prompt
+            assert task.screenshot in task.user_prompt
+            assert "1920 x 1080" in task.user_prompt
+
+    def test_prepare_task_data_creates_files(self, work_dir):
+        created = prepare_task_data("isosurface", work_dir, small=True)
+        assert all(path.exists() for path in created)
+        # idempotent
+        again = prepare_task_data("isosurface", work_dir, small=True)
+        assert [p.name for p in again] == [p.name for p in created]
+
+    def test_scaled_prompt_replaces_resolution(self):
+        task = get_task("isosurface")
+        prompt = scaled_prompt(task, (320, 180))
+        assert "320 x 180 pixels" in prompt
+        assert "1920" not in prompt
+
+
+class TestExampleLibrary:
+    def test_selection_matches_plan(self):
+        library = ExampleLibrary()
+        selected = library.select(CANONICAL_TASKS["streamlines"].user_prompt)
+        names = {example.name for example in selected}
+        assert {"stream_tracer", "tube", "glyph", "render_view"}.issubset(names)
+        assert "read_vtk" not in names  # the input is an .ex2 file
+
+    def test_vtk_task_selects_vtk_reader(self):
+        library = ExampleLibrary()
+        names = {e.name for e in library.select(CANONICAL_TASKS["isosurface"].user_prompt)}
+        assert "read_vtk" in names
+        assert "read_exodus" not in names
+
+    def test_render_contains_header(self):
+        library = ExampleLibrary()
+        text = library.render(CANONICAL_TASKS["isosurface"].user_prompt)
+        assert text.startswith("Example ParaView code snippets:")
+        assert "Contour(" in text
+
+    def test_add_custom_example(self):
+        from repro.core.few_shot import Example
+
+        library = ExampleLibrary()
+        library.add(Example("custom", ("isosurface",), "custom", "pass"))
+        assert "custom" in library.names()
+
+
+class TestErrorExtraction:
+    TRACEBACK = (
+        "some ordinary output\n"
+        "Traceback (most recent call last):\n"
+        '  File "script.py", line 17, in <module>\n'
+        "    coneGlyph.Scalars = ['POINTS', 'Temp']\n"
+        "AttributeError: 'Glyph' object has no attribute 'Scalars'\n"
+        "more output\n"
+    )
+
+    def test_extracts_traceback_block(self):
+        messages = extract_error_messages(self.TRACEBACK)
+        assert len(messages) == 1
+        assert "AttributeError" in messages[0]
+        assert "line 17" in messages[0]
+
+    def test_has_errors(self):
+        assert has_errors(self.TRACEBACK)
+        assert not has_errors("everything is fine\nscreenshot saved\n")
+
+    def test_final_error(self):
+        error_type, message = final_error(self.TRACEBACK)
+        assert error_type == "AttributeError"
+        assert "Glyph" in message
+
+    def test_multiple_tracebacks(self):
+        output = self.TRACEBACK + "\n" + self.TRACEBACK.replace("Scalars", "Vectors")
+        assert len(extract_error_messages(output)) == 2
+
+    def test_standalone_error_line(self):
+        assert extract_error_messages("RuntimeError: kaboom") == ["RuntimeError: kaboom"]
+
+    def test_empty_output(self):
+        assert extract_error_messages("") == []
+
+    def test_classify(self):
+        assert classify_error(self.TRACEBACK) == "hallucinated_attribute"
+        assert classify_error("SyntaxError: invalid syntax") == "syntax"
+        assert classify_error("NameError: name 'x' is not defined") == "name"
+        assert classify_error("") == "none"
+
+
+class TestPromptsAndCorrection:
+    def test_prompt_generator_fallback(self):
+        text = PromptGenerator.fallback(CANONICAL_TASKS["delaunay"].user_prompt)
+        assert "Delaunay" in text or "delaunay" in text.lower()
+        assert text.count("-") >= 4  # bullet list
+
+    def test_script_generator_messages_include_examples(self):
+        generator = ScriptGenerator(get_model("gpt-4"))
+        messages = generator.build_generation_messages("Read in the file named ml-100.vtk.")
+        text = messages[-1].content
+        assert "Example ParaView code snippets:" in text
+        assert "User request:" in text
+
+    def test_script_generator_can_disable_few_shot(self):
+        generator = ScriptGenerator(get_model("gpt-4"), use_few_shot=False)
+        text = generator.build_generation_messages("Read the file x.vtk")[-1].content
+        assert "Example ParaView code snippets:" not in text
+
+    def test_correction_prompt_contains_script_and_errors(self):
+        builder = CorrectionPromptBuilder()
+        messages = builder.build("x = 1\n", ["AttributeError: nope"], "user wants a plot")
+        text = messages[-1].content
+        assert "x = 1" in text
+        assert "AttributeError: nope" in text
+        assert "fix the code" in text.lower()
+
+    def test_request_correction_returns_code(self):
+        script = "from paraview.simple import *\nclip1 = Clip()\nclip1.InsideOut = 1\n"
+        errors = [
+            "Traceback (most recent call last):\n"
+            '  File "script.py", line 3, in <module>\n'
+            "    clip1.InsideOut = 1\n"
+            "AttributeError: 'Clip' object has no attribute 'InsideOut'"
+        ]
+        fixed = request_correction(get_model("gpt-4"), script, errors)
+        assert "Invert" in fixed
+
+
+class TestSessionRecords:
+    def test_result_serialisation_roundtrip(self, work_dir):
+        result = ChatVisResult(user_prompt="p", model="gpt-4-sim")
+        result.iterations.append(
+            IterationRecord(index=1, script="x=1", success=False, error_type="AttributeError")
+        )
+        result.iterations.append(IterationRecord(index=2, script="x=2", success=True))
+        result.success = True
+        path = result.save(work_dir / "session.json")
+        loaded = ChatVisResult.load(path)
+        assert loaded.n_iterations == 2
+        assert loaded.error_history() == ["AttributeError", None]
+        assert json.loads(path.read_text())["model"] == "gpt-4-sim"
+
+    def test_summary_mentions_iterations(self):
+        result = ChatVisResult(user_prompt="p", model="m")
+        assert "0 iteration" in result.summary()
+
+
+class TestChatVisLoop:
+    @pytest.fixture()
+    def prepared_dir(self, work_dir):
+        for task in CANONICAL_TASKS.values():
+            prepare_task_data(task, work_dir, small=True)
+        return work_dir
+
+    def test_isosurface_succeeds(self, prepared_dir):
+        task = get_task("isosurface")
+        assistant = ChatVis("gpt-4", working_dir=prepared_dir)
+        result = assistant.run(scaled_prompt(task, (160, 120)))
+        assert result.success
+        assert result.screenshots
+        assert result.n_iterations >= 1
+
+    def test_delaunay_uses_correction_loop(self, prepared_dir):
+        task = get_task("delaunay")
+        assistant = ChatVis("gpt-4", working_dir=prepared_dir)
+        result = assistant.run(scaled_prompt(task, (160, 120)))
+        assert result.success
+        assert result.n_iterations >= 2
+        assert result.iterations[0].error_type == "AttributeError"
+
+    def test_correction_disabled_stops_after_first_failure(self, prepared_dir):
+        task = get_task("delaunay")
+        config = ChatVisConfig(use_error_correction=False)
+        assistant = ChatVis("gpt-4", working_dir=prepared_dir, config=config)
+        result = assistant.run(scaled_prompt(task, (160, 120)))
+        assert not result.success
+        assert result.n_iterations == 1
+
+    def test_max_iterations_respected(self, prepared_dir):
+        task = get_task("streamlines")
+        config = ChatVisConfig(max_iterations=1)
+        assistant = ChatVis("gpt-4", working_dir=prepared_dir, config=config)
+        result = assistant.run(scaled_prompt(task, (160, 120)))
+        assert result.n_iterations == 1
+
+    def test_generated_prompt_recorded(self, prepared_dir):
+        task = get_task("isosurface")
+        assistant = ChatVis("gpt-4", working_dir=prepared_dir)
+        result = assistant.run(scaled_prompt(task, (160, 120)))
+        assert "step-by-step" in result.generated_prompt.lower() or "Requirements" in result.generated_prompt
+
+    def test_accepts_llm_instance(self, prepared_dir):
+        task = get_task("isosurface")
+        assistant = ChatVis(get_model("gpt-4"), working_dir=prepared_dir)
+        result = assistant.run(scaled_prompt(task, (160, 120)))
+        assert result.model == "gpt-4-sim"
+        assert result.success

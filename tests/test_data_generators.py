@@ -1,0 +1,153 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    generate_can_points,
+    generate_disk_flow,
+    generate_marschner_lobb,
+    generate_random_point_cloud,
+    generate_structured_scalar_field,
+    generate_vortex_field,
+    marschner_lobb_function,
+    write_can_points,
+    write_disk_flow,
+    write_marschner_lobb,
+)
+from repro.data.disk_flow import disk_temperature, disk_velocity
+from repro.io import read_exodus, read_vtk
+
+
+class TestMarschnerLobb:
+    def test_values_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        x, y, z = rng.uniform(-1, 1, (3, 500))
+        values = marschner_lobb_function(x, y, z)
+        assert values.min() >= 0.0
+        assert values.max() <= 1.0
+
+    def test_symmetry_in_xy(self):
+        v1 = marschner_lobb_function(0.3, 0.4, 0.1)
+        v2 = marschner_lobb_function(-0.3, -0.4, 0.1)
+        assert v1 == pytest.approx(v2)
+
+    def test_generate_dimensions_and_array(self):
+        volume = generate_marschner_lobb(16)
+        assert volume.dimensions == (16, 16, 16)
+        assert "var0" in volume.point_data
+        assert volume.bounds().as_tuple() == (-1, 1, -1, 1, -1, 1)
+
+    def test_isovalue_05_is_crossed(self):
+        volume = generate_marschner_lobb(16)
+        lo, hi = volume.scalar_range("var0")
+        assert lo < 0.5 < hi
+
+    def test_resolution_validation(self):
+        with pytest.raises(ValueError):
+            generate_marschner_lobb(1)
+
+    def test_write_roundtrip(self, work_dir):
+        path = write_marschner_lobb(work_dir / "ml.vtk", resolution=12)
+        back = read_vtk(path)
+        assert back.n_points == 12 ** 3
+        assert "var0" in back.point_data
+
+    def test_custom_array_name(self):
+        volume = generate_marschner_lobb(8, array_name="rho")
+        assert "rho" in volume.point_data
+
+
+class TestCanPoints:
+    def test_structure(self):
+        grid = generate_can_points(200, seed=1)
+        assert grid.n_points == 200
+        assert grid.n_cells == 200  # vertex cells
+        assert "DISPL" in grid.point_data
+        assert grid.point_data["DISPL"].n_components == 3
+
+    def test_deterministic_for_seed(self):
+        a = generate_can_points(100, seed=5)
+        b = generate_can_points(100, seed=5)
+        assert np.allclose(a.points, b.points)
+
+    def test_different_seeds_differ(self):
+        a = generate_can_points(100, seed=5)
+        b = generate_can_points(100, seed=6)
+        assert not np.allclose(a.points, b.points)
+
+    def test_dent_reduces_radius_on_positive_y(self):
+        grid = generate_can_points(800, seed=2, jitter=0.0)
+        radii = np.linalg.norm(grid.points[:, :2], axis=1)
+        wall = radii > 0.5
+        plus_y = grid.points[:, 1] > 0.3
+        minus_y = grid.points[:, 1] < -0.3
+        assert radii[wall & plus_y].mean() < radii[wall & minus_y].mean()
+
+    def test_minimum_points(self):
+        with pytest.raises(ValueError):
+            generate_can_points(5)
+
+    def test_write_roundtrip(self, work_dir):
+        path = write_can_points(work_dir / "can.ex2", n_points=60)
+        back = read_exodus(path)
+        assert back.n_points == 60
+
+
+class TestDiskFlow:
+    def test_arrays_present(self):
+        grid = generate_disk_flow(4, 8, 4)
+        assert {"V", "Temp", "Pres"}.issubset(set(grid.point_data.names()))
+        assert grid.point_data["V"].n_components == 3
+
+    def test_hexahedral_cells(self):
+        grid = generate_disk_flow(4, 8, 4)
+        assert grid.n_cells == (4 - 1) * 8 * (4 - 1)
+        assert grid.has_volumetric_cells()
+
+    def test_velocity_swirls_around_z(self):
+        points = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        v = disk_velocity(points)
+        # tangential: at +x the velocity points toward +y, at +y toward -x
+        assert v[0, 1] > 0
+        assert v[1, 0] < 0
+
+    def test_temperature_decays_with_radius(self):
+        near = disk_temperature(np.array([[0.1, 0.0, 0.0]]))[0]
+        far = disk_temperature(np.array([[3.0, 0.0, 0.0]]))[0]
+        assert near > far >= 300.0 - 1e-9
+
+    def test_resolution_validation(self):
+        with pytest.raises(ValueError):
+            generate_disk_flow(1, 8, 4)
+
+    def test_write_roundtrip(self, work_dir):
+        path = write_disk_flow(work_dir / "disk.ex2", 4, 8, 4)
+        back = read_exodus(path)
+        assert "V" in back.point_data and "Temp" in back.point_data
+
+
+class TestGenericGenerators:
+    def test_structured_scalar_field_default_is_radial(self):
+        field = generate_structured_scalar_field(11)  # odd count: node at the origin
+        values = field.point_data["scalar"].as_scalar()
+        assert values.max() == pytest.approx(1.0, abs=1e-9)
+        # corners (largest radius) hold the minimum
+        assert values.min() == pytest.approx(1.0 - np.sqrt(3.0), abs=1e-9)
+
+    def test_structured_scalar_custom_function(self):
+        field = generate_structured_scalar_field(6, function=lambda x, y, z: x)
+        lo, hi = field.scalar_range("scalar")
+        assert lo == pytest.approx(-1.0)
+        assert hi == pytest.approx(1.0)
+
+    def test_vortex_field_vectors(self):
+        field = generate_vortex_field(8)
+        assert field.point_data["velocity"].n_components == 3
+        assert "speed" in field.point_data
+
+    def test_random_point_cloud(self):
+        cloud = generate_random_point_cloud(50, seed=1)
+        assert cloud.n_points == 50
+        assert cloud.n_cells == 50
+        assert "value" in cloud.point_data

@@ -1,0 +1,171 @@
+"""Unit tests for DataArray / FieldData."""
+
+import numpy as np
+import pytest
+
+from repro.datamodel import AssociationError, DataArray, FieldData
+
+
+class TestDataArray:
+    def test_scalar_shape_and_components(self):
+        arr = DataArray("a", [1.0, 2.0, 3.0])
+        assert arr.n_tuples == 3
+        assert arr.n_components == 1
+        assert arr.is_scalar and not arr.is_vector
+
+    def test_vector_shape(self):
+        arr = DataArray("v", np.ones((4, 3)))
+        assert arr.n_tuples == 4
+        assert arr.n_components == 3
+        assert arr.is_vector
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(ValueError):
+            DataArray("", [1.0])
+
+    def test_rejects_3d_values(self):
+        with pytest.raises(ValueError):
+            DataArray("x", np.zeros((2, 2, 2)))
+
+    def test_rejects_object_dtype(self):
+        with pytest.raises(TypeError):
+            DataArray("x", np.array(["a", "b"], dtype=object))
+
+    def test_as_scalar_magnitude_for_vectors(self):
+        arr = DataArray("v", [[3.0, 4.0, 0.0]])
+        assert arr.as_scalar()[0] == pytest.approx(5.0)
+
+    def test_component_access(self):
+        arr = DataArray("v", [[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+        assert np.allclose(arr.component(1), [2.0, 5.0])
+        with pytest.raises(IndexError):
+            arr.component(3)
+
+    def test_range_scalar(self):
+        arr = DataArray("a", [3.0, -1.0, 2.0])
+        assert arr.range() == (-1.0, 3.0)
+
+    def test_range_empty(self):
+        arr = DataArray("a", np.zeros((0,)))
+        assert arr.range() == (0.0, 0.0)
+
+    def test_range_specific_component(self):
+        arr = DataArray("v", [[1.0, 10.0, 0.0], [2.0, -5.0, 0.0]])
+        assert arr.range(component=1) == (-5.0, 10.0)
+
+    def test_take(self):
+        arr = DataArray("a", [0.0, 10.0, 20.0, 30.0])
+        sub = arr.take([3, 1])
+        assert np.allclose(sub.as_scalar(), [30.0, 10.0])
+        assert sub.name == "a"
+
+    def test_interpolate_midpoint(self):
+        arr = DataArray("a", [0.0, 10.0])
+        out = arr.interpolate([0], [1], [0.5])
+        assert out.as_scalar()[0] == pytest.approx(5.0)
+
+    def test_interpolate_vector(self):
+        arr = DataArray("v", [[0.0, 0.0, 0.0], [2.0, 4.0, 6.0]])
+        out = arr.interpolate([0], [1], [0.25])
+        assert np.allclose(out.values[0], [0.5, 1.0, 1.5])
+
+    def test_len_and_getitem(self):
+        arr = DataArray("a", [1.0, 2.0])
+        assert len(arr) == 2
+        assert arr[1, 0] == pytest.approx(2.0)
+
+    def test_equality(self):
+        a = DataArray("a", [1.0, 2.0])
+        b = DataArray("a", [1.0, 2.0])
+        c = DataArray("a", [1.0, 3.0])
+        assert a == b
+        assert a != c
+
+    def test_copy_and_rename(self):
+        a = DataArray("a", [1.0])
+        b = a.copy("b")
+        assert b.name == "b"
+        assert np.allclose(a.values, b.values)
+
+    def test_integer_dtype_preserved(self):
+        arr = DataArray("i", np.array([1, 2, 3], dtype=np.int32))
+        assert arr.dtype.kind == "i"
+
+
+class TestFieldData:
+    def test_add_and_get(self):
+        fd = FieldData()
+        fd.add_array("a", [1.0, 2.0])
+        assert "a" in fd
+        assert fd["a"].n_tuples == 2
+
+    def test_missing_key_message(self):
+        fd = FieldData()
+        with pytest.raises(KeyError, match="no data array named"):
+            fd["missing"]
+
+    def test_expected_tuples_enforced(self):
+        fd = FieldData(expected_tuples=3)
+        with pytest.raises(AssociationError):
+            fd.add_array("a", [1.0, 2.0])
+
+    def test_set_expected_tuples_validates_existing(self):
+        fd = FieldData()
+        fd.add_array("a", [1.0, 2.0])
+        with pytest.raises(AssociationError):
+            fd.set_expected_tuples(5)
+
+    def test_first_scalar_and_vector(self):
+        fd = FieldData()
+        fd.add_array("v", np.ones((3, 3)))
+        fd.add_array("s", [1.0, 2.0, 3.0])
+        assert fd.first_scalar().name == "s"
+        assert fd.first_vector().name == "v"
+
+    def test_scalar_and_vector_names(self):
+        fd = FieldData()
+        fd.add_array("v", np.ones((3, 3)))
+        fd.add_array("s", [1.0, 2.0, 3.0])
+        assert fd.scalar_names() == ["s"]
+        assert fd.vector_names() == ["v"]
+
+    def test_take_restricts_all_arrays(self):
+        fd = FieldData()
+        fd.add_array("a", [0.0, 1.0, 2.0])
+        fd.add_array("b", [[0, 0, 0], [1, 1, 1], [2, 2, 2]])
+        sub = fd.take([2, 0])
+        assert np.allclose(sub["a"].as_scalar(), [2.0, 0.0])
+        assert sub.expected_tuples == 2
+
+    def test_interpolate_all_arrays(self):
+        fd = FieldData()
+        fd.add_array("a", [0.0, 4.0])
+        out = fd.interpolate([0], [1], [0.25])
+        assert out["a"].as_scalar()[0] == pytest.approx(1.0)
+
+    def test_remove_and_clear(self):
+        fd = FieldData()
+        fd.add_array("a", [1.0])
+        fd.remove("a")
+        assert "a" not in fd
+        fd.add_array("b", [1.0])
+        fd.clear()
+        assert len(fd) == 0
+
+    def test_add_requires_dataarray(self):
+        fd = FieldData()
+        with pytest.raises(TypeError):
+            fd.add([1.0, 2.0])
+
+    def test_copy_is_deep(self):
+        fd = FieldData()
+        fd.add_array("a", [1.0, 2.0])
+        other = fd.copy()
+        other["a"].values[0, 0] = 99.0
+        assert fd["a"].values[0, 0] == pytest.approx(1.0)
+
+    def test_iteration_order_preserved(self):
+        fd = FieldData()
+        for name in ("z", "a", "m"):
+            fd.add_array(name, [1.0])
+        assert fd.names() == ["z", "a", "m"]

@@ -1,0 +1,155 @@
+"""Unit tests for Bounds and cell-type utilities."""
+
+import numpy as np
+import pytest
+
+from repro.datamodel import Bounds, CellType, cell_type_name
+from repro.datamodel.cells import (
+    cell_edges,
+    is_surface,
+    is_volumetric,
+    surface_triangles_of_tetra,
+    tetrahedralize_cell,
+    triangulate_cell,
+)
+
+
+class TestBounds:
+    def test_from_points(self):
+        b = Bounds.from_points([[0, 0, 0], [1, 2, 3]])
+        assert b.as_tuple() == (0, 1, 0, 2, 0, 3)
+
+    def test_empty(self):
+        assert Bounds.empty().is_empty
+        assert Bounds.from_points(np.zeros((0, 3))).is_empty
+
+    def test_center_and_lengths(self):
+        b = Bounds(0, 2, 0, 4, 0, 6)
+        assert b.center == (1, 2, 3)
+        assert b.lengths == (2, 4, 6)
+        assert b.max_length == 6
+
+    def test_diagonal(self):
+        b = Bounds(0, 3, 0, 4, 0, 0)
+        assert b.diagonal == pytest.approx(5.0)
+
+    def test_contains(self):
+        b = Bounds(0, 1, 0, 1, 0, 1)
+        assert b.contains((0.5, 0.5, 0.5))
+        assert not b.contains((2.0, 0.5, 0.5))
+        assert b.contains((1.05, 0.5, 0.5), tol=0.1)
+
+    def test_contains_points_vectorized(self):
+        b = Bounds(0, 1, 0, 1, 0, 1)
+        pts = np.array([[0.5, 0.5, 0.5], [2, 2, 2]])
+        assert list(b.contains_points(pts)) == [True, False]
+
+    def test_union(self):
+        a = Bounds(0, 1, 0, 1, 0, 1)
+        b = Bounds(2, 3, -1, 0, 0, 5)
+        u = a.union(b)
+        assert u.as_tuple() == (0, 3, -1, 1, 0, 5)
+
+    def test_union_with_empty(self):
+        a = Bounds(0, 1, 0, 1, 0, 1)
+        assert a.union(Bounds.empty()).as_tuple() == a.as_tuple()
+        assert Bounds.empty().union(a).as_tuple() == a.as_tuple()
+
+    def test_expanded(self):
+        b = Bounds(0, 1, 0, 1, 0, 1).expanded(absolute=0.5)
+        assert b.xmin == pytest.approx(-0.5)
+        assert b.xmax == pytest.approx(1.5)
+
+    def test_corners(self):
+        corners = Bounds(0, 1, 0, 1, 0, 1).corners()
+        assert corners.shape == (8, 3)
+        assert {tuple(c) for c in corners} == {
+            (x, y, z) for x in (0, 1) for y in (0, 1) for z in (0, 1)
+        }
+
+    def test_from_tuple_roundtrip(self):
+        b = Bounds.from_tuple((0, 1, 2, 3, 4, 5))
+        assert tuple(b) == (0, 1, 2, 3, 4, 5)
+
+    def test_from_tuple_wrong_length(self):
+        with pytest.raises(ValueError):
+            Bounds.from_tuple((0, 1, 2))
+
+    def test_empty_center_is_origin(self):
+        assert Bounds.empty().center == (0.0, 0.0, 0.0)
+
+
+class TestCells:
+    def test_cell_type_names(self):
+        assert cell_type_name(CellType.TETRA) == "tetrahedron"
+        assert "unknown" in cell_type_name(99)
+
+    def test_triangulate_quad(self):
+        tris = triangulate_cell(CellType.QUAD, (10, 11, 12, 13))
+        assert len(tris) == 2
+        assert all(len(t) == 3 for t in tris)
+
+    def test_triangulate_triangle_identity(self):
+        assert triangulate_cell(CellType.TRIANGLE, (1, 2, 3)) == [(1, 2, 3)]
+
+    def test_triangulate_volumetric_raises(self):
+        with pytest.raises(ValueError):
+            triangulate_cell(CellType.TETRA, (0, 1, 2, 3))
+
+    def test_tetrahedralize_tetra_identity(self):
+        assert tetrahedralize_cell(CellType.TETRA, (0, 1, 2, 3)) == [(0, 1, 2, 3)]
+
+    def test_tetrahedralize_hex_count(self):
+        tets = tetrahedralize_cell(CellType.HEXAHEDRON, tuple(range(8)))
+        assert len(tets) == 5
+
+    def test_tetrahedralize_wedge_and_pyramid(self):
+        assert len(tetrahedralize_cell(CellType.WEDGE, tuple(range(6)))) == 3
+        assert len(tetrahedralize_cell(CellType.PYRAMID, tuple(range(5)))) == 2
+
+    def test_tetrahedralize_voxel_reorders(self):
+        tets = tetrahedralize_cell(CellType.VOXEL, tuple(range(8)))
+        assert len(tets) == 5
+        for tet in tets:
+            assert len(set(tet)) == 4
+
+    def test_tetrahedralize_surface_raises(self):
+        with pytest.raises(ValueError):
+            tetrahedralize_cell(CellType.TRIANGLE, (0, 1, 2))
+
+    def test_cell_edges_triangle(self):
+        edges = cell_edges(CellType.TRIANGLE, (5, 6, 7))
+        assert (5, 6) in edges and (6, 7) in edges and (7, 5) in edges
+
+    def test_cell_edges_polyline(self):
+        edges = cell_edges(CellType.POLY_LINE, (1, 2, 3, 4))
+        assert edges == [(1, 2), (2, 3), (3, 4)]
+
+    def test_cell_edges_vertex_empty(self):
+        assert cell_edges(CellType.VERTEX, (0,)) == []
+
+    def test_tetra_surface_faces(self):
+        faces = surface_triangles_of_tetra((0, 1, 2, 3))
+        assert len(faces) == 4
+
+    def test_volumetric_and_surface_predicates(self):
+        assert is_volumetric(CellType.TETRA)
+        assert is_volumetric(CellType.HEXAHEDRON)
+        assert not is_volumetric(CellType.TRIANGLE)
+        assert is_surface(CellType.TRIANGLE)
+        assert not is_surface(CellType.LINE)
+
+    def test_hexahedron_tets_cover_volume(self):
+        # unit cube split into 5 tets must have total volume 1
+        points = np.array(
+            [
+                [0, 0, 0], [1, 0, 0], [1, 1, 0], [0, 1, 0],
+                [0, 0, 1], [1, 0, 1], [1, 1, 1], [0, 1, 1],
+            ],
+            dtype=float,
+        )
+        total = 0.0
+        for tet in tetrahedralize_cell(CellType.HEXAHEDRON, tuple(range(8))):
+            p0, p1, p2, p3 = points[list(tet)]
+            total += abs(np.dot(np.cross(p1 - p0, p2 - p0), p3 - p0)) / 6.0
+        assert total == pytest.approx(1.0)

@@ -1,0 +1,177 @@
+"""Tests for the evaluation package (metrics, ground truth, harness)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tasks import CANONICAL_TASKS, prepare_task_data
+from repro.eval import (
+    analyze_script,
+    compare_scripts,
+    ground_truth_script,
+    histogram_similarity,
+    image_coverage,
+    mean_squared_error,
+    peak_signal_to_noise_ratio,
+    run_figure_comparison,
+    run_ground_truth,
+    run_table_one,
+    run_table_two,
+    structural_similarity,
+)
+from repro.eval.harness import run_unassisted
+from repro.io import write_png
+
+
+class TestImageMetrics:
+    def _image(self, value, shape=(20, 30, 3)):
+        return np.full(shape, value, dtype=float)
+
+    def test_identical_images(self):
+        image = np.random.default_rng(0).random((16, 16, 3))
+        assert mean_squared_error(image, image) == 0.0
+        assert peak_signal_to_noise_ratio(image, image) == float("inf")
+        assert structural_similarity(image, image) == pytest.approx(1.0, abs=1e-6)
+        assert histogram_similarity(image, image) == pytest.approx(1.0)
+
+    def test_different_images(self):
+        a = self._image(0.0)
+        b = self._image(1.0)
+        assert mean_squared_error(a, b) == pytest.approx(1.0)
+        assert histogram_similarity(a, b) == pytest.approx(0.0)
+
+    def test_structural_similarity_orders_candidates(self):
+        rng = np.random.default_rng(0)
+        truth = rng.random((32, 32, 3))
+        near = np.clip(truth + 0.02 * rng.standard_normal(truth.shape), 0, 1)
+        far = rng.random((32, 32, 3))
+        assert structural_similarity(truth, near) > structural_similarity(truth, far)
+
+    def test_image_coverage(self):
+        image = np.ones((10, 10, 3))
+        image[:5] = 0.2
+        assert image_coverage(image) == pytest.approx(0.5)
+
+    def test_loads_png_files(self, work_dir):
+        image = (np.random.default_rng(1).random((8, 8, 3)) * 255).astype(np.uint8)
+        path = work_dir / "img.png"
+        write_png(path, image)
+        assert mean_squared_error(path, image) == pytest.approx(0.0, abs=1e-4)
+
+    def test_shape_mismatch_resampled(self):
+        a = np.zeros((10, 10, 3))
+        b = np.zeros((20, 20, 3))
+        assert mean_squared_error(a, b) == 0.0
+
+
+class TestScriptMetrics:
+    GOOD = (
+        "from paraview.simple import *\n"
+        "reader = LegacyVTKReader(FileNames=['ml.vtk'])\n"
+        "contour = Contour(Input=reader)\n"
+        "contour.Isosurfaces = [0.5]\n"
+        "view = GetActiveViewOrCreate('RenderView')\n"
+        "Show(contour, view)\n"
+        "SaveScreenshot('x.png', view)\n"
+    )
+    BAD = (
+        "from paraview.simple import *\n"
+        "reader = LegacyVTKReader(FileNames=['ml.vtk'])\n"
+        "contour = Contour(Input=reader)\n"
+        "contour.ContourValues = [0.5]\n"
+        "lut = GetLookupTableForArray('var0', 1)\n"
+    )
+
+    def test_analyze_good_script(self):
+        analysis = analyze_script(self.GOOD)
+        assert analysis.parse_ok
+        assert not analysis.has_hallucinations
+        assert "Contour" in analysis.constructors
+        assert "SaveScreenshot" in analysis.calls
+
+    def test_analyze_detects_hallucinations(self):
+        analysis = analyze_script(self.BAD)
+        assert ("Contour", "ContourValues") in analysis.hallucinated_properties
+        assert "GetLookupTableForArray" in analysis.unknown_functions
+
+    def test_analyze_syntax_error(self):
+        analysis = analyze_script("x = (1\n")
+        assert not analysis.parse_ok
+        assert analysis.syntax_error
+
+    def test_compare_scripts_coverage(self):
+        comparison = compare_scripts(self.BAD, self.GOOD)
+        assert 0.0 <= comparison.operation_coverage <= 1.0
+        assert "SaveScreenshot" in comparison.missing_calls
+        identical = compare_scripts(self.GOOD, self.GOOD)
+        assert identical.operation_coverage == 1.0
+        assert not identical.missing_calls
+
+
+class TestGroundTruth:
+    @pytest.mark.parametrize("task_name", list(CANONICAL_TASKS))
+    def test_scripts_exist_and_format(self, task_name):
+        script = ground_truth_script(task_name, resolution=(200, 150))
+        assert "SaveScreenshot" in script
+        assert "[200, 150]" in script
+
+    def test_ground_truth_runs_isosurface(self, work_dir):
+        prepare_task_data("isosurface", work_dir, small=True)
+        result = run_ground_truth("isosurface", work_dir, resolution=(120, 90))
+        assert result.success
+        assert result.produced_screenshot
+
+    def test_ground_truth_runs_slice_contour(self, work_dir):
+        prepare_task_data("slice_contour", work_dir, small=True)
+        result = run_ground_truth("slice_contour", work_dir, resolution=(120, 90))
+        assert result.success and result.produced_screenshot
+
+    def test_ground_truth_runs_delaunay(self, work_dir):
+        prepare_task_data("delaunay", work_dir, small=True)
+        result = run_ground_truth("delaunay", work_dir, resolution=(120, 90))
+        assert result.success and result.produced_screenshot
+
+
+class TestHarness:
+    def test_unassisted_gpt4_isosurface(self, work_dir):
+        prepare_task_data("isosurface", work_dir, small=True)
+        script, result = run_unassisted("gpt-4", "isosurface", work_dir, resolution=(120, 90))
+        assert "Contour" in script
+        assert result.produced_screenshot  # the one task GPT-4 gets right
+
+    def test_unassisted_weak_model_fails(self, work_dir):
+        prepare_task_data("isosurface", work_dir, small=True)
+        _script, result = run_unassisted("codegemma", "isosurface", work_dir, resolution=(120, 90))
+        assert not result.success
+
+    def test_figure_comparison_isosurface(self, work_dir):
+        comparison = run_figure_comparison("isosurface", work_dir, resolution=(120, 90))
+        chatvis = comparison.method("ChatVis")
+        assert chatvis.produced
+        assert chatvis.mse == pytest.approx(0.0, abs=1e-9)
+        gpt4 = comparison.method("GPT-4")
+        assert gpt4.produced
+        assert gpt4.mse > chatvis.mse
+
+    def test_table_two_single_task_pattern(self, work_dir):
+        result = run_table_two(
+            work_dir,
+            models=("gpt-4", "codegemma"),
+            tasks=["delaunay"],
+            resolution=(120, 90),
+        )
+        chatvis_cell = result.cell("ChatVis", "delaunay")
+        gpt4_cell = result.cell("gpt-4", "delaunay")
+        weak_cell = result.cell("codegemma", "delaunay")
+        assert chatvis_cell.screenshot and not chatvis_cell.error
+        assert gpt4_cell.error and not gpt4_cell.screenshot
+        assert weak_cell.error and not weak_cell.screenshot
+        table_text = result.format_table()
+        assert "Delaunay triangulation" in table_text
+
+    def test_table_one_summary(self, work_dir):
+        result = run_table_one(work_dir, resolution=(120, 90))
+        assert result.chatvis_execution_success
+        assert not result.gpt4_execution_success
+        assert result.gpt4_comparison.candidate.has_hallucinations
+        assert not result.chatvis_comparison.candidate.has_hallucinations
+        assert "StreamTracer" in result.chatvis_script

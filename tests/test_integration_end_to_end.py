@@ -1,0 +1,127 @@
+"""End-to-end integration tests crossing all subsystems."""
+
+import numpy as np
+import pytest
+
+from repro.core import CANONICAL_TASKS, ChatVis, get_task, prepare_task_data
+from repro.eval import run_ground_truth
+from repro.eval.harness import scaled_prompt
+from repro.eval.image_metrics import image_coverage, mean_squared_error
+from repro.io.png import read_png
+from repro.llm import get_model
+from repro.pvsim import run_script
+
+RESOLUTION = (160, 120)
+
+
+@pytest.fixture(scope="module")
+def shared_task_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("integration")
+    for task in CANONICAL_TASKS.values():
+        prepare_task_data(task, directory, small=True)
+    return directory
+
+
+class TestFullPipelines:
+    """Each canonical pipeline: ChatVis output matches the ground truth image."""
+
+    @pytest.mark.parametrize("task_name", ["isosurface", "slice_contour", "delaunay"])
+    def test_chatvis_matches_ground_truth(self, task_name, tmp_path):
+        task = get_task(task_name)
+        gt_dir = tmp_path / "gt"
+        cv_dir = tmp_path / "cv"
+        prepare_task_data(task, gt_dir, small=True)
+        prepare_task_data(task, cv_dir, small=True)
+
+        gt = run_ground_truth(task, gt_dir, resolution=RESOLUTION)
+        assert gt.produced_screenshot
+
+        assistant = ChatVis("gpt-4", working_dir=cv_dir)
+        run = assistant.run(scaled_prompt(task, RESOLUTION))
+        assert run.success, run.summary()
+
+        mse = mean_squared_error(run.screenshots[0], gt.screenshots[0])
+        assert mse < 0.01  # visually identical
+
+    def test_volume_rendering_produces_content(self, tmp_path):
+        task = get_task("volume_render")
+        prepare_task_data(task, tmp_path, small=True)
+        assistant = ChatVis("gpt-4", working_dir=tmp_path)
+        run = assistant.run(scaled_prompt(task, RESOLUTION))
+        assert run.success
+        assert image_coverage(run.screenshots[0]) > 0.03
+
+    def test_streamlines_end_to_end(self, tmp_path):
+        task = get_task("streamlines")
+        prepare_task_data(task, tmp_path, small=True)
+        assistant = ChatVis("gpt-4", working_dir=tmp_path)
+        run = assistant.run(scaled_prompt(task, RESOLUTION))
+        assert run.success
+        image = read_png(run.screenshots[0])
+        assert image.shape[:2] == (RESOLUTION[1], RESOLUTION[0])
+        assert image_coverage(run.screenshots[0]) > 0.01
+
+
+class TestScreenshotProperties:
+    def test_screenshot_resolution_matches_request(self, shared_task_dir):
+        script = (
+            "from paraview.simple import *\n"
+            "reader = LegacyVTKReader(FileNames=['ml-100.vtk'])\n"
+            "contour = Contour(Input=reader, ContourBy=['POINTS', 'var0'], Isosurfaces=[0.5])\n"
+            "view = GetActiveViewOrCreate('RenderView')\n"
+            "Show(contour, view)\n"
+            "ResetCamera(view)\n"
+            "SaveScreenshot('sized.png', view, ImageResolution=[200, 100])\n"
+        )
+        result = run_script(script, working_dir=shared_task_dir)
+        assert result.success
+        image = read_png(shared_task_dir / "sized.png")
+        assert image.shape[:2] == (100, 200)
+
+    def test_white_background_override(self, shared_task_dir):
+        script = (
+            "from paraview.simple import *\n"
+            "reader = LegacyVTKReader(FileNames=['ml-100.vtk'])\n"
+            "view = GetActiveViewOrCreate('RenderView')\n"
+            "view.Background = [0.2, 0.2, 0.2]\n"
+            "Show(reader, view)\n"
+            "ResetCamera(view)\n"
+            "SaveScreenshot('white.png', view, ImageResolution=[64, 48],\n"
+            "               OverrideColorPalette='WhiteBackground')\n"
+            "SaveScreenshot('gray.png', view, ImageResolution=[64, 48])\n"
+        )
+        result = run_script(script, working_dir=shared_task_dir)
+        assert result.success
+        white = read_png(shared_task_dir / "white.png").astype(float) / 255.0
+        gray = read_png(shared_task_dir / "gray.png").astype(float) / 255.0
+        assert white.mean() > gray.mean()
+
+
+class TestUnassistedBaselineBehaviour:
+    def test_gpt4_slice_contour_fails_with_attribute_error(self, tmp_path):
+        task = get_task("slice_contour")
+        prepare_task_data(task, tmp_path, small=True)
+        model = get_model("gpt-4")
+        from repro.llm.base import user
+        from repro.llm.codegen import extract_code_block
+
+        script = extract_code_block(model.complete([user(scaled_prompt(task, RESOLUTION))]).text)
+        result = run_script(script, working_dir=tmp_path)
+        assert not result.success
+        assert result.error_type in ("AttributeError", "NameError")
+
+    def test_gpt4_volume_runs_but_misses_content(self, tmp_path):
+        task = get_task("volume_render")
+        prepare_task_data(task, tmp_path, small=True)
+        gt = run_ground_truth(task, tmp_path, resolution=RESOLUTION, screenshot="gt.png")
+        from repro.eval.harness import run_unassisted
+
+        _script, result = run_unassisted("gpt-4", task, tmp_path, resolution=RESOLUTION)
+        # the script executes (no API errors) ...
+        assert result.success
+        # ... but the screenshot shows (nearly) uniform background instead of
+        # the volume-rendered structure the ground truth contains
+        if result.produced_screenshot:
+            generated = read_png(result.screenshots[0]).astype(float) / 255.0
+            reference = read_png(gt.screenshots[0]).astype(float) / 255.0
+            assert generated.std() < reference.std() * 0.5

@@ -1,0 +1,192 @@
+"""Unit tests for the io package (PNG, legacy VTK, exodus-like, registry)."""
+
+import numpy as np
+import pytest
+
+from repro.datamodel import CellType, ImageData, PolyData, UnstructuredGrid
+from repro.io import (
+    open_data_file,
+    read_exodus,
+    read_png,
+    read_vtk,
+    register_reader,
+    supported_extensions,
+    write_exodus,
+    write_png,
+    write_vtk,
+)
+from repro.io.exodus_like import ExodusParseError
+from repro.io.registry import UnsupportedFormatError
+from repro.io.vtk_legacy import VtkParseError
+
+
+class TestPng:
+    def test_rgb_roundtrip(self, work_dir):
+        image = (np.random.default_rng(0).random((13, 17, 3)) * 255).astype(np.uint8)
+        path = work_dir / "img.png"
+        write_png(path, image)
+        back = read_png(path)
+        assert back.shape == image.shape
+        assert np.array_equal(back, image)
+
+    def test_rgba_roundtrip(self, work_dir):
+        image = (np.random.default_rng(1).random((8, 9, 4)) * 255).astype(np.uint8)
+        write_png(work_dir / "img.png", image)
+        back = read_png(work_dir / "img.png")
+        assert back.shape == (8, 9, 4)
+        assert np.array_equal(back, image)
+
+    def test_float_input_converted(self, work_dir):
+        image = np.zeros((4, 4, 3))
+        image[:, :, 0] = 1.0
+        write_png(work_dir / "f.png", image)
+        back = read_png(work_dir / "f.png")
+        assert back[0, 0, 0] == 255
+
+    def test_grayscale_promoted(self, work_dir):
+        image = (np.random.default_rng(2).random((5, 6)) * 255).astype(np.uint8)
+        write_png(work_dir / "g.png", image)
+        back = read_png(work_dir / "g.png")
+        assert back.shape == (5, 6, 3)
+
+    def test_invalid_shape_rejected(self, work_dir):
+        with pytest.raises(ValueError):
+            write_png(work_dir / "bad.png", np.zeros((3, 3, 5)))
+
+    def test_read_rejects_non_png(self, work_dir):
+        path = work_dir / "not.png"
+        path.write_bytes(b"definitely not a png")
+        with pytest.raises(ValueError):
+            read_png(path)
+
+    def test_signature_present(self, work_dir):
+        path = write_png(work_dir / "sig.png", np.zeros((2, 2, 3), dtype=np.uint8))
+        assert path.read_bytes()[:8] == b"\x89PNG\r\n\x1a\n"
+
+
+class TestVtkLegacy:
+    def test_image_data_roundtrip(self, work_dir):
+        img = ImageData((3, 4, 2), origin=(1, 2, 3), spacing=(0.5, 1.0, 2.0))
+        img.add_point_array("var0", np.arange(24, dtype=float))
+        img.add_point_array("vec", np.random.default_rng(0).random((24, 3)))
+        path = write_vtk(work_dir / "img.vtk", img)
+        back = read_vtk(path)
+        assert isinstance(back, ImageData)
+        assert back.dimensions == (3, 4, 2)
+        assert back.origin == (1, 2, 3)
+        assert np.allclose(back.point_data["var0"].as_scalar(), np.arange(24))
+        assert back.point_data["vec"].n_components == 3
+
+    def test_unstructured_roundtrip(self, work_dir):
+        grid = UnstructuredGrid(np.random.default_rng(0).random((5, 3)))
+        grid.add_cell(CellType.TETRA, (0, 1, 2, 3))
+        grid.add_cell(CellType.VERTEX, (4,))
+        grid.add_point_array("t", np.arange(5, dtype=float))
+        path = write_vtk(work_dir / "g.vtk", grid)
+        back = read_vtk(path)
+        assert isinstance(back, UnstructuredGrid)
+        assert back.n_cells == 2
+        assert back.cell(0)[0] == CellType.TETRA
+        assert np.allclose(back.point_data["t"].as_scalar(), np.arange(5))
+
+    def test_polydata_roundtrip(self, work_dir):
+        poly = PolyData(
+            points=np.random.default_rng(1).random((4, 3)),
+            triangles=[[0, 1, 2]],
+            lines=[[0, 3]],
+            verts=[2],
+        )
+        poly.add_point_array("s", [0.0, 1.0, 2.0, 3.0])
+        path = write_vtk(work_dir / "p.vtk", poly)
+        back = read_vtk(path)
+        assert isinstance(back, PolyData)
+        assert back.n_triangles == 1
+        assert back.n_lines == 1
+        assert back.n_verts == 1
+
+    def test_missing_file(self):
+        with pytest.raises(FileNotFoundError):
+            read_vtk("/nonexistent/file.vtk")
+
+    def test_bad_header(self, work_dir):
+        path = work_dir / "bad.vtk"
+        path.write_text("not a vtk file\nat all\nASCII\nDATASET STRUCTURED_POINTS\n")
+        with pytest.raises(VtkParseError):
+            read_vtk(path)
+
+    def test_binary_rejected(self, work_dir):
+        path = work_dir / "bin.vtk"
+        path.write_text("# vtk DataFile Version 3.0\nt\nBINARY\nDATASET STRUCTURED_POINTS\n")
+        with pytest.raises(VtkParseError):
+            read_vtk(path)
+
+    def test_point_data_count_mismatch(self, work_dir):
+        path = work_dir / "mismatch.vtk"
+        path.write_text(
+            "# vtk DataFile Version 3.0\nt\nASCII\nDATASET STRUCTURED_POINTS\n"
+            "DIMENSIONS 2 2 1\nORIGIN 0 0 0\nSPACING 1 1 1\n"
+            "POINT_DATA 3\nSCALARS f float 1\nLOOKUP_TABLE default\n1 2 3\n"
+        )
+        with pytest.raises(VtkParseError):
+            read_vtk(path)
+
+
+class TestExodusLike:
+    def test_roundtrip_with_blocks_and_variables(self, work_dir):
+        grid = UnstructuredGrid(np.random.default_rng(0).random((8, 3)))
+        grid.add_cell(CellType.HEXAHEDRON, tuple(range(8)))
+        grid.add_point_array("Temp", np.arange(8, dtype=float))
+        grid.add_point_array("V", np.random.default_rng(1).random((8, 3)))
+        path = write_exodus(work_dir / "g.ex2", grid)
+        back = read_exodus(path)
+        assert back.n_points == 8
+        assert back.n_cells == 1
+        assert np.allclose(back.point_data["Temp"].as_scalar(), np.arange(8))
+        assert back.point_data["V"].n_components == 3
+
+    def test_point_cloud_promoted_to_vertices(self, work_dir):
+        grid = UnstructuredGrid(np.random.default_rng(2).random((6, 3)))
+        path = write_exodus(work_dir / "pts.ex2", grid)
+        back = read_exodus(path)
+        assert back.n_cells == 6
+        assert all(t == CellType.VERTEX for t in back.cell_types())
+
+    def test_invalid_file(self, work_dir):
+        path = work_dir / "bad.ex2"
+        path.write_text("garbage")
+        with pytest.raises(ExodusParseError):
+            read_exodus(path)
+
+    def test_missing_file(self):
+        with pytest.raises(FileNotFoundError):
+            read_exodus("/nonexistent/file.ex2")
+
+    def test_coordinates_preserved(self, work_dir):
+        points = np.array([[0.5, -1.25, 3.0], [1, 2, 3], [4, 5, 6], [0, 0, 0]])
+        grid = UnstructuredGrid(points)
+        write_exodus(work_dir / "c.ex2", grid)
+        back = read_exodus(work_dir / "c.ex2")
+        assert np.allclose(back.points, points)
+
+
+class TestRegistry:
+    def test_supported_extensions(self):
+        exts = supported_extensions()
+        assert ".vtk" in exts and ".ex2" in exts
+
+    def test_open_data_file_dispatch(self, work_dir):
+        img = ImageData((2, 2, 2))
+        img.add_point_array("f", np.zeros(8))
+        write_vtk(work_dir / "a.vtk", img)
+        assert isinstance(open_data_file(work_dir / "a.vtk"), ImageData)
+
+    def test_unsupported_extension(self, work_dir):
+        with pytest.raises(UnsupportedFormatError):
+            open_data_file(work_dir / "file.xyz")
+
+    def test_register_custom_reader(self, work_dir):
+        sentinel = ImageData((2, 2, 2))
+        register_reader(".custom", lambda path: sentinel)
+        path = work_dir / "x.custom"
+        path.write_text("")
+        assert open_data_file(path) is sentinel

@@ -1,0 +1,334 @@
+"""Tests for the simulated-LLM substrate (parser, codegen, errors, models)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tasks import CANONICAL_TASKS
+from repro.llm import (
+    ChatMessage,
+    ModelProfile,
+    ParaViewKnowledgeBase,
+    SimulatedLLM,
+    available_models,
+    count_tokens,
+    get_model,
+    parse_request,
+)
+from repro.llm.base import Usage, assistant, system, user
+from repro.llm.codegen import canonical_script, extract_code_block
+from repro.llm.errors import (
+    inject_attribute_hallucination,
+    inject_missing_stage,
+    inject_syntax_error,
+    inject_use_before_create,
+    repair_script,
+)
+from repro.llm.models import DEFAULT_PROFILES, FEW_SHOT_MARKER
+from repro.llm.openai_compat import OpenAICompatibleClient
+from repro.llm.tokenizer import SimpleTokenizer
+
+
+class TestBaseTypes:
+    def test_chat_message_roles(self):
+        assert user("hi").role == "user"
+        assert system("x").role == "system"
+        assert assistant("y").role == "assistant"
+        with pytest.raises(ValueError):
+            ChatMessage("robot", "hi")
+
+    def test_usage_addition(self):
+        total = Usage(10, 5) + Usage(1, 2)
+        assert total.total_tokens == 18
+
+    def test_tokenizer_counts(self):
+        tok = SimpleTokenizer()
+        assert tok.count("Show(contour, renderView)") >= 5
+        assert count_tokens("") == 0
+        # long identifiers count as several sub-word tokens
+        assert tok.count("RescaleTransferFunctionToDataRange") > 3
+
+
+class TestNLParser:
+    @pytest.mark.parametrize("task_name", list(CANONICAL_TASKS))
+    def test_canonical_prompts_parse(self, task_name):
+        task = CANONICAL_TASKS[task_name]
+        plan = parse_request(task.user_prompt)
+        assert plan.has("read_file")
+        assert plan.has("screenshot")
+        assert plan.screenshot_filename() == task.screenshot
+        assert plan.resolution() == (1920, 1080)
+
+    def test_isosurface_params(self):
+        plan = parse_request(CANONICAL_TASKS["isosurface"].user_prompt)
+        op = plan.first("isosurface")
+        assert op.params["array"] == "var0"
+        assert op.params["value"] == 0.5
+
+    def test_slice_contour_params(self):
+        plan = parse_request(CANONICAL_TASKS["slice_contour"].user_prompt)
+        assert plan.first("slice").params["normal_axis"] == "x"
+        assert plan.first("contour").params["value"] == 0.5
+        assert plan.first("color").params["color_name"] == "red"
+        assert plan.first("view_direction").params["direction"] == "+x"
+
+    def test_delaunay_params(self):
+        plan = parse_request(CANONICAL_TASKS["delaunay"].user_prompt)
+        assert plan.has("delaunay")
+        clip = plan.first("clip")
+        assert clip.params["normal_axis"] == "x"
+        assert clip.params["keep_side"] == "-"
+        assert plan.has("wireframe")
+        assert plan.first("view_direction").params["direction"] == "isometric"
+
+    def test_streamline_params_case_preserved(self):
+        plan = parse_request(CANONICAL_TASKS["streamlines"].user_prompt)
+        assert plan.first("streamlines").params["array"] == "V"
+        assert plan.first("color_by").params["array"] == "Temp"
+        assert plan.has("tube")
+        assert plan.first("glyph").params["glyph_type"] == "cone"
+
+    def test_ordering_screenshot_last(self):
+        plan = parse_request(CANONICAL_TASKS["streamlines"].user_prompt)
+        assert plan.kinds()[-1] == "screenshot"
+        assert plan.kinds()[-2] == "view_size"
+
+    def test_steps_are_english(self):
+        plan = parse_request(CANONICAL_TASKS["isosurface"].user_prompt)
+        steps = plan.steps()
+        assert any("isosurface" in s.lower() for s in steps)
+
+    def test_empty_request(self):
+        plan = parse_request("")
+        assert len(plan) == 0
+        assert plan.resolution() == (1920, 1080)
+
+    def test_unquoted_filenames(self):
+        plan = parse_request("Read in the file named data.vtk and show it.")
+        assert plan.filenames() == ["data.vtk"]
+
+
+class TestCodegen:
+    def test_extract_code_block_fenced(self):
+        text = "Here you go\n```python\nx = 1\n```\nenjoy"
+        assert extract_code_block(text) == "x = 1\n"
+
+    def test_extract_code_block_plain(self):
+        assert extract_code_block("x = 2").strip() == "x = 2"
+
+    @pytest.mark.parametrize("task_name", list(CANONICAL_TASKS))
+    def test_canonical_scripts_compile(self, task_name):
+        import ast
+
+        draft = canonical_script(CANONICAL_TASKS[task_name].user_prompt)
+        ast.parse(draft.text())
+
+    def test_canonical_script_mentions_operations(self):
+        text = canonical_script(CANONICAL_TASKS["streamlines"].user_prompt).text()
+        for token in ("StreamTracer", "Tube", "Glyph", "ColorBy", "SaveScreenshot", "'Temp'"):
+            assert token in text
+
+    def test_canonical_script_isosurface_value(self):
+        text = canonical_script(CANONICAL_TASKS["isosurface"].user_prompt).text()
+        assert "Isosurfaces = [0.5]" in text
+        assert "LegacyVTKReader" in text
+
+    def test_canonical_script_clip_invert(self):
+        text = canonical_script(CANONICAL_TASKS["delaunay"].user_prompt).text()
+        assert "Delaunay3D" in text
+        assert "Invert = 1" in text
+        assert "Wireframe" in text
+
+    def test_volume_script_sets_volume_representation(self):
+        text = canonical_script(CANONICAL_TASKS["volume_render"].user_prompt).text()
+        assert "SetRepresentationType('Volume')" in text
+        assert "ApplyIsometricView" in text
+
+
+class TestErrorInjectionAndRepair:
+    def _draft(self, task="streamlines"):
+        return canonical_script(CANONICAL_TASKS[task].user_prompt)
+
+    def test_attribute_hallucination_changes_script(self):
+        rng = np.random.default_rng(0)
+        draft = self._draft()
+        before = draft.text()
+        bad = inject_attribute_hallucination(draft, rng, stage="glyph")
+        assert bad is not None
+        assert draft.text() != before
+
+    def test_syntax_error_breaks_parse(self):
+        import ast
+
+        rng = np.random.default_rng(0)
+        draft = self._draft("isosurface")
+        inject_syntax_error(draft, rng)
+        with pytest.raises(SyntaxError):
+            ast.parse(draft.text())
+
+    def test_missing_stage_removes_lines(self):
+        draft = canonical_script(CANONICAL_TASKS["volume_render"].user_prompt)
+        removed = inject_missing_stage(draft, "volume")
+        assert removed > 0
+        assert "SetRepresentationType('Volume')" not in draft.text()
+
+    def test_use_before_create(self):
+        rng = np.random.default_rng(0)
+        draft = self._draft()
+        inject_use_before_create(draft, rng)
+        text = draft.text()
+        assert "'RenderView1'" in text
+        assert "GetActiveViewOrCreate" not in text
+
+    def test_repair_replaces_hallucinated_attribute(self):
+        rng = np.random.default_rng(0)
+        script = "from paraview.simple import *\nclip1 = Clip()\nclip1.InsideOut = 1\n"
+        error = (
+            "Traceback (most recent call last):\n"
+            '  File "script.py", line 3, in <module>\n'
+            "    clip1.InsideOut = 1\n"
+            "AttributeError: 'Clip' object has no attribute 'InsideOut'"
+        )
+        outcome = repair_script(script, error, rng, skill=1.0)
+        assert outcome.changed
+        assert "InsideOut" not in outcome.script
+        assert "clip1.Invert = 1" in outcome.script
+
+    def test_repair_removes_unknown_function(self):
+        rng = np.random.default_rng(0)
+        script = "from paraview.simple import *\nlut = GetLookupTableForArray('Temp', 1)\n"
+        error = (
+            "Traceback (most recent call last):\n"
+            '  File "script.py", line 2, in <module>\n'
+            "    lut = GetLookupTableForArray('Temp', 1)\n"
+            "NameError: name 'GetLookupTableForArray' is not defined"
+        )
+        outcome = repair_script(script, error, rng, skill=1.0)
+        assert "GetLookupTableForArray" not in outcome.script
+
+    def test_repair_fixes_view_name_string(self):
+        rng = np.random.default_rng(0)
+        script = (
+            "from paraview.simple import *\n"
+            "reader = Wavelet()\n"
+            "display = Show(reader, 'RenderView1')\n"
+        )
+        error = (
+            "Traceback (most recent call last):\n"
+            '  File "script.py", line 3, in <module>\n'
+            "    display = Show(reader, 'RenderView1')\n"
+            "PipelineError: expected a RenderView (or None), got 'str'; create the view "
+            "with CreateView/GetActiveViewOrCreate before using it"
+        )
+        outcome = repair_script(script, error, rng, skill=1.0)
+        assert "GetActiveViewOrCreate" in outcome.script
+        assert "'RenderView1'" not in outcome.script
+
+    def test_repair_zero_skill_rarely_fixes(self):
+        script = "from paraview.simple import *\nclip1 = Clip()\nclip1.InsideOut = 1\n"
+        error = "AttributeError: 'Clip' object has no attribute 'InsideOut'"
+        outcome = repair_script(script, error, np.random.default_rng(3), skill=0.0)
+        assert "Invert" not in outcome.script
+
+
+class TestKnowledgeBase:
+    def test_functions_introspected(self):
+        kb = ParaViewKnowledgeBase()
+        assert kb.has_function("SaveScreenshot")
+        assert kb.has_function("ColorBy")
+        assert not kb.has_function("GetLookupTableForArray")
+
+    def test_proxy_properties(self):
+        kb = ParaViewKnowledgeBase()
+        assert kb.is_valid_property("Contour", "Isosurfaces")
+        assert not kb.is_valid_property("Contour", "ContourValues")
+        assert kb.is_valid_property("RenderView", "CameraPosition")
+        assert not kb.is_valid_property("RenderView", "ViewUp")
+
+    def test_known_hallucinations(self):
+        kb = ParaViewKnowledgeBase()
+        assert kb.is_known_hallucination("Glyph", "Scalars")
+        assert not kb.is_known_hallucination("Glyph", "OrientationArray")
+
+
+class TestSimulatedModels:
+    def test_registry_and_aliases(self):
+        assert "gpt-4-sim" in available_models()
+        assert get_model("gpt-4").model_name == "gpt-4-sim"
+        assert get_model("llama3:8b").model_name == "llama-3-8b-sim"
+        with pytest.raises(KeyError):
+            get_model("gpt-99")
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            ModelProfile(name="x", display_name="x", api_knowledge=2.0)
+
+    def test_deterministic_generation(self):
+        prompt = CANONICAL_TASKS["streamlines"].user_prompt
+        model = get_model("gpt-4")
+        a = model.complete([user(prompt)]).text
+        b = model.complete([user(prompt)]).text
+        assert a == b
+
+    def test_usage_reported(self):
+        model = get_model("gpt-4")
+        response = model.complete([user(CANONICAL_TASKS["isosurface"].user_prompt)])
+        assert response.usage.prompt_tokens > 0
+        assert response.usage.completion_tokens > 0
+
+    def test_gpt4_unassisted_isosurface_is_clean_python(self):
+        import ast
+
+        model = get_model("gpt-4")
+        text = model.complete([user(CANONICAL_TASKS["isosurface"].user_prompt)]).text
+        ast.parse(extract_code_block(text))
+
+    def test_gpt4_unassisted_streamlines_hallucinates(self):
+        model = get_model("gpt-4")
+        text = model.complete([user(CANONICAL_TASKS["streamlines"].user_prompt)]).text
+        script = extract_code_block(text)
+        assert ".Scalars" in script or ".Vectors" in script or "'RenderView1'" in script
+
+    def test_gpt4_unassisted_volume_omits_volume_rendering(self):
+        model = get_model("gpt-4")
+        text = model.complete([user(CANONICAL_TASKS["volume_render"].user_prompt)]).text
+        assert "SetRepresentationType('Volume')" not in extract_code_block(text)
+
+    @pytest.mark.parametrize("name", ["gpt-3.5-turbo", "llama3:8b", "codellama:7b", "codegemma"])
+    def test_weak_models_produce_broken_scripts(self, name):
+        import ast
+
+        model = get_model(name)
+        text = model.complete([user(CANONICAL_TASKS["isosurface"].user_prompt)]).text
+        script = extract_code_block(text)
+        with pytest.raises(SyntaxError):
+            ast.parse(script)
+
+    def test_assisted_generation_is_cleaner(self):
+        import ast
+
+        model = get_model("gpt-4")
+        prompt = (
+            "User request:\n" + CANONICAL_TASKS["streamlines"].user_prompt + "\n\n"
+            + FEW_SHOT_MARKER + "\n# example\ncontour = Contour(Input=reader)\n"
+        )
+        script = extract_code_block(model.complete([user(prompt)]).text)
+        ast.parse(script)  # assisted frontier generations always parse
+
+    def test_prompt_rewrite_response(self):
+        from repro.core.prompt_generation import PromptGenerator
+
+        model = get_model("gpt-4")
+        generator = PromptGenerator(model)
+        rewritten = generator.generate(CANONICAL_TASKS["slice_contour"].user_prompt)
+        assert "step-by-step" in rewritten.lower() or "Requirements" in rewritten
+        assert "contour" in rewritten.lower()
+
+    def test_openai_compatible_adapter(self):
+        client = OpenAICompatibleClient()
+        out = client.chat.completions.create(
+            model="gpt-4",
+            messages=[{"role": "user", "content": CANONICAL_TASKS["isosurface"].user_prompt}],
+        )
+        assert out.choices[0].message.role == "assistant"
+        assert "paraview" in out.choices[0].message.content.lower()
+        assert out.usage.total_tokens > 0

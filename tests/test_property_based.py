@@ -1,0 +1,215 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.algorithms import clip_polydata, contour, extract_level_set, trilinear_interpolate
+from repro.algorithms.implicit import Plane, plane_signed_distance
+from repro.datamodel import Bounds, DataArray, FieldData, ImageData, PolyData
+from repro.io.png import read_png, write_png
+from repro.llm.nl_parser import parse_request
+from repro.rendering.colormaps import LookupTable, get_colormap
+from repro.rendering.transforms import look_at_matrix, normalize, rotation_about_axis
+
+_settings = settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+finite_floats = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False)
+
+
+@_settings
+@given(
+    values=hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 40), st.integers(1, 4)),
+        elements=finite_floats,
+    )
+)
+def test_dataarray_range_bounds_values(values):
+    arr = DataArray("a", values)
+    lo, hi = arr.range()
+    mags = arr.as_scalar()
+    assert lo <= hi
+    assert lo == pytest.approx(mags.min())
+    assert hi == pytest.approx(mags.max())
+
+
+@_settings
+@given(
+    values=hnp.arrays(dtype=np.float64, shape=st.tuples(st.integers(2, 30),), elements=finite_floats),
+    t=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_dataarray_interpolation_between_endpoints(values, t):
+    arr = DataArray("a", values)
+    out = arr.interpolate([0], [1], [t]).as_scalar()[0]
+    lo, hi = sorted((values[0], values[1]))
+    assert lo - 1e-9 <= out <= hi + 1e-9
+
+
+@_settings
+@given(
+    points=hnp.arrays(
+        dtype=np.float64, shape=st.tuples(st.integers(1, 50), st.just(3)), elements=finite_floats
+    )
+)
+def test_bounds_contain_their_points(points):
+    bounds = Bounds.from_points(points)
+    assert bounds.contains_points(points, tol=1e-9).all()
+    assert bounds.diagonal >= 0.0
+
+
+@_settings
+@given(
+    points=hnp.arrays(
+        dtype=np.float64, shape=st.tuples(st.integers(2, 40), st.just(3)), elements=finite_floats
+    )
+)
+def test_bounds_union_is_monotonic(points):
+    half = points.shape[0] // 2
+    a = Bounds.from_points(points[:half])
+    b = Bounds.from_points(points[half:])
+    union = a.union(b)
+    assert union.contains_points(points, tol=1e-9).all()
+
+
+@_settings
+@given(
+    origin=st.tuples(finite_floats, finite_floats, finite_floats),
+    normal=st.tuples(
+        st.floats(min_value=-10, max_value=10, allow_nan=False),
+        st.floats(min_value=-10, max_value=10, allow_nan=False),
+        st.floats(min_value=-10, max_value=10, allow_nan=False),
+    ).filter(lambda n: np.linalg.norm(n) > 1e-3),
+    points=hnp.arrays(
+        dtype=np.float64, shape=st.tuples(st.integers(1, 30), st.just(3)), elements=finite_floats
+    ),
+)
+def test_plane_distance_sign_flips_with_normal(origin, normal, points):
+    d1 = plane_signed_distance(points, origin, normal)
+    d2 = plane_signed_distance(points, origin, tuple(-n for n in normal))
+    assert np.allclose(d1, -d2, atol=1e-6)
+
+
+@_settings
+@given(
+    image=hnp.arrays(
+        dtype=np.uint8,
+        shape=st.tuples(st.integers(1, 24), st.integers(1, 24), st.just(3)),
+        elements=st.integers(0, 255),
+    )
+)
+def test_png_roundtrip_property(image):
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "img.png"
+        write_png(path, image)
+        assert np.array_equal(read_png(path), image)
+
+
+@_settings
+@given(
+    seed=st.integers(0, 10_000),
+    isovalue=st.floats(min_value=0.2, max_value=0.8),
+)
+def test_level_set_points_interpolate_to_isovalue(seed, isovalue):
+    rng = np.random.default_rng(seed)
+    img = ImageData((5, 5, 5))
+    img.add_point_array("f", rng.random(125))
+    surface = contour(img, isovalue, "f", compute_normals=False)
+    if surface.n_points:
+        assert np.allclose(surface.point_data["f"].as_scalar(), isovalue, atol=1e-9)
+        # surface stays inside the dataset bounds
+        assert img.bounds().expanded(absolute=1e-9).contains_points(surface.points).all()
+
+
+@_settings
+@given(seed=st.integers(0, 10_000), x=st.floats(min_value=-0.9, max_value=0.9))
+def test_clip_partitions_triangle_area(seed, x):
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(-1, 1, (12, 3))
+    triangles = np.arange(12).reshape(4, 3)
+    poly = PolyData(points=points, triangles=triangles)
+    left = clip_polydata(poly, origin=(x, 0, 0), normal=(1, 0, 0), keep_negative=True)
+    right = clip_polydata(poly, origin=(x, 0, 0), normal=(1, 0, 0), keep_negative=False)
+    assert left.surface_area() + right.surface_area() == pytest.approx(poly.surface_area(), rel=1e-6)
+
+
+@_settings
+@given(
+    seed=st.integers(0, 1000),
+    scalars=st.floats(min_value=-5, max_value=5),
+)
+def test_lookup_table_output_in_unit_cube(seed, scalars):
+    lut = get_colormap("Cool to Warm", scalar_range=(-1.0, 1.0))
+    rgb = lut.map_scalars(np.array([scalars]))
+    assert np.all(rgb >= 0.0) and np.all(rgb <= 1.0)
+
+
+@_settings
+@given(
+    axis=st.tuples(
+        st.floats(min_value=-1, max_value=1),
+        st.floats(min_value=-1, max_value=1),
+        st.floats(min_value=-1, max_value=1),
+    ).filter(lambda a: np.linalg.norm(a) > 1e-3),
+    angle=st.floats(min_value=-360, max_value=360),
+)
+def test_rotation_preserves_length(axis, angle):
+    rot = rotation_about_axis(axis, angle)[:3, :3]
+    vector = np.array([1.0, 2.0, 3.0])
+    assert np.linalg.norm(rot @ vector) == pytest.approx(np.linalg.norm(vector), rel=1e-9)
+    assert np.linalg.det(rot) == pytest.approx(1.0, abs=1e-9)
+
+
+@_settings
+@given(
+    eye=st.tuples(finite_floats, finite_floats, finite_floats),
+    target=st.tuples(finite_floats, finite_floats, finite_floats),
+)
+def test_look_at_is_rigid_transform(eye, target):
+    if np.allclose(eye, target):
+        return
+    view = look_at_matrix(eye, target, (0, 0, 1))
+    rotation = view[:3, :3]
+    assert np.allclose(rotation @ rotation.T, np.eye(3), atol=1e-9)
+
+
+@_settings
+@given(
+    filename=st.from_regex(r"[a-z][a-z0-9\-]{0,10}\.vtk", fullmatch=True),
+    value=st.floats(min_value=-10, max_value=10, allow_nan=False).map(lambda v: round(v, 3)),
+    width=st.integers(100, 4000),
+    height=st.integers(100, 4000),
+)
+def test_parser_finds_core_fields(filename, value, width, height):
+    prompt = (
+        f"Please generate a ParaView Python script. Read in the file named {filename}. "
+        f"Generate an isosurface of the variable rho at value {value}. "
+        f"Save a screenshot of the result in the filename out.png. "
+        f"The rendered view and saved screenshot should be {width} x {height} pixels."
+    )
+    plan = parse_request(prompt)
+    assert plan.filenames() == [filename]
+    assert plan.first("isosurface").params["value"] == pytest.approx(value, abs=1e-6)
+    assert plan.resolution() == (width, height)
+    assert plan.screenshot_filename() == "out.png"
+
+
+@_settings
+@given(
+    query=hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, 20), st.just(3)),
+        elements=st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+    )
+)
+def test_trilinear_interpolation_within_data_range(query, sphere_field):
+    values = trilinear_interpolate(sphere_field, "scalar", query)
+    lo, hi = sphere_field.scalar_range("scalar")
+    assert np.all(values >= lo - 1e-9)
+    assert np.all(values <= hi + 1e-9)

@@ -1,0 +1,348 @@
+"""Tests for the paraview.simple-compatible layer and the PvPython executor."""
+
+import numpy as np
+import pytest
+
+from repro.core.tasks import prepare_task_data
+from repro.data import write_disk_flow, write_marschner_lobb
+from repro.pvsim import run_script, simple
+from repro.pvsim.errors import PipelineError, ProxyPropertyError
+from repro.pvsim.executor import PvPythonExecutor
+from repro.pvsim.proxies import Proxy, PropertyGroupProxy
+from repro.pvsim import state
+
+
+@pytest.fixture(autouse=True)
+def _fresh_session():
+    """Every test starts from a clean pvsim session."""
+    state.reset_session()
+    yield
+    state.reset_session()
+
+
+@pytest.fixture()
+def ml_file(work_dir):
+    return write_marschner_lobb(work_dir / "ml-100.vtk", resolution=16)
+
+
+@pytest.fixture()
+def disk_file(work_dir):
+    return write_disk_flow(work_dir / "disk.ex2", 5, 12, 5)
+
+
+class TestProxies:
+    def test_unknown_property_raises_attribute_error(self):
+        contour = simple.Contour()
+        with pytest.raises(AttributeError):
+            contour.ContourValues = [0.5]
+        with pytest.raises(AttributeError):
+            _ = contour.NotAProperty
+
+    def test_known_property_roundtrip(self):
+        contour = simple.Contour()
+        contour.Isosurfaces = [0.25]
+        assert contour.Isosurfaces == [0.25]
+
+    def test_constructor_kwargs_validated(self):
+        with pytest.raises(AttributeError):
+            simple.Contour(BogusProperty=1)
+
+    def test_property_group_access(self):
+        slice_proxy = simple.Slice()
+        slice_proxy.SliceType.Origin = [1.0, 2.0, 3.0]
+        assert slice_proxy.SliceType.Origin == [1.0, 2.0, 3.0]
+        with pytest.raises(AttributeError):
+            slice_proxy.SliceType.Centre = [0, 0, 0]
+
+    def test_group_string_selection(self):
+        tracer = simple.StreamTracer(SeedType="Point Cloud")
+        tracer.SeedType.NumberOfPoints = 25
+        assert tracer.SeedType.NumberOfPoints == 25
+
+    def test_registration_names_unique(self):
+        a = simple.Contour()
+        b = simple.Contour()
+        assert a.registration_name != b.registration_name
+
+    def test_error_message_mentions_proxy_label(self):
+        glyph = simple.Glyph()
+        with pytest.raises(AttributeError, match="Glyph"):
+            glyph.Scalars = ["POINTS", "Temp"]
+
+
+class TestReadersAndFilters:
+    def test_legacy_reader(self, ml_file, work_dir):
+        reader = simple.LegacyVTKReader(FileNames=[str(ml_file)])
+        output = reader.get_output()
+        assert output.n_points == 16 ** 3
+        assert reader.GetDataInformation().GetNumberOfPoints() == 16 ** 3
+
+    def test_missing_file_errors(self, work_dir):
+        reader = simple.LegacyVTKReader(FileNames=[str(work_dir / "nope.vtk")])
+        with pytest.raises(PipelineError):
+            reader.get_output()
+
+    def test_exodus_reader_point_variables_check(self, disk_file):
+        reader = simple.ExodusIIReader(FileName=str(disk_file))
+        reader.PointVariables = ["V", "Temp"]
+        assert "V" in reader.get_output().point_data
+        reader2 = simple.ExodusIIReader(FileName=str(disk_file), PointVariables=["NotThere"])
+        with pytest.raises(PipelineError):
+            reader2.get_output()
+
+    def test_open_data_file_dispatch(self, ml_file, disk_file):
+        assert simple.OpenDataFile(str(ml_file)).get_output().n_points > 0
+        assert simple.OpenDataFile(str(disk_file)).get_output().n_points > 0
+        with pytest.raises(PipelineError):
+            simple.OpenDataFile("something.xyz")
+
+    def test_contour_filter(self, ml_file):
+        reader = simple.LegacyVTKReader(FileNames=[str(ml_file)])
+        contour = simple.Contour(Input=reader)
+        contour.ContourBy = ["POINTS", "var0"]
+        contour.Isosurfaces = [0.5]
+        output = contour.get_output()
+        assert output.n_triangles > 0
+
+    def test_filter_uses_active_source_when_input_omitted(self, ml_file):
+        simple.LegacyVTKReader(FileNames=[str(ml_file)])
+        contour = simple.Contour()
+        contour.Isosurfaces = [0.5]
+        assert contour.get_output().n_triangles > 0
+
+    def test_slice_and_clip(self, ml_file):
+        reader = simple.LegacyVTKReader(FileNames=[str(ml_file)])
+        cut = simple.Slice(Input=reader)
+        cut.SliceType.Origin = [0, 0, 0]
+        cut.SliceType.Normal = [1, 0, 0]
+        assert cut.get_output().n_triangles > 0
+        clip = simple.Clip(Input=cut)
+        clip.ClipType.Normal = [0, 1, 0]
+        clip.Invert = 1
+        clipped = clip.get_output()
+        assert clipped.get_points()[:, 1].max() <= 1e-6
+
+    def test_stream_tube_glyph_chain(self, disk_file):
+        reader = simple.ExodusIIReader(FileName=str(disk_file))
+        tracer = simple.StreamTracer(Input=reader, SeedType="Point Cloud")
+        tracer.Vectors = ["POINTS", "V"]
+        tracer.SeedType.NumberOfPoints = 10
+        lines = tracer.get_output()
+        assert lines.n_lines > 0
+        tube = simple.Tube(Input=tracer)
+        tube.Radius = 0.05
+        assert tube.get_output().n_triangles > 0
+        glyph = simple.Glyph(Input=tracer, GlyphType="Cone")
+        glyph.OrientationArray = ["POINTS", "V"]
+        assert glyph.get_output().n_triangles > 0
+
+    def test_glyph_rejects_unknown_type(self, disk_file):
+        reader = simple.ExodusIIReader(FileName=str(disk_file))
+        glyph = simple.Glyph(Input=reader, GlyphType="Banana")
+        with pytest.raises(PipelineError):
+            glyph.get_output()
+
+    def test_stream_tracer_missing_vector(self, ml_file):
+        reader = simple.LegacyVTKReader(FileNames=[str(ml_file)])
+        tracer = simple.StreamTracer(Input=reader)
+        tracer.Vectors = ["POINTS", "var0"]  # scalar, not a vector
+        with pytest.raises((PipelineError, ValueError)):
+            tracer.get_output()
+
+    def test_threshold_and_extract_surface(self, ml_file):
+        reader = simple.LegacyVTKReader(FileNames=[str(ml_file)])
+        thresh = simple.Threshold(Input=reader)
+        thresh.Scalars = ["POINTS", "var0"]
+        thresh.LowerThreshold = 0.5
+        thresh.UpperThreshold = 1.0
+        assert thresh.get_output().n_cells > 0
+        surface = simple.ExtractSurface(Input=thresh)
+        assert surface.get_output().n_triangles > 0
+
+    def test_calculator(self, ml_file):
+        reader = simple.LegacyVTKReader(FileNames=[str(ml_file)])
+        calc = simple.Calculator(Input=reader)
+        calc.Function = "var0 * 2"
+        calc.ResultArrayName = "doubled"
+        output = calc.get_output()
+        assert np.allclose(
+            output.point_data["doubled"].as_scalar(),
+            2 * output.point_data["var0"].as_scalar(),
+        )
+
+    def test_delaunay_filter(self, work_dir):
+        from repro.data import write_can_points
+
+        path = write_can_points(work_dir / "can_points.ex2", n_points=80)
+        reader = simple.ExodusIIReader(FileName=str(path))
+        delaunay = simple.Delaunay3D(Input=reader)
+        assert delaunay.get_output().n_cells > 0
+
+    def test_output_caching_and_invalidation(self, ml_file):
+        reader = simple.LegacyVTKReader(FileNames=[str(ml_file)])
+        contour = simple.Contour(Input=reader, Isosurfaces=[0.5], ContourBy=["POINTS", "var0"])
+        first = contour.get_output()
+        assert contour.get_output() is first  # cached
+        contour.Isosurfaces = [0.7]
+        assert contour.get_output() is not first
+
+    def test_wavelet_and_sphere_sources(self):
+        wavelet = simple.Wavelet(WholeExtent=[-3, 3, -3, 3, -3, 3])
+        assert "RTData" in wavelet.get_output().point_data
+        sphere = simple.Sphere(Radius=2.0)
+        out = sphere.get_output()
+        assert out.bounds().diagonal == pytest.approx(2 * 2 * 2.0, rel=0.2)
+
+
+class TestViewsAndDisplays:
+    def test_show_and_colorby(self, ml_file):
+        reader = simple.LegacyVTKReader(FileNames=[str(ml_file)])
+        contour = simple.Contour(Input=reader, Isosurfaces=[0.5], ContourBy=["POINTS", "var0"])
+        view = simple.GetActiveViewOrCreate("RenderView")
+        display = simple.Show(contour, view)
+        simple.ColorBy(display, ("POINTS", "var0"))
+        assert display.ColorArrayName[1] == "var0"
+        simple.ColorBy(display, None)
+        assert display.ColorArrayName[1] == ""
+
+    def test_colorby_unknown_array(self, ml_file):
+        reader = simple.LegacyVTKReader(FileNames=[str(ml_file)])
+        view = simple.GetActiveViewOrCreate("RenderView")
+        display = simple.Show(reader, view)
+        with pytest.raises(PipelineError):
+            simple.ColorBy(display, ("POINTS", "nope"))
+
+    def test_show_with_string_view_fails(self, ml_file):
+        reader = simple.LegacyVTKReader(FileNames=[str(ml_file)])
+        with pytest.raises(PipelineError, match="RenderView"):
+            simple.Show(reader, "RenderView1")
+
+    def test_camera_reset_and_axis_views(self, ml_file):
+        reader = simple.LegacyVTKReader(FileNames=[str(ml_file)])
+        view = simple.CreateView("RenderView")
+        simple.Show(reader, view)
+        view.ResetCamera()
+        # the .vtk writer rounds the spacing, so the center is only approximate
+        assert np.allclose(view.CameraFocalPoint, [0, 0, 0], atol=1e-3)
+        view.ResetActiveCameraToPositiveX()
+        assert view.CameraPosition[0] > 0
+        view.ApplyIsometricView()
+        assert view.CameraPosition[0] > 0 and view.CameraPosition[2] > 0
+
+    def test_camera_proxy_operations(self, ml_file):
+        reader = simple.LegacyVTKReader(FileNames=[str(ml_file)])
+        view = simple.GetActiveViewOrCreate("RenderView")
+        simple.Show(reader, view)
+        camera = simple.GetActiveCamera()
+        camera.SetPosition(5, 0, 0)
+        assert view.CameraPosition == [5.0, 0.0, 0.0]
+        camera.Azimuth(30)
+        camera.Elevation(10)
+        camera.Zoom(1.5)
+
+    def test_transfer_function_registry(self):
+        ctf = simple.GetColorTransferFunction("Temp")
+        assert simple.GetColorTransferFunction("Temp") is ctf
+        ctf.ApplyPreset("Viridis", True)
+        ctf.RescaleTransferFunction(300.0, 800.0)
+        assert ctf.scalar_range() == (300.0, 800.0)
+        otf = simple.GetOpacityTransferFunction("Temp")
+        otf.RescaleTransferFunction(300.0, 800.0)
+
+    def test_layout_assignment(self):
+        view = simple.CreateView("RenderView")
+        layout = simple.CreateLayout(name="Layout #1")
+        layout.AssignView(0, view)
+        assert layout.GetViewLocation(view) == 0
+        assert layout.views() == [view]
+
+    def test_hide(self, ml_file):
+        reader = simple.LegacyVTKReader(FileNames=[str(ml_file)])
+        view = simple.GetActiveViewOrCreate("RenderView")
+        display = simple.Show(reader, view)
+        simple.Hide(reader, view)
+        assert display.Visibility == 0
+
+    def test_save_screenshot(self, ml_file, work_dir):
+        reader = simple.LegacyVTKReader(FileNames=[str(ml_file)])
+        contour = simple.Contour(Input=reader, Isosurfaces=[0.5], ContourBy=["POINTS", "var0"])
+        view = simple.GetActiveViewOrCreate("RenderView")
+        view.ViewSize = [120, 90]
+        simple.Show(contour, view)
+        view.ResetCamera()
+        target = work_dir / "shot.png"
+        assert simple.SaveScreenshot(str(target), view, ImageResolution=[120, 90])
+        assert target.exists()
+
+    def test_get_sources_and_active_source(self, ml_file):
+        reader = simple.LegacyVTKReader(FileNames=[str(ml_file)])
+        assert simple.GetActiveSource() is reader
+        sources = simple.GetSources()
+        assert reader in sources.values()
+
+
+class TestExecutor:
+    def test_successful_script(self, work_dir):
+        write_marschner_lobb(work_dir / "ml-100.vtk", resolution=12)
+        script = (
+            "from paraview.simple import *\n"
+            "reader = LegacyVTKReader(FileNames=['ml-100.vtk'])\n"
+            "contour = Contour(Input=reader, ContourBy=['POINTS', 'var0'], Isosurfaces=[0.5])\n"
+            "view = GetActiveViewOrCreate('RenderView')\n"
+            "view.ViewSize = [100, 80]\n"
+            "Show(contour, view)\n"
+            "ResetCamera(view)\n"
+            "SaveScreenshot('out.png', view, ImageResolution=[100, 80])\n"
+            "print('finished')\n"
+        )
+        result = run_script(script, working_dir=work_dir)
+        assert result.success
+        assert result.produced_screenshot
+        assert "finished" in result.stdout
+        assert (work_dir / "out.png").exists()
+
+    def test_attribute_error_reported_like_paraview(self, work_dir):
+        write_marschner_lobb(work_dir / "ml-100.vtk", resolution=8)
+        script = (
+            "from paraview.simple import *\n"
+            "reader = LegacyVTKReader(FileNames=['ml-100.vtk'])\n"
+            "glyph = Glyph(Input=reader, GlyphType='Cone')\n"
+            "glyph.Scalars = ['POINTS', 'var0']\n"
+        )
+        result = run_script(script, working_dir=work_dir)
+        assert not result.success
+        assert result.error_type == "AttributeError"
+        assert "AttributeError" in result.traceback_text
+        assert "glyph.Scalars" in result.traceback_text
+        assert 'File "script.py", line 4' in result.traceback_text
+
+    def test_syntax_error_reported(self, work_dir):
+        result = run_script("from paraview.simple import *\nx = (1\n", working_dir=work_dir)
+        assert not result.success
+        assert result.error_type == "SyntaxError"
+
+    def test_name_error_reported(self, work_dir):
+        result = run_script("from paraview.simple import *\nGetLookupTableForArray('x', 1)\n",
+                            working_dir=work_dir)
+        assert not result.success
+        assert result.error_type == "NameError"
+
+    def test_state_reset_between_runs(self, work_dir):
+        executor = PvPythonExecutor(working_dir=work_dir)
+        executor.run("from paraview.simple import *\nview = CreateView('RenderView')\n")
+        result = executor.run(
+            "from paraview.simple import *\n"
+            "print('views', GetActiveView() is None)\n"
+        )
+        assert "views True" in result.stdout
+
+    def test_paraview_module_not_leaked(self, work_dir):
+        import sys
+
+        run_script("import paraview.simple\n", working_dir=work_dir)
+        assert "paraview" not in sys.modules or not hasattr(sys.modules.get("paraview"), "__fake__")
+
+    def test_output_property_combines_streams(self, work_dir):
+        result = run_script("print('hello')\nraise RuntimeError('boom')\n", working_dir=work_dir)
+        assert "hello" in result.output
+        assert "RuntimeError: boom" in result.output
