@@ -9,6 +9,7 @@ import pytest
 
 from repro.algorithms import contour, stream_tracer, tube
 from repro.data import generate_disk_flow, generate_marschner_lobb
+from repro.engine import Engine, Pipeline, ResultCache
 from repro.rendering import Actor, Camera, Scene, render_scene, volume_render
 
 
@@ -47,6 +48,39 @@ def test_perf_tube_generation(benchmark, disk):
     lines = stream_tracer(disk, "V", n_seed_points=30)
     wrapped = benchmark.pedantic(lambda: tube(lines, radius=0.05, n_sides=6), rounds=1, iterations=1)
     assert wrapped.n_triangles > 0
+
+
+def test_perf_engine_incremental_reexecution(benchmark):
+    """A ChatVis-style 5-iteration loop re-executes only the invalidated filters.
+
+    Each iteration changes one property of the final Contour (the way a
+    corrected script differs from its predecessor), so after the first full
+    run the Wavelet and Slice stages must come from the engine's result
+    cache — asserted via the cache hit/miss counters.
+    """
+
+    def chatvis_style_loop() -> Engine:
+        engine = Engine(cache=ResultCache())
+        pipeline = Pipeline(engine)
+        iso = (
+            pipeline.source("Wavelet", WholeExtent=[-10, 10, -10, 10, -10, 10])
+            .then("Slice", SliceType={"Origin": [0.0, 0.0, 0.0], "Normal": [1.0, 0.0, 0.0]})
+            .then("Contour", ContourBy=["POINTS", "RTData"], Isosurfaces=[100.0])
+        )
+        for iteration in range(5):
+            iso.set(Isosurfaces=[100.0 + 5.0 * iteration])
+            iso.evaluate()
+            if iteration > 0:
+                # iterations 2..5: exactly the invalidated filter re-ran,
+                # fed by the cached slice (the wavelet is never consulted)
+                assert engine.last_report.executed == ["Contour1"]
+                assert engine.last_report.cached == ["Slice1"]
+        return engine
+
+    engine = benchmark.pedantic(chatvis_style_loop, rounds=1, iterations=1)
+    # 3 misses on the first iteration, then 1 miss + 1 hit per iteration
+    assert engine.cache.stats.misses == 3 + 4
+    assert engine.cache.stats.hits == 1 * 4
 
 
 def test_perf_volume_raycasting(benchmark, volume):

@@ -6,6 +6,9 @@ The package is organised bottom-up:
 * :mod:`repro.io` — legacy-VTK-style, Exodus-style, and PNG file I/O.
 * :mod:`repro.algorithms` — visualization filters (contour, slice, clip,
   Delaunay, stream tracer, tube, glyph, ...).
+* :mod:`repro.engine` — the demand-driven pipeline execution core: explicit
+  graphs, a declarative filter registry, a content-addressed result cache,
+  and a batch runner for concurrent sessions.
 * :mod:`repro.rendering` — camera, color maps, software rasterizer and
   volume ray-caster.
 * :mod:`repro.pvsim` — a ``paraview.simple``-compatible scripting layer plus

@@ -22,6 +22,8 @@ All point-data arrays are linearly interpolated onto the new surface points.
 
 from __future__ import annotations
 
+import threading
+import weakref
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -110,8 +112,17 @@ def _image_data_tetrahedra(image: ImageData) -> np.ndarray:
     return tets.reshape(-1, 4)
 
 
-def tetrahedra_of_dataset(dataset: Dataset) -> np.ndarray:
-    """Decompose any volumetric dataset into an ``(m, 4)`` tetrahedron array."""
+#: per-dataset memo of the decomposition, validated against (n_points,
+#: n_cells) so a dataset mutated after caching is re-decomposed.  Multi
+#: isovalue Contour calls and repeated slice/contour on the same input hit
+#: this instead of redoing the Freudenthal split per call.
+_TETRA_CACHE: "weakref.WeakKeyDictionary[Dataset, Tuple[int, int, np.ndarray]]" = (
+    weakref.WeakKeyDictionary()
+)
+_TETRA_CACHE_LOCK = threading.Lock()
+
+
+def _compute_tetrahedra(dataset: Dataset) -> np.ndarray:
     if isinstance(dataset, ImageData):
         return _image_data_tetrahedra(dataset)
     if isinstance(dataset, UnstructuredGrid):
@@ -125,6 +136,22 @@ def tetrahedra_of_dataset(dataset: Dataset) -> np.ndarray:
     raise TypeError(
         f"cannot decompose dataset of type {type(dataset).__name__} into tetrahedra"
     )
+
+
+def tetrahedra_of_dataset(dataset: Dataset) -> np.ndarray:
+    """Decompose any volumetric dataset into an ``(m, 4)`` tetrahedron array.
+
+    Memoized per dataset object (weakly, so datasets stay collectable).
+    """
+    shape = (dataset.n_points, dataset.n_cells)
+    with _TETRA_CACHE_LOCK:
+        entry = _TETRA_CACHE.get(dataset)
+        if entry is not None and entry[:2] == shape:
+            return entry[2]
+    tets = _compute_tetrahedra(dataset)
+    with _TETRA_CACHE_LOCK:
+        _TETRA_CACHE[dataset] = (shape[0], shape[1], tets)
+    return tets
 
 
 # --------------------------------------------------------------------------- #

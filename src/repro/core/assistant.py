@@ -21,6 +21,7 @@ from repro.core.session import ChatVisResult, IterationRecord
 from repro.llm.base import LLMClient
 from repro.llm.registry import get_model
 from repro.pvsim.executor import ExecutionResult, PvPythonExecutor
+from repro.pvsim.pipeline import pvsim_engine
 
 __all__ = ["ChatVisConfig", "ChatVis"]
 
@@ -95,8 +96,17 @@ class ChatVis:
 
         # 3-5. execute / extract / correct loop
         for index in range(1, self.config.max_iterations + 1):
+            # snapshot this thread's engine traffic around the run: corrected
+            # iterations re-use the unchanged pipeline prefix, so the
+            # hit/miss delta is the direct measure of how much work the
+            # correction avoided (thread-local — unaffected by concurrent
+            # sessions sharing the process-wide cache)
+            cache_before = pvsim_engine().thread_stats().snapshot()
             execution = self.executor.run(script, script_name=self.config.script_name)
+            cache_delta = pvsim_engine().thread_stats().delta(cache_before)
             record = self._record_iteration(index, script, execution)
+            record.cache_hits = cache_delta.hits
+            record.cache_misses = cache_delta.misses
             result.iterations.append(record)
 
             if self._is_successful(execution):

@@ -22,6 +22,10 @@ class IterationRecord:
     screenshots: List[str] = field(default_factory=list)
     stdout: str = ""
     notes: str = ""
+    #: engine result-cache traffic while this iteration's script executed —
+    #: corrected re-runs should show mostly hits (only changed filters re-run)
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         return asdict(self)

@@ -10,6 +10,7 @@ them by the names the prompts use (``ml-100.vtk``, ``can_points.ex2``,
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
@@ -158,6 +159,11 @@ def _generators(small: bool) -> Dict[str, Callable[[Path], Path]]:
     }
 
 
+#: serializes data-file generation so concurrent sessions (engine batch
+#: workers) preparing the same directory never observe half-written files
+_PREPARE_LOCK = threading.Lock()
+
+
 def prepare_task_data(
     task: Union[str, VisualizationTask],
     working_dir: Union[str, Path],
@@ -166,7 +172,8 @@ def prepare_task_data(
 ) -> List[Path]:
     """Generate the input files a task needs inside ``working_dir``.
 
-    Returns the list of created (or already-present) file paths.
+    Returns the list of created (or already-present) file paths.  Safe to
+    call concurrently from multiple batch workers.
     """
     if isinstance(task, str):
         task = get_task(task)
@@ -174,13 +181,14 @@ def prepare_task_data(
     working_dir.mkdir(parents=True, exist_ok=True)
     generators = _generators(small)
     created: List[Path] = []
-    for filename in task.data_files:
-        target = working_dir / filename
-        if target.exists() and not overwrite:
-            created.append(target)
-            continue
-        generator = generators.get(filename)
-        if generator is None:
-            raise KeyError(f"no generator registered for data file {filename!r}")
-        created.append(generator(target))
+    with _PREPARE_LOCK:
+        for filename in task.data_files:
+            target = working_dir / filename
+            if target.exists() and not overwrite:
+                created.append(target)
+                continue
+            generator = generators.get(filename)
+            if generator is None:
+                raise KeyError(f"no generator registered for data file {filename!r}")
+            created.append(generator(target))
     return created

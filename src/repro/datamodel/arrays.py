@@ -16,6 +16,14 @@ import numpy as np
 __all__ = ["AssociationError", "DataArray", "FieldData"]
 
 
+def _hash_ndarray(hasher, values: np.ndarray) -> None:
+    """Feed an ndarray's dtype, shape and raw bytes into a hash object."""
+    arr = np.ascontiguousarray(values)
+    hasher.update(str(arr.dtype).encode("utf-8"))
+    hasher.update(str(arr.shape).encode("utf-8"))
+    hasher.update(arr.tobytes())
+
+
 class AssociationError(ValueError):
     """Raised when an array with the wrong tuple count is added to a dataset."""
 
@@ -120,6 +128,15 @@ class DataArray:
 
     def copy(self, name: Optional[str] = None) -> "DataArray":
         return DataArray(name or self.name, self._values.copy())
+
+    def fingerprint_into(self, hasher) -> None:
+        """Feed this array's identity (name + values) into a hash object.
+
+        Used by the engine's content-addressed result cache to derive stable
+        digests for datasets passed directly into a pipeline.
+        """
+        hasher.update(self.name.encode("utf-8"))
+        _hash_ndarray(hasher, self._values)
 
     def take(self, indices) -> "DataArray":
         """Return a new array restricted to ``indices`` (tuple selection)."""
@@ -302,6 +319,11 @@ class FieldData:
         for arr in self._arrays.values():
             out.add(arr.copy())
         return out
+
+    def fingerprint_into(self, hasher) -> None:
+        """Feed every array (in name order, for stability) into a hash object."""
+        for name in sorted(self._arrays):
+            self._arrays[name].fingerprint_into(hasher)
 
     def __repr__(self) -> str:
         return f"FieldData({sorted(self._arrays)})"

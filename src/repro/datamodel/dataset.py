@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
+import hashlib
 from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.datamodel.arrays import DataArray, FieldData
+from repro.datamodel.arrays import DataArray, FieldData, _hash_ndarray
 from repro.datamodel.bounds import Bounds
 
 __all__ = ["Dataset"]
@@ -99,6 +100,59 @@ class Dataset:
         if arr is None:
             raise KeyError(f"no array named {name!r} in dataset")
         return arr.range()
+
+    # ------------------------------------------------------------------ #
+    # content addressing
+    # ------------------------------------------------------------------ #
+    def content_fingerprint(self) -> str:
+        """A stable hex digest of this dataset's full content.
+
+        Two datasets with the same type, geometry and attribute arrays have
+        the same fingerprint; the engine's result cache uses it to key
+        pipeline inputs that are raw datasets rather than upstream filters.
+
+        Memoized per object — pipeline stages treat datasets as immutable,
+        and cache-key derivation runs on every ``get_output()`` so the full
+        hash must not sit on the render hot path.  The memo is re-validated
+        against the cheap shape signature (tuple counts + array names), so
+        structural changes such as ``add_point_array`` re-hash; in-place
+        mutation of array *values* is not detected.
+        """
+        signature = (
+            self.n_points,
+            self.n_cells,
+            tuple(self.point_data.names()),
+            tuple(self.cell_data.names()),
+        )
+        memo = getattr(self, "_fingerprint_memo", None)
+        if memo is not None and memo[0] == signature:
+            return memo[1]
+        hasher = hashlib.sha1()
+        hasher.update(type(self).__name__.encode("utf-8"))
+        self._fingerprint_geometry(hasher)
+        self.point_data.fingerprint_into(hasher)
+        self.cell_data.fingerprint_into(hasher)
+        digest = hasher.hexdigest()
+        self._fingerprint_memo = (signature, digest)
+        return digest
+
+    def invalidate_fingerprint(self) -> None:
+        """Drop the memoized fingerprint after mutating array values in place.
+
+        ``arr.values[:] = ...`` changes content the shape signature cannot
+        see; call this (or hand pipelines a copy) so cached results keyed on
+        the old content are not reused.
+        """
+        self._fingerprint_memo = None
+
+    def _fingerprint_geometry(self, hasher) -> None:
+        """Feed the geometric content into a hash object (subclass hook).
+
+        The default hashes the full point array; structured types override it
+        with their compact parametric description (dims/origin/spacing) and
+        connectivity-bearing types add their topology.
+        """
+        _hash_ndarray(hasher, self.get_points())
 
     # ------------------------------------------------------------------ #
     # misc

@@ -200,6 +200,11 @@ class ImageData(Dataset):
         """A new ImageData with the same lattice but no data arrays."""
         return ImageData(self.dimensions, self.origin, self.spacing)
 
+    def _fingerprint_geometry(self, hasher) -> None:
+        # the lattice is fully described parametrically; no need to hash the
+        # expanded point array
+        hasher.update(repr((self.dimensions, self.origin, self.spacing)).encode("utf-8"))
+
     def __repr__(self) -> str:
         return (
             f"ImageData(dimensions={self.dimensions}, origin={self.origin}, "

@@ -249,6 +249,15 @@ class PolyData(Dataset):
     def copy(self) -> "PolyData":
         return self.transformed(np.eye(4))
 
+    def _fingerprint_geometry(self, hasher) -> None:
+        from repro.datamodel.arrays import _hash_ndarray
+
+        _hash_ndarray(hasher, self.points)
+        _hash_ndarray(hasher, self.triangles)
+        _hash_ndarray(hasher, self.verts)
+        for line in self.lines:
+            _hash_ndarray(hasher, line)
+
     def __repr__(self) -> str:
         return (
             f"PolyData(points={self.n_points}, triangles={self.n_triangles}, "

@@ -208,6 +208,13 @@ class UnstructuredGrid(Dataset):
             out.add_cell_array(name, self.cell_data[name].values.copy())
         return out
 
+    def _fingerprint_geometry(self, hasher) -> None:
+        from repro.datamodel.arrays import _hash_ndarray
+
+        _hash_ndarray(hasher, self.points)
+        hasher.update(repr(self._cell_types).encode("utf-8"))
+        hasher.update(repr(self._cells).encode("utf-8"))
+
     def __repr__(self) -> str:
         type_counts: Dict[str, int] = {}
         for t in self._cell_types:

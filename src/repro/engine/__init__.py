@@ -1,0 +1,99 @@
+"""``repro.engine`` — the demand-driven pipeline execution core.
+
+This package is the execution substrate everything downstream sits on: the
+``pvsim`` ParaView-compatible layer generates its proxy classes from the
+engine's filter registry, the ChatVis executor re-runs corrected scripts
+against the engine's content-addressed cache, and the evaluation harness
+fans independent sessions out over the engine's batch runner.
+
+The pieces:
+
+* :mod:`~repro.engine.graph` — explicit pipeline graphs: nodes carry a
+  registered spec name plus property values, edges carry dataflow, and
+  execution order is topological with cycle detection
+  (:class:`GraphCycleError` instead of the old implicit proxy-chasing).
+* :mod:`~repro.engine.registry` — the declarative filter registry.
+  ``@register_filter(name, properties=...)`` turns one execute function plus
+  a property table into a spec; ``pvsim`` generates its strict proxy classes
+  from these specs, and programmatic callers drive the same specs through
+  the fluent API without any ``paraview.simple`` syntax.
+* :mod:`~repro.engine.cache` — the content-addressed result cache.  Node
+  keys chain ``(spec, normalized properties, upstream keys)``, so re-running
+  a corrected ChatVis script re-executes only the filters whose parameters
+  actually changed, and two identical pipelines share results.  Raw dataset
+  inputs key on :meth:`Dataset.content_fingerprint`.
+* :mod:`~repro.engine.core` — :class:`Engine`: demand-driven evaluation up
+  to a target node, with a per-call :class:`EvaluationReport` saying which
+  nodes executed and which came from cache.
+* :mod:`~repro.engine.api` — the fluent builder::
+
+      from repro.engine import Pipeline
+
+      p = Pipeline()
+      surface = (
+          p.source("Wavelet", WholeExtent=[-5, 5, -5, 5, -5, 5])
+           .then("Contour", ContourBy=["POINTS", "RTData"], Isosurfaces=[130.0])
+      )
+      dataset = surface.evaluate()
+
+* :mod:`~repro.engine.batch` — :func:`run_batch`: concurrent execution of
+  independent sessions (the Table II matrix parallelism).
+
+See ``examples/engine_pipeline.py`` for a complete programmatic walkthrough.
+"""
+
+from repro.engine.api import NodeHandle, Pipeline
+from repro.engine.batch import BatchJob, BatchResult, run_batch
+from repro.engine.cache import CacheStats, ResultCache, node_key, normalize_value, shared_cache
+from repro.engine.core import Engine, EvaluationReport, default_engine
+from repro.engine.errors import (
+    EngineError,
+    GraphCycleError,
+    GraphError,
+    NodeExecutionError,
+    RegistryError,
+)
+from repro.engine.graph import Node, PipelineGraph
+from repro.engine.registry import (
+    DATASET_SPEC,
+    ExecContext,
+    FilterSpec,
+    all_specs,
+    get_spec,
+    has_spec,
+    register_filter,
+    register_source,
+    spec_names,
+)
+
+__all__ = [
+    "BatchJob",
+    "BatchResult",
+    "CacheStats",
+    "DATASET_SPEC",
+    "Engine",
+    "EngineError",
+    "EvaluationReport",
+    "ExecContext",
+    "FilterSpec",
+    "GraphCycleError",
+    "GraphError",
+    "Node",
+    "NodeExecutionError",
+    "NodeHandle",
+    "Pipeline",
+    "PipelineGraph",
+    "RegistryError",
+    "ResultCache",
+    "all_specs",
+    "default_engine",
+    "get_spec",
+    "has_spec",
+    "node_key",
+    "normalize_value",
+    "register_filter",
+    "register_source",
+    "run_batch",
+    "shared_cache",
+    "spec_names",
+]

@@ -1,0 +1,125 @@
+"""Fluent, programmatic pipeline construction — no ``paraview.simple`` needed.
+
+::
+
+    from repro.engine import Pipeline
+
+    p = Pipeline()
+    volume = p.source("Wavelet", WholeExtent=[-5, 5, -5, 5, -5, 5])
+    surface = volume.then("Contour", ContourBy=["POINTS", "RTData"], Isosurfaces=[130.0])
+    dataset = surface.evaluate()
+
+Each :meth:`NodeHandle.then` call adds a node of the named registered spec
+and a dataflow edge; :meth:`NodeHandle.evaluate` runs the demand-driven
+engine up to that node (cached, so repeated evaluation after small edits
+only re-executes the changed suffix).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.engine.core import Engine, default_engine
+from repro.engine.graph import Node, PipelineGraph
+from repro.engine.registry import DATASET_SPEC, get_spec
+
+__all__ = ["Pipeline", "NodeHandle"]
+
+
+def _check_properties(spec, properties: Dict[str, Any]) -> None:
+    """Validate and canonicalize property assignments in place.
+
+    Rejects names the spec doesn't declare (catches typos early), and turns
+    a string assigned to a property group — ``SeedType="Line"``, the group
+    *kind* selection — into the pseudo-property the execute functions and
+    the cache key read (mirroring what the pvsim proxies do), validated
+    against the spec's allowed kinds.
+    """
+    allowed = set(spec.properties) | set(spec.groups)
+    unknown = [
+        name for name in properties if name not in allowed and not name.startswith("_")
+    ]
+    if unknown:
+        raise AttributeError(
+            f"{spec.label} has no propert{'y' if len(unknown) == 1 else 'ies'} "
+            f"{', '.join(repr(n) for n in unknown)}; declared: {sorted(allowed)}"
+        )
+    for group_name in spec.groups:
+        value = properties.get(group_name)
+        if isinstance(value, str):
+            kinds = spec.group_kinds.get(group_name)
+            if kinds is not None and value.lower() not in kinds:
+                raise ValueError(
+                    f"{spec.label}: unknown {group_name} kind {value!r} "
+                    f"(allowed: {sorted(kinds)})"
+                )
+            del properties[group_name]
+            properties[f"_{group_name}Kind"] = value
+        elif value is not None and not isinstance(value, dict):
+            raise TypeError(
+                f"{spec.label}.{group_name} takes a dict of group values or a "
+                f"kind string, got {type(value).__name__}"
+            )
+
+
+class NodeHandle:
+    """A fluent handle on one node of a :class:`Pipeline`."""
+
+    def __init__(self, pipeline: "Pipeline", node: Node) -> None:
+        self.pipeline = pipeline
+        self.node = node
+
+    def then(self, spec_name: str, name: Optional[str] = None, **properties: Any) -> "NodeHandle":
+        """Append a filter fed by this node and return its handle."""
+        handle = self.pipeline._add(spec_name, name, properties, inputs=[self.node.id])
+        return handle
+
+    def set(self, **properties: Any) -> "NodeHandle":
+        """Update this node's properties (invalidates its downstream results)."""
+        _check_properties(get_spec(self.node.spec_name), properties)
+        self.node.properties.update(properties)
+        return self
+
+    def evaluate(self) -> Any:
+        """Execute the pipeline up to this node and return its dataset."""
+        return self.pipeline.engine.evaluate(self.pipeline.graph, self.node.id)
+
+    def __repr__(self) -> str:
+        return f"<NodeHandle {self.node.name} ({self.node.spec_name})>"
+
+
+class Pipeline:
+    """A pipeline under construction plus the engine that runs it."""
+
+    def __init__(self, engine: Optional[Engine] = None) -> None:
+        self.graph = PipelineGraph()
+        self.engine = engine if engine is not None else default_engine()
+        self._counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    def source(self, spec_name: str, name: Optional[str] = None, **properties: Any) -> NodeHandle:
+        """Add a source node (readers, procedural sources)."""
+        return self._add(spec_name, name, properties, inputs=[])
+
+    def dataset(self, dataset: Any, name: Optional[str] = None) -> NodeHandle:
+        """Wrap an in-memory dataset as a pipeline source.
+
+        The dataset is treated as immutable: results are cached against its
+        content fingerprint, which is memoized.  If you mutate its array
+        values in place afterwards, call ``dataset.invalidate_fingerprint()``
+        (or pass a copy) — otherwise downstream results keyed on the old
+        content will be reused.
+        """
+        return self._add(DATASET_SPEC, name or "dataset", {"dataset": dataset}, inputs=[])
+
+    def _add(self, spec_name: str, name: Optional[str], properties: Dict[str, Any], inputs) -> NodeHandle:
+        spec = get_spec(spec_name)  # validates the name early
+        _check_properties(spec, properties)
+        if name is None:
+            self._counts[spec_name] = self._counts.get(spec_name, 0) + 1
+            name = f"{spec.label}{self._counts[spec_name]}"
+        node = self.graph.add_node(spec_name, properties, name=name, inputs=inputs)
+        return NodeHandle(self, node)
+
+    def __repr__(self) -> str:
+        return f"<Pipeline nodes={len(self.graph)}>"

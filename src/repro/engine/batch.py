@@ -1,0 +1,114 @@
+"""Concurrent execution of independent sessions/pipelines.
+
+:func:`run_batch` fans a list of independent jobs out over a thread pool.
+It is the substrate under ``eval.harness`` parallelism: every cell of the
+Table II model×task matrix is an independent (deterministic) session, so the
+matrix regenerates ``max_workers`` times faster with bit-identical results.
+
+Thread-safety relies on the rest of the stack:
+
+* ``pvsim.state`` keeps one session per thread (``threading.local``),
+* ``pvsim.executor`` routes stdout/stderr per thread and never calls
+  ``os.chdir``,
+* the engine's shared result cache is lock-protected (and a win here —
+  identical pipelines across jobs share executed results).
+
+``max_workers=1`` runs the jobs inline in the calling thread, preserving
+exact serial semantics.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["BatchJob", "BatchResult", "CancelledJob", "run_batch"]
+
+
+@dataclass
+class BatchJob:
+    """One independent unit of work."""
+
+    name: str
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one job (order-aligned with the submitted job list)."""
+
+    name: str
+    value: Any = None
+    error: Optional[BaseException] = None
+    duration: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _run_one(job: BatchJob) -> BatchResult:
+    started = time.perf_counter()
+    try:
+        value = job.fn(*job.args, **job.kwargs)
+        return BatchResult(job.name, value=value, duration=time.perf_counter() - started)
+    except BaseException as exc:  # noqa: BLE001 - jobs must not kill the batch
+        return BatchResult(job.name, error=exc, duration=time.perf_counter() - started)
+
+
+class CancelledJob(RuntimeError):
+    """Marks a job that never ran because an earlier job failed (stop_on_error)."""
+
+
+def run_batch(
+    jobs: Sequence[Union[BatchJob, Callable[[], Any]]],
+    max_workers: int = 1,
+    stop_on_error: bool = False,
+) -> List[BatchResult]:
+    """Run jobs (callables or :class:`BatchJob`) and return ordered results.
+
+    Exceptions are captured per job in :attr:`BatchResult.error`; a failing
+    job never aborts its siblings — unless ``stop_on_error`` is set, in
+    which case jobs that have not started yet are cancelled (their result
+    carries a :class:`CancelledJob` error) so a doomed batch fails fast
+    instead of finishing minutes of work that will be discarded.
+    """
+    normalized: List[BatchJob] = [
+        job if isinstance(job, BatchJob) else BatchJob(getattr(job, "__name__", f"job{i}"), job)
+        for i, job in enumerate(jobs)
+    ]
+    if max_workers <= 1 or len(normalized) <= 1:
+        results: List[BatchResult] = []
+        failed = False
+        for job in normalized:
+            if failed:
+                results.append(BatchResult(job.name, error=CancelledJob(job.name)))
+                continue
+            outcome = _run_one(job)
+            results.append(outcome)
+            failed = stop_on_error and outcome.error is not None
+        return results
+
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        futures = {pool.submit(_run_one, job): index for index, job in enumerate(normalized)}
+        slots: List[Optional[BatchResult]] = [None] * len(normalized)
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = futures[future]
+                if future.cancelled():
+                    slots[index] = BatchResult(
+                        normalized[index].name, error=CancelledJob(normalized[index].name)
+                    )
+                    continue
+                outcome = future.result()  # _run_one never raises
+                slots[index] = outcome
+                if stop_on_error and outcome.error is not None:
+                    for other in pending:
+                        other.cancel()
+        return [result for result in slots if result is not None]

@@ -1,0 +1,165 @@
+"""Content-addressed result cache.
+
+Every node execution is keyed on ``(spec name, normalized properties,
+extra cache token, upstream keys)``.  Because upstream keys chain the same
+way, a key is a digest of the *entire* upstream pipeline description — two
+structurally identical pipelines (even built by different sessions) map to
+the same keys and share results, while changing any property invalidates
+exactly the downstream subgraph.
+
+Raw :class:`~repro.datamodel.dataset.Dataset` objects appearing as inputs or
+property values are folded in via their content fingerprint
+(:meth:`Dataset.content_fingerprint`), so "the same data" caches equal even
+when the object identity differs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["normalize_value", "node_key", "CacheStats", "ResultCache", "shared_cache"]
+
+
+def normalize_value(value: Any) -> Any:
+    """Canonicalize a property value into a repr-stable structure.
+
+    Handles numbers, strings, lists/tuples, dicts, numpy scalars and arrays,
+    and datasets (by content fingerprint).  The result round-trips through
+    ``repr`` deterministically, which is all the key derivation needs.
+    """
+    from repro.datamodel.dataset import Dataset
+
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return ("ndarray", str(value.dtype), value.shape, value.tobytes().hex())
+    if isinstance(value, Dataset):
+        return ("dataset", value.content_fingerprint())
+    if isinstance(value, (list, tuple)):
+        return [normalize_value(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): normalize_value(v) for k, v in sorted(value.items())}
+    # property-group views and similar
+    as_dict = getattr(value, "as_dict", None)
+    if callable(as_dict):
+        return normalize_value(as_dict())
+    return repr(value)
+
+
+def node_key(
+    spec_name: str,
+    properties: Dict[str, Any],
+    upstream_keys: Iterable[str] = (),
+    token: Any = None,
+) -> str:
+    """Derive the cache key of one node from its full upstream description."""
+    hasher = hashlib.sha1()
+    hasher.update(spec_name.encode("utf-8"))
+    hasher.update(repr(normalize_value(properties)).encode("utf-8"))
+    if token is not None:
+        hasher.update(repr(normalize_value(token)).encode("utf-8"))
+    for upstream in upstream_keys:
+        hasher.update(upstream.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+class CacheStats:
+    """Hit/miss/eviction counters (snapshot-friendly)."""
+
+    __slots__ = ("hits", "misses", "evictions")
+
+    def __init__(self, hits: int = 0, misses: int = 0, evictions: int = 0) -> None:
+        self.hits = hits
+        self.misses = misses
+        self.evictions = evictions
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.evictions)
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            self.hits - earlier.hits,
+            self.misses - earlier.misses,
+            self.evictions - earlier.evictions,
+        )
+
+    def __repr__(self) -> str:
+        return f"CacheStats(hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
+
+
+class ResultCache:
+    """A thread-safe LRU mapping of node key → executed output."""
+
+    def __init__(self, max_entries: Optional[int] = 1024) -> None:
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Returns ``(found, value)`` and updates the counters."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return True, self._entries[key]
+            self.stats.misses += 1
+            return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __repr__(self) -> str:
+        return f"<ResultCache entries={len(self)} {self.stats!r}>"
+
+
+_shared_cache: Optional[ResultCache] = None
+_shared_lock = threading.Lock()
+
+
+def shared_cache() -> ResultCache:
+    """The process-wide result cache shared by every engine by default.
+
+    Sharing is what lets a corrected ChatVis script re-use the unchanged
+    prefix of the previous iteration's pipeline, and lets identical pipelines
+    in different sessions share results.
+
+    Retention is bounded by the LRU cap (``max_entries``), not by session
+    lifetime — ``state.reset_session()`` deliberately does not touch it.
+    Long-lived processes that want the memory back between experiments
+    should call ``shared_cache().clear()`` (or lower ``max_entries``).
+    """
+    global _shared_cache
+    with _shared_lock:
+        if _shared_cache is None:
+            _shared_cache = ResultCache(max_entries=1024)
+        return _shared_cache

@@ -1,0 +1,207 @@
+"""The demand-driven execution engine.
+
+:class:`Engine.evaluate` walks a :class:`~repro.engine.graph.PipelineGraph`
+in topological order up to the requested node, consults the content-addressed
+:class:`~repro.engine.cache.ResultCache` per node, and executes only the
+nodes whose key (spec + normalized properties + upstream keys) has never been
+seen.  Re-running a pipeline after changing one property therefore
+re-executes exactly the invalidated downstream subgraph — the property the
+ChatVis generate→execute→correct loop leans on, since successive iterations
+of a corrected script share almost their entire pipeline.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.engine.cache import CacheStats, ResultCache, node_key, shared_cache
+from repro.engine.errors import NodeExecutionError
+from repro.engine.graph import Node, PipelineGraph
+from repro.engine.registry import ExecContext, get_spec
+
+__all__ = ["EvaluationReport", "Engine", "default_engine"]
+
+#: properties that express dataflow, not configuration; excluded from keys
+_STRUCTURAL_PROPERTIES = ("Input",)
+
+
+class EvaluationReport:
+    """What one :meth:`Engine.evaluate` call actually did."""
+
+    def __init__(self) -> None:
+        self.executed: List[str] = []  #: node names that ran their spec
+        self.cached: List[str] = []  #: node names served from the cache
+        self.duration: float = 0.0
+
+    @property
+    def n_executed(self) -> int:
+        return len(self.executed)
+
+    @property
+    def n_cached(self) -> int:
+        return len(self.cached)
+
+    def __repr__(self) -> str:
+        return (
+            f"EvaluationReport(executed={self.executed}, cached={self.cached}, "
+            f"duration={self.duration:.4f}s)"
+        )
+
+
+class Engine:
+    """Demand-driven, cache-aware executor of pipeline graphs.
+
+    Parameters
+    ----------
+    cache:
+        Result cache to use; defaults to the process-wide shared cache so
+        independent engines (and sessions) de-duplicate work.
+    error_class:
+        Exception class raised for execution failures.  The ``pvsim`` layer
+        passes its :class:`~repro.pvsim.errors.PipelineError` so scripts see
+        the error types real ParaView would produce.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        error_class: type = NodeExecutionError,
+    ) -> None:
+        self.cache = cache if cache is not None else shared_cache()
+        self.error_class = error_class
+        self._local = threading.local()
+
+    @property
+    def last_report(self) -> Optional[EvaluationReport]:
+        """The calling thread's most recent evaluation report.
+
+        Thread-local, so concurrent sessions sharing one engine each see
+        their own report rather than whichever evaluate() finished last.
+        """
+        return getattr(self._local, "report", None)
+
+    def thread_stats(self) -> CacheStats:
+        """Cumulative node hit/miss counts for the calling thread's evaluations.
+
+        Unlike ``cache.stats`` (process-global, polluted by concurrent
+        sessions), this isolates one session's traffic — it is what the
+        ChatVis loop records per iteration.
+        """
+        stats = getattr(self._local, "stats", None)
+        if stats is None:
+            stats = CacheStats()
+            self._local.stats = stats
+        return stats
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, graph: PipelineGraph, target: Optional[str] = None) -> Any:
+        """Execute the graph up to ``target`` (default: sole sink) and return its output."""
+        if target is None:
+            sinks = self._sinks(graph)
+            if len(sinks) != 1:
+                raise self.error_class(
+                    f"evaluate() needs an explicit target when the graph has {len(sinks)} sinks"
+                )
+            target = sinks[0]
+
+        report = EvaluationReport()
+        started = time.perf_counter()
+        outputs: Dict[str, Any] = {}
+        keys: Dict[str, str] = {}
+
+        # keys derive from properties and upstream keys alone — no outputs
+        # needed — so compute them for the whole ancestor chain up front
+        # (this is also where cycles are detected)
+        for node in graph.topological_order([target]):
+            keys[node.id] = self._node_cache_key(node, keys)
+
+        def materialize(node_id: str) -> Any:
+            """Demand-driven fetch-or-execute: a cached node never touches
+            its ancestors, so a warm target costs exactly one cache get."""
+            if node_id in outputs:
+                return outputs[node_id]
+            node = graph.node(node_id)
+            found, value = self.cache.get(keys[node_id])
+            if found:
+                report.cached.append(node.name)
+            else:
+                inputs = [materialize(i) for i in node.inputs]
+                value = self._execute_node(node, inputs)
+                self.cache.put(keys[node_id], value)
+                report.executed.append(node.name)
+            outputs[node_id] = value
+            return value
+
+        materialize(graph.node(target).id)
+        report.duration = time.perf_counter() - started
+        self._local.report = report
+        thread_stats = self.thread_stats()
+        thread_stats.hits += report.n_cached
+        thread_stats.misses += report.n_executed
+        return outputs[graph.node(target).id]
+
+    # ------------------------------------------------------------------ #
+    def _node_cache_key(self, node: Node, upstream_keys: Dict[str, str]) -> str:
+        spec = get_spec(node.spec_name)
+        # canonical form: every declared property at its effective value, so a
+        # sparse node (fluent API) and a fully-populated one (pvsim proxies)
+        # describing the same pipeline stage share a key
+        properties: Dict[str, Any] = {}
+        for name, default in spec.properties.items():
+            properties[name] = node.properties.get(name, default)
+        for name, group_defaults in spec.groups.items():
+            merged = dict(group_defaults)
+            value = node.properties.get(name)
+            if hasattr(value, "as_dict"):
+                value = value.as_dict()
+            if isinstance(value, dict):
+                merged.update(value)
+            properties[name] = merged
+        for name, value in node.properties.items():
+            if name not in properties and name not in _STRUCTURAL_PROPERTIES:
+                properties[name] = value
+        token = None
+        if spec.cache_token is not None:
+            token = spec.cache_token(self._context(node, spec, ()))
+        return node_key(
+            spec.name,
+            properties,
+            [upstream_keys[i] for i in node.inputs],
+            token=token,
+        )
+
+    def _context(self, node: Node, spec, inputs) -> ExecContext:
+        return ExecContext(
+            spec=spec,
+            node_name=node.name,
+            properties=node.properties,
+            inputs=inputs,
+            error_class=self.error_class,
+        )
+
+    def _execute_node(self, node: Node, inputs: List[Any]) -> Any:
+        spec = get_spec(node.spec_name)
+        ctx = self._context(node, spec, inputs)
+        if not spec.is_source and not inputs:
+            ctx.error("has no Input and no active source is set")
+        return spec.execute(ctx)
+
+    @staticmethod
+    def _sinks(graph: PipelineGraph) -> List[str]:
+        used = {upstream for node in graph.nodes() for upstream in node.inputs}
+        return [node.id for node in graph.nodes() if node.id not in used]
+
+
+_default_engine: Optional[Engine] = None
+_default_lock = threading.Lock()
+
+
+def default_engine() -> Engine:
+    """The process-wide engine over the shared result cache."""
+    global _default_engine
+    with _default_lock:
+        if _default_engine is None:
+            _default_engine = Engine()
+        return _default_engine

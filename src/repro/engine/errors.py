@@ -1,0 +1,29 @@
+"""Exception types for the pipeline engine."""
+
+from __future__ import annotations
+
+__all__ = ["EngineError", "GraphError", "GraphCycleError", "NodeExecutionError", "RegistryError"]
+
+
+class EngineError(RuntimeError):
+    """Base class for errors raised by the pipeline engine."""
+
+
+class GraphError(EngineError):
+    """Structural problem in a pipeline graph (unknown node, bad edge)."""
+
+
+class GraphCycleError(GraphError):
+    """The pipeline graph contains a cycle and cannot be executed."""
+
+
+class NodeExecutionError(EngineError):
+    """A node failed to execute.
+
+    :class:`repro.pvsim.errors.PipelineError` derives from this class so that
+    engine-level failures and ParaView-layer failures share one hierarchy.
+    """
+
+
+class RegistryError(EngineError):
+    """A filter spec is missing, duplicated, or malformed."""

@@ -1,0 +1,169 @@
+"""Explicit pipeline graphs: nodes, edges, topological execution order.
+
+A :class:`PipelineGraph` is the engine's unit of work.  Nodes name a
+registered filter spec and carry that node's property values; edges express
+dataflow (upstream output → downstream input).  The graph is a DAG: cycle
+detection runs on every ordering request, and a cycle raises
+:class:`~repro.engine.errors.GraphCycleError` instead of hanging execution
+the way the old implicit proxy-chasing could.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.engine.errors import GraphCycleError, GraphError
+
+__all__ = ["Node", "PipelineGraph"]
+
+_NODE_COUNTER = itertools.count(1)
+
+
+class Node:
+    """One pipeline stage: a spec name, its properties and its inputs."""
+
+    __slots__ = ("id", "spec_name", "name", "properties", "inputs")
+
+    def __init__(
+        self,
+        node_id: str,
+        spec_name: str,
+        name: str,
+        properties: Optional[Dict[str, Any]] = None,
+        inputs: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.id = node_id
+        self.spec_name = spec_name
+        #: human-facing name (e.g. the ParaView registration name "Contour1")
+        self.name = name
+        self.properties: Dict[str, Any] = dict(properties or {})
+        self.inputs: List[str] = list(inputs or [])
+
+    def __repr__(self) -> str:
+        return f"<Node {self.id} spec={self.spec_name!r} name={self.name!r} inputs={self.inputs}>"
+
+
+class PipelineGraph:
+    """A directed acyclic graph of pipeline nodes."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, Node] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_node(
+        self,
+        spec_name: str,
+        properties: Optional[Dict[str, Any]] = None,
+        name: Optional[str] = None,
+        inputs: Sequence[str] = (),
+        node_id: Optional[str] = None,
+    ) -> Node:
+        """Add a node; returns it.  ``inputs`` are upstream node ids."""
+        nid = node_id or f"n{next(_NODE_COUNTER)}"
+        if nid in self._nodes:
+            raise GraphError(f"duplicate node id {nid!r}")
+        for upstream in inputs:
+            if upstream not in self._nodes:
+                raise GraphError(f"unknown upstream node {upstream!r} for {nid!r}")
+        node = Node(nid, spec_name, name or f"{spec_name}:{nid}", properties, inputs)
+        self._nodes[nid] = node
+        return node
+
+    def connect(self, upstream: str, downstream: str) -> None:
+        """Add a dataflow edge upstream → downstream."""
+        if upstream not in self._nodes:
+            raise GraphError(f"unknown node {upstream!r}")
+        dst = self.node(downstream)
+        if upstream not in dst.inputs:
+            dst.inputs.append(upstream)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def node(self, node_id: str) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise GraphError(f"unknown node {node_id!r}") from None
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self) -> List[Node]:
+        return list(self._nodes.values())
+
+    def ancestors(self, node_id: str) -> Set[str]:
+        """All transitive upstream node ids of ``node_id`` (excluded itself)."""
+        seen: Set[str] = set()
+        stack = list(self.node(node_id).inputs)
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.node(current).inputs)
+        return seen
+
+    def descendants(self, node_id: str) -> Set[str]:
+        """All transitive downstream node ids of ``node_id``."""
+        self.node(node_id)
+        seen: Set[str] = set()
+        frontier = {node_id}
+        while frontier:
+            next_frontier = {
+                n.id
+                for n in self._nodes.values()
+                if n.id not in seen and n.id != node_id and any(i in frontier for i in n.inputs)
+            }
+            seen |= next_frontier
+            frontier = next_frontier
+        return seen
+
+    # ------------------------------------------------------------------ #
+    # ordering
+    # ------------------------------------------------------------------ #
+    def topological_order(self, targets: Optional[Iterable[str]] = None) -> List[Node]:
+        """Execution order for ``targets`` (default: the whole graph).
+
+        The order contains each target and all of its ancestors, upstream
+        first.  Raises :class:`GraphCycleError` if the relevant subgraph is
+        cyclic.
+        """
+        if targets is None:
+            wanted = set(self._nodes)
+        else:
+            wanted = set()
+            for target in targets:
+                wanted.add(self.node(target).id)
+                wanted |= self.ancestors(target)
+
+        order: List[Node] = []
+        state: Dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(node_id: str, chain: List[str]) -> None:
+            mark = state.get(node_id)
+            if mark == 1:
+                return
+            if mark == 0:
+                cycle = " -> ".join(chain[chain.index(node_id):] + [node_id])
+                raise GraphCycleError(f"pipeline graph contains a cycle: {cycle}")
+            state[node_id] = 0
+            chain.append(node_id)
+            for upstream in self.node(node_id).inputs:
+                visit(upstream, chain)
+            chain.pop()
+            state[node_id] = 1
+            order.append(self._nodes[node_id])
+
+        for node_id in sorted(wanted):
+            visit(node_id, [])
+        return order
+
+    def __repr__(self) -> str:
+        return f"<PipelineGraph nodes={len(self._nodes)}>"

@@ -1,0 +1,255 @@
+"""Declarative filter registry.
+
+Filters and sources are registered as *specs*: a name, a property table
+(with defaults), optional nested property groups, and an execute function
+that receives an :class:`ExecContext`.  The registry is the single source of
+truth for what a filter is — the ``pvsim`` layer generates its
+ParaView-compatible proxy classes from these specs, and the engine's fluent
+API (:mod:`repro.engine.api`) lets non-ParaView callers drive the same
+filters programmatically::
+
+    @register_filter("Shift", properties={"Offset": [0.0, 0.0, 0.0]})
+    def _shift(ctx):
+        dataset = ctx.input()
+        ...
+
+Property tables double as validation: the generated proxies reject unknown
+property names with ``AttributeError`` (the hallucination signal ChatVis's
+correction loop depends on), and the engine's result cache keys on the
+normalized property values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
+
+from repro.engine.errors import NodeExecutionError, RegistryError
+
+__all__ = [
+    "FilterSpec",
+    "ExecContext",
+    "PropertyView",
+    "register_filter",
+    "register_source",
+    "get_spec",
+    "has_spec",
+    "all_specs",
+    "spec_names",
+    "DATASET_SPEC",
+]
+
+#: name of the built-in spec wrapping a raw dataset handed directly to a filter
+DATASET_SPEC = "__dataset__"
+
+
+@dataclass
+class FilterSpec:
+    """Declarative description of one pipeline stage kind."""
+
+    name: str
+    label: str
+    kind: str  #: "source" or "filter"
+    properties: Dict[str, Any] = field(default_factory=dict)
+    groups: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: allowed string selections per group (e.g. StreamTracer seed types)
+    group_kinds: Dict[str, Set[str]] = field(default_factory=dict)
+    execute: Callable[["ExecContext"], Any] = None  # type: ignore[assignment]
+    #: optional extra cache-key material (e.g. file mtime for readers); called
+    #: with the ExecContext, return value must be repr-stable
+    cache_token: Optional[Callable[["ExecContext"], Any]] = None
+    description: str = ""
+
+    @property
+    def is_source(self) -> bool:
+        return self.kind == "source"
+
+
+class PropertyView:
+    """Read-only attribute access over a property-group dict."""
+
+    __slots__ = ("_name", "_values")
+
+    def __init__(self, name: str, values: Dict[str, Any]) -> None:
+        object.__setattr__(self, "_name", name)
+        object.__setattr__(self, "_values", dict(values))
+
+    def __getattr__(self, name: str) -> Any:
+        values = object.__getattribute__(self, "_values")
+        if name in values:
+            return values[name]
+        raise AttributeError(f"group {object.__getattribute__(self, '_name')!r} has no value {name!r}")
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(object.__getattribute__(self, "_values"))
+
+    def __repr__(self) -> str:
+        return f"<PropertyView {object.__getattribute__(self, '_name')} {self.as_dict()}>"
+
+
+class ExecContext:
+    """Everything a spec's execute function can see for one node.
+
+    Instances are built by the engine per node execution: resolved upstream
+    datasets, the node's property values (groups included), and error helpers
+    that name the failing node so tracebacks are actionable.
+    """
+
+    def __init__(
+        self,
+        spec: FilterSpec,
+        node_name: str,
+        properties: Dict[str, Any],
+        inputs: Sequence[Any] = (),
+        error_class: type = NodeExecutionError,
+    ) -> None:
+        self.spec = spec
+        self.node_name = node_name
+        self.properties = properties
+        self.inputs = list(inputs)
+        self.error_class = error_class
+
+    # ------------------------------------------------------------------ #
+    def get(self, name: str, default: Any = None) -> Any:
+        """A property value (falling back to the spec default, then ``default``)."""
+        if name in self.properties:
+            return self.properties[name]
+        if name in self.spec.properties:
+            return self.spec.properties[name]
+        return default
+
+    def group(self, name: str) -> PropertyView:
+        """Attribute-style access to a property group's values."""
+        defaults = dict(self.spec.groups.get(name, {}))
+        value = self.properties.get(name)
+        if isinstance(value, PropertyView):
+            value = value.as_dict()
+        if isinstance(value, dict):
+            defaults.update(value)
+        return PropertyView(f"{self.spec.label}.{name}", defaults)
+
+    def group_kind(self, name: str, default: str = "") -> str:
+        """The string selection of a group (e.g. ``SeedType = 'Point Cloud'``)."""
+        return str(self.properties.get(f"_{name}Kind", default))
+
+    def input(self, index: int = 0) -> Any:
+        """The resolved upstream dataset (raises a named error if absent)."""
+        if index >= len(self.inputs):
+            self.error("has no Input and no active source is set" if index == 0 else f"has no input #{index}")
+        return self.inputs[index]
+
+    def error(self, message: str) -> None:
+        """Raise the layer's pipeline error, naming this node."""
+        raise self.error_class(f"{self.spec.label} {self.node_name!r}: {message}")
+
+
+# --------------------------------------------------------------------------- #
+# the registry
+# --------------------------------------------------------------------------- #
+_REGISTRY: Dict[str, FilterSpec] = {}
+
+#: modules that register the standard spec set on import; loaded lazily so a
+#: programmatic engine caller gets the full filter suite without having to
+#: import the ParaView-compatible layer first
+_SPEC_PROVIDERS = ["repro.pvsim.sources", "repro.pvsim.filters"]
+_providers_loaded = False
+
+
+def _ensure_providers_loaded() -> None:
+    global _providers_loaded
+    if _providers_loaded:
+        return
+    _providers_loaded = True
+    import importlib
+
+    for module in _SPEC_PROVIDERS:
+        importlib.import_module(module)
+
+
+def register_filter(
+    name: str,
+    *,
+    properties: Optional[Dict[str, Any]] = None,
+    groups: Optional[Dict[str, Dict[str, Any]]] = None,
+    group_kinds: Optional[Dict[str, Sequence[str]]] = None,
+    kind: str = "filter",
+    label: Optional[str] = None,
+    cache_token: Optional[Callable[[ExecContext], Any]] = None,
+    description: str = "",
+) -> Callable[[Callable[[ExecContext], Any]], Callable[[ExecContext], Any]]:
+    """Register a pipeline-stage spec; decorates the execute function.
+
+    The decorated function still works as a plain function (it receives an
+    :class:`ExecContext`), and the spec becomes available to the engine, the
+    fluent API and the ``pvsim`` proxy factory under ``name``.
+    """
+    if kind not in ("source", "filter"):
+        raise RegistryError(f"invalid spec kind {kind!r} (expected 'source' or 'filter')")
+
+    def decorator(func: Callable[[ExecContext], Any]) -> Callable[[ExecContext], Any]:
+        if name in _REGISTRY:
+            raise RegistryError(f"filter spec {name!r} is already registered")
+        doc_summary = (func.__doc__ or "").strip().splitlines()
+        _REGISTRY[name] = FilterSpec(
+            name=name,
+            label=label or name,
+            kind=kind,
+            properties=dict(properties or {}),
+            groups={g: dict(v) for g, v in (groups or {}).items()},
+            group_kinds={g: {str(k).lower() for k in v} for g, v in (group_kinds or {}).items()},
+            execute=func,
+            cache_token=cache_token,
+            description=description or (doc_summary[0] if doc_summary else ""),
+        )
+        return func
+
+    return decorator
+
+
+def register_source(name: str, **kwargs: Any):
+    """Shorthand for ``register_filter(name, kind='source', ...)``."""
+    kwargs["kind"] = "source"
+    return register_filter(name, **kwargs)
+
+
+def get_spec(name: str) -> FilterSpec:
+    if name not in _REGISTRY:
+        _ensure_providers_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise RegistryError(
+            f"no filter spec registered under {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def has_spec(name: str) -> bool:
+    if name not in _REGISTRY:
+        _ensure_providers_loaded()
+    return name in _REGISTRY
+
+
+def all_specs() -> List[FilterSpec]:
+    _ensure_providers_loaded()
+    return list(_REGISTRY.values())
+
+
+def spec_names() -> List[str]:
+    _ensure_providers_loaded()
+    return sorted(_REGISTRY)
+
+
+# --------------------------------------------------------------------------- #
+# built-in: a raw dataset as a pipeline source
+# --------------------------------------------------------------------------- #
+@register_source(
+    DATASET_SPEC,
+    label="DatasetSource",
+    properties={"dataset": None},
+    description="Wraps a raw Dataset object handed directly into a pipeline.",
+)
+def _dataset_source(ctx: ExecContext) -> Any:
+    dataset = ctx.get("dataset")
+    if dataset is None:
+        ctx.error("no dataset attached")
+    return dataset

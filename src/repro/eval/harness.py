@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.core.assistant import ChatVis, ChatVisConfig
 from repro.core.error_extraction import classify_error
 from repro.core.tasks import CANONICAL_TASKS, VisualizationTask, get_task, prepare_task_data
+from repro.engine.batch import BatchJob, CancelledJob, run_batch
 from repro.eval.ground_truth import ground_truth_script, run_ground_truth
 from repro.eval.image_metrics import (
     coverage_difference,
@@ -164,6 +165,56 @@ class TableTwoResult:
         return "\n".join(lines)
 
 
+def _chatvis_cell(
+    task_name: str,
+    chatvis_dir: Path,
+    chatvis_model: str,
+    resolution: Tuple[int, int],
+    small_data: bool,
+    max_iterations: int,
+) -> TableTwoCell:
+    """One ChatVis cell of Table II (independent unit of work)."""
+    task = get_task(task_name)
+    prepare_task_data(task, chatvis_dir, small=small_data)
+    assistant = ChatVis(
+        chatvis_model,
+        working_dir=chatvis_dir,
+        config=ChatVisConfig(max_iterations=max_iterations),
+    )
+    run = assistant.run(scaled_prompt(task, resolution))
+    final_error = run.iterations[-1].error_type if run.iterations else None
+    return TableTwoCell(
+        method="ChatVis",
+        task=task_name,
+        error=not run.success,
+        screenshot=bool(run.screenshots),
+        error_category="none" if run.success else "other",
+        error_type=None if run.success else final_error,
+        iterations=run.n_iterations,
+    )
+
+
+def _unassisted_cell(
+    model: str,
+    task_name: str,
+    model_dir: Path,
+    resolution: Tuple[int, int],
+    small_data: bool,
+) -> TableTwoCell:
+    """One unassisted-model cell of Table II (independent unit of work)."""
+    task = get_task(task_name)
+    prepare_task_data(task, model_dir, small=small_data)
+    _script, execution = run_unassisted(model, task, model_dir, resolution=resolution)
+    return TableTwoCell(
+        method=str(model),
+        task=task_name,
+        error=not execution.success,
+        screenshot=execution.produced_screenshot,
+        error_category=classify_error(execution.output),
+        error_type=execution.error_type,
+    )
+
+
 def run_table_two(
     working_dir: Union[str, Path],
     models: Sequence[str] = PAPER_MODELS,
@@ -173,54 +224,57 @@ def run_table_two(
     chatvis_model: str = "gpt-4",
     small_data: bool = True,
     max_iterations: int = 5,
+    max_workers: int = 1,
 ) -> TableTwoResult:
-    """Regenerate the Table II experiment."""
+    """Regenerate the Table II experiment.
+
+    Every (method, task) cell is an independent session, so with
+    ``max_workers > 1`` the cells run concurrently on the engine's batch
+    runner.  Each session is deterministic (seeded LLM simulation, isolated
+    per-cell working directory, thread-local pvsim state), so the matrix is
+    identical regardless of ``max_workers``.
+    """
     working_dir = Path(working_dir)
     task_names = list(tasks) if tasks is not None else list(CANONICAL_TASKS)
     methods: List[str] = (["ChatVis"] if include_chatvis else []) + [str(m) for m in models]
     result = TableTwoResult(methods=methods, tasks=task_names)
 
+    jobs: List[BatchJob] = []
     for task_name in task_names:
         task = get_task(task_name)
         task_dir = working_dir / task_name
         prepare_task_data(task, task_dir, small=small_data)
 
         if include_chatvis:
-            chatvis_dir = task_dir / "chatvis"
-            prepare_task_data(task, chatvis_dir, small=small_data)
-            assistant = ChatVis(
-                chatvis_model,
-                working_dir=chatvis_dir,
-                config=ChatVisConfig(max_iterations=max_iterations),
+            jobs.append(
+                BatchJob(
+                    name=f"ChatVis/{task_name}",
+                    fn=_chatvis_cell,
+                    args=(task_name, task_dir / "chatvis", chatvis_model),
+                    kwargs={
+                        "resolution": resolution,
+                        "small_data": small_data,
+                        "max_iterations": max_iterations,
+                    },
+                )
             )
-            run = assistant.run(scaled_prompt(task, resolution))
-            final_error = run.iterations[-1].error_type if run.iterations else None
-            result.cells.append(
-                TableTwoCell(
-                    method="ChatVis",
-                    task=task_name,
-                    error=not run.success,
-                    screenshot=bool(run.screenshots),
-                    error_category="none" if run.success else "other",
-                    error_type=None if run.success else final_error,
-                    iterations=run.n_iterations,
+        for model in models:
+            model_dir = task_dir / str(model).replace(":", "_").replace("/", "_")
+            jobs.append(
+                BatchJob(
+                    name=f"{model}/{task_name}",
+                    fn=_unassisted_cell,
+                    args=(str(model), task_name, model_dir),
+                    kwargs={"resolution": resolution, "small_data": small_data},
                 )
             )
 
-        for model in models:
-            model_dir = task_dir / str(model).replace(":", "_").replace("/", "_")
-            prepare_task_data(task, model_dir, small=small_data)
-            script, execution = run_unassisted(model, task, model_dir, resolution=resolution)
-            result.cells.append(
-                TableTwoCell(
-                    method=str(model),
-                    task=task_name,
-                    error=not execution.success,
-                    screenshot=execution.produced_screenshot,
-                    error_category=classify_error(execution.output),
-                    error_type=execution.error_type,
-                )
-            )
+    outcomes = run_batch(jobs, max_workers=max_workers, stop_on_error=True)
+    for outcome in outcomes:
+        if outcome.error is not None and not isinstance(outcome.error, CancelledJob):
+            raise outcome.error
+    for outcome in outcomes:
+        result.cells.append(outcome.value)
     return result
 
 

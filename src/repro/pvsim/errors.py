@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from repro.engine.errors import NodeExecutionError
+
 __all__ = ["PVSimError", "ProxyPropertyError", "PipelineError"]
 
 
@@ -18,5 +20,9 @@ class ProxyPropertyError(AttributeError):
     """
 
 
-class PipelineError(PVSimError):
-    """Raised when a filter cannot execute (missing input, bad array, ...)."""
+class PipelineError(PVSimError, NodeExecutionError):
+    """Raised when a filter cannot execute (missing input, bad array, ...).
+
+    Also a :class:`~repro.engine.errors.NodeExecutionError`, so engine-level
+    and ParaView-layer failures share one hierarchy.
+    """

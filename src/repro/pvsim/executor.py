@@ -4,8 +4,8 @@ ChatVis executes the generated ParaView Python script with ``pvpython`` and
 inspects the textual output for errors; this module provides the equivalent
 capability on top of :mod:`repro.pvsim.simple`:
 
-* the script text is executed in a fresh namespace inside a working
-  directory,
+* the script text is executed in a fresh namespace against a per-session
+  working directory,
 * ``import paraview.simple`` / ``from paraview.simple import *`` resolve to
   the pvsim layer (a synthetic ``paraview`` package is injected into
   ``sys.modules`` for the duration of the run),
@@ -14,16 +14,27 @@ capability on top of :mod:`repro.pvsim.simple`:
   to the script's own frames, and
 * the files produced by ``SaveScreenshot`` are reported.
 
+The executor is **thread-safe**: concurrent runs (one session per thread,
+driven by :mod:`repro.engine.batch`) are isolated because
+
+* session state is thread-local (:mod:`repro.pvsim.state`),
+* relative paths resolve through the session working directory instead of a
+  process-global ``os.chdir``,
+* stdout/stderr are captured by a router that dispatches writes to the
+  running thread's buffer, and
+* the ``paraview`` module injection is reference-counted, so the modules
+  stay installed while any run is in flight and the originals are restored
+  when the last run finishes.
+
 The resulting :class:`ExecutionResult` is what ChatVis's error-extraction
 tool parses.
 """
 
 from __future__ import annotations
 
-import contextlib
 import io
-import os
 import sys
+import threading
 import traceback
 import types
 from dataclasses import dataclass, field
@@ -125,8 +136,49 @@ def _format_script_traceback(
     return "\n".join(lines)
 
 
+# --------------------------------------------------------------------------- #
+# thread-aware stdout/stderr capture
+# --------------------------------------------------------------------------- #
+class _StreamRouter(io.TextIOBase):
+    """Routes writes to the running thread's buffer, else the real stream."""
+
+    def __init__(self, fallback) -> None:
+        self._fallback = fallback
+        self._targets = threading.local()
+
+    def push(self, buffer: io.StringIO) -> None:
+        self._targets.buffer = buffer
+
+    def pop(self) -> None:
+        self._targets.buffer = None
+
+    def _target(self):
+        return getattr(self._targets, "buffer", None) or self._fallback
+
+    def write(self, text: str) -> int:  # noqa: D102
+        return self._target().write(text)
+
+    def flush(self) -> None:  # noqa: D102
+        target = self._target()
+        flush = getattr(target, "flush", None)
+        if flush is not None:
+            flush()
+
+    @property
+    def encoding(self):  # pragma: no cover - defensive shim
+        return getattr(self._fallback, "encoding", "utf-8")
+
+    def isatty(self) -> bool:  # pragma: no cover - defensive shim
+        return False
+
+
 def _build_fake_paraview_module() -> Dict[str, types.ModuleType]:
-    """Create ``paraview`` / ``paraview.simple`` module objects for scripts."""
+    """Create ``paraview`` / ``paraview.simple`` module objects for scripts.
+
+    Built fresh on each install (not memoized): a script that mutates the
+    module (``paraview.simple.Sphere = None``) must not leak that mutation
+    into later runs.
+    """
     paraview_pkg = types.ModuleType("paraview")
     paraview_pkg.__path__ = []  # mark as a package
     simple_mod = types.ModuleType("paraview.simple")
@@ -146,6 +198,60 @@ def _build_fake_paraview_module() -> Dict[str, types.ModuleType]:
     return {"paraview": paraview_pkg, "paraview.simple": simple_mod}
 
 
+class _RunGuard:
+    """Reference-counted installation of the shared process-global patches.
+
+    The first run in flight installs the fake ``paraview`` modules and the
+    stdout/stderr routers; the last one out restores the originals.  Each
+    concurrent run only touches its own thread-local buffer slot.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._depth = 0
+        self._saved_modules: Dict[str, Optional[types.ModuleType]] = {}
+        self._saved_stdout = None
+        self._saved_stderr = None
+        self.stdout_router: Optional[_StreamRouter] = None
+        self.stderr_router: Optional[_StreamRouter] = None
+
+    def acquire(self, stdout_buffer: io.StringIO, stderr_buffer: io.StringIO) -> None:
+        with self._lock:
+            if self._depth == 0:
+                fake_modules = _build_fake_paraview_module()
+                self._saved_modules = {name: sys.modules.get(name) for name in fake_modules}
+                sys.modules.update(fake_modules)
+                self._saved_stdout = sys.stdout
+                self._saved_stderr = sys.stderr
+                self.stdout_router = _StreamRouter(self._saved_stdout)
+                self.stderr_router = _StreamRouter(self._saved_stderr)
+                sys.stdout = self.stdout_router
+                sys.stderr = self.stderr_router
+            self._depth += 1
+        self.stdout_router.push(stdout_buffer)
+        self.stderr_router.push(stderr_buffer)
+
+    def release(self) -> None:
+        self.stdout_router.pop()
+        self.stderr_router.pop()
+        with self._lock:
+            self._depth -= 1
+            if self._depth == 0:
+                for name, module in self._saved_modules.items():
+                    if module is None:
+                        sys.modules.pop(name, None)
+                    else:
+                        sys.modules[name] = module
+                self._saved_modules = {}
+                sys.stdout = self._saved_stdout
+                sys.stderr = self._saved_stderr
+                self.stdout_router = None
+                self.stderr_router = None
+
+
+_run_guard = _RunGuard()
+
+
 class PvPythonExecutor:
     """Runs ParaView Python scripts against the pvsim layer.
 
@@ -160,7 +266,11 @@ class PvPythonExecutor:
     """
 
     def __init__(self, working_dir: Union[str, Path, None] = None, reset_state: bool = True) -> None:
-        self.working_dir = Path(working_dir) if working_dir is not None else Path.cwd()
+        # absolute: relative paths recorded by the session (screenshots, data
+        # files) must resolve unambiguously, whatever the process CWD is
+        self.working_dir = (
+            Path(working_dir).resolve() if working_dir is not None else Path.cwd()
+        )
         self.working_dir.mkdir(parents=True, exist_ok=True)
         self.reset_state = reset_state
 
@@ -171,13 +281,12 @@ class PvPythonExecutor:
         stdout_buffer = io.StringIO()
         stderr_buffer = io.StringIO()
 
-        fake_modules = _build_fake_paraview_module()
-        saved_modules = {name: sys.modules.get(name) for name in fake_modules}
-        previous_cwd = Path.cwd()
         files_before = {p.name for p in self.working_dir.iterdir()} if self.working_dir.exists() else set()
 
         if self.reset_state:
             state.reset_session()
+        previous_working_dir = state.get_working_directory()
+        state.set_working_directory(self.working_dir)
 
         namespace: Dict[str, object] = {"__name__": "__main__", "__file__": script_name}
 
@@ -186,30 +295,24 @@ class PvPythonExecutor:
         error_message: Optional[str] = None
         traceback_text = ""
 
+        _run_guard.acquire(stdout_buffer, stderr_buffer)
         try:
-            sys.modules.update(fake_modules)
-            os.chdir(self.working_dir)
-            with contextlib.redirect_stdout(stdout_buffer), contextlib.redirect_stderr(stderr_buffer):
-                try:
-                    code = compile(script_text, script_name, "exec")
-                    exec(code, namespace)  # noqa: S102 - intentional script execution
-                except BaseException as exc:  # noqa: BLE001 - report all script errors
-                    success = False
-                    error_type = _display_error_name(exc)
-                    error_message = str(exc)
-                    traceback_text = _format_script_traceback(exc, script_name, script_lines)
+            try:
+                code = compile(script_text, script_name, "exec")
+                exec(code, namespace)  # noqa: S102 - intentional script execution
+            except BaseException as exc:  # noqa: BLE001 - report all script errors
+                success = False
+                error_type = _display_error_name(exc)
+                error_message = str(exc)
+                traceback_text = _format_script_traceback(exc, script_name, script_lines)
         finally:
-            os.chdir(previous_cwd)
-            for name, module in saved_modules.items():
-                if module is None:
-                    sys.modules.pop(name, None)
-                else:
-                    sys.modules[name] = module
+            _run_guard.release()
+            screenshots = [
+                str((self.working_dir / Path(p)).resolve()) if not Path(p).is_absolute() else p
+                for p in state.screenshots()
+            ]
+            state.set_working_directory(previous_working_dir)
 
-        screenshots = [
-            str((self.working_dir / Path(p)).resolve()) if not Path(p).is_absolute() else p
-            for p in state.screenshots()
-        ]
         files_after = {p.name for p in self.working_dir.iterdir()}
         produced = sorted(files_after - files_before)
 

@@ -1,14 +1,22 @@
-"""Filter proxies wrapping :mod:`repro.algorithms`.
+"""Filter specs wrapping :mod:`repro.algorithms`.
 
-Property names and defaults follow the ParaView 5.12 proxies so that scripts
-written for real ParaView (including the ones the simulated LLMs generate)
-run unchanged — or fail with the same ``AttributeError`` they would produce
-on real ParaView when they hallucinate a property.
+Each filter is *declared* to the engine's registry —
+``@register_filter(name, properties=...)`` over one execute function — and
+the ParaView-style proxy class is generated from the spec by
+:func:`~repro.pvsim.pipeline.proxy_class`.  Property names and defaults
+follow the ParaView 5.12 proxies so that scripts written for real ParaView
+(including the ones the simulated LLMs generate) run unchanged — or fail
+with the same ``AttributeError`` they would produce on real ParaView when
+they hallucinate a property.
+
+The same specs back the engine's programmatic API: non-ParaView callers
+drive them through :class:`repro.engine.Pipeline` without any
+``paraview.simple`` syntax.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict
 
 import numpy as np
 
@@ -25,8 +33,8 @@ from repro.algorithms import (
 )
 from repro.algorithms.stream_tracer import StreamTracerOptions, line_seeds, point_cloud_seeds
 from repro.datamodel import Dataset, PolyData
-from repro.pvsim.errors import PipelineError
-from repro.pvsim.pipeline import FilterProxy, array_selection
+from repro.engine.registry import ExecContext, register_filter
+from repro.pvsim.pipeline import array_selection, proxy_class
 
 __all__ = [
     "Contour",
@@ -42,112 +50,105 @@ __all__ = [
 ]
 
 
-class Contour(FilterProxy):
-    """Isosurface / isoline extraction (ParaView's ``Contour`` filter)."""
-
-    LABEL = "Contour"
-    PROPERTIES: Dict[str, Any] = {
+@register_filter(
+    "Contour",
+    properties={
         "ContourBy": ["POINTS", ""],
         "Isosurfaces": [0.0],
         "ComputeNormals": 1,
         "ComputeScalars": 1,
-    }
+    },
+    description="Isosurface / isoline extraction (ParaView's ``Contour`` filter).",
+)
+def _contour(ctx: ExecContext) -> Dataset:
+    dataset = ctx.input()
+    _assoc, name = array_selection(ctx.get("ContourBy"))
+    if name in (None, ""):
+        first = dataset.point_data.first_scalar()
+        if first is None:
+            ctx.error("input has no point scalar array")
+        name = first.name
+    values = ctx.get("Isosurfaces")
+    if isinstance(values, (int, float)):
+        values = [values]
+    if not values:
+        ctx.error("Isosurfaces is empty")
+    return contour_filter(
+        dataset,
+        [float(v) for v in values],
+        array_name=name,
+        compute_normals=bool(ctx.get("ComputeNormals")),
+    )
 
-    def _execute(self) -> Dataset:
-        dataset = self.input_dataset()
-        _assoc, name = array_selection(self.ContourBy)
-        if name in (None, ""):
-            first = dataset.point_data.first_scalar()
-            if first is None:
-                raise PipelineError("Contour: input has no point scalar array")
-            name = first.name
-        values = self.Isosurfaces
-        if isinstance(values, (int, float)):
-            values = [values]
-        if not values:
-            raise PipelineError("Contour: Isosurfaces is empty")
-        return contour_filter(
-            dataset,
-            [float(v) for v in values],
-            array_name=name,
-            compute_normals=bool(self.ComputeNormals),
-        )
 
-
-class Slice(FilterProxy):
-    """Plane slicing (ParaView's ``Slice`` filter with a Plane slice type)."""
-
-    LABEL = "Slice"
-    PROPERTIES: Dict[str, Any] = {
+@register_filter(
+    "Slice",
+    properties={
         "SliceOffsetValues": [0.0],
         "Triangulatetheslice": 1,
-    }
-    GROUPS: Dict[str, Dict[str, Any]] = {
+    },
+    groups={
         "SliceType": {"Origin": [0.0, 0.0, 0.0], "Normal": [1.0, 0.0, 0.0]},
         "HyperTreeGridSlicer": {"Origin": [0.0, 0.0, 0.0], "Normal": [1.0, 0.0, 0.0]},
-    }
+    },
+    description="Plane slicing (ParaView's ``Slice`` filter with a Plane slice type).",
+)
+def _slice(ctx: ExecContext) -> Dataset:
+    dataset = ctx.input()
+    plane = ctx.group("SliceType")
+    return slice_dataset(dataset, origin=list(plane.Origin), normal=list(plane.Normal))
 
-    def _execute(self) -> Dataset:
-        dataset = self.input_dataset()
-        plane = self.SliceType
-        return slice_dataset(dataset, origin=list(plane.Origin), normal=list(plane.Normal))
 
-
-class Clip(FilterProxy):
-    """Plane clipping (ParaView's ``Clip``); ``Invert=1`` keeps the -normal side."""
-
-    LABEL = "Clip"
-    PROPERTIES: Dict[str, Any] = {
+@register_filter(
+    "Clip",
+    properties={
         "Invert": 1,
         "Crinkleclip": 0,
         "Scalars": ["POINTS", ""],
         "Value": 0.0,
-    }
-    GROUPS: Dict[str, Dict[str, Any]] = {
+    },
+    groups={
         "ClipType": {"Origin": [0.0, 0.0, 0.0], "Normal": [1.0, 0.0, 0.0]},
         "HyperTreeGridClipper": {"Origin": [0.0, 0.0, 0.0], "Normal": [1.0, 0.0, 0.0]},
-    }
+    },
+    description="Plane clipping (ParaView's ``Clip``); ``Invert=1`` keeps the -normal side.",
+)
+def _clip(ctx: ExecContext) -> Dataset:
+    dataset = ctx.input()
+    plane = ctx.group("ClipType")
+    return clip_dataset(
+        dataset,
+        origin=list(plane.Origin),
+        normal=list(plane.Normal),
+        keep_negative=bool(ctx.get("Invert")),
+    )
 
-    def _execute(self) -> Dataset:
-        dataset = self.input_dataset()
-        plane = self.ClipType
-        return clip_dataset(
-            dataset,
-            origin=list(plane.Origin),
-            normal=list(plane.Normal),
-            keep_negative=bool(self.Invert),
-        )
 
-
-class Delaunay3D(FilterProxy):
-    """3-d Delaunay triangulation of the input points."""
-
-    LABEL = "Delaunay3D"
-    PROPERTIES: Dict[str, Any] = {
+@register_filter(
+    "Delaunay3D",
+    properties={
         "Alpha": 0.0,
         "Tolerance": 0.001,
         "Offset": 2.5,
         "BoundingTriangulation": 0,
-    }
+    },
+    description="3-d Delaunay triangulation of the input points.",
+)
+def _delaunay3d(ctx: ExecContext) -> Dataset:
+    return delaunay_3d(ctx.input(), backend="auto")
 
-    def _execute(self) -> Dataset:
-        dataset = self.input_dataset()
-        return delaunay_3d(dataset, backend="auto")
 
-
-class StreamTracer(FilterProxy):
-    """Streamline integration through a point vector field."""
-
-    LABEL = "StreamTracer"
-    PROPERTIES: Dict[str, Any] = {
+@register_filter(
+    "StreamTracer",
+    properties={
         "Vectors": ["POINTS", ""],
         "IntegrationDirection": "BOTH",
         "IntegratorType": "Runge-Kutta 4-5",
         "MaximumStreamlineLength": None,
         "MaximumSteps": 500,
         "InitialStepLength": None,
-    }
-    GROUPS: Dict[str, Dict[str, Any]] = {
+    },
+    groups={
         "SeedType": {
             "Center": None,
             "Radius": None,
@@ -156,88 +157,78 @@ class StreamTracer(FilterProxy):
             "Point2": [1.0, 0.0, 0.0],
             "Resolution": 20,
         },
-    }
-
-    def _select_group_kind(self, group_name: str, kind: str) -> None:
-        allowed = {"point cloud", "high resolution line source", "line", "point", "points"}
-        if group_name == "SeedType" and str(kind).lower() not in allowed:
-            raise PipelineError(f"StreamTracer: unknown seed type {kind!r}")
-        super()._select_group_kind(group_name, kind)
-
-    def _seed_kind(self) -> str:
-        values = object.__getattribute__(self, "_values")
-        return str(values.get("_SeedTypeKind", "Point Cloud"))
-
-    def _execute(self) -> Dataset:
-        dataset = self.input_dataset()
-        _assoc, name = array_selection(self.Vectors)
-        if name in (None, ""):
-            first = dataset.point_data.first_vector()
-            if first is None:
-                raise PipelineError("StreamTracer: input has no point vector array")
-            name = first.name
-        if name not in dataset.point_data:
-            raise PipelineError(
-                f"StreamTracer: no point array named {name!r}; available: "
-                f"{dataset.point_data.names()}"
-            )
-
-        seed_group = self.SeedType
-        kind = self._seed_kind().lower()
-        if kind in ("high resolution line source", "line"):
-            seeds = line_seeds(seed_group.Point1, seed_group.Point2, seed_group.Resolution)
-        else:
-            bounds = dataset.bounds()
-            center = seed_group.Center if seed_group.Center is not None else bounds.center
-            radius = seed_group.Radius
-            n_points = int(seed_group.NumberOfPoints or 100)
-            seeds = point_cloud_seeds(dataset, n_points=n_points, center=center, radius=radius)
-
-        direction_map = {"FORWARD": "forward", "BACKWARD": "backward", "BOTH": "both"}
-        direction = direction_map.get(str(self.IntegrationDirection).upper(), "both")
-        options = StreamTracerOptions(
-            max_steps=int(self.MaximumSteps or 500),
-            step_size=self.InitialStepLength,
-            max_length=self.MaximumStreamlineLength,
-            direction=direction,
+    },
+    group_kinds={
+        "SeedType": ("point cloud", "high resolution line source", "line", "point", "points"),
+    },
+    description="Streamline integration through a point vector field.",
+)
+def _stream_tracer(ctx: ExecContext) -> Dataset:
+    dataset = ctx.input()
+    _assoc, name = array_selection(ctx.get("Vectors"))
+    if name in (None, ""):
+        first = dataset.point_data.first_vector()
+        if first is None:
+            ctx.error("input has no point vector array")
+        name = first.name
+    if name not in dataset.point_data:
+        ctx.error(
+            f"no point array named {name!r}; available: {dataset.point_data.names()}"
         )
-        return stream_tracer_filter(dataset, vector_array=name, seeds=seeds, options=options)
+
+    seed_group = ctx.group("SeedType")
+    kind = ctx.group_kind("SeedType", "Point Cloud").lower()
+    if kind in ("high resolution line source", "line"):
+        seeds = line_seeds(seed_group.Point1, seed_group.Point2, seed_group.Resolution)
+    else:
+        bounds = dataset.bounds()
+        center = seed_group.Center if seed_group.Center is not None else bounds.center
+        radius = seed_group.Radius
+        n_points = int(seed_group.NumberOfPoints or 100)
+        seeds = point_cloud_seeds(dataset, n_points=n_points, center=center, radius=radius)
+
+    direction_map = {"FORWARD": "forward", "BACKWARD": "backward", "BOTH": "both"}
+    direction = direction_map.get(str(ctx.get("IntegrationDirection")).upper(), "both")
+    options = StreamTracerOptions(
+        max_steps=int(ctx.get("MaximumSteps") or 500),
+        step_size=ctx.get("InitialStepLength"),
+        max_length=ctx.get("MaximumStreamlineLength"),
+        direction=direction,
+    )
+    return stream_tracer_filter(dataset, vector_array=name, seeds=seeds, options=options)
 
 
-class Tube(FilterProxy):
-    """Wrap polylines (e.g. streamlines) in 3-d tubes."""
-
-    LABEL = "Tube"
-    PROPERTIES: Dict[str, Any] = {
+@register_filter(
+    "Tube",
+    properties={
         "Radius": 0.1,
         "NumberofSides": 6,
         "VaryRadius": "Off",
         "RadiusFactor": 2.0,
         "Scalars": ["POINTS", ""],
-    }
+    },
+    description="Wrap polylines (e.g. streamlines) in 3-d tubes.",
+)
+def _tube(ctx: ExecContext) -> Dataset:
+    dataset = ctx.input()
+    if not isinstance(dataset, PolyData) or dataset.n_lines == 0:
+        ctx.error("input has no polylines to wrap")
+    vary_by = None
+    if str(ctx.get("VaryRadius")).lower() not in ("off", "0", "none"):
+        _assoc, name = array_selection(ctx.get("Scalars"))
+        vary_by = name or None
+    return tube_filter(
+        dataset,
+        radius=float(ctx.get("Radius")),
+        n_sides=int(ctx.get("NumberofSides")),
+        vary_radius_by=vary_by,
+        radius_factor=float(ctx.get("RadiusFactor")),
+    )
 
-    def _execute(self) -> Dataset:
-        dataset = self.input_dataset()
-        if not isinstance(dataset, PolyData) or dataset.n_lines == 0:
-            raise PipelineError("Tube: input has no polylines to wrap")
-        vary_by = None
-        if str(self.VaryRadius).lower() not in ("off", "0", "none"):
-            _assoc, name = array_selection(self.Scalars)
-            vary_by = name or None
-        return tube_filter(
-            dataset,
-            radius=float(self.Radius),
-            n_sides=int(self.NumberofSides),
-            vary_radius_by=vary_by,
-            radius_factor=float(self.RadiusFactor),
-        )
 
-
-class Glyph(FilterProxy):
-    """Oriented glyphs (cones/arrows/spheres) placed on the input points."""
-
-    LABEL = "Glyph"
-    PROPERTIES: Dict[str, Any] = {
+@register_filter(
+    "Glyph",
+    properties={
         "GlyphType": "Arrow",
         "OrientationArray": ["POINTS", "No orientation array"],
         "ScaleArray": ["POINTS", "No scale array"],
@@ -246,154 +237,166 @@ class Glyph(FilterProxy):
         "MaximumNumberOfSamplePoints": 200,
         "Stride": 1,
         "Seed": 10339,
-    }
-
-    def _execute(self) -> Dataset:
-        dataset = self.input_dataset()
-        glyph_type = str(self.GlyphType).lower()
-        if glyph_type not in ("cone", "arrow", "sphere"):
-            raise PipelineError(
-                f"Glyph: unsupported glyph type {self.GlyphType!r} "
-                "(expected 'Cone', 'Arrow' or 'Sphere')"
-            )
-
-        _assoc, orient_name = array_selection(self.OrientationArray)
-        if orient_name in ("No orientation array", "", None):
-            orient_name = None
-        elif orient_name not in dataset.point_data:
-            raise PipelineError(
-                f"Glyph: no point array named {orient_name!r}; available: "
-                f"{dataset.point_data.names()}"
-            )
-
-        _assoc, scale_name = array_selection(self.ScaleArray)
-        if scale_name in ("No scale array", "", None):
-            scale_name = None
-        elif scale_name not in dataset.point_data:
-            raise PipelineError(
-                f"Glyph: no point array named {scale_name!r}; available: "
-                f"{dataset.point_data.names()}"
-            )
-
-        mode = str(self.GlyphMode).lower()
-        if "every" in mode and "nth" in mode:
-            stride = max(int(self.Stride), 1)
-            max_glyphs = max(dataset.n_points // stride, 1)
-        else:
-            stride = None
-            max_glyphs = int(self.MaximumNumberOfSamplePoints or 200)
-
-        scale_factor = self.ScaleFactor
-        return glyph_filter(
-            dataset,
-            glyph_type=glyph_type,
-            orientation_array=orient_name,
-            scale_array=scale_name,
-            scale_factor=None if scale_factor in (None, "") else float(scale_factor),
-            max_glyphs=max_glyphs,
-            stride=stride,
-            seed=int(self.Seed) % (2 ** 31),
+    },
+    description="Oriented glyphs (cones/arrows/spheres) placed on the input points.",
+)
+def _glyph(ctx: ExecContext) -> Dataset:
+    dataset = ctx.input()
+    glyph_type = str(ctx.get("GlyphType")).lower()
+    if glyph_type not in ("cone", "arrow", "sphere"):
+        ctx.error(
+            f"unsupported glyph type {ctx.get('GlyphType')!r} "
+            "(expected 'Cone', 'Arrow' or 'Sphere')"
         )
 
+    _assoc, orient_name = array_selection(ctx.get("OrientationArray"))
+    if orient_name in ("No orientation array", "", None):
+        orient_name = None
+    elif orient_name not in dataset.point_data:
+        ctx.error(
+            f"no point array named {orient_name!r}; available: "
+            f"{dataset.point_data.names()}"
+        )
 
-class Threshold(FilterProxy):
-    """Keep cells whose selected scalar lies inside a range."""
+    _assoc, scale_name = array_selection(ctx.get("ScaleArray"))
+    if scale_name in ("No scale array", "", None):
+        scale_name = None
+    elif scale_name not in dataset.point_data:
+        ctx.error(
+            f"no point array named {scale_name!r}; available: "
+            f"{dataset.point_data.names()}"
+        )
 
-    LABEL = "Threshold"
-    PROPERTIES: Dict[str, Any] = {
+    mode = str(ctx.get("GlyphMode")).lower()
+    if "every" in mode and "nth" in mode:
+        stride = max(int(ctx.get("Stride")), 1)
+        max_glyphs = max(dataset.n_points // stride, 1)
+    else:
+        stride = None
+        max_glyphs = int(ctx.get("MaximumNumberOfSamplePoints") or 200)
+
+    scale_factor = ctx.get("ScaleFactor")
+    return glyph_filter(
+        dataset,
+        glyph_type=glyph_type,
+        orientation_array=orient_name,
+        scale_array=scale_name,
+        scale_factor=None if scale_factor in (None, "") else float(scale_factor),
+        max_glyphs=max_glyphs,
+        stride=stride,
+        seed=int(ctx.get("Seed")) % (2 ** 31),
+    )
+
+
+@register_filter(
+    "Threshold",
+    properties={
         "Scalars": ["POINTS", ""],
         "LowerThreshold": 0.0,
         "UpperThreshold": 1.0,
         "ThresholdMethod": "Between",
         "AllScalars": 1,
-    }
+    },
+    description="Keep cells whose selected scalar lies inside a range.",
+)
+def _threshold(ctx: ExecContext) -> Dataset:
+    dataset = ctx.input()
+    _assoc, name = array_selection(ctx.get("Scalars"))
+    if name in (None, ""):
+        first = dataset.point_data.first_scalar()
+        if first is None:
+            ctx.error("input has no point scalar array")
+        name = first.name
+    method = str(ctx.get("ThresholdMethod")).lower()
+    lower = float(ctx.get("LowerThreshold"))
+    upper = float(ctx.get("UpperThreshold"))
+    if "below" in method:
+        lower = -np.inf
+    elif "above" in method:
+        upper = np.inf
+    return threshold_filter(
+        dataset,
+        array_name=name,
+        lower=lower,
+        upper=upper,
+        all_points=bool(ctx.get("AllScalars")),
+    )
 
-    def _execute(self) -> Dataset:
-        dataset = self.input_dataset()
-        _assoc, name = array_selection(self.Scalars)
-        if name in (None, ""):
-            first = dataset.point_data.first_scalar()
-            if first is None:
-                raise PipelineError("Threshold: input has no point scalar array")
-            name = first.name
-        method = str(self.ThresholdMethod).lower()
-        lower = float(self.LowerThreshold)
-        upper = float(self.UpperThreshold)
-        if "below" in method:
-            lower = -np.inf
-        elif "above" in method:
-            upper = np.inf
-        return threshold_filter(
-            dataset,
-            array_name=name,
-            lower=lower,
-            upper=upper,
-            all_points=bool(self.AllScalars),
-        )
 
-
-class ExtractSurface(FilterProxy):
-    """Extract the outer surface of the input as PolyData."""
-
-    LABEL = "ExtractSurface"
-    PROPERTIES: Dict[str, Any] = {
+@register_filter(
+    "ExtractSurface",
+    properties={
         "PieceInvariant": 1,
         "NonlinearSubdivisionLevel": 1,
-    }
+    },
+    description="Extract the outer surface of the input as PolyData.",
+)
+def _extract_surface(ctx: ExecContext) -> Dataset:
+    return extract_surface_filter(ctx.input())
 
-    def _execute(self) -> Dataset:
-        return extract_surface_filter(self.input_dataset())
+
+_CALCULATOR_FUNCS: Dict[str, Any] = {
+    "sin": np.sin,
+    "cos": np.cos,
+    "tan": np.tan,
+    "exp": np.exp,
+    "log": np.log,
+    "sqrt": np.sqrt,
+    "abs": np.abs,
+    "mag": lambda v: np.linalg.norm(v, axis=1),
+}
 
 
-class Calculator(FilterProxy):
-    """A restricted Calculator: evaluates a NumPy-safe expression per point.
-
-    The expression may reference point array names and the coordinate names
-    ``coordsX``/``coordsY``/``coordsZ``; the result is stored as a new point
-    array named by ``ResultArrayName``.
-    """
-
-    LABEL = "Calculator"
-    PROPERTIES: Dict[str, Any] = {
+@register_filter(
+    "Calculator",
+    properties={
         "Function": "",
         "ResultArrayName": "Result",
         "AttributeType": "Point Data",
+    },
+    description=(
+        "A restricted Calculator: evaluates a NumPy-safe expression per point "
+        "over point arrays and coordsX/coordsY/coordsZ."
+    ),
+)
+def _calculator(ctx: ExecContext) -> Dataset:
+    dataset = ctx.input()
+    expression = str(ctx.get("Function")).strip()
+    if not expression:
+        ctx.error("Function is empty")
+    points = dataset.get_points()
+    namespace: Dict[str, Any] = {
+        "coordsX": points[:, 0],
+        "coordsY": points[:, 1],
+        "coordsZ": points[:, 2],
     }
+    namespace.update(_CALCULATOR_FUNCS)
+    for name in dataset.point_data.names():
+        arr = dataset.point_data[name]
+        namespace[name] = arr.as_scalar() if arr.is_scalar else arr.values
+    try:
+        result = eval(expression, {"__builtins__": {}}, namespace)  # noqa: S307
+    except Exception as exc:  # pragma: no cover - message path
+        ctx.error(f"cannot evaluate {expression!r}: {exc}")
 
-    _ALLOWED_FUNCS = {
-        "sin": np.sin,
-        "cos": np.cos,
-        "tan": np.tan,
-        "exp": np.exp,
-        "log": np.log,
-        "sqrt": np.sqrt,
-        "abs": np.abs,
-        "mag": lambda v: np.linalg.norm(v, axis=1),
-    }
+    # shallow copy of the input with the new array attached
+    import copy as _copy
 
-    def _execute(self) -> Dataset:
-        dataset = self.input_dataset()
-        expression = str(self.Function).strip()
-        if not expression:
-            raise PipelineError("Calculator: Function is empty")
-        points = dataset.get_points()
-        namespace: Dict[str, Any] = {
-            "coordsX": points[:, 0],
-            "coordsY": points[:, 1],
-            "coordsZ": points[:, 2],
-        }
-        namespace.update(self._ALLOWED_FUNCS)
-        for name in dataset.point_data.names():
-            arr = dataset.point_data[name]
-            namespace[name] = arr.as_scalar() if arr.is_scalar else arr.values
-        try:
-            result = eval(expression, {"__builtins__": {}}, namespace)  # noqa: S307
-        except Exception as exc:  # pragma: no cover - message path
-            raise PipelineError(f"Calculator: cannot evaluate {expression!r}: {exc}") from exc
+    output = _copy.deepcopy(dataset)
+    output.add_point_array(str(ctx.get("ResultArrayName")), np.asarray(result, dtype=np.float64))
+    return output
 
-        # shallow copy of the input with the new array attached
-        import copy as _copy
 
-        output = _copy.deepcopy(dataset)
-        output.add_point_array(str(self.ResultArrayName), np.asarray(result, dtype=np.float64))
-        return output
+# --------------------------------------------------------------------------- #
+# generated proxy classes (ParaView-compatible API surface)
+# --------------------------------------------------------------------------- #
+Contour = proxy_class("Contour", module=__name__)
+Slice = proxy_class("Slice", module=__name__)
+Clip = proxy_class("Clip", module=__name__)
+Delaunay3D = proxy_class("Delaunay3D", module=__name__)
+StreamTracer = proxy_class("StreamTracer", module=__name__)
+Tube = proxy_class("Tube", module=__name__)
+Glyph = proxy_class("Glyph", module=__name__)
+Threshold = proxy_class("Threshold", module=__name__)
+ExtractSurface = proxy_class("ExtractSurface", module=__name__)
+Calculator = proxy_class("Calculator", module=__name__)

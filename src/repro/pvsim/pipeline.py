@@ -1,14 +1,51 @@
-"""Pipeline-object base classes (sources and filters)."""
+"""Pipeline-object base classes (sources and filters), engine-backed.
+
+Proxies are now thin, declarative shells: each concrete proxy class is
+generated from a :class:`~repro.engine.registry.FilterSpec` by
+:func:`proxy_class`, and ``get_output()`` no longer chases ``Input``
+references with per-proxy caches — it snapshots the proxy chain into an
+explicit :class:`~repro.engine.graph.PipelineGraph` and hands it to the
+shared demand-driven :class:`~repro.engine.core.Engine`.  The engine's
+content-addressed cache keys on (filter kind, normalized properties,
+upstream keys), which preserves the old invalidation semantics — mutating a
+property invalidates exactly the downstream subgraph — while letting
+identical pipelines in different sessions share results.
+"""
 
 from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.datamodel import Dataset
+from repro.engine.core import Engine
+from repro.engine.graph import PipelineGraph
+from repro.engine.registry import DATASET_SPEC, get_spec
 from repro.pvsim.errors import PipelineError
 from repro.pvsim.proxies import Proxy
 
-__all__ = ["SourceProxy", "FilterProxy", "array_selection"]
+__all__ = [
+    "SourceProxy",
+    "FilterProxy",
+    "array_selection",
+    "graph_from_proxy",
+    "proxy_class",
+    "pvsim_engine",
+]
+
+
+# constructed eagerly at import: lazy init would need a lock to stop two
+# first-callers in concurrent sessions creating separate engines (and
+# splitting the thread-local stats ChatVis reads)
+_engine = Engine(error_class=PipelineError)
+
+
+def pvsim_engine() -> Engine:
+    """The engine every pvsim proxy evaluates through.
+
+    Uses the process-wide shared result cache and raises
+    :class:`PipelineError` (the error type paper-style scripts expect).
+    """
+    return _engine
 
 
 def array_selection(value: Any, default_association: str = "POINTS") -> Tuple[str, Optional[str]]:
@@ -39,6 +76,9 @@ def array_selection(value: Any, default_association: str = "POINTS") -> Tuple[st
 class SourceProxy(Proxy):
     """Base class for every pipeline object that produces a dataset."""
 
+    #: name of the engine spec this proxy executes (set by :func:`proxy_class`)
+    SPEC_NAME: Optional[str] = None
+
     def __init__(self, registrationName: Optional[str] = None, **kwargs: Any) -> None:
         super().__init__(registrationName=registrationName, **kwargs)
         # auto-register as the active source, like paraview.simple does
@@ -49,20 +89,8 @@ class SourceProxy(Proxy):
     # ------------------------------------------------------------------ #
     def get_output(self) -> Dataset:
         """Execute the pipeline up to (and including) this proxy."""
-        cached = object.__getattribute__(self, "_cached_output")
-        modified = object.__getattribute__(self, "_modified")
-        if cached is not None and not modified and not self._upstream_modified():
-            return cached
-        output = self._execute()
-        object.__setattr__(self, "_cached_output", output)
-        object.__setattr__(self, "_modified", False)
-        return output
-
-    def _execute(self) -> Dataset:
-        raise NotImplementedError
-
-    def _upstream_modified(self) -> bool:
-        return False
+        graph, target = graph_from_proxy(self)
+        return pvsim_engine().evaluate(graph, target)
 
     # ParaView's proxies expose UpdatePipeline(); generated scripts call it.
     def UpdatePipeline(self, time: Optional[float] = None) -> None:  # noqa: N802
@@ -113,6 +141,7 @@ class FilterProxy(SourceProxy):
                 object.__getattribute__(self, "_values")["Input"] = active
 
     def input_dataset(self) -> Dataset:
+        """The upstream dataset (compatibility helper for direct callers)."""
         source = self.Input
         if source is None:
             raise PipelineError(
@@ -127,8 +156,109 @@ class FilterProxy(SourceProxy):
             f"{type(source).__name__}"
         )
 
-    def _upstream_modified(self) -> bool:
-        source = self.Input
-        if isinstance(source, SourceProxy):
-            return bool(object.__getattribute__(source, "_modified")) or source._upstream_modified()
-        return False
+
+# --------------------------------------------------------------------------- #
+# proxy chain → engine graph
+# --------------------------------------------------------------------------- #
+def _node_properties(proxy: Proxy) -> Dict[str, Any]:
+    """Snapshot a proxy's property values (groups flattened to dicts)."""
+    values = object.__getattribute__(proxy, "_values")
+    properties = {name: value for name, value in values.items() if name != "Input"}
+    groups = object.__getattribute__(proxy, "_groups")
+    for name, group in groups.items():
+        properties[name] = group.as_dict()
+    return properties
+
+
+def graph_from_proxy(proxy: "SourceProxy") -> Tuple[PipelineGraph, str]:
+    """Snapshot the upstream proxy chain of ``proxy`` into an engine graph.
+
+    Returns ``(graph, target_node_id)``.  Cycles in the proxy links (e.g. a
+    filter fed, transitively, by itself) raise :class:`PipelineError` instead
+    of recursing forever.
+    """
+    graph = PipelineGraph()
+    node_ids: Dict[int, Optional[str]] = {}  # id(proxy) -> node id; None = building
+
+    def build(p: SourceProxy) -> str:
+        key = id(p)
+        if key in node_ids:
+            node_id = node_ids[key]
+            if node_id is None:
+                raise PipelineError(
+                    f"pipeline contains a cycle through {p.registration_name!r}"
+                )
+            return node_id
+        node_ids[key] = None
+
+        spec_name = type(p).SPEC_NAME
+        if spec_name is None:
+            raise PipelineError(
+                f"proxy {p.registration_name!r} has no registered engine spec"
+            )
+
+        inputs: List[str] = []
+        if isinstance(p, FilterProxy):
+            source = object.__getattribute__(p, "_values").get("Input")
+            if isinstance(source, SourceProxy):
+                inputs.append(build(source))
+            elif isinstance(source, Dataset):
+                raw = graph.add_node(
+                    DATASET_SPEC,
+                    {"dataset": source},
+                    name=f"{p.registration_name}.Input",
+                )
+                inputs.append(raw.id)
+            elif source is not None:
+                raise PipelineError(
+                    f"filter {p.registration_name!r} has an invalid Input of type "
+                    f"{type(source).__name__}"
+                )
+
+        node = graph.add_node(
+            spec_name,
+            _node_properties(p),
+            name=p.registration_name,
+            inputs=inputs,
+        )
+        node_ids[key] = node.id
+        return node.id
+
+    return graph, build(proxy)
+
+
+# --------------------------------------------------------------------------- #
+# spec → proxy class factory
+# --------------------------------------------------------------------------- #
+def proxy_class(spec_name: str, module: Optional[str] = None) -> type:
+    """Generate a ParaView-style proxy class from a registered engine spec.
+
+    The generated class inherits the strict property checking of
+    :class:`~repro.pvsim.proxies.Proxy` (unknown attributes raise
+    ``AttributeError`` — the hallucination signal), exposes the spec's
+    property table and groups, and executes through the engine.
+    """
+    spec = get_spec(spec_name)
+    base = SourceProxy if spec.is_source else FilterProxy
+    attrs: Dict[str, Any] = {
+        "LABEL": spec.label,
+        "SPEC_NAME": spec.name,
+        "PROPERTIES": dict(spec.properties),
+        "GROUPS": {name: dict(values) for name, values in spec.groups.items()},
+        "__doc__": spec.description or f"Engine-generated proxy for {spec.name!r}.",
+    }
+    if module is not None:
+        attrs["__module__"] = module
+
+    if spec.group_kinds:
+        def _select_group_kind(self, group_name: str, kind: str, _spec=spec) -> None:
+            allowed = _spec.group_kinds.get(group_name)
+            if allowed is not None and str(kind).lower() not in allowed:
+                raise PipelineError(
+                    f"{_spec.label}: unknown {group_name} kind {kind!r}"
+                )
+            Proxy._select_group_kind(self, group_name, kind)
+
+        attrs["_select_group_kind"] = _select_group_kind
+
+    return type(spec.label, (base,), attrs)

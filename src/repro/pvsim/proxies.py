@@ -15,19 +15,24 @@ raises :class:`~repro.pvsim.errors.ProxyPropertyError`.
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.pvsim.errors import ProxyPropertyError
 
 __all__ = ["Proxy", "PropertyGroupProxy", "next_registration_name"]
 
-_REGISTRATION_COUNTER = itertools.count(1)
-
 
 def next_registration_name(base: str) -> str:
-    """ParaView-style automatic registration names (``Contour1``, ``Contour2``...)."""
-    return f"{base}{next(_REGISTRATION_COUNTER)}"
+    """ParaView-style automatic registration names (``Contour1``, ``Contour2``...).
+
+    The counter is session-local (and sessions are per-thread), so the names
+    a script's proxies receive — which appear in error messages and hence in
+    the correction prompts the seeded LLM simulation keys on — do not depend
+    on what other sessions are doing concurrently.
+    """
+    from repro.pvsim import state
+
+    return f"{base}{state.next_registration_index()}"
 
 
 class PropertyGroupProxy:
@@ -93,8 +98,6 @@ class Proxy:
         object.__setattr__(self, "_label", label)
         object.__setattr__(self, "_values", {})
         object.__setattr__(self, "_groups", {})
-        object.__setattr__(self, "_modified", True)
-        object.__setattr__(self, "_cached_output", None)
         object.__setattr__(
             self, "_registration_name", registrationName or next_registration_name(label)
         )
@@ -182,8 +185,12 @@ class Proxy:
     # bookkeeping
     # ------------------------------------------------------------------ #
     def _mark_modified(self) -> None:
-        object.__setattr__(self, "_modified", True)
-        object.__setattr__(self, "_cached_output", None)
+        """Property-change notification hook.
+
+        Per-proxy output caching moved to the engine's content-addressed
+        cache (keys change with the property values), so there is no state
+        to invalidate here; subclasses may override to react to changes.
+        """
 
     @property
     def registration_name(self) -> str:
@@ -202,7 +209,27 @@ class Proxy:
             setattr(self, name, value)
 
     def __repr__(self) -> str:
-        return f"<{object.__getattribute__(self, '_label')} '{self.registration_name}'>"
+        """Kind + registration name + the properties that differ from defaults.
+
+        ChatVis's correction prompts sometimes include repr()s of proxies, so
+        showing the interesting state (not a bare object id) makes the error
+        feedback actionable.
+        """
+        label = object.__getattribute__(self, "_label")
+        values = object.__getattribute__(self, "_values")
+        defaults = self._all_properties()
+        interesting = []
+        for name, value in values.items():
+            if name == "Input" or name.startswith("_"):
+                continue
+            if name in defaults and _defaults_equal(defaults[name], value):
+                continue
+            text = repr(value)
+            if len(text) > 40:
+                text = text[:37] + "..."
+            interesting.append(f"{name}={text}")
+        details = f" {', '.join(interesting)}" if interesting else ""
+        return f"<{label} '{self.registration_name}'{details}>"
 
 
 def _copy_default(value: Any) -> Any:
@@ -211,3 +238,10 @@ def _copy_default(value: Any) -> Any:
     if isinstance(value, dict):
         return dict(value)
     return value
+
+
+def _defaults_equal(default: Any, value: Any) -> bool:
+    try:
+        return bool(default == value)
+    except Exception:  # pragma: no cover - arrays and exotic values
+        return default is value

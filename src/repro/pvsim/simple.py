@@ -345,7 +345,8 @@ def SaveScreenshot(  # noqa: N802
             background = (0.32, 0.34, 0.43)
 
     framebuffer = target.render_image(resolution=ImageResolution, background_override=background)
-    path = Path(filename)
+    # resolve against the session working directory (scripts run without chdir)
+    path = state.resolve_path(filename)
     framebuffer.save(path)
     state.record_screenshot(str(path))
     return True

@@ -1,16 +1,23 @@
-"""Reader and source proxies."""
+"""Reader and source specs (and their generated proxies).
+
+Readers resolve relative file names against the session working directory
+(:func:`repro.pvsim.state.resolve_path`), which is what lets many script
+sessions run concurrently without a process-global ``os.chdir``.  Each
+reader contributes a cache token of ``(path, mtime, size)`` so the engine's
+result cache re-reads a file when its content on disk changes.
+"""
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.datamodel import Dataset, ImageData
-from repro.io.registry import open_data_file
+from repro.engine.registry import ExecContext, register_source
 from repro.pvsim.errors import PipelineError
-from repro.pvsim.pipeline import SourceProxy
+from repro.pvsim.pipeline import SourceProxy, proxy_class
 
 __all__ = ["LegacyVTKReader", "ExodusIIReader", "Wavelet", "SphereSource", "open_data_file_proxy"]
 
@@ -25,60 +32,81 @@ def _first_file(value: Union[str, List[str], None]) -> str:
     return str(value)
 
 
-class LegacyVTKReader(SourceProxy):
-    """Reads legacy ``.vtk`` files (``FileNames`` may be a string or a list)."""
+def _resolve(file_name: Union[str, Path]) -> Path:
+    from repro.pvsim import state
 
-    LABEL = "LegacyVTKReader"
-    PROPERTIES: Dict[str, Any] = {
+    return state.resolve_path(file_name)
+
+
+def _file_token(ctx: ExecContext, *property_names: str) -> Optional[Tuple[str, float, int]]:
+    """Cache token for a file-backed source: (resolved path, mtime, size)."""
+    value = None
+    for name in property_names:
+        value = ctx.get(name)
+        if value is not None:
+            break
+    if value is None:
+        return None
+    try:
+        path = _resolve(_first_file(value))
+        stat = path.stat()
+    except (OSError, PipelineError):
+        return None
+    return (str(path), stat.st_mtime, stat.st_size)
+
+
+@register_source(
+    "LegacyVTKReader",
+    properties={
         "FileNames": None,
         "FileName": None,  # accepted as an alias, like OpenDataFile does
-    }
+    },
+    cache_token=lambda ctx: _file_token(ctx, "FileNames", "FileName"),
+    description="Reads legacy ``.vtk`` files (``FileNames`` may be a string or a list).",
+)
+def _legacy_vtk_reader(ctx: ExecContext) -> Dataset:
+    file_name = ctx.get("FileNames") if ctx.get("FileNames") is not None else ctx.get("FileName")
+    path = _resolve(_first_file(file_name))
+    if not path.exists():
+        ctx.error(f"no such file {str(path)!r}")
+    from repro.io.vtk_legacy import read_vtk
 
-    def _execute(self) -> Dataset:
-        file_name = self.FileNames if self.FileNames is not None else self.FileName
-        path = Path(_first_file(file_name))
-        if not path.exists():
-            raise PipelineError(f"LegacyVTKReader: no such file {str(path)!r}")
-        from repro.io.vtk_legacy import read_vtk
-
-        return read_vtk(path)
+    return read_vtk(path)
 
 
-class ExodusIIReader(SourceProxy):
-    """Reads the exodus-like ``.ex2`` containers used by the sample data."""
-
-    LABEL = "ExodusIIReader"
-    PROPERTIES: Dict[str, Any] = {
+@register_source(
+    "ExodusIIReader",
+    properties={
         "FileName": None,
         "PointVariables": [],
         "ElementVariables": [],
         "ApplyDisplacements": 1,
         "DisplacementMagnitude": 1.0,
-    }
+    },
+    cache_token=lambda ctx: _file_token(ctx, "FileName"),
+    description="Reads the exodus-like ``.ex2`` containers used by the sample data.",
+)
+def _exodus_reader(ctx: ExecContext) -> Dataset:
+    path = _resolve(_first_file(ctx.get("FileName")))
+    if not path.exists():
+        ctx.error(f"no such file {str(path)!r}")
+    from repro.io.exodus_like import read_exodus
 
-    def _execute(self) -> Dataset:
-        path = Path(_first_file(self.FileName))
-        if not path.exists():
-            raise PipelineError(f"ExodusIIReader: no such file {str(path)!r}")
-        from repro.io.exodus_like import read_exodus
-
-        grid = read_exodus(path)
-        wanted = self.PointVariables or []
-        if wanted:
-            missing = [name for name in wanted if name not in grid.point_data]
-            if missing:
-                raise PipelineError(
-                    f"ExodusIIReader: point variables {missing} not present in {path.name}; "
-                    f"available: {grid.point_data.names()}"
-                )
-        return grid
+    grid = read_exodus(path)
+    wanted = ctx.get("PointVariables") or []
+    if wanted:
+        missing = [name for name in wanted if name not in grid.point_data]
+        if missing:
+            ctx.error(
+                f"point variables {missing} not present in {path.name}; "
+                f"available: {grid.point_data.names()}"
+            )
+    return grid
 
 
-class Wavelet(SourceProxy):
-    """ParaView's Wavelet source: a smooth analytic scalar on a regular grid."""
-
-    LABEL = "Wavelet"
-    PROPERTIES: Dict[str, Any] = {
+@register_source(
+    "Wavelet",
+    properties={
         "WholeExtent": [-10, 10, -10, 10, -10, 10],
         "Maximum": 255.0,
         "XFreq": 60.0,
@@ -88,47 +116,57 @@ class Wavelet(SourceProxy):
         "YMag": 18.0,
         "ZMag": 5.0,
         "StandardDeviation": 0.5,
-    }
+    },
+    description="ParaView's Wavelet source: a smooth analytic scalar on a regular grid.",
+)
+def _wavelet(ctx: ExecContext) -> Dataset:
+    ext = [int(v) for v in ctx.get("WholeExtent")]
+    nx = ext[1] - ext[0] + 1
+    ny = ext[3] - ext[2] + 1
+    nz = ext[5] - ext[4] + 1
+    image = ImageData((nx, ny, nz), origin=(ext[0], ext[2], ext[4]), spacing=(1.0, 1.0, 1.0))
+    xs = np.arange(ext[0], ext[1] + 1, dtype=np.float64)
+    ys = np.arange(ext[2], ext[3] + 1, dtype=np.float64)
+    zs = np.arange(ext[4], ext[5] + 1, dtype=np.float64)
+    zz, yy, xx = np.meshgrid(zs, ys, xs, indexing="ij")
+    maximum = float(ctx.get("Maximum"))
+    gauss = np.exp(-(xx ** 2 + yy ** 2 + zz ** 2) * ctx.get("StandardDeviation") / 100.0)
+    values = maximum * gauss * (
+        np.sin(np.radians(ctx.get("XFreq")) * xx) * ctx.get("XMag") / 10.0
+        + np.sin(np.radians(ctx.get("YFreq")) * yy) * ctx.get("YMag") / 10.0
+        + np.cos(np.radians(ctx.get("ZFreq")) * zz) * ctx.get("ZMag") / 10.0
+    ) / 3.0 + maximum / 2.0
+    image.set_scalar_volume("RTData", values)
+    return image
 
-    def _execute(self) -> Dataset:
-        ext = [int(v) for v in self.WholeExtent]
-        nx = ext[1] - ext[0] + 1
-        ny = ext[3] - ext[2] + 1
-        nz = ext[5] - ext[4] + 1
-        image = ImageData((nx, ny, nz), origin=(ext[0], ext[2], ext[4]), spacing=(1.0, 1.0, 1.0))
-        xs = np.arange(ext[0], ext[1] + 1, dtype=np.float64)
-        ys = np.arange(ext[2], ext[3] + 1, dtype=np.float64)
-        zs = np.arange(ext[4], ext[5] + 1, dtype=np.float64)
-        zz, yy, xx = np.meshgrid(zs, ys, xs, indexing="ij")
-        gauss = np.exp(-(xx ** 2 + yy ** 2 + zz ** 2) * self.StandardDeviation / 100.0)
-        values = self.Maximum * gauss * (
-            np.sin(np.radians(self.XFreq) * xx) * self.XMag / 10.0
-            + np.sin(np.radians(self.YFreq) * yy) * self.YMag / 10.0
-            + np.cos(np.radians(self.ZFreq) * zz) * self.ZMag / 10.0
-        ) / 3.0 + self.Maximum / 2.0
-        image.set_scalar_volume("RTData", values)
-        return image
 
-
-class SphereSource(SourceProxy):
-    """A triangulated sphere (ParaView's ``Sphere`` source)."""
-
-    LABEL = "Sphere"
-    PROPERTIES: Dict[str, Any] = {
+@register_source(
+    "Sphere",
+    properties={
         "Radius": 0.5,
         "Center": [0.0, 0.0, 0.0],
         "ThetaResolution": 16,
         "PhiResolution": 16,
-    }
+    },
+    description="A triangulated sphere (ParaView's ``Sphere`` source).",
+)
+def _sphere(ctx: ExecContext) -> Dataset:
+    from repro.algorithms.glyph import sphere_source
 
-    def _execute(self) -> Dataset:
-        from repro.algorithms.glyph import sphere_source
+    resolution = max(int(ctx.get("ThetaResolution")), int(ctx.get("PhiResolution")), 4)
+    poly = sphere_source(resolution=resolution, radius=float(ctx.get("Radius")))
+    center = np.asarray(ctx.get("Center"), dtype=np.float64)
+    poly.points += center
+    return poly
 
-        resolution = max(int(self.ThetaResolution), int(self.PhiResolution), 4)
-        poly = sphere_source(resolution=resolution, radius=float(self.Radius))
-        center = np.asarray(self.Center, dtype=np.float64)
-        poly.points += center
-        return poly
+
+# --------------------------------------------------------------------------- #
+# generated proxy classes
+# --------------------------------------------------------------------------- #
+LegacyVTKReader = proxy_class("LegacyVTKReader", module=__name__)
+ExodusIIReader = proxy_class("ExodusIIReader", module=__name__)
+Wavelet = proxy_class("Wavelet", module=__name__)
+SphereSource = proxy_class("Sphere", module=__name__)
 
 
 def open_data_file_proxy(file_name: str) -> SourceProxy:

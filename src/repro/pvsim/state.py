@@ -1,15 +1,26 @@
-"""Global session state for the ParaView-compatible layer.
+"""Per-thread session state for the ParaView-compatible layer.
 
 ``paraview.simple`` keeps module-level notions of the *active view*, the
 *active source*, the set of registered sources/views and the per-array color
-and opacity transfer functions.  This module holds the equivalent state and a
-``reset_session()`` used by the executor before every script run so that
-scripts never observe each other's proxies.
+and opacity transfer functions.  This module holds the equivalent state —
+**per thread** — plus ``reset_session()`` used by the executor before every
+script run so that scripts never observe each other's proxies.
+
+Thread-locality is what lets :mod:`repro.engine.batch` run many sessions
+concurrently: each worker thread owns an isolated session, so parallel
+ChatVis runs and eval-harness cells cannot leak proxies into each other.
+
+The session also carries a *working directory*: scripts are executed without
+``os.chdir`` (which is process-global and would race across sessions), and
+readers / ``SaveScreenshot`` resolve relative paths through
+:func:`resolve_path` instead.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
 
 __all__ = [
     "reset_session",
@@ -25,98 +36,164 @@ __all__ = [
     "opacity_transfer_functions",
     "record_screenshot",
     "screenshots",
+    "next_registration_index",
+    "get_working_directory",
+    "set_working_directory",
+    "resolve_path",
 ]
 
 
-_sources: List[Any] = []
-_views: List[Any] = []
-_active_source: Optional[Any] = None
-_active_view: Optional[Any] = None
-_color_tfs: Dict[str, Any] = {}
-_opacity_tfs: Dict[str, Any] = {}
-_screenshots: List[str] = []
+class _Session:
+    """All mutable state of one scripting session."""
+
+    __slots__ = (
+        "sources",
+        "views",
+        "active_source",
+        "active_view",
+        "color_tfs",
+        "opacity_tfs",
+        "screenshots",
+        "working_dir",
+        "registration_counter",
+    )
+
+    def __init__(self) -> None:
+        self.sources: List[Any] = []
+        self.views: List[Any] = []
+        self.active_source: Optional[Any] = None
+        self.active_view: Optional[Any] = None
+        self.color_tfs: Dict[str, Any] = {}
+        self.opacity_tfs: Dict[str, Any] = {}
+        self.screenshots: List[str] = []
+        self.working_dir: Optional[Path] = None
+        self.registration_counter: int = 0
+
+
+_tls = threading.local()
+
+
+def _session() -> _Session:
+    session = getattr(_tls, "session", None)
+    if session is None:
+        session = _Session()
+        _tls.session = session
+    return session
 
 
 def reset_session() -> None:
-    """Forget every proxy, view, transfer function and recorded screenshot."""
-    global _active_source, _active_view
-    _sources.clear()
-    _views.clear()
-    _color_tfs.clear()
-    _opacity_tfs.clear()
-    _screenshots.clear()
-    _active_source = None
-    _active_view = None
+    """Forget every proxy, view, transfer function and recorded screenshot.
+
+    The working directory survives the reset — it belongs to the executor,
+    not to the script.
+    """
+    working_dir = _session().working_dir
+    _tls.session = _Session()
+    _tls.session.working_dir = working_dir
 
 
 # --------------------------------------------------------------------------- #
 # sources
 # --------------------------------------------------------------------------- #
 def register_source(source: Any) -> None:
-    global _active_source
-    _sources.append(source)
-    _active_source = source
+    session = _session()
+    session.sources.append(source)
+    session.active_source = source
 
 
 def get_active_source(exclude: Any = None) -> Optional[Any]:
-    if _active_source is not None and _active_source is not exclude:
-        return _active_source
-    for source in reversed(_sources):
+    session = _session()
+    if session.active_source is not None and session.active_source is not exclude:
+        return session.active_source
+    for source in reversed(session.sources):
         if source is not exclude:
             return source
     return None
 
 
 def set_active_source(source: Any) -> None:
-    global _active_source
-    _active_source = source
+    _session().active_source = source
 
 
 def all_sources() -> List[Any]:
-    return list(_sources)
+    return list(_session().sources)
 
 
 # --------------------------------------------------------------------------- #
 # views
 # --------------------------------------------------------------------------- #
 def register_view(view: Any) -> None:
-    global _active_view
-    _views.append(view)
-    _active_view = view
+    session = _session()
+    session.views.append(view)
+    session.active_view = view
 
 
 def get_active_view() -> Optional[Any]:
-    return _active_view
+    return _session().active_view
 
 
 def set_active_view(view: Any) -> None:
-    global _active_view
-    _active_view = view
-    if view is not None and view not in _views:
-        _views.append(view)
+    session = _session()
+    session.active_view = view
+    if view is not None and view not in session.views:
+        session.views.append(view)
 
 
 def all_views() -> List[Any]:
-    return list(_views)
+    return list(_session().views)
 
 
 # --------------------------------------------------------------------------- #
 # transfer functions
 # --------------------------------------------------------------------------- #
 def color_transfer_functions() -> Dict[str, Any]:
-    return _color_tfs
+    return _session().color_tfs
 
 
 def opacity_transfer_functions() -> Dict[str, Any]:
-    return _opacity_tfs
+    return _session().opacity_tfs
 
 
 # --------------------------------------------------------------------------- #
 # screenshots
 # --------------------------------------------------------------------------- #
 def record_screenshot(path: str) -> None:
-    _screenshots.append(str(path))
+    _session().screenshots.append(str(path))
 
 
 def screenshots() -> List[str]:
-    return list(_screenshots)
+    return list(_session().screenshots)
+
+
+# --------------------------------------------------------------------------- #
+# registration names
+# --------------------------------------------------------------------------- #
+def next_registration_index() -> int:
+    """Session-local counter behind ParaView-style auto names (``Contour1``...)."""
+    session = _session()
+    session.registration_counter += 1
+    return session.registration_counter
+
+
+# --------------------------------------------------------------------------- #
+# working directory
+# --------------------------------------------------------------------------- #
+def get_working_directory() -> Optional[Path]:
+    return _session().working_dir
+
+
+def set_working_directory(path: Union[str, Path, None]) -> None:
+    _session().working_dir = Path(path) if path is not None else None
+
+
+def resolve_path(path: Union[str, Path]) -> Path:
+    """Resolve a script-relative path against the session working directory.
+
+    Absolute paths pass through; relative paths land in the executor's
+    working directory when one is set, else the process CWD (direct API use).
+    """
+    p = Path(path)
+    if p.is_absolute():
+        return p
+    base = _session().working_dir
+    return (base / p) if base is not None else p

@@ -1,0 +1,410 @@
+"""Tests for the demand-driven pipeline engine (``repro.engine``).
+
+Covers the graph (topological order, cycle detection), the content-addressed
+result cache and its invalidation semantics (mutating a property must
+invalidate exactly the downstream subgraph — the old ``_upstream_modified``
+behavior, now engine-owned), result sharing between identical pipelines, the
+batch runner, and the parallel evaluation harness.
+"""
+
+import pytest
+
+from repro.engine import (
+    BatchJob,
+    Engine,
+    GraphCycleError,
+    GraphError,
+    Pipeline,
+    PipelineGraph,
+    ResultCache,
+    normalize_value,
+    run_batch,
+    shared_cache,
+)
+from repro.pvsim import simple, state
+from repro.pvsim.errors import PipelineError
+from repro.pvsim.pipeline import graph_from_proxy, pvsim_engine
+
+
+@pytest.fixture(autouse=True)
+def _fresh_session():
+    state.reset_session()
+    yield
+    state.reset_session()
+
+
+def fresh_engine() -> Engine:
+    return Engine(cache=ResultCache())
+
+
+SMALL_EXTENT = [-4, 4, -4, 4, -4, 4]
+
+
+def build_chain(pipeline: Pipeline):
+    """Wavelet → Slice → Contour, small enough to run in milliseconds."""
+    src = pipeline.source("Wavelet", WholeExtent=list(SMALL_EXTENT))
+    sliced = src.then("Slice", SliceType={"Origin": [0.0, 0.0, 0.0], "Normal": [1.0, 0.0, 0.0]})
+    iso = sliced.then("Contour", ContourBy=["POINTS", "RTData"], Isosurfaces=[120.0])
+    return src, sliced, iso
+
+
+# --------------------------------------------------------------------------- #
+# graph
+# --------------------------------------------------------------------------- #
+class TestGraph:
+    def test_topological_order_upstream_first(self):
+        graph = PipelineGraph()
+        a = graph.add_node("Wavelet", name="a")
+        b = graph.add_node("Slice", name="b", inputs=[a.id])
+        c = graph.add_node("Contour", name="c", inputs=[b.id])
+        order = [node.name for node in graph.topological_order([c.id])]
+        assert order == ["a", "b", "c"]
+
+    def test_order_restricted_to_target_ancestors(self):
+        graph = PipelineGraph()
+        a = graph.add_node("Wavelet", name="a")
+        b = graph.add_node("Slice", name="b", inputs=[a.id])
+        graph.add_node("Contour", name="unrelated", inputs=[a.id])
+        order = [node.name for node in graph.topological_order([b.id])]
+        assert order == ["a", "b"]
+
+    def test_cycle_detection(self):
+        graph = PipelineGraph()
+        a = graph.add_node("Slice", name="a")
+        b = graph.add_node("Contour", name="b", inputs=[a.id])
+        graph.connect(b.id, a.id)
+        with pytest.raises(GraphCycleError):
+            graph.topological_order([b.id])
+
+    def test_unknown_upstream_rejected(self):
+        graph = PipelineGraph()
+        with pytest.raises(GraphError):
+            graph.add_node("Slice", inputs=["nope"])
+
+    def test_ancestors_and_descendants(self):
+        graph = PipelineGraph()
+        a = graph.add_node("Wavelet", name="a")
+        b = graph.add_node("Slice", name="b", inputs=[a.id])
+        c = graph.add_node("Contour", name="c", inputs=[b.id])
+        assert graph.ancestors(c.id) == {a.id, b.id}
+        assert graph.descendants(a.id) == {b.id, c.id}
+
+
+# --------------------------------------------------------------------------- #
+# cache keys
+# --------------------------------------------------------------------------- #
+class TestNormalization:
+    def test_scalar_types_stable(self):
+        assert normalize_value((1, 2.0, "x")) == [1, 2.0, "x"]
+        assert normalize_value({"b": 1, "a": 2}) == {"a": 2, "b": 1}
+
+    def test_dataset_normalizes_by_content(self):
+        from repro.data import generate_marschner_lobb
+
+        a = generate_marschner_lobb(6)
+        b = generate_marschner_lobb(6)
+        assert a is not b
+        assert normalize_value(a) == normalize_value(b)
+
+    def test_cache_lru_eviction(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert "a" not in cache
+        assert cache.stats.evictions == 1
+
+
+# --------------------------------------------------------------------------- #
+# demand-driven evaluation + invalidation semantics
+# --------------------------------------------------------------------------- #
+class TestEvaluation:
+    def test_repeated_evaluation_is_fully_cached(self):
+        engine = fresh_engine()
+        pipeline = Pipeline(engine)
+        _src, _sliced, iso = build_chain(pipeline)
+        first = iso.evaluate()
+        assert engine.last_report.n_executed == 3
+        second = iso.evaluate()
+        assert second is first
+        assert engine.last_report.n_executed == 0
+        # demand-driven: a warm target costs one cache get, ancestors untouched
+        assert engine.last_report.cached == [iso.node.name]
+
+    def test_mutating_leaf_reexecutes_only_leaf(self):
+        engine = fresh_engine()
+        pipeline = Pipeline(engine)
+        _src, _sliced, iso = build_chain(pipeline)
+        iso.evaluate()
+        iso.set(Isosurfaces=[130.0])
+        iso.evaluate()
+        assert engine.last_report.executed == [iso.node.name]
+        # the slice fed the re-run from cache; the wavelet was never consulted
+        assert engine.last_report.cached == ["Slice1"]
+
+    def test_mutating_middle_reexecutes_downstream_subgraph(self):
+        engine = fresh_engine()
+        pipeline = Pipeline(engine)
+        _src, sliced, iso = build_chain(pipeline)
+        iso.evaluate()
+        sliced.set(SliceType={"Origin": [0.5, 0.0, 0.0], "Normal": [1.0, 0.0, 0.0]})
+        iso.evaluate()
+        assert set(engine.last_report.executed) == {sliced.node.name, iso.node.name}
+        assert engine.last_report.cached == ["Wavelet1"]
+
+    def test_mutating_source_reexecutes_everything(self):
+        engine = fresh_engine()
+        pipeline = Pipeline(engine)
+        src, _sliced, iso = build_chain(pipeline)
+        iso.evaluate()
+        src.set(WholeExtent=[-5, 5, -5, 5, -5, 5])
+        iso.evaluate()
+        assert engine.last_report.n_executed == 3
+
+    def test_reverting_a_property_hits_the_old_entry(self):
+        engine = fresh_engine()
+        pipeline = Pipeline(engine)
+        _src, _sliced, iso = build_chain(pipeline)
+        first = iso.evaluate()
+        iso.set(Isosurfaces=[130.0])
+        iso.evaluate()
+        iso.set(Isosurfaces=[120.0])
+        assert iso.evaluate() is first
+
+    def test_identical_pipelines_share_results(self):
+        engine = fresh_engine()
+        first = build_chain(Pipeline(engine))[2].evaluate()
+        # an independently built, structurally identical pipeline
+        second = build_chain(Pipeline(engine))[2].evaluate()
+        assert second is first
+        assert engine.last_report.n_executed == 0
+
+    def test_raw_dataset_input_keys_on_content(self):
+        from repro.data import generate_marschner_lobb
+
+        engine = fresh_engine()
+        pipeline = Pipeline(engine)
+        out1 = (
+            pipeline.dataset(generate_marschner_lobb(6))
+            .then("Contour", ContourBy=["POINTS", "var0"], Isosurfaces=[0.5])
+            .evaluate()
+        )
+        # same content, different object → still shared
+        out2 = (
+            Pipeline(engine)
+            .dataset(generate_marschner_lobb(6))
+            .then("Contour", ContourBy=["POINTS", "var0"], Isosurfaces=[0.5])
+            .evaluate()
+        )
+        assert out2 is out1
+
+    def test_string_group_kind_is_honored_and_keyed(self):
+        """``SeedType="Line"`` must change both the execution and the cache key."""
+        from repro.data import generate_disk_flow
+
+        engine = fresh_engine()
+        flow = generate_disk_flow(5, 12, 5)
+        line = (
+            Pipeline(engine)
+            .dataset(flow)
+            .then("StreamTracer", Vectors=["POINTS", "V"], SeedType="Line")
+            .evaluate()
+        )
+        default = (
+            Pipeline(engine)
+            .dataset(flow)
+            .then("StreamTracer", Vectors=["POINTS", "V"])
+            .evaluate()
+        )
+        assert line is not default
+        assert line.n_lines != default.n_lines
+
+    def test_unknown_group_kind_rejected(self):
+        engine = fresh_engine()
+        with pytest.raises(ValueError, match="SeedType"):
+            Pipeline(engine).source("Wavelet").then("StreamTracer", SeedType="Banana")
+
+    def test_typoed_property_rejected(self):
+        engine = fresh_engine()
+        with pytest.raises(AttributeError, match="WholExtent"):
+            Pipeline(engine).source("Wavelet", WholExtent=[-3, 3, -3, 3, -3, 3])
+
+    def test_missing_input_raises_named_error(self):
+        engine = Engine(cache=ResultCache(), error_class=PipelineError)
+        pipeline = Pipeline(engine)
+        node = pipeline._add("Contour", "lonely", {}, inputs=[])
+        with pytest.raises(PipelineError, match="lonely"):
+            node.evaluate()
+
+
+# --------------------------------------------------------------------------- #
+# pvsim proxies on the engine
+# --------------------------------------------------------------------------- #
+class TestProxyIntegration:
+    def test_proxy_chain_snapshots_to_graph(self):
+        wavelet = simple.Wavelet(WholeExtent=list(SMALL_EXTENT))
+        contour = simple.Contour(Input=wavelet, Isosurfaces=[120.0], ContourBy=["POINTS", "RTData"])
+        graph, target = graph_from_proxy(contour)
+        order = [node.name for node in graph.topological_order([target])]
+        assert order == [wavelet.registration_name, contour.registration_name]
+
+    def test_proxy_invalidation_matches_old_upstream_modified_semantics(self):
+        shared_cache().clear()
+        wavelet = simple.Wavelet(WholeExtent=[-3, 3, -3, 3, -3, 3], XFreq=61.0)
+        sliced = simple.Slice(Input=wavelet)
+        contour = simple.Contour(Input=sliced, Isosurfaces=[120.0], ContourBy=["POINTS", "RTData"])
+        contour.get_output()
+        engine = pvsim_engine()
+        assert engine.last_report.n_executed == 3
+
+        # mutating the middle filter re-executes exactly the downstream subgraph
+        sliced.SliceType.Origin = [0.25, 0.0, 0.0]
+        contour.get_output()
+        assert set(engine.last_report.executed) == {
+            sliced.registration_name,
+            contour.registration_name,
+        }
+        assert engine.last_report.cached == [wavelet.registration_name]
+
+        # mutating the source re-executes everything downstream of it
+        wavelet.XFreq = 62.0
+        contour.get_output()
+        assert engine.last_report.n_executed == 3
+
+    def test_identical_proxy_pipelines_share_cache(self):
+        def build():
+            wavelet = simple.Wavelet(WholeExtent=[-3, 3, -3, 3, -3, 3], YFreq=31.0)
+            return simple.Contour(
+                Input=wavelet, Isosurfaces=[121.0], ContourBy=["POINTS", "RTData"]
+            )
+
+        first = build().get_output()
+        state.reset_session()  # a brand-new session, like a separate script run
+        second = build().get_output()
+        assert second is first
+        assert pvsim_engine().last_report.n_executed == 0
+
+    def test_proxy_cycle_raises_pipeline_error(self):
+        a = simple.Contour(Isosurfaces=[0.1])
+        b = simple.Contour(Input=a, Isosurfaces=[0.2])
+        object.__getattribute__(a, "_values")["Input"] = b
+        with pytest.raises(PipelineError, match="cycle"):
+            a.get_output()
+
+    def test_pipeline_error_names_failing_proxy(self):
+        sphere = simple.Sphere(Radius=1.25)
+        contour = simple.Contour(
+            registrationName="badContour", Input=sphere, Isosurfaces=[0.5]
+        )
+        with pytest.raises(PipelineError, match="badContour"):
+            contour.get_output()
+
+    def test_proxy_repr_shows_kind_name_and_changed_properties(self):
+        contour = simple.Contour(registrationName="iso1", Isosurfaces=[0.5, 0.7])
+        text = repr(contour)
+        assert "Contour" in text
+        assert "iso1" in text
+        assert "Isosurfaces=[0.5, 0.7]" in text
+        # defaults stay out of the repr
+        assert "ComputeNormals" not in text
+
+
+# --------------------------------------------------------------------------- #
+# batch runner
+# --------------------------------------------------------------------------- #
+class TestBatch:
+    def test_results_preserve_submission_order(self):
+        jobs = [BatchJob(name=str(i), fn=lambda i=i: i * 10) for i in range(8)]
+        results = run_batch(jobs, max_workers=4)
+        assert [r.value for r in results] == [i * 10 for i in range(8)]
+        assert all(r.ok for r in results)
+
+    def test_errors_are_captured_per_job(self):
+        def boom():
+            raise ValueError("nope")
+
+        results = run_batch([BatchJob("ok", lambda: 1), BatchJob("bad", boom)], max_workers=2)
+        assert results[0].ok and results[0].value == 1
+        assert not results[1].ok
+        assert isinstance(results[1].error, ValueError)
+
+    def test_serial_and_parallel_agree(self):
+        jobs = [BatchJob(name=str(i), fn=lambda i=i: i ** 2) for i in range(6)]
+        serial = [r.value for r in run_batch(jobs, max_workers=1)]
+        parallel = [r.value for r in run_batch(jobs, max_workers=3)]
+        assert serial == parallel
+
+    def test_parallel_script_sessions_are_isolated(self):
+        """Concurrent executor runs must not leak proxies/views across threads."""
+        from repro.core.tasks import prepare_task_data
+        from repro.pvsim.executor import PvPythonExecutor
+
+        def run_session(tmp_dir, isovalue):
+            prepare_task_data("isosurface", tmp_dir, small=True)
+            script = (
+                "from paraview.simple import *\n"
+                "reader = LegacyVTKReader(FileNames=['ml-100.vtk'])\n"
+                f"contour = Contour(Input=reader, ContourBy=['POINTS', 'var0'], Isosurfaces=[{isovalue}])\n"
+                "view = GetActiveViewOrCreate('RenderView')\n"
+                "view.ViewSize = [64, 48]\n"
+                "Show(contour, view)\n"
+                "ResetCamera(view)\n"
+                f"print('sources', len(GetSources()))\n"
+                "SaveScreenshot('out.png', view, ImageResolution=[64, 48])\n"
+            )
+            return PvPythonExecutor(working_dir=tmp_dir).run(script)
+
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            jobs = [
+                BatchJob(
+                    name=f"session{i}",
+                    fn=run_session,
+                    args=(Path(tmp) / f"s{i}", 0.4 + 0.05 * i),
+                )
+                for i in range(4)
+            ]
+            results = run_batch(jobs, max_workers=4)
+        for outcome in results:
+            assert outcome.ok
+            assert outcome.value.success, outcome.value.output
+            assert outcome.value.produced_screenshot
+            # each session saw exactly its own two sources (reader + contour)
+            assert "sources 2" in outcome.value.stdout
+
+    def test_registration_names_are_session_local(self):
+        """Auto names (which feed error text → LLM seeds) must not depend on
+        what concurrent sessions are doing."""
+        from repro.pvsim.executor import run_script
+
+        script = (
+            "from paraview.simple import *\n"
+            "w = Wavelet(WholeExtent=[-2, 2, -2, 2, -2, 2])\n"
+            "print(w.registration_name)\n"
+        )
+        jobs = [BatchJob(f"n{i}", run_script, (script,)) for i in range(6)]
+        results = run_batch(jobs, max_workers=3)
+        names = {r.value.stdout.strip() for r in results}
+        assert names == {"Wavelet1"}
+
+
+# --------------------------------------------------------------------------- #
+# parallel evaluation harness
+# --------------------------------------------------------------------------- #
+class TestHarnessParallelism:
+    def test_table_two_identical_across_worker_counts(self, tmp_path):
+        from repro.eval.harness import run_table_two
+
+        kwargs = dict(
+            models=("gpt-4", "codegemma"),
+            tasks=["isosurface"],
+            resolution=(96, 72),
+            include_chatvis=True,
+        )
+        serial = run_table_two(tmp_path / "serial", max_workers=1, **kwargs)
+        parallel = run_table_two(tmp_path / "parallel", max_workers=4, **kwargs)
+        assert serial.methods == parallel.methods
+        assert serial.tasks == parallel.tasks
+        assert serial.cells == parallel.cells
