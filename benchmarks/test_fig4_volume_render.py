@@ -8,7 +8,6 @@ rendering, so its screenshot is blank.
 import pytest
 
 from repro.eval import run_figure_comparison
-from repro.eval.image_metrics import image_coverage
 
 
 @pytest.fixture(scope="module")

@@ -8,7 +8,7 @@ paper's "slice then contour" pipeline produces.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 

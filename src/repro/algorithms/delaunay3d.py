@@ -15,7 +15,7 @@ nearly co-spherical, which is expected for Delaunay triangulations.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 

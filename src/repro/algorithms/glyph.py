@@ -7,7 +7,7 @@ geometries and the placement/orientation/scaling logic.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

@@ -16,7 +16,7 @@ presents a single ``interpolate(name, points)`` interface.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple, Union
+from typing import Optional
 
 import numpy as np
 from scipy.spatial import cKDTree

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import threading
 import weakref
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

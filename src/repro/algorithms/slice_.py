@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
 
 from repro.algorithms.implicit import Plane
 from repro.algorithms.isosurface import extract_level_lines, extract_level_set

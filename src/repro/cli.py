@@ -1,0 +1,265 @@
+"""``repro`` — the command-line entry point for the reproduction harness.
+
+One front door for the three things people (and CI) run:
+
+* ``repro eval``  — regenerate the Table II matrix, optionally in parallel
+  (threads or processes) and against a persistent disk cache;
+* ``repro bench`` — a cold-vs-warm micro-benchmark of the tiered cache on a
+  representative pipeline, with optional JSON output for CI artifacts;
+* ``repro cache`` — inspect (``stats``) or empty (``clear``) a disk cache
+  root.
+
+The cache root resolves, in order: ``--cache-dir``, the ``REPRO_CACHE_DIR``
+environment variable, then ``~/.cache/chatvis-repro`` (honoring
+``XDG_CACHE_HOME``).  Everything the CLI does goes through the same library
+code paths the test suite and benchmarks use — the CLI adds no behavior,
+only argument parsing and reporting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.engine.cache import CACHE_DIR_ENV_VAR, DiskCache, ResultCache, TieredCache
+
+__all__ = ["main", "build_parser", "default_cache_dir", "resolve_cache_dir"]
+
+
+def default_cache_dir() -> Path:
+    """``$XDG_CACHE_HOME/chatvis-repro`` (or ``~/.cache/chatvis-repro``)."""
+    base = os.environ.get("XDG_CACHE_HOME")
+    root = Path(base) if base else Path.home() / ".cache"
+    return root / "chatvis-repro"
+
+
+def resolve_cache_dir(explicit: Optional[str]) -> Path:
+    """Apply the --cache-dir > $REPRO_CACHE_DIR > default precedence."""
+    if explicit:
+        return Path(explicit)
+    env = os.environ.get(CACHE_DIR_ENV_VAR)
+    if env:
+        return Path(env)
+    return default_cache_dir()
+
+
+def _parse_resolution(text: str) -> Tuple[int, int]:
+    try:
+        width, height = text.lower().split("x")
+        return int(width), int(height)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"resolution must look like 480x270, got {text!r}"
+        ) from None
+
+
+def _parse_csv(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+# --------------------------------------------------------------------------- #
+# repro eval
+# --------------------------------------------------------------------------- #
+def _cmd_eval(ns: argparse.Namespace) -> int:
+    from repro.engine.cache import configure_shared_cache, shared_cache
+    from repro.eval.harness import DEFAULT_RESOLUTION, PAPER_MODELS, run_table_two
+
+    cache_dir: Optional[Path] = None
+    if not ns.no_cache:
+        cache_dir = resolve_cache_dir(ns.cache_dir)
+        configure_shared_cache(cache_dir)
+    cache = shared_cache()
+    stats_before = cache.stats.snapshot()
+
+    models = tuple(ns.models) if ns.models else PAPER_MODELS
+    started = time.perf_counter()
+    result = run_table_two(
+        ns.working_dir,
+        models=models,
+        tasks=ns.tasks or None,
+        resolution=ns.resolution or DEFAULT_RESOLUTION,
+        include_chatvis=not ns.no_chatvis,
+        max_iterations=ns.max_iterations,
+        max_workers=ns.max_workers,
+        executor=ns.executor,
+        cache_dir=cache_dir,
+    )
+    elapsed = time.perf_counter() - started
+
+    print(result.format_table())
+    print()
+    screenshots = result.success_counts()
+    error_free = result.error_free_counts()
+    for method in result.methods:
+        print(
+            f"{method:>14s}: {error_free.get(method, 0)}/{len(result.tasks)} error-free, "
+            f"{screenshots.get(method, 0)}/{len(result.tasks)} screenshots"
+        )
+    delta = cache.stats.delta(stats_before)
+    print()
+    print(f"completed in {elapsed:.2f}s — cache: {delta!r}")
+    if cache.disk is not None:
+        print(
+            f"disk tier: {len(cache.disk)} entries, "
+            f"{cache.disk.total_bytes()} bytes at {cache.disk.root}"
+        )
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# repro bench
+# --------------------------------------------------------------------------- #
+def _bench_pipeline(cache: TieredCache):
+    from repro.engine import Engine, Pipeline
+
+    engine = Engine(cache=cache)
+    pipeline = Pipeline(engine)
+    target = (
+        pipeline.source("Wavelet", WholeExtent=[-10, 10, -10, 10, -10, 10])
+        .then("Slice", SliceType={"Origin": [0.0, 0.0, 0.0], "Normal": [1.0, 0.0, 0.0]})
+        .then("Contour", ContourBy=["POINTS", "RTData"], Isosurfaces=[110.0])
+    )
+    started = time.perf_counter()
+    target.evaluate()
+    return time.perf_counter() - started, engine.last_report
+
+
+def _cmd_bench(ns: argparse.Namespace) -> int:
+    cache_dir = resolve_cache_dir(ns.cache_dir)
+    disk = DiskCache(cache_dir)
+
+    # cold: fresh memory tier over the disk root (warm only if a previous
+    # bench already persisted this pipeline — reported, not hidden)
+    cold_seconds, cold_report = _bench_pipeline(TieredCache(ResultCache(), disk))
+    # warm: a brand-new memory tier over the *same* disk root, so every hit
+    # is served from the persistent files
+    warm_seconds, warm_report = _bench_pipeline(TieredCache(ResultCache(), disk))
+
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    payload = {
+        "cache_dir": str(cache_dir),
+        "cold_seconds": cold_seconds,
+        "cold_nodes_executed": cold_report.n_executed,
+        "warm_seconds": warm_seconds,
+        "warm_nodes_executed": warm_report.n_executed,
+        "speedup": speedup,
+    }
+    print(f"cold run: {cold_seconds * 1000:8.2f} ms ({cold_report.n_executed} nodes executed)")
+    print(f"warm run: {warm_seconds * 1000:8.2f} ms ({warm_report.n_executed} nodes executed)")
+    print(f"speedup:  {speedup:8.1f}x")
+    if warm_report.n_executed:
+        print("warning: warm run executed nodes — disk tier did not serve the pipeline")
+    if ns.json:
+        Path(ns.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {ns.json}")
+    return 0 if warm_report.n_executed == 0 else 1
+
+
+# --------------------------------------------------------------------------- #
+# repro cache
+# --------------------------------------------------------------------------- #
+def _cmd_cache_stats(ns: argparse.Namespace) -> int:
+    cache_dir = resolve_cache_dir(ns.cache_dir)
+    if not cache_dir.exists():
+        print(f"cache root {cache_dir} does not exist (nothing cached yet)")
+        return 0
+    disk = DiskCache(cache_dir)
+    print(f"cache root: {disk.root}")
+    print(f"entries:    {len(disk)}")
+    print(f"bytes:      {disk.total_bytes()}")
+    return 0
+
+
+def _cmd_cache_clear(ns: argparse.Namespace) -> int:
+    cache_dir = resolve_cache_dir(ns.cache_dir)
+    if not cache_dir.exists():
+        print(f"cache root {cache_dir} does not exist (nothing to clear)")
+        return 0
+    disk = DiskCache(cache_dir)
+    n_entries = len(disk)
+    disk.clear()
+    print(f"cleared {n_entries} entries from {disk.root}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# parser
+# --------------------------------------------------------------------------- #
+def _add_cache_dir_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"disk-cache root (default: ${CACHE_DIR_ENV_VAR} or ~/.cache/chatvis-repro)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ChatVis reproduction harness: evaluation, benchmarks, cache control.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    eval_parser = subparsers.add_parser(
+        "eval", help="regenerate the Table II matrix (optionally parallel + disk-cached)"
+    )
+    eval_parser.add_argument("working_dir", help="directory for per-cell session workspaces")
+    eval_parser.add_argument(
+        "--models", type=_parse_csv, default=None, help="comma-separated model list"
+    )
+    eval_parser.add_argument(
+        "--tasks", type=_parse_csv, default=None, help="comma-separated task list"
+    )
+    eval_parser.add_argument(
+        "--resolution", type=_parse_resolution, default=None, help="render size, e.g. 480x270"
+    )
+    eval_parser.add_argument("--max-workers", type=int, default=1)
+    eval_parser.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="concurrency substrate for the cells",
+    )
+    eval_parser.add_argument("--max-iterations", type=int, default=5)
+    eval_parser.add_argument(
+        "--no-chatvis", action="store_true", help="skip the assisted ChatVis column"
+    )
+    eval_parser.add_argument(
+        "--no-cache", action="store_true", help="run without the persistent disk tier"
+    )
+    _add_cache_dir_argument(eval_parser)
+    eval_parser.set_defaults(func=_cmd_eval)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="cold-vs-warm disk-cache benchmark of a representative pipeline"
+    )
+    bench_parser.add_argument(
+        "--json", default=None, help="also write the timings as JSON to this path"
+    )
+    _add_cache_dir_argument(bench_parser)
+    bench_parser.set_defaults(func=_cmd_bench)
+
+    cache_parser = subparsers.add_parser("cache", help="inspect or clear a disk-cache root")
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+    stats_parser = cache_sub.add_parser("stats", help="entry count and on-disk footprint")
+    _add_cache_dir_argument(stats_parser)
+    stats_parser.set_defaults(func=_cmd_cache_stats)
+    clear_parser = cache_sub.add_parser("clear", help="remove every cache entry")
+    _add_cache_dir_argument(clear_parser)
+    clear_parser.set_defaults(func=_cmd_cache_clear)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    ns = build_parser().parse_args(argv)
+    return ns.func(ns)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -8,9 +8,9 @@ iteration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Optional, Union
 
 from repro.core.correction import request_correction
 from repro.core.error_extraction import extract_error_messages

@@ -10,8 +10,8 @@ selects the relevant subset for a plan.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from repro.llm.nl_parser import VisualizationPlan, parse_request
 

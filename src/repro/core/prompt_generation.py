@@ -7,7 +7,6 @@ that breaks the complex request into smaller sequential steps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.llm.base import ChatMessage, LLMClient, system, user

@@ -11,9 +11,9 @@ them by the names the prompts use (``ml-100.vtk``, ``can_points.ex2``,
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Tuple, Union
 
 __all__ = ["VisualizationTask", "CANONICAL_TASKS", "get_task", "prepare_task_data", "task_names"]
 

@@ -10,7 +10,7 @@ triangulation is non-degenerate.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -17,7 +17,7 @@ same code paths as the paper (point-cloud seeds, cell location, probing).
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Tuple, Union
+from typing import Union
 
 import numpy as np
 

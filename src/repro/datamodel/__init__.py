@@ -18,6 +18,11 @@ visualization filters and the :mod:`repro.pvsim` proxy layer operate on:
 The data model is intentionally NumPy-first: every array is stored as an
 ``np.ndarray`` and filters operate on whole arrays rather than per-point
 Python loops wherever possible.
+
+:mod:`~repro.datamodel.serialization` provides the framed, checksummed
+binary payload format the engine's persistent disk cache stores datasets in
+(:func:`dumps_payload` / :func:`loads_payload`, raising
+:class:`CachePayloadError` on any corrupt input).
 """
 
 from repro.datamodel.arrays import DataArray, FieldData, AssociationError
@@ -26,18 +31,28 @@ from repro.datamodel.cells import CellType, CELL_TYPE_NPOINTS, cell_type_name
 from repro.datamodel.dataset import Dataset
 from repro.datamodel.image_data import ImageData
 from repro.datamodel.polydata import PolyData
+from repro.datamodel.serialization import (
+    CachePayloadError,
+    dumps_payload,
+    loads_payload,
+    read_payload_file,
+)
 from repro.datamodel.unstructured import UnstructuredGrid
 
 __all__ = [
     "AssociationError",
     "Bounds",
+    "CachePayloadError",
     "CellType",
     "CELL_TYPE_NPOINTS",
     "cell_type_name",
     "DataArray",
     "Dataset",
+    "dumps_payload",
     "FieldData",
     "ImageData",
+    "loads_payload",
     "PolyData",
+    "read_payload_file",
     "UnstructuredGrid",
 ]

@@ -9,7 +9,7 @@ ordered, name-keyed collection of arrays that all share the same tuple count
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 

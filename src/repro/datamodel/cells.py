@@ -10,7 +10,6 @@ from __future__ import annotations
 from enum import IntEnum
 from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
 
 __all__ = [
     "CellType",

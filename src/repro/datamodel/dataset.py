@@ -145,6 +145,18 @@ class Dataset:
         """
         self._fingerprint_memo = None
 
+    def __getstate__(self):
+        """Drop the memoized fingerprint when pickling.
+
+        Cache payloads must be byte-stable: two equal-content datasets have to
+        serialize identically whether or not one of them happened to be
+        fingerprinted before the dump.  Recomputing the memo after a load is
+        cheap relative to the disk round-trip that triggered it.
+        """
+        state = dict(self.__dict__)
+        state.pop("_fingerprint_memo", None)
+        return state
+
     def _fingerprint_geometry(self, hasher) -> None:
         """Feed the geometric content into a hash object (subclass hook).
 

@@ -9,7 +9,7 @@ and volume-rendering pipelines.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

@@ -43,8 +43,27 @@ See ``examples/engine_pipeline.py`` for a complete programmatic walkthrough.
 """
 
 from repro.engine.api import NodeHandle, Pipeline
-from repro.engine.batch import BatchJob, BatchResult, run_batch
-from repro.engine.cache import CacheStats, ResultCache, node_key, normalize_value, shared_cache
+from repro.engine.batch import (
+    BatchJob,
+    BatchJobError,
+    BatchResult,
+    CancelledJob,
+    ProcessBatchRunner,
+    WorkerJobError,
+    raise_failures,
+    run_batch,
+)
+from repro.engine.cache import (
+    CacheLike,
+    CacheStats,
+    DiskCache,
+    ResultCache,
+    TieredCache,
+    configure_shared_cache,
+    node_key,
+    normalize_value,
+    shared_cache,
+)
 from repro.engine.core import Engine, EvaluationReport, default_engine
 from repro.engine.errors import (
     EngineError,
@@ -68,9 +87,13 @@ from repro.engine.registry import (
 
 __all__ = [
     "BatchJob",
+    "BatchJobError",
     "BatchResult",
+    "CacheLike",
     "CacheStats",
+    "CancelledJob",
     "DATASET_SPEC",
+    "DiskCache",
     "Engine",
     "EngineError",
     "EvaluationReport",
@@ -83,14 +106,19 @@ __all__ = [
     "NodeHandle",
     "Pipeline",
     "PipelineGraph",
+    "ProcessBatchRunner",
     "RegistryError",
     "ResultCache",
+    "TieredCache",
+    "WorkerJobError",
     "all_specs",
+    "configure_shared_cache",
     "default_engine",
     "get_spec",
     "has_spec",
     "node_key",
     "normalize_value",
+    "raise_failures",
     "register_filter",
     "register_source",
     "run_batch",

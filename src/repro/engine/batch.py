@@ -1,11 +1,13 @@
 """Concurrent execution of independent sessions/pipelines.
 
-:func:`run_batch` fans a list of independent jobs out over a thread pool.
-It is the substrate under ``eval.harness`` parallelism: every cell of the
-Table II model×task matrix is an independent (deterministic) session, so the
-matrix regenerates ``max_workers`` times faster with bit-identical results.
+:func:`run_batch` fans a list of independent jobs out over a thread pool or,
+with ``executor="process"``, over a pool of worker *processes*
+(:class:`ProcessBatchRunner`).  It is the substrate under ``eval.harness``
+parallelism: every cell of the Table II model×task matrix is an independent
+(deterministic) session, so the matrix regenerates ``max_workers`` times
+faster with bit-identical results.
 
-Thread-safety relies on the rest of the stack:
+Thread-safety of the thread path relies on the rest of the stack:
 
 * ``pvsim.state`` keeps one session per thread (``threading.local``),
 * ``pvsim.executor`` routes stdout/stderr per thread and never calls
@@ -13,23 +15,53 @@ Thread-safety relies on the rest of the stack:
 * the engine's shared result cache is lock-protected (and a win here —
   identical pipelines across jobs share executed results).
 
+The process path trades those shared in-memory structures for real CPU
+parallelism (no GIL contention between cells):
+
+* job specs must be **picklable** — module-level functions with plain-data
+  arguments (the harness cell functions qualify);
+* every worker process bootstraps its own session world on startup and, when
+  a ``cache_dir`` is given, attaches the shared *disk* cache tier
+  (:func:`~repro.engine.cache.configure_shared_cache`), so workers reuse each
+  other's upstream node results through the content-addressed files even
+  though they share no memory;
+* errors travel back as pickled exceptions; an exception that cannot be
+  pickled is replaced by a :class:`WorkerJobError` carrying its rendered
+  traceback.
+
 ``max_workers=1`` runs the jobs inline in the calling thread, preserving
-exact serial semantics.
+exact serial semantics for either executor choice.
 """
 
 from __future__ import annotations
 
+import pickle
 import time
-from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-__all__ = ["BatchJob", "BatchResult", "CancelledJob", "run_batch"]
+__all__ = [
+    "BatchJob",
+    "BatchJobError",
+    "BatchResult",
+    "CancelledJob",
+    "ProcessBatchRunner",
+    "WorkerJobError",
+    "raise_failures",
+    "run_batch",
+]
 
 
 @dataclass
 class BatchJob:
-    """One independent unit of work."""
+    """One independent unit of work.
+
+    For the process executor, ``fn`` must be picklable — in practice a
+    module-level function — and ``args``/``kwargs`` plain data.
+    """
 
     name: str
     fn: Callable[..., Any]
@@ -64,10 +96,192 @@ class CancelledJob(RuntimeError):
     """Marks a job that never ran because an earlier job failed (stop_on_error)."""
 
 
+class WorkerJobError(RuntimeError):
+    """Stand-in for a worker-process exception that could not be pickled.
+
+    Carries the original error's rendered traceback so nothing is lost even
+    though the object itself could not cross the process boundary.
+    """
+
+
+class BatchJobError(RuntimeError):
+    """A batch was aborted because one of its jobs failed.
+
+    Mirrors the ``PipelineError`` convention of naming the failing proxy: the
+    message leads with the *job name*, so a harness abort says exactly which
+    (model, task) cell died, for thread and process runners alike.
+    The original exception is chained as ``__cause__`` and kept on
+    :attr:`cause`; the job's name is on :attr:`job_name`.
+    """
+
+    def __init__(self, job_name: str, cause: BaseException) -> None:
+        super().__init__(f"batch job {job_name!r} failed: {type(cause).__name__}: {cause}")
+        self.job_name = job_name
+        self.cause = cause
+
+
+def raise_failures(results: Sequence[BatchResult]) -> None:
+    """Raise :class:`BatchJobError` for the first real failure, if any.
+
+    Jobs cancelled by ``stop_on_error`` fast-fail (:class:`CancelledJob`) are
+    not failures in their own right and never mask the job that caused them.
+    """
+    for result in results:
+        if result.error is not None and not isinstance(result.error, CancelledJob):
+            raise BatchJobError(result.name, result.error) from result.error
+
+
+def _normalize(jobs: Sequence[Union[BatchJob, Callable[[], Any]]]) -> List[BatchJob]:
+    return [
+        job if isinstance(job, BatchJob) else BatchJob(getattr(job, "__name__", f"job{i}"), job)
+        for i, job in enumerate(jobs)
+    ]
+
+
+def _run_serial(jobs: List[BatchJob], stop_on_error: bool) -> List[BatchResult]:
+    results: List[BatchResult] = []
+    failed = False
+    for job in jobs:
+        if failed:
+            results.append(BatchResult(job.name, error=CancelledJob(job.name)))
+            continue
+        outcome = _run_one(job)
+        results.append(outcome)
+        failed = stop_on_error and outcome.error is not None
+    return results
+
+
+def _drain_pool(pool, worker, jobs: List[BatchJob], stop_on_error: bool) -> List[BatchResult]:
+    """Submit all jobs, collect ordered results, cancel the rest on failure.
+
+    Shared by the thread and process paths — ``worker`` is the (possibly
+    pickled-and-shipped) per-job runner.  ``future.result()`` is guarded: a
+    process-pool future raises here when the worker's *return value* failed
+    to pickle (or the worker died), and that must surface as that job's
+    error, not kill the whole batch.
+    """
+    futures = {pool.submit(worker, job): index for index, job in enumerate(jobs)}
+    slots: List[Optional[BatchResult]] = [None] * len(jobs)
+    pending = set(futures)
+    while pending:
+        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+        for future in done:
+            index = futures[future]
+            if future.cancelled():
+                slots[index] = BatchResult(jobs[index].name, error=CancelledJob(jobs[index].name))
+                continue
+            try:
+                outcome = future.result()
+            except BaseException as exc:  # noqa: BLE001 - transport-level failure
+                outcome = BatchResult(jobs[index].name, error=exc)
+            slots[index] = outcome
+            if stop_on_error and outcome.error is not None:
+                for other in pending:
+                    other.cancel()
+    return [result for result in slots if result is not None]
+
+
+# --------------------------------------------------------------------------- #
+# process pool
+# --------------------------------------------------------------------------- #
+def _process_worker_init(cache_dir: Optional[str]) -> None:
+    """Per-process bootstrap: fresh session state, shared disk cache tier."""
+    from repro.engine.cache import configure_shared_cache
+    from repro.pvsim import state
+
+    if cache_dir:
+        configure_shared_cache(cache_dir)
+    state.reset_session()
+
+
+def _run_one_in_worker(job: BatchJob) -> BatchResult:
+    """Worker-side job runner: sanitize errors that cannot cross the pipe."""
+    outcome = _run_one(job)
+    if outcome.error is not None:
+        try:
+            pickle.dumps(outcome.error)
+        except Exception:  # noqa: BLE001 - any pickling failure
+            rendered = "".join(
+                traceback.format_exception(
+                    type(outcome.error), outcome.error, outcome.error.__traceback__
+                )
+            )
+            outcome = BatchResult(
+                outcome.name,
+                error=WorkerJobError(
+                    f"{type(outcome.error).__name__}: {outcome.error}\n{rendered}"
+                ),
+                duration=outcome.duration,
+            )
+    return outcome
+
+
+@dataclass
+class ProcessBatchRunner:
+    """Fan jobs out over worker *processes* sharing one disk cache tier.
+
+    Parameters
+    ----------
+    max_workers:
+        Number of worker processes.
+    cache_dir:
+        Root of the shared :class:`~repro.engine.cache.DiskCache`.  Every
+        worker attaches it to its shared cache on startup, so upstream node
+        results computed by one worker are reused by the others (and by
+        later runs in the parent, if it attaches the same directory).
+        ``None`` runs each worker with a purely in-memory cache.
+    mp_context:
+        ``multiprocessing`` start-method name.  The default ``"spawn"`` gives
+        every worker a clean interpreter (no forked locks/threads), which is
+        what makes per-process session bootstrap deterministic.
+    """
+
+    max_workers: int = 2
+    cache_dir: Optional[Union[str, Path]] = None
+    mp_context: str = "spawn"
+
+    def run(
+        self,
+        jobs: Sequence[Union[BatchJob, Callable[[], Any]]],
+        stop_on_error: bool = False,
+    ) -> List[BatchResult]:
+        """Run jobs in worker processes; ordered results, errors captured."""
+        import multiprocessing
+
+        normalized = _normalize(jobs)
+        if self.max_workers <= 1 or len(normalized) <= 1:
+            if self.cache_dir is None:
+                return _run_serial(normalized, stop_on_error)
+            # mirror the workers' bootstrap (results land in the disk tier),
+            # but restore whatever tier the caller had — running a degenerate
+            # batch must not permanently reconfigure the process
+            from repro.engine.cache import DiskCache, shared_cache
+
+            cache = shared_cache()
+            previous_disk = cache.disk
+            cache.attach_disk(DiskCache(self.cache_dir))
+            try:
+                return _run_serial(normalized, stop_on_error)
+            finally:
+                cache.attach_disk(previous_disk)
+
+        context = multiprocessing.get_context(self.mp_context)
+        cache_dir = str(self.cache_dir) if self.cache_dir is not None else None
+        with ProcessPoolExecutor(
+            max_workers=self.max_workers,
+            mp_context=context,
+            initializer=_process_worker_init,
+            initargs=(cache_dir,),
+        ) as pool:
+            return _drain_pool(pool, _run_one_in_worker, normalized, stop_on_error)
+
+
 def run_batch(
     jobs: Sequence[Union[BatchJob, Callable[[], Any]]],
     max_workers: int = 1,
     stop_on_error: bool = False,
+    executor: str = "thread",
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> List[BatchResult]:
     """Run jobs (callables or :class:`BatchJob`) and return ordered results.
 
@@ -75,40 +289,24 @@ def run_batch(
     job never aborts its siblings — unless ``stop_on_error`` is set, in
     which case jobs that have not started yet are cancelled (their result
     carries a :class:`CancelledJob` error) so a doomed batch fails fast
-    instead of finishing minutes of work that will be discarded.
-    """
-    normalized: List[BatchJob] = [
-        job if isinstance(job, BatchJob) else BatchJob(getattr(job, "__name__", f"job{i}"), job)
-        for i, job in enumerate(jobs)
-    ]
-    if max_workers <= 1 or len(normalized) <= 1:
-        results: List[BatchResult] = []
-        failed = False
-        for job in normalized:
-            if failed:
-                results.append(BatchResult(job.name, error=CancelledJob(job.name)))
-                continue
-            outcome = _run_one(job)
-            results.append(outcome)
-            failed = stop_on_error and outcome.error is not None
-        return results
+    instead of finishing minutes of work that will be discarded.  Callers
+    that want the failure *raised* should follow with
+    :func:`raise_failures`, which names the failing job.
 
+    ``executor`` selects the concurrency substrate: ``"thread"`` (default —
+    shared in-memory cache, zero startup cost) or ``"process"`` (true CPU
+    parallelism; see :class:`ProcessBatchRunner`).  ``cache_dir`` names the
+    disk-cache root worker processes share; the thread path ignores it
+    (threads already share the in-process cache).
+    """
+    if executor not in ("thread", "process"):
+        raise ValueError(f"unknown executor {executor!r} (expected 'thread' or 'process')")
+    if executor == "process":
+        runner = ProcessBatchRunner(max_workers=max_workers, cache_dir=cache_dir)
+        return runner.run(jobs, stop_on_error=stop_on_error)
+
+    normalized = _normalize(jobs)
+    if max_workers <= 1 or len(normalized) <= 1:
+        return _run_serial(normalized, stop_on_error)
     with ThreadPoolExecutor(max_workers=max_workers) as pool:
-        futures = {pool.submit(_run_one, job): index for index, job in enumerate(normalized)}
-        slots: List[Optional[BatchResult]] = [None] * len(normalized)
-        pending = set(futures)
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                index = futures[future]
-                if future.cancelled():
-                    slots[index] = BatchResult(
-                        normalized[index].name, error=CancelledJob(normalized[index].name)
-                    )
-                    continue
-                outcome = future.result()  # _run_one never raises
-                slots[index] = outcome
-                if stop_on_error and outcome.error is not None:
-                    for other in pending:
-                        other.cancel()
-        return [result for result in slots if result is not None]
+        return _drain_pool(pool, _run_one, normalized, stop_on_error)

@@ -11,18 +11,55 @@ Raw :class:`~repro.datamodel.dataset.Dataset` objects appearing as inputs or
 property values are folded in via their content fingerprint
 (:meth:`Dataset.content_fingerprint`), so "the same data" caches equal even
 when the object identity differs.
+
+The cache is **tiered**:
+
+* tier 0 — :class:`ResultCache`, the in-memory LRU every engine consults
+  first (object identity preserved, nanosecond lookups);
+* tier 1 — :class:`DiskCache`, an optional content-addressed store of
+  serialized results under a cache root.  It persists across processes, so a
+  warm re-run of an unchanged pipeline executes zero nodes, and process-pool
+  workers reuse each other's upstream results through the shared files.
+
+:class:`TieredCache` composes the two behind the single ``get``/``put``
+protocol (:class:`CacheLike`) the engine sees; :func:`shared_cache` returns
+the process-wide tiered facade, and :func:`configure_shared_cache` (or the
+``REPRO_CACHE_DIR`` environment variable) attaches the disk tier.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
+import os
 import threading
+import time
 from collections import OrderedDict
-from typing import Any, Dict, Iterable, Optional, Tuple
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
-__all__ = ["normalize_value", "node_key", "CacheStats", "ResultCache", "shared_cache"]
+try:  # POSIX file locking; absent on some platforms — locking degrades to none
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = [
+    "normalize_value",
+    "node_key",
+    "CacheLike",
+    "CacheStats",
+    "ResultCache",
+    "DiskCache",
+    "TieredCache",
+    "shared_cache",
+    "configure_shared_cache",
+    "CACHE_DIR_ENV_VAR",
+]
+
+#: environment variable naming the disk-cache root attached to the shared cache
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
 
 
 def normalize_value(value: Any) -> Any:
@@ -75,31 +112,62 @@ def node_key(
 
 
 class CacheStats:
-    """Hit/miss/eviction counters (snapshot-friendly)."""
+    """Hit/miss/eviction/corruption counters (snapshot-friendly)."""
 
-    __slots__ = ("hits", "misses", "evictions")
+    __slots__ = ("hits", "misses", "evictions", "corruptions")
 
-    def __init__(self, hits: int = 0, misses: int = 0, evictions: int = 0) -> None:
+    def __init__(
+        self,
+        hits: int = 0,
+        misses: int = 0,
+        evictions: int = 0,
+        corruptions: int = 0,
+    ) -> None:
         self.hits = hits
         self.misses = misses
         self.evictions = evictions
+        self.corruptions = corruptions
 
     def snapshot(self) -> "CacheStats":
-        return CacheStats(self.hits, self.misses, self.evictions)
+        return CacheStats(self.hits, self.misses, self.evictions, self.corruptions)
 
     def delta(self, earlier: "CacheStats") -> "CacheStats":
         return CacheStats(
             self.hits - earlier.hits,
             self.misses - earlier.misses,
             self.evictions - earlier.evictions,
+            self.corruptions - earlier.corruptions,
         )
 
     def __repr__(self) -> str:
-        return f"CacheStats(hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
+        text = f"CacheStats(hits={self.hits}, misses={self.misses}, evictions={self.evictions}"
+        if self.corruptions:
+            text += f", corruptions={self.corruptions}"
+        return text + ")"
 
 
-class ResultCache:
-    """A thread-safe LRU mapping of node key → executed output."""
+class CacheLike:
+    """The duck-typed protocol the engine requires of a cache.
+
+    Any object with these methods can back an :class:`~repro.engine.core.Engine`
+    — :class:`ResultCache` (memory), :class:`DiskCache` (files), and
+    :class:`TieredCache` (both) all satisfy it.
+    """
+
+    stats: CacheStats
+
+    def get(self, key: str) -> Tuple[bool, Any]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def put(self, key: str, value: Any) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def clear(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class ResultCache(CacheLike):
+    """A thread-safe LRU mapping of node key → executed output (tier 0)."""
 
     def __init__(self, max_entries: Optional[int] = 1024) -> None:
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
@@ -142,24 +210,368 @@ class ResultCache:
         return f"<ResultCache entries={len(self)} {self.stats!r}>"
 
 
-_shared_cache: Optional[ResultCache] = None
+# --------------------------------------------------------------------------- #
+# tier 1: persistent disk cache
+# --------------------------------------------------------------------------- #
+class DiskCache(CacheLike):
+    """A size-bounded, content-addressed store of serialized results (tier 1).
+
+    Entries live under ``root`` as one file per node key, sharded by the first
+    two hex digits (``root/ab/abcdef….bin``), each framed and checksummed by
+    :mod:`repro.datamodel.serialization`.  Design points:
+
+    * **atomic writes** — entries are written to a unique temporary file in
+      the same directory and ``os.replace``-d into place, so readers (and
+      concurrent writers of the same key) only ever see complete files;
+    * **file locking** — writers serialize on an advisory ``flock`` over
+      ``root/.lock`` (where available), so concurrent processes never race
+      the eviction scan;
+    * **LRU eviction** — every hit bumps the entry's mtime with a strictly
+      monotonic per-process clock; when the store exceeds ``max_bytes`` the
+      oldest-mtime entries are removed first;
+    * **corruption tolerance** — a truncated, scribbled, or foreign file is
+      counted (``stats.corruptions``), deleted, and reported as a miss —
+      never an exception;
+    * **graceful degradation** — values that cannot be pickled are simply not
+      persisted (the memory tier above still holds them).
+    """
+
+    #: filename suffix of one cache entry
+    ENTRY_SUFFIX = ".bin"
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        max_bytes: int = 1 << 30,
+    ) -> None:
+        self.root = Path(root).expanduser().resolve()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.stats = CacheStats()
+        self._lock = threading.Lock()  # guards stats, the mtime clock, the size estimate
+        self._last_tick = 0
+        #: running size estimate; None until the first full scan.  Keeps the
+        #: O(entries) stat-and-sort eviction scan off the per-put hot path:
+        #: a put only scans when the estimate says the bound is crossed.
+        #: Concurrent writers each estimate only their own contribution, so
+        #: the bound is approximate under cross-process churn — each scan
+        #: resyncs the estimate with the real directory contents.
+        self._size_estimate: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # paths and locking
+    # ------------------------------------------------------------------ #
+    def _entry_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}{self.ENTRY_SUFFIX}"
+
+    def _entries(self) -> List[Path]:
+        return [
+            path
+            for shard in self.root.iterdir()
+            if shard.is_dir()
+            for path in shard.glob(f"*{self.ENTRY_SUFFIX}")
+        ]
+
+    @contextlib.contextmanager
+    def _write_lock(self) -> Iterator[None]:
+        """Advisory cross-process writer lock (no-op where flock is missing)."""
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        with open(self.root / ".lock", "wb") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    def _tick(self) -> int:
+        """A strictly increasing nanosecond timestamp for LRU ordering.
+
+        ``time_ns`` alone can repeat within one process on coarse clocks,
+        which would make eviction order depend on directory-listing order.
+        """
+        with self._lock:
+            now = max(time.time_ns(), self._last_tick + 1)
+            self._last_tick = now
+            return now
+
+    def _touch(self, path: Path) -> None:
+        tick = self._tick()
+        try:
+            os.utime(path, ns=(tick, tick))
+        except OSError:  # entry evicted by a concurrent process — harmless
+            pass
+
+    # ------------------------------------------------------------------ #
+    # CacheLike
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Returns ``(found, value)``; corrupt entries are discarded as misses."""
+        from repro.datamodel.serialization import CachePayloadError, read_payload_file
+
+        path = self._entry_path(key)
+        try:
+            value = read_payload_file(path)
+        except FileNotFoundError:
+            with self._lock:
+                self.stats.misses += 1
+            return False, None
+        except CachePayloadError:
+            # bad entry: remove it so the slot gets rewritten, never fatal
+            with contextlib.suppress(OSError):
+                path.unlink()
+            with self._lock:
+                self.stats.corruptions += 1
+                self.stats.misses += 1
+            return False, None
+        self._touch(path)
+        with self._lock:
+            self.stats.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Persist one entry atomically; unpicklable values are skipped."""
+        from repro.datamodel.serialization import dumps_payload
+
+        try:
+            payload = dumps_payload(value)
+        except Exception:  # noqa: BLE001 - unpicklable value: memory-tier only
+            return
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{key}.{os.getpid()}.{threading.get_ident()}.tmp"
+        with self._write_lock():
+            try:
+                tmp.write_bytes(payload)
+                os.replace(tmp, path)
+            finally:
+                with contextlib.suppress(OSError):
+                    tmp.unlink()
+            self._touch(path)
+            if self._grow_estimate(len(payload)):
+                self._evict_to_fit()
+
+    def clear(self) -> None:
+        with self._write_lock():
+            for path in self._entries():
+                with contextlib.suppress(OSError):
+                    path.unlink()
+            with self._lock:
+                self._size_estimate = 0
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+    def _grow_estimate(self, written: int) -> bool:
+        """Account for a write; True when the estimate crosses ``max_bytes``.
+
+        First call seeds the estimate with one real scan; after that, puts
+        are O(1) until the bound is (apparently) exceeded.
+        """
+        if self.max_bytes is None:
+            return False
+        with self._lock:
+            if self._size_estimate is None:
+                needs_seed = True
+            else:
+                self._size_estimate += written
+                return self._size_estimate > self.max_bytes
+        if needs_seed:
+            total = self.total_bytes()
+            with self._lock:
+                self._size_estimate = total
+            return total > self.max_bytes
+        return False  # pragma: no cover - unreachable
+
+    def _evict_to_fit(self) -> None:
+        """Drop oldest-mtime entries until the store fits ``max_bytes``.
+
+        Caller holds the write lock.  Entries that vanish mid-scan (evicted
+        by a concurrent process) are skipped, not errors.  The scan doubles
+        as a resync of the running size estimate.
+        """
+        if self.max_bytes is None:
+            return
+        entries: List[Tuple[int, int, Path]] = []  # (mtime_ns, size, path)
+        total = 0
+        for path in self._entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime_ns, stat.st_size, path))
+            total += stat.st_size
+        entries.sort()
+        for mtime_ns, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            with contextlib.suppress(OSError):
+                path.unlink()
+            total -= size
+            with self._lock:
+                self.stats.evictions += 1
+        with self._lock:
+            self._size_estimate = total
+
+    def total_bytes(self) -> int:
+        """Current on-disk footprint of all entries."""
+        total = 0
+        for path in self._entries():
+            with contextlib.suppress(OSError):
+                total += path.stat().st_size
+        return total
+
+    def __contains__(self, key: str) -> bool:
+        return self._entry_path(key).exists()
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def __repr__(self) -> str:
+        return (
+            f"<DiskCache root={str(self.root)!r} entries={len(self)} "
+            f"bytes={self.total_bytes()} {self.stats!r}>"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# tier composition
+# --------------------------------------------------------------------------- #
+class TieredCache(CacheLike):
+    """Memory tier over an optional disk tier, behind one ``get``/``put``.
+
+    * ``get`` consults memory first; a disk hit is *promoted* into the memory
+      tier, so repeated access within one process keeps object identity.
+    * ``put`` writes through to both tiers.
+    * The disk tier can be attached/detached at runtime
+      (:meth:`attach_disk`) — engines hold a reference to this facade, so a
+      late ``configure_shared_cache()`` call reaches every engine already
+      constructed, including the module-level pvsim engine.
+    """
+
+    def __init__(
+        self,
+        memory: Optional[ResultCache] = None,
+        disk: Optional[DiskCache] = None,
+    ) -> None:
+        self.memory = memory if memory is not None else ResultCache()
+        self._disk = disk
+        self._tier_lock = threading.Lock()
+
+    @property
+    def disk(self) -> Optional[DiskCache]:
+        return self._disk
+
+    def attach_disk(self, disk: Optional[DiskCache]) -> None:
+        """Install (or with ``None`` remove) the persistent tier."""
+        with self._tier_lock:
+            self._disk = disk
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> Tuple[bool, Any]:
+        found, value = self.memory.get(key)
+        if found:
+            return True, value
+        disk = self._disk
+        if disk is None:
+            return False, None
+        found, value = disk.get(key)
+        if found:
+            self.memory.put(key, value)
+            return True, value
+        return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        self.memory.put(key, value)
+        disk = self._disk
+        if disk is not None:
+            disk.put(key, value)
+
+    def clear(self) -> None:
+        self.memory.clear()
+        disk = self._disk
+        if disk is not None:
+            disk.clear()
+
+    def __contains__(self, key: str) -> bool:
+        if key in self.memory:
+            return True
+        disk = self._disk
+        return disk is not None and key in disk
+
+    def __len__(self) -> int:
+        return len(self.memory)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Effective stats across tiers.
+
+        A request that misses memory but hits disk is one *hit*; only a miss
+        in the lowest tier is an effective miss.  Per-tier counters stay
+        available on ``memory.stats`` / ``disk.stats``.
+        """
+        memory = self.memory.stats
+        disk = self._disk.stats if self._disk is not None else None
+        if disk is None:
+            return memory.snapshot()
+        return CacheStats(
+            hits=memory.hits + disk.hits,
+            misses=disk.misses,
+            evictions=memory.evictions + disk.evictions,
+            corruptions=disk.corruptions,
+        )
+
+    def __repr__(self) -> str:
+        return f"<TieredCache memory={self.memory!r} disk={self._disk!r}>"
+
+
+_shared_cache: Optional[TieredCache] = None
 _shared_lock = threading.Lock()
 
 
-def shared_cache() -> ResultCache:
-    """The process-wide result cache shared by every engine by default.
+def shared_cache() -> TieredCache:
+    """The process-wide tiered result cache shared by every engine by default.
 
     Sharing is what lets a corrected ChatVis script re-use the unchanged
     prefix of the previous iteration's pipeline, and lets identical pipelines
     in different sessions share results.
 
-    Retention is bounded by the LRU cap (``max_entries``), not by session
-    lifetime — ``state.reset_session()`` deliberately does not touch it.
-    Long-lived processes that want the memory back between experiments
-    should call ``shared_cache().clear()`` (or lower ``max_entries``).
+    The facade always exists; whether a persistent disk tier sits beneath the
+    in-memory LRU is controlled by :func:`configure_shared_cache` or, at
+    first use, the ``REPRO_CACHE_DIR`` environment variable.
+
+    Retention of the memory tier is bounded by the LRU cap (``max_entries``),
+    not by session lifetime — ``state.reset_session()`` deliberately does not
+    touch it.  Long-lived processes that want the memory back between
+    experiments should call ``shared_cache().clear()``.
     """
     global _shared_cache
     with _shared_lock:
         if _shared_cache is None:
-            _shared_cache = ResultCache(max_entries=1024)
+            _shared_cache = TieredCache(ResultCache(max_entries=1024))
+            root = os.environ.get(CACHE_DIR_ENV_VAR)
+            if root:
+                _shared_cache.attach_disk(DiskCache(root))
         return _shared_cache
+
+
+def configure_shared_cache(
+    cache_dir: Optional[Union[str, Path]],
+    max_bytes: Optional[int] = None,
+) -> TieredCache:
+    """Attach a persistent disk tier to the shared cache (``None`` detaches).
+
+    Returns the shared facade.  Safe to call at any time: engines hold the
+    facade, not the tiers, so the new tier takes effect immediately for all
+    of them — this is how the CLI and process-pool workers bootstrap their
+    cache from a plain path argument.
+    """
+    cache = shared_cache()
+    if cache_dir is None:
+        cache.attach_disk(None)
+    elif max_bytes is None:
+        cache.attach_disk(DiskCache(cache_dir))
+    else:
+        cache.attach_disk(DiskCache(cache_dir, max_bytes=max_bytes))
+    return cache

@@ -16,7 +16,7 @@ import threading
 import time
 from typing import Any, Dict, List, Optional
 
-from repro.engine.cache import CacheStats, ResultCache, node_key, shared_cache
+from repro.engine.cache import CacheLike, CacheStats, node_key, shared_cache
 from repro.engine.errors import NodeExecutionError
 from repro.engine.graph import Node, PipelineGraph
 from repro.engine.registry import ExecContext, get_spec
@@ -43,6 +43,12 @@ class EvaluationReport:
     def n_cached(self) -> int:
         return len(self.cached)
 
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of consulted nodes served from cache (1.0 = fully warm)."""
+        consulted = self.n_executed + self.n_cached
+        return self.n_cached / consulted if consulted else 0.0
+
     def __repr__(self) -> str:
         return (
             f"EvaluationReport(executed={self.executed}, cached={self.cached}, "
@@ -56,8 +62,13 @@ class Engine:
     Parameters
     ----------
     cache:
-        Result cache to use; defaults to the process-wide shared cache so
-        independent engines (and sessions) de-duplicate work.
+        Any :class:`~repro.engine.cache.CacheLike` — a plain in-memory
+        :class:`~repro.engine.cache.ResultCache`, a persistent
+        :class:`~repro.engine.cache.DiskCache`, or the composed
+        :class:`~repro.engine.cache.TieredCache`.  Defaults to the
+        process-wide shared tiered cache so independent engines (and
+        sessions) de-duplicate work, and so a disk tier attached via
+        ``configure_shared_cache()`` benefits every engine at once.
     error_class:
         Exception class raised for execution failures.  The ``pvsim`` layer
         passes its :class:`~repro.pvsim.errors.PipelineError` so scripts see
@@ -66,7 +77,7 @@ class Engine:
 
     def __init__(
         self,
-        cache: Optional[ResultCache] = None,
+        cache: Optional[CacheLike] = None,
         error_class: type = NodeExecutionError,
     ) -> None:
         self.cache = cache if cache is not None else shared_cache()

@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.core.assistant import ChatVis, ChatVisConfig
 from repro.core.error_extraction import classify_error
 from repro.core.tasks import CANONICAL_TASKS, VisualizationTask, get_task, prepare_task_data
-from repro.engine.batch import BatchJob, CancelledJob, run_batch
+from repro.engine.batch import BatchJob, raise_failures, run_batch
 from repro.eval.ground_truth import ground_truth_script, run_ground_truth
 from repro.eval.image_metrics import (
     coverage_difference,
@@ -36,7 +36,7 @@ from repro.eval.image_metrics import (
     mean_squared_error,
     structural_similarity,
 )
-from repro.eval.script_metrics import ScriptComparison, analyze_script, compare_scripts
+from repro.eval.script_metrics import ScriptComparison, compare_scripts
 from repro.llm.base import LLMClient, user
 from repro.llm.codegen import extract_code_block
 from repro.llm.registry import get_model
@@ -225,14 +225,19 @@ def run_table_two(
     small_data: bool = True,
     max_iterations: int = 5,
     max_workers: int = 1,
+    executor: str = "thread",
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> TableTwoResult:
     """Regenerate the Table II experiment.
 
     Every (method, task) cell is an independent session, so with
     ``max_workers > 1`` the cells run concurrently on the engine's batch
-    runner.  Each session is deterministic (seeded LLM simulation, isolated
-    per-cell working directory, thread-local pvsim state), so the matrix is
-    identical regardless of ``max_workers``.
+    runner — threads by default, or separate worker processes with
+    ``executor="process"`` (true CPU parallelism; pass ``cache_dir`` so the
+    workers share upstream node results through the persistent disk cache).
+    Each session is deterministic (seeded LLM simulation, isolated per-cell
+    working directory, thread-local pvsim state), so the matrix is identical
+    regardless of ``max_workers`` or executor choice.
     """
     working_dir = Path(working_dir)
     task_names = list(tasks) if tasks is not None else list(CANONICAL_TASKS)
@@ -269,10 +274,14 @@ def run_table_two(
                 )
             )
 
-    outcomes = run_batch(jobs, max_workers=max_workers, stop_on_error=True)
-    for outcome in outcomes:
-        if outcome.error is not None and not isinstance(outcome.error, CancelledJob):
-            raise outcome.error
+    outcomes = run_batch(
+        jobs,
+        max_workers=max_workers,
+        stop_on_error=True,
+        executor=executor,
+        cache_dir=cache_dir,
+    )
+    raise_failures(outcomes)  # BatchJobError names the failing (model, task) cell
     for outcome in outcomes:
         result.cells.append(outcome.value)
     return result

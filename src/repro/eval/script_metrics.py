@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.llm.knowledge import ParaViewKnowledgeBase
 
@@ -124,10 +124,13 @@ class ScriptComparison:
     reference: ScriptAnalysis
 
     def summary(self) -> str:
+        hallucinated = self.candidate.hallucinated_properties + [
+            (f, "") for f in self.candidate.unknown_functions
+        ]
         return (
             f"coverage={self.operation_coverage:.2f}, "
             f"missing={sorted(self.missing_calls)}, extra={sorted(self.extra_calls)}, "
-            f"hallucinated={self.candidate.hallucinated_properties + [(f, '') for f in self.candidate.unknown_functions]}"
+            f"hallucinated={hallucinated}"
         )
 
 

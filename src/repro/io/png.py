@@ -11,7 +11,7 @@ from __future__ import annotations
 import struct
 import zlib
 from pathlib import Path
-from typing import Tuple, Union
+from typing import Union
 
 import numpy as np
 

@@ -15,17 +15,11 @@ ASCII only, ``float`` / ``int`` data, ``POINT_DATA`` scalars and vectors.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
-from repro.datamodel import (
-    CellType,
-    Dataset,
-    ImageData,
-    PolyData,
-    UnstructuredGrid,
-)
+from repro.datamodel import Dataset, ImageData, PolyData, UnstructuredGrid
 
 __all__ = ["read_vtk", "write_vtk", "VtkParseError"]
 

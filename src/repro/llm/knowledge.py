@@ -16,8 +16,8 @@ script-quality metrics) need:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
 
 __all__ = ["ParaViewKnowledgeBase", "HallucinationCatalog"]
 

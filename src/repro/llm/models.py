@@ -21,10 +21,9 @@ identical calls give identical answers — experiments are reproducible.
 
 from __future__ import annotations
 
-import re
 import zlib
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 

@@ -10,7 +10,7 @@ and credentials exist) can be plugged into ChatVis as an ``LLMClient``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.llm.base import ChatMessage, CompletionResponse, LLMClient, Usage

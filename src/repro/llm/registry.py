@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from repro.llm.base import LLMClient
-from repro.llm.models import DEFAULT_PROFILES, ModelProfile, SimulatedLLM
+from repro.llm.models import DEFAULT_PROFILES, SimulatedLLM
 
 __all__ = ["get_model", "register_model", "available_models"]
 

@@ -43,6 +43,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.pvsim import simple as pvsimple
 from repro.pvsim import state
+from repro.pvsim.pipeline import pvsim_engine
 
 __all__ = ["ExecutionResult", "PvPythonExecutor", "run_script"]
 
@@ -60,6 +61,11 @@ class ExecutionResult:
     screenshots: List[str] = field(default_factory=list)
     produced_files: List[str] = field(default_factory=list)
     script_name: str = "script.py"
+    #: pipeline nodes the engine actually executed during this run — zero on
+    #: a fully warm cache (the signal the incremental eval harness asserts on)
+    nodes_executed: int = 0
+    #: pipeline nodes served from the result cache during this run
+    nodes_cached: int = 0
 
     @property
     def output(self) -> str:
@@ -295,6 +301,10 @@ class PvPythonExecutor:
         error_message: Optional[str] = None
         traceback_text = ""
 
+        # this thread's cumulative engine counters; the delta across the run
+        # is how many nodes the script really executed vs. got from cache
+        stats_before = pvsim_engine().thread_stats().snapshot()
+
         _run_guard.acquire(stdout_buffer, stderr_buffer)
         try:
             try:
@@ -315,6 +325,7 @@ class PvPythonExecutor:
 
         files_after = {p.name for p in self.working_dir.iterdir()}
         produced = sorted(files_after - files_before)
+        stats_delta = pvsim_engine().thread_stats().delta(stats_before)
 
         return ExecutionResult(
             success=success,
@@ -326,6 +337,8 @@ class PvPythonExecutor:
             screenshots=[p for p in screenshots if Path(p).exists()],
             produced_files=produced,
             script_name=script_name,
+            nodes_executed=stats_delta.misses,
+            nodes_cached=stats_delta.hits,
         )
 
 

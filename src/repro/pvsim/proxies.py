@@ -15,7 +15,7 @@ raises :class:`~repro.pvsim.errors.ProxyPropertyError`.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from repro.pvsim.errors import ProxyPropertyError
 

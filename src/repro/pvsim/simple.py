@@ -24,8 +24,7 @@ loop relies on.
 
 from __future__ import annotations
 
-from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, Optional, Sequence, Union
 
 from repro.pvsim import state
 from repro.pvsim.errors import PipelineError
@@ -166,7 +165,9 @@ def GetLayout(view: Optional[RenderView] = None) -> Layout:  # noqa: N802
     return layout
 
 
-def AssignViewToLayout(view: Optional[RenderView] = None, layout: Optional[Layout] = None, hint: int = 0) -> None:  # noqa: N802
+def AssignViewToLayout(  # noqa: N802
+    view: Optional[RenderView] = None, layout: Optional[Layout] = None, hint: int = 0
+) -> None:
     layout = layout or GetLayout()
     view = view or state.get_active_view()
     if view is not None:
@@ -262,7 +263,9 @@ def GetColorTransferFunction(array_name: str, *_args: Any, **_kwargs: Any) -> Co
     return registry[array_name]
 
 
-def GetOpacityTransferFunction(array_name: str, *_args: Any, **_kwargs: Any) -> OpacityTransferFunctionProxy:  # noqa: N802
+def GetOpacityTransferFunction(  # noqa: N802
+    array_name: str, *_args: Any, **_kwargs: Any
+) -> OpacityTransferFunctionProxy:
     registry = state.opacity_transfer_functions()
     if array_name not in registry:
         registry[array_name] = OpacityTransferFunctionProxy(array_name)

@@ -3,14 +3,21 @@
 Readers resolve relative file names against the session working directory
 (:func:`repro.pvsim.state.resolve_path`), which is what lets many script
 sessions run concurrently without a process-global ``os.chdir``.  Each
-reader contributes a cache token of ``(path, mtime, size)`` so the engine's
-result cache re-reads a file when its content on disk changes.
+reader contributes a **content-based** cache token (a digest of the file's
+bytes, memoized per ``(path, mtime, size)``) so the engine's result cache
+re-reads a file when its content changes — and, just as important, so the
+*same* data prepared in two different session directories (every Table II
+cell gets its own copy) shares one cache entry, in memory and on disk,
+across threads, worker processes, and runs.
 """
 
 from __future__ import annotations
 
+import hashlib
+import threading
+from collections import OrderedDict
 from pathlib import Path
-from typing import Any, List, Optional, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -38,8 +45,39 @@ def _resolve(file_name: Union[str, Path]) -> Path:
     return state.resolve_path(file_name)
 
 
-def _file_token(ctx: ExecContext, *property_names: str) -> Optional[Tuple[str, float, int]]:
-    """Cache token for a file-backed source: (resolved path, mtime, size)."""
+#: (path, mtime_ns, size) → content digest; revalidated by the stat triple,
+#: so an in-place rewrite re-hashes while repeated key derivations don't.
+#: LRU-bounded: long-lived processes churn through per-cell temp directories
+#: whose files (and memo keys) would otherwise accumulate forever.
+_file_digest_memo: "OrderedDict[Tuple[str, int, int], str]" = OrderedDict()
+_file_digest_lock = threading.Lock()
+_FILE_DIGEST_MEMO_MAX = 1024
+
+
+def _file_content_digest(path: Path) -> str:
+    stat = path.stat()
+    memo_key = (str(path), stat.st_mtime_ns, stat.st_size)
+    with _file_digest_lock:
+        digest = _file_digest_memo.get(memo_key)
+        if digest is not None:
+            _file_digest_memo.move_to_end(memo_key)
+            return digest
+    digest = hashlib.sha1(path.read_bytes()).hexdigest()
+    with _file_digest_lock:
+        _file_digest_memo[memo_key] = digest
+        _file_digest_memo.move_to_end(memo_key)
+        while len(_file_digest_memo) > _FILE_DIGEST_MEMO_MAX:
+            _file_digest_memo.popitem(last=False)
+    return digest
+
+
+def _file_token(ctx: ExecContext, *property_names: str) -> Optional[Tuple[str, str]]:
+    """Cache token for a file-backed source: a digest of the file content.
+
+    Content-based (not path-based) so identical inputs prepared in different
+    session directories share cache entries; the digest is memoized against
+    ``(path, mtime, size)`` to keep key derivation off the hot path.
+    """
     value = None
     for name in property_names:
         value = ctx.get(name)
@@ -49,10 +87,9 @@ def _file_token(ctx: ExecContext, *property_names: str) -> Optional[Tuple[str, f
         return None
     try:
         path = _resolve(_first_file(value))
-        stat = path.stat()
+        return ("sha1", _file_content_digest(path))
     except (OSError, PipelineError):
         return None
-    return (str(path), stat.st_mtime, stat.st_size)
 
 
 @register_source(

@@ -2,15 +2,14 @@
 
 from __future__ import annotations
 
-from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.datamodel import Bounds, ImageData
-from repro.pvsim.errors import PipelineError, ProxyPropertyError
+from repro.pvsim.errors import PipelineError
 from repro.pvsim.pipeline import SourceProxy, array_selection
-from repro.pvsim.proxies import Proxy, next_registration_name
+from repro.pvsim.proxies import Proxy
 from repro.rendering import (
     Actor,
     Camera,
@@ -19,7 +18,6 @@ from repro.rendering import (
     OpacityTransferFunction,
     RepresentationType,
     Scene,
-    get_colormap,
     render_scene,
 )
 from repro.rendering.colormaps import COLORMAP_PRESETS

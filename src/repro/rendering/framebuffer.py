@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Sequence, Tuple, Union
+from typing import Sequence, Union
 
 import numpy as np
 

@@ -13,7 +13,7 @@ tens of thousands of triangles per second.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -9,7 +9,7 @@ from fully transparent at the minimum to moderately opaque at the maximum.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

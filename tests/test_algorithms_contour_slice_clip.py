@@ -9,12 +9,11 @@ from repro.algorithms import (
     clip_unstructured,
     contour,
     contour_lines,
-    extract_level_set,
     slice_dataset,
 )
 from repro.algorithms.implicit import Box, Plane, Sphere, plane_signed_distance
 from repro.algorithms.isosurface import tetrahedra_of_dataset
-from repro.datamodel import CellType, ImageData, PolyData, UnstructuredGrid
+from repro.datamodel import CellType, ImageData, UnstructuredGrid
 
 
 class TestImplicit:

@@ -18,7 +18,7 @@ from repro.algorithms import (
 from repro.algorithms.delaunay3d import DelaunayError
 from repro.algorithms.glyph import arrow_source, cone_source, sphere_source
 from repro.algorithms.stream_tracer import StreamTracerOptions, line_seeds, trace_streamline
-from repro.datamodel import CellType, ImageData, PolyData, UnstructuredGrid
+from repro.datamodel import ImageData, PolyData, UnstructuredGrid
 
 
 class TestInterpolation:

@@ -1,0 +1,121 @@
+"""Tests for the ``repro`` command-line entry point.
+
+The CLI is a thin shell over the library (harness, tiered cache, batch
+runner); these tests drive ``repro.cli.main`` in-process and assert on its
+output and on the cache state it leaves behind.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import default_cache_dir, main, resolve_cache_dir
+from repro.engine import configure_shared_cache
+from repro.engine.cache import CACHE_DIR_ENV_VAR
+from repro.pvsim import state
+
+
+@pytest.fixture(autouse=True)
+def _isolated(monkeypatch):
+    """Keep CLI runs hermetic: fresh session, no leaked disk tier/env var."""
+    monkeypatch.delenv(CACHE_DIR_ENV_VAR, raising=False)
+    state.reset_session()
+    yield
+    state.reset_session()
+    configure_shared_cache(None)
+
+
+class TestCacheDirResolution:
+    def test_explicit_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path / "env"))
+        assert resolve_cache_dir(str(tmp_path / "flag")) == tmp_path / "flag"
+
+    def test_env_var_beats_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path / "env"))
+        assert resolve_cache_dir(None) == tmp_path / "env"
+
+    def test_default_is_user_cache_dir(self):
+        assert resolve_cache_dir(None) == default_cache_dir()
+
+
+class TestCacheCommands:
+    def test_stats_on_missing_root(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "nope")]) == 0
+        assert "does not exist" in capsys.readouterr().out
+
+    def test_stats_and_clear_round_trip(self, tmp_path, capsys):
+        from repro.engine import DiskCache
+
+        disk = DiskCache(tmp_path / "cache")
+        disk.put("deadbeef", {"some": "value"})
+
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "entries:    1" in out
+
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert "cleared 1 entries" in capsys.readouterr().out
+        assert len(DiskCache(tmp_path / "cache")) == 0
+
+
+class TestBenchCommand:
+    def test_bench_reports_warm_speedup_and_json(self, tmp_path, capsys):
+        json_path = tmp_path / "bench.json"
+        code = main(
+            ["bench", "--cache-dir", str(tmp_path / "cache"), "--json", str(json_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cold run" in out and "warm run" in out
+
+        payload = json.loads(json_path.read_text())
+        assert payload["warm_nodes_executed"] == 0
+        assert payload["cold_nodes_executed"] > 0
+        assert payload["warm_seconds"] < payload["cold_seconds"]
+
+
+class TestEvalCommand:
+    def test_eval_prints_table_and_persists_cache(self, tmp_path, capsys):
+        code = main(
+            [
+                "eval",
+                str(tmp_path / "work"),
+                "--models",
+                "gpt-4",
+                "--tasks",
+                "isosurface",
+                "--resolution",
+                "96x72",
+                "--no-chatvis",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Isosurfacing" in out
+        assert "gpt-4" in out
+        assert "disk tier:" in out
+        assert list((tmp_path / "cache").rglob("*.bin"))
+
+    def test_eval_no_cache_runs_memory_only(self, tmp_path, capsys):
+        code = main(
+            [
+                "eval",
+                str(tmp_path / "work"),
+                "--models",
+                "gpt-4",
+                "--tasks",
+                "isosurface",
+                "--resolution",
+                "96x72",
+                "--no-chatvis",
+                "--no-cache",
+            ]
+        )
+        assert code == 0
+        assert "disk tier:" not in capsys.readouterr().out
+
+    def test_bad_resolution_is_a_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["eval", str(tmp_path), "--resolution", "banana"])

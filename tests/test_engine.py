@@ -11,13 +11,17 @@ import pytest
 
 from repro.engine import (
     BatchJob,
+    BatchJobError,
+    CancelledJob,
     Engine,
     GraphCycleError,
     GraphError,
     Pipeline,
     PipelineGraph,
+    ProcessBatchRunner,
     ResultCache,
     normalize_value,
+    raise_failures,
     run_batch,
     shared_cache,
 )
@@ -374,6 +378,40 @@ class TestBatch:
             # each session saw exactly its own two sources (reader + contour)
             assert "sources 2" in outcome.value.stdout
 
+    def test_stop_on_error_raise_names_failing_job(self):
+        """The raised error must say which job died (PipelineError-style)."""
+
+        def boom():
+            raise ValueError("nope")
+
+        for workers in (1, 3):
+            results = run_batch(
+                [BatchJob("ok", lambda: 1), BatchJob("gpt-4/isosurface", boom)],
+                max_workers=workers,
+                stop_on_error=True,
+            )
+            with pytest.raises(BatchJobError, match="gpt-4/isosurface") as excinfo:
+                raise_failures(results)
+            assert excinfo.value.job_name == "gpt-4/isosurface"
+            assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_cancelled_jobs_never_mask_the_real_failure(self):
+        def boom():
+            raise RuntimeError("root cause")
+
+        results = run_batch(
+            [BatchJob("bad", boom), BatchJob("never-ran", lambda: 1)],
+            max_workers=1,
+            stop_on_error=True,
+        )
+        assert isinstance(results[1].error, CancelledJob)
+        with pytest.raises(BatchJobError, match="'bad'"):
+            raise_failures(results)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            run_batch([BatchJob("x", lambda: 1)], executor="fiber")
+
     def test_registration_names_are_session_local(self):
         """Auto names (which feed error text → LLM seeds) must not depend on
         what concurrent sessions are doing."""
@@ -388,6 +426,66 @@ class TestBatch:
         results = run_batch(jobs, max_workers=3)
         names = {r.value.stdout.strip() for r in results}
         assert names == {"Wavelet1"}
+
+
+# --------------------------------------------------------------------------- #
+# process batch runner
+# --------------------------------------------------------------------------- #
+def _square(value: int) -> int:
+    """Module-level so the spawn-based process pool can pickle it."""
+    return value * value
+
+
+def _proc_boom() -> None:
+    raise ValueError("exploded in worker")
+
+
+class _UnpicklableError(RuntimeError):
+    def __init__(self) -> None:
+        super().__init__("cannot cross the pipe")
+        self.payload = lambda: None  # lambdas don't pickle
+
+
+def _raise_unpicklable() -> None:
+    raise _UnpicklableError()
+
+
+class TestProcessBatch:
+    def test_process_results_match_serial(self):
+        jobs = [BatchJob(name=str(i), fn=_square, args=(i,)) for i in range(6)]
+        serial = [r.value for r in run_batch(jobs, max_workers=1)]
+        process = [r.value for r in run_batch(jobs, max_workers=2, executor="process")]
+        assert process == serial
+        assert all(r.ok for r in run_batch(jobs, max_workers=2, executor="process"))
+
+    def test_process_error_names_failing_job(self):
+        jobs = [BatchJob("fine", _square, (3,)), BatchJob("llama3:8b/slice", _proc_boom)]
+        results = run_batch(jobs, max_workers=2, executor="process", stop_on_error=True)
+        with pytest.raises(BatchJobError, match="llama3:8b/slice") as excinfo:
+            raise_failures(results)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_unpicklable_worker_error_is_sanitized(self):
+        from repro.engine.batch import WorkerJobError
+
+        results = ProcessBatchRunner(max_workers=2).run(
+            [BatchJob("fine", _square, (2,)), BatchJob("bad", _raise_unpicklable)]
+        )
+        assert results[0].ok and results[0].value == 4
+        assert isinstance(results[1].error, WorkerJobError)
+        assert "cannot cross the pipe" in str(results[1].error)
+
+    def test_serial_fallback_for_single_worker(self):
+        results = ProcessBatchRunner(max_workers=1).run([BatchJob("only", _square, (5,))])
+        assert results[0].value == 25
+
+    def test_serial_fallback_restores_shared_disk_tier(self, tmp_path):
+        """A degenerate process batch must not permanently reconfigure the
+        caller's shared cache (it attaches the disk tier only for the run)."""
+        before = shared_cache().disk
+        runner = ProcessBatchRunner(max_workers=1, cache_dir=tmp_path / "cache")
+        runner.run([BatchJob("only", _square, (4,))])
+        assert shared_cache().disk is before
 
 
 # --------------------------------------------------------------------------- #
@@ -408,3 +506,27 @@ class TestHarnessParallelism:
         assert serial.methods == parallel.methods
         assert serial.tasks == parallel.tasks
         assert serial.cells == parallel.cells
+
+    def test_table_two_identical_across_process_executor(self, tmp_path):
+        """Process workers (sharing one disk cache) must produce the exact
+        cells serial execution does — the acceptance criterion for the
+        process runner."""
+        from repro.eval.harness import run_table_two
+
+        kwargs = dict(
+            models=("gpt-4",),
+            tasks=["isosurface"],
+            resolution=(96, 72),
+            include_chatvis=True,
+        )
+        serial = run_table_two(tmp_path / "serial", max_workers=1, **kwargs)
+        process = run_table_two(
+            tmp_path / "process",
+            max_workers=2,
+            executor="process",
+            cache_dir=tmp_path / "cache",
+            **kwargs,
+        )
+        assert process.cells == serial.cells
+        # the workers persisted their node results into the shared disk tier
+        assert list((tmp_path / "cache").rglob("*.bin"))

@@ -1,6 +1,5 @@
 """End-to-end integration tests crossing all subsystems."""
 
-import numpy as np
 import pytest
 
 from repro.core import CANONICAL_TASKS, ChatVis, get_task, prepare_task_data

@@ -8,7 +8,6 @@ from repro.llm import (
     ChatMessage,
     ModelProfile,
     ParaViewKnowledgeBase,
-    SimulatedLLM,
     available_models,
     count_tokens,
     get_model,
@@ -23,7 +22,7 @@ from repro.llm.errors import (
     inject_use_before_create,
     repair_script,
 )
-from repro.llm.models import DEFAULT_PROFILES, FEW_SHOT_MARKER
+from repro.llm.models import FEW_SHOT_MARKER
 from repro.llm.openai_compat import OpenAICompatibleClient
 from repro.llm.tokenizer import SimpleTokenizer
 

@@ -6,13 +6,13 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.algorithms import clip_polydata, contour, extract_level_set, trilinear_interpolate
-from repro.algorithms.implicit import Plane, plane_signed_distance
-from repro.datamodel import Bounds, DataArray, FieldData, ImageData, PolyData
+from repro.algorithms import clip_polydata, contour, trilinear_interpolate
+from repro.algorithms.implicit import plane_signed_distance
+from repro.datamodel import Bounds, DataArray, ImageData, PolyData
 from repro.io.png import read_png, write_png
 from repro.llm.nl_parser import parse_request
-from repro.rendering.colormaps import LookupTable, get_colormap
-from repro.rendering.transforms import look_at_matrix, normalize, rotation_about_axis
+from repro.rendering.colormaps import get_colormap
+from repro.rendering.transforms import look_at_matrix, rotation_about_axis
 
 _settings = settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 

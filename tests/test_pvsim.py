@@ -3,12 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.core.tasks import prepare_task_data
 from repro.data import write_disk_flow, write_marschner_lobb
 from repro.pvsim import run_script, simple
-from repro.pvsim.errors import PipelineError, ProxyPropertyError
+from repro.pvsim.errors import PipelineError
 from repro.pvsim.executor import PvPythonExecutor
-from repro.pvsim.proxies import Proxy, PropertyGroupProxy
 from repro.pvsim import state
 
 

@@ -4,7 +4,7 @@ rasterizer, volume renderer and scene rendering."""
 import numpy as np
 import pytest
 
-from repro.datamodel import Bounds, PolyData
+from repro.datamodel import Bounds
 from repro.rendering import (
     Actor,
     Camera,
