@@ -1,9 +1,12 @@
 """``repro`` — the command-line entry point for the reproduction harness.
 
-One front door for the three things people (and CI) run:
+One front door for the things people (and CI) run:
 
 * ``repro eval``  — regenerate the Table II matrix, optionally in parallel
   (threads or processes) and against a persistent disk cache;
+* ``repro suite`` — the procedural scenario suite: ``list`` the generated
+  catalog, ``run`` the scenario × model matrix resumably against a JSONL
+  results store, ``report`` the aggregate success/error matrices;
 * ``repro bench`` — a cold-vs-warm micro-benchmark of the tiered cache on a
   representative pipeline, with optional JSON output for CI artifacts;
 * ``repro cache`` — inspect (``stats``) or empty (``clear``) a disk cache
@@ -24,7 +27,7 @@ import os
 import sys
 import time
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.cache import CACHE_DIR_ENV_VAR, DiskCache, ResultCache, TieredCache
 
@@ -112,6 +115,141 @@ def _cmd_eval(ns: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# repro suite
+# --------------------------------------------------------------------------- #
+def _select_scenarios(ns: argparse.Namespace):
+    from repro.scenarios import canonical_scenarios, generate_scenarios
+
+    if getattr(ns, "canonical", False):
+        scenarios = canonical_scenarios()
+        if ns.spec is not None:
+            scenarios = [s for s in scenarios if s.spec_name == ns.spec]
+        if ns.family is not None:
+            scenarios = [s for s in scenarios if s.family == ns.family]
+        if ns.phrasing is not None:
+            scenarios = [s for s in scenarios if s.phrasing == ns.phrasing]
+        if ns.limit is not None:
+            scenarios = scenarios[: ns.limit]
+        return scenarios
+    return generate_scenarios(
+        family=ns.family, spec=ns.spec, phrasing=ns.phrasing, limit=ns.limit
+    )
+
+
+def _add_scenario_filters(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--family", default=None, help="only this operation family")
+    parser.add_argument("--spec", default=None, help="only scenarios from this spec")
+    parser.add_argument("--phrasing", default=None, help="only this prompt phrasing")
+    parser.add_argument("--limit", type=int, default=None, help="cap the scenario count")
+    parser.add_argument(
+        "--canonical",
+        action="store_true",
+        help="the paper's five verbatim tasks instead of the generated catalog",
+    )
+
+
+def _cmd_suite_list(ns: argparse.Namespace) -> int:
+    scenarios = _select_scenarios(ns)
+    if ns.json:
+        payload = [
+            {
+                "name": s.name,
+                "key": s.key(),
+                "family": s.family,
+                "spec": s.spec_name,
+                "phrasing": s.phrasing,
+                "dataset": s.dataset,
+                "operations": s.structural_kinds(),
+                "resolution": list(s.resolution),
+            }
+            for s in scenarios
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    for scenario in scenarios:
+        print(scenario.describe())
+    families = sorted({s.family for s in scenarios})
+    specs = sorted({s.spec_name for s in scenarios})
+    print(f"\n{len(scenarios)} scenarios from {len(specs)} spec(s), families: {', '.join(families)}")
+    return 0
+
+
+def _cmd_suite_run(ns: argparse.Namespace) -> int:
+    from repro.engine.cache import configure_shared_cache
+    from repro.scenarios import SuiteRunner, SuiteStore, build_report
+
+    cache_dir: Optional[Path] = None
+    if not ns.no_cache:
+        cache_dir = resolve_cache_dir(ns.cache_dir)
+        configure_shared_cache(cache_dir)
+
+    scenarios = _select_scenarios(ns)
+    if not scenarios:
+        print("no scenarios selected")
+        return 1
+    methods = list(ns.models) if ns.models else ["gpt-4"]
+    if ns.chatvis:
+        methods.insert(0, "ChatVis")
+
+    working_dir = Path(ns.working_dir)
+    store = SuiteStore(Path(ns.results) if ns.results else working_dir / "suite-results.jsonl")
+    if ns.fresh:
+        store.clear()
+
+    started = time.perf_counter()
+    runner = SuiteRunner(
+        scenarios,
+        methods=methods,
+        working_dir=working_dir,
+        store=store,
+        resolution=ns.resolution,
+        max_workers=ns.max_workers,
+        executor=ns.executor,
+        cache_dir=cache_dir,
+    )
+    summary = runner.run(resume=True)
+    elapsed = time.perf_counter() - started
+
+    print(f"suite: {summary.describe()} in {elapsed:.2f}s")
+    print(f"results store: {store.path}")
+    for name, error in summary.failures:
+        print(f"  FAILED {name}: {error}")
+
+    report = build_report(summary.records)
+    for method in report.methods:
+        totals = report.totals[method]
+        print(
+            f"{method:>14s}: {totals.error_free}/{totals.cells} error-free, "
+            f"{totals.screenshots}/{totals.cells} screenshots"
+        )
+    if ns.report:
+        print(f"wrote {report.write_markdown(ns.report)}")
+    if ns.report_json:
+        print(f"wrote {report.write_json(ns.report_json)}")
+    return 1 if summary.failures else 0
+
+
+def _cmd_suite_report(ns: argparse.Namespace) -> int:
+    from repro.scenarios import load_report
+
+    results = Path(ns.results)
+    if not results.exists():
+        print(f"results store {results} does not exist")
+        return 1
+    report = load_report(results)
+    if report.n_cells == 0:
+        print(f"results store {results} holds no records")
+        return 1
+    if ns.markdown:
+        print(f"wrote {report.write_markdown(ns.markdown)}")
+    if ns.json:
+        print(f"wrote {report.write_json(ns.json)}")
+    if not ns.markdown and not ns.json:
+        print(report.to_markdown())
+    return 0
+
+
+# --------------------------------------------------------------------------- #
 # repro bench
 # --------------------------------------------------------------------------- #
 def _bench_pipeline(cache: TieredCache):
@@ -163,15 +301,51 @@ def _cmd_bench(ns: argparse.Namespace) -> int:
 # --------------------------------------------------------------------------- #
 # repro cache
 # --------------------------------------------------------------------------- #
+def _format_bytes(n: int) -> str:
+    """Human-readable size: 512 B, 1.5 KiB, 3.2 MiB, ..."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024.0 or unit == "TiB":
+            return f"{int(value)} {unit}" if unit == "B" else f"{value:.1f} {unit}"
+        value /= 1024.0
+    return f"{n} B"  # pragma: no cover - unreachable
+
+
+def _entry_kinds(disk: DiskCache) -> Dict[str, int]:
+    """Entry count per payload kind (the cached value's type name).
+
+    This decodes every entry (one at a time), so it costs a full read of the
+    cache — ``--no-kinds`` skips it on large roots.
+    """
+    from repro.datamodel.serialization import CachePayloadError, read_payload_file
+
+    kinds: Dict[str, int] = {}
+    for path in disk.entry_paths():
+        try:
+            value = read_payload_file(path)
+            kind = type(value).__name__
+        except (CachePayloadError, OSError):
+            kind = "<corrupt>"
+        kinds[kind] = kinds.get(kind, 0) + 1
+    return kinds
+
+
 def _cmd_cache_stats(ns: argparse.Namespace) -> int:
     cache_dir = resolve_cache_dir(ns.cache_dir)
     if not cache_dir.exists():
         print(f"cache root {cache_dir} does not exist (nothing cached yet)")
         return 0
     disk = DiskCache(cache_dir)
+    total = disk.total_bytes()
     print(f"cache root: {disk.root}")
     print(f"entries:    {len(disk)}")
-    print(f"bytes:      {disk.total_bytes()}")
+    print(f"size:       {_format_bytes(total)} ({total} bytes)")
+    if not ns.no_kinds:
+        kinds = _entry_kinds(disk)
+        if kinds:
+            print("entries by kind:")
+            for kind, count in sorted(kinds.items(), key=lambda item: (-item[1], item[0])):
+                print(f"  {kind:<20s} {count}")
     return 0
 
 
@@ -235,6 +409,68 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_dir_argument(eval_parser)
     eval_parser.set_defaults(func=_cmd_eval)
 
+    suite_parser = subparsers.add_parser(
+        "suite", help="procedural scenario suite: list, run (resumable), report"
+    )
+    suite_sub = suite_parser.add_subparsers(dest="suite_command", required=True)
+
+    list_parser = suite_sub.add_parser("list", help="show the generated scenario catalog")
+    _add_scenario_filters(list_parser)
+    list_parser.add_argument("--json", action="store_true", help="machine-readable listing")
+    list_parser.set_defaults(func=_cmd_suite_list)
+
+    run_parser = suite_sub.add_parser(
+        "run", help="run the scenario × model matrix against a resumable JSONL store"
+    )
+    run_parser.add_argument("working_dir", help="directory for per-cell session workspaces")
+    _add_scenario_filters(run_parser)
+    run_parser.add_argument(
+        "--models", type=_parse_csv, default=None, help="comma-separated model list (default: gpt-4)"
+    )
+    run_parser.add_argument(
+        "--chatvis", action="store_true", help="also run the assisted ChatVis column"
+    )
+    run_parser.add_argument(
+        "--resolution",
+        type=_parse_resolution,
+        default=None,
+        help="override every scenario's render size, e.g. 160x120",
+    )
+    run_parser.add_argument(
+        "--results",
+        default=None,
+        help="JSONL results store (default: WORKING_DIR/suite-results.jsonl)",
+    )
+    run_parser.add_argument(
+        "--fresh", action="store_true", help="discard the results store before running"
+    )
+    run_parser.add_argument("--max-workers", type=int, default=1)
+    run_parser.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="concurrency substrate for the cells",
+    )
+    run_parser.add_argument(
+        "--no-cache", action="store_true", help="run without the persistent disk tier"
+    )
+    run_parser.add_argument("--report", default=None, help="also write the markdown report here")
+    run_parser.add_argument(
+        "--report-json", default=None, help="also write the JSON report here"
+    )
+    _add_cache_dir_argument(run_parser)
+    run_parser.set_defaults(func=_cmd_suite_run)
+
+    report_parser = suite_sub.add_parser(
+        "report", help="aggregate a results store into success/error matrices"
+    )
+    report_parser.add_argument("results", help="path to the JSONL results store")
+    report_parser.add_argument(
+        "--markdown", default=None, help="write markdown here instead of stdout"
+    )
+    report_parser.add_argument("--json", default=None, help="also write the JSON report here")
+    report_parser.set_defaults(func=_cmd_suite_report)
+
     bench_parser = subparsers.add_parser(
         "bench", help="cold-vs-warm disk-cache benchmark of a representative pipeline"
     )
@@ -246,7 +482,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     cache_parser = subparsers.add_parser("cache", help="inspect or clear a disk-cache root")
     cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
-    stats_parser = cache_sub.add_parser("stats", help="entry count and on-disk footprint")
+    stats_parser = cache_sub.add_parser(
+        "stats", help="entry count, on-disk footprint, per-kind breakdown"
+    )
+    stats_parser.add_argument(
+        "--no-kinds",
+        action="store_true",
+        help="skip the per-kind breakdown (it decodes every entry)",
+    )
     _add_cache_dir_argument(stats_parser)
     stats_parser.set_defaults(func=_cmd_cache_stats)
     clear_parser = cache_sub.add_parser("clear", help="remove every cache entry")

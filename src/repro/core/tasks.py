@@ -10,12 +10,59 @@ them by the names the prompts use (``ml-100.vtk``, ``can_points.ex2``,
 
 from __future__ import annotations
 
+import re
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Tuple, Union
+from typing import Any, Callable, Dict, List, Tuple, Union
 
-__all__ = ["VisualizationTask", "CANONICAL_TASKS", "get_task", "prepare_task_data", "task_names"]
+__all__ = [
+    "DataRecipe",
+    "VisualizationTask",
+    "CANONICAL_TASKS",
+    "get_task",
+    "prepare_task_data",
+    "rescale_prompt",
+    "task_names",
+]
+
+
+#: resolution phrases in prompts: "1920 x 1080 pixels", "320x240 px", "640 X 480 Pixels"
+_RESOLUTION_PHRASE = re.compile(r"\d{2,5}\s*[x×]\s*\d{2,5}\s*(?:pixels?|px)\b", re.IGNORECASE)
+
+
+def rescale_prompt(prompt: str, resolution: Tuple[int, int]) -> str:
+    """Substitute every resolution phrase of a prompt with ``W x H pixels``.
+
+    Accepts the paper's ``1920 x 1080 pixels`` as well as template phrasings
+    like ``320x240 px`` (case-insensitive, optional spaces, ``px``/``pixel``/
+    ``pixels``), so scaled re-runs of template-phrased prompts rescale the
+    same way the verbatim paper prompts do.
+    """
+    width, height = resolution
+    return _RESOLUTION_PHRASE.sub(f"{width} x {height} pixels", prompt)
+
+
+@dataclass(frozen=True)
+class DataRecipe:
+    """A declarative, picklable description of one synthetic input file.
+
+    ``generator`` names an entry of the recipe registry (a writer in
+    :mod:`repro.data`); ``params`` is a sorted tuple of keyword items so the
+    recipe hashes/compares by content and crosses process boundaries intact
+    (scenario cells run on the engine's process batch runner).
+    """
+
+    filename: str
+    generator: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, filename: str, generator: str, **params: Any) -> "DataRecipe":
+        return cls(filename, generator, tuple(sorted(params.items())))
+
+    def kwargs(self) -> Dict[str, Any]:
+        return dict(self.params)
 
 
 @dataclass(frozen=True)
@@ -31,6 +78,8 @@ class VisualizationTask:
     #: qualitative complexity (number of chained pipeline stages)
     complexity: int = 1
     figure: str = ""
+    #: explicit input-file recipes; empty means the canonical filename map
+    data_recipes: Tuple[DataRecipe, ...] = field(default=())
 
     def describe(self) -> str:
         return f"{self.title} ({self.name}): {len(self.data_files)} input file(s), output {self.screenshot}"
@@ -159,6 +208,17 @@ def _generators(small: bool) -> Dict[str, Callable[[Path], Path]]:
     }
 
 
+#: recipe generators, keyed by :attr:`DataRecipe.generator`
+def _recipe_generators() -> Dict[str, Callable[..., Path]]:
+    from repro.data import write_can_points, write_disk_flow, write_marschner_lobb
+
+    return {
+        "marschner_lobb": write_marschner_lobb,
+        "can_points": write_can_points,
+        "disk_flow": write_disk_flow,
+    }
+
+
 #: serializes data-file generation so concurrent sessions (engine batch
 #: workers) preparing the same directory never observe half-written files
 _PREPARE_LOCK = threading.Lock()
@@ -172,16 +232,34 @@ def prepare_task_data(
 ) -> List[Path]:
     """Generate the input files a task needs inside ``working_dir``.
 
-    Returns the list of created (or already-present) file paths.  Safe to
-    call concurrently from multiple batch workers.
+    Tasks carrying explicit :class:`DataRecipe` entries (generated scenarios)
+    materialize exactly those; otherwise the canonical filename map applies,
+    with ``small`` selecting the low-resolution variants.  Returns the list
+    of created (or already-present) file paths.  Safe to call concurrently
+    from multiple batch workers.
     """
     if isinstance(task, str):
         task = get_task(task)
     working_dir = Path(working_dir)
     working_dir.mkdir(parents=True, exist_ok=True)
-    generators = _generators(small)
     created: List[Path] = []
     with _PREPARE_LOCK:
+        if task.data_recipes:
+            generators = _recipe_generators()
+            for recipe in task.data_recipes:
+                target = working_dir / recipe.filename
+                if target.exists() and not overwrite:
+                    created.append(target)
+                    continue
+                generator = generators.get(recipe.generator)
+                if generator is None:
+                    raise KeyError(
+                        f"no recipe generator named {recipe.generator!r} "
+                        f"(available: {sorted(generators)})"
+                    )
+                created.append(Path(generator(target, **recipe.kwargs())))
+            return created
+        generators = _generators(small)
         for filename in task.data_files:
             target = working_dir / filename
             if target.exists() and not overwrite:

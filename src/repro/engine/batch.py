@@ -88,6 +88,9 @@ def _run_one(job: BatchJob) -> BatchResult:
     try:
         value = job.fn(*job.args, **job.kwargs)
         return BatchResult(job.name, value=value, duration=time.perf_counter() - started)
+    except (KeyboardInterrupt, SystemExit):
+        # a Ctrl-C must abort the batch, not be recorded as the job's result
+        raise
     except BaseException as exc:  # noqa: BLE001 - jobs must not kill the batch
         return BatchResult(job.name, error=exc, duration=time.perf_counter() - started)
 
@@ -138,7 +141,11 @@ def _normalize(jobs: Sequence[Union[BatchJob, Callable[[], Any]]]) -> List[Batch
     ]
 
 
-def _run_serial(jobs: List[BatchJob], stop_on_error: bool) -> List[BatchResult]:
+def _run_serial(
+    jobs: List[BatchJob],
+    stop_on_error: bool,
+    on_result: Optional[Callable[[BatchResult], None]] = None,
+) -> List[BatchResult]:
     results: List[BatchResult] = []
     failed = False
     for job in jobs:
@@ -147,18 +154,27 @@ def _run_serial(jobs: List[BatchJob], stop_on_error: bool) -> List[BatchResult]:
             continue
         outcome = _run_one(job)
         results.append(outcome)
+        if on_result is not None:
+            on_result(outcome)
         failed = stop_on_error and outcome.error is not None
     return results
 
 
-def _drain_pool(pool, worker, jobs: List[BatchJob], stop_on_error: bool) -> List[BatchResult]:
+def _drain_pool(
+    pool,
+    worker,
+    jobs: List[BatchJob],
+    stop_on_error: bool,
+    on_result: Optional[Callable[[BatchResult], None]] = None,
+) -> List[BatchResult]:
     """Submit all jobs, collect ordered results, cancel the rest on failure.
 
     Shared by the thread and process paths — ``worker`` is the (possibly
     pickled-and-shipped) per-job runner.  ``future.result()`` is guarded: a
     process-pool future raises here when the worker's *return value* failed
     to pickle (or the worker died), and that must surface as that job's
-    error, not kill the whole batch.
+    error, not kill the whole batch.  ``on_result`` fires on the calling
+    thread as each job completes (completion order, not submission order).
     """
     futures = {pool.submit(worker, job): index for index, job in enumerate(jobs)}
     slots: List[Optional[BatchResult]] = [None] * len(jobs)
@@ -172,9 +188,16 @@ def _drain_pool(pool, worker, jobs: List[BatchJob], stop_on_error: bool) -> List
                 continue
             try:
                 outcome = future.result()
+            except (KeyboardInterrupt, SystemExit):
+                # same contract as the serial path: a Ctrl-C (or a job that
+                # raised one in a pool thread) aborts the batch, it is never
+                # recorded as the job's result
+                raise
             except BaseException as exc:  # noqa: BLE001 - transport-level failure
                 outcome = BatchResult(jobs[index].name, error=exc)
             slots[index] = outcome
+            if on_result is not None:
+                on_result(outcome)
             if stop_on_error and outcome.error is not None:
                 for other in pending:
                     other.cancel()
@@ -244,6 +267,7 @@ class ProcessBatchRunner:
         self,
         jobs: Sequence[Union[BatchJob, Callable[[], Any]]],
         stop_on_error: bool = False,
+        on_result: Optional[Callable[[BatchResult], None]] = None,
     ) -> List[BatchResult]:
         """Run jobs in worker processes; ordered results, errors captured."""
         import multiprocessing
@@ -251,7 +275,7 @@ class ProcessBatchRunner:
         normalized = _normalize(jobs)
         if self.max_workers <= 1 or len(normalized) <= 1:
             if self.cache_dir is None:
-                return _run_serial(normalized, stop_on_error)
+                return _run_serial(normalized, stop_on_error, on_result)
             # mirror the workers' bootstrap (results land in the disk tier),
             # but restore whatever tier the caller had — running a degenerate
             # batch must not permanently reconfigure the process
@@ -261,7 +285,7 @@ class ProcessBatchRunner:
             previous_disk = cache.disk
             cache.attach_disk(DiskCache(self.cache_dir))
             try:
-                return _run_serial(normalized, stop_on_error)
+                return _run_serial(normalized, stop_on_error, on_result)
             finally:
                 cache.attach_disk(previous_disk)
 
@@ -273,7 +297,7 @@ class ProcessBatchRunner:
             initializer=_process_worker_init,
             initargs=(cache_dir,),
         ) as pool:
-            return _drain_pool(pool, _run_one_in_worker, normalized, stop_on_error)
+            return _drain_pool(pool, _run_one_in_worker, normalized, stop_on_error, on_result)
 
 
 def run_batch(
@@ -282,6 +306,7 @@ def run_batch(
     stop_on_error: bool = False,
     executor: str = "thread",
     cache_dir: Optional[Union[str, Path]] = None,
+    on_result: Optional[Callable[[BatchResult], None]] = None,
 ) -> List[BatchResult]:
     """Run jobs (callables or :class:`BatchJob`) and return ordered results.
 
@@ -292,21 +317,28 @@ def run_batch(
     instead of finishing minutes of work that will be discarded.  Callers
     that want the failure *raised* should follow with
     :func:`raise_failures`, which names the failing job.
+    ``KeyboardInterrupt``/``SystemExit`` are never captured: a Ctrl-C aborts
+    the batch.
 
     ``executor`` selects the concurrency substrate: ``"thread"`` (default —
     shared in-memory cache, zero startup cost) or ``"process"`` (true CPU
     parallelism; see :class:`ProcessBatchRunner`).  ``cache_dir`` names the
     disk-cache root worker processes share; the thread path ignores it
     (threads already share the in-process cache).
+
+    ``on_result`` is invoked on the calling thread as each job completes
+    (completion order), letting callers persist incremental progress — the
+    scenario suite streams its JSONL records through it, so an aborted
+    batch keeps everything already finished.
     """
     if executor not in ("thread", "process"):
         raise ValueError(f"unknown executor {executor!r} (expected 'thread' or 'process')")
     if executor == "process":
         runner = ProcessBatchRunner(max_workers=max_workers, cache_dir=cache_dir)
-        return runner.run(jobs, stop_on_error=stop_on_error)
+        return runner.run(jobs, stop_on_error=stop_on_error, on_result=on_result)
 
     normalized = _normalize(jobs)
     if max_workers <= 1 or len(normalized) <= 1:
-        return _run_serial(normalized, stop_on_error)
+        return _run_serial(normalized, stop_on_error, on_result)
     with ThreadPoolExecutor(max_workers=max_workers) as pool:
-        return _drain_pool(pool, _run_one, normalized, stop_on_error)
+        return _drain_pool(pool, _run_one, normalized, stop_on_error, on_result)

@@ -272,6 +272,10 @@ class DiskCache(CacheLike):
             for path in shard.glob(f"*{self.ENTRY_SUFFIX}")
         ]
 
+    def entry_paths(self) -> List[Path]:
+        """The on-disk entry files (public view for inspection tooling)."""
+        return self._entries()
+
     @contextlib.contextmanager
     def _write_lock(self) -> Iterator[None]:
         """Advisory cross-process writer lock (no-op where flock is missing)."""

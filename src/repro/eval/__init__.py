@@ -14,7 +14,12 @@ This package regenerates the paper's evaluation artefacts:
   image comparisons.
 """
 
-from repro.eval.ground_truth import GROUND_TRUTH_SCRIPTS, ground_truth_script, run_ground_truth
+from repro.eval.ground_truth import (
+    GROUND_TRUTH_SCRIPTS,
+    ground_truth_script,
+    run_ground_truth,
+    synthesize_ground_truth,
+)
 from repro.eval.harness import (
     FigureComparison,
     TableOneResult,
@@ -52,4 +57,5 @@ __all__ = [
     "run_table_one",
     "run_table_two",
     "structural_similarity",
+    "synthesize_ground_truth",
 ]

@@ -13,10 +13,15 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
-from repro.core.tasks import VisualizationTask, get_task
+from repro.core.tasks import VisualizationTask, get_task, rescale_prompt
 from repro.pvsim.executor import ExecutionResult, PvPythonExecutor
 
-__all__ = ["GROUND_TRUTH_SCRIPTS", "ground_truth_script", "run_ground_truth"]
+__all__ = [
+    "GROUND_TRUTH_SCRIPTS",
+    "ground_truth_script",
+    "run_ground_truth",
+    "synthesize_ground_truth",
+]
 
 
 _ISO_GT = """\
@@ -168,16 +173,56 @@ GROUND_TRUTH_SCRIPTS: Dict[str, str] = {
 }
 
 
+def synthesize_ground_truth(
+    task_or_request: Union[str, VisualizationTask],
+    resolution: Optional[Tuple[int, int]] = None,
+    screenshot: Optional[str] = None,
+) -> str:
+    """Build a reference script for an arbitrary natural-language request.
+
+    The generated-scenario suite needs a ground truth per scenario without a
+    hand-written template per task, so this parses the request into a plan
+    and renders the *correct* script through
+    :func:`repro.llm.codegen.canonical_script` — the same builder the
+    simulated models degrade and the ChatVis loop converges back to.  For
+    the canonical tasks the result is structurally equivalent to the
+    hand-written templates above.
+    """
+    from repro.llm.codegen import canonical_script
+    from repro.llm.nl_parser import parse_request
+
+    if isinstance(task_or_request, VisualizationTask):
+        prompt = task_or_request.user_prompt
+        resolution = resolution or task_or_request.resolution
+        screenshot = screenshot or task_or_request.screenshot
+    else:
+        prompt = str(task_or_request)
+    if resolution is not None:
+        prompt = rescale_prompt(prompt, resolution)
+    plan = parse_request(prompt)
+    if screenshot is not None:
+        for op in plan.all("screenshot"):
+            op.params["filename"] = screenshot
+    draft = canonical_script(plan, default_resolution=resolution or (1920, 1080))
+    return draft.text()
+
+
 def ground_truth_script(
     task: Union[str, VisualizationTask],
     resolution: Optional[Tuple[int, int]] = None,
     screenshot: Optional[str] = None,
 ) -> str:
-    """The reference script of a task, formatted for a resolution/filename."""
+    """The reference script of a task, formatted for a resolution/filename.
+
+    Canonical tasks use the hand-written templates above; any other task
+    (e.g. a generated scenario) falls back to the synthesized reference.
+    """
     if isinstance(task, str):
         task = get_task(task)
     template = GROUND_TRUTH_SCRIPTS.get(task.name)
     if template is None:
+        if task.user_prompt:
+            return synthesize_ground_truth(task, resolution=resolution, screenshot=screenshot)
         raise KeyError(f"no ground-truth script for task {task.name!r}")
     width, height = resolution or task.resolution
     return template.format(

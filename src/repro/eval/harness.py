@@ -19,15 +19,18 @@ laptop (pass ``resolution=(1920, 1080)`` for full-size figures).
 
 from __future__ import annotations
 
-import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core.assistant import ChatVis, ChatVisConfig
-from repro.core.error_extraction import classify_error
-from repro.core.tasks import CANONICAL_TASKS, VisualizationTask, get_task, prepare_task_data
-from repro.engine.batch import BatchJob, raise_failures, run_batch
+from repro.core.assistant import ChatVis
+from repro.core.tasks import (
+    CANONICAL_TASKS,
+    VisualizationTask,
+    get_task,
+    prepare_task_data,
+    rescale_prompt,
+)
 from repro.eval.ground_truth import ground_truth_script, run_ground_truth
 from repro.eval.image_metrics import (
     coverage_difference,
@@ -69,9 +72,13 @@ DEFAULT_RESOLUTION: Tuple[int, int] = (480, 270)
 
 
 def scaled_prompt(task: VisualizationTask, resolution: Tuple[int, int]) -> str:
-    """The task's user prompt with the requested resolution substituted."""
-    width, height = resolution
-    return re.sub(r"\d{3,5}\s*x\s*\d{3,5}\s*pixels", f"{width} x {height} pixels", task.user_prompt)
+    """The task's user prompt with the requested resolution substituted.
+
+    Delegates to :func:`repro.core.tasks.rescale_prompt`, which accepts the
+    paper's ``1920 x 1080 pixels`` phrasing as well as case-insensitive
+    ``px``/``pixel`` and no-space variants from the scenario prompt templates.
+    """
+    return rescale_prompt(task.user_prompt, resolution)
 
 
 # --------------------------------------------------------------------------- #
@@ -81,16 +88,19 @@ def run_unassisted(
     model: Union[str, LLMClient],
     task: Union[str, VisualizationTask],
     working_dir: Union[str, Path],
-    resolution: Tuple[int, int] = DEFAULT_RESOLUTION,
+    resolution: Optional[Tuple[int, int]] = DEFAULT_RESOLUTION,
 ) -> Tuple[str, ExecutionResult]:
     """One unassisted generation: raw user prompt in, script out, execute once.
 
-    Returns ``(script, execution_result)``.
+    ``resolution=None`` sends the task's prompt verbatim (no resolution
+    substitution) — the scenario suite uses this to keep its template
+    resolution phrasings (``px``, no-space, mixed case) intact for the
+    models.  Returns ``(script, execution_result)``.
     """
     if isinstance(task, str):
         task = get_task(task)
     llm = get_model(model) if isinstance(model, str) else model
-    prompt = scaled_prompt(task, resolution)
+    prompt = scaled_prompt(task, resolution) if resolution is not None else task.user_prompt
     response = llm.complete([user(prompt)])
     script = extract_code_block(response.text)
     executor = PvPythonExecutor(working_dir=working_dir)
@@ -165,56 +175,6 @@ class TableTwoResult:
         return "\n".join(lines)
 
 
-def _chatvis_cell(
-    task_name: str,
-    chatvis_dir: Path,
-    chatvis_model: str,
-    resolution: Tuple[int, int],
-    small_data: bool,
-    max_iterations: int,
-) -> TableTwoCell:
-    """One ChatVis cell of Table II (independent unit of work)."""
-    task = get_task(task_name)
-    prepare_task_data(task, chatvis_dir, small=small_data)
-    assistant = ChatVis(
-        chatvis_model,
-        working_dir=chatvis_dir,
-        config=ChatVisConfig(max_iterations=max_iterations),
-    )
-    run = assistant.run(scaled_prompt(task, resolution))
-    final_error = run.iterations[-1].error_type if run.iterations else None
-    return TableTwoCell(
-        method="ChatVis",
-        task=task_name,
-        error=not run.success,
-        screenshot=bool(run.screenshots),
-        error_category="none" if run.success else "other",
-        error_type=None if run.success else final_error,
-        iterations=run.n_iterations,
-    )
-
-
-def _unassisted_cell(
-    model: str,
-    task_name: str,
-    model_dir: Path,
-    resolution: Tuple[int, int],
-    small_data: bool,
-) -> TableTwoCell:
-    """One unassisted-model cell of Table II (independent unit of work)."""
-    task = get_task(task_name)
-    prepare_task_data(task, model_dir, small=small_data)
-    _script, execution = run_unassisted(model, task, model_dir, resolution=resolution)
-    return TableTwoCell(
-        method=str(model),
-        task=task_name,
-        error=not execution.success,
-        screenshot=execution.produced_screenshot,
-        error_category=classify_error(execution.output),
-        error_type=execution.error_type,
-    )
-
-
 def run_table_two(
     working_dir: Union[str, Path],
     models: Sequence[str] = PAPER_MODELS,
@@ -230,60 +190,52 @@ def run_table_two(
 ) -> TableTwoResult:
     """Regenerate the Table II experiment.
 
-    Every (method, task) cell is an independent session, so with
-    ``max_workers > 1`` the cells run concurrently on the engine's batch
-    runner — threads by default, or separate worker processes with
-    ``executor="process"`` (true CPU parallelism; pass ``cache_dir`` so the
-    workers share upstream node results through the persistent disk cache).
-    Each session is deterministic (seeded LLM simulation, isolated per-cell
-    working directory, thread-local pvsim state), so the matrix is identical
+    The matrix is a thin suite over the five canonical scenarios: the task
+    list is wrapped by :func:`repro.scenarios.catalog.canonical_scenarios`
+    and executed by :class:`repro.scenarios.suite.SuiteRunner` (the same
+    machinery that runs the generated scenario sweeps), with every (method,
+    task) cell an independent session.  With ``max_workers > 1`` the cells
+    run concurrently on the engine's batch runner — threads by default, or
+    separate worker processes with ``executor="process"`` (true CPU
+    parallelism; pass ``cache_dir`` so the workers share upstream node
+    results through the persistent disk cache).  Each session is
+    deterministic (seeded LLM simulation, isolated per-cell working
+    directory, thread-local pvsim state), so the matrix is identical
     regardless of ``max_workers`` or executor choice.
     """
-    working_dir = Path(working_dir)
+    from repro.scenarios.catalog import canonical_scenarios
+    from repro.scenarios.suite import SuiteRunner
+
     task_names = list(tasks) if tasks is not None else list(CANONICAL_TASKS)
     methods: List[str] = (["ChatVis"] if include_chatvis else []) + [str(m) for m in models]
     result = TableTwoResult(methods=methods, tasks=task_names)
 
-    jobs: List[BatchJob] = []
-    for task_name in task_names:
-        task = get_task(task_name)
-        task_dir = working_dir / task_name
-        prepare_task_data(task, task_dir, small=small_data)
-
-        if include_chatvis:
-            jobs.append(
-                BatchJob(
-                    name=f"ChatVis/{task_name}",
-                    fn=_chatvis_cell,
-                    args=(task_name, task_dir / "chatvis", chatvis_model),
-                    kwargs={
-                        "resolution": resolution,
-                        "small_data": small_data,
-                        "max_iterations": max_iterations,
-                    },
-                )
-            )
-        for model in models:
-            model_dir = task_dir / str(model).replace(":", "_").replace("/", "_")
-            jobs.append(
-                BatchJob(
-                    name=f"{model}/{task_name}",
-                    fn=_unassisted_cell,
-                    args=(str(model), task_name, model_dir),
-                    kwargs={"resolution": resolution, "small_data": small_data},
-                )
-            )
-
-    outcomes = run_batch(
-        jobs,
+    runner = SuiteRunner(
+        canonical_scenarios(task_names),
+        methods=methods,
+        working_dir=working_dir,
+        resolution=resolution,
+        small_data=small_data,
+        max_iterations=max_iterations,
+        chatvis_model=chatvis_model,
         max_workers=max_workers,
-        stop_on_error=True,
         executor=executor,
         cache_dir=cache_dir,
+        stop_on_error=True,  # a failing cell aborts and names itself (BatchJobError)
     )
-    raise_failures(outcomes)  # BatchJobError names the failing (model, task) cell
-    for outcome in outcomes:
-        result.cells.append(outcome.value)
+    summary = runner.run(resume=False)
+    for record in summary.records:
+        result.cells.append(
+            TableTwoCell(
+                method=record["method"],
+                task=record["scenario"],
+                error=record["error"],
+                screenshot=record["screenshot"],
+                error_category=record["error_category"],
+                error_type=record["error_type"],
+                iterations=record["iterations"],
+            )
+        )
     return result
 
 

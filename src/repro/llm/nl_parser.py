@@ -419,7 +419,7 @@ def parse_request(request: str) -> VisualizationPlan:
         )
 
     # ----- view size ------------------------------------------------------------------ #
-    size_match = re.search(r"(\d{2,5})\s*[x×]\s*(\d{2,5})\s*pixels", lower)
+    size_match = re.search(r"(\d{2,5})\s*[x×]\s*(\d{2,5})\s*(?:pixels?|px)\b", lower)
     if size_match:
         ops.append(
             Operation(

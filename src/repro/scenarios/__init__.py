@@ -1,0 +1,69 @@
+"""Procedural scenario suites: grammar, templates, runner, reporting.
+
+The paper evaluates five fixed tasks; this package turns them into a
+*capability surface*.  A dozen declarative :class:`ScenarioSpec` sweeps
+(dataset × operations × view/resolution × prompt phrasing) expand into 40+
+concrete scenarios, each a runnable
+:class:`~repro.core.tasks.VisualizationTask` with a synthesized ground
+truth and a deterministic seed.  :class:`SuiteRunner` executes the
+scenario × method matrix on the engine's batch runner with a resumable
+append-only JSONL store (content-addressed cell keys: interrupted runs
+resume with only the missing cells, warm runs execute nothing), and
+:func:`build_report` aggregates the store into per model × operation-family
+success/error matrices (JSON + markdown).
+
+Exercised from the CLI as ``repro suite {list,run,report}``;
+``eval.harness.run_table_two`` is a thin suite over
+:func:`canonical_scenarios`.
+"""
+
+from repro.scenarios.catalog import (
+    CANONICAL_FAMILIES,
+    FAMILIES,
+    builtin_specs,
+    canonical_scenarios,
+    generate_scenarios,
+)
+from repro.scenarios.report import SuiteReport, build_report, load_report
+from repro.scenarios.spec import (
+    OperationStep,
+    Scenario,
+    ScenarioSpec,
+    ViewSpec,
+    chain_specs,
+)
+from repro.scenarios.suite import (
+    CHATVIS_METHOD,
+    SuiteRunner,
+    SuiteRunSummary,
+    SuiteStore,
+    cell_key,
+    run_suite_cell,
+    strip_timing,
+)
+from repro.scenarios.templates import PHRASINGS, render_prompt
+
+__all__ = [
+    "CANONICAL_FAMILIES",
+    "CHATVIS_METHOD",
+    "FAMILIES",
+    "OperationStep",
+    "PHRASINGS",
+    "Scenario",
+    "ScenarioSpec",
+    "SuiteReport",
+    "SuiteRunSummary",
+    "SuiteRunner",
+    "SuiteStore",
+    "ViewSpec",
+    "build_report",
+    "builtin_specs",
+    "canonical_scenarios",
+    "cell_key",
+    "chain_specs",
+    "generate_scenarios",
+    "load_report",
+    "render_prompt",
+    "run_suite_cell",
+    "strip_timing",
+]

@@ -1,0 +1,275 @@
+"""The built-in scenario catalog.
+
+About a dozen :class:`~repro.scenarios.spec.ScenarioSpec` sweeps expand the
+paper's five fixed tasks into 40+ parameterized scenarios across five
+operation families:
+
+* ``contour``  — isosurfacing (isovalue / dataset / phrasing / resolution sweeps)
+* ``slicing``  — slice-then-contour (axis and position sweeps)
+* ``volume``   — direct volume rendering (grid and view sweeps)
+* ``geometry`` — Delaunay triangulation + clip (half and seed sweeps)
+* ``flow``     — streamlines + tubes + glyphs (grid, glyph-type, view sweeps)
+
+Dataset variants are declarative :class:`~repro.core.tasks.DataRecipe`
+entries with explicit parameters and seeds, so every scenario is
+deterministic by construction — same spec, same expansion, same bytes on
+disk, in any process.
+
+:func:`canonical_scenarios` wraps the paper's verbatim tasks in the same
+:class:`Scenario` shape, which is what lets ``eval.harness.run_table_two``
+run as a thin suite over the canonical five.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.tasks import CANONICAL_TASKS, DataRecipe, get_task
+from repro.scenarios.spec import (
+    Scenario,
+    ScenarioSpec,
+    ViewSpec,
+    chain_specs,
+    clip,
+    color,
+    color_by,
+    contour,
+    delaunay,
+    glyph,
+    isosurface,
+    ops,
+    slice_plane,
+    streamlines,
+    tube,
+    volume_render,
+    wireframe,
+)
+
+__all__ = [
+    "FAMILIES",
+    "CANONICAL_FAMILIES",
+    "builtin_specs",
+    "canonical_scenarios",
+    "generate_scenarios",
+]
+
+#: operation families the report matrices aggregate over
+FAMILIES = ("contour", "slicing", "volume", "geometry", "flow")
+
+#: canonical task name → operation family
+CANONICAL_FAMILIES: Dict[str, str] = {
+    "isosurface": "contour",
+    "slice_contour": "slicing",
+    "volume_render": "volume",
+    "delaunay": "geometry",
+    "streamlines": "flow",
+}
+
+
+# --------------------------------------------------------------------------- #
+# dataset variants (all parameters explicit: deterministic by construction)
+# --------------------------------------------------------------------------- #
+def _ml(resolution: int, frequency: Optional[float] = None) -> DataRecipe:
+    name = f"ml-r{resolution}" + (f"-f{frequency:g}" if frequency is not None else "")
+    params = {"resolution": resolution}
+    if frequency is not None:
+        params["frequency"] = float(frequency)
+    return DataRecipe.make(f"{name}.vtk", "marschner_lobb", **params)
+
+
+def _can(n_points: int, seed: int) -> DataRecipe:
+    return DataRecipe.make(
+        f"can-n{n_points}-s{seed}.ex2", "can_points", n_points=n_points, seed=seed
+    )
+
+
+def _disk(radial: int, angular: int, axial: int) -> DataRecipe:
+    return DataRecipe.make(
+        f"disk-{radial}x{angular}x{axial}.ex2",
+        "disk_flow",
+        radial_resolution=radial,
+        angular_resolution=angular,
+        axial_resolution=axial,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# the specs
+# --------------------------------------------------------------------------- #
+def builtin_specs() -> List[ScenarioSpec]:
+    """The built-in sweep catalog (12 specs, 44 scenarios)."""
+    iso = ViewSpec("isometric")
+    default = ViewSpec()
+    return [
+        ScenarioSpec(
+            name="iso-values",
+            family="contour",
+            datasets=(_ml(22),),
+            operations=(
+                ops("v0p3", isosurface(value=0.3)),
+                ops("v0p5", isosurface(value=0.5)),
+                ops("v0p7", isosurface(value=0.7)),
+            ),
+            phrasings=("paper", "polite"),
+            description="isovalue sweep across the Marschner-Lobb shell",
+        ),
+        ScenarioSpec(
+            name="iso-datasets",
+            family="contour",
+            datasets=(_ml(18), _ml(26), _ml(20, frequency=4.0)),
+            operations=(ops("v0p5", isosurface(value=0.5)),),
+            description="grid-resolution and signal-frequency variants",
+        ),
+        ScenarioSpec(
+            name="iso-phrasings",
+            family="contour",
+            datasets=(_ml(20),),
+            operations=(ops("v0p5", isosurface(value=0.5)),),
+            phrasings=("paper", "polite", "terse", "conversational"),
+            description="same pipeline through every prompt phrasing",
+        ),
+        ScenarioSpec(
+            name="iso-resolutions",
+            family="contour",
+            datasets=(_ml(20),),
+            operations=(ops("v0p5", isosurface(value=0.5)),),
+            views=(ViewSpec(resolution=(256, 192)), ViewSpec(resolution=(208, 156))),
+            description="render-resolution sweep (exercises prompt rescaling)",
+        ),
+        ScenarioSpec(
+            name="slice-axes",
+            family="slicing",
+            datasets=(_ml(22),),
+            operations=(
+                ops("x0", slice_plane("x"), contour(0.5), color("contour", "red")),
+                ops("y0", slice_plane("y"), contour(0.5), color("contour", "red")),
+                ops("z0", slice_plane("z"), contour(0.5), color("contour", "red")),
+            ),
+            views=(iso,),
+            phrasings=("paper", "terse"),
+            description="slice-normal sweep with a red contour overlay",
+        ),
+        ScenarioSpec(
+            name="slice-positions",
+            family="slicing",
+            datasets=(_ml(22),),
+            operations=(
+                ops("xm0p25", slice_plane("x", -0.25), contour(0.5)),
+                ops("x0", slice_plane("x", 0.0), contour(0.5)),
+                ops("xp0p25", slice_plane("x", 0.25), contour(0.5)),
+            ),
+            views=(ViewSpec("+x"),),
+            description="slice-plane offset sweep along x",
+        ),
+        ScenarioSpec(
+            name="volume-grids",
+            family="volume",
+            datasets=(_ml(18), _ml(22)),
+            operations=(ops("dvr", volume_render()),),
+            views=(iso,),
+            phrasings=("paper", "conversational"),
+            description="direct volume rendering across grid resolutions",
+        ),
+        ScenarioSpec(
+            name="volume-views",
+            family="volume",
+            datasets=(_ml(20),),
+            operations=(ops("dvr", volume_render()),),
+            views=(iso, ViewSpec("+z")),
+            description="camera-direction sweep for the volume rendering",
+        ),
+        ScenarioSpec(
+            name="delaunay-clip",
+            family="geometry",
+            datasets=(_can(160, seed=7), _can(220, seed=11)),
+            operations=(
+                ops("keepneg", delaunay(), clip("x", keep="-"), wireframe()),
+                ops("keeppos", delaunay(), clip("x", keep="+"), wireframe()),
+            ),
+            views=(iso,),
+            description="Delaunay + clip, both halves, two point clouds",
+        ),
+        ScenarioSpec(
+            name="delaunay-phrasings",
+            family="geometry",
+            datasets=(_can(160, seed=7),),
+            operations=(ops("keepneg", delaunay(), clip("x", keep="-"), wireframe()),),
+            views=(iso,),
+            phrasings=("polite", "conversational"),
+            description="the geometry pipeline through non-paper phrasings",
+        ),
+        ScenarioSpec(
+            name="stream-glyphs",
+            family="flow",
+            datasets=(_disk(5, 14, 5), _disk(6, 16, 6)),
+            operations=(
+                ops(
+                    "cone",
+                    streamlines("V"), tube(), glyph("cone"),
+                    color_by("streamlines and glyphs", "Temp"),
+                ),
+                ops(
+                    "sphere",
+                    streamlines("V"), tube(), glyph("sphere"),
+                    color_by("streamlines and glyphs", "Temp"),
+                ),
+            ),
+            views=(ViewSpec("+x"),),
+            description="glyph-type sweep on the swirling-disk streamlines",
+        ),
+        ScenarioSpec(
+            name="stream-views",
+            family="flow",
+            datasets=(_disk(5, 14, 5),),
+            operations=(
+                ops("tubes", streamlines("V"), tube(), color_by("streamlines", "Temp")),
+            ),
+            views=(ViewSpec("+x"), ViewSpec("-y")),
+            phrasings=("paper", "terse"),
+            description="camera sweep over tube-rendered streamlines",
+        ),
+    ]
+
+
+def generate_scenarios(
+    specs: Optional[Sequence[ScenarioSpec]] = None,
+    family: Optional[str] = None,
+    spec: Optional[str] = None,
+    phrasing: Optional[str] = None,
+    limit: Optional[int] = None,
+) -> List[Scenario]:
+    """Expand (a filtered subset of) the catalog into concrete scenarios."""
+    selected = list(specs) if specs is not None else builtin_specs()
+    if spec is not None:
+        selected = [s for s in selected if s.name == spec]
+    if family is not None:
+        selected = [s for s in selected if s.family == family]
+    scenarios = chain_specs(selected)
+    if phrasing is not None:
+        scenarios = [s for s in scenarios if s.phrasing == phrasing]
+    if limit is not None:
+        scenarios = scenarios[:limit]
+    return scenarios
+
+
+def canonical_scenarios(tasks: Optional[Sequence[str]] = None) -> List[Scenario]:
+    """The paper's five verbatim tasks wrapped as scenarios.
+
+    These carry the unmodified :data:`CANONICAL_TASKS` (verbatim prompts,
+    canonical filenames, legacy data preparation honoring ``small``), so a
+    suite over them reproduces Table II exactly.
+    """
+    names = list(tasks) if tasks is not None else list(CANONICAL_TASKS)
+    scenarios: List[Scenario] = []
+    for name in names:
+        task = get_task(name)
+        scenarios.append(
+            Scenario(
+                name=task.name,
+                family=CANONICAL_FAMILIES.get(task.name, "contour"),
+                spec_name="canonical",
+                phrasing="verbatim",
+                task=task,
+            )
+        )
+    return scenarios

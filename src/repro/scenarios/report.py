@@ -1,0 +1,157 @@
+"""Aggregate reporting over suite results.
+
+:func:`build_report` folds the JSONL cell records into a
+:class:`SuiteReport`: per *method × operation-family* success and
+error-free matrices, per-method totals, and the list of failing cells.
+The report renders as JSON (machine-readable, CI artifacts) and markdown
+(human-readable summary tables).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Tuple, Union
+
+from repro.scenarios.suite import SuiteStore
+
+__all__ = ["CellTally", "SuiteReport", "build_report", "load_report"]
+
+
+@dataclass
+class CellTally:
+    """Counts for one (method, family) bucket."""
+
+    cells: int = 0
+    error_free: int = 0
+    screenshots: int = 0
+
+    def add(self, record: Dict[str, Any]) -> None:
+        self.cells += 1
+        if not record.get("error", True):
+            self.error_free += 1
+        if record.get("screenshot", False):
+            self.screenshots += 1
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "cells": self.cells,
+            "error_free": self.error_free,
+            "screenshots": self.screenshots,
+        }
+
+
+@dataclass
+class SuiteReport:
+    """Success/error matrices aggregated from suite cell records."""
+
+    methods: List[str] = field(default_factory=list)
+    families: List[str] = field(default_factory=list)
+    matrix: Dict[Tuple[str, str], CellTally] = field(default_factory=dict)
+    totals: Dict[str, CellTally] = field(default_factory=dict)
+    n_scenarios: int = 0
+    n_cells: int = 0
+    failing_cells: List[Dict[str, Any]] = field(default_factory=list)
+
+    def tally(self, method: str, family: str) -> CellTally:
+        return self.matrix.get((method, family), CellTally())
+
+    # ------------------------------------------------------------------ #
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "methods": self.methods,
+            "families": self.families,
+            "n_scenarios": self.n_scenarios,
+            "n_cells": self.n_cells,
+            "matrix": {
+                method: {
+                    family: self.tally(method, family).as_dict() for family in self.families
+                }
+                for method in self.methods
+            },
+            "totals": {method: self.totals[method].as_dict() for method in self.methods},
+            "failing_cells": self.failing_cells,
+        }
+
+    def write_json(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    # ------------------------------------------------------------------ #
+    def _markdown_matrix(self, numerator: str) -> List[str]:
+        header = "| method | " + " | ".join(self.families) + " | total |"
+        rule = "|" + " --- |" * (len(self.families) + 2)
+        lines = [header, rule]
+        for method in self.methods:
+            row = [f"| {method} "]
+            for family in self.families:
+                tally = self.tally(method, family)
+                cell = "—" if tally.cells == 0 else (
+                    f"{getattr(tally, numerator)}/{tally.cells}"
+                )
+                row.append(f"| {cell} ")
+            total = self.totals[method]
+            row.append(f"| **{getattr(total, numerator)}/{total.cells}** |")
+            lines.append("".join(row))
+        return lines
+
+    def to_markdown(self) -> str:
+        lines = [
+            "# Scenario suite report",
+            "",
+            f"{self.n_scenarios} scenarios × {len(self.methods)} method(s) — "
+            f"{self.n_cells} cells.",
+            "",
+            "## Screenshots produced (method × operation family)",
+            "",
+        ]
+        lines.extend(self._markdown_matrix("screenshots"))
+        lines.extend(["", "## Error-free runs (method × operation family)", ""])
+        lines.extend(self._markdown_matrix("error_free"))
+        if self.failing_cells:
+            lines.extend(["", f"## Failing cells ({len(self.failing_cells)})", ""])
+            for record in self.failing_cells:
+                error_type = record.get("error_type") or record.get("error_category") or "error"
+                lines.append(
+                    f"- `{record.get('method')}` on `{record.get('scenario')}` "
+                    f"({record.get('phrasing')}): {error_type}"
+                )
+        lines.append("")
+        return "\n".join(lines)
+
+    def write_markdown(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_markdown())
+        return path
+
+
+def build_report(records: Iterable[Dict[str, Any]]) -> SuiteReport:
+    """Aggregate cell records (store order preserved) into a report."""
+    report = SuiteReport()
+    scenarios = set()
+    for record in records:
+        method = str(record.get("method", "?"))
+        family = str(record.get("family", "?"))
+        if method not in report.methods:
+            report.methods.append(method)
+        if family not in report.families:
+            report.families.append(family)
+        report.matrix.setdefault((method, family), CellTally()).add(record)
+        report.totals.setdefault(method, CellTally()).add(record)
+        scenarios.add(record.get("scenario"))
+        report.n_cells += 1
+        if record.get("error", False):
+            report.failing_cells.append(record)
+    report.n_scenarios = len(scenarios)
+    return report
+
+
+def load_report(store: Union[str, Path, SuiteStore]) -> SuiteReport:
+    """Build a report straight from a results store path."""
+    if not isinstance(store, SuiteStore):
+        store = SuiteStore(store)
+    return build_report(store.load().values())

@@ -1,0 +1,365 @@
+"""The declarative scenario grammar.
+
+A :class:`ScenarioSpec` describes a *family* of evaluation scenarios as the
+cartesian product of four axes:
+
+* **dataset** — :class:`~repro.core.tasks.DataRecipe` variants of the
+  synthetic inputs (Marschner–Lobb resolution/frequency, can-point counts
+  and seeds, disk-flow grid sizes);
+* **operations** — alternative pipeline-operation chains (isovalues, slice
+  axes/positions, clip halves, glyph types, ...), built from
+  :class:`OperationStep` atoms via the small DSL at the bottom of this
+  module;
+* **view** — camera direction and render resolution (:class:`ViewSpec`);
+* **phrasing** — the natural-language template the prompt is rendered with
+  (:mod:`repro.scenarios.templates`).
+
+:meth:`ScenarioSpec.expand` turns a spec into concrete :class:`Scenario`
+objects, each wrapping a ready-to-run
+:class:`~repro.core.tasks.VisualizationTask` (rendered prompt, data recipes,
+screenshot name, resolution) plus the structured operation list the
+round-trip tests and the synthesized ground truth are derived from.
+Everything is plain frozen dataclasses, so scenarios pickle across process
+boundaries and hash by content: :meth:`Scenario.key` is the stable
+content-addressed identity the suite runner's resumable JSONL store keys on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.tasks import DataRecipe, VisualizationTask
+
+__all__ = [
+    "OperationStep",
+    "ViewSpec",
+    "Scenario",
+    "ScenarioSpec",
+    "chain_specs",
+    "clip",
+    "color",
+    "color_by",
+    "contour",
+    "delaunay",
+    "glyph",
+    "isosurface",
+    "ops",
+    "slice_plane",
+    "streamlines",
+    "tube",
+    "volume_render",
+    "wireframe",
+]
+
+#: operation kinds that shape the pipeline (used for round-trip comparison)
+STRUCTURAL_KINDS = (
+    "isosurface",
+    "slice",
+    "contour",
+    "clip",
+    "delaunay",
+    "streamlines",
+    "tube",
+    "glyph",
+    "volume_render",
+    "wireframe",
+)
+
+
+@dataclass(frozen=True)
+class OperationStep:
+    """One pipeline operation of a scenario, with content-hashable params."""
+
+    kind: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, kind: str, **params: Any) -> "OperationStep":
+        return cls(kind, tuple(sorted(params.items())))
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for name, value in self.params:
+            if name == key:
+                return value
+        return default
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+
+@dataclass(frozen=True)
+class ViewSpec:
+    """Camera + resolution axis value.
+
+    ``direction`` is ``None`` (default camera reset), ``"isometric"``, or a
+    signed axis like ``"+x"``/``"-z"``.
+    """
+
+    direction: Optional[str] = None
+    resolution: Tuple[int, int] = (160, 120)
+
+    def slug(self) -> str:
+        width, height = self.resolution
+        camera = self.direction or "default"
+        return f"{camera.replace('+', 'p').replace('-', 'n')}-{width}x{height}"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One concrete, runnable evaluation scenario.
+
+    ``task`` is the fully-rendered :class:`VisualizationTask` the harness
+    machinery (data preparation, unassisted baseline, ChatVis loop, ground
+    truth) consumes; the remaining fields keep the structured axes the
+    scenario was expanded from, for reporting and verification.
+    """
+
+    name: str
+    family: str
+    spec_name: str
+    phrasing: str
+    task: VisualizationTask
+    operations: Tuple[OperationStep, ...] = ()
+    view: Optional[str] = None
+    seed: int = 0
+
+    def key(self) -> str:
+        """Content-addressed identity: every axis value feeds the digest.
+
+        Memoized — a suite derives one cell key per (scenario, method) pair
+        and must not re-hash the full task repr every time.  Safe because
+        the dataclass is frozen (all fields immutable by contract).
+        """
+        cached = self.__dict__.get("_key")
+        if cached is not None:
+            return cached
+        material = (
+            self.name,
+            self.family,
+            self.spec_name,
+            self.phrasing,
+            self.task.user_prompt,
+            self.task.data_files,
+            self.task.data_recipes,
+            self.task.screenshot,
+            self.task.resolution,
+            self.operations,
+            self.view,
+            self.seed,
+        )
+        digest = hashlib.sha1(repr(material).encode("utf-8")).hexdigest()
+        object.__setattr__(self, "_key", digest)
+        return digest
+
+    @property
+    def dataset(self) -> str:
+        return self.task.data_files[0] if self.task.data_files else ""
+
+    @property
+    def resolution(self) -> Tuple[int, int]:
+        return self.task.resolution
+
+    def structural_kinds(self) -> List[str]:
+        return [op.kind for op in self.operations if op.kind in STRUCTURAL_KINDS]
+
+    def parsed_plan(self):
+        """Parse the rendered prompt back into a plan (round-trip check)."""
+        from repro.llm.nl_parser import parse_request
+
+        return parse_request(self.task.user_prompt)
+
+    def ground_truth(self, resolution: Optional[Tuple[int, int]] = None) -> str:
+        """The synthesized reference script for this scenario."""
+        from repro.eval.ground_truth import ground_truth_script
+
+        return ground_truth_script(self.task, resolution=resolution)
+
+    def describe(self) -> str:
+        kinds = "+".join(self.structural_kinds()) or "render"
+        width, height = self.resolution
+        return (
+            f"{self.name}: {kinds} on {self.dataset} "
+            f"({self.phrasing} phrasing, {width}x{height})"
+        )
+
+
+def _stable_seed(*parts: str) -> int:
+    return zlib.crc32("␟".join(parts).encode("utf-8")) & 0x7FFFFFFF
+
+
+def _dataset_slug(recipe: DataRecipe) -> str:
+    stem = recipe.filename.rsplit(".", 1)[0]
+    return stem.replace("_", "-")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A declarative sweep: four axes whose product is the scenario list.
+
+    ``operations`` pairs a short label with one operation chain; the label
+    keeps expanded scenario names readable (`iso-sweep-ml-r20-v0p3-paper`)
+    and stable under content changes to the chain itself.
+    """
+
+    name: str
+    family: str
+    datasets: Tuple[DataRecipe, ...]
+    operations: Tuple[Tuple[str, Tuple[OperationStep, ...]], ...]
+    views: Tuple[ViewSpec, ...] = (ViewSpec(),)
+    phrasings: Tuple[str, ...] = ("paper",)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not (self.datasets and self.operations and self.views and self.phrasings):
+            raise ValueError(f"spec {self.name!r} has an empty axis")
+
+    def n_scenarios(self) -> int:
+        return len(self.datasets) * len(self.operations) * len(self.views) * len(self.phrasings)
+
+    # ------------------------------------------------------------------ #
+    # sweep combinators
+    # ------------------------------------------------------------------ #
+    def with_datasets(self, *datasets: DataRecipe) -> "ScenarioSpec":
+        return ScenarioSpec(
+            self.name, self.family, tuple(datasets), self.operations,
+            self.views, self.phrasings, self.description,
+        )
+
+    def with_views(self, *views: ViewSpec) -> "ScenarioSpec":
+        return ScenarioSpec(
+            self.name, self.family, self.datasets, self.operations,
+            tuple(views), self.phrasings, self.description,
+        )
+
+    def with_phrasings(self, *phrasings: str) -> "ScenarioSpec":
+        return ScenarioSpec(
+            self.name, self.family, self.datasets, self.operations,
+            self.views, tuple(phrasings), self.description,
+        )
+
+    # ------------------------------------------------------------------ #
+    # expansion
+    # ------------------------------------------------------------------ #
+    def expand(self) -> List[Scenario]:
+        """The cartesian product of the four axes, as concrete scenarios."""
+        from repro.scenarios.templates import render_prompt
+
+        scenarios: List[Scenario] = []
+        single_view = len(self.views) == 1
+        for recipe, (op_label, steps), view, phrasing in itertools.product(
+            self.datasets, self.operations, self.views, self.phrasings
+        ):
+            parts = [self.name, _dataset_slug(recipe), op_label]
+            if not single_view:
+                parts.append(view.slug())
+            parts.append(phrasing)
+            scenario_name = "-".join(part for part in parts if part)
+            screenshot = f"{scenario_name}.png"
+            prompt = render_prompt(
+                filename=recipe.filename,
+                steps=steps,
+                view=view,
+                screenshot=screenshot,
+                phrasing=phrasing,
+            )
+            structural = [s for s in steps if s.kind in STRUCTURAL_KINDS]
+            task = VisualizationTask(
+                name=scenario_name,
+                title=f"{self.family}: {op_label} on {recipe.filename}",
+                user_prompt=prompt,
+                data_files=(recipe.filename,),
+                screenshot=screenshot,
+                resolution=view.resolution,
+                complexity=len(structural),
+                data_recipes=(recipe,),
+            )
+            scenarios.append(
+                Scenario(
+                    name=scenario_name,
+                    family=self.family,
+                    spec_name=self.name,
+                    phrasing=phrasing,
+                    task=task,
+                    operations=tuple(steps),
+                    view=view.direction,
+                    seed=_stable_seed(scenario_name, prompt),
+                )
+            )
+        return scenarios
+
+
+def chain_specs(specs: Iterable[ScenarioSpec]) -> List[Scenario]:
+    """Expand several specs into one flat scenario list, rejecting collisions."""
+    scenarios: List[Scenario] = []
+    seen: Dict[str, str] = {}
+    for spec in specs:
+        for scenario in spec.expand():
+            previous = seen.get(scenario.name)
+            if previous is not None:
+                raise ValueError(
+                    f"scenario name collision: {scenario.name!r} produced by "
+                    f"both {previous!r} and {spec.name!r}"
+                )
+            seen[scenario.name] = spec.name
+            scenarios.append(scenario)
+    return scenarios
+
+
+# --------------------------------------------------------------------------- #
+# the operation DSL
+# --------------------------------------------------------------------------- #
+def ops(label: str, *steps: OperationStep) -> Tuple[str, Tuple[OperationStep, ...]]:
+    """One labelled operation-chain variant for a spec's operations axis."""
+    return (label, tuple(steps))
+
+
+def isosurface(array: str = "var0", value: float = 0.5) -> OperationStep:
+    return OperationStep.make("isosurface", array=array, value=float(value))
+
+
+def slice_plane(axis: str = "x", position: float = 0.0) -> OperationStep:
+    return OperationStep.make("slice", normal_axis=axis, position=float(position))
+
+
+def contour(value: float = 0.5, array: Optional[str] = None) -> OperationStep:
+    return OperationStep.make("contour", value=float(value), array=array)
+
+
+def clip(axis: str = "x", position: float = 0.0, keep: str = "-") -> OperationStep:
+    return OperationStep.make("clip", normal_axis=axis, position=float(position), keep_side=keep)
+
+
+def volume_render() -> OperationStep:
+    return OperationStep.make("volume_render")
+
+
+def delaunay() -> OperationStep:
+    return OperationStep.make("delaunay")
+
+
+def streamlines(array: str = "V") -> OperationStep:
+    return OperationStep.make("streamlines", array=array)
+
+
+def tube() -> OperationStep:
+    return OperationStep.make("tube")
+
+
+def glyph(glyph_type: str = "cone") -> OperationStep:
+    return OperationStep.make("glyph", glyph_type=glyph_type)
+
+
+def color(target: str, color_name: str) -> OperationStep:
+    return OperationStep.make("color", target=target, color_name=color_name)
+
+
+def color_by(target: str, array: str) -> OperationStep:
+    return OperationStep.make("color_by", target=target, array=array)
+
+
+def wireframe() -> OperationStep:
+    return OperationStep.make("wireframe")

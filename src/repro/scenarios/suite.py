@@ -1,0 +1,391 @@
+"""Resumable suite execution on top of the engine's batch runner.
+
+A *suite* is the matrix of (scenario × method) cells — methods are
+unassisted model names plus the assisted ``"ChatVis"`` loop.  Cells run
+through :func:`repro.engine.batch.run_batch` (threads or worker processes,
+optionally over a shared disk cache) and land in an **append-only JSONL
+results store** keyed by a content-addressed cell key
+(:func:`cell_key` = scenario content digest × method × resolution):
+
+* a run interrupted mid-suite resumes by executing only the missing cells
+  (already-stored keys are skipped; a truncated trailing line from a kill
+  mid-write is ignored and re-run);
+* a warm re-run of a completed suite executes **zero** cells — and since no
+  cell runs, zero pipeline nodes;
+* changing any scenario axis (dataset parameters, operation chain, view,
+  phrasing) or the method list changes the affected keys and re-runs exactly
+  those cells.
+
+Records are appended with sorted keys **as each cell completes** (so an
+aborted run keeps everything already finished).  Serial runs — the default —
+complete in suite order, making two cold runs byte-identical apart from the
+timing fields (``duration``, ``finished_at``); parallel runs may append in
+completion order, which is why readers go through the keyed
+:meth:`SuiteStore.load`, never line positions.
+
+Cells that *fail* (an infrastructure error, not a model error — model
+errors are the measurement and land in the record) are reported on the
+summary but deliberately **not** stored, so the next run retries them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.engine.batch import BatchJob, BatchResult, raise_failures, run_batch
+from repro.scenarios.spec import Scenario
+
+__all__ = [
+    "CHATVIS_METHOD",
+    "SuiteRunSummary",
+    "SuiteRunner",
+    "SuiteStore",
+    "cell_key",
+    "run_suite_cell",
+    "strip_timing",
+]
+
+#: the assisted method name (everything else is an unassisted model name)
+CHATVIS_METHOD = "ChatVis"
+
+#: record fields that vary run-to-run and are excluded from determinism checks
+TIMING_FIELDS = ("duration", "finished_at")
+
+
+def cell_key(
+    scenario: Scenario,
+    method: str,
+    resolution: Optional[Tuple[int, int]],
+    settings: Tuple[Tuple[str, Any], ...] = (),
+) -> str:
+    """Content-addressed identity of one suite cell.
+
+    ``settings`` carries every runner option that shapes the cell's result
+    beyond the scenario and method themselves (data sizing, ChatVis loop
+    configuration), so a store never hands back records produced under a
+    different configuration.
+    """
+    material = (
+        scenario.key(),
+        str(method),
+        tuple(resolution) if resolution else None,
+        tuple(settings),
+    )
+    return hashlib.sha1(repr(material).encode("utf-8")).hexdigest()
+
+
+def strip_timing(record: Dict[str, Any]) -> Dict[str, Any]:
+    """A record without its timing fields (for determinism comparisons)."""
+    return {k: v for k, v in record.items() if k not in TIMING_FIELDS}
+
+
+# --------------------------------------------------------------------------- #
+# one cell (module-level and plain-data: picklable for the process executor)
+# --------------------------------------------------------------------------- #
+def run_suite_cell(
+    scenario: Scenario,
+    method: str,
+    cell_dir: Union[str, Path],
+    resolution: Optional[Tuple[int, int]] = None,
+    small_data: bool = True,
+    max_iterations: int = 5,
+    chatvis_model: str = "gpt-4",
+) -> Dict[str, Any]:
+    """Run one (scenario, method) cell and return its result record.
+
+    ``resolution=None`` keeps the scenario's own resolution AND its prompt
+    verbatim — the phrasing axis includes resolution variants (``px``,
+    no-space, mixed case) that must reach the models un-normalized; an
+    explicit override rescales the prompt the same way the Table II harness
+    rescales the paper's prompts.  Model failures (script errors, missing
+    screenshots) are *results*, captured in the record — only
+    infrastructure problems raise.
+    """
+    from repro.core.assistant import ChatVis, ChatVisConfig
+    from repro.core.error_extraction import classify_error
+    from repro.core.tasks import prepare_task_data
+    from repro.eval.harness import run_unassisted, scaled_prompt
+
+    task = scenario.task
+    resolution = tuple(resolution) if resolution else None
+    target_resolution = resolution or tuple(task.resolution)
+    prepare_task_data(task, cell_dir, small=small_data)
+
+    record: Dict[str, Any] = {
+        "scenario": scenario.name,
+        "spec": scenario.spec_name,
+        "family": scenario.family,
+        "phrasing": scenario.phrasing,
+        "dataset": scenario.dataset,
+        "method": str(method),
+        "resolution": list(target_resolution),
+        "iterations": 1,
+    }
+    if method == CHATVIS_METHOD:
+        assistant = ChatVis(
+            chatvis_model,
+            working_dir=cell_dir,
+            config=ChatVisConfig(max_iterations=max_iterations),
+        )
+        prompt = scaled_prompt(task, resolution) if resolution else task.user_prompt
+        run = assistant.run(prompt)
+        final_error = run.iterations[-1].error_type if run.iterations else None
+        record.update(
+            error=not run.success,
+            screenshot=bool(run.screenshots),
+            error_category="none" if run.success else "other",
+            error_type=None if run.success else final_error,
+            iterations=run.n_iterations,
+        )
+    else:
+        _script, execution = run_unassisted(str(method), task, cell_dir, resolution=resolution)
+        record.update(
+            error=not execution.success,
+            screenshot=execution.produced_screenshot,
+            error_category=classify_error(execution.output),
+            error_type=execution.error_type,
+        )
+    return record
+
+
+# --------------------------------------------------------------------------- #
+# the JSONL store
+# --------------------------------------------------------------------------- #
+class SuiteStore:
+    """Append-only JSONL store of cell records, keyed by content-addressed key.
+
+    Loading tolerates a truncated trailing line (the signature of a process
+    killed mid-append): the broken line is skipped, so the interrupted cell
+    simply runs again.  Duplicate keys keep the latest record.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        records: Dict[str, Dict[str, Any]] = {}
+        if not self.path.exists():
+            return records
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # truncated by an interrupted writer — re-run it
+                key = record.get("key")
+                if key:
+                    records[key] = record
+        return records
+
+    def append(self, record: Dict[str, Any]) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a+b") as handle:
+            # a previous writer killed mid-append leaves a torn trailing line;
+            # terminate it so the new record is not merged into the corruption
+            if handle.seek(0, 2) > 0:
+                handle.seek(-1, 2)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+            handle.write((json.dumps(record, sort_keys=True) + "\n").encode("utf-8"))
+            handle.flush()
+
+    def clear(self) -> None:
+        if self.path.exists():
+            self.path.unlink()
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+
+# --------------------------------------------------------------------------- #
+# the runner
+# --------------------------------------------------------------------------- #
+@dataclass
+class SuiteRunSummary:
+    """Outcome of one :meth:`SuiteRunner.run` call."""
+
+    total: int
+    executed: int
+    skipped: int
+    #: full matrix records in suite order (stored + freshly executed)
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    #: (job name, repr(error)) for cells that failed and were not stored
+    failures: List[Tuple[str, str]] = field(default_factory=list)
+    store_path: Optional[Path] = None
+
+    @property
+    def warm(self) -> bool:
+        """True only when every cell was served from the store."""
+        return self.total > 0 and self.skipped == self.total and not self.failures
+
+    def describe(self) -> str:
+        text = (
+            f"{self.total} cells: {self.executed} executed, "
+            f"{self.skipped} reused from the store"
+        )
+        if self.failures:
+            text += f", {len(self.failures)} FAILED"
+        if self.warm:
+            text += " (fully warm — zero scenarios re-run)"
+        return text
+
+
+class SuiteRunner:
+    """Run a scenario × method matrix, resumably.
+
+    Parameters mirror ``run_table_two``: ``executor``/``max_workers`` select
+    the batch substrate, ``cache_dir`` the shared disk-cache root for
+    process workers.  ``store`` (a path or :class:`SuiteStore`) enables the
+    resumable JSONL results store; without it every call executes the full
+    matrix (the Table II path).
+    """
+
+    def __init__(
+        self,
+        scenarios: Sequence[Scenario],
+        methods: Sequence[str] = ("gpt-4",),
+        working_dir: Union[str, Path] = ".",
+        store: Optional[Union[str, Path, SuiteStore]] = None,
+        resolution: Optional[Tuple[int, int]] = None,
+        small_data: bool = True,
+        max_iterations: int = 5,
+        chatvis_model: str = "gpt-4",
+        max_workers: int = 1,
+        executor: str = "thread",
+        cache_dir: Optional[Union[str, Path]] = None,
+        stop_on_error: bool = False,
+    ) -> None:
+        self.scenarios = list(scenarios)
+        # job names (and the store's per-cell identity mapping) key on the
+        # scenario name, so a suite must not contain two scenarios that share
+        # one name but differ in content
+        names = [s.name for s in self.scenarios]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate scenario names in suite: {duplicates}")
+        self.methods = [str(m) for m in methods]
+        if len(set(self.methods)) != len(self.methods):
+            raise ValueError(f"duplicate methods in suite: {self.methods}")
+        self.working_dir = Path(working_dir)
+        if store is None or isinstance(store, SuiteStore):
+            self.store = store
+        else:
+            self.store = SuiteStore(store)
+        self.resolution = tuple(resolution) if resolution else None
+        self.small_data = small_data
+        self.max_iterations = max_iterations
+        self.chatvis_model = chatvis_model
+        self.max_workers = max_workers
+        self.executor = executor
+        self.cache_dir = cache_dir
+        self.stop_on_error = stop_on_error
+
+    # ------------------------------------------------------------------ #
+    def _cell_settings(self, method: str) -> Tuple[Tuple[str, Any], ...]:
+        """The runner options that feed a cell's key (see :func:`cell_key`)."""
+        settings: List[Tuple[str, Any]] = [("small_data", self.small_data)]
+        if method == CHATVIS_METHOD:
+            settings.append(("chatvis_model", self.chatvis_model))
+            settings.append(("max_iterations", self.max_iterations))
+        return tuple(settings)
+
+    def cells(self) -> List[Tuple[Scenario, str, str]]:
+        """The full (scenario, method, key) matrix in deterministic order."""
+        return [
+            (scenario, method, cell_key(scenario, method, self.resolution, self._cell_settings(method)))
+            for scenario in self.scenarios
+            for method in self.methods
+        ]
+
+    def pending(
+        self,
+        existing: Dict[str, Dict[str, Any]],
+        cells: Optional[List[Tuple[Scenario, str, str]]] = None,
+    ) -> List[Tuple[Scenario, str, str]]:
+        """The cells whose keys are not yet in the loaded store records."""
+        if cells is None:
+            cells = self.cells()
+        return [cell for cell in cells if cell[2] not in existing]
+
+    def _cell_dir(self, scenario: Scenario, method: str) -> Path:
+        method_slug = str(method).replace(":", "_").replace("/", "_").lower()
+        return self.working_dir / scenario.name / method_slug
+
+    # ------------------------------------------------------------------ #
+    def run(self, resume: bool = True) -> SuiteRunSummary:
+        """Execute the matrix; with a store, only the cells not yet in it.
+
+        Completed cells are appended to the store *as they finish* (on the
+        calling thread, in completion order — records are keyed, so readers
+        are order-independent), which is what makes an aborted run — a
+        Ctrl-C, a crash, a kill — resumable at per-cell granularity.
+        """
+        existing = self.store.load() if (self.store is not None and resume) else {}
+        cells = self.cells()
+        pending = self.pending(existing, cells)
+        key_of_job = {f"{method}/{scenario.name}": key for scenario, method, key in pending}
+
+        fresh: Dict[str, Dict[str, Any]] = {}
+
+        def _persist(outcome: BatchResult) -> None:
+            if outcome.error is not None:
+                return
+            record = dict(outcome.value)
+            record["key"] = key_of_job[outcome.name]
+            record["duration"] = outcome.duration
+            record["finished_at"] = time.time()
+            fresh[record["key"]] = record
+            if self.store is not None:
+                self.store.append(record)
+
+        jobs = [
+            BatchJob(
+                name=f"{method}/{scenario.name}",
+                fn=run_suite_cell,
+                args=(scenario, method, self._cell_dir(scenario, method)),
+                kwargs={
+                    "resolution": self.resolution,
+                    "small_data": self.small_data,
+                    "max_iterations": self.max_iterations,
+                    "chatvis_model": self.chatvis_model,
+                },
+            )
+            for scenario, method, _key in pending
+        ]
+        outcomes: List[BatchResult] = run_batch(
+            jobs,
+            max_workers=self.max_workers,
+            stop_on_error=self.stop_on_error,
+            executor=self.executor,
+            cache_dir=self.cache_dir,
+            on_result=_persist,
+        )
+        if self.stop_on_error:
+            raise_failures(outcomes)  # BatchJobError names the failing cell
+
+        failures: List[Tuple[str, str]] = [
+            (outcome.name, f"{type(outcome.error).__name__}: {outcome.error}")
+            for outcome in outcomes
+            if outcome.error is not None
+        ]
+        records = [
+            existing.get(key) or fresh[key]
+            for _scenario, _method, key in cells
+            if key in existing or key in fresh
+        ]
+        return SuiteRunSummary(
+            total=len(cells),
+            executed=len(fresh),
+            skipped=len(cells) - len(pending),
+            records=records,
+            failures=failures,
+            store_path=self.store.path if self.store is not None else None,
+        )

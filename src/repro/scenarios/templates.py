@@ -1,0 +1,142 @@
+"""Natural-language prompt templates for generated scenarios.
+
+Each scenario is rendered into one of several phrasings.  ``paper`` mirrors
+the imperative enumerated style of the paper's verbatim prompts; the others
+deliberately vary the frame (politeness, terseness, first-person setup) and
+the resolution phrasing (``320x240 px``, ``320 X 240 Pixels``) so the suite
+exercises :mod:`repro.llm.nl_parser` beyond the five canonical prompts.
+
+The operation *clauses* themselves keep the trigger phrases the parser keys
+on — that is the contract the round-trip tests enforce: for every generated
+scenario, parsing the rendered prompt must recover exactly the operation
+chain the scenario was expanded from.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.scenarios.spec import OperationStep, ViewSpec
+
+__all__ = ["PHRASINGS", "operation_clause", "render_prompt"]
+
+#: the phrasing axis values, in rendering order
+PHRASINGS: Tuple[str, ...] = ("paper", "polite", "terse", "conversational")
+
+#: slice/clip plane naming: normal axis → the plane's two in-plane axes
+_PLANE_OF_NORMAL = {"x": "y-z", "y": "x-z", "z": "x-y"}
+
+
+def _num(value: float) -> str:
+    return format(float(value), "g")
+
+
+def operation_clause(step: OperationStep, previous: Optional[OperationStep] = None) -> str:
+    """One English sentence for a pipeline operation (parser round-trippable)."""
+    p = step.as_dict()
+    kind = step.kind
+    if kind == "isosurface":
+        return (
+            f"Generate an isosurface of the variable {p.get('array', 'var0')} "
+            f"at value {_num(p.get('value', 0.5))}."
+        )
+    if kind == "slice":
+        axis = p.get("normal_axis", "x")
+        return (
+            f"Slice the volume in a plane parallel to the {_PLANE_OF_NORMAL[axis]} "
+            f"plane at {axis}={_num(p.get('position', 0.0))}."
+        )
+    if kind == "contour":
+        through = "slice" if previous is not None and previous.kind == "slice" else "data"
+        return f"Take a contour through the {through} at the value {_num(p.get('value', 0.5))}."
+    if kind == "clip":
+        axis = p.get("normal_axis", "x")
+        keep = p.get("keep_side", "-")
+        drop = "+" if keep == "-" else "-"
+        return (
+            f"Clip the data with a {_PLANE_OF_NORMAL[axis]} plane at "
+            f"{axis}={_num(p.get('position', 0.0))}, keeping the {keep}{axis} half of "
+            f"the data and removing the {drop}{axis} half."
+        )
+    if kind == "volume_render":
+        return "Generate a volume rendering using the default transfer function."
+    if kind == "delaunay":
+        return "Generate a 3d Delaunay triangulation of the dataset."
+    if kind == "streamlines":
+        return (
+            f"Trace streamlines of the {p.get('array', 'V')} data array "
+            "seeded from a default point cloud."
+        )
+    if kind == "tube":
+        return "Render the streamlines with tubes."
+    if kind == "glyph":
+        return f"Add {p.get('glyph_type', 'cone')} glyphs to the streamlines."
+    if kind == "color":
+        return f"Color the {p.get('target', 'result')} {p.get('color_name', 'red')}."
+    if kind == "color_by":
+        return f"Color the {p.get('target', 'result')} by the {p['array']} data array."
+    if kind == "wireframe":
+        return "Render the image as a wireframe."
+    raise KeyError(f"no clause template for operation kind {kind!r}")
+
+
+def _view_clause(view: ViewSpec) -> str:
+    if view.direction is None:
+        return ""
+    if view.direction == "isometric":
+        return "View the result in an isometric view."
+    return f"View the result in the {view.direction} direction."
+
+
+def _clauses(steps: Sequence[OperationStep]) -> List[str]:
+    clauses: List[str] = []
+    previous: Optional[OperationStep] = None
+    for step in steps:
+        clauses.append(operation_clause(step, previous))
+        previous = step
+    return clauses
+
+
+def render_prompt(
+    filename: str,
+    steps: Sequence[OperationStep],
+    view: ViewSpec,
+    screenshot: str,
+    phrasing: str = "paper",
+) -> str:
+    """Render one scenario into a natural-language request."""
+    width, height = view.resolution
+    body = " ".join(_clauses(steps))
+    camera = _view_clause(view)
+    middle = f"{body} {camera}".strip()
+
+    if phrasing == "paper":
+        return (
+            "Please generate a ParaView Python script for the following operations. "
+            f"Read in the file named '{filename}'. {middle} "
+            f"Save a screenshot of the result in the filename '{screenshot}'. "
+            f"The rendered view and saved screenshot should be {width} x {height} pixels."
+        )
+    if phrasing == "polite":
+        return (
+            "Could you please write a ParaView Python script that performs these steps? "
+            f"First, read in the file named '{filename}'. {middle} "
+            f"When everything is set up, save a screenshot of the result in the "
+            f"filename '{screenshot}'. The rendered view and saved screenshot should "
+            f"be {width} x {height} pixels. Thanks!"
+        )
+    if phrasing == "terse":
+        return (
+            "Write a ParaView Python script. "
+            f"Read in the file named {filename}. {middle} "
+            f"Save a screenshot of the result in the filename {screenshot}. "
+            f"Rendered view and screenshot size: {width}x{height} px."
+        )
+    if phrasing == "conversational":
+        return (
+            f"I have a dataset stored in the file named '{filename}'. Please write a "
+            f"ParaView Python script that processes it as follows. {middle} "
+            f"Then save a screenshot of the result in the filename '{screenshot}'. "
+            f"The rendered view and saved screenshot should be {width} X {height} Pixels."
+        )
+    raise KeyError(f"unknown phrasing {phrasing!r} (expected one of {PHRASINGS})")

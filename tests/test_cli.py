@@ -6,6 +6,7 @@ output and on the cache state it leaves behind.
 """
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -56,6 +57,25 @@ class TestCacheCommands:
         assert main(["cache", "clear", "--cache-dir", str(tmp_path / "cache")]) == 0
         assert "cleared 1 entries" in capsys.readouterr().out
         assert len(DiskCache(tmp_path / "cache")) == 0
+
+    def test_stats_human_sizes_and_kind_breakdown(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.data import generate_marschner_lobb
+        from repro.engine import DiskCache
+
+        disk = DiskCache(tmp_path / "cache")
+        disk.put("a" * 40, generate_marschner_lobb(8))
+        disk.put("b" * 40, generate_marschner_lobb(10))
+        disk.put("c" * 40, np.zeros(64 * 1024))  # pushes the total past 1 KiB
+
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "entries:    3" in out
+        assert "KiB" in out or "MiB" in out  # human-readable, not raw bytes only
+        assert "entries by kind:" in out
+        assert "ImageData" in out and "2" in out
+        assert "ndarray" in out
 
 
 class TestBenchCommand:
@@ -119,3 +139,60 @@ class TestEvalCommand:
     def test_bad_resolution_is_a_usage_error(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["eval", str(tmp_path), "--resolution", "banana"])
+
+
+class TestSuiteCommands:
+    def test_list_prints_catalog_summary(self, capsys):
+        assert main(["suite", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "scenarios from" in out
+        assert "iso-values" in out
+
+    def test_list_json_is_machine_readable(self, capsys):
+        assert main(["suite", "list", "--family", "flow", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload and all(entry["family"] == "flow" for entry in payload)
+        assert all("key" in entry for entry in payload)
+
+    def test_canonical_listing_honors_filters(self, capsys):
+        assert main(["suite", "list", "--canonical", "--json"]) == 0
+        assert len(json.loads(capsys.readouterr().out)) == 5
+        assert main(["suite", "list", "--canonical", "--family", "flow", "--limit", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["name"] for entry in payload] == ["streamlines"]
+
+    def test_run_warm_rerun_and_report(self, tmp_path, capsys):
+        work = str(tmp_path / "work")
+        args = ["suite", "run", work, "--limit", "3", "--no-cache"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "3 executed" in out
+
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "0 executed" in out and "fully warm" in out
+
+        results = str(Path(work) / "suite-results.jsonl")
+        assert main(["suite", "report", results]) == 0
+        out = capsys.readouterr().out
+        assert "# Scenario suite report" in out
+        assert "| method |" in out
+
+    def test_run_writes_report_artifacts(self, tmp_path, capsys):
+        work = str(tmp_path / "work")
+        report_md = tmp_path / "report.md"
+        report_json = tmp_path / "report.json"
+        code = main(
+            [
+                "suite", "run", work, "--limit", "2", "--no-cache",
+                "--report", str(report_md), "--report-json", str(report_json),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert "# Scenario suite report" in report_md.read_text()
+        assert json.loads(report_json.read_text())["n_cells"] == 2
+
+    def test_report_on_missing_store(self, tmp_path, capsys):
+        assert main(["suite", "report", str(tmp_path / "nope.jsonl")]) == 1
+        assert "does not exist" in capsys.readouterr().out

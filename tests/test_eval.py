@@ -131,6 +131,46 @@ class TestGroundTruth:
         assert result.success and result.produced_screenshot
 
 
+class TestScaledPrompt:
+    def _task(self, prompt):
+        from repro.core.tasks import VisualizationTask
+
+        return VisualizationTask(
+            name="t", title="t", user_prompt=prompt, data_files=(), screenshot="t.png"
+        )
+
+    def test_paper_phrasing_rescales(self):
+        from repro.eval.harness import scaled_prompt
+
+        task = self._task("The view should be 1920 x 1080 pixels.")
+        assert "96 x 72 pixels" in scaled_prompt(task, (96, 72))
+
+    @pytest.mark.parametrize(
+        "phrase",
+        [
+            "320x240 px",  # no spaces, px
+            "320 x 240 PX",  # case-insensitive unit
+            "320 X 240 Pixels",  # capital separator and unit
+            "320x240 pixel",  # singular
+        ],
+    )
+    def test_template_variants_rescale(self, phrase):
+        from repro.eval.harness import scaled_prompt
+
+        task = self._task(f"Screenshot size: {phrase}.")
+        scaled = scaled_prompt(task, (96, 72))
+        assert "96 x 72 pixels" in scaled
+        assert "320" not in scaled
+
+    def test_pixelated_prose_untouched(self):
+        from repro.eval.harness import scaled_prompt
+
+        task = self._task("Use 4 x 4 supersampling, output 640 x 480 pixels.")
+        scaled = scaled_prompt(task, (96, 72))
+        assert "4 x 4 supersampling" in scaled
+        assert "96 x 72 pixels" in scaled
+
+
 class TestHarness:
     def test_unassisted_gpt4_isosurface(self, work_dir):
         prepare_task_data("isosurface", work_dir, small=True)
