@@ -1,0 +1,69 @@
+"""Affine dataset transforms (translation, uniform scaling).
+
+The verification subsystem's commutation relations need the metamorphic
+*input* transform — move or scale a dataset, push the same transform through
+the pipeline parameters, and compare outputs.  Both transforms return a deep
+copy (datasets are treated as immutable by the engine cache) and work on any
+dataset kind:
+
+* :class:`~repro.datamodel.image_data.ImageData` transforms its lattice
+  (``origin``/``spacing``) without touching the sample arrays, so the scalar
+  field is *exactly* the same function of lattice index — which is what makes
+  contour/slice/clip/threshold commute bit-for-bit with the transform;
+* point-based datasets (:class:`~repro.datamodel.polydata.PolyData`,
+  unstructured grids) transform their ``points`` array.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Sequence
+
+import numpy as np
+
+from repro.datamodel import Dataset, ImageData
+
+__all__ = ["translate_dataset", "scale_dataset", "transform_point"]
+
+
+def transform_point(
+    point: Sequence[float],
+    offset: Sequence[float] = (0.0, 0.0, 0.0),
+    scale: float = 1.0,
+) -> list:
+    """Apply the same affine map the dataset transforms apply: ``p * s + t``."""
+    p = np.asarray(point, dtype=np.float64)
+    return [float(v) for v in p * float(scale) + np.asarray(offset, dtype=np.float64)]
+
+
+def translate_dataset(dataset: Dataset, offset: Sequence[float]) -> Dataset:
+    """A deep copy of ``dataset`` rigidly translated by ``offset``."""
+    offset = np.asarray(offset, dtype=np.float64)
+    if offset.shape != (3,):
+        raise ValueError(f"offset must be a 3-vector, got shape {offset.shape}")
+    out = copy.deepcopy(dataset)
+    if isinstance(out, ImageData):
+        out.origin = tuple(np.asarray(out.origin, dtype=np.float64) + offset)
+    elif hasattr(out, "points"):
+        out.points = np.asarray(out.points, dtype=np.float64) + offset[None, :]
+    else:
+        raise TypeError(f"cannot translate dataset of type {type(dataset).__name__}")
+    out.invalidate_fingerprint()
+    return out
+
+
+def scale_dataset(dataset: Dataset, factor: float) -> Dataset:
+    """A deep copy of ``dataset`` uniformly scaled about the world origin."""
+    factor = float(factor)
+    if factor <= 0.0:
+        raise ValueError(f"scale factor must be positive, got {factor}")
+    out = copy.deepcopy(dataset)
+    if isinstance(out, ImageData):
+        out.origin = tuple(np.asarray(out.origin, dtype=np.float64) * factor)
+        out.spacing = tuple(np.asarray(out.spacing, dtype=np.float64) * factor)
+    elif hasattr(out, "points"):
+        out.points = np.asarray(out.points, dtype=np.float64) * factor
+    else:
+        raise TypeError(f"cannot scale dataset of type {type(dataset).__name__}")
+    out.invalidate_fingerprint()
+    return out

@@ -7,6 +7,10 @@ One front door for the things people (and CI) run:
 * ``repro suite`` — the procedural scenario suite: ``list`` the generated
   catalog, ``run`` the scenario × model matrix resumably against a JSONL
   results store, ``report`` the aggregate success/error matrices;
+* ``repro verify`` — the metamorphic/differential verification layer:
+  ``run`` the scenario × relation matrix (resumable JSONL verdict store),
+  ``report`` the relation × family verification matrix, ``update-goldens``
+  to (re)capture the golden artifacts, ``relations`` to list the registry;
 * ``repro bench`` — a cold-vs-warm micro-benchmark of the tiered cache on a
   representative pipeline, with optional JSON output for CI artifacts;
 * ``repro cache`` — inspect (``stats``) or empty (``clear``) a disk cache
@@ -49,6 +53,17 @@ def resolve_cache_dir(explicit: Optional[str]) -> Path:
     if env:
         return Path(env)
     return default_cache_dir()
+
+
+def _configure_cache(ns: argparse.Namespace) -> Optional[Path]:
+    """Resolve and attach the shared disk tier; None when ``--no-cache``."""
+    from repro.engine.cache import configure_shared_cache
+
+    if ns.no_cache:
+        return None
+    cache_dir = resolve_cache_dir(ns.cache_dir)
+    configure_shared_cache(cache_dir)
+    return cache_dir
 
 
 def _parse_resolution(text: str) -> Tuple[int, int]:
@@ -175,14 +190,9 @@ def _cmd_suite_list(ns: argparse.Namespace) -> int:
 
 
 def _cmd_suite_run(ns: argparse.Namespace) -> int:
-    from repro.engine.cache import configure_shared_cache
     from repro.scenarios import SuiteRunner, SuiteStore, build_report
 
-    cache_dir: Optional[Path] = None
-    if not ns.no_cache:
-        cache_dir = resolve_cache_dir(ns.cache_dir)
-        configure_shared_cache(cache_dir)
-
+    cache_dir = _configure_cache(ns)
     scenarios = _select_scenarios(ns)
     if not scenarios:
         print("no scenarios selected")
@@ -234,18 +244,115 @@ def _cmd_suite_report(ns: argparse.Namespace) -> int:
 
     results = Path(ns.results)
     if not results.exists():
-        print(f"results store {results} does not exist")
+        print(f"no records: results store {results} does not exist — run `repro suite run` first")
         return 1
     report = load_report(results)
     if report.n_cells == 0:
-        print(f"results store {results} holds no records")
-        return 1
+        print(f"no records: results store {results} is empty — run `repro suite run` first")
     if ns.markdown:
         print(f"wrote {report.write_markdown(ns.markdown)}")
     if ns.json:
         print(f"wrote {report.write_json(ns.json)}")
     if not ns.markdown and not ns.json:
         print(report.to_markdown())
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# repro verify
+# --------------------------------------------------------------------------- #
+def _verify_runner(ns: argparse.Namespace, scenarios, cache_dir: Optional[Path], store=None):
+    from repro.verify import DEFAULT_VERIFY_RESOLUTION, VerifyRunner
+
+    working_dir = Path(ns.working_dir)
+    return VerifyRunner(
+        scenarios,
+        relations=ns.relations or None,
+        working_dir=working_dir,
+        store=store,
+        resolution=ns.resolution or DEFAULT_VERIFY_RESOLUTION,
+        goldens_dir=ns.goldens or (working_dir / "goldens"),
+        max_workers=ns.max_workers,
+        executor=ns.executor,
+        cache_dir=cache_dir,
+    )
+
+
+def _cmd_verify_run(ns: argparse.Namespace) -> int:
+    from repro.scenarios import SuiteStore, build_verify_report
+
+    cache_dir = _configure_cache(ns)
+    scenarios = _select_scenarios(ns)
+    if not scenarios:
+        print("no scenarios selected")
+        return 1
+    working_dir = Path(ns.working_dir)
+    store = SuiteStore(Path(ns.results) if ns.results else working_dir / "verify-results.jsonl")
+    if ns.fresh:
+        store.clear()
+
+    started = time.perf_counter()
+    runner = _verify_runner(ns, scenarios, cache_dir, store=store)
+    summary = runner.run(resume=True)
+    elapsed = time.perf_counter() - started
+
+    print(f"verify: {summary.describe()} in {elapsed:.2f}s")
+    print(f"verdict store: {store.path}")
+    for name, error in summary.failures:
+        print(f"  FAILED {name}: {error}")
+    for record in summary.violations:
+        details = str(record.get("details", "")).splitlines()
+        print(
+            f"  VIOLATION {record['relation']} on {record['scenario']}: "
+            f"{details[0] if details else ''}"
+        )
+
+    report = build_verify_report(summary.records)
+    if ns.report:
+        print(f"wrote {report.write_markdown(ns.report)}")
+    if ns.report_json:
+        print(f"wrote {report.write_json(ns.report_json)}")
+    return 1 if (summary.violations or summary.failures) else 0
+
+
+def _cmd_verify_report(ns: argparse.Namespace) -> int:
+    from repro.scenarios import load_verify_report
+
+    results = Path(ns.results)
+    if not results.exists():
+        print(f"no records: verdict store {results} does not exist — run `repro verify run` first")
+        return 1
+    report = load_verify_report(results)
+    if report.n_cells == 0:
+        print(f"no records: verdict store {results} is empty — run `repro verify run` first")
+    if ns.markdown:
+        print(f"wrote {report.write_markdown(ns.markdown)}")
+    if ns.json:
+        print(f"wrote {report.write_json(ns.json)}")
+    if not ns.markdown and not ns.json:
+        print(report.to_markdown())
+    return 0
+
+
+def _cmd_verify_update_goldens(ns: argparse.Namespace) -> int:
+    cache_dir = _configure_cache(ns)
+    scenarios = _select_scenarios(ns)
+    if not scenarios:
+        print("no scenarios selected")
+        return 1
+    runner = _verify_runner(ns, scenarios, cache_dir)
+    updated = runner.update_goldens()
+    print(f"stored golden artifacts for {len(updated)} scenario(s) in {runner.goldens_dir}:")
+    for name in updated:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_verify_relations(ns: argparse.Namespace) -> int:
+    from repro.verify import all_relations
+
+    for relation in all_relations():
+        print(f"{relation.name:<24s} {relation.description}")
     return 0
 
 
@@ -470,6 +577,88 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report_parser.add_argument("--json", default=None, help="also write the JSON report here")
     report_parser.set_defaults(func=_cmd_suite_report)
+
+    verify_parser = subparsers.add_parser(
+        "verify",
+        help="metamorphic & differential verification: run, report, update-goldens",
+    )
+    verify_sub = verify_parser.add_subparsers(dest="verify_command", required=True)
+
+    def _add_verify_common(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("working_dir", help="directory for per-cell verification workspaces")
+        _add_scenario_filters(parser)
+        parser.add_argument(
+            "--relations",
+            type=_parse_csv,
+            default=None,
+            help="comma-separated relation names (default: every applicable relation)",
+        )
+        parser.add_argument(
+            "--resolution",
+            type=_parse_resolution,
+            default=None,
+            help="verification render size (default: 192x144)",
+        )
+        parser.add_argument(
+            "--goldens",
+            default=None,
+            help="golden-artifact store root (default: WORKING_DIR/goldens)",
+        )
+        parser.add_argument("--max-workers", type=int, default=1)
+        parser.add_argument(
+            "--executor",
+            choices=("thread", "process"),
+            default="thread",
+            help="concurrency substrate for the verdict cells",
+        )
+        parser.add_argument(
+            "--no-cache", action="store_true", help="run without the persistent disk tier"
+        )
+        _add_cache_dir_argument(parser)
+
+    verify_run_parser = verify_sub.add_parser(
+        "run", help="run the scenario × relation matrix against a resumable JSONL store"
+    )
+    _add_verify_common(verify_run_parser)
+    verify_run_parser.add_argument(
+        "--results",
+        default=None,
+        help="JSONL verdict store (default: WORKING_DIR/verify-results.jsonl)",
+    )
+    verify_run_parser.add_argument(
+        "--fresh", action="store_true", help="discard the verdict store before running"
+    )
+    verify_run_parser.add_argument(
+        "--report", default=None, help="also write the markdown verification matrix here"
+    )
+    verify_run_parser.add_argument(
+        "--report-json", default=None, help="also write the JSON report here"
+    )
+    verify_run_parser.set_defaults(func=_cmd_verify_run)
+
+    verify_report_parser = verify_sub.add_parser(
+        "report", help="aggregate a verdict store into the verification matrix"
+    )
+    verify_report_parser.add_argument("results", help="path to the JSONL verdict store")
+    verify_report_parser.add_argument(
+        "--markdown", default=None, help="write markdown here instead of stdout"
+    )
+    verify_report_parser.add_argument(
+        "--json", default=None, help="also write the JSON report here"
+    )
+    verify_report_parser.set_defaults(func=_cmd_verify_report)
+
+    goldens_parser = verify_sub.add_parser(
+        "update-goldens",
+        help="(re)render the selected scenarios and store their golden artifacts",
+    )
+    _add_verify_common(goldens_parser)
+    goldens_parser.set_defaults(func=_cmd_verify_update_goldens)
+
+    relations_parser = verify_sub.add_parser(
+        "relations", help="list the registered metamorphic relations"
+    )
+    relations_parser.set_defaults(func=_cmd_verify_relations)
 
     bench_parser = subparsers.add_parser(
         "bench", help="cold-vs-warm disk-cache benchmark of a representative pipeline"

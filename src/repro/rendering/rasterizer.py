@@ -250,6 +250,117 @@ def _rasterize_small_triangles(
     return drawn
 
 
+def _neighborhood_offsets(half: int) -> np.ndarray:
+    """Precomputed ``(K, 2)`` grid of ``(dy, dx)`` offsets, dy-major.
+
+    Shared by the vectorised splat and the loop reference, so both walk the
+    ``-half..half`` neighborhood in the identical order.
+    """
+    offsets = np.arange(-half, half + 1, dtype=np.int64)
+    return np.stack(
+        [np.repeat(offsets, offsets.size), np.tile(offsets, offsets.size)], axis=1
+    )
+
+
+def _splat_fragments(
+    framebuffer: Framebuffer,
+    xs: np.ndarray,
+    ys: np.ndarray,
+    zs: np.ndarray,
+    rgb: np.ndarray,
+    half: int,
+) -> None:
+    """Splat samples over their ``(2*half+1)²`` pixel neighborhoods, vectorised.
+
+    All ``K × N`` candidate fragments are generated at once from the
+    precomputed offset grid; per pixel the *nearest* fragment wins (ties go
+    to the earliest sample), selected with one ``np.minimum.at`` scatter-min
+    into the depth buffer — no Python-level loop over the neighborhood and
+    no fragment sort.
+    """
+    width, height = framebuffer.width, framebuffer.height
+    color = framebuffer.color.reshape(-1, 3)
+    depth = framebuffer.depth.reshape(-1)
+
+    n = xs.shape[0]
+    if n == 0:
+        return
+    if half > 0:
+        offsets = _neighborhood_offsets(half)
+        frag_x = np.clip(xs[None, :] + offsets[:, 1:2], 0, width - 1).reshape(-1)
+        frag_y = np.clip(ys[None, :] + offsets[:, 0:1], 0, height - 1).reshape(-1)
+        k = offsets.shape[0]
+        frag_z = np.broadcast_to(zs, (k, n)).reshape(-1)
+        sample = np.broadcast_to(np.arange(n), (k, n)).reshape(-1)
+    else:
+        frag_x = np.clip(xs, 0, width - 1)
+        frag_y = np.clip(ys, 0, height - 1)
+        frag_z = zs
+        sample = np.arange(n)
+
+    pix = frag_y * width + frag_x
+    depth_before = depth[pix]
+    np.minimum.at(depth, pix, frag_z)
+    # winners: fragments that set their pixel's new depth AND beat the old
+    # buffer strictly (a fragment exactly at the stored depth loses, matching
+    # the loop's strict test)
+    winners = np.nonzero((frag_z == depth[pix]) & (frag_z < depth_before))[0]
+    if winners.size == 0:
+        return
+    # reversed fancy assignment: among equal-depth winners of one pixel the
+    # *earliest* sample's color lands last and therefore wins
+    winners = winners[::-1]
+    color[pix[winners]] = rgb[sample[winners]]
+
+
+def _splat_neighborhood_loop(
+    framebuffer: Framebuffer,
+    xs: np.ndarray,
+    ys: np.ndarray,
+    zs: np.ndarray,
+    rgb: np.ndarray,
+    half: int,
+) -> None:
+    """The historical per-offset splat loop, kept as the reference oracle.
+
+    The regression tests pin :func:`_splat_fragments` against this.  (For
+    overlap-free splats — and any input whose fragments arrive far-to-near —
+    the two are exactly equivalent; the vectorised path additionally resolves
+    same-batch pixel collisions nearest-first instead of last-written.)
+    """
+    width, height = framebuffer.width, framebuffer.height
+    color = framebuffer.color
+    depth = framebuffer.depth
+    for dy, dx in _neighborhood_offsets(half):
+        xx = np.clip(xs + dx, 0, width - 1)
+        yy = np.clip(ys + dy, 0, height - 1)
+        visible = zs < depth[yy, xx]
+        depth[yy[visible], xx[visible]] = zs[visible]
+        color[yy[visible], xx[visible]] = rgb[visible]
+
+
+def _segment_samples(
+    p0: np.ndarray,
+    p1: np.ndarray,
+    c0: np.ndarray,
+    c1: np.ndarray,
+    width: int,
+    height: int,
+    depth_bias: float,
+):
+    """Rasterised sample points along one segment (clipped to the viewport)."""
+    n_steps = int(max(abs(p1[0] - p0[0]), abs(p1[1] - p0[1]))) + 1
+    t = np.linspace(0.0, 1.0, n_steps)
+    xs = np.round(p0[0] + t * (p1[0] - p0[0])).astype(int)
+    ys = np.round(p0[1] + t * (p1[1] - p0[1])).astype(int)
+    zs = p0[2] + t * (p1[2] - p0[2]) - depth_bias
+    rgb = (1.0 - t)[:, None] * c0 + t[:, None] * c1
+    on = (xs >= 0) & (xs < width) & (ys >= 0) & (ys < height)
+    if not on.any():
+        return None
+    return xs[on], ys[on], zs[on], rgb[on]
+
+
 def rasterize_lines(
     framebuffer: Framebuffer,
     screen_points: np.ndarray,
@@ -263,11 +374,10 @@ def rasterize_lines(
 
     ``segments`` is an ``(m, 2)`` array of vertex-index pairs.  Lines are
     drawn with a small depth bias toward the viewer so that wireframe edges
-    win over co-planar filled triangles.
+    win over co-planar filled triangles.  The per-sample neighborhood splat
+    is fully vectorised (:func:`_splat_fragments`).
     """
     width, height = framebuffer.width, framebuffer.height
-    color = framebuffer.color
-    depth = framebuffer.depth
 
     pts = np.asarray(screen_points, dtype=np.float64)
     segs = np.asarray(segments, dtype=np.int64).reshape(-1, 2)
@@ -283,27 +393,13 @@ def rasterize_lines(
     half = max(int(line_width) // 2, 0)
     drawn = 0
     for a, b in segs:
-        p0, p1 = pts[a], pts[b]
-        c0, c1 = cols[a], cols[b]
-        n_steps = int(max(abs(p1[0] - p0[0]), abs(p1[1] - p0[1]))) + 1
-        t = np.linspace(0.0, 1.0, n_steps)
-        xs = np.round(p0[0] + t * (p1[0] - p0[0])).astype(int)
-        ys = np.round(p0[1] + t * (p1[1] - p0[1])).astype(int)
-        zs = p0[2] + t * (p1[2] - p0[2]) - depth_bias
-        rgb = (1.0 - t)[:, None] * c0 + t[:, None] * c1
-
-        on = (xs >= 0) & (xs < width) & (ys >= 0) & (ys < height)
-        if not on.any():
+        samples = _segment_samples(
+            pts[a], pts[b], cols[a], cols[b], width, height, depth_bias
+        )
+        if samples is None:
             continue
-        xs, ys, zs, rgb = xs[on], ys[on], zs[on], rgb[on]
-
-        for dy in range(-half, half + 1):
-            for dx in range(-half, half + 1):
-                xx = np.clip(xs + dx, 0, width - 1)
-                yy = np.clip(ys + dy, 0, height - 1)
-                visible = zs < depth[yy, xx]
-                depth[yy[visible], xx[visible]] = zs[visible]
-                color[yy[visible], xx[visible]] = rgb[visible]
+        xs, ys, zs, rgb = samples
+        _splat_fragments(framebuffer, xs, ys, zs, rgb, half)
         drawn += 1
     return drawn
 
@@ -316,37 +412,102 @@ def rasterize_points(
     valid_vertices: Optional[np.ndarray] = None,
     point_size: int = 2,
 ) -> int:
-    """Draw square point splats with depth testing."""
+    """Draw square point splats with depth testing (vectorised neighborhood)."""
     width, height = framebuffer.width, framebuffer.height
-    color = framebuffer.color
-    depth = framebuffer.depth
 
+    prepared = _prepare_point_splats(
+        framebuffer, screen_points, point_ids, vertex_colors, valid_vertices, point_size
+    )
+    if prepared is None:
+        return 0
+    xs, ys, zs, rgb, n_ids = prepared
+    half = max(int(point_size) // 2, 0)
+    _splat_fragments(framebuffer, xs, ys, zs, rgb, half)
+    return n_ids
+
+
+def _prepare_point_splats(
+    framebuffer: Framebuffer,
+    screen_points: np.ndarray,
+    point_ids: np.ndarray,
+    vertex_colors: np.ndarray,
+    valid_vertices: Optional[np.ndarray],
+    point_size: int,
+):
+    """Shared sample preparation for the point splat paths (fast and reference)."""
+    width, height = framebuffer.width, framebuffer.height
     pts = np.asarray(screen_points, dtype=np.float64)
     ids = np.asarray(point_ids, dtype=np.int64).reshape(-1)
     cols = np.asarray(vertex_colors, dtype=np.float64)
     if ids.size == 0:
-        return 0
+        return None
     if valid_vertices is not None:
         ids = ids[valid_vertices[ids]]
         if ids.size == 0:
-            return 0
+            return None
 
     xs = np.round(pts[ids, 0]).astype(int)
     ys = np.round(pts[ids, 1]).astype(int)
     zs = pts[ids, 2]
     rgb = cols[ids]
 
-    on = (xs >= -point_size) & (xs < width + point_size) & (ys >= -point_size) & (ys < height + point_size)
-    xs, ys, zs, rgb = xs[on], ys[on], zs[on], rgb[on]
+    on = (
+        (xs >= -point_size) & (xs < width + point_size)
+        & (ys >= -point_size) & (ys < height + point_size)
+    )
+    return xs[on], ys[on], zs[on], rgb[on], int(ids.size)
 
+
+def _rasterize_points_reference(
+    framebuffer: Framebuffer,
+    screen_points: np.ndarray,
+    point_ids: np.ndarray,
+    vertex_colors: np.ndarray,
+    valid_vertices: Optional[np.ndarray] = None,
+    point_size: int = 2,
+) -> int:
+    """:func:`rasterize_points` over the historical loop splat (tests only)."""
+    prepared = _prepare_point_splats(
+        framebuffer, screen_points, point_ids, vertex_colors, valid_vertices, point_size
+    )
+    if prepared is None:
+        return 0
+    xs, ys, zs, rgb, n_ids = prepared
     half = max(int(point_size) // 2, 0)
+    _splat_neighborhood_loop(framebuffer, xs, ys, zs, rgb, half)
+    return n_ids
+
+
+def _rasterize_lines_reference(
+    framebuffer: Framebuffer,
+    screen_points: np.ndarray,
+    segments: np.ndarray,
+    vertex_colors: np.ndarray,
+    valid_vertices: Optional[np.ndarray] = None,
+    line_width: int = 1,
+    depth_bias: float = 1e-4,
+) -> int:
+    """:func:`rasterize_lines` over the historical loop splat (tests only)."""
+    width, height = framebuffer.width, framebuffer.height
+    pts = np.asarray(screen_points, dtype=np.float64)
+    segs = np.asarray(segments, dtype=np.int64).reshape(-1, 2)
+    cols = np.asarray(vertex_colors, dtype=np.float64)
+    if segs.size == 0:
+        return 0
+    if valid_vertices is not None:
+        ok = valid_vertices[segs].all(axis=1)
+        segs = segs[ok]
+        if segs.size == 0:
+            return 0
+    half = max(int(line_width) // 2, 0)
     drawn = 0
-    for dy in range(-half, half + 1):
-        for dx in range(-half, half + 1):
-            xx = np.clip(xs + dx, 0, width - 1)
-            yy = np.clip(ys + dy, 0, height - 1)
-            visible = zs < depth[yy, xx]
-            depth[yy[visible], xx[visible]] = zs[visible]
-            color[yy[visible], xx[visible]] = rgb[visible]
-    drawn = int(ids.size)
+    for a, b in segs:
+        samples = _segment_samples(
+            pts[a], pts[b], cols[a], cols[b], width, height, depth_bias
+        )
+        if samples is None:
+            continue
+        xs, ys, zs, rgb = samples
+        _splat_neighborhood_loop(framebuffer, xs, ys, zs, rgb, half)
+        drawn += 1
     return drawn

@@ -24,7 +24,14 @@ from repro.scenarios.catalog import (
     canonical_scenarios,
     generate_scenarios,
 )
-from repro.scenarios.report import SuiteReport, build_report, load_report
+from repro.scenarios.report import (
+    SuiteReport,
+    VerifyReport,
+    build_report,
+    build_verify_report,
+    load_report,
+    load_verify_report,
+)
 from repro.scenarios.spec import (
     OperationStep,
     Scenario,
@@ -55,14 +62,17 @@ __all__ = [
     "SuiteRunSummary",
     "SuiteRunner",
     "SuiteStore",
+    "VerifyReport",
     "ViewSpec",
     "build_report",
+    "build_verify_report",
     "builtin_specs",
     "canonical_scenarios",
     "cell_key",
     "chain_specs",
     "generate_scenarios",
     "load_report",
+    "load_verify_report",
     "render_prompt",
     "run_suite_cell",
     "strip_timing",

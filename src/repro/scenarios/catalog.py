@@ -48,6 +48,7 @@ from repro.scenarios.spec import (
 __all__ = [
     "FAMILIES",
     "CANONICAL_FAMILIES",
+    "CANONICAL_OPERATIONS",
     "builtin_specs",
     "canonical_scenarios",
     "generate_scenarios",
@@ -63,6 +64,21 @@ CANONICAL_FAMILIES: Dict[str, str] = {
     "volume_render": "volume",
     "delaunay": "geometry",
     "streamlines": "flow",
+}
+
+#: canonical task name → the structured operation chain its verbatim prompt
+#: describes.  Mirrors the prompts in :mod:`repro.core.tasks` one-to-one; the
+#: verification relations use it to run the canonical pipelines through the
+#: engine directly (commutation checks need structured parameters, not prose).
+CANONICAL_OPERATIONS = {
+    "isosurface": (isosurface(array="var0", value=0.5),),
+    "slice_contour": (slice_plane("x", 0.0), contour(0.5), color("contour", "red")),
+    "volume_render": (volume_render(),),
+    "delaunay": (delaunay(), clip("x", 0.0, keep="-"), wireframe()),
+    "streamlines": (
+        streamlines("V"), tube(), glyph("cone"),
+        color_by("streamlines and glyphs", "Temp"),
+    ),
 }
 
 
@@ -270,6 +286,7 @@ def canonical_scenarios(tasks: Optional[Sequence[str]] = None) -> List[Scenario]
                 spec_name="canonical",
                 phrasing="verbatim",
                 task=task,
+                operations=CANONICAL_OPERATIONS.get(task.name, ()),
             )
         )
     return scenarios

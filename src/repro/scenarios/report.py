@@ -1,10 +1,14 @@
-"""Aggregate reporting over suite results.
+"""Aggregate reporting over suite and verification results.
 
 :func:`build_report` folds the JSONL cell records into a
 :class:`SuiteReport`: per *method × operation-family* success and
 error-free matrices, per-method totals, and the list of failing cells.
-The report renders as JSON (machine-readable, CI artifacts) and markdown
-(human-readable summary tables).
+:func:`build_verify_report` does the same for verification verdicts — a
+*relation × operation-family* matrix of checks/violations
+(:class:`VerifyReport`).  Both render as JSON (machine-readable, CI
+artifacts) and markdown (human-readable summary tables), and both emit an
+explicit "no records" notice instead of an empty matrix when the store has
+nothing in it.
 """
 
 from __future__ import annotations
@@ -16,7 +20,31 @@ from typing import Any, Dict, Iterable, List, Tuple, Union
 
 from repro.scenarios.suite import SuiteStore
 
-__all__ = ["CellTally", "SuiteReport", "build_report", "load_report"]
+__all__ = [
+    "CellTally",
+    "NO_RECORDS_NOTICE",
+    "SuiteReport",
+    "VerifyReport",
+    "VerifyTally",
+    "build_report",
+    "build_verify_report",
+    "load_report",
+    "load_verify_report",
+]
+
+#: the line both report renderers emit when the results store is empty
+NO_RECORDS_NOTICE = (
+    "_No records — the results store is empty or missing; run the suite "
+    "(`repro suite run`) or the verifier (`repro verify run`) first._"
+)
+
+
+def _write_text(path: Union[str, Path], text: str) -> Path:
+    """Shared artifact writer for every report flavor (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path
 
 
 @dataclass
@@ -75,10 +103,7 @@ class SuiteReport:
         }
 
     def write_json(self, path: Union[str, Path]) -> Path:
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n")
-        return path
+        return _write_text(path, json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n")
 
     # ------------------------------------------------------------------ #
     def _markdown_matrix(self, numerator: str) -> List[str]:
@@ -99,6 +124,8 @@ class SuiteReport:
         return lines
 
     def to_markdown(self) -> str:
+        if self.n_cells == 0:
+            return f"# Scenario suite report\n\n{NO_RECORDS_NOTICE}\n"
         lines = [
             "# Scenario suite report",
             "",
@@ -123,10 +150,7 @@ class SuiteReport:
         return "\n".join(lines)
 
     def write_markdown(self, path: Union[str, Path]) -> Path:
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_markdown())
-        return path
+        return _write_text(path, self.to_markdown())
 
 
 def build_report(records: Iterable[Dict[str, Any]]) -> SuiteReport:
@@ -155,3 +179,155 @@ def load_report(store: Union[str, Path, SuiteStore]) -> SuiteReport:
     if not isinstance(store, SuiteStore):
         store = SuiteStore(store)
     return build_report(store.load().values())
+
+
+# --------------------------------------------------------------------------- #
+# verification matrix
+# --------------------------------------------------------------------------- #
+@dataclass
+class VerifyTally:
+    """Counts for one (relation, family) bucket of verification verdicts."""
+
+    cells: int = 0
+    violations: int = 0
+    skipped: int = 0
+
+    @property
+    def checked(self) -> int:
+        return self.cells - self.skipped
+
+    def add(self, record: Dict[str, Any]) -> None:
+        self.cells += 1
+        if record.get("violation", False):
+            self.violations += 1
+        if record.get("skipped", False):
+            self.skipped += 1
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"cells": self.cells, "violations": self.violations, "skipped": self.skipped}
+
+    def render(self) -> str:
+        if self.cells == 0:
+            return "—"
+        if self.violations:
+            return f"**{self.violations}✗**/{self.checked}"
+        if self.checked == 0:
+            return f"skip/{self.cells}"
+        return f"{self.checked}✓"
+
+
+@dataclass
+class VerifyReport:
+    """The relation × operation-family verification matrix."""
+
+    relations: List[str] = field(default_factory=list)
+    families: List[str] = field(default_factory=list)
+    matrix: Dict[Tuple[str, str], VerifyTally] = field(default_factory=dict)
+    totals: Dict[str, VerifyTally] = field(default_factory=dict)
+    n_scenarios: int = 0
+    n_cells: int = 0
+    nodes_executed: int = 0
+    nodes_cached: int = 0
+    violations: List[Dict[str, Any]] = field(default_factory=list)
+
+    def tally(self, relation: str, family: str) -> VerifyTally:
+        return self.matrix.get((relation, family), VerifyTally())
+
+    @property
+    def clean(self) -> bool:
+        return self.n_cells > 0 and not self.violations
+
+    # ------------------------------------------------------------------ #
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "relations": self.relations,
+            "families": self.families,
+            "n_scenarios": self.n_scenarios,
+            "n_cells": self.n_cells,
+            "nodes_executed": self.nodes_executed,
+            "nodes_cached": self.nodes_cached,
+            "matrix": {
+                relation: {
+                    family: self.tally(relation, family).as_dict() for family in self.families
+                }
+                for relation in self.relations
+            },
+            "totals": {
+                relation: self.totals[relation].as_dict() for relation in self.relations
+            },
+            "violations": self.violations,
+        }
+
+    def write_json(self, path: Union[str, Path]) -> Path:
+        return _write_text(path, json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n")
+
+    # ------------------------------------------------------------------ #
+    def to_markdown(self) -> str:
+        if self.n_cells == 0:
+            return f"# Verification report\n\n{NO_RECORDS_NOTICE}\n"
+        n_violations = len(self.violations)
+        verdict = (
+            "**no violations**" if n_violations == 0 else f"**{n_violations} violation(s)**"
+        )
+        lines = [
+            "# Verification report",
+            "",
+            f"{self.n_scenarios} scenarios × {len(self.relations)} relation(s) — "
+            f"{self.n_cells} verdict cells, {verdict}. "
+            f"Pipeline nodes: {self.nodes_executed} executed, {self.nodes_cached} cached.",
+            "",
+            "## Verification matrix (relation × operation family)",
+            "",
+            "| relation | " + " | ".join(self.families) + " | total |",
+            "|" + " --- |" * (len(self.families) + 2),
+        ]
+        for relation in self.relations:
+            row = [f"| `{relation}` "]
+            for family in self.families:
+                row.append(f"| {self.tally(relation, family).render()} ")
+            total = self.totals[relation]
+            row.append(f"| {total.render()} |")
+            lines.append("".join(row))
+        if self.violations:
+            lines.extend(["", f"## Violations ({n_violations})", ""])
+            for record in self.violations:
+                details = str(record.get("details", "")).splitlines()
+                summary = details[0] if details else "violated"
+                lines.append(
+                    f"- `{record.get('relation')}` on `{record.get('scenario')}`: {summary}"
+                )
+        lines.append("")
+        return "\n".join(lines)
+
+    def write_markdown(self, path: Union[str, Path]) -> Path:
+        return _write_text(path, self.to_markdown())
+
+
+def build_verify_report(records: Iterable[Dict[str, Any]]) -> VerifyReport:
+    """Aggregate verification verdict records into the relation matrix."""
+    report = VerifyReport()
+    scenarios = set()
+    for record in records:
+        relation = str(record.get("relation", "?"))
+        family = str(record.get("family", "?"))
+        if relation not in report.relations:
+            report.relations.append(relation)
+        if family not in report.families:
+            report.families.append(family)
+        report.matrix.setdefault((relation, family), VerifyTally()).add(record)
+        report.totals.setdefault(relation, VerifyTally()).add(record)
+        scenarios.add(record.get("scenario"))
+        report.n_cells += 1
+        report.nodes_executed += int(record.get("nodes_executed", 0))
+        report.nodes_cached += int(record.get("nodes_cached", 0))
+        if record.get("violation", False):
+            report.violations.append(record)
+    report.n_scenarios = len(scenarios)
+    return report
+
+
+def load_verify_report(store: Union[str, Path, SuiteStore]) -> VerifyReport:
+    """Build a verification report straight from a verdict store path."""
+    if not isinstance(store, SuiteStore):
+        store = SuiteStore(store)
+    return build_verify_report(store.load().values())

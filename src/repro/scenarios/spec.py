@@ -126,6 +126,12 @@ class Scenario:
     operations: Tuple[OperationStep, ...] = ()
     view: Optional[str] = None
     seed: int = 0
+    #: metamorphic relations to verify this scenario with (empty = let the
+    #: verify registry's applicability predicates decide).  Deliberately not
+    #: part of :meth:`key` — relations select *checks over* the scenario, they
+    #: do not change what the scenario renders, and the verify store keys on
+    #: (scenario key × relation name) anyway.
+    relations: Tuple[str, ...] = ()
 
     def key(self) -> str:
         """Content-addressed identity: every axis value feeds the digest.
@@ -212,6 +218,9 @@ class ScenarioSpec:
     views: Tuple[ViewSpec, ...] = (ViewSpec(),)
     phrasings: Tuple[str, ...] = ("paper",)
     description: str = ""
+    #: verification axis: metamorphic-relation names every expanded scenario
+    #: carries (empty = let the verify registry decide per scenario)
+    relations: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not (self.datasets and self.operations and self.views and self.phrasings):
@@ -226,19 +235,25 @@ class ScenarioSpec:
     def with_datasets(self, *datasets: DataRecipe) -> "ScenarioSpec":
         return ScenarioSpec(
             self.name, self.family, tuple(datasets), self.operations,
-            self.views, self.phrasings, self.description,
+            self.views, self.phrasings, self.description, self.relations,
         )
 
     def with_views(self, *views: ViewSpec) -> "ScenarioSpec":
         return ScenarioSpec(
             self.name, self.family, self.datasets, self.operations,
-            tuple(views), self.phrasings, self.description,
+            tuple(views), self.phrasings, self.description, self.relations,
         )
 
     def with_phrasings(self, *phrasings: str) -> "ScenarioSpec":
         return ScenarioSpec(
             self.name, self.family, self.datasets, self.operations,
-            self.views, tuple(phrasings), self.description,
+            self.views, tuple(phrasings), self.description, self.relations,
+        )
+
+    def with_relations(self, *relations: str) -> "ScenarioSpec":
+        return ScenarioSpec(
+            self.name, self.family, self.datasets, self.operations,
+            self.views, self.phrasings, self.description, tuple(relations),
         )
 
     # ------------------------------------------------------------------ #
@@ -287,6 +302,7 @@ class ScenarioSpec:
                     operations=tuple(steps),
                     view=view.direction,
                     seed=_stable_seed(scenario_name, prompt),
+                    relations=self.relations,
                 )
             )
         return scenarios

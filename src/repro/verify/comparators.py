@@ -1,0 +1,282 @@
+"""Tolerance-aware comparators shared by the verification relations.
+
+Every relation ends in a comparison — two rendered screenshots, two pipeline
+output datasets, or a fresh render against a stored golden artifact.  The
+comparators here wrap :mod:`repro.eval.image_metrics` and plain array
+comparison behind one result shape (:class:`ComparatorResult`) that carries
+the measured metrics and a human-readable mismatch summary, so every verdict
+in the JSONL store explains *why* it failed, not just that it did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.datamodel import Dataset
+from repro.eval.image_metrics import (
+    coverage_difference,
+    histogram_similarity,
+    image_coverage,
+    mean_squared_error,
+    structural_similarity,
+)
+
+__all__ = [
+    "ComparatorResult",
+    "compare_images",
+    "datasets_close",
+    "dataset_stats_close",
+    "images_identical",
+    "point_sets_close",
+]
+
+
+@dataclass
+class ComparatorResult:
+    """Outcome of one tolerance-aware comparison."""
+
+    ok: bool
+    metrics: Dict[str, float] = field(default_factory=dict)
+    #: human-readable mismatch summary; empty when the comparison passed
+    details: str = ""
+
+    def merge_prefix(self, prefix: str) -> "ComparatorResult":
+        """The same result with every metric name prefixed (for composites)."""
+        return ComparatorResult(
+            ok=self.ok,
+            metrics={f"{prefix}{k}": v for k, v in self.metrics.items()},
+            details=self.details,
+        )
+
+
+def _fail(metrics: Dict[str, float], details: str) -> ComparatorResult:
+    return ComparatorResult(ok=False, metrics=metrics, details=details)
+
+
+# --------------------------------------------------------------------------- #
+# images
+# --------------------------------------------------------------------------- #
+def images_identical(a: np.ndarray, b: np.ndarray) -> ComparatorResult:
+    """Bit-exact image equality (the cache/determinism relations demand it)."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        return _fail({}, f"image shapes differ: {a.shape} vs {b.shape}")
+    if np.array_equal(a, b):
+        return ComparatorResult(ok=True, metrics={"differing_pixels": 0.0})
+    differing = int(np.sum(np.any(a != b, axis=-1))) if a.ndim == 3 else int(np.sum(a != b))
+    mse = mean_squared_error(a, b)
+    return _fail(
+        {"differing_pixels": float(differing), "mse": mse},
+        f"images differ at {differing} pixel(s) (mse={mse:.3g}) where bit-exact "
+        "equality was required",
+    )
+
+
+def compare_images(
+    a: np.ndarray,
+    b: np.ndarray,
+    max_mse: Optional[float] = None,
+    min_ssim: Optional[float] = None,
+    min_histogram: Optional[float] = None,
+    max_coverage_delta: Optional[float] = None,
+    require_content: bool = True,
+) -> ComparatorResult:
+    """Compare two renders under the given tolerances (``None`` = unchecked).
+
+    ``require_content`` additionally rejects blank frames: a relation that
+    compares an all-background screenshot against another all-background
+    screenshot would pass every similarity metric while verifying nothing.
+    """
+    metrics: Dict[str, float] = {
+        "coverage_a": image_coverage(a),
+        "coverage_b": image_coverage(b),
+    }
+    problems = []
+    if require_content and (metrics["coverage_a"] <= 0.0 or metrics["coverage_b"] <= 0.0):
+        problems.append(
+            f"blank render: coverage {metrics['coverage_a']:.4f} vs {metrics['coverage_b']:.4f}"
+        )
+    if max_mse is not None:
+        metrics["mse"] = mean_squared_error(a, b)
+        if metrics["mse"] > max_mse:
+            problems.append(f"mse {metrics['mse']:.4g} > {max_mse:.4g}")
+    if min_ssim is not None:
+        metrics["ssim"] = structural_similarity(a, b)
+        if metrics["ssim"] < min_ssim:
+            problems.append(f"ssim {metrics['ssim']:.4f} < {min_ssim:.4f}")
+    if min_histogram is not None:
+        metrics["histogram"] = histogram_similarity(a, b)
+        if metrics["histogram"] < min_histogram:
+            problems.append(f"histogram similarity {metrics['histogram']:.4f} < {min_histogram:.4f}")
+    if max_coverage_delta is not None:
+        metrics["coverage_delta"] = coverage_difference(a, b)
+        if metrics["coverage_delta"] > max_coverage_delta:
+            problems.append(
+                f"coverage delta {metrics['coverage_delta']:.4f} > {max_coverage_delta:.4f}"
+            )
+    if problems:
+        return _fail(metrics, "; ".join(problems))
+    return ComparatorResult(ok=True, metrics=metrics)
+
+
+# --------------------------------------------------------------------------- #
+# datasets
+# --------------------------------------------------------------------------- #
+def datasets_close(
+    base: Dataset,
+    variant: Dataset,
+    offset=(0.0, 0.0, 0.0),
+    scale: float = 1.0,
+    atol: float = 1e-8,
+    rtol: float = 1e-9,
+    compare_arrays: bool = True,
+) -> ComparatorResult:
+    """Check ``variant ≡ affine(base)``: same topology, mapped geometry.
+
+    ``offset``/``scale`` describe the affine map the *variant*'s geometry is
+    expected to differ by (``p_variant = p_base * scale + offset``); identity
+    values demand plain equality.  Point *ordering* must match — the
+    commutation relations this serves produce outputs through the identical
+    deterministic algorithm, so any reordering is itself a regression.
+    """
+    metrics: Dict[str, float] = {
+        "n_points_base": float(base.n_points),
+        "n_points_variant": float(variant.n_points),
+        "n_cells_base": float(base.n_cells),
+        "n_cells_variant": float(variant.n_cells),
+    }
+    if type(base) is not type(variant):
+        return _fail(
+            metrics,
+            f"dataset kinds differ: {type(base).__name__} vs {type(variant).__name__}",
+        )
+    if base.n_points != variant.n_points or base.n_cells != variant.n_cells:
+        return _fail(
+            metrics,
+            f"topology differs: {base.n_points} pts / {base.n_cells} cells vs "
+            f"{variant.n_points} pts / {variant.n_cells} cells",
+        )
+    if base.n_points:
+        expected = base.get_points() * float(scale) + np.asarray(offset, dtype=np.float64)
+        actual = variant.get_points()
+        delta = float(np.max(np.abs(actual - expected)))
+        metrics["max_point_delta"] = delta
+        if not np.allclose(actual, expected, atol=atol, rtol=rtol):
+            return _fail(
+                metrics,
+                f"mapped geometry differs: max |Δp| = {delta:.3g} "
+                f"(atol={atol:.1g}, rtol={rtol:.1g})",
+            )
+    if compare_arrays:
+        base_names = sorted(base.point_data.names())
+        variant_names = sorted(variant.point_data.names())
+        if base_names != variant_names:
+            return _fail(metrics, f"point arrays differ: {base_names} vs {variant_names}")
+        for name in base_names:
+            a = np.asarray(base.point_data[name].values, dtype=np.float64)
+            b = np.asarray(variant.point_data[name].values, dtype=np.float64)
+            if a.shape != b.shape or not np.allclose(a, b, atol=atol, rtol=rtol, equal_nan=True):
+                delta = float(np.max(np.abs(a - b))) if a.shape == b.shape else float("nan")
+                metrics[f"array_delta_{name}"] = delta
+                return _fail(
+                    metrics, f"point array {name!r} differs (max |Δ| = {delta:.3g})"
+                )
+    return ComparatorResult(ok=True, metrics=metrics)
+
+
+def point_sets_close(
+    a: Dataset,
+    b: Dataset,
+    max_distance: float = 1e-6,
+) -> ComparatorResult:
+    """Symmetric nearest-neighbour (Hausdorff) agreement of two point sets.
+
+    The exact reorder relations produce the *same geometric set* through two
+    different code paths that tessellate (and hence enumerate) it differently
+    — so point lists are incomparable but every point of one output must lie
+    on the other.  Distances are measured both ways through a KD-tree.
+    """
+    from scipy.spatial import cKDTree
+
+    metrics: Dict[str, float] = {
+        "n_points_a": float(a.n_points),
+        "n_points_b": float(b.n_points),
+    }
+    if a.n_points == 0 and b.n_points == 0:
+        return _fail(metrics, "both orderings produced empty outputs")
+    if a.n_points == 0 or b.n_points == 0:
+        return _fail(metrics, f"one ordering is empty: {a.n_points} vs {b.n_points} points")
+    pa = a.get_points()
+    pb = b.get_points()
+    d_ab = float(np.max(cKDTree(pb).query(pa, k=1)[0]))
+    d_ba = float(np.max(cKDTree(pa).query(pb, k=1)[0]))
+    metrics["hausdorff"] = max(d_ab, d_ba)
+    if metrics["hausdorff"] > max_distance:
+        return _fail(
+            metrics,
+            f"point sets diverge: symmetric distance {metrics['hausdorff']:.3g} "
+            f"> {max_distance:.3g}",
+        )
+    return ComparatorResult(ok=True, metrics=metrics)
+
+
+def dataset_stats_close(
+    a: Dataset,
+    b: Dataset,
+    bounds_atol: Optional[float] = None,
+    centroid_atol: float = 0.15,
+    max_point_ratio_delta: Optional[float] = None,
+) -> ComparatorResult:
+    """Loose structural agreement for near-commuting filter reorderings.
+
+    Cut-cell filters (``Clip``) and whole-cell filters (``Threshold``) only
+    commute up to boundary fragments — and the two orderings may even
+    tessellate the shared region differently (tetrahedralized fragments vs
+    intact hexahedra) — so raw point/cell counts are *not* comparable.  This
+    compares the coarse spatial structure instead: both outputs non-empty
+    and point centroids within ``centroid_atol``.  That still catches the
+    regressions reorderings are prone to (inverted keep-sides, sign-flipped
+    normals, dropped inputs), each of which moves the kept region by a large
+    fraction of the domain.  ``bounds_atol``/``max_point_ratio_delta`` opt
+    back into the tighter checks for orderings known to preserve bounds or
+    tessellation (extrema are brittle under whole-cell semantics on an
+    oscillatory field — a single surviving far-away fragment moves them).
+    """
+    metrics: Dict[str, float] = {
+        "n_points_a": float(a.n_points),
+        "n_points_b": float(b.n_points),
+    }
+    if a.n_points == 0 and b.n_points == 0:
+        return _fail(metrics, "both orderings produced empty outputs")
+    if a.n_points == 0 or b.n_points == 0:
+        return _fail(metrics, f"one ordering is empty: {a.n_points} vs {b.n_points} points")
+    if max_point_ratio_delta is not None:
+        ratio = abs(a.n_points - b.n_points) / max(a.n_points, b.n_points)
+        metrics["point_ratio_delta"] = ratio
+        if ratio > max_point_ratio_delta:
+            return _fail(
+                metrics,
+                f"point counts diverge: {a.n_points} vs {b.n_points} "
+                f"(ratio delta {ratio:.3f} > {max_point_ratio_delta:.3f})",
+            )
+    if bounds_atol is not None:
+        ba = np.asarray(a.bounds().as_tuple())
+        bb = np.asarray(b.bounds().as_tuple())
+        delta = float(np.max(np.abs(ba - bb)))
+        metrics["bounds_delta"] = delta
+        if delta > bounds_atol:
+            return _fail(metrics, f"bounds diverge: max |Δ| = {delta:.3g} > {bounds_atol:.3g}")
+    centroid_delta = float(
+        np.max(np.abs(a.get_points().mean(axis=0) - b.get_points().mean(axis=0)))
+    )
+    metrics["centroid_delta"] = centroid_delta
+    if centroid_delta > centroid_atol:
+        return _fail(
+            metrics,
+            f"centroids diverge: max |Δ| = {centroid_delta:.3g} > {centroid_atol:.3g}",
+        )
+    return ComparatorResult(ok=True, metrics=metrics)

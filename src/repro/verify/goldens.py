@@ -1,0 +1,240 @@
+"""The content-addressed golden-artifact store.
+
+Metamorphic pairs are blind to *symmetric* regressions — a bug that skews
+the base and the variant identically cancels out of every pairwise relation.
+The golden store closes that hole: for each scenario (at a given verify
+resolution) it keeps
+
+* the rendered screenshot as a compressed NPZ array under
+  ``images/<sha1-of-pixels>.npz``, and
+* the canonical ground-truth script under ``scripts/<sha1-of-text>.py``,
+
+both content-addressed (identical artifacts share one file), with a human-
+editable ``index.json`` mapping ``<scenario key>@<WxH>`` to the digests.
+Comparison is tolerance-aware — images through
+:mod:`repro.eval.image_metrics` (tiny float drift across NumPy versions must
+not fail the suite), scripts through
+:func:`repro.eval.script_metrics.compare_scripts` (semantic call coverage)
+with a unified text diff in the mismatch summary.
+
+``repro verify update-goldens`` regenerates the store; index writes are
+atomic (write-then-rename) so a killed update never corrupts it.
+"""
+
+from __future__ import annotations
+
+import difflib
+import hashlib
+import io
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.eval.script_metrics import compare_scripts
+from repro.scenarios.spec import Scenario
+from repro.verify.comparators import ComparatorResult, compare_images
+
+__all__ = ["GoldenEntry", "GoldenStore", "GOLDEN_MAX_MSE", "GOLDEN_MIN_SSIM"]
+
+#: image tolerances for golden comparison (tight, but float-drift tolerant)
+GOLDEN_MAX_MSE = 1e-5
+GOLDEN_MIN_SSIM = 0.98
+
+
+@dataclass(frozen=True)
+class GoldenEntry:
+    """One stored golden: scenario identity plus artifact digests."""
+
+    key: str
+    scenario: str
+    resolution: Optional[Tuple[int, int]]
+    image_digest: str
+    script_digest: str
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "resolution": list(self.resolution) if self.resolution else None,
+            "image": self.image_digest,
+            "script": self.script_digest,
+        }
+
+
+def _image_digest(image: np.ndarray) -> str:
+    image = np.ascontiguousarray(image)
+    hasher = hashlib.sha1()
+    hasher.update(repr((image.shape, str(image.dtype))).encode("utf-8"))
+    hasher.update(image.tobytes())
+    return hasher.hexdigest()
+
+
+def _script_digest(script: str) -> str:
+    return hashlib.sha1(script.encode("utf-8")).hexdigest()
+
+
+class GoldenStore:
+    """Content-addressed golden artifacts under one root directory."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.index_path = self.root / "index.json"
+        self.images_dir = self.root / "images"
+        self.scripts_dir = self.root / "scripts"
+
+    # ------------------------------------------------------------------ #
+    # index plumbing
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def entry_key(scenario: Scenario, resolution: Optional[Tuple[int, int]]) -> str:
+        if resolution:
+            return f"{scenario.key()}@{int(resolution[0])}x{int(resolution[1])}"
+        return scenario.key()
+
+    def _load_index(self) -> Dict[str, Dict[str, Any]]:
+        if not self.index_path.exists():
+            return {}
+        try:
+            return json.loads(self.index_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            # never degrade silently into "no goldens stored" — that would
+            # disable the symmetric-drift protection without a trace
+            raise ValueError(
+                f"golden index {self.index_path} is corrupt ({exc}); delete it "
+                "and re-run `repro verify update-goldens`"
+            ) from exc
+
+    def _write_index(self, index: Dict[str, Dict[str, Any]]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.index_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(index, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+        os.replace(tmp, self.index_path)
+
+    def __len__(self) -> int:
+        return len(self._load_index())
+
+    # ------------------------------------------------------------------ #
+    # lookup / update
+    # ------------------------------------------------------------------ #
+    def lookup(
+        self, scenario: Scenario, resolution: Optional[Tuple[int, int]] = None
+    ) -> Optional[GoldenEntry]:
+        key = self.entry_key(scenario, resolution)
+        raw = self._load_index().get(key)
+        if raw is None:
+            return None
+        return GoldenEntry(
+            key=key,
+            scenario=raw.get("scenario", scenario.name),
+            resolution=tuple(raw["resolution"]) if raw.get("resolution") else None,
+            image_digest=raw["image"],
+            script_digest=raw["script"],
+        )
+
+    def update(
+        self,
+        scenario: Scenario,
+        image: np.ndarray,
+        script: str,
+        resolution: Optional[Tuple[int, int]] = None,
+    ) -> GoldenEntry:
+        """Store (or replace) the goldens for one scenario/resolution."""
+        image = np.asarray(image)
+        image_digest = _image_digest(image)
+        script_digest = _script_digest(script)
+
+        self.images_dir.mkdir(parents=True, exist_ok=True)
+        image_path = self.images_dir / f"{image_digest}.npz"
+        if not image_path.exists():
+            buffer = io.BytesIO()
+            np.savez_compressed(buffer, image=image)
+            tmp = image_path.with_suffix(".npz.tmp")
+            tmp.write_bytes(buffer.getvalue())
+            os.replace(tmp, image_path)
+
+        self.scripts_dir.mkdir(parents=True, exist_ok=True)
+        script_path = self.scripts_dir / f"{script_digest}.py"
+        if not script_path.exists():
+            tmp = script_path.with_suffix(".py.tmp")
+            tmp.write_text(script, encoding="utf-8")
+            os.replace(tmp, script_path)
+
+        entry = GoldenEntry(
+            key=self.entry_key(scenario, resolution),
+            scenario=scenario.name,
+            resolution=tuple(resolution) if resolution else None,
+            image_digest=image_digest,
+            script_digest=script_digest,
+        )
+        index = self._load_index()
+        index[entry.key] = entry.as_dict()
+        self._write_index(index)
+        return entry
+
+    def load_image(self, entry: GoldenEntry) -> np.ndarray:
+        path = self.images_dir / f"{entry.image_digest}.npz"
+        with np.load(path) as data:
+            return data["image"]
+
+    def load_script(self, entry: GoldenEntry) -> str:
+        return (self.scripts_dir / f"{entry.script_digest}.py").read_text(encoding="utf-8")
+
+    # ------------------------------------------------------------------ #
+    # comparison
+    # ------------------------------------------------------------------ #
+    def compare(
+        self,
+        entry: GoldenEntry,
+        image: np.ndarray,
+        script: str,
+        max_mse: float = GOLDEN_MAX_MSE,
+        min_ssim: float = GOLDEN_MIN_SSIM,
+    ) -> ComparatorResult:
+        """Tolerance-aware comparison of fresh artifacts against a golden."""
+        image = np.asarray(image)
+        problems = []
+        metrics: Dict[str, float] = {}
+
+        golden_image = self.load_image(entry)
+        metrics["image_identical"] = float(
+            golden_image.shape == image.shape and np.array_equal(golden_image, image)
+        )
+        if not metrics["image_identical"]:
+            image_result = compare_images(
+                golden_image, image, max_mse=max_mse, min_ssim=min_ssim
+            )
+            metrics.update(image_result.metrics)
+            if not image_result.ok:
+                problems.append(f"image drifted from golden: {image_result.details}")
+
+        golden_script = self.load_script(entry)
+        if script != golden_script:
+            comparison = compare_scripts(script, golden_script)
+            metrics["script_coverage"] = comparison.operation_coverage
+            diff = "\n".join(
+                difflib.unified_diff(
+                    golden_script.splitlines(),
+                    script.splitlines(),
+                    fromfile="golden",
+                    tofile="current",
+                    lineterm="",
+                    n=1,
+                )
+            )
+            if (
+                comparison.operation_coverage < 1.0
+                or comparison.extra_calls
+                or comparison.candidate.has_hallucinations
+            ):
+                problems.append(
+                    f"canonical script drifted semantically ({comparison.summary()}):\n{diff}"
+                )
+        else:
+            metrics["script_coverage"] = 1.0
+
+        if problems:
+            return ComparatorResult(ok=False, metrics=metrics, details="; ".join(problems))
+        return ComparatorResult(ok=True, metrics=metrics)

@@ -1,0 +1,281 @@
+"""Execution plumbing for the verification relations.
+
+Two substrates, both routed through the shared engine cache so variant pairs
+that share a pipeline prefix compute it once:
+
+* **script level** — the scenario's canonical ground-truth script runs
+  through :class:`~repro.pvsim.executor.PvPythonExecutor` (optionally with
+  variant lines injected right before ``SaveScreenshot``), producing the
+  screenshot the image relations compare;
+* **engine level** — the scenario's structured operation chain runs through
+  :class:`repro.engine.Pipeline` on the pvsim engine, over an (optionally
+  affine-transformed) in-memory input dataset, producing the output dataset
+  the commutation relations compare.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.algorithms.transform import scale_dataset, transform_point, translate_dataset
+from repro.core.tasks import prepare_task_data
+from repro.datamodel import Dataset
+from repro.engine import Pipeline
+from repro.engine.cache import ResultCache
+from repro.eval.ground_truth import ground_truth_script
+from repro.io.png import read_png
+from repro.pvsim.executor import ExecutionResult, PvPythonExecutor
+from repro.pvsim.pipeline import pvsim_engine
+from repro.scenarios.spec import OperationStep, Scenario
+
+__all__ = [
+    "GEOMETRIC_KINDS",
+    "ScriptRun",
+    "apply_operation_chain",
+    "inject_before_screenshot",
+    "isolated_engine_cache",
+    "load_scenario_dataset",
+    "run_scenario_script",
+    "scenario_script",
+    "transformed_input",
+]
+
+#: operation kinds the engine-level commutation relations can interpret
+GEOMETRIC_KINDS = ("isosurface", "contour", "slice", "clip", "threshold")
+
+#: non-structural operation kinds silently skipped by the chain interpreter
+_DISPLAY_KINDS = ("color", "color_by", "wireframe")
+
+_AXIS_NORMALS = {"x": [1.0, 0.0, 0.0], "y": [0.0, 1.0, 0.0], "z": [0.0, 0.0, 1.0]}
+
+
+# --------------------------------------------------------------------------- #
+# script level
+# --------------------------------------------------------------------------- #
+@dataclass
+class ScriptRun:
+    """One executed canonical script plus its decoded screenshot."""
+
+    result: ExecutionResult
+    image: Optional[np.ndarray]
+    screenshot_path: Optional[Path]
+
+    @property
+    def ok(self) -> bool:
+        return self.result.success and self.image is not None
+
+
+def inject_before_screenshot(script: str, lines: Sequence[str]) -> str:
+    """Insert ``lines`` immediately before the first ``SaveScreenshot`` call.
+
+    Every script our ground-truth builders emit saves its screenshot through
+    a top-level ``SaveScreenshot(...)`` statement (a contract the verify
+    tests pin), which makes this the reliable seam for camera/viewport
+    variants: the whole pipeline and camera setup has happened, the render
+    has not.
+    """
+    if not lines:
+        return script
+    out = []
+    injected = False
+    for line in script.splitlines():
+        if not injected and line.lstrip().startswith("SaveScreenshot"):
+            out.extend(lines)
+            injected = True
+        out.append(line)
+    if not injected:
+        raise ValueError("script has no SaveScreenshot call to inject before")
+    return "\n".join(out) + ("\n" if script.endswith("\n") else "")
+
+
+def scenario_script(
+    scenario: Scenario, resolution: Optional[Tuple[int, int]] = None
+) -> str:
+    """The scenario's canonical ground-truth script at ``resolution``."""
+    return ground_truth_script(scenario.task, resolution=resolution)
+
+
+def run_scenario_script(
+    scenario: Scenario,
+    working_dir: Union[str, Path],
+    resolution: Optional[Tuple[int, int]] = None,
+    extra_lines: Sequence[str] = (),
+    script: Optional[str] = None,
+    small_data: bool = True,
+    script_name: str = "verify_script.py",
+) -> ScriptRun:
+    """Prepare data and run the scenario's canonical script in ``working_dir``."""
+    working_dir = Path(working_dir)
+    prepare_task_data(scenario.task, working_dir, small=small_data)
+    text = script if script is not None else scenario_script(scenario, resolution)
+    if extra_lines:
+        text = inject_before_screenshot(text, list(extra_lines))
+    executor = PvPythonExecutor(working_dir=working_dir)
+    result = executor.run(text, script_name=script_name)
+    image = None
+    screenshot_path = None
+    if result.screenshots:
+        screenshot_path = Path(result.screenshots[0])
+        image = read_png(screenshot_path)
+    return ScriptRun(result=result, image=image, screenshot_path=screenshot_path)
+
+
+# --------------------------------------------------------------------------- #
+# engine level
+# --------------------------------------------------------------------------- #
+def load_scenario_dataset(
+    scenario: Scenario, working_dir: Union[str, Path], small_data: bool = True
+) -> Dataset:
+    """Materialize and read the scenario's (first) input dataset."""
+    from repro.io import open_data_file
+
+    paths = prepare_task_data(scenario.task, working_dir, small=small_data)
+    if not paths:
+        raise ValueError(f"scenario {scenario.name!r} has no input data files")
+    return open_data_file(paths[0])
+
+
+def apply_operation_chain(
+    dataset: Dataset,
+    steps: Sequence[OperationStep],
+    offset: Sequence[float] = (0.0, 0.0, 0.0),
+    scale: float = 1.0,
+    isovalue_shift: float = 0.0,
+) -> Dataset:
+    """Run a structured operation chain through the engine on ``dataset``.
+
+    ``offset``/``scale`` describe the affine transform already applied to the
+    input dataset; positional parameters (slice/clip origins) are pushed
+    through the same map so the chain expresses *the transformed pipeline*.
+    ``isovalue_shift`` is added to contour/isosurface values (the scalar-shift
+    relation transforms the field and the isovalue together).
+
+    Runs on the pvsim engine, so results land in (and are served from) the
+    same shared tiered cache the script-level relations use.
+    """
+    pipeline = Pipeline(engine=pvsim_engine())
+    handle = pipeline.dataset(dataset)
+    for step in steps:
+        kind = step.kind
+        if kind in _DISPLAY_KINDS:
+            continue
+        if kind in ("isosurface", "contour"):
+            array = step.get("array") or ""
+            value = float(step.get("value", 0.5)) + float(isovalue_shift)
+            handle = handle.then(
+                "Contour", ContourBy=["POINTS", array], Isosurfaces=[value]
+            )
+        elif kind == "slice":
+            axis = step.get("normal_axis", "x")
+            origin = _plane_origin(axis, step.get("position", 0.0), offset, scale)
+            handle = handle.then(
+                "Slice", SliceType={"Origin": origin, "Normal": list(_AXIS_NORMALS[axis])}
+            )
+        elif kind == "clip":
+            axis = step.get("normal_axis", "x")
+            origin = _plane_origin(axis, step.get("position", 0.0), offset, scale)
+            handle = handle.then(
+                "Clip",
+                ClipType={"Origin": origin, "Normal": list(_AXIS_NORMALS[axis])},
+                Invert=1 if step.get("keep_side", "-") == "-" else 0,
+            )
+        elif kind == "threshold":
+            handle = handle.then(
+                "Threshold",
+                Scalars=["POINTS", step.get("array") or ""],
+                LowerThreshold=float(step.get("lower", 0.0)),
+                UpperThreshold=float(step.get("upper", 1.0)),
+            )
+        else:
+            raise ValueError(
+                f"operation kind {kind!r} is outside the engine-level subset "
+                f"{GEOMETRIC_KINDS}"
+            )
+    return handle.evaluate()
+
+
+def _plane_origin(axis: str, position, offset, scale) -> list:
+    base = [0.0, 0.0, 0.0]
+    base["xyz".index(axis)] = float(position)
+    return transform_point(base, offset=offset, scale=scale)
+
+
+def transformed_input(
+    dataset: Dataset, offset: Sequence[float] = (0.0, 0.0, 0.0), scale: float = 1.0
+) -> Dataset:
+    """``dataset`` scaled then translated (the map ``p -> p * scale + offset``)."""
+    out = dataset
+    if float(scale) != 1.0:
+        out = scale_dataset(out, scale)
+    if any(float(v) != 0.0 for v in offset):
+        out = translate_dataset(out, offset)
+    elif out is dataset:
+        out = copy.deepcopy(dataset)
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# cache isolation (the differential cache relation + the mutation tests)
+# --------------------------------------------------------------------------- #
+_ENGINE_CACHE_LOCK = threading.RLock()
+
+
+class _ThreadIsolatedCache:
+    """A cache facade that isolates exactly one thread from the shared cache.
+
+    The owning thread sees a fresh, empty :class:`ResultCache`; every other
+    thread is passed straight through to the cache that was installed before
+    the swap.  This is what makes :func:`isolated_engine_cache` safe under a
+    parallel verify run: concurrent cells on other threads neither lose
+    their cache hits nor *pollute the isolated view* (a concurrent cell
+    executing the same pipeline must not hand the isolated thread warm
+    results, or the cache-parity relation would compare cached-vs-cached and
+    conclude the differential oracle never recomputed anything).
+    """
+
+    def __init__(self, fallback) -> None:
+        self.fallback = fallback
+        self.fresh = ResultCache()
+        self._owner = threading.get_ident()
+
+    def _target(self):
+        return self.fresh if threading.get_ident() == self._owner else self.fallback
+
+    def get(self, key):
+        return self._target().get(key)
+
+    def put(self, key, value) -> None:
+        self._target().put(key, value)
+
+    def clear(self) -> None:  # pragma: no cover - defensive completeness
+        self.fresh.clear()
+
+
+@contextmanager
+def isolated_engine_cache() -> Iterator[ResultCache]:
+    """Evaluate with a fresh, empty, private result cache on the pvsim engine.
+
+    Forces genuine re-execution of every pipeline node *on the calling
+    thread*, which is what lets the cache-parity relation compare "served
+    from the tiered cache" against "recomputed from scratch".  Other threads
+    keep using (and filling) the previously-installed cache through the
+    :class:`_ThreadIsolatedCache` facade, so concurrent verify cells are
+    unaffected.  Nested isolation on the same engine is serialized by the
+    module lock.
+    """
+    engine = pvsim_engine()
+    with _ENGINE_CACHE_LOCK:
+        previous = engine.cache
+        isolated = _ThreadIsolatedCache(previous)
+        engine.cache = isolated
+        try:
+            yield isolated.fresh
+        finally:
+            engine.cache = previous

@@ -1,0 +1,661 @@
+"""The metamorphic-relation registry and the built-in relations.
+
+A *metamorphic relation* states how a controlled change to a scenario's
+input or view must (or must not) change the output, without appealing to an
+external ground truth: rotate the camera a few degrees and the image
+statistics stay close; translate the dataset and the contour translates with
+it; recompute without the cache and the pixels match bit-for-bit.  Each
+relation multiplies every scenario it applies to into a cross-checked
+variant pair, which is what lets the suite detect silent regressions in the
+algorithms/rendering substrate that a single fixed oracle per scenario would
+absorb.
+
+Relations are declared with :func:`register_relation`::
+
+    @register_relation(
+        "camera-azimuth",
+        description="a small azimuth orbit keeps image statistics close",
+    )
+    def _camera_azimuth(ctx: RelationContext) -> RelationOutcome:
+        ...
+
+and discovered through :func:`get_relation` / :func:`relations_for`.  Checks
+receive a :class:`RelationContext` and return a :class:`RelationOutcome`;
+they run inside :func:`repro.verify.runner.run_verify_cell`, so everything
+here must stay picklable-by-name (module-level functions, plain-data
+context) for the process batch executor.
+
+**Mutation seam.**  :func:`inject_mutation` deliberately skews the *variant*
+side of the commutation relations (e.g. an isovalue off-by-one-bin).  It
+exists so the test suite can prove the oracle is able to fail — a
+verification layer whose relations cannot be violated verifies nothing.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.scenarios.spec import OperationStep, Scenario
+from repro.verify.comparators import (
+    ComparatorResult,
+    compare_images,
+    dataset_stats_close,
+    datasets_close,
+    images_identical,
+    point_sets_close,
+)
+from repro.verify.pipelines import (
+    GEOMETRIC_KINDS,
+    apply_operation_chain,
+    isolated_engine_cache,
+    load_scenario_dataset,
+    run_scenario_script,
+    scenario_script,
+    transformed_input,
+)
+
+__all__ = [
+    "MetamorphicRelation",
+    "RelationContext",
+    "RelationOutcome",
+    "all_relations",
+    "get_relation",
+    "inject_mutation",
+    "mutation_value",
+    "register_relation",
+    "relation_names",
+    "relations_for",
+]
+
+
+# --------------------------------------------------------------------------- #
+# tolerances (module-level so tests and docs can reference them)
+# --------------------------------------------------------------------------- #
+AZIMUTH_DEGREES = 10.0
+ELEVATION_DEGREES = 8.0
+CAMERA_MIN_HISTOGRAM = 0.45
+CAMERA_MAX_COVERAGE_DELTA = 0.10
+RESCALE_FACTOR = 2
+RESCALE_MIN_SSIM = 0.55
+TRANSLATE_OFFSET = (0.375, -0.25, 0.5)
+SCALE_FACTOR = 1.5
+SCALAR_SHIFT = 0.3125
+COMMUTE_ATOL = 1e-8
+
+
+@dataclass
+class RelationOutcome:
+    """Verdict of one relation check on one scenario."""
+
+    violation: bool
+    skipped: bool = False
+    details: str = ""
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def ok(cls, details: str = "", metrics: Optional[Dict[str, float]] = None) -> "RelationOutcome":
+        return cls(violation=False, details=details, metrics=metrics or {})
+
+    @classmethod
+    def violated(cls, details: str, metrics: Optional[Dict[str, float]] = None) -> "RelationOutcome":
+        return cls(violation=True, details=details, metrics=metrics or {})
+
+    @classmethod
+    def skip(cls, details: str) -> "RelationOutcome":
+        return cls(violation=False, skipped=True, details=details)
+
+    @classmethod
+    def from_comparison(cls, comparison: ComparatorResult, label: str) -> "RelationOutcome":
+        if comparison.ok:
+            return cls.ok(metrics=comparison.metrics)
+        return cls.violated(f"{label}: {comparison.details}", metrics=comparison.metrics)
+
+
+@dataclass
+class RelationContext:
+    """Everything a relation check needs (plain data: crosses process pools)."""
+
+    scenario: Scenario
+    cell_dir: Path
+    resolution: Optional[Tuple[int, int]] = None
+    small_data: bool = True
+    goldens_dir: Optional[Path] = None
+
+    def subdir(self, name: str) -> Path:
+        path = self.cell_dir / name
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+
+@dataclass(frozen=True)
+class MetamorphicRelation:
+    """One registered relation: a check plus its applicability predicate.
+
+    ``store_token`` lets a relation fold external-artifact state into its
+    verdict-cell identity: the runner calls it per (scenario, resolution,
+    goldens_dir) and mixes the result into the cell key, so a verdict
+    recorded against one state of the artifacts is *not* reused after they
+    change (e.g. the golden relation must re-run after ``update-goldens``).
+    """
+
+    name: str
+    check: Callable[[RelationContext], RelationOutcome]
+    description: str = ""
+    applies: Callable[[Scenario], bool] = lambda scenario: True
+    store_token: Optional[Callable[[Scenario, Optional[Tuple[int, int]], Optional[Path]], object]] = None
+
+    def run(self, ctx: RelationContext) -> RelationOutcome:
+        return self.check(ctx)
+
+
+_REGISTRY: Dict[str, MetamorphicRelation] = {}
+
+
+def register_relation(
+    name: str,
+    description: str = "",
+    applies: Optional[Callable[[Scenario], bool]] = None,
+    store_token: Optional[Callable] = None,
+):
+    """Class decorator registering a check function as a named relation."""
+
+    def decorator(check: Callable[[RelationContext], RelationOutcome]):
+        if name in _REGISTRY:
+            raise ValueError(f"relation {name!r} is already registered")
+        _REGISTRY[name] = MetamorphicRelation(
+            name=name,
+            check=check,
+            description=description,
+            applies=applies or (lambda scenario: True),
+            store_token=store_token,
+        )
+        return check
+
+    return decorator
+
+
+def get_relation(name: str) -> MetamorphicRelation:
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown relation {name!r}; available: {relation_names()}")
+    return _REGISTRY[name]
+
+
+def all_relations() -> List[MetamorphicRelation]:
+    return list(_REGISTRY.values())
+
+
+def relation_names() -> List[str]:
+    return list(_REGISTRY)
+
+
+def relations_for(scenario: Scenario) -> List[MetamorphicRelation]:
+    """The relations applicable to ``scenario``.
+
+    A scenario carrying an explicit ``relations`` axis (from its spec) gets
+    exactly those; otherwise every registered relation whose ``applies``
+    predicate accepts the scenario.
+    """
+    if scenario.relations:
+        return [get_relation(name) for name in scenario.relations]
+    return [relation for relation in _REGISTRY.values() if relation.applies(scenario)]
+
+
+# --------------------------------------------------------------------------- #
+# the mutation seam (tests only — production value is always 0.0)
+# --------------------------------------------------------------------------- #
+_MUTATIONS: Dict[str, float] = {}
+_MUTATION_LOCK = threading.Lock()
+
+
+def mutation_value(name: str) -> float:
+    """The injected skew for ``name`` (0.0 unless a test injected one)."""
+    return _MUTATIONS.get(name, 0.0)
+
+
+@contextmanager
+def inject_mutation(name: str, value: float) -> Iterator[None]:
+    """Temporarily skew one variant parameter (see the module docstring)."""
+    with _MUTATION_LOCK:
+        _MUTATIONS[name] = float(value)
+    try:
+        yield
+    finally:
+        with _MUTATION_LOCK:
+            _MUTATIONS.pop(name, None)
+
+
+# --------------------------------------------------------------------------- #
+# applicability predicates
+# --------------------------------------------------------------------------- #
+def _geometric_kinds(scenario: Scenario) -> List[str]:
+    return scenario.structural_kinds()
+
+
+def _is_geometric(scenario: Scenario) -> bool:
+    kinds = _geometric_kinds(scenario)
+    return bool(kinds) and all(kind in GEOMETRIC_KINDS for kind in kinds)
+
+
+def _has_contour(scenario: Scenario) -> bool:
+    return _is_geometric(scenario) and any(
+        op.kind in ("isosurface", "contour") for op in scenario.operations
+    ) and not any(op.kind == "threshold" for op in scenario.operations)
+
+
+def _is_surface_chain(scenario: Scenario) -> bool:
+    """Chains whose output is level-set geometry (no whole-cell semantics)."""
+    kinds = _geometric_kinds(scenario)
+    return (
+        bool(kinds)
+        and all(kind in ("isosurface", "contour", "slice", "clip") for kind in kinds)
+        and any(kind in ("isosurface", "contour", "slice") for kind in kinds)
+    )
+
+
+def _is_scalar_volume(scenario: Scenario) -> bool:
+    return scenario.dataset.endswith(".vtk")
+
+
+# --------------------------------------------------------------------------- #
+# script-level helpers
+# --------------------------------------------------------------------------- #
+def _failed_run(label: str, run) -> RelationOutcome:
+    result = run.result
+    if not result.success:
+        return RelationOutcome.violated(
+            f"{label} script failed: {result.error_type}: {result.error_message}"
+        )
+    return RelationOutcome.violated(f"{label} script produced no screenshot")
+
+
+def _script_pair(
+    ctx: RelationContext,
+    variant_lines: Sequence[str] = (),
+    variant_script: Optional[str] = None,
+) -> Tuple[Optional[RelationOutcome], Optional["object"], Optional["object"]]:
+    """Run the canonical script and a variant; returns (error, base, variant)."""
+    base = run_scenario_script(
+        ctx.scenario, ctx.subdir("base"), resolution=ctx.resolution, small_data=ctx.small_data
+    )
+    if not base.ok:
+        return _failed_run("base", base), None, None
+    variant = run_scenario_script(
+        ctx.scenario,
+        ctx.subdir("variant"),
+        resolution=ctx.resolution,
+        extra_lines=variant_lines,
+        script=variant_script,
+        small_data=ctx.small_data,
+    )
+    if not variant.ok:
+        return _failed_run("variant", variant), None, None
+    return None, base, variant
+
+
+# --------------------------------------------------------------------------- #
+# built-in relations
+# --------------------------------------------------------------------------- #
+@register_relation(
+    "camera-azimuth",
+    description=(
+        f"an {AZIMUTH_DEGREES:g}° azimuth orbit keeps foreground coverage and the "
+        "luminance histogram within tolerance"
+    ),
+)
+def _camera_azimuth(ctx: RelationContext) -> RelationOutcome:
+    return _camera_orbit(ctx, "Azimuth", AZIMUTH_DEGREES)
+
+
+@register_relation(
+    "camera-elevation",
+    description=(
+        f"an {ELEVATION_DEGREES:g}° elevation orbit keeps foreground coverage and the "
+        "luminance histogram within tolerance"
+    ),
+)
+def _camera_elevation(ctx: RelationContext) -> RelationOutcome:
+    return _camera_orbit(ctx, "Elevation", ELEVATION_DEGREES)
+
+
+def _camera_orbit(ctx: RelationContext, method: str, degrees: float) -> RelationOutcome:
+    error, base, variant = _script_pair(
+        ctx,
+        variant_lines=[
+            "_verify_camera = GetActiveCamera()",
+            f"_verify_camera.{method}({degrees!r})",
+        ],
+    )
+    if error is not None:
+        return error
+    comparison = compare_images(
+        base.image,
+        variant.image,
+        min_histogram=CAMERA_MIN_HISTOGRAM,
+        max_coverage_delta=CAMERA_MAX_COVERAGE_DELTA,
+    )
+    return RelationOutcome.from_comparison(comparison, f"{method.lower()} {degrees:g}°")
+
+
+@register_relation(
+    "resolution-rescale",
+    description=(
+        f"rendering at {RESCALE_FACTOR}x resolution preserves structural similarity "
+        "after downsampling"
+    ),
+)
+def _resolution_rescale(ctx: RelationContext) -> RelationOutcome:
+    task = ctx.scenario.task
+    width, height = ctx.resolution or task.resolution
+    hi_resolution = (width * RESCALE_FACTOR, height * RESCALE_FACTOR)
+    base = run_scenario_script(
+        ctx.scenario, ctx.subdir("base"), resolution=ctx.resolution, small_data=ctx.small_data
+    )
+    if not base.ok:
+        return _failed_run("base", base)
+    hi = run_scenario_script(
+        ctx.scenario,
+        ctx.subdir("hi"),
+        resolution=hi_resolution,
+        script=scenario_script(ctx.scenario, hi_resolution),
+        small_data=ctx.small_data,
+    )
+    if not hi.ok:
+        return _failed_run(f"{RESCALE_FACTOR}x", hi)
+    comparison = compare_images(base.image, hi.image, min_ssim=RESCALE_MIN_SSIM)
+    return RelationOutcome.from_comparison(
+        comparison, f"{width}x{height} vs {hi_resolution[0]}x{hi_resolution[1]}"
+    )
+
+
+@register_relation(
+    "repeat-determinism",
+    description="two fresh sessions render bit-identical screenshots",
+)
+def _repeat_determinism(ctx: RelationContext) -> RelationOutcome:
+    first = run_scenario_script(
+        ctx.scenario, ctx.subdir("first"), resolution=ctx.resolution, small_data=ctx.small_data
+    )
+    if not first.ok:
+        return _failed_run("first", first)
+    second = run_scenario_script(
+        ctx.scenario, ctx.subdir("second"), resolution=ctx.resolution, small_data=ctx.small_data
+    )
+    if not second.ok:
+        return _failed_run("second", second)
+    comparison = images_identical(first.image, second.image)
+    return RelationOutcome.from_comparison(comparison, "repeat run")
+
+
+@register_relation(
+    "cache-parity",
+    description=(
+        "rendering through the shared tiered cache and recomputing every node "
+        "from scratch produce bit-identical screenshots"
+    ),
+)
+def _cache_parity(ctx: RelationContext) -> RelationOutcome:
+    cached = run_scenario_script(
+        ctx.scenario, ctx.subdir("cached"), resolution=ctx.resolution, small_data=ctx.small_data
+    )
+    if not cached.ok:
+        return _failed_run("cached", cached)
+    with isolated_engine_cache():
+        uncached = run_scenario_script(
+            ctx.scenario,
+            ctx.subdir("uncached"),
+            resolution=ctx.resolution,
+            small_data=ctx.small_data,
+        )
+    if not uncached.ok:
+        return _failed_run("uncached", uncached)
+    comparison = images_identical(cached.image, uncached.image)
+    outcome = RelationOutcome.from_comparison(comparison, "cache-on vs cache-off")
+    outcome.metrics["uncached_nodes_executed"] = float(uncached.result.nodes_executed)
+    if not outcome.violation and uncached.result.nodes_executed == 0:
+        return RelationOutcome.violated(
+            "the isolated-cache run executed zero pipeline nodes — the differential "
+            "oracle never actually recomputed anything",
+            metrics=outcome.metrics,
+        )
+    return outcome
+
+
+@register_relation(
+    "translate-commute",
+    description="translating the dataset commutes with contour/slice/clip/threshold",
+    applies=_is_geometric,
+)
+def _translate_commute(ctx: RelationContext) -> RelationOutcome:
+    return _affine_commute(ctx, offset=TRANSLATE_OFFSET, scale=1.0)
+
+
+@register_relation(
+    "scale-commute",
+    description="uniformly scaling the dataset commutes with contour/slice/clip/threshold",
+    applies=_is_geometric,
+)
+def _scale_commute(ctx: RelationContext) -> RelationOutcome:
+    return _affine_commute(ctx, offset=(0.0, 0.0, 0.0), scale=SCALE_FACTOR)
+
+
+def _affine_commute(ctx: RelationContext, offset, scale: float) -> RelationOutcome:
+    scenario = ctx.scenario
+    dataset = load_scenario_dataset(scenario, ctx.subdir("data"), small_data=ctx.small_data)
+    steps = [op for op in scenario.operations if op.kind in GEOMETRIC_KINDS]
+    if not steps:
+        return RelationOutcome.skip("scenario has no engine-level operation chain")
+    base_out = apply_operation_chain(dataset, steps)
+    variant_in = transformed_input(dataset, offset=offset, scale=scale)
+    variant_out = apply_operation_chain(
+        variant_in,
+        steps,
+        offset=offset,
+        scale=scale,
+        isovalue_shift=mutation_value("contour-variant-isovalue"),
+    )
+    comparison = datasets_close(
+        base_out, variant_out, offset=offset, scale=scale, atol=COMMUTE_ATOL
+    )
+    label = f"translate {offset}" if scale == 1.0 else f"scale x{scale:g}"
+    return RelationOutcome.from_comparison(comparison, label)
+
+
+@register_relation(
+    "scalar-shift",
+    description=(
+        "adding a constant to the scalar field and to the isovalue leaves the "
+        "extracted contour geometry unchanged"
+    ),
+    applies=_has_contour,
+)
+def _scalar_shift(ctx: RelationContext) -> RelationOutcome:
+    scenario = ctx.scenario
+    dataset = load_scenario_dataset(scenario, ctx.subdir("data"), small_data=ctx.small_data)
+    steps = [op for op in scenario.operations if op.kind in GEOMETRIC_KINDS]
+    if not steps:
+        return RelationOutcome.skip("scenario has no engine-level operation chain")
+    array_name = _contour_array_name(steps, dataset)
+    if array_name is None:
+        return RelationOutcome.skip("input has no point scalar array to shift")
+    base_out = apply_operation_chain(dataset, steps)
+    shifted = _shift_point_scalar(dataset, array_name, SCALAR_SHIFT)
+    variant_out = apply_operation_chain(
+        shifted,
+        steps,
+        isovalue_shift=SCALAR_SHIFT + mutation_value("contour-variant-isovalue"),
+    )
+    comparison = datasets_close(
+        base_out, variant_out, atol=COMMUTE_ATOL, compare_arrays=False
+    )
+    return RelationOutcome.from_comparison(comparison, f"scalar shift +{SCALAR_SHIFT:g}")
+
+
+def _contour_array_name(steps, dataset) -> Optional[str]:
+    for step in steps:
+        if step.kind in ("isosurface", "contour"):
+            name = step.get("array")
+            if name:
+                return name
+            first = dataset.point_data.first_scalar()
+            return first.name if first is not None else None
+    return None
+
+
+def _shift_point_scalar(dataset, name: str, delta: float):
+    out = copy.deepcopy(dataset)
+    array = out.point_data[name]
+    array.values[...] = array.values + float(delta)
+    out.invalidate_fingerprint()
+    return out
+
+
+@register_relation(
+    "clip-commute",
+    description=(
+        "clipping the finished surface and clipping the input volume produce "
+        "the same geometric set (clip commutes through contour/slice chains)"
+    ),
+    applies=_is_surface_chain,
+)
+def _clip_commute(ctx: RelationContext) -> RelationOutcome:
+    scenario = ctx.scenario
+    dataset = load_scenario_dataset(scenario, ctx.subdir("data"), small_data=ctx.small_data)
+    steps = [op for op in scenario.operations if op.kind in GEOMETRIC_KINDS]
+    if not steps:
+        return RelationOutcome.skip("scenario has no engine-level operation chain")
+    base_out = apply_operation_chain(dataset, steps)
+    if base_out.n_points == 0:
+        return RelationOutcome.violated("the scenario's own chain produced empty output")
+    # clip along an axis no slice/clip in the chain already uses (cutting
+    # parallel to a slice would degenerately erase or keep the whole output),
+    # preferring the axis where the *output* is widest, and place the plane
+    # off-center but inside the output's extent so the cut crosses it
+    used = {op.get("normal_axis") for op in steps if op.kind in ("slice", "clip")}
+    out_bounds = base_out.bounds()
+    candidates = [a for a in "xyz" if a not in used] or ["z"]
+    axis = max(candidates, key=lambda a: out_bounds.lengths["xyz".index(a)])
+    index = "xyz".index(axis)
+    position = out_bounds.center[index] + 0.23 * out_bounds.lengths[index]
+    clip_step = OperationStep.make(
+        "clip", normal_axis=axis, position=float(position), keep_side="-"
+    )
+    clip_last = apply_operation_chain(dataset, steps + [clip_step])
+    clip_first = apply_operation_chain(dataset, [clip_step] + steps)
+    # the two orders tessellate the identical geometric set differently:
+    # clip-first introduces extra vertices on sub-tet edges that lie *on* the
+    # surface but between clip-last's vertices, so allow most of a grid cell
+    # (a real regression — wrong side, shifted plane — diverges by many cells)
+    comparison = point_sets_close(
+        clip_last, clip_first, max_distance=0.75 * _min_spacing(dataset)
+    )
+    return RelationOutcome.from_comparison(comparison, "clip-last vs clip-first")
+
+
+def _min_spacing(dataset) -> float:
+    spacing = getattr(dataset, "spacing", None)
+    if spacing is not None:
+        return float(min(spacing))
+    bounds = dataset.bounds()
+    return max(bounds.diagonal, 1.0) / 20.0
+
+
+@register_relation(
+    "clip-threshold-reorder",
+    description=(
+        "clip-then-threshold and threshold-then-clip agree on coarse structure "
+        "(they commute up to boundary fragments and tessellation)"
+    ),
+    applies=_is_scalar_volume,
+)
+def _clip_threshold_reorder(ctx: RelationContext) -> RelationOutcome:
+    dataset = load_scenario_dataset(ctx.scenario, ctx.subdir("data"), small_data=ctx.small_data)
+    first = dataset.point_data.first_scalar()
+    if first is None:
+        return RelationOutcome.skip("input has no point scalar array")
+    lo, hi = dataset.scalar_range(first.name)
+    span = hi - lo
+    center_x = dataset.bounds().center[0]
+    clip_step = OperationStep.make("clip", normal_axis="x", position=float(center_x), keep_side="-")
+    threshold_step = OperationStep.make(
+        "threshold", array=first.name, lower=lo + 0.3 * span, upper=lo + 0.85 * span
+    )
+    clip_first = apply_operation_chain(dataset, [clip_step, threshold_step])
+    threshold_first = apply_operation_chain(dataset, [threshold_step, clip_step])
+    # whole-cell threshold semantics differ between the orderings' tessellations
+    # (4-point tets vs 8-point hexes), shifting the centroid by up to ~0.2 of
+    # the domain on an oscillatory field; an inverted keep-side moves it ~1.0
+    comparison = dataset_stats_close(clip_first, threshold_first, centroid_atol=0.3)
+    return RelationOutcome.from_comparison(comparison, "clip∘threshold vs threshold∘clip")
+
+
+@register_relation(
+    "threshold-commute",
+    description="two threshold windows applied in either order yield the identical dataset",
+    applies=_is_scalar_volume,
+)
+def _threshold_commute(ctx: RelationContext) -> RelationOutcome:
+    dataset = load_scenario_dataset(ctx.scenario, ctx.subdir("data"), small_data=ctx.small_data)
+    first = dataset.point_data.first_scalar()
+    if first is None:
+        return RelationOutcome.skip("input has no point scalar array")
+    lo, hi = dataset.scalar_range(first.name)
+    span = hi - lo
+    window_a = OperationStep.make(
+        "threshold", array=first.name, lower=lo + 0.2 * span, upper=lo + 0.8 * span
+    )
+    window_b = OperationStep.make(
+        "threshold", array=first.name, lower=lo + 0.4 * span, upper=hi
+    )
+    a_then_b = apply_operation_chain(dataset, [window_a, window_b])
+    b_then_a = apply_operation_chain(dataset, [window_b, window_a])
+    comparison = datasets_close(a_then_b, b_then_a, atol=0.0, rtol=0.0)
+    return RelationOutcome.from_comparison(comparison, "threshold window reorder")
+
+
+def _golden_store_token(scenario, resolution, goldens_dir):
+    """The golden entry's digests — verdicts keyed on them go stale when the
+    goldens change (including the transition from no-golden to stored)."""
+    from repro.verify.goldens import GoldenStore
+
+    if goldens_dir is None:
+        return None
+    entry = GoldenStore(goldens_dir).lookup(scenario, resolution=resolution)
+    if entry is None:
+        return None
+    return (entry.image_digest, entry.script_digest)
+
+
+@register_relation(
+    "golden-image",
+    description=(
+        "the canonical render and script match the stored golden artifacts "
+        "within tolerance (catches symmetric substrate drift the pairwise "
+        "relations are blind to)"
+    ),
+    store_token=_golden_store_token,
+)
+def _golden_image(ctx: RelationContext) -> RelationOutcome:
+    from repro.verify.goldens import GoldenStore
+
+    if ctx.goldens_dir is None:
+        return RelationOutcome.skip("no golden store configured (pass --goldens)")
+    store = GoldenStore(ctx.goldens_dir)
+    entry = store.lookup(ctx.scenario, resolution=ctx.resolution)
+    if entry is None:
+        return RelationOutcome.skip(
+            "no golden stored for this scenario/resolution "
+            "(run `repro verify update-goldens`)"
+        )
+    run = run_scenario_script(
+        ctx.scenario, ctx.subdir("render"), resolution=ctx.resolution, small_data=ctx.small_data
+    )
+    if not run.ok:
+        return _failed_run("golden candidate", run)
+    script = scenario_script(ctx.scenario, ctx.resolution)
+    comparison = store.compare(entry, run.image, script)
+    return RelationOutcome.from_comparison(comparison, "golden artifact")

@@ -1,0 +1,342 @@
+"""The differential oracle runner.
+
+Executes the scenario × relation matrix through
+:func:`repro.engine.batch.run_batch` (threads or worker processes), streams
+verdict records into the suite's resumable JSONL store format
+(:class:`repro.scenarios.suite.SuiteStore`), and totals the pipeline nodes
+each cell executed vs. got from the tiered cache.  Because every relation
+routes its pipeline work through the shared engine cache, variant pairs —
+and different relations over the same scenario — compute shared prefixes
+once, and a warm re-run against a persistent disk tier executes strictly
+fewer pipeline nodes than the cold run (the property the acceptance test
+pins).
+
+Verdict records are *results*, violations included — a violated relation is
+the measurement, not an infrastructure failure, so it lands in the store and
+is not retried.  Only genuinely broken cells (an exception escaping the
+check) surface as failures and re-run next time, mirroring the suite
+runner's contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.engine.batch import BatchJob, BatchResult, raise_failures, run_batch
+from repro.scenarios.spec import Scenario
+from repro.scenarios.suite import SuiteStore
+from repro.verify.relations import (
+    RelationContext,
+    get_relation,
+    relations_for,
+)
+
+__all__ = [
+    "DEFAULT_VERIFY_RESOLUTION",
+    "VerifyRunSummary",
+    "VerifyRunner",
+    "run_verify_cell",
+    "verify_cell_key",
+]
+
+#: default render size for verification cells — small enough that the full
+#: canonical matrix runs in seconds, large enough for meaningful image metrics
+DEFAULT_VERIFY_RESOLUTION: Tuple[int, int] = (192, 144)
+
+
+def verify_cell_key(
+    scenario: Scenario,
+    relation: str,
+    resolution: Optional[Tuple[int, int]],
+    settings: Tuple[Tuple[str, Any], ...] = (),
+) -> str:
+    """Content-addressed identity of one (scenario, relation) verdict cell."""
+    material = (
+        scenario.key(),
+        str(relation),
+        tuple(resolution) if resolution else None,
+        tuple(settings),
+    )
+    return hashlib.sha1(repr(material).encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# one cell (module-level and plain-data: picklable for the process executor)
+# --------------------------------------------------------------------------- #
+def run_verify_cell(
+    scenario: Scenario,
+    relation_name: str,
+    cell_dir: Union[str, Path],
+    resolution: Optional[Tuple[int, int]] = DEFAULT_VERIFY_RESOLUTION,
+    small_data: bool = True,
+    goldens_dir: Optional[Union[str, Path]] = None,
+) -> Dict[str, Any]:
+    """Run one relation check and return its verdict record.
+
+    A relation *violation* is a result (captured in the record); only
+    infrastructure errors raise.  ``nodes_executed``/``nodes_cached`` are the
+    calling thread's engine-counter deltas across the check — the signal the
+    warm-vs-cold acceptance test sums.
+    """
+    from repro.engine.errors import NodeExecutionError
+    from repro.pvsim.errors import PipelineError
+    from repro.pvsim.pipeline import pvsim_engine
+    from repro.verify.relations import RelationOutcome
+
+    relation = get_relation(relation_name)
+    ctx = RelationContext(
+        scenario=scenario,
+        cell_dir=Path(cell_dir),
+        resolution=tuple(resolution) if resolution else None,
+        small_data=small_data,
+        goldens_dir=Path(goldens_dir) if goldens_dir else None,
+    )
+    stats_before = pvsim_engine().thread_stats().snapshot()
+    try:
+        outcome = relation.run(ctx)
+    except (PipelineError, NodeExecutionError, KeyError, ValueError) as exc:
+        # the substrate refusing to execute a variant IS a verdict — record it
+        # as a violation instead of an infrastructure failure that retries
+        # (algorithms raise KeyError/ValueError for bad arrays and parameters)
+        outcome = RelationOutcome.violated(
+            f"variant pipeline failed to execute: {type(exc).__name__}: {exc}"
+        )
+    stats_delta = pvsim_engine().thread_stats().delta(stats_before)
+    return {
+        "scenario": scenario.name,
+        "spec": scenario.spec_name,
+        "family": scenario.family,
+        "dataset": scenario.dataset,
+        "relation": relation_name,
+        "violation": bool(outcome.violation),
+        "skipped": bool(outcome.skipped),
+        "details": outcome.details,
+        "metrics": {k: float(v) for k, v in sorted(outcome.metrics.items())},
+        "nodes_executed": stats_delta.misses,
+        "nodes_cached": stats_delta.hits,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# the runner
+# --------------------------------------------------------------------------- #
+@dataclass
+class VerifyRunSummary:
+    """Outcome of one :meth:`VerifyRunner.run` call."""
+
+    total: int
+    executed: int
+    skipped: int
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    failures: List[Tuple[str, str]] = field(default_factory=list)
+    store_path: Optional[Path] = None
+
+    @property
+    def violations(self) -> List[Dict[str, Any]]:
+        return [r for r in self.records if r.get("violation")]
+
+    @property
+    def nodes_executed(self) -> int:
+        """Pipeline nodes executed by the cells run in *this* call."""
+        return sum(r.get("nodes_executed", 0) for r in self.records if r.get("_fresh"))
+
+    @property
+    def nodes_cached(self) -> int:
+        return sum(r.get("nodes_cached", 0) for r in self.records if r.get("_fresh"))
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations and not self.failures
+
+    def describe(self) -> str:
+        text = (
+            f"{self.total} verification cells: {self.executed} executed, "
+            f"{self.skipped} reused from the store; {len(self.violations)} violation(s)"
+        )
+        if self.failures:
+            text += f", {len(self.failures)} FAILED"
+        text += f" — {self.nodes_executed} pipeline node(s) executed, {self.nodes_cached} cached"
+        return text
+
+
+class VerifyRunner:
+    """Run the scenario × relation matrix, resumably.
+
+    ``relations=None`` lets every scenario select its applicable relations
+    (its spec's ``relations`` axis when set, otherwise the registry's
+    ``applies`` predicates); an explicit list restricts the matrix to those
+    names for every scenario they apply to.
+    """
+
+    def __init__(
+        self,
+        scenarios: Sequence[Scenario],
+        relations: Optional[Sequence[str]] = None,
+        working_dir: Union[str, Path] = ".",
+        store: Optional[Union[str, Path, SuiteStore]] = None,
+        resolution: Optional[Tuple[int, int]] = DEFAULT_VERIFY_RESOLUTION,
+        small_data: bool = True,
+        goldens_dir: Optional[Union[str, Path]] = None,
+        max_workers: int = 1,
+        executor: str = "thread",
+        cache_dir: Optional[Union[str, Path]] = None,
+        stop_on_error: bool = False,
+    ) -> None:
+        self.scenarios = list(scenarios)
+        names = [s.name for s in self.scenarios]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate scenario names in verification run: {duplicates}")
+        if relations is not None:
+            for name in relations:
+                get_relation(name)  # fail fast on unknown names
+        self.relations = list(relations) if relations is not None else None
+        self.working_dir = Path(working_dir)
+        if store is None or isinstance(store, SuiteStore):
+            self.store = store
+        else:
+            self.store = SuiteStore(store)
+        self.resolution = tuple(resolution) if resolution else None
+        self.small_data = small_data
+        self.goldens_dir = Path(goldens_dir) if goldens_dir else None
+        self.max_workers = max_workers
+        self.executor = executor
+        self.cache_dir = cache_dir
+        self.stop_on_error = stop_on_error
+
+    # ------------------------------------------------------------------ #
+    def _relations_of(self, scenario: Scenario) -> List[str]:
+        applicable = [relation.name for relation in relations_for(scenario)]
+        if self.relations is None:
+            return applicable
+        return [name for name in self.relations if name in applicable]
+
+    def _cell_settings(self, scenario: Scenario, relation: str) -> Tuple[Tuple[str, Any], ...]:
+        settings: List[Tuple[str, Any]] = [
+            ("small_data", self.small_data),
+            ("goldens", str(self.goldens_dir) if self.goldens_dir else None),
+        ]
+        # external-artifact state feeds the cell identity (see
+        # MetamorphicRelation.store_token): a golden-image verdict recorded
+        # before `update-goldens` must not satisfy a resume afterwards
+        token = get_relation(relation).store_token
+        if token is not None:
+            settings.append(
+                ("store_token", repr(token(scenario, self.resolution, self.goldens_dir)))
+            )
+        return tuple(settings)
+
+    def cells(self) -> List[Tuple[Scenario, str, str]]:
+        """The (scenario, relation, key) matrix in deterministic order."""
+        return [
+            (
+                scenario,
+                relation,
+                verify_cell_key(
+                    scenario, relation, self.resolution, self._cell_settings(scenario, relation)
+                ),
+            )
+            for scenario in self.scenarios
+            for relation in self._relations_of(scenario)
+        ]
+
+    def _cell_dir(self, scenario: Scenario, relation: str) -> Path:
+        return self.working_dir / scenario.name / relation
+
+    # ------------------------------------------------------------------ #
+    def run(self, resume: bool = True) -> VerifyRunSummary:
+        """Execute the matrix; with a store, only the cells not yet in it."""
+        existing = self.store.load() if (self.store is not None and resume) else {}
+        cells = self.cells()
+        pending = [cell for cell in cells if cell[2] not in existing]
+        key_of_job = {f"{relation}/{scenario.name}": key for scenario, relation, key in pending}
+
+        fresh: Dict[str, Dict[str, Any]] = {}
+
+        def _persist(outcome: BatchResult) -> None:
+            if outcome.error is not None:
+                return
+            record = dict(outcome.value)
+            record["key"] = key_of_job[outcome.name]
+            record["duration"] = outcome.duration
+            record["finished_at"] = time.time()
+            fresh[record["key"]] = record
+            if self.store is not None:
+                self.store.append(record)
+
+        jobs = [
+            BatchJob(
+                name=f"{relation}/{scenario.name}",
+                fn=run_verify_cell,
+                args=(scenario, relation, self._cell_dir(scenario, relation)),
+                kwargs={
+                    "resolution": self.resolution,
+                    "small_data": self.small_data,
+                    "goldens_dir": str(self.goldens_dir) if self.goldens_dir else None,
+                },
+            )
+            for scenario, relation, _key in pending
+        ]
+        outcomes = run_batch(
+            jobs,
+            max_workers=self.max_workers,
+            stop_on_error=self.stop_on_error,
+            executor=self.executor,
+            cache_dir=self.cache_dir,
+            on_result=_persist,
+        )
+        if self.stop_on_error:
+            raise_failures(outcomes)
+
+        failures = [
+            (outcome.name, f"{type(outcome.error).__name__}: {outcome.error}")
+            for outcome in outcomes
+            if outcome.error is not None
+        ]
+        records: List[Dict[str, Any]] = []
+        for _scenario, _relation, key in cells:
+            if key in fresh:
+                record = dict(fresh[key])
+                record["_fresh"] = True
+                records.append(record)
+            elif key in existing:
+                records.append(existing[key])
+        return VerifyRunSummary(
+            total=len(cells),
+            executed=len(fresh),
+            skipped=len(cells) - len(pending),
+            records=records,
+            failures=failures,
+            store_path=self.store.path if self.store is not None else None,
+        )
+
+    # ------------------------------------------------------------------ #
+    def update_goldens(self) -> List[str]:
+        """Regenerate the golden artifacts for every scenario in the run."""
+        from repro.verify.goldens import GoldenStore
+        from repro.verify.pipelines import run_scenario_script, scenario_script
+
+        if self.goldens_dir is None:
+            raise ValueError("update_goldens() needs a goldens_dir")
+        store = GoldenStore(self.goldens_dir)
+        updated: List[str] = []
+        for scenario in self.scenarios:
+            run = run_scenario_script(
+                scenario,
+                self.working_dir / scenario.name / "golden",
+                resolution=self.resolution,
+                small_data=self.small_data,
+            )
+            if not run.ok:
+                raise RuntimeError(
+                    f"cannot regenerate golden for {scenario.name!r}: "
+                    f"{run.result.error_type}: {run.result.error_message}"
+                )
+            script = scenario_script(scenario, self.resolution)
+            store.update(scenario, run.image, script, resolution=self.resolution)
+            updated.append(scenario.name)
+        return updated

@@ -196,3 +196,71 @@ class TestSuiteCommands:
     def test_report_on_missing_store(self, tmp_path, capsys):
         assert main(["suite", "report", str(tmp_path / "nope.jsonl")]) == 1
         assert "does not exist" in capsys.readouterr().out
+
+    def test_report_on_empty_store_emits_no_records_notice(self, tmp_path, capsys):
+        from repro.scenarios.report import NO_RECORDS_NOTICE
+
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["suite", "report", str(empty)]) == 0
+        out = capsys.readouterr().out
+        assert "no records" in out
+        assert NO_RECORDS_NOTICE in out
+
+
+class TestVerifyCommands:
+    def test_relations_listing(self, capsys):
+        assert main(["verify", "relations"]) == 0
+        out = capsys.readouterr().out
+        assert "camera-azimuth" in out
+        assert "translate-commute" in out
+
+    def test_run_report_and_resume(self, tmp_path, capsys):
+        work = str(tmp_path / "work")
+        args = [
+            "verify", "run", work, "--canonical", "--limit", "1",
+            "--relations", "repeat-determinism,translate-commute",
+            "--resolution", "96x72", "--no-cache",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "2 executed" in out
+        assert "0 violation(s)" in out
+
+        # warm resume against the verdict store executes nothing
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "0 executed" in out
+
+        results = str(Path(work) / "verify-results.jsonl")
+        assert main(["verify", "report", results]) == 0
+        out = capsys.readouterr().out
+        assert "# Verification report" in out
+        assert "`repeat-determinism`" in out
+
+    def test_update_goldens_then_golden_relation_passes(self, tmp_path, capsys):
+        work = str(tmp_path / "work")
+        common = ["--canonical", "--limit", "1", "--resolution", "96x72", "--no-cache"]
+        assert main(["verify", "update-goldens", work] + common) == 0
+        out = capsys.readouterr().out
+        assert "stored golden artifacts for 1 scenario(s)" in out
+
+        code = main(
+            ["verify", "run", work, "--relations", "golden-image"] + common
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 violation(s)" in out
+
+    def test_verify_report_on_missing_store(self, tmp_path, capsys):
+        assert main(["verify", "report", str(tmp_path / "nope.jsonl")]) == 1
+        assert "no records" in capsys.readouterr().out
+
+    def test_verify_report_on_empty_store(self, tmp_path, capsys):
+        from repro.scenarios.report import NO_RECORDS_NOTICE
+
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["verify", "report", str(empty)]) == 0
+        out = capsys.readouterr().out
+        assert NO_RECORDS_NOTICE in out

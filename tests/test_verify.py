@@ -1,0 +1,448 @@
+"""Tests for the metamorphic & differential verification subsystem."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.scenarios import ScenarioSpec, build_verify_report, canonical_scenarios
+from repro.scenarios.catalog import CANONICAL_OPERATIONS
+from repro.scenarios.report import NO_RECORDS_NOTICE, SuiteReport, VerifyReport
+from repro.scenarios.spec import OperationStep, isosurface, ops
+from repro.verify import (
+    GoldenStore,
+    VerifyRunner,
+    inject_mutation,
+    relation_names,
+    relations_for,
+    run_verify_cell,
+    verify_cell_key,
+)
+from repro.verify.comparators import (
+    compare_images,
+    datasets_close,
+    images_identical,
+    point_sets_close,
+)
+from repro.verify.pipelines import (
+    apply_operation_chain,
+    inject_before_screenshot,
+    load_scenario_dataset,
+    run_scenario_script,
+    scenario_script,
+)
+
+RESOLUTION = (96, 72)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _clear_shared_cache_after_module():
+    """The relations deliberately ride the process-global shared cache; other
+    test modules (e.g. the eval CLI's cold-run assertions) must not inherit
+    the warmth."""
+    yield
+    from repro.engine.cache import shared_cache
+
+    shared_cache().clear()
+
+
+@pytest.fixture(scope="module")
+def iso_scenario():
+    return [s for s in canonical_scenarios() if s.name == "isosurface"][0]
+
+
+@pytest.fixture(scope="module")
+def canonical_pair():
+    return [s for s in canonical_scenarios() if s.name in ("isosurface", "slice_contour")]
+
+
+# --------------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------------- #
+class TestRegistry:
+    def test_at_least_eight_builtin_relations(self):
+        assert len(relation_names()) >= 8
+
+    def test_canonical_scenarios_carry_operations(self):
+        for scenario in canonical_scenarios():
+            assert scenario.operations == CANONICAL_OPERATIONS[scenario.name]
+
+    def test_every_canonical_scenario_has_applicable_relations(self):
+        for scenario in canonical_scenarios():
+            names = [r.name for r in relations_for(scenario)]
+            # the image-level relations apply universally
+            assert {"camera-azimuth", "camera-elevation", "resolution-rescale"} <= set(names)
+
+    def test_geometric_relations_select_geometric_scenarios(self):
+        by_name = {s.name: s for s in canonical_scenarios()}
+        iso_names = {r.name for r in relations_for(by_name["isosurface"])}
+        stream_names = {r.name for r in relations_for(by_name["streamlines"])}
+        assert "translate-commute" in iso_names
+        assert "translate-commute" not in stream_names
+
+    def test_relations_axis_overrides_applicability(self, iso_scenario):
+        spec = ScenarioSpec(
+            name="verify-axis",
+            family="contour",
+            datasets=(iso_scenario.task.data_recipes or None) or (_ml_recipe(),),
+            operations=(ops("v0p5", isosurface(value=0.5)),),
+            relations=("camera-azimuth", "scalar-shift"),
+        )
+        scenario = spec.expand()[0]
+        assert scenario.relations == ("camera-azimuth", "scalar-shift")
+        assert [r.name for r in relations_for(scenario)] == ["camera-azimuth", "scalar-shift"]
+
+    def test_unknown_relation_name_rejected(self, iso_scenario):
+        with pytest.raises(KeyError):
+            VerifyRunner([iso_scenario], relations=["no-such-relation"])
+
+    def test_cell_key_depends_on_relation_and_resolution(self, iso_scenario):
+        base = verify_cell_key(iso_scenario, "camera-azimuth", (96, 72))
+        assert verify_cell_key(iso_scenario, "camera-elevation", (96, 72)) != base
+        assert verify_cell_key(iso_scenario, "camera-azimuth", (128, 96)) != base
+
+
+def _ml_recipe():
+    from repro.core.tasks import DataRecipe
+
+    return DataRecipe.make("ml-r20.vtk", "marschner_lobb", resolution=20)
+
+
+# --------------------------------------------------------------------------- #
+# script plumbing
+# --------------------------------------------------------------------------- #
+class TestScriptPlumbing:
+    def test_canonical_scripts_have_injection_seam(self):
+        for scenario in canonical_scenarios():
+            script = scenario_script(scenario, RESOLUTION)
+            injected = inject_before_screenshot(script, ["_verify_marker = 1"])
+            lines = injected.splitlines()
+            marker = lines.index("_verify_marker = 1")
+            assert lines[marker + 1].lstrip().startswith("SaveScreenshot")
+
+    def test_inject_without_screenshot_raises(self):
+        with pytest.raises(ValueError):
+            inject_before_screenshot("x = 1\n", ["y = 2"])
+
+    def test_run_scenario_script_produces_image(self, iso_scenario, tmp_path):
+        run = run_scenario_script(iso_scenario, tmp_path, resolution=RESOLUTION)
+        assert run.ok
+        assert run.image.shape[0] == RESOLUTION[1]
+        assert run.image.shape[1] == RESOLUTION[0]
+
+
+# --------------------------------------------------------------------------- #
+# comparators
+# --------------------------------------------------------------------------- #
+class TestComparators:
+    def test_images_identical_detects_single_pixel_flip(self):
+        a = np.zeros((8, 8, 3), dtype=np.uint8)
+        b = a.copy()
+        assert images_identical(a, b).ok
+        b[3, 3, 0] = 255
+        result = images_identical(a, b)
+        assert not result.ok
+        assert result.metrics["differing_pixels"] == 1.0
+
+    def test_compare_images_rejects_blank_frames(self):
+        white = np.ones((16, 16, 3))
+        result = compare_images(white, white, min_ssim=0.5)
+        assert not result.ok
+        assert "blank" in result.details
+
+    def test_datasets_close_honors_affine_map(self, iso_scenario, tmp_path):
+        from repro.algorithms.transform import translate_dataset
+
+        dataset = load_scenario_dataset(iso_scenario, tmp_path)
+        steps = [op for op in iso_scenario.operations]
+        out = apply_operation_chain(dataset, steps)
+        moved = apply_operation_chain(translate_dataset(dataset, (0.5, 0.0, 0.0)), steps)
+        assert datasets_close(out, moved, offset=(0.5, 0.0, 0.0), compare_arrays=False).ok
+        assert not datasets_close(out, moved, compare_arrays=False).ok
+
+    def test_point_sets_close_is_order_invariant(self):
+        from repro.datamodel import PolyData
+
+        points = np.random.default_rng(3).uniform(size=(50, 3))
+        a = PolyData(points=points)
+        b = PolyData(points=points[::-1])
+        assert point_sets_close(a, b).ok
+
+
+# --------------------------------------------------------------------------- #
+# the runner
+# --------------------------------------------------------------------------- #
+class TestRunner:
+    def test_clean_tree_has_zero_violations_and_warm_run_executes_fewer_nodes(
+        self, canonical_pair, tmp_path
+    ):
+        runner = VerifyRunner(
+            canonical_pair,
+            working_dir=tmp_path / "cold",
+            store=tmp_path / "verify.jsonl",
+            resolution=RESOLUTION,
+        )
+        cold = runner.run()
+        assert not cold.failures, cold.failures
+        assert cold.violations == []
+        assert cold.executed == cold.total > 0
+        assert cold.nodes_executed > 0
+
+        # resuming against the store re-executes nothing
+        resumed = VerifyRunner(
+            canonical_pair,
+            working_dir=tmp_path / "cold",
+            store=tmp_path / "verify.jsonl",
+            resolution=RESOLUTION,
+        ).run()
+        assert resumed.executed == 0
+        assert resumed.skipped == resumed.total
+
+        # a fresh-store re-run over the now-warm shared cache still executes
+        # every cell but strictly fewer pipeline nodes than the cold run
+        warm = VerifyRunner(
+            canonical_pair,
+            working_dir=tmp_path / "warm",
+            store=tmp_path / "verify2.jsonl",
+            resolution=RESOLUTION,
+        ).run()
+        assert warm.executed == warm.total
+        assert warm.nodes_executed < cold.nodes_executed
+
+    def test_verdict_records_shape(self, iso_scenario, tmp_path):
+        record = run_verify_cell(
+            iso_scenario, "translate-commute", tmp_path, resolution=RESOLUTION
+        )
+        assert record["scenario"] == "isosurface"
+        assert record["relation"] == "translate-commute"
+        assert record["violation"] is False
+        assert record["nodes_executed"] >= 0
+        json.dumps(record)  # records must be JSONL-serializable
+
+    def test_store_records_are_keyed_and_resumable(self, iso_scenario, tmp_path):
+        store_path = tmp_path / "store.jsonl"
+        runner = VerifyRunner(
+            [iso_scenario],
+            relations=["repeat-determinism"],
+            working_dir=tmp_path,
+            store=store_path,
+            resolution=RESOLUTION,
+        )
+        summary = runner.run()
+        assert summary.executed == 1
+        lines = [json.loads(x) for x in store_path.read_text().splitlines()]
+        assert lines[0]["key"] == runner.cells()[0][2]
+
+
+# --------------------------------------------------------------------------- #
+# the oracle must be able to fail: seeded mutation tests
+# --------------------------------------------------------------------------- #
+class TestMutationDetection:
+    def test_seeded_isovalue_off_by_one_bin_is_flagged(self, iso_scenario, tmp_path):
+        """An off-by-one-bin isovalue injected into the contour variant only
+        must violate the commutation relations (and pass without it)."""
+        clean = run_verify_cell(
+            iso_scenario, "translate-commute", tmp_path / "clean", resolution=RESOLUTION
+        )
+        assert clean["violation"] is False
+
+        with inject_mutation("contour-variant-isovalue", 0.05):
+            mutated = run_verify_cell(
+                iso_scenario, "translate-commute", tmp_path / "mut", resolution=RESOLUTION
+            )
+        assert mutated["violation"] is True
+        assert "differs" in mutated["details"] or "diverge" in mutated["details"]
+
+    def test_scalar_shift_relation_also_catches_the_mutation(self, iso_scenario, tmp_path):
+        with inject_mutation("contour-variant-isovalue", 0.05):
+            mutated = run_verify_cell(
+                iso_scenario, "scalar-shift", tmp_path, resolution=RESOLUTION
+            )
+        assert mutated["violation"] is True
+
+    def test_runner_summary_reports_the_violation(self, iso_scenario, tmp_path):
+        with inject_mutation("contour-variant-isovalue", 0.05):
+            summary = VerifyRunner(
+                [iso_scenario],
+                relations=["translate-commute"],
+                working_dir=tmp_path,
+                store=None,
+                resolution=RESOLUTION,
+            ).run()
+        assert len(summary.violations) == 1
+        assert not summary.clean
+
+
+# --------------------------------------------------------------------------- #
+# goldens
+# --------------------------------------------------------------------------- #
+class TestGoldenStore:
+    def test_update_compare_roundtrip(self, iso_scenario, tmp_path):
+        runner = VerifyRunner(
+            [iso_scenario],
+            working_dir=tmp_path,
+            goldens_dir=tmp_path / "goldens",
+            resolution=RESOLUTION,
+        )
+        assert runner.update_goldens() == ["isosurface"]
+
+        record = run_verify_cell(
+            iso_scenario,
+            "golden-image",
+            tmp_path / "cell",
+            resolution=RESOLUTION,
+            goldens_dir=tmp_path / "goldens",
+        )
+        assert record["violation"] is False
+        assert record["skipped"] is False
+
+    def test_missing_golden_is_skip_not_violation(self, iso_scenario, tmp_path):
+        record = run_verify_cell(
+            iso_scenario,
+            "golden-image",
+            tmp_path / "cell",
+            resolution=RESOLUTION,
+            goldens_dir=tmp_path / "empty-goldens",
+        )
+        assert record["skipped"] is True
+        assert record["violation"] is False
+
+    def test_image_drift_is_flagged_with_diff_summary(self, iso_scenario, tmp_path):
+        store = GoldenStore(tmp_path / "goldens")
+        run = run_scenario_script(iso_scenario, tmp_path / "render", resolution=RESOLUTION)
+        script = scenario_script(iso_scenario, RESOLUTION)
+        entry = store.update(iso_scenario, run.image, script, resolution=RESOLUTION)
+
+        drifted = run.image.copy()
+        drifted[: drifted.shape[0] // 2] = 0  # blacken the top half
+        result = store.compare(entry, drifted, script)
+        assert not result.ok
+        assert "drifted" in result.details
+
+    def test_script_drift_is_flagged_with_unified_diff(self, iso_scenario, tmp_path):
+        store = GoldenStore(tmp_path / "goldens")
+        run = run_scenario_script(iso_scenario, tmp_path / "render", resolution=RESOLUTION)
+        script = scenario_script(iso_scenario, RESOLUTION)
+        entry = store.update(iso_scenario, run.image, script, resolution=RESOLUTION)
+
+        hallucinated = script + "\nFooBarFilter(Input=contour)\n"
+        result = store.compare(entry, run.image, hallucinated)
+        assert not result.ok
+        assert "FooBarFilter" in result.details
+
+    def test_updating_goldens_invalidates_stored_verdicts(self, iso_scenario, tmp_path):
+        """A 'skipped: no golden' verdict must not satisfy a resume after
+        `update-goldens` — the cell key carries the golden digests."""
+        kwargs = dict(
+            working_dir=tmp_path / "w",
+            store=tmp_path / "v.jsonl",
+            goldens_dir=tmp_path / "goldens",
+            resolution=RESOLUTION,
+            relations=["golden-image"],
+        )
+        before = VerifyRunner([iso_scenario], **kwargs).run()
+        assert before.records[0]["skipped"] is True
+
+        VerifyRunner([iso_scenario], **kwargs).update_goldens()
+        after = VerifyRunner([iso_scenario], **kwargs).run()
+        assert after.executed == 1  # not served from the stale store
+        assert after.records[0]["skipped"] is False
+
+    def test_corrupt_index_fails_loudly(self, iso_scenario, tmp_path):
+        root = tmp_path / "goldens"
+        root.mkdir()
+        (root / "index.json").write_text("{ not json")
+        with pytest.raises(ValueError, match="corrupt"):
+            GoldenStore(root).lookup(iso_scenario, resolution=RESOLUTION)
+
+    def test_store_is_content_addressed(self, iso_scenario, canonical_pair, tmp_path):
+        store = GoldenStore(tmp_path / "goldens")
+        image = np.zeros((4, 4, 3), dtype=np.uint8)
+        store.update(canonical_pair[0], image, "a = 1\n", resolution=RESOLUTION)
+        store.update(canonical_pair[1], image, "a = 1\n", resolution=RESOLUTION)
+        assert len(list((tmp_path / "goldens" / "images").glob("*.npz"))) == 1
+        assert len(list((tmp_path / "goldens" / "scripts").glob("*.py"))) == 1
+        assert len(store) == 2
+
+
+# --------------------------------------------------------------------------- #
+# reports
+# --------------------------------------------------------------------------- #
+class TestVerifyReport:
+    def _records(self):
+        return [
+            {
+                "scenario": "a", "family": "contour", "relation": "camera-azimuth",
+                "violation": False, "skipped": False, "nodes_executed": 3, "nodes_cached": 1,
+            },
+            {
+                "scenario": "a", "family": "contour", "relation": "scalar-shift",
+                "violation": True, "skipped": False, "details": "geometry differs",
+                "nodes_executed": 2, "nodes_cached": 0,
+            },
+            {
+                "scenario": "b", "family": "flow", "relation": "camera-azimuth",
+                "violation": False, "skipped": True, "nodes_executed": 0, "nodes_cached": 0,
+            },
+        ]
+
+    def test_matrix_aggregation(self):
+        report = build_verify_report(self._records())
+        assert report.relations == ["camera-azimuth", "scalar-shift"]
+        assert report.families == ["contour", "flow"]
+        assert report.n_scenarios == 2
+        assert report.nodes_executed == 5
+        assert len(report.violations) == 1
+        assert not report.clean
+
+    def test_markdown_matrix_names_the_violation(self):
+        text = build_verify_report(self._records()).to_markdown()
+        assert "## Verification matrix" in text
+        assert "`scalar-shift` on `a`: geometry differs" in text
+
+    def test_empty_reports_emit_no_records_notice(self):
+        assert NO_RECORDS_NOTICE in VerifyReport().to_markdown()
+        assert NO_RECORDS_NOTICE in SuiteReport().to_markdown()
+
+    def test_json_roundtrip(self, tmp_path):
+        report = build_verify_report(self._records())
+        path = report.write_json(tmp_path / "report.json")
+        payload = json.loads(path.read_text())
+        assert payload["totals"]["scalar-shift"]["violations"] == 1
+
+
+# --------------------------------------------------------------------------- #
+# relation-specific edge coverage
+# --------------------------------------------------------------------------- #
+class TestRelationDetails:
+    def test_threshold_commute_is_exact(self, iso_scenario, tmp_path):
+        record = run_verify_cell(
+            iso_scenario, "threshold-commute", tmp_path, resolution=RESOLUTION
+        )
+        assert not record["violation"]
+        assert record["metrics"]["max_point_delta"] == 0.0
+
+    def test_clip_commute_avoids_slice_axis(self, canonical_pair, tmp_path):
+        slice_scenario = [s for s in canonical_pair if s.name == "slice_contour"][0]
+        record = run_verify_cell(
+            slice_scenario, "clip-commute", tmp_path, resolution=RESOLUTION
+        )
+        assert not record["violation"], record["details"]
+
+    def test_engine_error_in_variant_is_a_violation_not_a_failure(self, iso_scenario, tmp_path):
+        bad = OperationStep.make("contour", value=0.5, array="no_such_array")
+        scenario = iso_scenario.__class__(
+            name="broken-variant",
+            family="contour",
+            spec_name="test",
+            phrasing="paper",
+            task=iso_scenario.task,
+            operations=(bad,),
+        )
+        record = run_verify_cell(
+            scenario, "translate-commute", tmp_path, resolution=RESOLUTION
+        )
+        assert record["violation"] is True
+        assert "failed to execute" in record["details"]

@@ -1,0 +1,201 @@
+"""Property-based round-trips of :mod:`repro.datamodel.serialization`.
+
+The verification layer's cache-parity relation only means something if the
+disk tier hands back *exactly* what was stored — so these tests drive the
+framed/checksummed payload codec with hypothesis-generated ImageData,
+PolyData and UnstructuredGrid payloads (NaN and empty-array edge cases
+included) and judge the round-trip with the same tolerance-aware comparators
+the relations use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.datamodel import CellType, ImageData, PolyData, UnstructuredGrid
+from repro.datamodel.serialization import (
+    CachePayloadError,
+    dumps_payload,
+    loads_payload,
+)
+from repro.verify.comparators import datasets_close
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: finite-or-NaN float64 values (infinities excluded: fingerprints allow them,
+#: but the synthetic generators never produce them)
+_values = st.one_of(
+    st.floats(min_value=-1e6, max_value=1e6, width=64),
+    st.just(float("nan")),
+)
+
+
+def _assert_roundtrip_close(dataset):
+    clone = loads_payload(dumps_payload(dataset))
+    result = datasets_close(dataset, clone, atol=0.0, rtol=0.0)
+    assert result.ok, result.details
+
+
+# --------------------------------------------------------------------------- #
+# ImageData
+# --------------------------------------------------------------------------- #
+@_SETTINGS
+@given(
+    dims=st.tuples(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=4),
+    ),
+    origin=st.tuples(*[st.floats(-10, 10) for _ in range(3)]),
+    data=st.data(),
+)
+def test_image_data_roundtrip(dims, origin, data):
+    image = ImageData(dimensions=dims, origin=origin, spacing=(0.5, 1.0, 2.0))
+    n = image.n_points
+    values = data.draw(hnp.arrays(np.float64, (n,), elements=_values))
+    image.add_point_array("var0", values)
+    _assert_roundtrip_close(image)
+
+    clone = loads_payload(dumps_payload(image))
+    assert clone.dimensions == image.dimensions
+    assert np.allclose(clone.origin, image.origin)
+    assert np.array_equal(
+        clone.point_data["var0"].values, image.point_data["var0"].values, equal_nan=True
+    )
+
+
+def test_image_data_nan_payload_roundtrips_bit_exact():
+    image = ImageData(dimensions=(2, 2, 2))
+    values = np.array([0.0, np.nan, 1.5, -np.inf, np.inf, np.nan, 2.0, -0.0])
+    image.add_point_array("var0", values)
+    clone = loads_payload(dumps_payload(image))
+    out = clone.point_data["var0"].values.ravel()
+    assert np.array_equal(out, values, equal_nan=True)
+    # signed zero survives too (bit-exactness, not just numeric equality)
+    assert np.signbit(out[-1])
+
+
+# --------------------------------------------------------------------------- #
+# PolyData
+# --------------------------------------------------------------------------- #
+@_SETTINGS
+@given(
+    n_points=st.integers(min_value=3, max_value=40),
+    n_triangles=st.integers(min_value=0, max_value=30),
+    data=st.data(),
+)
+def test_polydata_roundtrip(n_points, n_triangles, data):
+    points = data.draw(
+        hnp.arrays(np.float64, (n_points, 3), elements=st.floats(-100, 100, width=64))
+    )
+    triangles = data.draw(
+        hnp.arrays(
+            np.int64,
+            (n_triangles, 3),
+            elements=st.integers(min_value=0, max_value=n_points - 1),
+        )
+    )
+    poly = PolyData(points=points, triangles=triangles)
+    scalars = data.draw(hnp.arrays(np.float64, (n_points,), elements=_values))
+    poly.add_point_array("Temp", scalars)
+    _assert_roundtrip_close(poly)
+
+    clone = loads_payload(dumps_payload(poly))
+    assert np.array_equal(clone.triangles, poly.triangles)
+
+
+def test_polydata_empty_arrays_roundtrip():
+    poly = PolyData()  # zero points, zero triangles, zero lines
+    clone = loads_payload(dumps_payload(poly))
+    assert clone.n_points == 0
+    assert clone.triangles.shape == (0, 3)
+    assert clone.verts.shape == (0,)
+
+
+# --------------------------------------------------------------------------- #
+# UnstructuredGrid
+# --------------------------------------------------------------------------- #
+@_SETTINGS
+@given(
+    n_points=st.integers(min_value=4, max_value=30),
+    n_tets=st.integers(min_value=0, max_value=15),
+    data=st.data(),
+)
+def test_unstructured_roundtrip(n_points, n_tets, data):
+    points = data.draw(
+        hnp.arrays(np.float64, (n_points, 3), elements=st.floats(-50, 50, width=64))
+    )
+    grid = UnstructuredGrid(points)
+    for _ in range(n_tets):
+        conn = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_points - 1),
+                min_size=4, max_size=4,
+            )
+        )
+        grid.add_cell(CellType.TETRA, conn)
+    scalars = data.draw(hnp.arrays(np.float64, (n_points,), elements=_values))
+    grid.add_point_array("var0", scalars)
+    _assert_roundtrip_close(grid)
+
+    clone = loads_payload(dumps_payload(grid))
+    assert list(clone.cells()) == list(grid.cells())
+
+
+def test_unstructured_empty_grid_roundtrips():
+    grid = UnstructuredGrid()
+    clone = loads_payload(dumps_payload(grid))
+    assert clone.n_points == 0
+    assert clone.n_cells == 0
+
+
+# --------------------------------------------------------------------------- #
+# fingerprint stability across the boundary
+# --------------------------------------------------------------------------- #
+@_SETTINGS
+@given(data=st.data())
+def test_fingerprint_survives_roundtrip(data):
+    image = ImageData(dimensions=(3, 3, 2))
+    values = data.draw(hnp.arrays(np.float64, (image.n_points,), elements=_values))
+    image.add_point_array("var0", values)
+    fingerprint = image.content_fingerprint()
+    clone = loads_payload(dumps_payload(image))
+    assert clone.content_fingerprint() == fingerprint
+
+
+# --------------------------------------------------------------------------- #
+# corruption: the framing must catch every byte-level mutation
+# --------------------------------------------------------------------------- #
+@_SETTINGS
+@given(
+    flip_at=st.integers(min_value=0, max_value=10_000),
+    data=st.data(),
+)
+def test_any_single_byte_flip_is_rejected_or_detected(flip_at, data):
+    image = ImageData(dimensions=(2, 3, 2))
+    values = data.draw(
+        hnp.arrays(np.float64, (image.n_points,), elements=st.floats(-1, 1, width=64))
+    )
+    image.add_point_array("var0", values)
+    payload = bytearray(dumps_payload(image))
+    flip_at %= len(payload)
+    payload[flip_at] ^= 0xFF
+    with pytest.raises(CachePayloadError):
+        loads_payload(bytes(payload))
+
+
+def test_truncated_payload_is_rejected():
+    image = ImageData(dimensions=(2, 2, 2))
+    image.add_point_array("var0", np.zeros(8))
+    payload = dumps_payload(image)
+    for cut in (0, 3, 10, len(payload) - 1):
+        with pytest.raises(CachePayloadError):
+            loads_payload(payload[:cut])
