@@ -1,16 +1,27 @@
 """Throughput benchmarks of the visualization substrate itself.
 
 Not a paper table — these document the cost of the main substrate pieces
-(isosurfacing, streamline tracing, rasterization, volume ray casting) so that
-regressions in the pure-NumPy kernels are visible.
+(isosurfacing, streamline tracing, Delaunay tetrahedralisation, rasterization,
+volume ray casting) so that regressions in the pure-NumPy kernels are visible.
+
+The four kernels covered by the committed BENCH manifest (isosurface,
+streamline, volume, delaunay) all use the same pedantic timing config so
+their numbers stay comparable across runs: one warmup round to populate
+caches (sampler memo, KD-tree), then ``_KERNEL_ROUNDS`` measured rounds of a
+single iteration each.
 """
 
+import numpy as np
 import pytest
 
-from repro.algorithms import contour, stream_tracer, tube
+from repro.algorithms import contour, delaunay_tetrahedra, stream_tracer, tube
 from repro.data import generate_disk_flow, generate_marschner_lobb
 from repro.engine import Engine, Pipeline, ResultCache
 from repro.rendering import Actor, Camera, Scene, render_scene, volume_render
+
+#: shared pedantic config for the four BENCH-manifest kernels
+_KERNEL_ROUNDS = 3
+_KERNEL_CONFIG = dict(rounds=_KERNEL_ROUNDS, iterations=1, warmup_rounds=1)
 
 
 @pytest.fixture(scope="module")
@@ -24,15 +35,32 @@ def disk():
 
 
 def test_perf_isosurface_extraction(benchmark, volume):
-    surface = benchmark(lambda: contour(volume, 0.5, "var0"))
+    surface = benchmark.pedantic(lambda: contour(volume, 0.5, "var0"), **_KERNEL_CONFIG)
     assert surface.n_triangles > 1000
+    assert surface.points.shape == (surface.n_points, 3)
+    assert surface.triangles.shape == (surface.n_triangles, 3)
 
 
 def test_perf_streamline_tracing(benchmark, disk):
     lines = benchmark.pedantic(
-        lambda: stream_tracer(disk, "V", n_seed_points=50), rounds=1, iterations=1
+        lambda: stream_tracer(disk, "V", n_seed_points=50), **_KERNEL_CONFIG
     )
     assert lines.n_lines > 0
+    assert lines.points.shape == (lines.n_points, 3)
+
+
+def test_perf_delaunay_tetrahedralisation(benchmark):
+    # 400 points keeps the native Bowyer-Watson backend (auto switches to
+    # qhull above max_native_points=1500), matching the BENCH manifest size
+    rng = np.random.default_rng(7)
+    points = rng.random((400, 3))
+    tets = benchmark.pedantic(
+        lambda: delaunay_tetrahedra(points, backend="bowyer-watson"),
+        **_KERNEL_CONFIG,
+    )
+    assert tets.ndim == 2 and tets.shape[1] == 4
+    assert tets.shape[0] > 400  # a 3D triangulation has more tets than points
+    assert tets.min() >= 0 and tets.max() < 400
 
 
 def test_perf_surface_rasterization(benchmark, volume):
@@ -87,7 +115,8 @@ def test_perf_volume_raycasting(benchmark, volume):
     camera = Camera().isometric_view(volume.bounds())
     fb = benchmark.pedantic(
         lambda: volume_render(volume, "var0", camera, 320, 180, n_samples=80),
-        rounds=1,
-        iterations=1,
+        **_KERNEL_CONFIG,
     )
     assert fb.coverage() > 0.05
+    assert fb.color.shape == (180, 320, 3)
+    assert fb.depth.shape == (180, 320)

@@ -87,6 +87,53 @@ _MT2_CASES: Dict[int, Tuple[int, int]] = {
 }
 
 
+def _build_mt_tables():
+    """Flatten ``_MT_CASES`` into dense per-mask lookup arrays.
+
+    The vectorised extractor classifies every tet with one gather through
+    these tables instead of looping over the case dictionary.  ``rank``
+    records each case's position in dict-iteration order so the batched path
+    can emit triangles in exactly the order the pinned loop reference does
+    (case-major, then triangle slot, then tet) — that ordering is what makes
+    the two implementations bit-equal.
+    """
+    rank = np.full(16, -1, dtype=np.int64)
+    n_tris = np.zeros(16, dtype=np.int64)
+    corner_a = np.zeros((16, 2, 3), dtype=np.int64)
+    corner_b = np.zeros((16, 2, 3), dtype=np.int64)
+    for case_rank, (case, triangles) in enumerate(_MT_CASES.items()):
+        rank[case] = case_rank
+        n_tris[case] = len(triangles)
+        for slot, tri in enumerate(triangles):
+            for corner, edge_index in enumerate(tri):
+                a_local, b_local = _TET_EDGES[edge_index]
+                corner_a[case, slot, corner] = a_local
+                corner_b[case, slot, corner] = b_local
+    return rank, n_tris, corner_a, corner_b
+
+
+_MT_RANK, _MT_NTRIS, _MT_CORNER_A, _MT_CORNER_B = _build_mt_tables()
+
+
+def _build_mt2_tables():
+    """Dense per-mask lookup arrays for the marching-triangles table."""
+    rank = np.full(8, -1, dtype=np.int64)
+    has_segment = np.zeros(8, dtype=bool)
+    seg_a = np.zeros((8, 2), dtype=np.int64)
+    seg_b = np.zeros((8, 2), dtype=np.int64)
+    for case_rank, (case, (edge0, edge1)) in enumerate(_MT2_CASES.items()):
+        rank[case] = case_rank
+        has_segment[case] = True
+        for j, edge_index in enumerate((edge0, edge1)):
+            a_local, b_local = _TRI_EDGES[edge_index]
+            seg_a[case, j] = a_local
+            seg_b[case, j] = b_local
+    return rank, has_segment, seg_a, seg_b
+
+
+_MT2_RANK, _MT2_HAS, _MT2_SEG_A, _MT2_SEG_B = _build_mt2_tables()
+
+
 def _image_data_tetrahedra(image: ImageData) -> np.ndarray:
     """All tetrahedra of an image-data lattice as an ``(m, 4)`` id array."""
     nx, ny, nz = image.dimensions
@@ -202,6 +249,47 @@ def extract_level_set(
         | (below[:, 3].astype(np.int64) << 3)
     )
 
+    A, B = _collect_surface_corners(tets, mask)
+    if A.size == 0:
+        return PolyData()
+    return _build_surface(points, g, dataset, A, B, interpolate_point_data)
+
+
+def _collect_surface_corners(tets: np.ndarray, mask: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Edge endpoints of every emitted triangle corner, fully case-batched.
+
+    One pass over the dense marching-tets tables: every crossed tet's
+    triangle slots are expanded at once with two table gathers — no
+    per-case/per-triangle/per-edge Python loops.  Triangles are emitted in
+    (case rank, slot, tet) order, matching the pinned
+    :func:`_collect_surface_corners_loop` bit-for-bit.
+    """
+    n_tris = _MT_NTRIS[mask]
+    first = np.nonzero(n_tris >= 1)[0]
+    second = np.nonzero(n_tris == 2)[0]
+    if first.size == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty
+    tet_idx = np.concatenate([first, second])
+    slot = np.zeros(tet_idx.shape[0], dtype=np.int64)
+    slot[first.size :] = 1
+    # loop emission order: case rank ascending, then slot, then tet (the
+    # nonzero() selections are already tet-ascending within each group)
+    order = np.argsort(_MT_RANK[mask[tet_idx]] * 2 + slot, kind="stable")
+    tet_idx = tet_idx[order]
+    slot = slot[order]
+    case = mask[tet_idx]
+    rows = tets[tet_idx[:, None], _MT_CORNER_A[case, slot]]  # (t, 3)
+    rows_b = tets[tet_idx[:, None], _MT_CORNER_B[case, slot]]
+    return rows.reshape(-1), rows_b.reshape(-1)
+
+
+def _collect_surface_corners_loop(
+    tets: np.ndarray, mask: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The historical per-case/per-triangle/per-edge loop, kept as the
+    reference oracle; the parity tests pin :func:`_collect_surface_corners`
+    against this."""
     corner_a: List[np.ndarray] = []
     corner_b: List[np.ndarray] = []
     for case, triangles in _MT_CASES.items():
@@ -216,13 +304,11 @@ def extract_level_set(
                 corner_b.append(case_tets[:, b_local])
 
     if not corner_a:
-        return PolyData()
-
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty
     # corner arrays are built edge-major per (case, triangle); interleave them
     # back into per-triangle corner order.
-    A = _interleave_corners(corner_a)
-    B = _interleave_corners(corner_b)
-    return _build_surface(points, g, dataset, A, B, interpolate_point_data)
+    return _interleave_corners(corner_a), _interleave_corners(corner_b)
 
 
 def _interleave_corners(chunks: List[np.ndarray]) -> np.ndarray:
@@ -242,6 +328,78 @@ def _interleave_corners(chunks: List[np.ndarray]) -> np.ndarray:
     return np.concatenate(out)
 
 
+def _unique_edges(
+    corner_a: np.ndarray, corner_b: np.ndarray, n_points: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Deduplicate undirected point-id edges; returns ``(ea, eb, inverse)``.
+
+    Packs each (lo, hi) pair into a single int64 so the dedup is a scalar
+    sort instead of ``np.unique(..., axis=0)``'s much slower row-wise void
+    sort — this was the single largest cost of the whole extraction.  The
+    packed ordering is the same lexicographic (lo, hi) ordering, so results
+    are bit-identical to the row-wise path.
+    """
+    lo = np.minimum(corner_a, corner_b)
+    hi = np.maximum(corner_a, corner_b)
+    if n_points < 2**31:
+        packed = lo * np.int64(n_points) + hi
+        unique_packed, inverse = np.unique(packed, return_inverse=True)
+        ea = unique_packed // n_points
+        eb = unique_packed - ea * n_points
+    else:  # pragma: no cover - datasets this large never fit in memory here
+        edge_keys = np.column_stack([lo, hi])
+        unique, inverse = np.unique(edge_keys, axis=0, return_inverse=True)
+        ea = unique[:, 0]
+        eb = unique[:, 1]
+    return ea, eb, inverse.reshape(-1)
+
+
+def _unique_edges_loop(
+    corner_a: np.ndarray, corner_b: np.ndarray, n_points: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The historical row-wise ``np.unique(..., axis=0)`` edge dedup, kept as
+    the reference oracle for :func:`_unique_edges`."""
+    edge_keys = np.column_stack(
+        [np.minimum(corner_a, corner_b), np.maximum(corner_a, corner_b)]
+    )
+    unique, inverse = np.unique(edge_keys, axis=0, return_inverse=True)
+    return unique[:, 0], unique[:, 1], inverse.reshape(-1)
+
+
+def _extract_level_set_loop(
+    dataset: Dataset,
+    scalars: np.ndarray,
+    interpolate_point_data: bool = True,
+) -> PolyData:
+    """The pre-campaign extraction composition, kept as the reference oracle:
+    per-case/per-triangle corner loops plus row-wise edge dedup.  The parity
+    tests pin :func:`extract_level_set` against this bit-for-bit, and the
+    benchmark manifest times it as the seed implementation."""
+    g = np.asarray(scalars, dtype=np.float64).reshape(-1)
+    if g.shape[0] != dataset.n_points:
+        raise ValueError(
+            f"scalars has {g.shape[0]} values but dataset has {dataset.n_points} points"
+        )
+    points = dataset.get_points()
+    tets = tetrahedra_of_dataset(dataset)
+    if tets.shape[0] == 0:
+        return PolyData()
+    gt = g[tets]
+    below = gt < 0.0
+    mask = (
+        below[:, 0].astype(np.int64)
+        | (below[:, 1].astype(np.int64) << 1)
+        | (below[:, 2].astype(np.int64) << 2)
+        | (below[:, 3].astype(np.int64) << 3)
+    )
+    A, B = _collect_surface_corners_loop(tets, mask)
+    if A.size == 0:
+        return PolyData()
+    return _build_surface(
+        points, g, dataset, A, B, interpolate_point_data, _dedup=_unique_edges_loop
+    )
+
+
 def _build_surface(
     points: np.ndarray,
     g: np.ndarray,
@@ -249,12 +407,10 @@ def _build_surface(
     corner_a: np.ndarray,
     corner_b: np.ndarray,
     interpolate_point_data: bool,
+    _dedup=_unique_edges,
 ) -> PolyData:
     """Create the output PolyData from flat per-corner edge endpoint arrays."""
-    lo = np.minimum(corner_a, corner_b)
-    hi = np.maximum(corner_a, corner_b)
-    edge_keys = np.column_stack([lo, hi])
-    unique_edges, inverse = np.unique(edge_keys, axis=0, return_inverse=True)
+    ea, eb, inverse = _dedup(corner_a, corner_b, dataset.n_points)
 
     triangles = inverse.reshape(-1, 3)
     # drop degenerate triangles (an edge hit exactly at a dataset point can
@@ -266,8 +422,6 @@ def _build_surface(
     )
     triangles = triangles[valid]
 
-    ea = unique_edges[:, 0]
-    eb = unique_edges[:, 1]
     ga = g[ea]
     gb = g[eb]
     denom = ga - gb
@@ -314,41 +468,14 @@ def extract_level_lines(
         | (below[:, 2].astype(np.int64) << 2)
     )
 
-    seg_a: List[np.ndarray] = []
-    seg_b: List[np.ndarray] = []
-    for case, (edge0, edge1) in _MT2_CASES.items():
-        sel = np.nonzero(mask == case)[0]
-        if sel.size == 0:
-            continue
-        case_tris = tris[sel]
-        for edge_index in (edge0, edge1):
-            a_local, b_local = _TRI_EDGES[edge_index]
-            seg_a.append(case_tris[:, a_local])
-            seg_b.append(case_tris[:, b_local])
-
-    if not seg_a:
+    A, B = _collect_line_corners(tris, mask)
+    if A.size == 0:
         return PolyData()
 
-    # per case we appended [edge0 endpoints], [edge1 endpoints]; re-pair them
-    corner_a: List[np.ndarray] = []
-    corner_b: List[np.ndarray] = []
-    for i in range(0, len(seg_a), 2):
-        stacked_a = np.column_stack([seg_a[i], seg_a[i + 1]]).reshape(-1)
-        stacked_b = np.column_stack([seg_b[i], seg_b[i + 1]]).reshape(-1)
-        corner_a.append(stacked_a)
-        corner_b.append(stacked_b)
-    A = np.concatenate(corner_a)
-    B = np.concatenate(corner_b)
-
-    lo = np.minimum(A, B)
-    hi = np.maximum(A, B)
-    keys = np.column_stack([lo, hi])
-    unique_edges, inverse = np.unique(keys, axis=0, return_inverse=True)
+    ea, eb, inverse = _unique_edges(A, B, surface.n_points)
     segments = inverse.reshape(-1, 2)
     segments = segments[segments[:, 0] != segments[:, 1]]
 
-    ea = unique_edges[:, 0]
-    eb = unique_edges[:, 1]
     ga = g[ea]
     gb = g[eb]
     denom = ga - gb
@@ -363,3 +490,51 @@ def extract_level_lines(
         for name in interped.names():
             poly.add_point_array(name, interped[name].values)
     return poly
+
+
+def _collect_line_corners(tris: np.ndarray, mask: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Segment endpoints over all crossed triangles, fully case-batched.
+
+    Mirrors :func:`_collect_surface_corners` for the marching-triangles
+    table; emission order (case rank, then triangle, then the two crossed
+    edges) matches the pinned loop reference bit-for-bit.
+    """
+    sel = np.nonzero(_MT2_HAS[mask])[0]
+    if sel.size == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty
+    order = np.argsort(_MT2_RANK[mask[sel]], kind="stable")
+    sel = sel[order]
+    case = mask[sel]
+    rows_a = tris[sel[:, None], _MT2_SEG_A[case]]  # (s, 2)
+    rows_b = tris[sel[:, None], _MT2_SEG_B[case]]
+    return rows_a.reshape(-1), rows_b.reshape(-1)
+
+
+def _collect_line_corners_loop(
+    tris: np.ndarray, mask: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The historical per-case segment loop, kept as the reference oracle."""
+    seg_a: List[np.ndarray] = []
+    seg_b: List[np.ndarray] = []
+    for case, (edge0, edge1) in _MT2_CASES.items():
+        sel = np.nonzero(mask == case)[0]
+        if sel.size == 0:
+            continue
+        case_tris = tris[sel]
+        for edge_index in (edge0, edge1):
+            a_local, b_local = _TRI_EDGES[edge_index]
+            seg_a.append(case_tris[:, a_local])
+            seg_b.append(case_tris[:, b_local])
+
+    if not seg_a:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty
+
+    # per case we appended [edge0 endpoints], [edge1 endpoints]; re-pair them
+    corner_a: List[np.ndarray] = []
+    corner_b: List[np.ndarray] = []
+    for i in range(0, len(seg_a), 2):
+        corner_a.append(np.column_stack([seg_a[i], seg_a[i + 1]]).reshape(-1))
+        corner_b.append(np.column_stack([seg_b[i], seg_b[i + 1]]).reshape(-1))
+    return np.concatenate(corner_a), np.concatenate(corner_b)

@@ -405,6 +405,33 @@ def _cmd_bench(ns: argparse.Namespace) -> int:
     return 0 if warm_report.n_executed == 0 else 1
 
 
+def _cmd_bench_manifest(ns: argparse.Namespace) -> int:
+    from repro.perf import run_manifest
+    from repro.perf.report import (
+        compare_manifests,
+        format_comparison,
+        format_manifest,
+        load_bench,
+        write_bench,
+    )
+
+    payload = run_manifest(
+        rounds=ns.rounds,
+        kernels=ns.kernel or None,
+        include_suite=not ns.no_suite,
+        include_cache=not ns.no_cache,
+        progress=lambda message: print(f"  {message}"),
+    )
+    print(format_manifest(payload))
+    if ns.output:
+        write_bench(payload, ns.output)
+        print(f"wrote {ns.output}")
+    if ns.compare:
+        baseline = load_bench(ns.compare)
+        print(format_comparison(compare_manifests(baseline, payload)))
+    return 0
+
+
 # --------------------------------------------------------------------------- #
 # repro cache
 # --------------------------------------------------------------------------- #
@@ -661,13 +688,43 @@ def build_parser() -> argparse.ArgumentParser:
     relations_parser.set_defaults(func=_cmd_verify_relations)
 
     bench_parser = subparsers.add_parser(
-        "bench", help="cold-vs-warm disk-cache benchmark of a representative pipeline"
+        "bench",
+        help="benchmarks: plain = disk-cache cold/warm, 'manifest' = the kernel manifest",
     )
     bench_parser.add_argument(
         "--json", default=None, help="also write the timings as JSON to this path"
     )
     _add_cache_dir_argument(bench_parser)
     bench_parser.set_defaults(func=_cmd_bench)
+    bench_sub = bench_parser.add_subparsers(dest="bench_command")
+    manifest_parser = bench_sub.add_parser(
+        "manifest",
+        help="run the canonical kernel benchmark manifest (BENCH_<n>.json)",
+    )
+    manifest_parser.add_argument(
+        "--rounds", type=int, default=5, help="interleaved timing rounds per kernel"
+    )
+    manifest_parser.add_argument(
+        "--kernel",
+        action="append",
+        default=None,
+        help="limit to this kernel (repeatable); default: all",
+    )
+    manifest_parser.add_argument(
+        "--output", default=None, help="write the validated manifest JSON here"
+    )
+    manifest_parser.add_argument(
+        "--compare",
+        default=None,
+        help="also diff against a committed BENCH_<n>.json (informational)",
+    )
+    manifest_parser.add_argument(
+        "--no-suite", action="store_true", help="skip the canonical-suite wall clock"
+    )
+    manifest_parser.add_argument(
+        "--no-cache", action="store_true", help="skip the cold/warm cache section"
+    )
+    manifest_parser.set_defaults(func=_cmd_bench_manifest)
 
     cache_parser = subparsers.add_parser("cache", help="inspect or clear a disk-cache root")
     cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)

@@ -1,0 +1,121 @@
+"""Optional compiled-kernel acceleration behind the ``REPRO_NUMBA`` flag.
+
+The numeric kernels in :mod:`repro.algorithms` and :mod:`repro.rendering` are
+pure NumPy and that NumPy path is always the *reference*: it is what the
+parity tests pin and what runs by default.  Setting ``REPRO_NUMBA=1`` (and
+having ``numba`` importable) swaps in JIT-compiled inner kernels where one is
+registered; when the flag is off or numba is missing, callers silently get
+the NumPy implementation back, so the flag can never change correctness —
+only speed.
+
+This module is dependency-light on purpose (``os`` + ``numpy`` only): the
+hot-path modules import it at module load and must not drag the benchmark
+manifest machinery with them.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = [
+    "NUMBA_ENV_VAR",
+    "numba_requested",
+    "numba_available",
+    "numba_enabled",
+    "trilinear_gather_lerp_kernel",
+]
+
+NUMBA_ENV_VAR = "REPRO_NUMBA"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+#: memoized import probe: None = not yet probed, else bool
+_numba_importable: Optional[bool] = None
+
+
+def numba_requested() -> bool:
+    """True when the ``REPRO_NUMBA`` environment flag is set truthy."""
+    return os.environ.get(NUMBA_ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+def numba_available() -> bool:
+    """True when ``numba`` can actually be imported (probed once)."""
+    global _numba_importable
+    if _numba_importable is None:
+        try:
+            import numba  # noqa: F401
+
+            _numba_importable = True
+        except ImportError:
+            _numba_importable = False
+    return _numba_importable
+
+
+def numba_enabled() -> bool:
+    """The effective switch: requested via the env flag *and* importable.
+
+    Requesting numba without having it installed is not an error — the NumPy
+    reference path is used instead (the container may not ship numba).
+    """
+    return numba_requested() and numba_available()
+
+
+_compiled_trilinear: Optional[Callable] = None
+
+
+def trilinear_gather_lerp_kernel() -> Optional[Callable]:
+    """The compiled trilinear gather+lerp kernel, or None for the NumPy path.
+
+    Signature of the returned callable::
+
+        kernel(values, idx8, fx, fy, fz) -> out
+
+    with ``values`` ``(n_points, c)`` float64, ``idx8`` ``(8, n)`` int64 flat
+    corner ids in x-major order (row = ``4*x + 2*y + z``), ``fx/fy/fz``
+    ``(n,)`` fractional offsets, returning ``(n, c)`` float64.  The
+    arithmetic mirrors the NumPy reference lerp exactly (same association
+    order), so enabling numba does not perturb results.
+    """
+    global _compiled_trilinear
+    if not numba_enabled():
+        return None
+    if _compiled_trilinear is not None:
+        return _compiled_trilinear
+
+    import numba
+
+    @numba.njit(cache=False, fastmath=False)
+    def _kernel(values, idx8, fx, fy, fz, out):  # pragma: no cover - needs numba
+        n = idx8.shape[1]
+        c = values.shape[1]
+        for i in range(n):
+            gx = fx[i]
+            gy = fy[i]
+            gz = fz[i]
+            for j in range(c):
+                c000 = values[idx8[0, i], j]
+                c001 = values[idx8[1, i], j]
+                c010 = values[idx8[2, i], j]
+                c011 = values[idx8[3, i], j]
+                c100 = values[idx8[4, i], j]
+                c101 = values[idx8[5, i], j]
+                c110 = values[idx8[6, i], j]
+                c111 = values[idx8[7, i], j]
+                c00 = c000 * (1 - gx) + c100 * gx
+                c10 = c010 * (1 - gx) + c110 * gx
+                c01 = c001 * (1 - gx) + c101 * gx
+                c11 = c011 * (1 - gx) + c111 * gx
+                c0 = c00 * (1 - gy) + c10 * gy
+                c1 = c01 * (1 - gy) + c11 * gy
+                out[i, j] = c0 * (1 - gz) + c1 * gz
+
+    def _wrapper(values, idx8, fx, fy, fz):  # pragma: no cover - needs numba
+        out = np.empty((idx8.shape[1], values.shape[1]), dtype=np.float64)
+        _kernel(values, idx8, fx, fy, fz, out)
+        return out
+
+    _compiled_trilinear = _wrapper
+    return _compiled_trilinear

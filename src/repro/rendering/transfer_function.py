@@ -18,6 +18,27 @@ from repro.rendering.colormaps import COLORMAP_PRESETS
 __all__ = ["ColorTransferFunction", "OpacityTransferFunction", "default_transfer_functions"]
 
 
+def _build_table(points: list, n_channels: int):
+    """Precompute the (xs, ys) knot arrays for a control-point list.
+
+    ``map_scalars`` is called once per ray-marching step, so rebuilding the
+    knot arrays from the Python control-point list on every call is pure
+    overhead; the table is memoized on the instance and invalidated by
+    value whenever the control points change.
+    """
+    xs = np.array([p[0] for p in points], dtype=np.float64)
+    if n_channels == 1:
+        ys = np.array([p[1] for p in points], dtype=np.float64)
+    else:
+        # one contiguous knot array per channel — np.interp would otherwise
+        # copy the strided column on every call
+        ys = tuple(
+            np.array([p[1 + c] for p in points], dtype=np.float64)
+            for c in range(n_channels)
+        )
+    return xs, ys
+
+
 @dataclass
 class ColorTransferFunction:
     """Piecewise-linear mapping scalar → RGB over absolute scalar values."""
@@ -43,15 +64,38 @@ class ColorTransferFunction:
         ]
         return self
 
-    def map_scalars(self, values: np.ndarray) -> np.ndarray:
+    def _knots(self):
+        key = tuple(self.points)
+        cached = getattr(self, "_table", None)
+        if cached is None or cached[0] != key:
+            cached = (key,) + _build_table(self.points, 3)
+            self._table = cached
+        return cached[1], cached[2]
+
+    def map_scalars(self, values: np.ndarray, out: np.ndarray = None) -> np.ndarray:
         if len(self.points) < 2:
             raise ValueError("transfer function needs at least two control points")
         vals = np.asarray(values, dtype=np.float64).reshape(-1)
-        xs = np.array([p[0] for p in self.points])
-        rgb = np.array([p[1:] for p in self.points])
-        out = np.empty((vals.shape[0], 3))
+        xs, rgb = self._knots()
+        if out is None:
+            out = np.empty((vals.shape[0], 3))
         for channel in range(3):
-            out[:, channel] = np.interp(vals, xs, rgb[:, channel])
+            out[:, channel] = np.interp(vals, xs, rgb[channel])
+        return out
+
+    def map_scalars_channels(self, values: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Channel-major variant of :meth:`map_scalars`.
+
+        Writes into a ``(3, n)`` buffer so every channel is one contiguous
+        run — the layout the ray marcher accumulates in, avoiding a strided
+        column write per channel per marching step.
+        """
+        if len(self.points) < 2:
+            raise ValueError("transfer function needs at least two control points")
+        vals = np.asarray(values, dtype=np.float64).reshape(-1)
+        xs, rgb = self._knots()
+        for channel in range(3):
+            out[channel] = np.interp(vals, xs, rgb[channel])
         return out
 
     @property
@@ -102,9 +146,12 @@ class OpacityTransferFunction:
         if len(self.points) < 2:
             raise ValueError("transfer function needs at least two control points")
         vals = np.asarray(values, dtype=np.float64).reshape(-1)
-        xs = np.array([p[0] for p in self.points])
-        ys = np.array([p[1] for p in self.points])
-        return np.interp(vals, xs, ys)
+        key = tuple(self.points)
+        cached = getattr(self, "_table", None)
+        if cached is None or cached[0] != key:
+            cached = (key,) + _build_table(self.points, 1)
+            self._table = cached
+        return np.interp(vals, cached[1], cached[2])
 
     @property
     def scalar_range(self) -> Tuple[float, float]:

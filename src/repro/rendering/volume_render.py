@@ -19,7 +19,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.algorithms.interpolation import trilinear_interpolate
+from repro.algorithms.interpolation import _sampler_for, _trilinear_gather_loop
 from repro.datamodel import ImageData
 from repro.rendering.camera import Camera
 from repro.rendering.framebuffer import Framebuffer
@@ -28,7 +28,7 @@ from repro.rendering.transfer_function import (
     OpacityTransferFunction,
     default_transfer_functions,
 )
-from repro.rendering.transforms import normalize
+from repro.rendering.transforms import normalize, transform_points
 
 __all__ = ["volume_render"]
 
@@ -48,17 +48,166 @@ def _ray_box_intersection(
         t0 = (box_min[None, :] - origins) * inv
         t1 = (box_max[None, :] - origins) * inv
     t_min = np.minimum(t0, t1)
-    t_max = np.maximum(t0, t1)
+    t_max = np.maximum(t0, t1, out=t1)
     # handle rays parallel to an axis: ignore that axis if origin inside slab
     parallel = np.abs(directions) < 1e-15
-    inside = (origins >= box_min[None, :]) & (origins <= box_max[None, :])
-    t_min = np.where(parallel & inside, -np.inf, t_min)
-    t_max = np.where(parallel & inside, np.inf, t_max)
-    t_min = np.where(parallel & ~inside, np.inf, t_min)
-    t_max = np.where(parallel & ~inside, -np.inf, t_max)
+    if parallel.any():
+        inside = (origins >= box_min[None, :]) & (origins <= box_max[None, :])
+        par_in = parallel & inside
+        par_out = parallel & ~inside
+        t_min[par_in] = -np.inf
+        t_max[par_in] = np.inf
+        t_min[par_out] = np.inf
+        t_max[par_out] = -np.inf
     t_near = np.max(t_min, axis=1)
     t_far = np.min(t_max, axis=1)
-    return np.maximum(t_near, 0.0), t_far
+    np.maximum(t_near, 0.0, out=t_near)
+    return t_near, t_far
+
+
+#: alpha beyond which a ray is considered opaque and stops marching
+_SATURATION_ALPHA = 0.995
+
+#: compact the active-ray set once this fraction of it has saturated
+_COMPACT_FRACTION = 0.2
+
+
+def _composite_rays(
+    image_data: ImageData,
+    array_name: str,
+    color_function: ColorTransferFunction,
+    opacity_function: OpacityTransferFunction,
+    o: np.ndarray,
+    d: np.ndarray,
+    tn: np.ndarray,
+    dt: np.ndarray,
+    n_samples: int,
+    ref_step: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Front-to-back compositing over compacted active rays.
+
+    The rays are marched in *index space*: origins and directions are mapped
+    through the lattice affine once and each step samples via
+    :meth:`~repro.algorithms.interpolation.TrilinearSampler.sample_continuous_axes`,
+    skipping the per-sample world-to-index conversion of the public
+    interpolation entry point.  Rays terminate individually: once enough of
+    the working set has saturated (``alpha > 0.995``) it is compacted, so
+    opaque rays stop being sampled — the pinned
+    :func:`_composite_rays_loop` only stops when *every* ray has saturated.
+    Index-space stepping and per-ray termination reassociate the float
+    arithmetic, so parity with the loop reference is tolerance-based: a
+    terminated ray's remaining contribution is bounded by its residual
+    transmittance ``1 - alpha < 0.005``.
+    """
+    n = o.shape[0]
+    color_acc = np.zeros((n, 3))
+    alpha_acc = np.zeros(n)
+
+    sampler = _sampler_for(image_data, array_name)
+    origin = np.asarray(image_data.origin, dtype=np.float64)
+    spacing = np.asarray(image_data.spacing, dtype=np.float64)
+
+    # compacted working set: sliced copies are refreshed only when enough
+    # rays have saturated to be worth dropping (fancy-indexing the full ray
+    # set every step costs more than marching a few finished rays along)
+    ids = np.arange(n)
+    oi = ((o - origin) / spacing).T.copy()  # (3, a) index-space origins
+    di = (d / spacing).T.copy()
+    # march as position = (oi + di*tn) + (di*dt) * (step + 0.5): the two
+    # per-ray constants fold the entry offset and per-step advance, so each
+    # step is one fused scale-and-offset over the (3, a) block
+    base = oi + di * tn[None, :]
+    svec = di * dt[None, :]
+    exp_w = dt / max(ref_step, 1e-12)
+    alpha_w = np.zeros(n)
+    color_w = np.zeros((3, n))  # channel-major: contiguous per-channel runs
+
+    # the per-step clip on (1 - alpha) is only needed when the opacity
+    # transfer function can leave [0, 1]; the stock piecewise-linear table
+    # cannot overshoot its control points
+    needs_clip = any(not (0.0 <= p[1] <= 1.0) for p in opacity_function.points)
+
+    # per-step scratch, preallocated once and sliced to the live-ray count
+    axes = np.empty((3, n), dtype=np.float64)
+    trans_buf = np.empty(n)
+    color_buf = np.empty((3, n))
+    workspace = sampler.make_workspace(n)
+    for step in range(n_samples):
+        if not ids.size:
+            break
+        a = ids.size
+        buf = axes[:, :a]
+        np.multiply(svec, step + 0.5, out=buf)
+        buf += base
+        samples = sampler.sample_continuous_axes(buf, workspace)
+        sample_color = color_function.map_scalars_channels(samples, out=color_buf[:, :a])
+        sample_alpha = opacity_function.map_scalars(samples)
+        # opacity correction for the actual step length, computed in place on
+        # the freshly mapped arrays (same operand order as the loop reference)
+        np.subtract(1.0, sample_alpha, out=sample_alpha)
+        if needs_clip:
+            sample_alpha.clip(0.0, 1.0, out=sample_alpha)
+        np.power(sample_alpha, exp_w, out=sample_alpha)
+        np.subtract(1.0, sample_alpha, out=sample_alpha)  # corrected opacity
+        transmittance = np.subtract(1.0, alpha_w, out=trans_buf[:a])
+        sample_alpha *= transmittance  # front-to-back weight
+        sample_color *= sample_alpha[None, :]
+        color_w += sample_color
+        alpha_w += sample_alpha
+
+        live = alpha_w <= _SATURATION_ALPHA
+        n_dead = a - int(np.count_nonzero(live))
+        if n_dead == a or n_dead >= a * _COMPACT_FRACTION:
+            dead = ~live
+            done = ids[dead]
+            color_acc[done] = color_w[:, dead].T
+            alpha_acc[done] = alpha_w[dead]
+            ids = ids[live]
+            base, svec = base[:, live], svec[:, live]
+            exp_w = exp_w[live]
+            alpha_w, color_w = alpha_w[live], color_w[:, live]
+
+    color_acc[ids] = color_w.T
+    alpha_acc[ids] = alpha_w
+    return color_acc, alpha_acc
+
+
+def _composite_rays_loop(
+    image_data: ImageData,
+    array_name: str,
+    color_function: ColorTransferFunction,
+    opacity_function: OpacityTransferFunction,
+    o: np.ndarray,
+    d: np.ndarray,
+    tn: np.ndarray,
+    dt: np.ndarray,
+    n_samples: int,
+    ref_step: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The historical one-call-per-step compositing loop, kept as the
+    reference oracle; the parity tests pin :func:`_composite_rays` against
+    this within the saturation tolerance.  Sampling goes through
+    :func:`_trilinear_gather_loop` so the composition reproduces the
+    pre-campaign implementation exactly (world-space marching, eight-gather
+    interpolation, all-rays-saturated termination only)."""
+    color_acc = np.zeros((o.shape[0], 3))
+    alpha_acc = np.zeros(o.shape[0])
+    for step in range(n_samples):
+        t = tn + (step + 0.5) * dt
+        positions = o + t[:, None] * d
+        samples = _trilinear_gather_loop(image_data, array_name, positions)
+        sample_color = color_function.map_scalars(samples)
+        sample_alpha = opacity_function.map_scalars(samples)
+        # opacity correction for the actual step length
+        corrected = 1.0 - np.power(
+            np.clip(1.0 - sample_alpha, 0.0, 1.0), dt / max(ref_step, 1e-12)
+        )
+        weight = corrected * (1.0 - alpha_acc)
+        color_acc += weight[:, None] * sample_color
+        alpha_acc += weight
+        if np.all(alpha_acc > _SATURATION_ALPHA):
+            break
+    return color_acc, alpha_acc
 
 
 def volume_render(
@@ -137,7 +286,9 @@ def volume_render(
         + grid_y[..., None] * true_up[None, None, :]
     ).reshape(-1, 3)
     directions /= np.linalg.norm(directions, axis=1, keepdims=True)
-    origins = np.broadcast_to(eye, directions.shape).copy()
+    # read-only broadcast view: every consumer either does arithmetic on it
+    # or fancy-indexes a fresh subset out
+    origins = np.broadcast_to(eye, directions.shape)
 
     t_near, t_far = _ray_box_intersection(origins, directions, box_min, box_max)
     hit = t_far > t_near
@@ -155,26 +306,13 @@ def volume_render(
         seg_len = tf - tn
         dt = seg_len / n_samples
 
-        color_acc = np.zeros((hit_idx.shape[0], 3))
-        alpha_acc = np.zeros(hit_idx.shape[0])
         # step-length correction for opacity: reference step is the cell diagonal
         ref_step = float(np.linalg.norm(image_data.spacing))
 
-        for step in range(n_samples):
-            t = tn + (step + 0.5) * dt
-            positions = o + t[:, None] * d
-            samples = trilinear_interpolate(image_data, array_name, positions)
-            sample_color = color_function.map_scalars(samples)
-            sample_alpha = opacity_function.map_scalars(samples)
-            # opacity correction for the actual step length
-            corrected = 1.0 - np.power(
-                np.clip(1.0 - sample_alpha, 0.0, 1.0), dt / max(ref_step, 1e-12)
-            )
-            weight = corrected * (1.0 - alpha_acc)
-            color_acc += weight[:, None] * sample_color
-            alpha_acc += weight
-            if np.all(alpha_acc > 0.995):
-                break
+        color_acc, alpha_acc = _composite_rays(
+            image_data, array_name, color_function, opacity_function,
+            o, d, tn, dt, n_samples, ref_step,
+        )
 
         accum_color[hit_idx] = color_acc
         accum_alpha[hit_idx] = alpha_acc
@@ -184,9 +322,17 @@ def volume_render(
 
     fb = Framebuffer(cast_w, cast_h, background)
     fb.color = final.reshape(cast_h, cast_w, 3)
-    # mark covered pixels in the depth buffer so coverage() is meaningful
-    covered = (accum_alpha > 1e-3).reshape(cast_h, cast_w)
-    fb.depth[covered] = 0.5
+    # write the front depth (NDC z of each covered ray's volume entry point,
+    # same convention as the rasterizer) so coverage() and depth-based verify
+    # relations see real geometry instead of a constant
+    covered = accum_alpha > 1e-3
+    if covered.any():
+        entry = origins[covered] + t_near[covered, None] * directions[covered]
+        clip, w = transform_points(camera.view_projection_matrix(aspect), entry)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ndc_z = clip[:, 2] / w
+        depth_flat = fb.depth.reshape(-1)
+        depth_flat[np.nonzero(covered)[0]] = ndc_z
 
     if (cast_w, cast_h) != (width, height):
         fb = fb.resized(width, height)

@@ -489,6 +489,38 @@ class TestVolumeRendering:
         fb = render_scene(scene, camera, *test_resolution, volume_samples=30)
         assert fb.coverage() > 0.05
 
+    def test_volume_depth_is_entry_point_not_constant(
+        self, marschner_lobb_small, test_resolution
+    ):
+        camera = Camera().isometric_view(marschner_lobb_small.bounds())
+        fb = volume_render(
+            marschner_lobb_small, "var0", camera, *test_resolution, n_samples=40
+        )
+        finite = np.isfinite(fb.depth)
+        assert finite.any()
+        assert not finite.all()  # background rays stay at +inf
+        depths = fb.depth[finite]
+        # NDC z of the per-ray box entry point: inside the clip range and
+        # varying with the geometry (the old behaviour was a constant)
+        assert np.abs(depths).max() <= 1.0 + 1e-9
+        assert np.unique(depths).size > 10
+        assert depths.std() > 0.0
+
+    def test_volume_depth_moves_with_camera(self, marschner_lobb_small, test_resolution):
+        bounds = marschner_lobb_small.bounds()
+        near_cam = Camera().isometric_view(bounds)
+        far_cam = near_cam.copy()
+        far_cam.dolly(0.5)  # dolly < 1 moves the eye away from the focal point
+        fb_near = volume_render(
+            marschner_lobb_small, "var0", near_cam, *test_resolution, n_samples=40
+        )
+        fb_far = volume_render(
+            marschner_lobb_small, "var0", far_cam, *test_resolution, n_samples=40
+        )
+        both = np.isfinite(fb_near.depth) & np.isfinite(fb_far.depth)
+        assert both.any()
+        assert not np.allclose(fb_near.depth[both], fb_far.depth[both])
+
     def test_missing_array_raises(self, marschner_lobb_small, test_resolution):
         camera = Camera().isometric_view(marschner_lobb_small.bounds())
         with pytest.raises(KeyError):
