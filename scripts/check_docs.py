@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Docs checker: intra-repo markdown links + runnable guide snippets.
+
+Two checks, both fatal on failure:
+
+1. **Links** — every relative markdown link in README.md, ROADMAP.md and
+   ``docs/*.md`` must point at a file that exists in the repo.  External
+   (``http(s)://``, ``mailto:``) and pure-anchor links are skipped.
+
+2. **Snippets** — every ```` ```bash ```` block in ``docs/evaluating.md`` is
+   executed, in document order, in a single scratch directory with
+   ``REPRO_CACHE_DIR`` pointed at scratch storage.  A ``repro`` shell
+   function forwards to ``python -m repro.cli`` so the snippets run whether
+   or not the console script is installed.
+
+Usage::
+
+    python scripts/check_docs.py              # both checks
+    python scripts/check_docs.py --links-only
+    python scripts/check_docs.py --snippets-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LINK_SOURCES = ("README.md", "ROADMAP.md")
+SNIPPET_DOC = REPO_ROOT / "docs" / "evaluating.md"
+
+# [text](target) — deliberately naive; good enough for hand-written docs.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE_RE = re.compile(r"^```(\w*)\s*$")
+
+
+def iter_markdown_files() -> List[Path]:
+    files = [REPO_ROOT / name for name in LINK_SOURCES if (REPO_ROOT / name).exists()]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return files
+
+
+def check_links() -> List[str]:
+    """Return a list of human-readable failures (empty means all links resolve)."""
+    failures: List[str] = []
+    for md in iter_markdown_files():
+        in_fence = False
+        for lineno, line in enumerate(md.read_text().splitlines(), start=1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+            if in_fence:
+                continue
+            for target in _LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                path_part = target.split("#", 1)[0]
+                if not path_part:
+                    continue
+                resolved = (md.parent / path_part).resolve()
+                if not resolved.exists():
+                    rel = md.relative_to(REPO_ROOT)
+                    failures.append(f"{rel}:{lineno}: broken link -> {target}")
+    return failures
+
+
+def extract_bash_blocks(doc: Path) -> List[Tuple[int, str]]:
+    """Return (starting line, script text) for each ```bash block in *doc*."""
+    blocks: List[Tuple[int, str]] = []
+    lines = doc.read_text().splitlines()
+    i = 0
+    while i < len(lines):
+        match = _FENCE_RE.match(lines[i].strip())
+        if match and match.group(1) == "bash":
+            start = i + 1
+            body: List[str] = []
+            i += 1
+            while i < len(lines) and not lines[i].strip().startswith("```"):
+                body.append(lines[i])
+                i += 1
+            blocks.append((start + 1, "\n".join(body)))
+        i += 1
+    return blocks
+
+
+def run_snippets(verbose: bool = True) -> List[str]:
+    """Execute every bash block from the guide; return failures."""
+    if not SNIPPET_DOC.exists():
+        return [f"missing snippet doc: {SNIPPET_DOC.relative_to(REPO_ROOT)}"]
+    blocks = extract_bash_blocks(SNIPPET_DOC)
+    if not blocks:
+        return [f"{SNIPPET_DOC.relative_to(REPO_ROOT)}: no ```bash blocks found"]
+
+    failures: List[str] = []
+    prologue = (
+        "set -euo pipefail\n"
+        'repro() { "$DOCS_PYTHON" -m repro.cli "$@"; }\n'
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-docs-") as scratch:
+        env = dict(os.environ)
+        env["DOCS_PYTHON"] = sys.executable
+        env["REPRO_CACHE_DIR"] = str(Path(scratch) / "cache")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
+        )
+        for lineno, body in blocks:
+            label = f"{SNIPPET_DOC.relative_to(REPO_ROOT)}:{lineno}"
+            if verbose:
+                first = body.strip().splitlines()[0] if body.strip() else "<empty>"
+                print(f"[snippet] {label}: {first}", flush=True)
+            proc = subprocess.run(
+                ["bash", "-c", prologue + body],
+                cwd=scratch,
+                env=env,
+                capture_output=True,
+                text=True,
+            )
+            if proc.returncode != 0:
+                tail = (proc.stdout + proc.stderr).strip().splitlines()[-15:]
+                failures.append(
+                    f"{label}: exit {proc.returncode}\n    " + "\n    ".join(tail)
+                )
+    return failures
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--links-only", action="store_true", help="skip snippet execution")
+    group.add_argument("--snippets-only", action="store_true", help="skip the link check")
+    parser.add_argument("--quiet", action="store_true", help="suppress per-snippet progress")
+    ns = parser.parse_args(argv)
+
+    failures: List[str] = []
+    if not ns.snippets_only:
+        failures.extend(check_links())
+        if not failures:
+            print(f"links: {len(iter_markdown_files())} markdown files, all intra-repo links resolve")
+    if not ns.links_only and not failures:
+        snippet_failures = run_snippets(verbose=not ns.quiet)
+        if not snippet_failures:
+            print("snippets: every ```bash block in docs/evaluating.md ran cleanly")
+        failures.extend(snippet_failures)
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

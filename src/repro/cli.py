@@ -13,8 +13,16 @@ One front door for the things people (and CI) run:
   to (re)capture the golden artifacts, ``relations`` to list the registry;
 * ``repro bench`` — a cold-vs-warm micro-benchmark of the tiered cache on a
   representative pipeline, with optional JSON output for CI artifacts;
+* ``repro llm``  — the LLM dispatch layer: ``stats`` shows the completion
+  cache footprint, the simulated pricing table, and (with ``--results``)
+  per-model spend recorded in a suite store;
 * ``repro cache`` — inspect (``stats``) or empty (``clear``) a disk cache
   root.
+
+``repro eval`` and ``repro suite run`` accept ``--budget
+tokens=...,calls=...,cost=...`` (enforced at dispatch time — a trip exits
+with status 2), ``--llm-cache``/``--no-llm-cache`` for the completion
+cache, and ``--review`` to add the generate→critique→repair method column.
 
 The cache root resolves, in order: ``--cache-dir``, the ``REPRO_CACHE_DIR``
 environment variable, then ``~/.cache/chatvis-repro`` (honoring
@@ -80,12 +88,66 @@ def _parse_csv(text: str) -> List[str]:
     return [item.strip() for item in text.split(",") if item.strip()]
 
 
+def _parse_budget(text: str):
+    """argparse type for ``--budget tokens=50000,calls=100,cost=1.50``."""
+    from repro.llm.core.budget import RunBudget
+
+    try:
+        return RunBudget.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _resolve_llm_cache(ns: argparse.Namespace) -> Optional[Path]:
+    """Completion-cache root: --llm-cache > <cache root>/llm-completions.
+
+    ``--no-llm-cache`` disables completion caching entirely; the default
+    lives next to the pipeline disk cache so ``REPRO_CACHE_DIR`` governs
+    both.
+    """
+    from repro.llm.core.cache import LLM_CACHE_SUBDIR
+
+    if getattr(ns, "no_llm_cache", False):
+        return None
+    explicit = getattr(ns, "llm_cache", None)
+    if explicit:
+        return Path(explicit)
+    return resolve_cache_dir(getattr(ns, "cache_dir", None)) / LLM_CACHE_SUBDIR
+
+
+def _add_llm_arguments(parser: argparse.ArgumentParser) -> None:
+    """The budget / completion-cache / review flags shared by eval and suite run."""
+    parser.add_argument(
+        "--budget",
+        type=_parse_budget,
+        default=None,
+        help="LLM run budget, e.g. tokens=50000,calls=100,cost=1.50 (any subset)",
+    )
+    parser.add_argument(
+        "--llm-cache",
+        default=None,
+        help="completion-cache root (default: <cache root>/llm-completions)",
+    )
+    parser.add_argument(
+        "--no-llm-cache", action="store_true", help="disable the completion cache"
+    )
+    parser.add_argument(
+        "--review",
+        action="store_true",
+        help="add the generate→critique→repair 'Review' method column",
+    )
+    parser.add_argument(
+        "--review-rounds", type=int, default=2, help="critique–repair rounds (default: 2)"
+    )
+
+
 # --------------------------------------------------------------------------- #
 # repro eval
 # --------------------------------------------------------------------------- #
 def _cmd_eval(ns: argparse.Namespace) -> int:
     from repro.engine.cache import configure_shared_cache, shared_cache
     from repro.eval.harness import DEFAULT_RESOLUTION, PAPER_MODELS, run_table_two
+    from repro.llm.core.budget import BudgetExceededError
 
     cache_dir: Optional[Path] = None
     if not ns.no_cache:
@@ -96,17 +158,25 @@ def _cmd_eval(ns: argparse.Namespace) -> int:
 
     models = tuple(ns.models) if ns.models else PAPER_MODELS
     started = time.perf_counter()
-    result = run_table_two(
-        ns.working_dir,
-        models=models,
-        tasks=ns.tasks or None,
-        resolution=ns.resolution or DEFAULT_RESOLUTION,
-        include_chatvis=not ns.no_chatvis,
-        max_iterations=ns.max_iterations,
-        max_workers=ns.max_workers,
-        executor=ns.executor,
-        cache_dir=cache_dir,
-    )
+    try:
+        result = run_table_two(
+            ns.working_dir,
+            models=models,
+            tasks=ns.tasks or None,
+            resolution=ns.resolution or DEFAULT_RESOLUTION,
+            include_chatvis=not ns.no_chatvis,
+            max_iterations=ns.max_iterations,
+            max_workers=ns.max_workers,
+            executor=ns.executor,
+            cache_dir=cache_dir,
+            budget=ns.budget,
+            llm_cache_dir=_resolve_llm_cache(ns),
+            include_review=ns.review,
+            review_rounds=ns.review_rounds,
+        )
+    except BudgetExceededError as exc:
+        print(f"aborted: {exc}")
+        return 2
     elapsed = time.perf_counter() - started
 
     print(result.format_table())
@@ -190,7 +260,9 @@ def _cmd_suite_list(ns: argparse.Namespace) -> int:
 
 
 def _cmd_suite_run(ns: argparse.Namespace) -> int:
+    from repro.llm.core.budget import BudgetExceededError
     from repro.scenarios import SuiteRunner, SuiteStore, build_report
+    from repro.scenarios.suite import REVIEW_METHOD
 
     cache_dir = _configure_cache(ns)
     scenarios = _select_scenarios(ns)
@@ -198,6 +270,8 @@ def _cmd_suite_run(ns: argparse.Namespace) -> int:
         print("no scenarios selected")
         return 1
     methods = list(ns.models) if ns.models else ["gpt-4"]
+    if ns.review:
+        methods.insert(0, REVIEW_METHOD)
     if ns.chatvis:
         methods.insert(0, "ChatVis")
 
@@ -206,6 +280,7 @@ def _cmd_suite_run(ns: argparse.Namespace) -> int:
     if ns.fresh:
         store.clear()
 
+    llm_cache_dir = _resolve_llm_cache(ns)
     started = time.perf_counter()
     runner = SuiteRunner(
         scenarios,
@@ -216,12 +291,29 @@ def _cmd_suite_run(ns: argparse.Namespace) -> int:
         max_workers=ns.max_workers,
         executor=ns.executor,
         cache_dir=cache_dir,
+        budget=ns.budget,
+        llm_cache_dir=llm_cache_dir,
+        review_rounds=ns.review_rounds,
     )
-    summary = runner.run(resume=True)
+    try:
+        if ns.prefetch:
+            if llm_cache_dir is None:
+                print("--prefetch needs a completion cache (drop --no-llm-cache)")
+                return 1
+            fetched = runner.prefetch(max_concurrency=max(1, ns.max_workers))
+            for model, count in sorted(fetched.items()):
+                print(f"prefetched {count} completion(s) for {model}")
+        summary = runner.run(resume=True)
+    except BudgetExceededError as exc:
+        print(f"aborted: {exc}")
+        print(f"results store: {store.path} (finished cells were kept; re-run to resume)")
+        return 2
     elapsed = time.perf_counter() - started
 
     print(f"suite: {summary.describe()} in {elapsed:.2f}s")
     print(f"results store: {store.path}")
+    if llm_cache_dir is not None:
+        print(f"completion cache: {llm_cache_dir}")
     for name, error in summary.failures:
         print(f"  FAILED {name}: {error}")
 
@@ -231,6 +323,11 @@ def _cmd_suite_run(ns: argparse.Namespace) -> int:
         print(
             f"{method:>14s}: {totals.error_free}/{totals.cells} error-free, "
             f"{totals.screenshots}/{totals.cells} screenshots"
+        )
+    for model, spend in sorted(summary.per_model_spend.items()):
+        print(
+            f"{model:>14s}: ${spend['cost']:.4f} over {spend['calls']} calls "
+            f"({spend['cached_calls']} cache hits, {spend['retries']} retries)"
         )
     if ns.report:
         print(f"wrote {report.write_markdown(ns.report)}")
@@ -433,6 +530,59 @@ def _cmd_bench_manifest(ns: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# repro llm
+# --------------------------------------------------------------------------- #
+def _cmd_llm_stats(ns: argparse.Namespace) -> int:
+    from repro.llm.core.budget import PRICING, Spend
+    from repro.llm.core.cache import CompletionCache
+    from repro.llm.registry import available_models
+
+    llm_cache_dir = _resolve_llm_cache(ns)
+    print(f"completion cache: {llm_cache_dir}")
+    if llm_cache_dir is not None and llm_cache_dir.exists():
+        cache = CompletionCache(llm_cache_dir)
+        print(f"  entries: {len(cache)}")
+        print(f"  size:    {_format_bytes(cache.total_bytes())}")
+    else:
+        print("  (empty — nothing cached yet)")
+
+    print("\nregistered models and simulated pricing ($/1k tokens):")
+    for name in available_models():
+        pricing = PRICING.get(name)
+        if pricing is None:
+            print(f"  {name:<20s} default pricing")
+        else:
+            print(
+                f"  {name:<20s} prompt {pricing.prompt_per_1k:.4f}  "
+                f"completion {pricing.completion_per_1k:.4f}"
+            )
+
+    if ns.results:
+        results = Path(ns.results)
+        if not results.exists():
+            print(f"\nno records: results store {results} does not exist")
+            return 1
+        from repro.scenarios.suite import SuiteStore
+
+        per_model: Dict[str, Spend] = {}
+        for record in SuiteStore(results).load().values():
+            usage = record.get("usage")
+            if not usage:
+                continue
+            model = str(record.get("model", record.get("method", "?")))
+            per_model.setdefault(model, Spend()).merge(Spend.from_dict(usage))
+        print(f"\nrecorded spend in {results}:")
+        if not per_model:
+            print("  (no usage-bearing records)")
+        for model, spend in sorted(per_model.items()):
+            print(
+                f"  {model:<20s} ${spend.cost:.4f} over {spend.calls} calls / "
+                f"{spend.tokens} tokens ({spend.cached_calls} cache hits)"
+            )
+    return 0
+
+
+# --------------------------------------------------------------------------- #
 # repro cache
 # --------------------------------------------------------------------------- #
 def _format_bytes(n: int) -> str:
@@ -540,6 +690,7 @@ def build_parser() -> argparse.ArgumentParser:
     eval_parser.add_argument(
         "--no-cache", action="store_true", help="run without the persistent disk tier"
     )
+    _add_llm_arguments(eval_parser)
     _add_cache_dir_argument(eval_parser)
     eval_parser.set_defaults(func=_cmd_eval)
 
@@ -587,6 +738,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--no-cache", action="store_true", help="run without the persistent disk tier"
+    )
+    _add_llm_arguments(run_parser)
+    run_parser.add_argument(
+        "--prefetch",
+        action="store_true",
+        help="warm the completion cache concurrently before running the cells",
     )
     run_parser.add_argument("--report", default=None, help="also write the markdown report here")
     run_parser.add_argument(
@@ -725,6 +882,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="skip the cold/warm cache section"
     )
     manifest_parser.set_defaults(func=_cmd_bench_manifest)
+
+    llm_parser = subparsers.add_parser(
+        "llm", help="LLM dispatch layer: completion-cache stats, pricing, recorded spend"
+    )
+    llm_sub = llm_parser.add_subparsers(dest="llm_command", required=True)
+    llm_stats_parser = llm_sub.add_parser(
+        "stats", help="completion-cache footprint, model pricing, per-model spend"
+    )
+    llm_stats_parser.add_argument(
+        "--llm-cache",
+        default=None,
+        help="completion-cache root (default: <cache root>/llm-completions)",
+    )
+    llm_stats_parser.add_argument(
+        "--results",
+        default=None,
+        help="also aggregate recorded per-model spend from this JSONL results store",
+    )
+    _add_cache_dir_argument(llm_stats_parser)
+    llm_stats_parser.set_defaults(func=_cmd_llm_stats)
 
     cache_parser = subparsers.add_parser("cache", help="inspect or clear a disk-cache root")
     cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)

@@ -42,6 +42,7 @@ from repro.eval.image_metrics import (
 from repro.eval.script_metrics import ScriptComparison, compare_scripts
 from repro.llm.base import LLMClient, user
 from repro.llm.codegen import extract_code_block
+from repro.llm.core.budget import RunBudget
 from repro.llm.registry import get_model
 from repro.pvsim.executor import ExecutionResult, PvPythonExecutor
 
@@ -187,6 +188,11 @@ def run_table_two(
     max_workers: int = 1,
     executor: str = "thread",
     cache_dir: Optional[Union[str, Path]] = None,
+    budget: Optional[RunBudget] = None,
+    llm_cache_dir: Optional[Union[str, Path]] = None,
+    include_review: bool = False,
+    review_model: str = "gpt-4",
+    review_rounds: int = 2,
 ) -> TableTwoResult:
     """Regenerate the Table II experiment.
 
@@ -202,12 +208,22 @@ def run_table_two(
     deterministic (seeded LLM simulation, isolated per-cell working
     directory, thread-local pvsim state), so the matrix is identical
     regardless of ``max_workers`` or executor choice.
+
+    ``budget`` / ``llm_cache_dir`` thread straight through to the suite's
+    LLM dispatch layer (:mod:`repro.llm.core`): every model call is budget
+    checked and completion cached.  ``include_review=True`` adds the
+    generate → critique → repair loop as a ``"Review"`` method column next
+    to ChatVis.
     """
     from repro.scenarios.catalog import canonical_scenarios
-    from repro.scenarios.suite import SuiteRunner
+    from repro.scenarios.suite import REVIEW_METHOD, SuiteRunner
 
     task_names = list(tasks) if tasks is not None else list(CANONICAL_TASKS)
-    methods: List[str] = (["ChatVis"] if include_chatvis else []) + [str(m) for m in models]
+    methods: List[str] = (
+        (["ChatVis"] if include_chatvis else [])
+        + ([REVIEW_METHOD] if include_review else [])
+        + [str(m) for m in models]
+    )
     result = TableTwoResult(methods=methods, tasks=task_names)
 
     runner = SuiteRunner(
@@ -222,6 +238,10 @@ def run_table_two(
         executor=executor,
         cache_dir=cache_dir,
         stop_on_error=True,  # a failing cell aborts and names itself (BatchJobError)
+        budget=budget,
+        llm_cache_dir=llm_cache_dir,
+        review_model=review_model,
+        review_rounds=review_rounds,
     )
     summary = runner.run(resume=False)
     for record in summary.records:

@@ -20,6 +20,7 @@ class ChatMessage:
             raise ValueError(f"invalid role {self.role!r}")
 
     def to_dict(self) -> Dict[str, str]:
+        """Return the OpenAI-style ``{"role", "content"}`` mapping."""
         return {"role": self.role, "content": self.content}
 
 
@@ -47,6 +48,7 @@ class Usage:
 
     @property
     def total_tokens(self) -> int:
+        """Prompt plus completion tokens."""
         return self.prompt_tokens + self.completion_tokens
 
     def __add__(self, other: "Usage") -> "Usage":

@@ -47,15 +47,19 @@ class ScriptDraft:
     plan: Optional[VisualizationPlan] = None
 
     def add(self, stage: str, code: str = "") -> None:
+        """Append a line of *code* tagged with its pipeline *stage*."""
         self.lines.append(ScriptLine(stage, code))
 
     def text(self) -> str:
+        """Render the draft as a complete script."""
         return render_script(self.lines)
 
     def stages(self) -> List[str]:
+        """The stage tag of every line, in order."""
         return [line.stage for line in self.lines]
 
     def copy(self) -> "ScriptDraft":
+        """Deep-copy the draft (lines and variable table)."""
         return ScriptDraft(
             lines=[ScriptLine(line.stage, line.code) for line in self.lines],
             variables=dict(self.variables),

@@ -1,0 +1,62 @@
+"""Budgeted, cached, concurrent LLM dispatch with a critique–repair loop.
+
+``repro.llm.core`` sits between the model registry (:mod:`repro.llm.registry`)
+and every consumer of model completions (the ChatVis loop, the unassisted
+baselines, the scenario suite).  It adds the operational layer a large
+scenario × model matrix needs:
+
+* :mod:`~repro.llm.core.budget` — token / call / cost budgets enforced at
+  dispatch time (:class:`RunBudget`, :class:`BudgetLedger`,
+  :class:`BudgetExceededError`) with a simulated per-model pricing table;
+* :mod:`~repro.llm.core.cache` — a disk-backed completion cache keyed on
+  (model, canonicalized messages, params) so suite re-runs are free and CI
+  is deterministic (:class:`CompletionCache`);
+* :mod:`~repro.llm.core.dispatch` — the budget-enforcing, caching, retrying
+  client wrapper (:class:`ManagedLLM`) plus bounded-concurrency async
+  fan-out (:func:`dispatch_completions`) with exponential backoff on the
+  retryable error taxonomy in :mod:`repro.llm.errors`;
+* :mod:`~repro.llm.core.review` — a generate → critique → repair loop
+  (:func:`run_review`) registered as the ``"Review"`` method column of the
+  evaluation matrices.
+
+See ``docs/llm.md`` for the end-to-end story, failure modes, and knobs.
+"""
+
+from repro.llm.core.budget import (
+    BudgetExceededError,
+    BudgetLedger,
+    ModelPricing,
+    RunBudget,
+    Spend,
+    cost_of,
+    pricing_for,
+)
+from repro.llm.core.cache import CompletionCache, completion_key
+from repro.llm.core.dispatch import (
+    DispatchRequest,
+    DispatchResult,
+    ManagedLLM,
+    RetryPolicy,
+    dispatch_completions,
+)
+from repro.llm.core.review import REVIEW_METHOD, ReviewResult, run_review
+
+__all__ = [
+    "BudgetExceededError",
+    "BudgetLedger",
+    "CompletionCache",
+    "DispatchRequest",
+    "DispatchResult",
+    "ManagedLLM",
+    "ModelPricing",
+    "REVIEW_METHOD",
+    "RetryPolicy",
+    "ReviewResult",
+    "RunBudget",
+    "Spend",
+    "completion_key",
+    "cost_of",
+    "dispatch_completions",
+    "pricing_for",
+    "run_review",
+]

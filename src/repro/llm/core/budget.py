@@ -1,0 +1,346 @@
+"""Run-level token / call / cost budgets, enforced at dispatch time.
+
+A :class:`RunBudget` caps what one evaluation run may spend across every
+model it talks to; a :class:`BudgetLedger` is the thread-safe spend meter
+that enforces it.  Enforcement is *pre-paid*: before a call is dispatched
+the ledger is consulted (:meth:`BudgetLedger.authorize`), and if any limit
+has already been reached a typed :class:`BudgetExceededError` is raised
+naming the model whose dispatch was refused and the spend so far.  A run
+can therefore overshoot each limit by at most the one in-flight call per
+worker that was authorized before the limit tripped — the standard
+metering semantics of hosted APIs.
+
+Costs are simulated: :data:`PRICING` assigns each simulated model a
+per-1k-token price in the same ballpark as its real counterpart, so the
+"cost blowup" axis of a scenario × model matrix is measurable offline.
+Cache hits are charged **zero marginal cost** — they count into the
+ledger's ``cached_calls`` / ``cached_tokens`` bookkeeping (the suite
+records them with ``cached: true``) but never against the budget limits.
+
+Sharing semantics: the suite runner shares one ledger across every cell of
+a run when cells execute in-process (serial or thread executor), which is
+what makes the budget a *run* budget.  Worker processes cannot share the
+lock-bearing ledger, so with ``executor="process"`` each cell enforces the
+budget against its own ledger (a per-cell ceiling) and the run-level total
+is aggregated from the returned records — documented in ``docs/llm.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.llm.base import Usage
+from repro.llm.errors import LLMError
+
+__all__ = [
+    "BudgetExceededError",
+    "BudgetLedger",
+    "DEFAULT_PRICING",
+    "ModelPricing",
+    "PRICING",
+    "RunBudget",
+    "Spend",
+    "cost_of",
+    "pricing_for",
+]
+
+
+class BudgetExceededError(LLMError):
+    """Raised when a dispatch would start after a budget limit is reached.
+
+    Carries the refusing ``model``, the tripped ``limit`` name
+    (``"max_tokens"`` / ``"max_calls"`` / ``"max_cost"``), the run's
+    :class:`RunBudget`, and a :class:`Spend` snapshot at refusal time.
+    """
+
+    def __init__(self, model: str, limit: str, budget: "RunBudget", spend: "Spend") -> None:
+        """Build the error message from the refusing model and spend snapshot."""
+        self.model = model
+        self.limit = limit
+        self.budget = budget
+        self.spend = spend
+        limit_value = getattr(budget, limit)
+        shown = f"${limit_value:.4f}" if limit == "max_cost" else str(limit_value)
+        super().__init__(
+            f"LLM budget exceeded dispatching to {model!r}: {limit} {shown} reached "
+            f"(spent ${spend.cost:.4f} over {spend.calls} calls / {spend.tokens} tokens; "
+            f"{spend.cached_calls} cache hits were free)"
+        )
+
+    def __reduce__(self):
+        """Pickle by constructor args (the default would replay the message)."""
+        return (self.__class__, (self.model, self.limit, self.budget, self.spend))
+
+
+@dataclass(frozen=True)
+class RunBudget:
+    """Caps for one run: any subset of max tokens, max calls, max cost.
+
+    ``None`` disables the corresponding limit; an all-``None`` budget is
+    valid and never trips (useful for "record spend, enforce nothing").
+    """
+
+    max_tokens: Optional[int] = None
+    max_calls: Optional[int] = None
+    max_cost: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        """Reject negative limits (zero is legal: refuse the first dispatch)."""
+        for name in ("max_tokens", "max_calls", "max_cost"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+
+    def unlimited(self) -> bool:
+        """True when no limit is set."""
+        return self.max_tokens is None and self.max_calls is None and self.max_cost is None
+
+    @classmethod
+    def parse(cls, text: str) -> "RunBudget":
+        """Parse the CLI form ``"tokens=50000,calls=100,cost=1.50"``.
+
+        Keys are ``tokens`` / ``calls`` / ``cost`` (any subset, any order).
+        """
+        kwargs: Dict[str, Any] = {}
+        mapping = {"tokens": ("max_tokens", int), "calls": ("max_calls", int), "cost": ("max_cost", float)}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(f"budget part {part!r} is not key=value (keys: tokens, calls, cost)")
+            key, raw = part.split("=", 1)
+            key = key.strip().lower()
+            if key not in mapping:
+                raise ValueError(f"unknown budget key {key!r} (keys: tokens, calls, cost)")
+            name, cast = mapping[key]
+            kwargs[name] = cast(raw.strip())
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class ModelPricing:
+    """Simulated price of one model, in dollars per 1000 tokens."""
+
+    prompt_per_1k: float
+    completion_per_1k: float
+
+    def cost(self, usage: Usage) -> float:
+        """Dollar cost of one completion's token usage."""
+        return (
+            usage.prompt_tokens * self.prompt_per_1k + usage.completion_tokens * self.completion_per_1k
+        ) / 1000.0
+
+
+#: simulated per-model pricing, roughly shaped like the real 2024 price sheet
+PRICING: Dict[str, ModelPricing] = {
+    "gpt-4-sim": ModelPricing(0.03, 0.06),
+    "gpt-3.5-turbo-sim": ModelPricing(0.0005, 0.0015),
+    "llama-3-8b-sim": ModelPricing(0.0002, 0.0002),
+    "codellama-7b-sim": ModelPricing(0.0002, 0.0002),
+    "codegemma-sim": ModelPricing(0.0002, 0.0002),
+}
+
+#: fallback for models registered outside the default profile table
+DEFAULT_PRICING = ModelPricing(0.001, 0.002)
+
+
+def pricing_for(model: str) -> ModelPricing:
+    """The pricing entry for a model name (falls back to default pricing)."""
+    return PRICING.get(model.lower(), DEFAULT_PRICING)
+
+
+def cost_of(model: str, usage: Usage) -> float:
+    """Simulated dollar cost of one completion for ``model``."""
+    return pricing_for(model).cost(usage)
+
+
+@dataclass
+class Spend:
+    """Cumulative spend counters (one ledger total, or one per-model slice).
+
+    Token and cost counters cover **billed** (non-cached) calls only;
+    cache hits accumulate in ``cached_calls`` / ``cached_tokens`` so the
+    records stay honest about what was reused.  ``retries`` counts failed
+    attempts that were re-dispatched (they consume wall-clock, not budget).
+    """
+
+    calls: int = 0
+    cached_calls: int = 0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    cached_tokens: int = 0
+    retries: int = 0
+    cost: float = 0.0
+
+    @property
+    def tokens(self) -> int:
+        """Billed prompt + completion tokens."""
+        return self.prompt_tokens + self.completion_tokens
+
+    def add_call(self, usage: Usage, cost: float) -> None:
+        """Record one billed completion."""
+        self.calls += 1
+        self.prompt_tokens += usage.prompt_tokens
+        self.completion_tokens += usage.completion_tokens
+        self.cost += cost
+
+    def add_cached(self, usage: Usage) -> None:
+        """Record one cache hit (zero marginal cost)."""
+        self.cached_calls += 1
+        self.cached_tokens += usage.total_tokens
+
+    def merge(self, other: "Spend") -> None:
+        """Fold another spend (e.g. a per-cell record) into this one."""
+        self.calls += other.calls
+        self.cached_calls += other.cached_calls
+        self.prompt_tokens += other.prompt_tokens
+        self.completion_tokens += other.completion_tokens
+        self.cached_tokens += other.cached_tokens
+        self.retries += other.retries
+        self.cost += other.cost
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready counters (this is the ``usage`` field of suite records)."""
+        return {
+            "calls": self.calls,
+            "cached_calls": self.cached_calls,
+            "prompt_tokens": self.prompt_tokens,
+            "completion_tokens": self.completion_tokens,
+            "cached_tokens": self.cached_tokens,
+            "retries": self.retries,
+            "cost": round(self.cost, 8),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Spend":
+        """Rebuild a spend from :meth:`as_dict` output (tolerates extras)."""
+        spend = cls()
+        for key in ("calls", "cached_calls", "prompt_tokens", "completion_tokens", "cached_tokens", "retries"):
+            setattr(spend, key, int(payload.get(key, 0)))
+        spend.cost = float(payload.get("cost", 0.0))
+        return spend
+
+
+@dataclass
+class _ModelSpend:
+    """Internal pair of (model name, spend) used for the per-model map."""
+
+    model: str
+    spend: Spend = field(default_factory=Spend)
+
+
+class BudgetLedger:
+    """Thread-safe spend meter enforcing one :class:`RunBudget` per run.
+
+    One ledger is shared by every :class:`~repro.llm.core.dispatch.ManagedLLM`
+    of a run; ``authorize`` is called before each dispatch and ``charge``
+    after each completion.  All methods are safe under concurrent cells on
+    the thread executor.
+    """
+
+    def __init__(self, budget: Optional[RunBudget] = None) -> None:
+        """Create a ledger enforcing ``budget`` (``None`` = record only)."""
+        self.budget = budget or RunBudget()
+        self._lock = threading.Lock()
+        self._total = Spend()
+        self._per_model: Dict[str, Spend] = {}
+
+    # ------------------------------------------------------------------ #
+    def authorize(self, model: str) -> None:
+        """Refuse (raise :class:`BudgetExceededError`) if a limit is reached.
+
+        Called immediately before dispatching a *billed* call; cache hits
+        never need authorization.
+        """
+        budget = self.budget
+        if budget.unlimited():
+            return
+        with self._lock:
+            snapshot = self._snapshot_locked()
+        if budget.max_calls is not None and snapshot.calls >= budget.max_calls:
+            raise BudgetExceededError(model, "max_calls", budget, snapshot)
+        if budget.max_tokens is not None and snapshot.tokens >= budget.max_tokens:
+            raise BudgetExceededError(model, "max_tokens", budget, snapshot)
+        if budget.max_cost is not None and snapshot.cost >= budget.max_cost:
+            raise BudgetExceededError(model, "max_cost", budget, snapshot)
+
+    def exhausted(self) -> bool:
+        """True when a new billed dispatch would be refused."""
+        try:
+            self.authorize("<probe>")
+        except BudgetExceededError:
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    def charge(self, model: str, usage: Usage, cached: bool = False) -> float:
+        """Record one completion; returns the (simulated) dollar cost billed."""
+        cost = 0.0 if cached else cost_of(model, usage)
+        with self._lock:
+            slot = self._per_model.setdefault(model, Spend())
+            if cached:
+                self._total.add_cached(usage)
+                slot.add_cached(usage)
+            else:
+                self._total.add_call(usage, cost)
+                slot.add_call(usage, cost)
+        return cost
+
+    def charge_retry(self, model: str) -> None:
+        """Count one failed-then-retried attempt (wall-clock, not budget)."""
+        with self._lock:
+            self._total.retries += 1
+            self._per_model.setdefault(model, Spend()).retries += 1
+
+    def merge_record(self, model: str, usage: Dict[str, Any]) -> None:
+        """Fold a suite record's ``usage`` dict in (process-executor path)."""
+        spend = Spend.from_dict(usage)
+        with self._lock:
+            self._total.merge(spend)
+            self._per_model.setdefault(model, Spend()).merge(spend)
+
+    # ------------------------------------------------------------------ #
+    def _snapshot_locked(self) -> Spend:
+        copy = Spend()
+        copy.merge(self._total)
+        return copy
+
+    def spend(self, model: Optional[str] = None) -> Spend:
+        """A copy of the total (or one model's) spend so far."""
+        with self._lock:
+            source = self._total if model is None else self._per_model.get(model, Spend())
+            copy = Spend()
+            copy.merge(source)
+            return copy
+
+    def per_model(self) -> Dict[str, Spend]:
+        """Copies of every per-model spend slice, keyed by model name."""
+        with self._lock:
+            out: Dict[str, Spend] = {}
+            for name, spend in self._per_model.items():
+                copy = Spend()
+                copy.merge(spend)
+                out[name] = copy
+            return out
+
+    def check_total(self) -> None:
+        """Post-hoc budget check over aggregated spend (process-executor path).
+
+        Raises :class:`BudgetExceededError` (model ``"<run total>"``) when the
+        aggregated spend has crossed a limit — used after worker processes,
+        which enforce only per-cell, hand their records back.
+        """
+        budget = self.budget
+        if budget.unlimited():
+            return
+        with self._lock:
+            snapshot = self._snapshot_locked()
+        if budget.max_calls is not None and snapshot.calls > budget.max_calls:
+            raise BudgetExceededError("<run total>", "max_calls", budget, snapshot)
+        if budget.max_tokens is not None and snapshot.tokens > budget.max_tokens:
+            raise BudgetExceededError("<run total>", "max_tokens", budget, snapshot)
+        if budget.max_cost is not None and snapshot.cost > budget.max_cost:
+            raise BudgetExceededError("<run total>", "max_cost", budget, snapshot)

@@ -1,0 +1,155 @@
+"""Disk-backed completion cache keyed on (model, messages, params).
+
+:class:`CompletionCache` layers the engine's :class:`~repro.engine.cache.DiskCache`
+machinery (atomic write-then-rename, advisory file locks, LRU size bound,
+checksummed payloads, corruption counted-and-discarded) under a
+completion-shaped key: the SHA-1 of the canonical JSON of the model name,
+the message list, and the sampling parameters.  Two consequences:
+
+* a **suite re-run is free** — every (model, prompt) pair the matrix has
+  seen before is served from disk without instantiating a model call, so
+  a second ``repro suite run`` over a fresh results store performs zero
+  billed model calls (asserted in ``tests/test_llm_core.py``);
+* **CI is deterministic** — the cache key contains everything that shapes
+  a completion, so a hit can never return a response generated under
+  different parameters.
+
+Responses served from the cache carry ``metadata["cached"] = True`` so
+budget accounting can charge them zero marginal cost while still recording
+their token usage (see :mod:`repro.llm.core.budget`).
+
+The cache root is chosen by the caller; the CLI defaults to
+``<cache root>/llm-completions`` next to the pipeline disk cache (so
+``REPRO_CACHE_DIR`` governs both).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Union
+
+from repro.engine.cache import CacheStats, DiskCache
+from repro.llm.base import ChatMessage, CompletionResponse
+
+__all__ = ["CompletionCache", "canonical_request", "completion_key", "LLM_CACHE_SUBDIR"]
+
+#: conventional subdirectory for completions under a shared cache root
+LLM_CACHE_SUBDIR = "llm-completions"
+
+
+def canonical_request(
+    model: str,
+    messages: Sequence[ChatMessage],
+    temperature: float = 0.0,
+    seed: Optional[int] = None,
+    max_tokens: Optional[int] = None,
+) -> Dict[str, Any]:
+    """The canonical, JSON-stable description of one completion request.
+
+    Everything that can change the completion is in here; nothing else is
+    (working directories, wall-clock, retry counts never affect the key).
+    """
+    return {
+        "model": str(model).lower(),
+        "messages": [{"role": m.role, "content": m.content} for m in messages],
+        "params": {
+            "temperature": float(temperature),
+            "seed": seed,
+            "max_tokens": max_tokens,
+        },
+    }
+
+
+def completion_key(
+    model: str,
+    messages: Sequence[ChatMessage],
+    temperature: float = 0.0,
+    seed: Optional[int] = None,
+    max_tokens: Optional[int] = None,
+) -> str:
+    """SHA-1 content address of one completion request."""
+    payload = json.dumps(
+        canonical_request(model, messages, temperature=temperature, seed=seed, max_tokens=max_tokens),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()
+
+
+class CompletionCache:
+    """A persistent completion store on the engine's disk-cache substrate.
+
+    Entries are whole :class:`~repro.llm.base.CompletionResponse` objects;
+    corruption, eviction, and concurrent writers are handled by
+    :class:`~repro.engine.cache.DiskCache` exactly as for pipeline results.
+    """
+
+    def __init__(self, root: Union[str, Path], max_bytes: int = 256 << 20) -> None:
+        """Open (creating if needed) a completion cache under ``root``."""
+        self.disk = DiskCache(root, max_bytes=max_bytes)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def root(self) -> Path:
+        """The on-disk cache root."""
+        return self.disk.root
+
+    @property
+    def stats(self) -> CacheStats:
+        """Hit/miss/eviction/corruption counters of the underlying store."""
+        return self.disk.stats
+
+    # ------------------------------------------------------------------ #
+    def get(
+        self,
+        model: str,
+        messages: Sequence[ChatMessage],
+        temperature: float = 0.0,
+        seed: Optional[int] = None,
+        max_tokens: Optional[int] = None,
+    ) -> Optional[CompletionResponse]:
+        """The cached response for a request, or ``None`` on a miss.
+
+        Hits are stamped ``metadata["cached"] = True`` so downstream
+        accounting can distinguish them from fresh completions.
+        """
+        key = completion_key(model, messages, temperature=temperature, seed=seed, max_tokens=max_tokens)
+        found, value = self.disk.get(key)
+        if not found or not isinstance(value, CompletionResponse):
+            return None
+        value.metadata = dict(value.metadata)
+        value.metadata["cached"] = True
+        return value
+
+    def put(
+        self,
+        model: str,
+        messages: Sequence[ChatMessage],
+        response: CompletionResponse,
+        temperature: float = 0.0,
+        seed: Optional[int] = None,
+        max_tokens: Optional[int] = None,
+    ) -> str:
+        """Persist one response under its request key; returns the key."""
+        key = completion_key(model, messages, temperature=temperature, seed=seed, max_tokens=max_tokens)
+        self.disk.put(key, response)
+        return key
+
+    # ------------------------------------------------------------------ #
+    def clear(self) -> None:
+        """Remove every cached completion."""
+        self.disk.clear()
+
+    def total_bytes(self) -> int:
+        """On-disk footprint of the cached completions."""
+        return self.disk.total_bytes()
+
+    def __len__(self) -> int:
+        """Number of cached completions."""
+        return len(self.disk)
+
+    def __repr__(self) -> str:
+        """Debug summary naming the root and entry count."""
+        return f"<CompletionCache root={str(self.root)!r} entries={len(self)}>"

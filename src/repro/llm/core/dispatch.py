@@ -1,0 +1,272 @@
+"""Budget-enforcing, caching, retrying dispatch — serial and concurrent.
+
+Two layers live here:
+
+* :class:`ManagedLLM` — a drop-in :class:`~repro.llm.base.LLMClient`
+  wrapper that every consumer (ChatVis, the unassisted baselines, the
+  review loop) talks through.  Each ``complete`` call flows
+  **cache → authorize → attempt/retry → charge → cache-fill**:
+
+  1. the completion cache is consulted; a hit is returned immediately,
+     charged as zero marginal cost (``cached: true`` in the records);
+  2. the run's :class:`~repro.llm.core.budget.BudgetLedger` authorizes the
+     dispatch (raising :class:`~repro.llm.core.budget.BudgetExceededError`
+     if a limit is already reached);
+  3. the inner client is called; :class:`~repro.llm.errors.RetryableLLMError`
+     failures are retried with exponential backoff (honoring a
+     ``retry_after`` hint when the error carries one), non-retryable
+     errors propagate at once;
+  4. the ledger is charged and the response written back to the cache.
+
+* :func:`dispatch_completions` — bounded-concurrency fan-out of many
+  :class:`DispatchRequest` objects over one client, implemented with
+  ``asyncio`` + a semaphore (each blocking ``complete`` runs in a worker
+  thread).  The scenario × model matrix uses this to warm the completion
+  cache concurrently while ``engine.batch`` keeps executing pipelines.
+
+Failures inside the fan-out are captured per-request in
+:class:`DispatchResult` rather than aborting the batch — except budget
+refusals, which abort the remaining requests (spending further calls after
+the budget tripped would never be authorized anyway).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.llm.base import ChatMessage, CompletionResponse, LLMClient
+from repro.llm.core.budget import BudgetExceededError, BudgetLedger, Spend
+from repro.llm.core.cache import CompletionCache
+from repro.llm.errors import RetryableLLMError
+
+__all__ = [
+    "DEFAULT_RETRY_POLICY",
+    "DispatchRequest",
+    "DispatchResult",
+    "ManagedLLM",
+    "RetryPolicy",
+    "dispatch_completions",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff retry schedule for retryable dispatch failures.
+
+    Attempt ``n`` (1-based) failing retryably sleeps
+    ``min(max_delay, base_delay * backoff ** (n - 1))`` before attempt
+    ``n + 1`` — unless the error carries a ``retry_after`` hint, which
+    takes precedence (still clamped to ``max_delay``).  Non-retryable
+    errors never consult the policy.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    backoff: float = 2.0
+    max_delay: float = 2.0
+
+    def __post_init__(self) -> None:
+        """Reject schedules that could never dispatch anything."""
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+
+    def delay_for(self, attempt: int, retry_after: Optional[float] = None) -> float:
+        """Seconds to sleep after failed 1-based ``attempt``."""
+        if retry_after is not None:
+            return min(max(0.0, retry_after), self.max_delay)
+        return min(self.max_delay, self.base_delay * (self.backoff ** (attempt - 1)))
+
+
+#: policy used when none is supplied — three attempts, fast backoff
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+class ManagedLLM(LLMClient):
+    """The budget/cache/retry wrapper every dispatch path goes through.
+
+    Wraps any :class:`~repro.llm.base.LLMClient` without changing its
+    interface, so it can be handed directly to ``ChatVis`` or the
+    unassisted baselines.  The wrapper keeps its own :class:`Spend`
+    (everything routed through *this* instance) in addition to charging
+    the shared run ledger, which is what the suite writes into each
+    record's ``usage`` field.
+    """
+
+    def __init__(
+        self,
+        inner: LLMClient,
+        ledger: Optional[BudgetLedger] = None,
+        cache: Optional[CompletionCache] = None,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        """Wrap ``inner``; any of ledger / cache / retry may be omitted."""
+        self.inner = inner
+        self.model_name = inner.model_name
+        self.ledger = ledger
+        self.cache = cache
+        self.retry = retry or DEFAULT_RETRY_POLICY
+        self.spend = Spend()
+        self._sleep = sleep
+
+    def complete(
+        self,
+        messages: Sequence[ChatMessage],
+        temperature: float = 0.0,
+        seed: Optional[int] = None,
+        max_tokens: Optional[int] = None,
+    ) -> CompletionResponse:
+        """Cache → authorize → attempt/retry → charge → cache-fill."""
+        if self.cache is not None:
+            hit = self.cache.get(
+                self.model_name, messages, temperature=temperature, seed=seed, max_tokens=max_tokens
+            )
+            if hit is not None:
+                self.spend.add_cached(hit.usage)
+                if self.ledger is not None:
+                    self.ledger.charge(self.model_name, hit.usage, cached=True)
+                return hit
+
+        if self.ledger is not None:
+            self.ledger.authorize(self.model_name)
+
+        response = self._attempt(messages, temperature, seed, max_tokens)
+        response.metadata = dict(response.metadata)
+        response.metadata.setdefault("cached", False)
+
+        from repro.llm.core.budget import cost_of
+
+        cost = cost_of(self.model_name, response.usage)
+        self.spend.add_call(response.usage, cost)
+        if self.ledger is not None:
+            self.ledger.charge(self.model_name, response.usage)
+        if self.cache is not None:
+            self.cache.put(
+                self.model_name,
+                messages,
+                response,
+                temperature=temperature,
+                seed=seed,
+                max_tokens=max_tokens,
+            )
+        return response
+
+    # ------------------------------------------------------------------ #
+    def _attempt(
+        self,
+        messages: Sequence[ChatMessage],
+        temperature: float,
+        seed: Optional[int],
+        max_tokens: Optional[int],
+    ) -> CompletionResponse:
+        """Call the inner client under the retry policy."""
+        policy = self.retry
+        last: Optional[RetryableLLMError] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                return self.inner.complete(
+                    messages, temperature=temperature, seed=seed, max_tokens=max_tokens
+                )
+            except RetryableLLMError as exc:
+                last = exc
+                self.spend.retries += 1
+                if self.ledger is not None:
+                    self.ledger.charge_retry(self.model_name)
+                if attempt >= policy.max_attempts:
+                    break
+                self._sleep(policy.delay_for(attempt, getattr(exc, "retry_after", None)))
+        assert last is not None
+        raise last
+
+
+@dataclass(frozen=True)
+class DispatchRequest:
+    """One completion request in a concurrent batch."""
+
+    messages: Tuple[ChatMessage, ...]
+    temperature: float = 0.0
+    seed: Optional[int] = None
+    max_tokens: Optional[int] = None
+    #: opaque identifier echoed back in the matching :class:`DispatchResult`
+    tag: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        """Normalize the message sequence to a tuple (hashable, immutable)."""
+        object.__setattr__(self, "messages", tuple(self.messages))
+
+
+@dataclass
+class DispatchResult:
+    """Outcome of one request in a concurrent batch: response or error."""
+
+    request: DispatchRequest
+    response: Optional[CompletionResponse] = None
+    error: Optional[BaseException] = None
+    duration: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when the request produced a response."""
+        return self.response is not None
+
+
+async def _dispatch_async(
+    client: LLMClient,
+    requests: Sequence[DispatchRequest],
+    max_concurrency: int,
+) -> List[DispatchResult]:
+    """Semaphore-bounded fan-out; blocking ``complete`` runs in threads."""
+    semaphore = asyncio.Semaphore(max_concurrency)
+    tripped: List[BudgetExceededError] = []
+
+    async def run_one(request: DispatchRequest) -> DispatchResult:
+        result = DispatchResult(request=request)
+        async with semaphore:
+            if tripped:
+                result.error = tripped[0]
+                result.metadata["skipped"] = True
+                return result
+            start = time.perf_counter()
+            try:
+                result.response = await asyncio.to_thread(
+                    client.complete,
+                    request.messages,
+                    temperature=request.temperature,
+                    seed=request.seed,
+                    max_tokens=request.max_tokens,
+                )
+            except BudgetExceededError as exc:
+                tripped.append(exc)
+                result.error = exc
+            except Exception as exc:  # captured per-request, batch continues
+                result.error = exc
+            result.duration = time.perf_counter() - start
+        return result
+
+    return list(await asyncio.gather(*(run_one(req) for req in requests)))
+
+
+def dispatch_completions(
+    client: LLMClient,
+    requests: Sequence[DispatchRequest],
+    max_concurrency: int = 4,
+) -> List[DispatchResult]:
+    """Dispatch many requests over one client with bounded concurrency.
+
+    Results come back in request order.  Per-request failures are captured
+    in :attr:`DispatchResult.error`; once a
+    :class:`~repro.llm.core.budget.BudgetExceededError` fires, not-yet-started
+    requests are marked skipped instead of dispatched.  Must be called from
+    synchronous code (it owns the event loop for the duration).
+    """
+    if max_concurrency < 1:
+        raise ValueError(f"max_concurrency must be >= 1, got {max_concurrency}")
+    if not requests:
+        return []
+    return asyncio.run(_dispatch_async(client, requests, max_concurrency))

@@ -1,0 +1,121 @@
+"""The generate → critique → repair method column ("Review").
+
+The paper's ChatVis pipeline repairs scripts *reactively*: it runs the
+script under pvpython and feeds real tracebacks back to the model.  This
+module adds the proactive variant the conclusion sketches — after
+generating a script the same model is asked to *review* it, and any issue
+the review surfaces is fed through the existing correction path **before**
+anything is executed:
+
+1. **generate** — the scenario prompt is completed exactly as the
+   unassisted baseline would (same messages, same parameters), so the
+   generation shares completion-cache entries with ``run_unassisted`` and
+   a prefetched cache covers both;
+2. **critique** — the model receives the script under
+   :data:`~repro.llm.models.CRITIQUE_MARKER` and answers either with a
+   clean verdict or a pvpython-style pseudo-traceback naming one issue;
+3. **repair** — a correction prompt (the same shape ChatVis uses) carries
+   the script plus the critique's traceback back to the model.
+
+Critique/repair rounds repeat up to ``rounds`` times and are
+**budget-aware**: the opening generation always dispatches (so a tripped
+:class:`~repro.llm.core.budget.BudgetExceededError` propagates to the
+caller), but optional critique rounds stop politely once the run ledger is
+exhausted — a half-reviewed script beats an aborted cell.
+
+The suite registers this flow as the ``"Review"`` method column of the
+Table II matrix; see ``docs/llm.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.llm.base import LLMClient, user
+from repro.llm.core.budget import BudgetLedger
+
+__all__ = ["REVIEW_METHOD", "ReviewResult", "run_review"]
+
+#: method-column name used in suite records, reports, and the Table II harness
+REVIEW_METHOD = "Review"
+
+
+@dataclass
+class ReviewResult:
+    """Outcome of one generate → critique → repair run."""
+
+    script: str
+    rounds_requested: int
+    rounds_used: int = 0
+    critiques: List[str] = field(default_factory=list)
+    repaired: bool = False
+    #: why the loop ended: "clean" (critic found nothing), "rounds"
+    #: (round limit reached), or "budget" (ledger exhausted mid-review)
+    stopped: str = "clean"
+
+
+def _build_critique_prompt(script: str) -> str:
+    from repro.llm.models import CRITIQUE_MARKER
+
+    return (
+        f"{CRITIQUE_MARKER} and report the first problem you find as a "
+        f"pvpython-style error report, or state that it is clean.\n\n"
+        f"```python\n{script}```\n"
+    )
+
+
+def _build_repair_prompt(script: str, critique: str) -> str:
+    # shaped like ChatVis's correction prompt: the marker phrase, the script
+    # as the first fenced block, then the (pseudo-)traceback unfenced.
+    return (
+        f"Running this ParaView script reportedly fails; please fix the code.\n\n"
+        f"```python\n{script}```\n\n"
+        f"Error report:\n\n{critique}\n"
+    )
+
+
+def run_review(
+    llm: LLMClient,
+    prompt: str,
+    rounds: int = 2,
+    ledger: Optional[BudgetLedger] = None,
+) -> ReviewResult:
+    """Generate a script for ``prompt``, then critique-and-repair it.
+
+    ``llm`` is typically a :class:`~repro.llm.core.dispatch.ManagedLLM`;
+    when ``ledger`` is omitted the client's own ledger (if any) governs the
+    polite early stop.  Raises whatever the opening generation raises —
+    including :class:`~repro.llm.core.budget.BudgetExceededError`.
+    """
+    from repro.llm.codegen import extract_code_block
+    from repro.llm.models import NO_ISSUES_VERDICT
+
+    if rounds < 0:
+        raise ValueError(f"rounds must be non-negative, got {rounds}")
+    if ledger is None:
+        ledger = getattr(llm, "ledger", None)
+
+    generation = llm.complete([user(prompt)])
+    script = extract_code_block(generation.text)
+    result = ReviewResult(script=script, rounds_requested=rounds, stopped="rounds")
+
+    for _ in range(rounds):
+        if ledger is not None and ledger.exhausted():
+            result.stopped = "budget"
+            break
+        critique = llm.complete([user(_build_critique_prompt(script))]).text
+        result.critiques.append(critique)
+        result.rounds_used += 1
+        if NO_ISSUES_VERDICT in critique:
+            result.stopped = "clean"
+            break
+        if ledger is not None and ledger.exhausted():
+            result.stopped = "budget"
+            break
+        repaired = llm.complete([user(_build_repair_prompt(script, critique))])
+        script = extract_code_block(repaired.text)
+        result.script = script
+        result.repaired = True
+
+    return result

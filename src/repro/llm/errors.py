@@ -1,10 +1,17 @@
-"""Error injection and repair.
+"""Error taxonomy, error injection, and repair.
 
-The simulated models "hallucinate" by degrading the canonical script with the
-failure modes the paper documents for unassisted LLMs, and "learn from error
-messages" by repairing scripts with a pattern-matching fixer whose success
-probability is the model's repair skill.  Both sides are deterministic given
-the RNG the caller provides.
+Two things live here.  First, the **client-error taxonomy**: the typed
+exceptions (:class:`LLMError` and friends) that model clients raise and the
+dispatch layer (:mod:`repro.llm.core.dispatch`) keys its retry policy on —
+:class:`RetryableLLMError` subclasses are retried with exponential backoff,
+everything else propagates immediately.
+
+Second, the **simulated failure modes**: the simulated models "hallucinate"
+by degrading the canonical script with the failure modes the paper documents
+for unassisted LLMs, and "learn from error messages" by repairing scripts
+with a pattern-matching fixer whose success probability is the model's
+repair skill.  Both sides are deterministic given the RNG the caller
+provides.
 """
 
 from __future__ import annotations
@@ -18,6 +25,13 @@ import numpy as np
 from repro.llm.codegen import ScriptDraft, ScriptLine
 
 __all__ = [
+    "LLMError",
+    "NonRetryableLLMError",
+    "RetryableLLMError",
+    "RateLimitError",
+    "TransientAPIError",
+    "ModelTimeoutError",
+    "RepairOutcome",
     "inject_attribute_hallucination",
     "inject_nonexistent_function",
     "inject_use_before_create",
@@ -28,6 +42,42 @@ __all__ = [
     "repair_script",
     "REPAIR_MAP",
 ]
+
+
+# --------------------------------------------------------------------------- #
+# client-error taxonomy (consumed by repro.llm.core.dispatch)
+# --------------------------------------------------------------------------- #
+class LLMError(Exception):
+    """Base class for failures raised by LLM clients and the dispatch layer."""
+
+
+class NonRetryableLLMError(LLMError):
+    """A failure that retrying cannot fix (bad request, auth, unknown model)."""
+
+
+class RetryableLLMError(LLMError):
+    """A transient failure worth re-dispatching with exponential backoff.
+
+    ``retry_after`` (seconds) is an optional server-provided hint; the retry
+    policy waits at least that long before the next attempt.
+    """
+
+    def __init__(self, message: str, retry_after: Optional[float] = None) -> None:
+        """Store the message and the optional server backoff hint."""
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class RateLimitError(RetryableLLMError):
+    """The provider rejected the call for exceeding its request/token rate."""
+
+
+class TransientAPIError(RetryableLLMError):
+    """A 5xx-style transient provider failure (overload, gateway, hiccup)."""
+
+
+class ModelTimeoutError(RetryableLLMError):
+    """The completion did not arrive within the client's deadline."""
 
 
 # --------------------------------------------------------------------------- #

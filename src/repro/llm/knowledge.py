@@ -100,10 +100,12 @@ class HallucinationCatalog:
 
     @classmethod
     def for_stage(cls, stage: str) -> List[Hallucination]:
+        """Hallucinations that can be injected at pipeline *stage*."""
         return list(cls.ENTRIES.get(stage, []))
 
     @classmethod
     def all_entries(cls) -> List[Hallucination]:
+        """Every catalogued hallucination, across all stages."""
         out: List[Hallucination] = []
         for entries in cls.ENTRIES.values():
             out.extend(entries)
@@ -159,22 +161,28 @@ class ParaViewKnowledgeBase:
 
     # ------------------------------------------------------------------ #
     def functions(self) -> List[str]:
+        """Sorted names of every known ``paraview.simple`` function."""
         return sorted(self._functions)
 
     def has_function(self, name: str) -> bool:
+        """True if *name* is a real ``paraview.simple`` function."""
         return name in self._functions
 
     def proxies(self) -> List[str]:
+        """Sorted names of every proxy type with a known property set."""
         return sorted(self._proxy_properties)
 
     def properties_of(self, proxy: str) -> Set[str]:
+        """The valid property names of *proxy* (empty set if unknown)."""
         return set(self._proxy_properties.get(proxy, set()))
 
     def is_valid_property(self, proxy: str, property_name: str) -> bool:
+        """True if *property_name* is a real property of *proxy*."""
         props = self._proxy_properties.get(proxy)
         if props is None:
             return False
         return property_name in props
 
     def is_known_hallucination(self, proxy: str, property_name: str) -> bool:
+        """True if the pair is one of the catalogued invalid attributes."""
         return (proxy, property_name) in HallucinationCatalog.invalid_attribute_names()

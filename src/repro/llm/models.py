@@ -21,9 +21,10 @@ identical calls give identical answers — experiments are reproducible.
 
 from __future__ import annotations
 
+import re
 import zlib
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,7 +43,16 @@ from repro.llm.errors import (
 from repro.llm.nl_parser import VisualizationPlan, parse_request
 from repro.llm.tokenizer import count_tokens
 
-__all__ = ["ModelProfile", "SimulatedLLM", "DEFAULT_PROFILES"]
+__all__ = [
+    "CORRECTION_MARKER",
+    "CRITIQUE_MARKER",
+    "DEFAULT_PROFILES",
+    "FEW_SHOT_MARKER",
+    "ModelProfile",
+    "NO_ISSUES_VERDICT",
+    "PROMPT_REWRITE_MARKER",
+    "SimulatedLLM",
+]
 
 
 # markers the ChatVis core embeds in its prompts; the simulated models key on
@@ -50,6 +60,10 @@ __all__ = ["ModelProfile", "SimulatedLLM", "DEFAULT_PROFILES"]
 PROMPT_REWRITE_MARKER = "Rewrite the user request as step-by-step instructions"
 FEW_SHOT_MARKER = "Example ParaView code snippets"
 CORRECTION_MARKER = "fix the code"
+CRITIQUE_MARKER = "Review the following ParaView script"
+
+#: the critic's clean verdict; the review loop stops when it sees this
+NO_ISSUES_VERDICT = "No issues found."
 
 
 @dataclass
@@ -151,6 +165,7 @@ class SimulatedLLM(LLMClient):
         seed: Optional[int] = None,
         max_tokens: Optional[int] = None,
     ) -> CompletionResponse:
+        """Answer *messages* deterministically, dispatching on prompt markers."""
         prompt_text = "\n\n".join(m.content for m in messages)
         rng = np.random.default_rng(
             seed if seed is not None else _stable_seed(self.model_name, prompt_text)
@@ -158,6 +173,8 @@ class SimulatedLLM(LLMClient):
 
         if PROMPT_REWRITE_MARKER in prompt_text:
             text = self._rewrite_prompt(prompt_text)
+        elif CRITIQUE_MARKER in prompt_text:
+            text = self._critique_script(prompt_text, rng)
         elif CORRECTION_MARKER in prompt_text.lower() and "Traceback" in prompt_text:
             text = self._correct_script(prompt_text, rng)
         else:
@@ -302,6 +319,31 @@ class SimulatedLLM(LLMClient):
             f"```python\n{outcome.script}```\n"
         )
 
+    # ------------------------------------------------------------------ #
+    # script critique (the review loop's middle leg)
+    # ------------------------------------------------------------------ #
+    def _critique_script(self, prompt_text: str, rng: np.random.Generator) -> str:
+        """Review a script and report the first issue as a pseudo-traceback.
+
+        The critic is a static analysis pass (the same AST machinery the
+        evaluation harness uses) gated by the model's capability: weak
+        models frequently miss real issues.  The report is phrased exactly
+        like a pvpython traceback so the existing correction path
+        (:func:`repro.llm.errors.repair_script`) can consume it unchanged.
+        """
+        script = _extract_previous_script(prompt_text)
+        issue = _first_script_issue(script)
+        detection = 0.35 + 0.65 * self.profile.api_knowledge
+        if issue is None or rng.random() > detection:
+            return f"I reviewed the script carefully. {NO_ISSUES_VERDICT}"
+        line_no, error_name, message = issue
+        return (
+            "I reviewed the script and found a problem. Simulated run report:\n\n"
+            "Traceback (most recent call last):\n"
+            f'  File "script.py", line {line_no}, in <module>\n'
+            f"{error_name}: {message}"
+        )
+
 
 # --------------------------------------------------------------------------- #
 # prompt-part extraction helpers
@@ -348,3 +390,64 @@ def _extract_error_report(prompt_text: str) -> str:
             tail = tail.split("```", 1)[0]
         return tail.strip()
     return ""
+
+
+# --------------------------------------------------------------------------- #
+# critic substrate: static analysis shared with the evaluation harness
+# --------------------------------------------------------------------------- #
+_CRITIC_KNOWLEDGE = None
+
+
+def _critic_knowledge():
+    """The critic's cached ParaView knowledge base (built on first use)."""
+    global _CRITIC_KNOWLEDGE
+    if _CRITIC_KNOWLEDGE is None:
+        from repro.llm.knowledge import ParaViewKnowledgeBase
+
+        _CRITIC_KNOWLEDGE = ParaViewKnowledgeBase()
+    return _CRITIC_KNOWLEDGE
+
+
+def _line_of(script: str, needle: str) -> int:
+    """1-based number of the first script line containing ``needle``."""
+    for index, line in enumerate(script.splitlines(), start=1):
+        if needle in line:
+            return index
+    return 1
+
+
+def _first_script_issue(script: str) -> Optional[Tuple[int, str, str]]:
+    """The first statically-detectable issue as (line, error name, message).
+
+    Checks, in the order a pvpython run would surface them: syntax errors,
+    calls to non-existent free functions, hallucinated proxy properties,
+    and ``Show(..., 'RenderView1')`` passed a view *name* where a view
+    object is required.  Returns ``None`` for a clean script.
+    """
+    # imported lazily: repro.eval.__init__ pulls in the harness, which imports
+    # back through core.assistant → llm.registry → this module
+    from repro.eval.script_metrics import analyze_script
+
+    analysis = analyze_script(script, _critic_knowledge())
+    if not analysis.parse_ok:
+        line_match = re.search(r"line (\d+)", analysis.syntax_error or "")
+        line_no = int(line_match.group(1)) if line_match else 1
+        return (line_no, "SyntaxError", "invalid syntax")
+    if analysis.unknown_functions:
+        name = analysis.unknown_functions[0]
+        return (_line_of(script, name), "NameError", f"name '{name}' is not defined")
+    if analysis.hallucinated_properties:
+        proxy_type, prop = analysis.hallucinated_properties[0]
+        return (
+            _line_of(script, f".{prop}"),
+            "AttributeError",
+            f"'{proxy_type}' object has no attribute '{prop}'",
+        )
+    for quoted in ("'RenderView1'", '"RenderView1"'):
+        if quoted in script:
+            return (
+                _line_of(script, quoted),
+                "TypeError",
+                "Show() expected a RenderView object, got the view name 'RenderView1'",
+            )
+    return None

@@ -116,28 +116,35 @@ class VisualizationPlan:
 
     # ------------------------------------------------------------------ #
     def kinds(self) -> List[str]:
+        """The operation kinds, in plan order."""
         return [op.kind for op in self.operations]
 
     def has(self, kind: str) -> bool:
+        """True if the plan contains an operation of *kind*."""
         return any(op.kind == kind for op in self.operations)
 
     def first(self, kind: str) -> Optional[Operation]:
+        """The first operation of *kind*, or None."""
         for op in self.operations:
             if op.kind == kind:
                 return op
         return None
 
     def all(self, kind: str) -> List[Operation]:
+        """Every operation of *kind*, in plan order."""
         return [op for op in self.operations if op.kind == kind]
 
     def filenames(self) -> List[str]:
+        """Filenames of every ``read_file`` operation."""
         return [op.params["filename"] for op in self.all("read_file")]
 
     def screenshot_filename(self) -> Optional[str]:
+        """The requested screenshot filename, or None."""
         op = self.first("screenshot")
         return op.params["filename"] if op else None
 
     def resolution(self) -> Tuple[int, int]:
+        """The requested render size (defaults to 1920x1080)."""
         op = self.first("view_size")
         if op:
             return int(op.params["width"]), int(op.params["height"])

@@ -63,6 +63,7 @@ class _Completions:
         max_tokens: Optional[int] = None,
         **_kwargs: Any,
     ) -> _ChatCompletion:
+        """Mimic ``chat.completions.create`` against the simulated registry."""
         client = self._parent.resolve(model)
         chat = [ChatMessage(m["role"], m["content"]) for m in messages]
         response = client.complete(chat, temperature=temperature, seed=seed, max_tokens=max_tokens)
@@ -103,6 +104,7 @@ class OpenAICompatibleClient:
         self.chat = _Chat(self)
 
     def resolve(self, model: Optional[str]) -> LLMClient:
+        """Look up *model* in the registry (falling back to the default)."""
         return get_model(model or self.default_model)
 
 
@@ -125,6 +127,7 @@ class ExternalOpenAIClient(LLMClient):
         seed: Optional[int] = None,
         max_tokens: Optional[int] = None,
     ) -> CompletionResponse:
+        """Forward the completion to the wrapped ``openai``-style client."""
         kwargs: Dict[str, Any] = {
             "model": self.model_name,
             "messages": [m.to_dict() for m in messages],

@@ -31,6 +31,7 @@ class SimpleTokenizer:
         self.subword_length = subword_length
 
     def tokenize(self, text: str) -> List[str]:
+        """Split *text* into word / punctuation tokens with subword chunking."""
         tokens: List[str] = []
         for match in _TOKEN_PATTERN.finditer(text or ""):
             token = match.group(0)
@@ -42,6 +43,7 @@ class SimpleTokenizer:
         return tokens
 
     def count(self, text: str) -> int:
+        """Number of tokens in *text*."""
         return len(self.tokenize(text))
 
 

@@ -23,6 +23,7 @@ from repro.scenarios.suite import SuiteStore
 __all__ = [
     "CellTally",
     "NO_RECORDS_NOTICE",
+    "SpendTally",
     "SuiteReport",
     "VerifyReport",
     "VerifyTally",
@@ -71,6 +72,42 @@ class CellTally:
 
 
 @dataclass
+class SpendTally:
+    """Aggregated LLM spend for one method column (from record ``usage``)."""
+
+    model: str = ""
+    calls: int = 0
+    cached_calls: int = 0
+    tokens: int = 0
+    cached_tokens: int = 0
+    retries: int = 0
+    cost: float = 0.0
+
+    def add(self, record: Dict[str, Any]) -> None:
+        """Fold one cell record's ``usage`` dict into the tally."""
+        usage = record.get("usage") or {}
+        self.model = str(record.get("model", self.model) or self.model)
+        self.calls += int(usage.get("calls", 0))
+        self.cached_calls += int(usage.get("cached_calls", 0))
+        self.tokens += int(usage.get("prompt_tokens", 0)) + int(usage.get("completion_tokens", 0))
+        self.cached_tokens += int(usage.get("cached_tokens", 0))
+        self.retries += int(usage.get("retries", 0))
+        self.cost += float(usage.get("cost", 0.0))
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready counters (the report's ``spend`` entries)."""
+        return {
+            "model": self.model,
+            "calls": self.calls,
+            "cached_calls": self.cached_calls,
+            "tokens": self.tokens,
+            "cached_tokens": self.cached_tokens,
+            "retries": self.retries,
+            "cost": round(self.cost, 8),
+        }
+
+
+@dataclass
 class SuiteReport:
     """Success/error matrices aggregated from suite cell records."""
 
@@ -81,13 +118,15 @@ class SuiteReport:
     n_scenarios: int = 0
     n_cells: int = 0
     failing_cells: List[Dict[str, Any]] = field(default_factory=list)
+    #: per-method LLM spend, present only when records carry ``usage``
+    spend: Dict[str, SpendTally] = field(default_factory=dict)
 
     def tally(self, method: str, family: str) -> CellTally:
         return self.matrix.get((method, family), CellTally())
 
     # ------------------------------------------------------------------ #
     def to_json(self) -> Dict[str, Any]:
-        return {
+        payload: Dict[str, Any] = {
             "methods": self.methods,
             "families": self.families,
             "n_scenarios": self.n_scenarios,
@@ -101,6 +140,11 @@ class SuiteReport:
             "totals": {method: self.totals[method].as_dict() for method in self.methods},
             "failing_cells": self.failing_cells,
         }
+        if self.spend:
+            payload["spend"] = {
+                method: tally.as_dict() for method, tally in self.spend.items()
+            }
+        return payload
 
     def write_json(self, path: Union[str, Path]) -> Path:
         return _write_text(path, json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n")
@@ -138,6 +182,24 @@ class SuiteReport:
         lines.extend(self._markdown_matrix("screenshots"))
         lines.extend(["", "## Error-free runs (method × operation family)", ""])
         lines.extend(self._markdown_matrix("error_free"))
+        if self.spend:
+            lines.extend(
+                [
+                    "",
+                    "## LLM spend (per method)",
+                    "",
+                    "| method | model | calls | cache hits | billed tokens | cost ($) |",
+                    "|" + " --- |" * 6,
+                ]
+            )
+            for method in self.methods:
+                tally = self.spend.get(method)
+                if tally is None:
+                    continue
+                lines.append(
+                    f"| {method} | {tally.model or '—'} | {tally.calls} "
+                    f"| {tally.cached_calls} | {tally.tokens} | {tally.cost:.4f} |"
+                )
         if self.failing_cells:
             lines.extend(["", f"## Failing cells ({len(self.failing_cells)})", ""])
             for record in self.failing_cells:
@@ -166,6 +228,8 @@ def build_report(records: Iterable[Dict[str, Any]]) -> SuiteReport:
             report.families.append(family)
         report.matrix.setdefault((method, family), CellTally()).add(record)
         report.totals.setdefault(method, CellTally()).add(record)
+        if record.get("usage"):
+            report.spend.setdefault(method, SpendTally()).add(record)
         scenarios.add(record.get("scenario"))
         report.n_cells += 1
         if record.get("error", False):

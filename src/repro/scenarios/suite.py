@@ -38,10 +38,13 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.engine.batch import BatchJob, BatchResult, raise_failures, run_batch
+from repro.llm.core.budget import BudgetExceededError, BudgetLedger, RunBudget
+from repro.llm.core.review import REVIEW_METHOD
 from repro.scenarios.spec import Scenario
 
 __all__ = [
     "CHATVIS_METHOD",
+    "REVIEW_METHOD",
     "SuiteRunSummary",
     "SuiteRunner",
     "SuiteStore",
@@ -50,7 +53,8 @@ __all__ = [
     "strip_timing",
 ]
 
-#: the assisted method name (everything else is an unassisted model name)
+#: the assisted method name (other than "Review", everything else is an
+#: unassisted model name)
 CHATVIS_METHOD = "ChatVis"
 
 #: record fields that vary run-to-run and are excluded from determinism checks
@@ -95,6 +99,11 @@ def run_suite_cell(
     small_data: bool = True,
     max_iterations: int = 5,
     chatvis_model: str = "gpt-4",
+    budget: Optional[RunBudget] = None,
+    ledger: Optional[BudgetLedger] = None,
+    llm_cache_dir: Optional[Union[str, Path]] = None,
+    review_model: str = "gpt-4",
+    review_rounds: int = 2,
 ) -> Dict[str, Any]:
     """Run one (scenario, method) cell and return its result record.
 
@@ -104,17 +113,38 @@ def run_suite_cell(
     explicit override rescales the prompt the same way the Table II harness
     rescales the paper's prompts.  Model failures (script errors, missing
     screenshots) are *results*, captured in the record — only
-    infrastructure problems raise.
+    infrastructure problems (and budget refusals) raise.
+
+    Every model call goes through a :class:`~repro.llm.core.dispatch.ManagedLLM`,
+    so the record always carries the resolved ``model`` name, a ``usage``
+    spend dict (cache hits included, at zero marginal cost), and a
+    ``cached`` flag that is true when the whole cell was served from the
+    completion cache.  Budget enforcement uses the shared ``ledger`` when
+    one is passed (thread/serial executors) and falls back to a per-cell
+    ledger built from ``budget`` (process workers, which cannot share the
+    lock-bearing ledger).
     """
     from repro.core.assistant import ChatVis, ChatVisConfig
     from repro.core.error_extraction import classify_error
     from repro.core.tasks import prepare_task_data
     from repro.eval.harness import run_unassisted, scaled_prompt
+    from repro.llm.core.cache import CompletionCache
+    from repro.llm.core.dispatch import ManagedLLM
+    from repro.llm.core.review import run_review
+    from repro.llm.registry import get_model
 
     task = scenario.task
     resolution = tuple(resolution) if resolution else None
     target_resolution = resolution or tuple(task.resolution)
     prepare_task_data(task, cell_dir, small=small_data)
+
+    cell_ledger = ledger
+    if cell_ledger is None and budget is not None:
+        cell_ledger = BudgetLedger(budget)
+    cache = CompletionCache(llm_cache_dir) if llm_cache_dir else None
+
+    def _managed(model_name: str) -> ManagedLLM:
+        return ManagedLLM(get_model(model_name), ledger=cell_ledger, cache=cache)
 
     record: Dict[str, Any] = {
         "scenario": scenario.name,
@@ -127,8 +157,9 @@ def run_suite_cell(
         "iterations": 1,
     }
     if method == CHATVIS_METHOD:
+        llm = _managed(chatvis_model)
         assistant = ChatVis(
-            chatvis_model,
+            llm,
             working_dir=cell_dir,
             config=ChatVisConfig(max_iterations=max_iterations),
         )
@@ -142,14 +173,37 @@ def run_suite_cell(
             error_type=None if run.success else final_error,
             iterations=run.n_iterations,
         )
+    elif method == REVIEW_METHOD:
+        from repro.pvsim.executor import PvPythonExecutor
+
+        llm = _managed(review_model)
+        prompt = scaled_prompt(task, resolution) if resolution else task.user_prompt
+        review = run_review(llm, prompt, rounds=review_rounds)
+        execution = PvPythonExecutor(working_dir=cell_dir).run(
+            review.script, script_name=f"review_{task.name}.py"
+        )
+        record.update(
+            error=not execution.success,
+            screenshot=execution.produced_screenshot,
+            error_category=classify_error(execution.output),
+            error_type=execution.error_type,
+            iterations=1 + review.rounds_used,
+            review_rounds=review.rounds_used,
+            review_repaired=review.repaired,
+            review_stopped=review.stopped,
+        )
     else:
-        _script, execution = run_unassisted(str(method), task, cell_dir, resolution=resolution)
+        llm = _managed(str(method))
+        _script, execution = run_unassisted(llm, task, cell_dir, resolution=resolution)
         record.update(
             error=not execution.success,
             screenshot=execution.produced_screenshot,
             error_category=classify_error(execution.output),
             error_type=execution.error_type,
         )
+    record["model"] = llm.model_name
+    record["usage"] = llm.spend.as_dict()
+    record["cached"] = llm.spend.calls == 0 and llm.spend.cached_calls > 0
     return record
 
 
@@ -220,6 +274,10 @@ class SuiteRunSummary:
     #: (job name, repr(error)) for cells that failed and were not stored
     failures: List[Tuple[str, str]] = field(default_factory=list)
     store_path: Optional[Path] = None
+    #: aggregate LLM spend of the freshly-executed cells (``Spend.as_dict``)
+    spend: Optional[Dict[str, Any]] = None
+    #: per-model LLM spend of the freshly-executed cells
+    per_model_spend: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     @property
     def warm(self) -> bool:
@@ -235,6 +293,11 @@ class SuiteRunSummary:
             text += f", {len(self.failures)} FAILED"
         if self.warm:
             text += " (fully warm — zero scenarios re-run)"
+        if self.spend is not None and (self.spend["calls"] or self.spend["cached_calls"]):
+            text += (
+                f"; LLM spend ${self.spend['cost']:.4f} over {self.spend['calls']} calls"
+                f" ({self.spend['cached_calls']} served from cache)"
+            )
         return text
 
 
@@ -262,6 +325,10 @@ class SuiteRunner:
         executor: str = "thread",
         cache_dir: Optional[Union[str, Path]] = None,
         stop_on_error: bool = False,
+        budget: Optional[RunBudget] = None,
+        llm_cache_dir: Optional[Union[str, Path]] = None,
+        review_model: str = "gpt-4",
+        review_rounds: int = 2,
     ) -> None:
         self.scenarios = list(scenarios)
         # job names (and the store's per-cell identity mapping) key on the
@@ -287,14 +354,26 @@ class SuiteRunner:
         self.executor = executor
         self.cache_dir = cache_dir
         self.stop_on_error = stop_on_error
+        self.budget = budget
+        self.llm_cache_dir = Path(llm_cache_dir) if llm_cache_dir is not None else None
+        self.review_model = review_model
+        self.review_rounds = review_rounds
 
     # ------------------------------------------------------------------ #
     def _cell_settings(self, method: str) -> Tuple[Tuple[str, Any], ...]:
-        """The runner options that feed a cell's key (see :func:`cell_key`)."""
+        """The runner options that feed a cell's key (see :func:`cell_key`).
+
+        Budget and completion-cache options are deliberately absent: they
+        change what a run *costs*, never what a cell *measures*, so stored
+        records stay valid across them.
+        """
         settings: List[Tuple[str, Any]] = [("small_data", self.small_data)]
         if method == CHATVIS_METHOD:
             settings.append(("chatvis_model", self.chatvis_model))
             settings.append(("max_iterations", self.max_iterations))
+        if method == REVIEW_METHOD:
+            settings.append(("review_model", self.review_model))
+            settings.append(("review_rounds", self.review_rounds))
         return tuple(settings)
 
     def cells(self) -> List[Tuple[Scenario, str, str]]:
@@ -327,11 +406,23 @@ class SuiteRunner:
         calling thread, in completion order — records are keyed, so readers
         are order-independent), which is what makes an aborted run — a
         Ctrl-C, a crash, a kill — resumable at per-cell granularity.
+
+        With a ``budget``, in-process executors share one
+        :class:`~repro.llm.core.budget.BudgetLedger` across every cell (a
+        true run budget, enforced at dispatch time); worker processes each
+        enforce the budget per cell and the run-level total is checked after
+        their records come back.  Either way a trip raises
+        :class:`~repro.llm.core.budget.BudgetExceededError` — cells already
+        finished stay in the store, so a raised budget resumes the run.
         """
         existing = self.store.load() if (self.store is not None and resume) else {}
         cells = self.cells()
         pending = self.pending(existing, cells)
         key_of_job = {f"{method}/{scenario.name}": key for scenario, method, key in pending}
+
+        # process workers cannot share the lock-bearing ledger: give them the
+        # budget spec (per-cell ceiling) and aggregate totals afterwards
+        shared_ledger = BudgetLedger(self.budget) if self.executor != "process" else None
 
         fresh: Dict[str, Dict[str, Any]] = {}
 
@@ -356,6 +447,11 @@ class SuiteRunner:
                     "small_data": self.small_data,
                     "max_iterations": self.max_iterations,
                     "chatvis_model": self.chatvis_model,
+                    "budget": self.budget if shared_ledger is None else None,
+                    "ledger": shared_ledger,
+                    "llm_cache_dir": str(self.llm_cache_dir) if self.llm_cache_dir else None,
+                    "review_model": self.review_model,
+                    "review_rounds": self.review_rounds,
                 },
             )
             for scenario, method, _key in pending
@@ -368,8 +464,21 @@ class SuiteRunner:
             cache_dir=self.cache_dir,
             on_result=_persist,
         )
+
+        # a tripped budget outranks generic failure reporting: surface it typed
+        for outcome in outcomes:
+            if isinstance(outcome.error, BudgetExceededError):
+                raise outcome.error
         if self.stop_on_error:
             raise_failures(outcomes)  # BatchJobError names the failing cell
+
+        spend_ledger = shared_ledger
+        if spend_ledger is None:
+            spend_ledger = BudgetLedger(self.budget)
+            for record in fresh.values():
+                if record.get("usage"):
+                    spend_ledger.merge_record(record.get("model", record["method"]), record["usage"])
+            spend_ledger.check_total()  # run-level budget over aggregated worker spend
 
         failures: List[Tuple[str, str]] = [
             (outcome.name, f"{type(outcome.error).__name__}: {outcome.error}")
@@ -388,4 +497,59 @@ class SuiteRunner:
             records=records,
             failures=failures,
             store_path=self.store.path if self.store is not None else None,
+            spend=spend_ledger.spend().as_dict(),
+            per_model_spend={m: s.as_dict() for m, s in spend_ledger.per_model().items()},
         )
+
+    # ------------------------------------------------------------------ #
+    def prefetch(self, max_concurrency: int = 4) -> Dict[str, int]:
+        """Warm the completion cache for the matrix's generation calls.
+
+        Dispatches every pending unassisted generation (and the Review
+        method's opening generation, which uses the identical request)
+        concurrently per model — bounded by ``max_concurrency`` — so the
+        subsequent :meth:`run` hits the completion cache instead of calling
+        models from inside pipeline-executing cells.  ChatVis cells are not
+        prefetchable (their later prompts depend on earlier completions).
+
+        Requires ``llm_cache_dir``; respects ``budget`` via a dedicated
+        ledger (a trip raises before the suite starts).  Returns the number
+        of completions fetched per model name.
+        """
+        from repro.eval.harness import scaled_prompt
+        from repro.llm.base import user
+        from repro.llm.core.cache import CompletionCache
+        from repro.llm.core.dispatch import DispatchRequest, ManagedLLM, dispatch_completions
+        from repro.llm.registry import get_model
+
+        if self.llm_cache_dir is None:
+            raise ValueError("prefetch requires llm_cache_dir (there is no cache to warm)")
+
+        existing = self.store.load() if self.store is not None else {}
+        cache = CompletionCache(self.llm_cache_dir)
+        ledger = BudgetLedger(self.budget)
+
+        prompts_by_model: Dict[str, List[str]] = {}
+        for scenario, method, _key in self.pending(existing):
+            if method == CHATVIS_METHOD:
+                continue
+            model = self.review_model if method == REVIEW_METHOD else str(method)
+            prompt = (
+                scaled_prompt(scenario.task, self.resolution)
+                if self.resolution
+                else scenario.task.user_prompt
+            )
+            prompts_by_model.setdefault(model, []).append(prompt)
+
+        fetched: Dict[str, int] = {}
+        for model, prompts in prompts_by_model.items():
+            managed = ManagedLLM(get_model(model), ledger=ledger, cache=cache)
+            # the request shape must match run_unassisted / run_review exactly
+            # (one user message, default parameters) or the keys differ
+            requests = [DispatchRequest(messages=(user(p),)) for p in dict.fromkeys(prompts)]
+            results = dispatch_completions(managed, requests, max_concurrency=max_concurrency)
+            for result in results:
+                if isinstance(result.error, BudgetExceededError):
+                    raise result.error
+            fetched[managed.model_name] = sum(1 for r in results if r.ok)
+        return fetched

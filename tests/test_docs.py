@@ -1,0 +1,102 @@
+"""Docs guardrails: markdown links resolve, ``repro.llm`` stays documented.
+
+Two checks that CI's ``docs`` job also runs (via ``scripts/check_docs.py``
+and ruff's ``D1`` rules), mirrored here so they fail locally even where
+ruff isn't installed and before any workflow runs:
+
+* every relative markdown link in README / ROADMAP / ``docs/*.md`` points
+  at a real file;
+* every module, public class, and public function/method under
+  ``src/repro/llm/`` carries a docstring (the pydocstyle ``D1xx`` subset
+  enabled for that tree in ``pyproject.toml``, minus the globally-ignored
+  ``D105`` magic methods and ``D107`` ``__init__``).
+
+The third docs check — actually executing every ```bash block in
+``docs/evaluating.md`` — is too slow for tier-1 and runs only in CI:
+``python scripts/check_docs.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "check_docs.py"
+LLM_ROOT = REPO_ROOT / "src" / "repro" / "llm"
+
+
+class TestMarkdownLinks:
+    def test_docs_exist(self):
+        for name in ("architecture.md", "llm.md", "evaluating.md"):
+            assert (REPO_ROOT / "docs" / name).exists(), name
+
+    def test_readme_links_into_docs(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        for name in ("docs/architecture.md", "docs/evaluating.md", "docs/llm.md"):
+            assert name in readme, f"README no longer links {name}"
+
+    def test_all_relative_links_resolve(self):
+        proc = subprocess.run(
+            [sys.executable, str(SCRIPT), "--links-only"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def _iter_public_defs(tree: ast.Module):
+    """Yield (name, node) for every D1-checked definition in a module."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node.name.startswith("_"):
+                continue
+            yield node.name, node
+            if isinstance(node, ast.ClassDef):
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        # D105 (magic) and D107 (__init__) are ignored repo-wide
+                        if sub.name.startswith("_"):
+                            continue
+                        yield f"{node.name}.{sub.name}", sub
+
+
+class TestLlmDocstringAudit:
+    """AST mirror of the ruff ``D1`` selection scoped to ``src/repro/llm/``."""
+
+    def test_every_module_public_class_and_function_is_documented(self):
+        missing = []
+        for py in sorted(LLM_ROOT.rglob("*.py")):
+            rel = py.relative_to(REPO_ROOT)
+            tree = ast.parse(py.read_text())
+            if ast.get_docstring(tree) is None:
+                missing.append(f"{rel}: module docstring (D100)")
+            for name, node in _iter_public_defs(tree):
+                if ast.get_docstring(node) is None:
+                    missing.append(f"{rel}: {name}")
+        assert not missing, "undocumented public names in repro.llm:\n" + "\n".join(missing)
+
+    def test_every_llm_module_declares_its_public_api(self):
+        missing = []
+        for py in sorted(LLM_ROOT.rglob("*.py")):
+            tree = ast.parse(py.read_text())
+            names = {
+                t.id
+                for node in tree.body
+                if isinstance(node, ast.Assign)
+                for t in node.targets
+                if isinstance(t, ast.Name)
+            }
+            if "__all__" not in names:
+                missing.append(str(py.relative_to(REPO_ROOT)))
+        assert not missing, "__all__ missing in: " + ", ".join(missing)
+
+    def test_pyproject_keeps_d1_enabled_for_llm(self):
+        pyproject = (REPO_ROOT / "pyproject.toml").read_text()
+        assert '"D1"' in pyproject.split("[tool.ruff.lint]", 1)[1]
+        # the llm tree must not appear in the per-file D1 opt-outs
+        ignores = pyproject.split("[tool.ruff.lint.per-file-ignores]", 1)[1]
+        ignores = ignores.split("[tool.ruff.lint.pydocstyle]", 1)[0]
+        assert "src/repro/llm" not in ignores

@@ -1,0 +1,444 @@
+"""Tests for the LLM dispatch layer: budgets, cache, retries, review loop.
+
+The acceptance-shaped tests at the bottom exercise the layer end to end
+through the scenario suite: a budgeted multi-model run records per-model
+spend in the report, a second run over a fresh results store is served
+entirely from the completion cache (zero billed model calls), a tripped
+budget raises a typed error naming the model, and the critique–repair loop
+shows up as the ``Review`` method column of the Table II matrix.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.llm.base import CompletionResponse, Usage, user
+from repro.llm.core import (
+    BudgetExceededError,
+    BudgetLedger,
+    CompletionCache,
+    DispatchRequest,
+    ManagedLLM,
+    RetryPolicy,
+    RunBudget,
+    Spend,
+    completion_key,
+    cost_of,
+    dispatch_completions,
+    pricing_for,
+    run_review,
+)
+from repro.llm.errors import NonRetryableLLMError, RateLimitError, TransientAPIError
+from repro.llm.registry import _ALIASES, available_models, get_model, register_model
+from repro.scenarios import generate_scenarios
+from repro.scenarios.report import build_report
+from repro.scenarios.suite import REVIEW_METHOD, SuiteRunner
+
+
+class FakeClient:
+    """Scripted LLMClient: returns canned responses, optionally failing first."""
+
+    def __init__(self, text="print('ok')", fail_times=0, exc_factory=TransientAPIError):
+        self.model_name = "fake-model"
+        self.calls = 0
+        self.text = text
+        self.fail_times = fail_times
+        self.exc_factory = exc_factory
+
+    def complete(self, messages, temperature=0.0, seed=None, max_tokens=None):
+        self.calls += 1
+        if self.calls <= self.fail_times:
+            raise self.exc_factory("synthetic failure")
+        return CompletionResponse(
+            text=self.text, model=self.model_name, usage=Usage(100, 50)
+        )
+
+
+# --------------------------------------------------------------------------- #
+# budget primitives
+# --------------------------------------------------------------------------- #
+class TestRunBudget:
+    def test_parse_all_keys(self):
+        budget = RunBudget.parse("tokens=50000, calls=100, cost=1.50")
+        assert budget == RunBudget(max_tokens=50000, max_calls=100, max_cost=1.5)
+
+    def test_parse_subset_and_rejects(self):
+        assert RunBudget.parse("calls=3") == RunBudget(max_calls=3)
+        with pytest.raises(ValueError):
+            RunBudget.parse("fuel=9")
+        with pytest.raises(ValueError):
+            RunBudget.parse("calls")
+        with pytest.raises(ValueError):
+            RunBudget(max_calls=-1)
+
+    def test_unlimited(self):
+        assert RunBudget().unlimited()
+        assert not RunBudget(max_calls=1).unlimited()
+
+
+class TestPricing:
+    def test_gpt4_prices_above_local_models(self):
+        assert pricing_for("gpt-4-sim").prompt_per_1k > pricing_for("codegemma-sim").prompt_per_1k
+
+    def test_unknown_model_uses_default(self):
+        assert cost_of("never-registered", Usage(1000, 1000)) == pytest.approx(0.003)
+
+    def test_cost_formula(self):
+        assert cost_of("gpt-4-sim", Usage(1000, 1000)) == pytest.approx(0.09)
+
+
+class TestLedger:
+    def test_charges_accumulate_per_model(self):
+        ledger = BudgetLedger()
+        ledger.charge("gpt-4-sim", Usage(100, 50))
+        ledger.charge("gpt-4-sim", Usage(100, 50))
+        ledger.charge("codegemma-sim", Usage(10, 10))
+        assert ledger.spend().calls == 3
+        assert ledger.spend("gpt-4-sim").tokens == 300
+        assert set(ledger.per_model()) == {"gpt-4-sim", "codegemma-sim"}
+
+    def test_cached_charges_are_free(self):
+        ledger = BudgetLedger(RunBudget(max_calls=1))
+        for _ in range(5):
+            ledger.charge("gpt-4-sim", Usage(100, 50), cached=True)
+        ledger.authorize("gpt-4-sim")  # cache hits never consume the budget
+        assert ledger.spend().cached_calls == 5
+        assert ledger.spend().cost == 0.0
+
+    def test_authorize_trips_on_calls(self):
+        ledger = BudgetLedger(RunBudget(max_calls=1))
+        ledger.authorize("gpt-4-sim")
+        ledger.charge("gpt-4-sim", Usage(10, 10))
+        with pytest.raises(BudgetExceededError) as excinfo:
+            ledger.authorize("gpt-4-sim")
+        assert excinfo.value.model == "gpt-4-sim"
+        assert excinfo.value.limit == "max_calls"
+        assert "gpt-4-sim" in str(excinfo.value)
+        assert "1" in str(excinfo.value)
+
+    def test_authorize_trips_on_tokens_and_cost(self):
+        ledger = BudgetLedger(RunBudget(max_tokens=100))
+        ledger.charge("m", Usage(80, 30))
+        with pytest.raises(BudgetExceededError, match="max_tokens"):
+            ledger.authorize("m")
+        ledger = BudgetLedger(RunBudget(max_cost=0.001))
+        ledger.charge("gpt-4-sim", Usage(100, 100))
+        with pytest.raises(BudgetExceededError, match="max_cost"):
+            ledger.authorize("gpt-4-sim")
+
+    def test_exhausted_probe(self):
+        ledger = BudgetLedger(RunBudget(max_calls=1))
+        assert not ledger.exhausted()
+        ledger.charge("m", Usage(1, 1))
+        assert ledger.exhausted()
+
+    def test_merge_record_and_check_total(self):
+        ledger = BudgetLedger(RunBudget(max_calls=2))
+        cell = Spend()
+        cell.add_call(Usage(10, 10), 0.01)
+        ledger.merge_record("gpt-4-sim", cell.as_dict())
+        ledger.check_total()  # 1 <= 2
+        ledger.merge_record("gpt-4-sim", cell.as_dict())
+        ledger.merge_record("gpt-4-sim", cell.as_dict())
+        with pytest.raises(BudgetExceededError, match="<run total>"):
+            ledger.check_total()
+
+    def test_error_survives_pickle(self):
+        err = BudgetExceededError("gpt-4-sim", "max_calls", RunBudget(max_calls=1), Spend())
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.model == "gpt-4-sim"
+        assert clone.limit == "max_calls"
+        assert str(clone) == str(err)
+
+    def test_spend_dict_roundtrip(self):
+        spend = Spend()
+        spend.add_call(Usage(10, 5), 0.5)
+        spend.add_cached(Usage(3, 3))
+        spend.retries = 2
+        clone = Spend.from_dict(spend.as_dict())
+        assert clone.as_dict() == spend.as_dict()
+
+
+# --------------------------------------------------------------------------- #
+# completion cache
+# --------------------------------------------------------------------------- #
+class TestCompletionCache:
+    def test_roundtrip_marks_cached(self, tmp_path):
+        cache = CompletionCache(tmp_path / "llm")
+        messages = [user("hello")]
+        assert cache.get("m", messages) is None
+        cache.put("m", messages, CompletionResponse("hi", "m", Usage(2, 1)))
+        hit = cache.get("m", messages)
+        assert hit is not None and hit.text == "hi"
+        assert hit.metadata["cached"] is True
+        assert len(cache) == 1
+
+    def test_key_ignores_model_case_but_not_params(self):
+        messages = [user("x")]
+        assert completion_key("GPT-4", messages) == completion_key("gpt-4", messages)
+        assert completion_key("m", messages) != completion_key("m", messages, temperature=0.5)
+        assert completion_key("m", messages) != completion_key("m", [user("y")])
+
+
+# --------------------------------------------------------------------------- #
+# managed dispatch
+# --------------------------------------------------------------------------- #
+class TestManagedLLM:
+    def test_cache_hit_skips_inner_and_budget(self, tmp_path):
+        inner = FakeClient()
+        ledger = BudgetLedger(RunBudget(max_calls=1))
+        llm = ManagedLLM(inner, ledger=ledger, cache=CompletionCache(tmp_path / "c"))
+        first = llm.complete([user("p")])
+        assert first.metadata["cached"] is False
+        # budget is now exhausted, but the cached replay still succeeds
+        second = llm.complete([user("p")])
+        assert second.metadata["cached"] is True
+        assert inner.calls == 1
+        assert llm.spend.calls == 1 and llm.spend.cached_calls == 1
+
+    def test_budget_refusal_happens_before_dispatch(self):
+        inner = FakeClient()
+        llm = ManagedLLM(inner, ledger=BudgetLedger(RunBudget(max_calls=0)))
+        with pytest.raises(BudgetExceededError):
+            llm.complete([user("p")])
+        assert inner.calls == 0
+
+    def test_retryable_errors_retry_then_succeed(self):
+        sleeps = []
+        inner = FakeClient(fail_times=2)
+        llm = ManagedLLM(inner, retry=RetryPolicy(max_attempts=3), sleep=sleeps.append)
+        response = llm.complete([user("p")])
+        assert response.text == "print('ok')"
+        assert inner.calls == 3
+        assert llm.spend.retries == 2
+        assert sleeps == [0.05, 0.1]  # base_delay * backoff^(n-1)
+
+    def test_retry_after_hint_overrides_backoff(self):
+        sleeps = []
+        inner = FakeClient(fail_times=1, exc_factory=lambda msg: RateLimitError(msg, retry_after=0.7))
+        llm = ManagedLLM(inner, sleep=sleeps.append)
+        llm.complete([user("p")])
+        assert sleeps == [0.7]
+
+    def test_retries_exhausted_raises_last_error(self):
+        inner = FakeClient(fail_times=99)
+        llm = ManagedLLM(inner, retry=RetryPolicy(max_attempts=2), sleep=lambda s: None)
+        with pytest.raises(TransientAPIError):
+            llm.complete([user("p")])
+        assert inner.calls == 2
+
+    def test_non_retryable_raises_immediately(self):
+        inner = FakeClient(fail_times=1, exc_factory=NonRetryableLLMError)
+        llm = ManagedLLM(inner, sleep=lambda s: None)
+        with pytest.raises(NonRetryableLLMError):
+            llm.complete([user("p")])
+        assert inner.calls == 1
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1)
+
+
+class TestDispatchCompletions:
+    def test_results_in_request_order(self):
+        llm = ManagedLLM(FakeClient())
+        requests = [DispatchRequest(messages=(user(f"q{i}"),), tag=str(i)) for i in range(6)]
+        results = dispatch_completions(llm, requests, max_concurrency=3)
+        assert [r.request.tag for r in results] == [str(i) for i in range(6)]
+        assert all(r.ok for r in results)
+
+    def test_budget_trip_skips_the_rest(self):
+        llm = ManagedLLM(FakeClient(), ledger=BudgetLedger(RunBudget(max_calls=2)))
+        requests = [DispatchRequest(messages=(user(f"q{i}"),)) for i in range(6)]
+        results = dispatch_completions(llm, requests, max_concurrency=1)
+        assert sum(r.ok for r in results) == 2
+        failed = [r for r in results if not r.ok]
+        assert all(isinstance(r.error, BudgetExceededError) for r in failed)
+        assert any(r.metadata.get("skipped") for r in failed)
+
+    def test_per_request_errors_do_not_abort_batch(self):
+        llm = ManagedLLM(
+            FakeClient(fail_times=1, exc_factory=NonRetryableLLMError), sleep=lambda s: None
+        )
+        requests = [DispatchRequest(messages=(user(f"q{i}"),)) for i in range(3)]
+        results = dispatch_completions(llm, requests, max_concurrency=1)
+        assert [r.ok for r in results] == [False, True, True]
+
+    def test_rejects_bad_concurrency_and_empty_batch(self):
+        assert dispatch_completions(ManagedLLM(FakeClient()), []) == []
+        with pytest.raises(ValueError):
+            dispatch_completions(ManagedLLM(FakeClient()), [], max_concurrency=0)
+
+
+# --------------------------------------------------------------------------- #
+# critique–repair review loop
+# --------------------------------------------------------------------------- #
+class TestReviewLoop:
+    STREAMLINES_PROMPT = (
+        "Load the dataset flow.vtk, create streamlines seeded along a line, "
+        "render them as tubes, and save a screenshot to streams.png at 160x120."
+    )
+
+    def test_gpt4_critiques_and_repairs_its_own_script(self):
+        llm = ManagedLLM(get_model("gpt-4"), ledger=BudgetLedger())
+        result = run_review(llm, self.STREAMLINES_PROMPT, rounds=3)
+        assert result.rounds_used >= 1
+        assert result.critiques
+        # the simulated frontier model converges to a clean verdict
+        assert result.stopped == "clean"
+        assert result.repaired
+
+    def test_zero_rounds_is_pure_generation(self):
+        llm = ManagedLLM(get_model("gpt-4"))
+        result = run_review(llm, self.STREAMLINES_PROMPT, rounds=0)
+        assert result.rounds_used == 0
+        assert result.stopped == "rounds"
+        assert not result.repaired
+
+    def test_exhausted_ledger_stops_politely(self):
+        ledger = BudgetLedger(RunBudget(max_calls=1))  # the generation spends it
+        llm = ManagedLLM(get_model("gpt-4"), ledger=ledger)
+        result = run_review(llm, self.STREAMLINES_PROMPT, rounds=2)
+        assert result.stopped == "budget"
+        assert result.rounds_used == 0
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            run_review(ManagedLLM(get_model("gpt-4")), "x", rounds=-1)
+
+
+# --------------------------------------------------------------------------- #
+# registry alias table (satellite)
+# --------------------------------------------------------------------------- #
+class TestRegistryAliases:
+    def test_every_alias_resolves_to_its_target(self):
+        for alias, target in _ALIASES.items():
+            client = get_model(alias)
+            assert client.model_name == target, alias
+
+    def test_alias_targets_are_registered_models(self):
+        registered = set(available_models())
+        for target in _ALIASES.values():
+            assert target in registered
+
+    def test_unknown_name_lists_models_and_aliases(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_model("gpt-99")
+        message = str(excinfo.value)
+        assert "gpt-4-sim" in message  # available models are listed
+        assert "gpt-3.5-turbo" in message  # aliases are listed
+
+    def test_register_model_lowercases_and_overwrites(self):
+        try:
+            register_model("MyModel", lambda: FakeClient(text="v1"))
+            assert get_model("mymodel").text == "v1"
+            assert get_model("MYMODEL").text == "v1"
+            register_model("mymodel", lambda: FakeClient(text="v2"))
+            assert get_model("MyModel").text == "v2"  # re-registration wins
+            assert "mymodel" in available_models()
+        finally:
+            from repro.llm import registry
+
+            registry._FACTORIES.pop("mymodel", None)
+
+
+# --------------------------------------------------------------------------- #
+# acceptance: the layer through the scenario suite
+# --------------------------------------------------------------------------- #
+MODELS = ("gpt-4", "gpt-3.5-turbo", "codegemma")
+
+
+def _suite(tmp_path, store_name="results.jsonl", **kwargs):
+    return SuiteRunner(
+        generate_scenarios(family="contour", limit=4),
+        working_dir=tmp_path / "work",
+        store=tmp_path / store_name,
+        resolution=(120, 90),
+        **kwargs,
+    )
+
+
+class TestSuiteIntegration:
+    def test_budgeted_multimodel_run_records_per_model_spend(self, tmp_path):
+        runner = _suite(
+            tmp_path,
+            methods=MODELS,
+            budget=RunBudget(max_tokens=500_000, max_calls=500, max_cost=10.0),
+            llm_cache_dir=tmp_path / "llm-cache",
+        )
+        summary = runner.run()
+        assert summary.executed == 12  # 4 scenarios x 3 models
+        assert summary.spend is not None and summary.spend["calls"] > 0
+        # one spend slice per simulated model, each with billed tokens
+        assert set(summary.per_model_spend) == {
+            "gpt-4-sim",
+            "gpt-3.5-turbo-sim",
+            "codegemma-sim",
+        }
+        for slice_ in summary.per_model_spend.values():
+            assert slice_["calls"] > 0
+            assert slice_["prompt_tokens"] > 0
+        # every record carries its model, usage, and cached flag
+        for record in summary.records:
+            assert record["usage"]["calls"] >= 1
+            assert record["cached"] is False
+        # the report surfaces the spend per method, in JSON and markdown
+        report = build_report(summary.records)
+        assert set(report.spend) == set(MODELS)
+        assert report.to_json()["spend"]["gpt-4"]["cost"] > 0
+        assert "LLM spend" in report.to_markdown()
+        assert "spend" in summary.describe()
+
+    def test_second_run_is_served_entirely_from_the_completion_cache(self, tmp_path):
+        cache_dir = tmp_path / "llm-cache"
+        _suite(tmp_path, methods=MODELS, llm_cache_dir=cache_dir).run()
+        # a *fresh* results store forces every cell to execute again; the
+        # completion cache must supply every model call
+        rerun = _suite(
+            tmp_path, store_name="fresh.jsonl", methods=MODELS, llm_cache_dir=cache_dir
+        ).run()
+        assert rerun.executed == 12
+        assert rerun.spend["calls"] == 0  # zero billed model calls
+        assert rerun.spend["cached_calls"] > 0
+        for record in rerun.records:
+            assert record["cached"] is True
+            assert record["usage"]["calls"] == 0
+
+    def test_exceeding_the_budget_aborts_with_a_typed_error(self, tmp_path):
+        runner = _suite(tmp_path, methods=("gpt-4",), budget=RunBudget(max_calls=1))
+        with pytest.raises(BudgetExceededError) as excinfo:
+            runner.run()
+        assert excinfo.value.model == "gpt-4-sim"
+        assert excinfo.value.spend.calls >= 1
+        assert "gpt-4-sim" in str(excinfo.value)
+
+    def test_review_is_a_method_column_in_the_suite_report(self, tmp_path):
+        runner = _suite(tmp_path, methods=(REVIEW_METHOD, "gpt-4"), review_rounds=1)
+        summary = runner.run()
+        review_records = [r for r in summary.records if r["method"] == REVIEW_METHOD]
+        assert len(review_records) == 4
+        for record in review_records:
+            assert record["review_stopped"] in ("clean", "rounds", "budget")
+            assert record["review_rounds"] <= 1
+        markdown = build_report(summary.records).to_markdown()
+        assert REVIEW_METHOD in markdown
+
+    def test_review_is_a_method_column_in_table_two(self, tmp_path):
+        from repro.eval.harness import run_table_two
+
+        result = run_table_two(
+            tmp_path,
+            models=["gpt-4"],
+            tasks=["isosurface"],
+            resolution=(120, 90),
+            include_chatvis=False,
+            include_review=True,
+            review_rounds=1,
+        )
+        assert REVIEW_METHOD in result.methods
+        cell = result.cell(REVIEW_METHOD, "isosurface")
+        assert cell is not None
