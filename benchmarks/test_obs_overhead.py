@@ -1,0 +1,141 @@
+"""Observability overhead benchmark: disabled tracing must be (near) free.
+
+The contract from ``repro.obs``: an instrumented hot path pays one
+attribute read (``TRACE_STATE.tracer is None``) while tracing is off.
+Three measurements pin it:
+
+* the canonical-suite overhead bound — count every instrumentation event a
+  traced run emits, price each at the measured cost of a *disabled* span
+  site (a generous over-estimate of a bare guard read), and require the
+  total, with a 20× safety factor, to stay under 3% of the suite's
+  untraced wall-clock;
+* allocation-freedom — ``tracemalloc`` filtered to the ``repro.obs``
+  source files sees zero bytes allocated while vectorized kernels run
+  with tracing disabled;
+* an informational enabled-vs-disabled timing comparison (printed, never
+  failing: shared CI runners are too noisy for a hard ratio).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+import pytest
+
+from repro.engine import Engine, Pipeline, ResultCache
+from repro.obs import METRICS, TRACE_STATE, Tracer, disable_tracing, enable_tracing, span
+from repro.obs import metrics as metrics_mod
+from repro.obs import trace as trace_mod
+from repro.scenarios import SuiteRunner, canonical_scenarios
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    """Benchmarks own the global switch; leave it off and empty afterwards."""
+    disable_tracing()
+    METRICS.reset()
+    yield
+    disable_tracing()
+    METRICS.reset()
+
+
+def _suite_runner(root):
+    """Storeless canonical runner: every run executes every cell."""
+    return SuiteRunner(canonical_scenarios(), methods=("gpt-4",), working_dir=root)
+
+
+def _run_suite(root) -> float:
+    started = time.perf_counter()
+    summary = _suite_runner(root).run()
+    elapsed = time.perf_counter() - started
+    assert not summary.failures
+    return elapsed
+
+
+def _disabled_site_cost(iterations: int = 50_000) -> float:
+    """Seconds per *disabled* instrumentation site, upper-bound flavored.
+
+    Uses the module-level :func:`repro.obs.span` no-op path — guard read,
+    shared handle, ``with`` enter/exit — which costs strictly more than the
+    bare ``TRACE_STATE.tracer is None`` read the per-node hot loops use.
+    """
+    assert TRACE_STATE.tracer is None
+    best = float("inf")
+    for _ in range(5):
+        started = time.perf_counter()
+        for _ in range(iterations):
+            with span("bench", "bench"):
+                pass
+        best = min(best, time.perf_counter() - started)
+    return best / iterations
+
+
+def test_disabled_overhead_under_three_percent(benchmark, tmp_path_factory):
+    root = tmp_path_factory.mktemp("obs-overhead")
+    _run_suite(root)  # warm engine/LLM caches: both legs then do identical work
+
+    # count the events a traced run of the same work emits
+    tracer = enable_tracing(Tracer())
+    METRICS.reset()
+    _run_suite(root)
+    snapshot = METRICS.snapshot()
+    disable_tracing()
+    events = len(tracer.spans()) + sum(snapshot.counters.values())
+    assert events > 0
+
+    site_cost = _disabled_site_cost()
+    untraced = benchmark.pedantic(lambda: _run_suite(root), rounds=3, iterations=1)
+
+    overhead_bound = events * site_cost * 20  # 20x safety on the per-site price
+    fraction = overhead_bound / untraced
+    print(
+        f"\nobs disabled overhead: {events:.0f} events x {site_cost * 1e9:.0f}ns x20 "
+        f"= {overhead_bound * 1e6:.1f}us over {untraced * 1e3:.0f}ms ({fraction:.5%})"
+    )
+    assert fraction < 0.03
+
+
+def test_disabled_path_allocation_free_on_vectorized_kernels():
+    def kernel_pipeline(engine):
+        pipeline = Pipeline(engine)
+        return (
+            pipeline.source("Wavelet", WholeExtent=[-8, 8, -8, 8, -8, 8])
+            .then("Contour", ContourBy=["POINTS", "RTData"], Isosurfaces=[120.0])
+        )
+
+    engine = Engine(cache=ResultCache())
+    kernel_pipeline(engine).evaluate()  # warm: imports, kernels, cache entries
+
+    obs_files = [trace_mod.__file__, metrics_mod.__file__]
+    tracemalloc.start()
+    try:
+        cold = Engine(cache=ResultCache())
+        kernel_pipeline(cold).evaluate()  # the compute path
+        for _ in range(50):
+            kernel_pipeline(engine).evaluate()  # the cache-hit path
+        snapshot = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+
+    stats = snapshot.filter_traces(
+        [tracemalloc.Filter(True, filename) for filename in obs_files]
+    ).statistics("filename")
+    allocated = sum(stat.size for stat in stats)
+    assert allocated == 0, f"obs allocated {allocated} bytes while disabled: {stats}"
+
+
+def test_enabled_vs_disabled_informational(tmp_path_factory):
+    root = tmp_path_factory.mktemp("obs-compare")
+    _run_suite(root)  # warm both legs
+
+    untraced = min(_run_suite(root) for _ in range(2))
+    enable_tracing(Tracer())
+    traced = min(_run_suite(root) for _ in range(2))
+    disable_tracing()
+
+    ratio = traced / untraced if untraced else float("inf")
+    print(
+        f"\nobs enabled-vs-disabled (canonical suite, warm): "
+        f"disabled {untraced * 1e3:.0f}ms, enabled {traced * 1e3:.0f}ms ({ratio:.2f}x)"
+    )

@@ -7,8 +7,9 @@ Two checks, both fatal on failure:
    ``docs/*.md`` must point at a file that exists in the repo.  External
    (``http(s)://``, ``mailto:``) and pure-anchor links are skipped.
 
-2. **Snippets** — every ```` ```bash ```` block in ``docs/evaluating.md`` is
-   executed, in document order, in a single scratch directory with
+2. **Snippets** — every ```` ```bash ```` block in each guide listed in
+   ``SNIPPET_DOCS`` (``docs/evaluating.md``, ``docs/observability.md``) is
+   executed, in document order, in one scratch directory per guide with
    ``REPRO_CACHE_DIR`` pointed at scratch storage.  A ``repro`` shell
    function forwards to ``python -m repro.cli`` so the snippets run whether
    or not the console script is installed.
@@ -33,7 +34,10 @@ from typing import List, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 LINK_SOURCES = ("README.md", "ROADMAP.md")
-SNIPPET_DOC = REPO_ROOT / "docs" / "evaluating.md"
+SNIPPET_DOCS = (
+    REPO_ROOT / "docs" / "evaluating.md",
+    REPO_ROOT / "docs" / "observability.md",
+)
 
 # [text](target) — deliberately naive; good enough for hand-written docs.
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -88,13 +92,13 @@ def extract_bash_blocks(doc: Path) -> List[Tuple[int, str]]:
     return blocks
 
 
-def run_snippets(verbose: bool = True) -> List[str]:
-    """Execute every bash block from the guide; return failures."""
-    if not SNIPPET_DOC.exists():
-        return [f"missing snippet doc: {SNIPPET_DOC.relative_to(REPO_ROOT)}"]
-    blocks = extract_bash_blocks(SNIPPET_DOC)
+def _run_doc_snippets(doc: Path, verbose: bool) -> List[str]:
+    """Execute every bash block from one guide in its own scratch dir."""
+    if not doc.exists():
+        return [f"missing snippet doc: {doc.relative_to(REPO_ROOT)}"]
+    blocks = extract_bash_blocks(doc)
     if not blocks:
-        return [f"{SNIPPET_DOC.relative_to(REPO_ROOT)}: no ```bash blocks found"]
+        return [f"{doc.relative_to(REPO_ROOT)}: no ```bash blocks found"]
 
     failures: List[str] = []
     prologue = (
@@ -109,7 +113,7 @@ def run_snippets(verbose: bool = True) -> List[str]:
             p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
         )
         for lineno, body in blocks:
-            label = f"{SNIPPET_DOC.relative_to(REPO_ROOT)}:{lineno}"
+            label = f"{doc.relative_to(REPO_ROOT)}:{lineno}"
             if verbose:
                 first = body.strip().splitlines()[0] if body.strip() else "<empty>"
                 print(f"[snippet] {label}: {first}", flush=True)
@@ -125,6 +129,14 @@ def run_snippets(verbose: bool = True) -> List[str]:
                 failures.append(
                     f"{label}: exit {proc.returncode}\n    " + "\n    ".join(tail)
                 )
+    return failures
+
+
+def run_snippets(verbose: bool = True) -> List[str]:
+    """Execute every bash block from every guide; return failures."""
+    failures: List[str] = []
+    for doc in SNIPPET_DOCS:
+        failures.extend(_run_doc_snippets(doc, verbose))
     return failures
 
 
@@ -144,7 +156,8 @@ def main(argv: List[str] | None = None) -> int:
     if not ns.links_only and not failures:
         snippet_failures = run_snippets(verbose=not ns.quiet)
         if not snippet_failures:
-            print("snippets: every ```bash block in docs/evaluating.md ran cleanly")
+            names = ", ".join(str(doc.relative_to(REPO_ROOT)) for doc in SNIPPET_DOCS)
+            print(f"snippets: every ```bash block in {names} ran cleanly")
         failures.extend(snippet_failures)
 
     for failure in failures:

@@ -17,7 +17,17 @@ One front door for the things people (and CI) run:
   cache footprint, the simulated pricing table, and (with ``--results``)
   per-model spend recorded in a suite store;
 * ``repro cache`` — inspect (``stats``) or empty (``clear``) a disk cache
-  root.
+  root;
+* ``repro obs``  — observability: ``summary`` digests a trace file
+  (per-phase wall-clock, cache hit-rates, LLM retry/denial counts, slowest
+  spans), ``top`` lists the N slowest spans, ``export`` converts to the
+  Chrome trace-event format for Perfetto.
+
+``repro eval``, ``repro suite run``, ``repro verify run``, and ``repro
+bench`` accept ``--trace PATH`` to record a JSONL trace of the run (spans
+from every layer plus a final metrics snapshot); the top-level
+``--log-level`` flag configures the ``repro`` logger hierarchy
+(:func:`repro.obs.logging_setup`).
 
 ``repro eval`` and ``repro suite run`` accept ``--budget
 tokens=...,calls=...,cost=...`` (enforced at dispatch time — a trip exits
@@ -583,6 +593,65 @@ def _cmd_llm_stats(ns: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# repro obs
+# --------------------------------------------------------------------------- #
+def _read_trace_or_fail(path: str):
+    """Parse a trace file, or print a friendly error and return ``None``."""
+    from repro.obs import read_trace
+
+    trace_path = Path(path)
+    if not trace_path.exists():
+        print(f"no trace: {trace_path} does not exist — run with --trace PATH first")
+        return None
+    return read_trace(trace_path)
+
+
+def _cmd_obs_summary(ns: argparse.Namespace) -> int:
+    from repro.obs import format_summary, summarize
+
+    trace = _read_trace_or_fail(ns.trace_file)
+    if trace is None:
+        return 1
+    digest = summarize(trace, limit=ns.top)
+    if ns.json:
+        print(json.dumps(digest, indent=2, sort_keys=True))
+    else:
+        print(format_summary(digest))
+    return 0
+
+
+def _cmd_obs_top(ns: argparse.Namespace) -> int:
+    from repro.obs.summary import slowest_spans
+
+    trace = _read_trace_or_fail(ns.trace_file)
+    if trace is None:
+        return 1
+    spans = trace.spans
+    if ns.category:
+        spans = [s for s in spans if s.category == ns.category]
+    for i, s in enumerate(slowest_spans(spans, limit=ns.count), start=1):
+        flag = "" if s.status == "ok" else f"  [{s.status}: {s.error_type}]"
+        print(f"{i:>3}. {s.duration:9.3f}s  {s.category or 'span':<14} {s.name}{flag}")
+    if not spans:
+        print("(no matching spans)")
+    return 0
+
+
+def _cmd_obs_export(ns: argparse.Namespace) -> int:
+    from repro.obs import write_chrome_trace
+
+    trace = _read_trace_or_fail(ns.trace_file)
+    if trace is None:
+        return 1
+    path = write_chrome_trace(ns.output, trace.spans)
+    print(
+        f"wrote {path} ({len(trace.spans)} events) — "
+        "load in Perfetto (https://ui.perfetto.dev) or chrome://tracing"
+    )
+    return 0
+
+
+# --------------------------------------------------------------------------- #
 # repro cache
 # --------------------------------------------------------------------------- #
 def _format_bytes(n: int) -> str:
@@ -656,10 +725,25 @@ def _add_cache_dir_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a JSONL trace of the run (inspect with `repro obs summary PATH`)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ChatVis reproduction harness: evaluation, benchmarks, cache control.",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=("debug", "info", "warning", "error", "critical"),
+        help="logging threshold for the repro logger hierarchy (default: $REPRO_LOG_LEVEL or warning)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -692,6 +776,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_llm_arguments(eval_parser)
     _add_cache_dir_argument(eval_parser)
+    _add_trace_argument(eval_parser)
     eval_parser.set_defaults(func=_cmd_eval)
 
     suite_parser = subparsers.add_parser(
@@ -750,6 +835,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--report-json", default=None, help="also write the JSON report here"
     )
     _add_cache_dir_argument(run_parser)
+    _add_trace_argument(run_parser)
     run_parser.set_defaults(func=_cmd_suite_run)
 
     report_parser = suite_sub.add_parser(
@@ -818,6 +904,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify_run_parser.add_argument(
         "--report-json", default=None, help="also write the JSON report here"
     )
+    _add_trace_argument(verify_run_parser)
     verify_run_parser.set_defaults(func=_cmd_verify_run)
 
     verify_report_parser = verify_sub.add_parser(
@@ -852,6 +939,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, help="also write the timings as JSON to this path"
     )
     _add_cache_dir_argument(bench_parser)
+    _add_trace_argument(bench_parser)
     bench_parser.set_defaults(func=_cmd_bench)
     bench_sub = bench_parser.add_subparsers(dest="bench_command")
     manifest_parser = bench_sub.add_parser(
@@ -903,6 +991,38 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_dir_argument(llm_stats_parser)
     llm_stats_parser.set_defaults(func=_cmd_llm_stats)
 
+    obs_parser = subparsers.add_parser(
+        "obs", help="observability: summarize, rank, or export a --trace file"
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    obs_summary_parser = obs_sub.add_parser(
+        "summary",
+        help="per-phase wall-clock, cache hit-rates, LLM retry/denial counts, slowest spans",
+    )
+    obs_summary_parser.add_argument("trace_file", metavar="trace", help="JSONL trace file from a --trace run")
+    obs_summary_parser.add_argument(
+        "--top", type=int, default=10, help="number of slowest spans to list (default: 10)"
+    )
+    obs_summary_parser.add_argument(
+        "--json", action="store_true", help="machine-readable digest instead of the text report"
+    )
+    obs_summary_parser.set_defaults(func=_cmd_obs_summary)
+    obs_top_parser = obs_sub.add_parser("top", help="the N slowest spans in a trace")
+    obs_top_parser.add_argument("trace_file", metavar="trace", help="JSONL trace file from a --trace run")
+    obs_top_parser.add_argument(
+        "-n", "--count", type=int, default=10, help="how many spans (default: 10)"
+    )
+    obs_top_parser.add_argument(
+        "--category", default=None, help="only spans of this category (e.g. engine.node)"
+    )
+    obs_top_parser.set_defaults(func=_cmd_obs_top)
+    obs_export_parser = obs_sub.add_parser(
+        "export", help="convert a trace to Chrome trace-event JSON (Perfetto-loadable)"
+    )
+    obs_export_parser.add_argument("trace_file", metavar="trace", help="JSONL trace file from a --trace run")
+    obs_export_parser.add_argument("output", help="where to write the Chrome trace JSON")
+    obs_export_parser.set_defaults(func=_cmd_obs_export)
+
     cache_parser = subparsers.add_parser("cache", help="inspect or clear a disk-cache root")
     cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
     stats_parser = cache_sub.add_parser(
@@ -923,8 +1043,34 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Parse arguments, configure logging, run the command, flush any trace."""
+    from repro.obs import logging_setup
+
     ns = build_parser().parse_args(argv)
-    return ns.func(ns)
+    logging_setup(ns.log_level)
+
+    trace_path = getattr(ns, "trace", None)
+    if not trace_path:
+        return ns.func(ns)
+
+    from repro.obs import METRICS, disable_tracing, enable_tracing, write_trace
+
+    tracer = enable_tracing()
+    try:
+        return ns.func(ns)
+    finally:
+        # written even when the command aborts (budget trip, failure) — a
+        # partial run's trace is exactly when you want to see where time went
+        spans = tracer.drain()
+        disable_tracing()
+        arg_list = list(argv) if argv is not None else sys.argv[1:]
+        written = write_trace(
+            trace_path,
+            spans,
+            metrics=METRICS.snapshot().as_dict(),
+            meta={"command": "repro " + " ".join(str(a) for a in arg_list)},
+        )
+        print(f"wrote trace: {written} ({len(spans)} spans)")
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via the console script

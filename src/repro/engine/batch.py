@@ -43,6 +43,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.obs.metrics import METRICS, MetricsSnapshot
+from repro.obs.trace import TRACE_STATE, enable_tracing
+
 __all__ = [
     "BatchJob",
     "BatchJobError",
@@ -71,12 +74,19 @@ class BatchJob:
 
 @dataclass
 class BatchResult:
-    """Outcome of one job (order-aligned with the submitted job list)."""
+    """Outcome of one job (order-aligned with the submitted job list).
+
+    ``obs`` carries a worker process's observability payload —
+    ``{"spans": [span dicts], "metrics": snapshot dict}`` — back through the
+    result channel when tracing is enabled; the parent merges it into its own
+    tracer/registry and callers can ignore it.
+    """
 
     name: str
     value: Any = None
     error: Optional[BaseException] = None
     duration: float = 0.0
+    obs: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -84,9 +94,14 @@ class BatchResult:
 
 
 def _run_one(job: BatchJob) -> BatchResult:
+    tracer = TRACE_STATE.tracer  # the disabled path pays only this read
     started = time.perf_counter()
     try:
-        value = job.fn(*job.args, **job.kwargs)
+        if tracer is None:
+            value = job.fn(*job.args, **job.kwargs)
+        else:
+            with tracer.span(job.name, "batch.job"):
+                value = job.fn(*job.args, **job.kwargs)
         return BatchResult(job.name, value=value, duration=time.perf_counter() - started)
     except (KeyboardInterrupt, SystemExit):
         # a Ctrl-C must abort the batch, not be recorded as the job's result
@@ -207,18 +222,33 @@ def _drain_pool(
 # --------------------------------------------------------------------------- #
 # process pool
 # --------------------------------------------------------------------------- #
-def _process_worker_init(cache_dir: Optional[str]) -> None:
-    """Per-process bootstrap: fresh session state, shared disk cache tier."""
+def _process_worker_init(cache_dir: Optional[str], obs_enabled: bool = False) -> None:
+    """Per-process bootstrap: fresh session state, shared disk cache tier.
+
+    When the parent runs with tracing enabled, ``obs_enabled`` turns the
+    worker's own tracer on and zeroes its metrics registry, so every delta
+    the worker ships back is exactly its own activity.
+    """
     from repro.engine.cache import configure_shared_cache
     from repro.pvsim import state
 
     if cache_dir:
         configure_shared_cache(cache_dir)
     state.reset_session()
+    if obs_enabled:
+        METRICS.reset()
+        enable_tracing()
 
 
 def _run_one_in_worker(job: BatchJob) -> BatchResult:
-    """Worker-side job runner: sanitize errors that cannot cross the pipe."""
+    """Worker-side job runner: sanitize errors that cannot cross the pipe.
+
+    With tracing on, the worker drains its span buffer and computes the
+    metrics delta this job produced, attaching both (plain data) to
+    :attr:`BatchResult.obs` so the parent can merge them.
+    """
+    tracer = TRACE_STATE.tracer
+    metrics_before = METRICS.snapshot() if tracer is not None else None
     outcome = _run_one(job)
     if outcome.error is not None:
         try:
@@ -236,6 +266,12 @@ def _run_one_in_worker(job: BatchJob) -> BatchResult:
                 ),
                 duration=outcome.duration,
             )
+    if tracer is not None and metrics_before is not None:
+        delta = METRICS.snapshot().delta(metrics_before)
+        outcome.obs = {
+            "spans": [span.to_dict() for span in tracer.drain()],
+            "metrics": delta.as_dict(),
+        }
     return outcome
 
 
@@ -269,10 +305,30 @@ class ProcessBatchRunner:
         stop_on_error: bool = False,
         on_result: Optional[Callable[[BatchResult], None]] = None,
     ) -> List[BatchResult]:
-        """Run jobs in worker processes; ordered results, errors captured."""
+        """Run jobs in worker processes; ordered results, errors captured.
+
+        When the parent has tracing enabled, workers boot with their own
+        tracer and ship per-job span buffers + metric deltas back on each
+        :class:`BatchResult`; they are folded into the parent's tracer and
+        registry here, before the caller's ``on_result`` fires.
+        """
         import multiprocessing
 
         normalized = _normalize(jobs)
+        parent_tracer = TRACE_STATE.tracer
+        if parent_tracer is not None:
+            caller_on_result = on_result
+
+            def on_result(outcome: BatchResult) -> None:  # noqa: F811 - deliberate wrap
+                payload = outcome.obs
+                if payload:
+                    parent_tracer.extend_serialized(payload.get("spans", ()))
+                    metrics = payload.get("metrics")
+                    if metrics:
+                        METRICS.merge_snapshot(MetricsSnapshot.from_dict(metrics))
+                if caller_on_result is not None:
+                    caller_on_result(outcome)
+
         if self.max_workers <= 1 or len(normalized) <= 1:
             if self.cache_dir is None:
                 return _run_serial(normalized, stop_on_error, on_result)
@@ -295,7 +351,7 @@ class ProcessBatchRunner:
             max_workers=self.max_workers,
             mp_context=context,
             initializer=_process_worker_init,
-            initargs=(cache_dir,),
+            initargs=(cache_dir, parent_tracer is not None),
         ) as pool:
             return _drain_pool(pool, _run_one_in_worker, normalized, stop_on_error, on_result)
 

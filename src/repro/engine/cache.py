@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import contextlib
 import hashlib
+import logging
 import os
 import threading
 import time
@@ -39,6 +40,9 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
+
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACE_STATE
 
 try:  # POSIX file locking; absent on some platforms — locking degrades to none
     import fcntl
@@ -60,6 +64,8 @@ __all__ = [
 
 #: environment variable naming the disk-cache root attached to the shared cache
 CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+
+_log = logging.getLogger("repro.engine.cache")
 
 
 def normalize_value(value: Any) -> Any:
@@ -181,11 +187,16 @@ class ResultCache(CacheLike):
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
-                return True, self._entries[key]
-            self.stats.misses += 1
-            return False, None
+                found, value = True, self._entries[key]
+            else:
+                self.stats.misses += 1
+                found, value = False, None
+        if TRACE_STATE.tracer is not None:
+            METRICS.incr("cache_ops_total", tier="memory", op="hit" if found else "miss")
+        return found, value
 
     def put(self, key: str, value: Any) -> None:
+        evicted = 0
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
@@ -193,6 +204,9 @@ class ResultCache(CacheLike):
                 while len(self._entries) > self.max_entries:
                     self._entries.popitem(last=False)
                     self.stats.evictions += 1
+                    evicted += 1
+        if evicted and TRACE_STATE.tracer is not None:
+            METRICS.incr("cache_ops_total", evicted, tier="memory", op="eviction")
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
@@ -320,18 +334,26 @@ class DiskCache(CacheLike):
         except FileNotFoundError:
             with self._lock:
                 self.stats.misses += 1
+            if TRACE_STATE.tracer is not None:
+                METRICS.incr("cache_ops_total", tier="disk", op="miss")
             return False, None
-        except CachePayloadError:
+        except CachePayloadError as exc:
             # bad entry: remove it so the slot gets rewritten, never fatal
+            _log.warning("discarding corrupt cache entry %s: %s", path.name, exc)
             with contextlib.suppress(OSError):
                 path.unlink()
             with self._lock:
                 self.stats.corruptions += 1
                 self.stats.misses += 1
+            if TRACE_STATE.tracer is not None:
+                METRICS.incr("cache_ops_total", tier="disk", op="corruption")
+                METRICS.incr("cache_ops_total", tier="disk", op="miss")
             return False, None
         self._touch(path)
         with self._lock:
             self.stats.hits += 1
+        if TRACE_STATE.tracer is not None:
+            METRICS.incr("cache_ops_total", tier="disk", op="hit")
         return True, value
 
     def put(self, key: str, value: Any) -> None:
@@ -407,16 +429,20 @@ class DiskCache(CacheLike):
             entries.append((stat.st_mtime_ns, stat.st_size, path))
             total += stat.st_size
         entries.sort()
+        evicted = 0
         for mtime_ns, size, path in entries:
             if total <= self.max_bytes:
                 break
             with contextlib.suppress(OSError):
                 path.unlink()
             total -= size
+            evicted += 1
             with self._lock:
                 self.stats.evictions += 1
         with self._lock:
             self._size_estimate = total
+        if evicted and TRACE_STATE.tracer is not None:
+            METRICS.incr("cache_ops_total", evicted, tier="disk", op="eviction")
 
     def total_bytes(self) -> int:
         """Current on-disk footprint of all entries."""

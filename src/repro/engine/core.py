@@ -20,6 +20,7 @@ from repro.engine.cache import CacheLike, CacheStats, node_key, shared_cache
 from repro.engine.errors import NodeExecutionError
 from repro.engine.graph import Node, PipelineGraph
 from repro.engine.registry import ExecContext, get_spec
+from repro.obs.trace import TRACE_STATE
 
 __all__ = ["EvaluationReport", "Engine", "default_engine"]
 
@@ -128,6 +129,10 @@ class Engine:
         for node in graph.topological_order([target]):
             keys[node.id] = self._node_cache_key(node, keys)
 
+        # captured once per evaluate(); the disabled fast path costs exactly
+        # this one attribute read plus a local-variable None test per node
+        tracer = TRACE_STATE.tracer
+
         def materialize(node_id: str) -> Any:
             """Demand-driven fetch-or-execute: a cached node never touches
             its ancestors, so a warm target costs exactly one cache get."""
@@ -137,10 +142,21 @@ class Engine:
             found, value = self.cache.get(keys[node_id])
             if found:
                 report.cached.append(node.name)
+                if tracer is not None:
+                    # zero-length marker span: the hit is the event
+                    with tracer.span(node.name, "engine.node", spec=node.spec_name, cached=True):
+                        pass
             else:
+                # inputs materialize outside the span so node spans carry
+                # self-time (compute + put), not their ancestors' work
                 inputs = [materialize(i) for i in node.inputs]
-                value = self._execute_node(node, inputs)
-                self.cache.put(keys[node_id], value)
+                if tracer is None:
+                    value = self._execute_node(node, inputs)
+                    self.cache.put(keys[node_id], value)
+                else:
+                    with tracer.span(node.name, "engine.node", spec=node.spec_name, cached=False):
+                        value = self._execute_node(node, inputs)
+                        self.cache.put(keys[node_id], value)
                 report.executed.append(node.name)
             outputs[node_id] = value
             return value
@@ -197,7 +213,13 @@ class Engine:
         ctx = self._context(node, spec, inputs)
         if not spec.is_source and not inputs:
             ctx.error("has no Input and no active source is set")
-        return spec.execute(ctx)
+        started = time.perf_counter()
+        try:
+            return spec.execute(ctx)
+        except NodeExecutionError as exc:
+            if exc.elapsed is None:
+                exc.elapsed = time.perf_counter() - started
+            raise
 
     @staticmethod
     def _sinks(graph: PipelineGraph) -> List[str]:

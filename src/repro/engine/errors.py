@@ -22,7 +22,12 @@ class NodeExecutionError(EngineError):
 
     :class:`repro.pvsim.errors.PipelineError` derives from this class so that
     engine-level failures and ParaView-layer failures share one hierarchy.
+    The engine stamps :attr:`elapsed` with the failing node's execution time
+    (seconds) so failures are timed, not just named.
     """
+
+    #: seconds the failing node ran before raising (set by the engine)
+    elapsed: "float | None" = None
 
 
 class RegistryError(EngineError):

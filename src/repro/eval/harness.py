@@ -44,6 +44,7 @@ from repro.llm.base import LLMClient, user
 from repro.llm.codegen import extract_code_block
 from repro.llm.core.budget import RunBudget
 from repro.llm.registry import get_model
+from repro.obs.trace import span as obs_span
 from repro.pvsim.executor import ExecutionResult, PvPythonExecutor
 
 __all__ = [
@@ -243,7 +244,8 @@ def run_table_two(
         review_model=review_model,
         review_rounds=review_rounds,
     )
-    summary = runner.run(resume=False)
+    with obs_span("table_two", "phase", methods=len(methods), tasks=len(task_names)):
+        summary = runner.run(resume=False)
     for record in summary.records:
         result.cells.append(
             TableTwoCell(

@@ -33,6 +33,7 @@ the budget tripped would never be authorized anyway).
 from __future__ import annotations
 
 import asyncio
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
@@ -41,6 +42,8 @@ from repro.llm.base import ChatMessage, CompletionResponse, LLMClient
 from repro.llm.core.budget import BudgetExceededError, BudgetLedger, Spend
 from repro.llm.core.cache import CompletionCache
 from repro.llm.errors import RetryableLLMError
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACE_STATE
 
 __all__ = [
     "DEFAULT_RETRY_POLICY",
@@ -85,6 +88,8 @@ class RetryPolicy:
 #: policy used when none is supplied — three attempts, fast backoff
 DEFAULT_RETRY_POLICY = RetryPolicy()
 
+_log = logging.getLogger("repro.llm.dispatch")
+
 
 class ManagedLLM(LLMClient):
     """The budget/cache/retry wrapper every dispatch path goes through.
@@ -122,6 +127,7 @@ class ManagedLLM(LLMClient):
         max_tokens: Optional[int] = None,
     ) -> CompletionResponse:
         """Cache → authorize → attempt/retry → charge → cache-fill."""
+        tracer = TRACE_STATE.tracer  # single guard for all obs in this call
         if self.cache is not None:
             hit = self.cache.get(
                 self.model_name, messages, temperature=temperature, seed=seed, max_tokens=max_tokens
@@ -130,12 +136,31 @@ class ManagedLLM(LLMClient):
                 self.spend.add_cached(hit.usage)
                 if self.ledger is not None:
                     self.ledger.charge(self.model_name, hit.usage, cached=True)
+                if tracer is not None:
+                    METRICS.incr("llm_calls_total", model=self.model_name, outcome="cached")
+                    # zero-length marker span: the cache hit is the event
+                    with tracer.span(self.model_name, "llm.dispatch", cached=True):
+                        pass
                 return hit
 
         if self.ledger is not None:
-            self.ledger.authorize(self.model_name)
+            try:
+                self.ledger.authorize(self.model_name)
+            except BudgetExceededError:
+                if tracer is not None:
+                    METRICS.incr("llm_budget_denials_total", model=self.model_name)
+                raise
 
-        response = self._attempt(messages, temperature, seed, max_tokens)
+        if tracer is None:
+            response = self._attempt(messages, temperature, seed, max_tokens)
+        else:
+            try:
+                with tracer.span(self.model_name, "llm.dispatch", cached=False):
+                    response = self._attempt(messages, temperature, seed, max_tokens)
+            except BaseException:
+                METRICS.incr("llm_calls_total", model=self.model_name, outcome="error")
+                raise
+            METRICS.incr("llm_calls_total", model=self.model_name, outcome="ok")
         response.metadata = dict(response.metadata)
         response.metadata.setdefault("cached", False)
 
@@ -177,9 +202,25 @@ class ManagedLLM(LLMClient):
                 self.spend.retries += 1
                 if self.ledger is not None:
                     self.ledger.charge_retry(self.model_name)
+                tracer = TRACE_STATE.tracer
+                if tracer is not None:
+                    METRICS.incr("llm_retries_total", model=self.model_name)
                 if attempt >= policy.max_attempts:
                     break
-                self._sleep(policy.delay_for(attempt, getattr(exc, "retry_after", None)))
+                delay = policy.delay_for(attempt, getattr(exc, "retry_after", None))
+                _log.warning(
+                    "retryable error from %s (attempt %d/%d): %s — backing off %.2fs",
+                    self.model_name,
+                    attempt,
+                    policy.max_attempts,
+                    exc,
+                    delay,
+                )
+                if tracer is not None:
+                    with tracer.span(self.model_name, "llm.backoff", attempt=attempt, delay=delay):
+                        self._sleep(delay)
+                else:
+                    self._sleep(delay)
         assert last is not None
         raise last
 

@@ -1,0 +1,62 @@
+"""Observability for the repro stack: tracing, metrics, logging.
+
+The package is deliberately dependency-free and cheap to import.  Three
+pieces:
+
+* :mod:`repro.obs.trace` — contextvar-scoped spans, a thread-safe
+  collector, JSONL + Chrome-trace export.  Off by default; every
+  instrumented hot path pays one attribute check
+  (``TRACE_STATE.tracer is None``) and nothing else.
+* :mod:`repro.obs.metrics` — a process-wide registry of labeled counters /
+  gauges / histograms with a picklable, order-independently mergeable
+  snapshot type for shipping worker state across process boundaries.
+* :mod:`repro.obs.logsetup` — one-call ``logging`` configuration backing
+  the CLI's ``--log-level`` flag.
+
+See ``docs/observability.md`` for the span model, metric names, and the
+trace-file schema.
+"""
+
+from .logsetup import logging_setup
+from .metrics import METRICS, MetricsRegistry, MetricsSnapshot, merge_all
+from .summary import format_summary, summarize
+from .trace import (
+    Span,
+    TRACE_STATE,
+    TraceFile,
+    Tracer,
+    current_span,
+    disable_tracing,
+    enable_tracing,
+    read_trace,
+    sort_spans,
+    span,
+    to_chrome_trace,
+    tracing_enabled,
+    write_chrome_trace,
+    write_trace,
+)
+
+__all__ = [
+    "METRICS",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Span",
+    "TRACE_STATE",
+    "TraceFile",
+    "Tracer",
+    "current_span",
+    "disable_tracing",
+    "enable_tracing",
+    "format_summary",
+    "logging_setup",
+    "merge_all",
+    "read_trace",
+    "sort_spans",
+    "span",
+    "summarize",
+    "to_chrome_trace",
+    "tracing_enabled",
+    "write_chrome_trace",
+    "write_trace",
+]

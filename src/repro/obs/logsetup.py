@@ -1,0 +1,51 @@
+"""One-call stdlib-``logging`` configuration for the ``repro`` CLI.
+
+Every module in the package logs through ``logging.getLogger("repro...")``;
+this module wires the root ``repro`` logger to stderr exactly once with a
+compact, timestamped format.  The CLI calls :func:`logging_setup` with its
+``--log-level`` flag before dispatching; library code never configures
+handlers itself, so embedding ``repro`` in another application keeps the
+host's logging policy intact.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional, Union
+
+__all__ = ["logging_setup"]
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATEFMT = "%H:%M:%S"
+_CONFIGURED_FLAG = "_repro_obs_handler"
+
+
+def logging_setup(level: Union[int, str, None] = None, stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger hierarchy; safe to call repeatedly.
+
+    ``level`` accepts a ``logging`` constant or a name like ``"debug"``;
+    when omitted, the ``REPRO_LOG_LEVEL`` environment variable is consulted
+    and the default is ``WARNING`` (so retries and cache corruption are
+    visible, routine chatter is not).  Repeat calls only adjust the level —
+    no duplicate handlers.
+    """
+    if level is None:
+        level = os.environ.get("REPRO_LOG_LEVEL", "warning")
+    if isinstance(level, str):
+        resolved: Optional[int] = getattr(logging, level.upper(), None)
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level: {level!r}")
+        level = resolved
+
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    has_ours = any(getattr(h, _CONFIGURED_FLAG, False) for h in logger.handlers)
+    if not has_ours:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATEFMT))
+        setattr(handler, _CONFIGURED_FLAG, True)
+        logger.addHandler(handler)
+        logger.propagate = False
+    return logger

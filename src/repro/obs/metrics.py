@@ -1,0 +1,266 @@
+"""Process-wide metrics: labeled counters, gauges, histograms, snapshots.
+
+The registry is a flat, lock-guarded map from ``(name, labels)`` to a value,
+where ``labels`` is a canonically sorted tuple of ``(key, value)`` string
+pairs.  Serialized keys use the Prometheus-ish form
+``name{key=value,key2=value2}`` (bare ``name`` when unlabeled), which keeps
+snapshots human-readable in trace files and deterministic under
+``json.dumps(..., sort_keys=True)``.
+
+:class:`MetricsSnapshot` is the transport type: a frozen plain-dict copy of
+the registry that pickles across process boundaries, merges
+order-independently (counter/histogram sums commute; gauges take the
+latest-wins value only through :meth:`MetricsRegistry.observe` — merged
+gauges keep the max), and diffs (:meth:`MetricsSnapshot.delta`) so a worker
+can ship exactly what one job added.
+
+Like tracing, metric updates on hot paths are guarded by the single
+``TRACE_STATE.tracer`` attribute check from :mod:`repro.obs.trace` at the
+call site — this module itself is always safe to call and merely cheap.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "METRICS",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "format_key",
+    "merge_all",
+    "parse_key",
+]
+
+_LabelTuple = Tuple[Tuple[str, str], ...]
+
+
+def _label_tuple(labels: Mapping[str, Any]) -> _LabelTuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def format_key(name: str, labels: _LabelTuple = ()) -> str:
+    """Serialize ``(name, labels)`` as ``name{k=v,...}`` (bare when unlabeled)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def parse_key(key: str) -> Tuple[str, _LabelTuple]:
+    """Invert :func:`format_key`; tolerant of label-less keys."""
+    if "{" not in key:
+        return key, ()
+    name, _, rest = key.partition("{")
+    rest = rest.rstrip("}")
+    labels = []
+    for part in rest.split(","):
+        if not part:
+            continue
+        k, _, v = part.partition("=")
+        labels.append((k, v))
+    return name, tuple(labels)
+
+
+class MetricsSnapshot:
+    """A frozen, picklable, mergeable copy of the registry's state.
+
+    ``counters`` maps serialized keys to floats; ``gauges`` likewise;
+    ``histograms`` maps keys to ``{"count", "sum", "min", "max"}`` summary
+    dicts.  All three are plain data, so the snapshot crosses process
+    boundaries as-is and serializes deterministically.
+    """
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(
+        self,
+        counters: Optional[Dict[str, float]] = None,
+        gauges: Optional[Dict[str, float]] = None,
+        histograms: Optional[Dict[str, Dict[str, float]]] = None,
+    ) -> None:
+        self.counters = dict(counters or {})
+        self.gauges = dict(gauges or {})
+        self.histograms = {k: dict(v) for k, v in (histograms or {}).items()}
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Fold *other* in (in place) and return self.
+
+        Counters and histogram counts/sums add; histogram min/max widen;
+        gauges keep the max (the only order-independent choice without
+        timestamps).  Merging is therefore commutative and associative, so
+        parent processes may fold worker snapshots in any arrival order and
+        land on identical state.
+        """
+        for key, value in other.counters.items():
+            self.counters[key] = self.counters.get(key, 0.0) + value
+        for key, value in other.gauges.items():
+            self.gauges[key] = max(self.gauges.get(key, value), value)
+        for key, summary in other.histograms.items():
+            mine = self.histograms.get(key)
+            if mine is None:
+                self.histograms[key] = dict(summary)
+            else:
+                mine["count"] += summary["count"]
+                mine["sum"] += summary["sum"]
+                mine["min"] = min(mine["min"], summary["min"])
+                mine["max"] = max(mine["max"], summary["max"])
+        return self
+
+    def delta(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """What happened since *earlier*: a new snapshot of the differences.
+
+        Counter/histogram deltas subtract; gauges copy the current value.
+        Keys absent from *earlier* are treated as zero.  Used by workers to
+        report exactly one job's worth of activity.
+        """
+        counters = {}
+        for key, value in self.counters.items():
+            diff = value - earlier.counters.get(key, 0.0)
+            if diff:
+                counters[key] = diff
+        histograms = {}
+        for key, summary in self.histograms.items():
+            prev = earlier.histograms.get(key)
+            if prev is None:
+                histograms[key] = dict(summary)
+                continue
+            count = summary["count"] - prev["count"]
+            if count:
+                histograms[key] = {
+                    "count": count,
+                    "sum": summary["sum"] - prev["sum"],
+                    # true min/max of the window aren't recoverable from two
+                    # summaries; the current bounds are the safe envelope
+                    "min": summary["min"],
+                    "max": summary["max"],
+                }
+        return MetricsSnapshot(counters=counters, gauges=dict(self.gauges), histograms=histograms)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for JSON serialization (trace-file metrics line)."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: dict(v) for k, v in self.histograms.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "MetricsSnapshot":
+        """Rebuild a snapshot from :meth:`as_dict` output."""
+        return cls(
+            counters=dict(payload.get("counters", {})),
+            gauges=dict(payload.get("gauges", {})),
+            histograms={k: dict(v) for k, v in payload.get("histograms", {}).items()},
+        )
+
+    def counter_total(self, name: str, **match: str) -> float:
+        """Sum every counter series of *name* whose labels include ``match``."""
+        total = 0.0
+        wanted = set(_label_tuple(match))
+        for key, value in self.counters.items():
+            key_name, labels = parse_key(key)
+            if key_name == name and wanted.issubset(set(labels)):
+                total += value
+        return total
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.gauges or self.histograms)
+
+
+class MetricsRegistry:
+    """Thread-safe labeled counter/gauge/histogram store.
+
+    One process-wide instance lives at :data:`METRICS`.  All mutators take
+    labels as keyword arguments::
+
+        METRICS.incr("cache_ops_total", tier="disk", op="hit")
+        METRICS.observe("node_seconds", 0.12, node="Contour")
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Dict[str, float]] = {}
+
+    def incr(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        """Add *value* (default 1) to the counter series ``name{labels}``."""
+        key = format_key(name, _label_tuple(labels))
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set the gauge series ``name{labels}`` to *value* (last write wins)."""
+        key = format_key(name, _label_tuple(labels))
+        with self._lock:
+            self._gauges[key] = float(value)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Record one observation into the histogram series ``name{labels}``."""
+        key = format_key(name, _label_tuple(labels))
+        with self._lock:
+            summary = self._histograms.get(key)
+            if summary is None:
+                self._histograms[key] = {
+                    "count": 1.0,
+                    "sum": float(value),
+                    "min": float(value),
+                    "max": float(value),
+                }
+            else:
+                summary["count"] += 1.0
+                summary["sum"] += float(value)
+                summary["min"] = min(summary["min"], value)
+                summary["max"] = max(summary["max"], value)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """A consistent frozen copy of the current state."""
+        with self._lock:
+            return MetricsSnapshot(
+                counters=dict(self._counters),
+                gauges=dict(self._gauges),
+                histograms={k: dict(v) for k, v in self._histograms.items()},
+            )
+
+    def merge_snapshot(self, snap: MetricsSnapshot) -> None:
+        """Fold a (worker's) snapshot into the live registry."""
+        with self._lock:
+            for key, value in snap.counters.items():
+                self._counters[key] = self._counters.get(key, 0.0) + value
+            for key, value in snap.gauges.items():
+                self._gauges[key] = max(self._gauges.get(key, value), value)
+            for key, summary in snap.histograms.items():
+                mine = self._histograms.get(key)
+                if mine is None:
+                    self._histograms[key] = dict(summary)
+                else:
+                    mine["count"] += summary["count"]
+                    mine["sum"] += summary["sum"]
+                    mine["min"] = min(mine["min"], summary["min"])
+                    mine["max"] = max(mine["max"], summary["max"])
+
+    def reset(self) -> None:
+        """Clear every series (tests and worker bootstrap)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def counter_names(self) -> List[str]:
+        """Sorted serialized counter keys currently present."""
+        with self._lock:
+            return sorted(self._counters)
+
+
+#: the process-wide registry every instrumentation site writes to
+METRICS = MetricsRegistry()
+
+
+def merge_all(snapshots: Iterable[MetricsSnapshot]) -> MetricsSnapshot:
+    """Fold an iterable of snapshots into one (order-independent)."""
+    out = MetricsSnapshot()
+    for snap in snapshots:
+        out.merge(snap)
+    return out

@@ -1,0 +1,153 @@
+"""Turn a trace file into the report `repro obs summary` prints.
+
+All functions here are pure: they take the parsed :class:`TraceFile`
+(spans + final metrics snapshot) and return plain data or formatted text,
+so the CLI stays a thin shell and tests can assert on structure instead of
+scraping stdout.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, List
+
+from .metrics import MetricsSnapshot, parse_key
+from .trace import Span, TraceFile
+
+__all__ = [
+    "format_summary",
+    "phase_wall_clock",
+    "slowest_spans",
+    "summarize",
+]
+
+
+def phase_wall_clock(spans: List[Span]) -> Dict[str, Dict[str, float]]:
+    """Per-category totals: span count, summed duration, error count.
+
+    "Phase" is the span ``category`` (``engine.node``, ``suite.cell``,
+    ``llm.dispatch``, ...); summed duration over a parallel phase can exceed
+    wall-clock — it is total work, which is the quantity cache hit-rates and
+    overhead comparisons need.
+    """
+    out: Dict[str, Dict[str, float]] = defaultdict(lambda: {"count": 0.0, "seconds": 0.0, "errors": 0.0})
+    for span in spans:
+        bucket = out[span.category or "(uncategorized)"]
+        bucket["count"] += 1
+        bucket["seconds"] += span.duration
+        if span.status == "error":
+            bucket["errors"] += 1
+    return dict(out)
+
+
+def slowest_spans(spans: List[Span], limit: int = 10) -> List[Span]:
+    """The *limit* longest spans, slowest first (ties broken canonically)."""
+    return sorted(spans, key=lambda s: (-s.duration, s.start_wall, s.pid, s.span_id))[:limit]
+
+
+def _cache_hit_rates(snapshot: MetricsSnapshot) -> Dict[str, Dict[str, float]]:
+    """Per-tier hit/miss/eviction/corruption counts + hit-rate from counters."""
+    tiers: Dict[str, Dict[str, float]] = defaultdict(
+        lambda: {"hits": 0.0, "misses": 0.0, "evictions": 0.0, "corruptions": 0.0}
+    )
+    plural = {"hit": "hits", "miss": "misses", "eviction": "evictions", "corruption": "corruptions"}
+    for key, value in snapshot.counters.items():
+        name, labels = parse_key(key)
+        if name != "cache_ops_total":
+            continue
+        label_map = dict(labels)
+        op = plural.get(label_map.get("op", ""), None)
+        if op is None:
+            continue
+        tiers[label_map.get("tier", "?")][op] += value
+    for stats in tiers.values():
+        lookups = stats["hits"] + stats["misses"]
+        stats["hit_rate"] = stats["hits"] / lookups if lookups else 0.0
+    return dict(tiers)
+
+
+def summarize(trace: TraceFile, limit: int = 10) -> Dict[str, Any]:
+    """Structured digest of a trace: phases, caches, LLM counts, slow spans."""
+    snapshot = MetricsSnapshot.from_dict(trace.metrics) if trace.metrics else MetricsSnapshot()
+    phases = phase_wall_clock(trace.spans)
+    slow = slowest_spans(trace.spans, limit=limit)
+    return {
+        "span_count": len(trace.spans),
+        "error_count": sum(1 for s in trace.spans if s.status == "error"),
+        "process_count": len({s.pid for s in trace.spans}),
+        "phases": phases,
+        "caches": _cache_hit_rates(snapshot),
+        "llm": {
+            "calls": snapshot.counter_total("llm_calls_total"),
+            "cached": snapshot.counter_total("llm_calls_total", outcome="cached"),
+            "errors": snapshot.counter_total("llm_calls_total", outcome="error"),
+            "retries": snapshot.counter_total("llm_retries_total"),
+            "budget_denials": snapshot.counter_total("llm_budget_denials_total"),
+        },
+        "slowest": [
+            {
+                "name": s.name,
+                "category": s.category,
+                "seconds": s.duration,
+                "status": s.status,
+                "pid": s.pid,
+            }
+            for s in slow
+        ],
+        "meta": trace.meta,
+    }
+
+
+def format_summary(digest: Dict[str, Any]) -> str:
+    """Render :func:`summarize` output as the human-readable CLI report."""
+    lines: List[str] = []
+    meta = digest.get("meta") or {}
+    header = "trace summary"
+    if meta.get("command"):
+        header += f" — {meta['command']}"
+    lines.append(header)
+    lines.append(
+        f"  spans: {digest['span_count']}  errors: {digest['error_count']}"
+        f"  processes: {digest['process_count']}"
+    )
+
+    lines.append("")
+    lines.append("per-phase wall-clock (total work, not elapsed):")
+    lines.append("  phase                    count     seconds   errors")
+    for phase in sorted(digest["phases"]):
+        stats = digest["phases"][phase]
+        lines.append(
+            f"  {phase:<24} {int(stats['count']):>5} {stats['seconds']:>11.3f} {int(stats['errors']):>8}"
+        )
+
+    caches = digest["caches"]
+    lines.append("")
+    if caches:
+        lines.append("cache hit-rate by tier:")
+        lines.append("  tier        hits   misses   evictions   corruptions   hit-rate")
+        for tier in sorted(caches):
+            stats = caches[tier]
+            lines.append(
+                f"  {tier:<9} {int(stats['hits']):>6} {int(stats['misses']):>8}"
+                f" {int(stats['evictions']):>11} {int(stats['corruptions']):>13}"
+                f" {stats['hit_rate']:>9.1%}"
+            )
+    else:
+        lines.append("cache hit-rate by tier: (no cache metrics in trace)")
+
+    llm = digest["llm"]
+    lines.append("")
+    lines.append(
+        "llm: "
+        f"calls={int(llm['calls'])} cached={int(llm['cached'])} errors={int(llm['errors'])} "
+        f"retries={int(llm['retries'])} budget_denials={int(llm['budget_denials'])}"
+    )
+
+    lines.append("")
+    lines.append(f"{len(digest['slowest'])} slowest spans:")
+    for i, span in enumerate(digest["slowest"], start=1):
+        flag = "" if span["status"] == "ok" else f"  [{span['status']}]"
+        lines.append(
+            f"  {i:>2}. {span['seconds']:>9.3f}s  {span['category'] or 'span':<14} {span['name']}{flag}"
+        )
+    return "\n".join(lines)

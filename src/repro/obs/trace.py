@@ -1,0 +1,402 @@
+"""Contextvar-scoped tracing: spans, a thread-safe collector, trace files.
+
+A *span* is one timed region — a pipeline node execution, a suite cell, an
+LLM dispatch — with monotonic (``perf_counter``) duration, a wall-clock
+anchor for cross-process alignment, ok/error status, and free-form
+attributes.  Spans nest through a :data:`contextvars.ContextVar`, so the
+parent linkage is correct per thread *and* per asyncio task without any
+caller bookkeeping.
+
+Design constraints, in order:
+
+* **Zero cost when disabled.**  Tracing is off by default; the only cost an
+  instrumented hot path pays is a single attribute read
+  (``TRACE_STATE.tracer is None``) — no allocation, no call.  Hot loops
+  read the guard directly; convenience :func:`span` returns a shared no-op
+  context manager.
+* **Thread-safe collection.**  A :class:`Tracer` owns a lock-guarded span
+  buffer; worker threads append concurrently.
+* **Process-mergeable.**  Spans serialize to plain dicts
+  (:meth:`Span.to_dict`), so worker processes ship their buffers back
+  through the batch-result channel and the parent folds them in
+  (:meth:`Tracer.extend_serialized`).  Export sorts spans canonically
+  (:func:`sort_spans`), making a merged trace byte-deterministic with
+  respect to arrival order.
+
+Trace files are JSONL: one ``{"type": "span", ...}`` object per line plus a
+single ``{"type": "metrics", ...}`` snapshot line (see
+:mod:`repro.obs.metrics`).  :func:`to_chrome_trace` converts a span list to
+the Chrome trace-event format that ``chrome://tracing`` and Perfetto load
+directly.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+__all__ = [
+    "Span",
+    "TRACE_STATE",
+    "TraceFile",
+    "Tracer",
+    "current_span",
+    "disable_tracing",
+    "enable_tracing",
+    "read_trace",
+    "sort_spans",
+    "span",
+    "to_chrome_trace",
+    "tracing_enabled",
+    "write_chrome_trace",
+    "write_trace",
+]
+
+#: per-process monotonically increasing span sequence number
+_SPAN_SEQ = itertools.count(1)
+
+#: the active span of the current thread/task (parent for new spans)
+_CURRENT_SPAN: "contextvars.ContextVar[Optional[Span]]" = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+@dataclass
+class Span:
+    """One timed, attributed region of work.
+
+    ``start_wall`` is a ``time.time()`` anchor (seconds since epoch) taken
+    when the span opens; ``duration`` is measured with ``perf_counter`` so
+    it never goes backwards.  ``span_id`` embeds the originating process id,
+    which keeps ids unique across a process-pool run without coordination.
+    """
+
+    name: str
+    category: str = ""
+    span_id: str = ""
+    parent_id: Optional[str] = None
+    pid: int = 0
+    thread_id: int = 0
+    start_wall: float = 0.0
+    duration: float = 0.0
+    status: str = "ok"
+    error_type: Optional[str] = None
+    error_message: Optional[str] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def set_error(self, exc: BaseException) -> None:
+        """Mark the span failed, capturing the exception type and message."""
+        self.status = "error"
+        self.error_type = type(exc).__name__
+        self.error_message = str(exc)[:500]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSONL line / cross-process transport)."""
+        payload: Dict[str, Any] = {
+            "type": "span",
+            "name": self.name,
+            "category": self.category,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "pid": self.pid,
+            "thread_id": self.thread_id,
+            "start_wall": self.start_wall,
+            "duration": self.duration,
+            "status": self.status,
+        }
+        if self.error_type is not None:
+            payload["error_type"] = self.error_type
+            payload["error_message"] = self.error_message
+        if self.attrs:
+            payload["attrs"] = self.attrs
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Span":
+        """Rebuild a span from :meth:`to_dict` output (tolerates extras)."""
+        return cls(
+            name=str(payload.get("name", "?")),
+            category=str(payload.get("category", "")),
+            span_id=str(payload.get("span_id", "")),
+            parent_id=payload.get("parent_id"),
+            pid=int(payload.get("pid", 0)),
+            thread_id=int(payload.get("thread_id", 0)),
+            start_wall=float(payload.get("start_wall", 0.0)),
+            duration=float(payload.get("duration", 0.0)),
+            status=str(payload.get("status", "ok")),
+            error_type=payload.get("error_type"),
+            error_message=payload.get("error_message"),
+            attrs=dict(payload.get("attrs", {})),
+        )
+
+
+class _SpanHandle:
+    """Context manager that times one span and hands it to the collector."""
+
+    __slots__ = ("_tracer", "span", "_started", "_token")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+        self._started = 0.0
+        self._token: Optional[contextvars.Token] = None
+
+    def __enter__(self) -> Span:
+        span = self.span
+        parent = _CURRENT_SPAN.get()
+        if parent is not None:
+            span.parent_id = parent.span_id
+        span.start_wall = time.time()
+        self._token = _CURRENT_SPAN.set(span)
+        self._started = time.perf_counter()
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self.span
+        span.duration = time.perf_counter() - self._started
+        if self._token is not None:
+            _CURRENT_SPAN.reset(self._token)
+        if exc_type is not None and isinstance(exc, BaseException):
+            span.set_error(exc)
+        self._tracer.add(span)
+        return False
+
+
+class _NoopSpanHandle:
+    """The shared do-nothing context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP_HANDLE = _NoopSpanHandle()
+
+
+class Tracer:
+    """Thread-safe in-memory span collector.
+
+    One tracer is installed process-wide by :func:`enable_tracing`; worker
+    processes create their own on bootstrap and ship serialized buffers
+    back to the parent, which folds them in with
+    :meth:`extend_serialized`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+
+    def span(self, name: str, category: str = "", **attrs: Any) -> _SpanHandle:
+        """Open a new span; use as a context manager."""
+        new = Span(
+            name=name,
+            category=category,
+            span_id=f"{os.getpid():x}-{next(_SPAN_SEQ)}",
+            pid=os.getpid(),
+            thread_id=threading.get_ident(),
+            attrs=attrs,
+        )
+        return _SpanHandle(self, new)
+
+    def add(self, span: Span) -> None:
+        """Append one finished span to the buffer."""
+        with self._lock:
+            self._spans.append(span)
+
+    def extend_serialized(self, payloads: Iterable[Dict[str, Any]]) -> int:
+        """Fold serialized spans (a child process's buffer) in; returns count."""
+        spans = [Span.from_dict(p) for p in payloads]
+        with self._lock:
+            self._spans.extend(spans)
+        return len(spans)
+
+    def spans(self) -> List[Span]:
+        """A snapshot copy of the collected spans (collection order)."""
+        with self._lock:
+            return list(self._spans)
+
+    def drain(self) -> List[Span]:
+        """Remove and return every collected span (worker shipping path)."""
+        with self._lock:
+            spans = self._spans
+            self._spans = []
+        return spans
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+class _TraceState:
+    """The process-wide on/off switch — one attribute, read on hot paths."""
+
+    __slots__ = ("tracer",)
+
+    def __init__(self) -> None:
+        self.tracer: Optional[Tracer] = None
+
+
+#: instrumented code guards on ``TRACE_STATE.tracer is None`` — nothing else
+TRACE_STATE = _TraceState()
+
+
+def enable_tracing(tracer: Optional[Tracer] = None) -> Tracer:
+    """Install (and return) the process-wide tracer; idempotent-friendly.
+
+    Passing an existing :class:`Tracer` swaps it in (tests use this to
+    isolate buffers); otherwise the current tracer is kept if one is
+    already installed.
+    """
+    if tracer is None:
+        # explicit None check: an empty Tracer is falsy through __len__
+        tracer = TRACE_STATE.tracer if TRACE_STATE.tracer is not None else Tracer()
+    TRACE_STATE.tracer = tracer
+    return tracer
+
+
+def disable_tracing() -> Optional[Tracer]:
+    """Uninstall the process-wide tracer; returns it (with its spans)."""
+    tracer = TRACE_STATE.tracer
+    TRACE_STATE.tracer = None
+    return tracer
+
+
+def tracing_enabled() -> bool:
+    """True while a process-wide tracer is installed."""
+    return TRACE_STATE.tracer is not None
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span of the calling thread/task, if any."""
+    return _CURRENT_SPAN.get()
+
+
+def span(name: str, category: str = "", **attrs: Any):
+    """Convenience span: a real handle when tracing is on, a no-op otherwise.
+
+    Cheap enough for per-cell instrumentation; per-node hot loops should
+    read ``TRACE_STATE.tracer`` directly instead (no kwargs allocation).
+    """
+    tracer = TRACE_STATE.tracer
+    if tracer is None:
+        return _NOOP_HANDLE
+    return tracer.span(name, category, **attrs)
+
+
+# --------------------------------------------------------------------------- #
+# trace files
+# --------------------------------------------------------------------------- #
+def sort_spans(spans: Iterable[Span]) -> List[Span]:
+    """Spans in canonical order: (start_wall, pid, span_id).
+
+    ``span_id`` embeds a per-process sequence number, so the order is total
+    and independent of merge/arrival order — the property that makes a
+    merged multi-process trace byte-deterministic.
+    """
+    def _key(s: Span) -> Tuple[float, int, str]:
+        return (s.start_wall, s.pid, s.span_id)
+
+    return sorted(spans, key=_key)
+
+
+@dataclass
+class TraceFile:
+    """A parsed trace: spans plus the run's final metrics snapshot dict."""
+
+    spans: List[Span] = field(default_factory=list)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+def write_trace(
+    path: Union[str, Path],
+    spans: Iterable[Span],
+    metrics: Optional[Dict[str, Any]] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write a JSONL trace file (canonically sorted; parents created).
+
+    ``metrics`` is a plain snapshot dict (``MetricsSnapshot.as_dict()``);
+    ``meta`` is free-form run description (command line, executor, ...).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines: List[str] = []
+    if meta:
+        lines.append(json.dumps({"type": "meta", **meta}, sort_keys=True))
+    for item in sort_spans(spans):
+        lines.append(json.dumps(item.to_dict(), sort_keys=True))
+    if metrics is not None:
+        lines.append(json.dumps({"type": "metrics", "metrics": metrics}, sort_keys=True))
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def read_trace(path: Union[str, Path]) -> TraceFile:
+    """Parse a JSONL trace file; tolerates blank and torn trailing lines."""
+    out = TraceFile()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn trailing line from an interrupted writer
+            kind = payload.get("type")
+            if kind == "span":
+                out.spans.append(Span.from_dict(payload))
+            elif kind == "metrics":
+                out.metrics = dict(payload.get("metrics", {}))
+            elif kind == "meta":
+                out.meta = {k: v for k, v in payload.items() if k != "type"}
+    return out
+
+
+def to_chrome_trace(spans: Iterable[Span]) -> Dict[str, Any]:
+    """Convert spans to the Chrome trace-event format (Perfetto-loadable).
+
+    Every span becomes one complete (``"ph": "X"``) event; timestamps are
+    microseconds of ``start_wall``, so spans from different processes align
+    on the shared wall clock.
+    """
+    events: List[Dict[str, Any]] = []
+    for item in sort_spans(spans):
+        args: Dict[str, Any] = dict(item.attrs)
+        args["status"] = item.status
+        if item.error_type is not None:
+            args["error_type"] = item.error_type
+            args["error_message"] = item.error_message
+        events.append(
+            {
+                "name": item.name,
+                "cat": item.category or "span",
+                "ph": "X",
+                "ts": item.start_wall * 1e6,
+                "dur": item.duration * 1e6,
+                "pid": item.pid,
+                "tid": item.thread_id,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: Union[str, Path], spans: Iterable[Span]) -> Path:
+    """Write the Chrome trace-event JSON for ``spans`` (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_chrome_trace(spans), sort_keys=True) + "\n", encoding="utf-8")
+    return path

@@ -16,7 +16,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.scenarios.suite import SuiteStore
 
@@ -73,7 +73,14 @@ class CellTally:
 
 @dataclass
 class SpendTally:
-    """Aggregated LLM spend for one method column (from record ``usage``)."""
+    """Aggregated LLM spend for one method column (from record ``usage``).
+
+    Records written since the observability PR also carry a per-cell
+    ``metrics`` dict (engine node executed/cached counts straight from the
+    engine's own counters); the tally folds those in to report a pipeline
+    cache hit-rate per method without re-deriving it from timings.  Older
+    stores without ``metrics`` render the hit-rate column as ``—``.
+    """
 
     model: str = ""
     calls: int = 0
@@ -82,9 +89,12 @@ class SpendTally:
     cached_tokens: int = 0
     retries: int = 0
     cost: float = 0.0
+    nodes_executed: int = 0
+    nodes_cached: int = 0
+    has_metrics: bool = False
 
     def add(self, record: Dict[str, Any]) -> None:
-        """Fold one cell record's ``usage`` dict into the tally."""
+        """Fold one cell record's ``usage`` (and ``metrics``) dicts into the tally."""
         usage = record.get("usage") or {}
         self.model = str(record.get("model", self.model) or self.model)
         self.calls += int(usage.get("calls", 0))
@@ -93,10 +103,28 @@ class SpendTally:
         self.cached_tokens += int(usage.get("cached_tokens", 0))
         self.retries += int(usage.get("retries", 0))
         self.cost += float(usage.get("cost", 0.0))
+        metrics = record.get("metrics")
+        if metrics:
+            self.has_metrics = True
+            self.nodes_executed += int(metrics.get("nodes_executed", 0))
+            self.nodes_cached += int(metrics.get("nodes_cached", 0))
+
+    @property
+    def node_hit_rate(self) -> Optional[float]:
+        """Pipeline-node cache hit-rate, or ``None`` without metrics records."""
+        if not self.has_metrics:
+            return None
+        consulted = self.nodes_executed + self.nodes_cached
+        return self.nodes_cached / consulted if consulted else 0.0
+
+    def render_hit_rate(self) -> str:
+        """The hit-rate cell for the markdown spend table (``—`` if unknown)."""
+        rate = self.node_hit_rate
+        return "—" if rate is None else f"{rate:.0%}"
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready counters (the report's ``spend`` entries)."""
-        return {
+        payload: Dict[str, Any] = {
             "model": self.model,
             "calls": self.calls,
             "cached_calls": self.cached_calls,
@@ -105,6 +133,11 @@ class SpendTally:
             "retries": self.retries,
             "cost": round(self.cost, 8),
         }
+        if self.has_metrics:
+            payload["nodes_executed"] = self.nodes_executed
+            payload["nodes_cached"] = self.nodes_cached
+            payload["node_hit_rate"] = round(self.node_hit_rate, 6)
+        return payload
 
 
 @dataclass
@@ -188,8 +221,8 @@ class SuiteReport:
                     "",
                     "## LLM spend (per method)",
                     "",
-                    "| method | model | calls | cache hits | billed tokens | cost ($) |",
-                    "|" + " --- |" * 6,
+                    "| method | model | calls | cache hits | billed tokens | cost ($) | node hit-rate |",
+                    "|" + " --- |" * 7,
                 ]
             )
             for method in self.methods:
@@ -198,7 +231,8 @@ class SuiteReport:
                     continue
                 lines.append(
                     f"| {method} | {tally.model or '—'} | {tally.calls} "
-                    f"| {tally.cached_calls} | {tally.tokens} | {tally.cost:.4f} |"
+                    f"| {tally.cached_calls} | {tally.tokens} | {tally.cost:.4f} "
+                    f"| {tally.render_hit_rate()} |"
                 )
         if self.failing_cells:
             lines.extend(["", f"## Failing cells ({len(self.failing_cells)})", ""])

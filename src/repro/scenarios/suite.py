@@ -40,6 +40,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from repro.engine.batch import BatchJob, BatchResult, raise_failures, run_batch
 from repro.llm.core.budget import BudgetExceededError, BudgetLedger, RunBudget
 from repro.llm.core.review import REVIEW_METHOD
+from repro.obs.trace import span as obs_span
 from repro.scenarios.spec import Scenario
 
 __all__ = [
@@ -57,8 +58,10 @@ __all__ = [
 #: unassisted model name)
 CHATVIS_METHOD = "ChatVis"
 
-#: record fields that vary run-to-run and are excluded from determinism checks
-TIMING_FIELDS = ("duration", "finished_at")
+#: record fields that vary run-to-run and are excluded from determinism
+#: checks — "metrics" counts node cache hits, which depend on what previous
+#: cells (or runs) already warmed, not on the cell's result
+TIMING_FIELDS = ("duration", "finished_at", "metrics")
 
 
 def cell_key(
@@ -123,7 +126,60 @@ def run_suite_cell(
     one is passed (thread/serial executors) and falls back to a per-cell
     ledger built from ``budget`` (process workers, which cannot share the
     lock-bearing ledger).
+
+    The cell is wrapped in one ``suite.cell`` span (when tracing is on) and
+    the record always carries a ``metrics`` dict — per-cell engine node
+    executed/cached counts and LLM call/cache/retry counts — sourced from
+    the engine's thread-local stats and the cell's own spend, so reports can
+    show cache hit-rates without re-deriving them.
     """
+    from repro.pvsim.pipeline import pvsim_engine
+
+    stats_before = pvsim_engine().thread_stats().snapshot()
+    with obs_span(
+        f"{method}/{scenario.name}", "suite.cell", scenario=scenario.name, method=str(method)
+    ):
+        record = _run_suite_cell_impl(
+            scenario,
+            method,
+            cell_dir,
+            resolution=resolution,
+            small_data=small_data,
+            max_iterations=max_iterations,
+            chatvis_model=chatvis_model,
+            budget=budget,
+            ledger=ledger,
+            llm_cache_dir=llm_cache_dir,
+            review_model=review_model,
+            review_rounds=review_rounds,
+        )
+    stats_delta = pvsim_engine().thread_stats().delta(stats_before)
+    usage = record.get("usage") or {}
+    record["metrics"] = {
+        "nodes_executed": stats_delta.misses,
+        "nodes_cached": stats_delta.hits,
+        "llm_calls": usage.get("calls", 0),
+        "llm_cached_calls": usage.get("cached_calls", 0),
+        "llm_retries": usage.get("retries", 0),
+    }
+    return record
+
+
+def _run_suite_cell_impl(
+    scenario: Scenario,
+    method: str,
+    cell_dir: Union[str, Path],
+    resolution: Optional[Tuple[int, int]] = None,
+    small_data: bool = True,
+    max_iterations: int = 5,
+    chatvis_model: str = "gpt-4",
+    budget: Optional[RunBudget] = None,
+    ledger: Optional[BudgetLedger] = None,
+    llm_cache_dir: Optional[Union[str, Path]] = None,
+    review_model: str = "gpt-4",
+    review_rounds: int = 2,
+) -> Dict[str, Any]:
+    """The body of :func:`run_suite_cell` (split out for span wrapping)."""
     from repro.core.assistant import ChatVis, ChatVisConfig
     from repro.core.error_extraction import classify_error
     from repro.core.tasks import prepare_task_data
@@ -456,14 +512,17 @@ class SuiteRunner:
             )
             for scenario, method, _key in pending
         ]
-        outcomes: List[BatchResult] = run_batch(
-            jobs,
-            max_workers=self.max_workers,
-            stop_on_error=self.stop_on_error,
-            executor=self.executor,
-            cache_dir=self.cache_dir,
-            on_result=_persist,
-        )
+        with obs_span(
+            "suite.run", "phase", executor=self.executor, pending=len(pending), total=len(cells)
+        ):
+            outcomes: List[BatchResult] = run_batch(
+                jobs,
+                max_workers=self.max_workers,
+                stop_on_error=self.stop_on_error,
+                executor=self.executor,
+                cache_dir=self.cache_dir,
+                on_result=_persist,
+            )
 
         # a tripped budget outranks generic failure reporting: surface it typed
         for outcome in outcomes:

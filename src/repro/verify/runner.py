@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.engine.batch import BatchJob, BatchResult, raise_failures, run_batch
+from repro.obs.trace import span as obs_span
 from repro.scenarios.spec import Scenario
 from repro.scenarios.suite import SuiteStore
 from repro.verify.relations import (
@@ -96,15 +97,22 @@ def run_verify_cell(
         goldens_dir=Path(goldens_dir) if goldens_dir else None,
     )
     stats_before = pvsim_engine().thread_stats().snapshot()
-    try:
-        outcome = relation.run(ctx)
-    except (PipelineError, NodeExecutionError, KeyError, ValueError) as exc:
-        # the substrate refusing to execute a variant IS a verdict — record it
-        # as a violation instead of an infrastructure failure that retries
-        # (algorithms raise KeyError/ValueError for bad arrays and parameters)
-        outcome = RelationOutcome.violated(
-            f"variant pipeline failed to execute: {type(exc).__name__}: {exc}"
-        )
+    with obs_span(
+        f"{relation_name}/{scenario.name}",
+        "verify.cell",
+        scenario=scenario.name,
+        relation=relation_name,
+    ):
+        try:
+            outcome = relation.run(ctx)
+        except (PipelineError, NodeExecutionError, KeyError, ValueError) as exc:
+            # the substrate refusing to execute a variant IS a verdict — record
+            # it as a violation instead of an infrastructure failure that
+            # retries (algorithms raise KeyError/ValueError for bad arrays and
+            # parameters)
+            outcome = RelationOutcome.violated(
+                f"variant pipeline failed to execute: {type(exc).__name__}: {exc}"
+            )
     stats_delta = pvsim_engine().thread_stats().delta(stats_before)
     return {
         "scenario": scenario.name,
@@ -281,14 +289,17 @@ class VerifyRunner:
             )
             for scenario, relation, _key in pending
         ]
-        outcomes = run_batch(
-            jobs,
-            max_workers=self.max_workers,
-            stop_on_error=self.stop_on_error,
-            executor=self.executor,
-            cache_dir=self.cache_dir,
-            on_result=_persist,
-        )
+        with obs_span(
+            "verify.run", "phase", executor=self.executor, pending=len(pending), total=len(cells)
+        ):
+            outcomes = run_batch(
+                jobs,
+                max_workers=self.max_workers,
+                stop_on_error=self.stop_on_error,
+                executor=self.executor,
+                cache_dir=self.cache_dir,
+                on_result=_persist,
+            )
         if self.stop_on_error:
             raise_failures(outcomes)
 

@@ -1,0 +1,348 @@
+"""Unit tests for the ``repro.obs`` tracing + metrics subsystem.
+
+Covers the span lifecycle (nesting, error capture, contextvar parentage),
+the process-wide enable/disable switch, trace-file round-trips (including
+torn trailing lines and Chrome trace-event export), the metrics registry
+and its mergeable snapshots, the summary digest, and logging setup.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+
+import pytest
+
+from repro.obs import (
+    METRICS,
+    MetricsSnapshot,
+    Span,
+    TRACE_STATE,
+    Tracer,
+    current_span,
+    disable_tracing,
+    enable_tracing,
+    format_summary,
+    logging_setup,
+    merge_all,
+    read_trace,
+    sort_spans,
+    span,
+    summarize,
+    to_chrome_trace,
+    tracing_enabled,
+    write_chrome_trace,
+    write_trace,
+)
+from repro.obs.metrics import format_key, parse_key
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Every test starts and ends with tracing off and an empty registry."""
+    disable_tracing()
+    METRICS.reset()
+    yield
+    disable_tracing()
+    METRICS.reset()
+
+
+# --------------------------------------------------------------------------- #
+# spans and the tracer
+# --------------------------------------------------------------------------- #
+class TestSpans:
+    def test_span_records_duration_and_ids(self):
+        tracer = enable_tracing(Tracer())
+        with tracer.span("work", "test.cat", flavor="plain") as s:
+            pass
+        assert len(tracer) == 1
+        done = tracer.spans()[0]
+        assert done is s
+        assert done.name == "work" and done.category == "test.cat"
+        assert done.attrs == {"flavor": "plain"}
+        assert done.duration >= 0.0 and done.start_wall > 0.0
+        assert done.status == "ok" and done.error_type is None
+        assert done.span_id and done.pid > 0 and done.thread_id > 0
+
+    def test_nesting_links_parent_via_contextvar(self):
+        tracer = enable_tracing(Tracer())
+        with tracer.span("outer") as outer:
+            assert current_span() is outer
+            with tracer.span("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is None
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_error_capture_and_truncation(self):
+        tracer = enable_tracing(Tracer())
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x" * 1000)
+        done = tracer.spans()[0]
+        assert done.status == "error"
+        assert done.error_type == "ValueError"
+        assert len(done.error_message) == 500  # message capped
+
+    def test_span_ids_unique_across_threads(self):
+        tracer = enable_tracing(Tracer())
+
+        def work():
+            for _ in range(50):
+                with tracer.span("t"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        ids = [s.span_id for s in tracer.spans()]
+        assert len(ids) == 200 and len(set(ids)) == 200
+
+    def test_to_dict_from_dict_round_trip(self):
+        original = Span(
+            name="n",
+            category="c",
+            span_id="ab-7",
+            parent_id="ab-3",
+            pid=11,
+            thread_id=22,
+            start_wall=123.5,
+            duration=0.25,
+            attrs={"k": "v"},
+        )
+        original.set_error(RuntimeError("nope"))
+        rebuilt = Span.from_dict(json.loads(json.dumps(original.to_dict())))
+        assert rebuilt == original
+
+    def test_drain_empties_the_buffer(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        assert len(tracer.drain()) == 1
+        assert len(tracer) == 0 and tracer.drain() == []
+
+
+class TestEnableDisable:
+    def test_module_span_is_noop_when_disabled(self):
+        assert not tracing_enabled()
+        handle = span("anything", "cat", x=1)
+        with handle as value:
+            assert value is None
+        assert span("other") is handle  # the shared singleton: no allocation
+
+    def test_enable_keeps_existing_tracer(self):
+        first = enable_tracing()
+        again = enable_tracing()
+        assert again is first
+        swapped = enable_tracing(Tracer())
+        assert swapped is not first and TRACE_STATE.tracer is swapped
+
+    def test_disable_returns_tracer_with_spans(self):
+        tracer = enable_tracing(Tracer())
+        with span("visible"):
+            pass
+        returned = disable_tracing()
+        assert returned is tracer and len(returned) == 1
+        assert TRACE_STATE.tracer is None and not tracing_enabled()
+
+
+# --------------------------------------------------------------------------- #
+# trace files
+# --------------------------------------------------------------------------- #
+def _make_spans():
+    return [
+        Span(name="b", span_id="2-2", pid=2, start_wall=2.0, duration=0.5),
+        Span(name="a", span_id="1-1", pid=1, start_wall=1.0, duration=0.1),
+        Span(name="c", span_id="1-3", pid=1, start_wall=2.0, duration=0.2),
+    ]
+
+
+class TestTraceFiles:
+    def test_sort_is_canonical(self):
+        ordered = sort_spans(_make_spans())
+        assert [s.name for s in ordered] == ["a", "c", "b"]
+
+    def test_write_read_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        metrics = {"counters": {"x": 1.0}, "gauges": {}, "histograms": {}}
+        write_trace(path, _make_spans(), metrics=metrics, meta={"command": "repro test"})
+        trace = read_trace(path)
+        assert [s.name for s in trace.spans] == ["a", "c", "b"]
+        assert trace.metrics == metrics
+        assert trace.meta == {"command": "repro test"}
+
+    def test_write_is_byte_deterministic_wrt_span_order(self, tmp_path):
+        spans = _make_spans()
+        write_trace(tmp_path / "fwd.jsonl", spans)
+        write_trace(tmp_path / "rev.jsonl", list(reversed(spans)))
+        assert (tmp_path / "fwd.jsonl").read_bytes() == (tmp_path / "rev.jsonl").read_bytes()
+
+    def test_read_tolerates_torn_trailing_line(self, tmp_path):
+        path = write_trace(tmp_path / "t.jsonl", _make_spans())
+        torn = path.read_text().rstrip("\n")
+        path.write_text(torn[: len(torn) - 10])  # writer died mid-line
+        assert len(read_trace(path).spans) == 2
+
+    def test_chrome_export_structure(self, tmp_path):
+        spans = _make_spans()
+        spans[0].set_error(KeyError("k"))
+        doc = to_chrome_trace(spans)
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert len(events) == 3
+        assert all(e["ph"] == "X" for e in events)
+        first = events[0]
+        assert first["ts"] == pytest.approx(1.0 * 1e6)
+        assert first["dur"] == pytest.approx(0.1 * 1e6)
+        errored = next(e for e in events if e["args"]["status"] == "error")
+        assert errored["args"]["error_type"] == "KeyError"
+        out = write_chrome_trace(tmp_path / "c.json", spans)
+        assert len(json.loads(out.read_text())["traceEvents"]) == 3
+
+
+# --------------------------------------------------------------------------- #
+# metrics
+# --------------------------------------------------------------------------- #
+class TestMetricKeys:
+    def test_format_and_parse_round_trip(self):
+        key = format_key("cache_ops_total", (("op", "hit"), ("tier", "disk")))
+        assert key == "cache_ops_total{op=hit,tier=disk}"
+        assert parse_key(key) == ("cache_ops_total", (("op", "hit"), ("tier", "disk")))
+        assert parse_key("bare") == ("bare", ())
+        assert format_key("bare") == "bare"
+
+
+class TestRegistryAndSnapshots:
+    def test_incr_gauge_observe(self):
+        METRICS.incr("hits", tier="disk")
+        METRICS.incr("hits", value=2.0, tier="disk")
+        METRICS.gauge("depth", 3.0)
+        METRICS.gauge("depth", 2.0)
+        METRICS.observe("lat", 0.1)
+        METRICS.observe("lat", 0.3)
+        snap = METRICS.snapshot()
+        assert snap.counters == {"hits{tier=disk}": 3.0}
+        assert snap.gauges == {"depth": 2.0}  # last write wins in the registry
+        assert snap.histograms["lat"] == {"count": 2.0, "sum": 0.4, "min": 0.1, "max": 0.3}
+        assert METRICS.counter_names() == ["hits{tier=disk}"]
+        METRICS.reset()
+        assert not METRICS.snapshot()
+
+    def test_merge_is_commutative(self):
+        a = MetricsSnapshot(
+            counters={"c": 1.0},
+            gauges={"g": 5.0},
+            histograms={"h": {"count": 1.0, "sum": 2.0, "min": 2.0, "max": 2.0}},
+        )
+        b = MetricsSnapshot(
+            counters={"c": 2.0, "d": 1.0},
+            gauges={"g": 3.0},
+            histograms={"h": {"count": 2.0, "sum": 1.0, "min": 0.25, "max": 0.75}},
+        )
+        ab = merge_all([a, b]).as_dict()
+        ba = merge_all([b, a]).as_dict()
+        assert ab == ba
+        assert ab["counters"] == {"c": 3.0, "d": 1.0}
+        assert ab["gauges"] == {"g": 5.0}
+        assert ab["histograms"]["h"] == {"count": 3.0, "sum": 3.0, "min": 0.25, "max": 2.0}
+
+    def test_delta_is_one_jobs_worth(self):
+        METRICS.incr("c", value=3.0)
+        before = METRICS.snapshot()
+        METRICS.incr("c", value=2.0)
+        METRICS.incr("new")
+        delta = METRICS.snapshot().delta(before)
+        assert delta.counters == {"c": 2.0, "new": 1.0}
+        # shipping the delta to a fresh registry reproduces exactly the window
+        other = MetricsSnapshot()
+        other.merge(delta)
+        assert other.counters == {"c": 2.0, "new": 1.0}
+
+    def test_snapshot_round_trips_through_json(self):
+        METRICS.incr("c", tier="x")
+        METRICS.observe("h", 1.5)
+        snap = METRICS.snapshot()
+        rebuilt = MetricsSnapshot.from_dict(json.loads(json.dumps(snap.as_dict())))
+        assert rebuilt.as_dict() == snap.as_dict()
+
+    def test_counter_total_matches_label_subsets(self):
+        METRICS.incr("ops", tier="disk", op="hit")
+        METRICS.incr("ops", tier="disk", op="miss")
+        METRICS.incr("ops", tier="memory", op="hit", value=2.0)
+        snap = METRICS.snapshot()
+        assert snap.counter_total("ops") == 4.0
+        assert snap.counter_total("ops", tier="disk") == 2.0
+        assert snap.counter_total("ops", op="hit") == 3.0
+        assert snap.counter_total("ops", tier="disk", op="hit") == 1.0
+        assert snap.counter_total("nope") == 0.0
+
+
+# --------------------------------------------------------------------------- #
+# the summary digest
+# --------------------------------------------------------------------------- #
+class TestSummary:
+    def test_summarize_and_format(self, tmp_path):
+        tracer = enable_tracing(Tracer())
+        with tracer.span("suite.run", "phase"):
+            with tracer.span("cell-a", "suite.cell"):
+                pass
+        with pytest.raises(RuntimeError):
+            with tracer.span("cell-b", "suite.cell"):
+                raise RuntimeError("bad cell")
+        METRICS.incr("cache_ops_total", tier="disk", op="hit", value=3.0)
+        METRICS.incr("cache_ops_total", tier="disk", op="miss", value=1.0)
+        METRICS.incr("llm_calls_total", model="m", outcome="ok", value=2.0)
+        METRICS.incr("llm_retries_total", model="m")
+        path = write_trace(
+            tmp_path / "t.jsonl",
+            disable_tracing().drain(),
+            metrics=METRICS.snapshot().as_dict(),
+            meta={"command": "repro demo"},
+        )
+        digest = summarize(read_trace(path))
+        assert digest["span_count"] == 3 and digest["error_count"] == 1
+        assert digest["phases"]["suite.cell"]["count"] == 2
+        assert digest["phases"]["suite.cell"]["errors"] == 1
+        assert digest["caches"]["disk"]["hits"] == 3
+        assert digest["caches"]["disk"]["hit_rate"] == pytest.approx(0.75)
+        assert digest["llm"]["calls"] == 2 and digest["llm"]["retries"] == 1
+        text = format_summary(digest)
+        assert "repro demo" in text
+        assert "suite.cell" in text and "75.0%" in text
+        assert "slowest spans" in text
+
+
+# --------------------------------------------------------------------------- #
+# logging setup
+# --------------------------------------------------------------------------- #
+class TestLoggingSetup:
+    def test_idempotent_and_level_parsing(self):
+        root = logging.getLogger("repro")
+
+        def ours():
+            return [h for h in root.handlers if getattr(h, "_repro_obs_handler", False)]
+
+        # an earlier test may have configured logging through the CLI already
+        preexisting = ours()
+        for handler in preexisting:
+            root.removeHandler(handler)
+        try:
+            logging_setup("info")
+            assert len(ours()) == 1
+            assert root.level == logging.INFO
+            logging_setup("debug")  # reconfigures in place, no second handler
+            assert len(ours()) == 1
+            assert root.level == logging.DEBUG
+            with pytest.raises(ValueError):
+                logging_setup("loud")
+        finally:
+            for handler in ours():
+                root.removeHandler(handler)
+            for handler in preexisting:
+                root.addHandler(handler)
+            root.setLevel(logging.NOTSET)
+            root.propagate = True  # logging_setup turned this off

@@ -1,0 +1,301 @@
+"""Cross-layer integration tests for the observability subsystem.
+
+The unit tests (``test_obs.py``) pin the primitives; these pin the
+*instrumentation*: engine node spans tag cache hits, failing nodes are
+timed and error-flagged, thread and process suite runs land on identical
+metric totals (the process path shipping worker span buffers and metric
+snapshot deltas back through the batch-result channel), a resumed run
+never double-counts, the cache-corruption discard is logged, the suite
+report grows its node hit-rate column, and the CLI round-trips
+``--trace`` → ``repro obs summary/top/export`` without clobbering the
+trace it reads.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.engine import configure_shared_cache
+from repro.engine.cache import CACHE_DIR_ENV_VAR, DiskCache
+from repro.obs import (
+    METRICS,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    read_trace,
+    write_trace,
+)
+from repro.pvsim import simple, state
+from repro.pvsim.errors import PipelineError
+from repro.scenarios import SuiteRunner, SuiteStore, canonical_scenarios, generate_scenarios
+from repro.scenarios.report import load_report
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state(monkeypatch):
+    """Hermetic runs: no env cache root, fresh session, obs off and empty."""
+    monkeypatch.delenv(CACHE_DIR_ENV_VAR, raising=False)
+    state.reset_session()
+    disable_tracing()
+    METRICS.reset()
+    yield
+    state.reset_session()
+    configure_shared_cache(None)
+    disable_tracing()
+    METRICS.reset()
+
+
+# --------------------------------------------------------------------------- #
+# engine instrumentation
+# --------------------------------------------------------------------------- #
+class TestEngineSpans:
+    def test_node_spans_tag_compute_vs_cache_hit(self):
+        tracer = enable_tracing(Tracer())
+        sphere = simple.Sphere(Radius=1.0)
+        sphere.get_output()
+        sphere.get_output()  # warm: memory-cache hit, no recompute
+        node_spans = [s for s in tracer.spans() if s.category == "engine.node"]
+        assert node_spans, "engine nodes must be traced"
+        computed = [s for s in node_spans if s.attrs.get("cached") is False]
+        hits = [s for s in node_spans if s.attrs.get("cached") is True]
+        assert len(computed) == 1 and len(hits) == 1
+        assert hits[0].duration <= computed[0].duration
+        # the guarded metric sites fired too
+        snap = METRICS.snapshot()
+        assert snap.counter_total("cache_ops_total", tier="memory", op="hit") >= 1
+
+    def test_failing_node_span_is_errored_and_exception_is_timed(self):
+        tracer = enable_tracing(Tracer())
+        sphere = simple.Sphere(Radius=1.25)
+        contour = simple.Contour(registrationName="badContour", Input=sphere, Isosurfaces=[0.5])
+        with pytest.raises(PipelineError) as excinfo:
+            contour.get_output()
+        assert isinstance(excinfo.value.elapsed, float)
+        assert excinfo.value.elapsed >= 0.0
+        errored = [s for s in tracer.spans() if s.status == "error"]
+        assert errored, "the failing node must leave an errored span"
+        assert errored[0].category == "engine.node"
+        assert errored[0].error_type and "badContour" in (errored[0].error_message or "")
+
+    def test_untraced_run_records_no_spans_or_metrics(self):
+        sphere = simple.Sphere(Radius=0.75)
+        sphere.get_output()
+        assert not METRICS.snapshot()
+
+
+# --------------------------------------------------------------------------- #
+# cache corruption logging
+# --------------------------------------------------------------------------- #
+class TestCacheLogging:
+    def test_corrupt_entry_discard_is_logged_and_counted(self, tmp_path, caplog):
+        cache = DiskCache(tmp_path)
+        cache.put("deadbeef", {"some": "value"})
+        entry = next(tmp_path.rglob(f"*{DiskCache.ENTRY_SUFFIX}"))
+        entry.write_bytes(b"scribble")
+        enable_tracing(Tracer())
+        with caplog.at_level(logging.WARNING, logger="repro.engine.cache"):
+            found, _ = cache.get("deadbeef")
+        assert not found
+        assert any("discarding corrupt cache entry" in r.message for r in caplog.records)
+        snap = METRICS.snapshot()
+        assert snap.counter_total("cache_ops_total", tier="disk", op="corruption") == 1.0
+
+
+# --------------------------------------------------------------------------- #
+# suite runs: thread vs process, merge determinism, resume
+# --------------------------------------------------------------------------- #
+def _canonical_runner(root: Path, **kwargs) -> SuiteRunner:
+    return SuiteRunner(
+        canonical_scenarios(),
+        methods=("gpt-4",),
+        working_dir=root / "work",
+        store=root / "results.jsonl",
+        **kwargs,
+    )
+
+
+def _obs_totals():
+    snap = METRICS.snapshot()
+    return {
+        "llm_calls": snap.counter_total("llm_calls_total"),
+        "memory_ops": snap.counter_total("cache_ops_total", tier="memory"),
+        "memory_hits": snap.counter_total("cache_ops_total", tier="memory", op="hit"),
+        "disk_ops": snap.counter_total("cache_ops_total", tier="disk"),
+    }
+
+
+class TestExecutorParity:
+    def test_thread_and_process_agree_and_merge_is_byte_deterministic(self, tmp_path):
+        from repro.verify.pipelines import isolated_engine_cache
+
+        # --- thread run (cold private cache: other tests must not pre-warm
+        # the shared engine tier, or downstream hits skip upstream lookups) ---
+        thread_tracer = enable_tracing(Tracer())
+        with isolated_engine_cache():
+            summary = _canonical_runner(tmp_path / "t").run()
+        assert not summary.failures
+        thread_totals = _obs_totals()
+        thread_spans = disable_tracing().drain()
+        thread_counts = {
+            cat: sum(1 for s in thread_spans if s.category == cat)
+            for cat in ("engine.node", "suite.cell", "batch.job")
+        }
+        assert thread_totals["llm_calls"] == len(canonical_scenarios())
+
+        # --- process run (fresh registry/session, workers ship obs back) ---
+        state.reset_session()
+        METRICS.reset()
+        process_tracer = enable_tracing(Tracer())
+        summary = _canonical_runner(
+            tmp_path / "p",
+            executor="process",
+            max_workers=2,
+            cache_dir=tmp_path / "pcache",
+        ).run()
+        assert not summary.failures
+        process_totals = _obs_totals()
+        process_spans = disable_tracing().drain()
+
+        # metric totals are identical under both executors ...
+        assert process_totals["llm_calls"] == thread_totals["llm_calls"]
+        assert process_totals["memory_ops"] == thread_totals["memory_ops"]
+        assert process_totals["memory_hits"] == thread_totals["memory_hits"]
+        # ... and the span population matches category-for-category
+        process_counts = {
+            cat: sum(1 for s in process_spans if s.category == cat)
+            for cat in ("engine.node", "suite.cell", "batch.job")
+        }
+        assert process_counts == thread_counts
+
+        # worker buffers really crossed the process boundary
+        assert len({s.pid for s in process_spans}) >= 2
+
+        # merged export is byte-deterministic w.r.t. arrival order
+        fwd = Tracer()
+        fwd.extend_serialized(s.to_dict() for s in process_spans)
+        rev = Tracer()
+        rev.extend_serialized(s.to_dict() for s in reversed(process_spans))
+        write_trace(tmp_path / "fwd.jsonl", fwd.drain(), metrics=METRICS.snapshot().as_dict())
+        write_trace(tmp_path / "rev.jsonl", rev.drain(), metrics=METRICS.snapshot().as_dict())
+        assert (tmp_path / "fwd.jsonl").read_bytes() == (tmp_path / "rev.jsonl").read_bytes()
+
+
+class TestResumeAccounting:
+    def test_killed_run_resumes_without_double_counting(self, tmp_path):
+        def small_suite():
+            return SuiteRunner(
+                generate_scenarios(limit=4),
+                methods=("gpt-4",),
+                working_dir=tmp_path / "work",
+                store=tmp_path / "results.jsonl",
+            )
+
+        enable_tracing(Tracer())
+        small_suite().run()
+        cold_calls = METRICS.snapshot().counter_total("llm_calls_total")
+        assert cold_calls == 4.0
+
+        # simulate a kill mid-append: two cells lost, the last torn mid-write
+        store_path = tmp_path / "results.jsonl"
+        lines = store_path.read_text().splitlines()
+        store_path.write_text("\n".join(lines[:2]) + "\n" + lines[2][: len(lines[2]) // 2])
+
+        METRICS.reset()
+        resumed = small_suite().run()
+        assert resumed.executed == 2 and resumed.skipped == 2
+        # only the re-executed cells dispatched — reused records add nothing
+        assert METRICS.snapshot().counter_total("llm_calls_total") == 2.0
+        assert len(SuiteStore(store_path).load()) == 4
+
+        METRICS.reset()
+        warm = small_suite().run()
+        assert warm.executed == 0
+        assert METRICS.snapshot().counter_total("llm_calls_total") == 0.0
+
+
+# --------------------------------------------------------------------------- #
+# per-cell record metrics → the report's hit-rate column
+# --------------------------------------------------------------------------- #
+class TestReportHitRate:
+    def test_records_carry_metrics_and_report_renders_hit_rate(self, tmp_path):
+        runner = SuiteRunner(
+            generate_scenarios(limit=2),
+            methods=("gpt-4",),
+            working_dir=tmp_path / "work",
+            store=tmp_path / "results.jsonl",
+        )
+        summary = runner.run()
+        for record in summary.records:
+            metrics = record["metrics"]
+            assert set(metrics) >= {"nodes_executed", "nodes_cached", "llm_calls"}
+            # variant cells may serve entirely from cache; consulted is what counts
+            assert metrics["nodes_executed"] + metrics["nodes_cached"] >= 1
+        report = load_report(tmp_path / "results.jsonl")
+        markdown = report.to_markdown()
+        assert "node hit-rate" in markdown
+        assert "%" in markdown.split("node hit-rate", 1)[1]
+        spend = report.to_json()["spend"]["gpt-4"]
+        assert "node_hit_rate" in spend
+
+
+# --------------------------------------------------------------------------- #
+# the CLI round-trip
+# --------------------------------------------------------------------------- #
+class TestCliTraceRoundTrip:
+    def test_trace_run_then_summary_top_export(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path / "cache"))
+        trace_path = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "suite",
+                    "run",
+                    str(tmp_path / "work"),
+                    "--limit",
+                    "2",
+                    "--trace",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "wrote trace:" in out
+        trace = read_trace(trace_path)
+        assert trace.spans and trace.metrics
+        assert trace.meta["command"].startswith("repro suite run")
+        # tracing is a per-invocation affair: the CLI uninstalled it on exit
+        from repro.obs import tracing_enabled
+
+        assert not tracing_enabled()
+
+        before = trace_path.read_bytes()
+        assert main(["obs", "summary", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "per-phase wall-clock" in out and "suite.cell" in out
+        assert "cache hit-rate by tier" in out
+        # reading a trace must never rewrite it
+        assert trace_path.read_bytes() == before
+
+        assert main(["obs", "summary", str(trace_path), "--json"]) == 0
+        digest = json.loads(capsys.readouterr().out)
+        assert digest["span_count"] == len(trace.spans)
+
+        assert main(["obs", "top", str(trace_path), "-n", "3"]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) >= 3
+
+        chrome = tmp_path / "trace.chrome.json"
+        assert main(["obs", "export", str(trace_path), str(chrome)]) == 0
+        capsys.readouterr()
+        doc = json.loads(chrome.read_text())
+        assert len(doc["traceEvents"]) == len(trace.spans)
+        assert trace_path.read_bytes() == before
+
+    def test_summary_on_missing_trace_fails_cleanly(self, tmp_path, capsys):
+        assert main(["obs", "summary", str(tmp_path / "nope.jsonl")]) != 0
+        assert "no trace" in capsys.readouterr().out
