@@ -1,0 +1,156 @@
+"""Fault-injection overhead benchmark: disabled hooks must be (near) free.
+
+The contract from ``repro.faults`` mirrors ``repro.obs``: an instrumented
+site with no plan installed pays one attribute read
+(``FAULT_STATE.runtime is None``).  Three measurements pin it, with the
+same methodology as ``benchmarks/test_obs_overhead.py``:
+
+* the canonical-suite overhead bound — count every checkpoint an
+  *armed* run hits (a plan whose only spec sits at a site the suite never
+  reaches, so nothing fires but every invocation is tallied), price each
+  at the measured cost of a disabled checkpoint, and require the total,
+  with a 20x safety factor, to stay under 2% of the suite's plan-free
+  wall-clock;
+* allocation-freedom — ``tracemalloc`` filtered to the ``repro.faults``
+  source files sees zero bytes allocated while vectorized kernels run
+  with no plan installed;
+* an informational armed-vs-disabled timing comparison (printed, never
+  failing: shared CI runners are too noisy for a hard ratio).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+import pytest
+
+from repro.engine import Engine, Pipeline, ResultCache
+from repro.faults import (
+    FAULT_STATE,
+    FaultPlan,
+    FaultSpec,
+    checkpoint,
+    disable_faults,
+    enable_faults,
+)
+from repro.faults import plan as plan_mod
+from repro.faults import runtime as runtime_mod
+from repro.obs import METRICS
+from repro.scenarios import SuiteRunner, canonical_scenarios
+
+
+@pytest.fixture(autouse=True)
+def _faults_off():
+    """Benchmarks own the global switch; leave it off and clean afterwards."""
+    disable_faults()
+    METRICS.reset()
+    yield
+    disable_faults()
+    METRICS.reset()
+
+
+def _inert_plan() -> FaultPlan:
+    """Armed but harmless: the one spec targets a site nothing ever hits."""
+    return FaultPlan(
+        faults=[FaultSpec(kind="exception", site="bench.nowhere", probability=1.0)]
+    )
+
+
+def _suite_runner(root):
+    """Storeless canonical runner: every run executes every cell."""
+    return SuiteRunner(canonical_scenarios(), methods=("gpt-4",), working_dir=root)
+
+
+def _run_suite(root) -> float:
+    started = time.perf_counter()
+    summary = _suite_runner(root).run()
+    elapsed = time.perf_counter() - started
+    assert not summary.failures
+    return elapsed
+
+
+def _disabled_site_cost(iterations: int = 50_000) -> float:
+    """Seconds per *disabled* checkpoint, upper-bound flavored.
+
+    Uses the module-level :func:`repro.faults.checkpoint` no-op path —
+    guard read plus a function call — which costs strictly more than the
+    bare ``FAULT_STATE.runtime is None`` read inlined sites could use.
+    """
+    assert FAULT_STATE.runtime is None
+    best = float("inf")
+    for _ in range(5):
+        started = time.perf_counter()
+        for _ in range(iterations):
+            checkpoint("bench.site", "key")
+        best = min(best, time.perf_counter() - started)
+    return best / iterations
+
+
+def test_disabled_overhead_under_two_percent(benchmark, tmp_path_factory):
+    root = tmp_path_factory.mktemp("faults-overhead")
+    _run_suite(root)  # warm engine/LLM caches: both legs then do identical work
+
+    # count the checkpoints an armed run of the same work actually hits
+    runtime = enable_faults(_inert_plan())
+    _run_suite(root)
+    events = runtime.invocations
+    disable_faults()
+    assert events > 0
+    assert not runtime.fired, "the inert benchmark plan must never fire"
+
+    site_cost = _disabled_site_cost()
+    untraced = benchmark.pedantic(lambda: _run_suite(root), rounds=3, iterations=1)
+
+    overhead_bound = events * site_cost * 20  # 20x safety on the per-site price
+    fraction = overhead_bound / untraced
+    print(
+        f"\nfaults disabled overhead: {events:.0f} checkpoints x {site_cost * 1e9:.0f}ns x20 "
+        f"= {overhead_bound * 1e6:.1f}us over {untraced * 1e3:.0f}ms ({fraction:.5%})"
+    )
+    assert fraction < 0.02
+
+
+def test_disabled_path_allocation_free_on_vectorized_kernels():
+    def kernel_pipeline(engine):
+        pipeline = Pipeline(engine)
+        return (
+            pipeline.source("Wavelet", WholeExtent=[-8, 8, -8, 8, -8, 8])
+            .then("Contour", ContourBy=["POINTS", "RTData"], Isosurfaces=[120.0])
+        )
+
+    engine = Engine(cache=ResultCache())
+    kernel_pipeline(engine).evaluate()  # warm: imports, kernels, cache entries
+
+    fault_files = [runtime_mod.__file__, plan_mod.__file__]
+    tracemalloc.start()
+    try:
+        cold = Engine(cache=ResultCache())
+        kernel_pipeline(cold).evaluate()  # the compute path
+        for _ in range(50):
+            kernel_pipeline(engine).evaluate()  # the cache-hit path
+        snapshot = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+
+    stats = snapshot.filter_traces(
+        [tracemalloc.Filter(True, filename) for filename in fault_files]
+    ).statistics("filename")
+    allocated = sum(stat.size for stat in stats)
+    assert allocated == 0, f"faults allocated {allocated} bytes while disabled: {stats}"
+
+
+def test_armed_vs_disabled_informational(tmp_path_factory):
+    root = tmp_path_factory.mktemp("faults-compare")
+    _run_suite(root)  # warm both legs
+
+    disabled = min(_run_suite(root) for _ in range(2))
+    enable_faults(_inert_plan())
+    armed = min(_run_suite(root) for _ in range(2))
+    disable_faults()
+
+    ratio = armed / disabled if disabled else float("inf")
+    print(
+        f"\nfaults armed-vs-disabled (canonical suite, warm): "
+        f"disabled {disabled * 1e3:.0f}ms, armed {armed * 1e3:.0f}ms ({ratio:.2f}x)"
+    )

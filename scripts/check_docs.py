@@ -8,7 +8,8 @@ Two checks, both fatal on failure:
    (``http(s)://``, ``mailto:``) and pure-anchor links are skipped.
 
 2. **Snippets** — every ```` ```bash ```` block in each guide listed in
-   ``SNIPPET_DOCS`` (``docs/evaluating.md``, ``docs/observability.md``) is
+   ``SNIPPET_DOCS`` (``docs/evaluating.md``, ``docs/observability.md``,
+   ``docs/robustness.md``) is
    executed, in document order, in one scratch directory per guide with
    ``REPRO_CACHE_DIR`` pointed at scratch storage.  A ``repro`` shell
    function forwards to ``python -m repro.cli`` so the snippets run whether
@@ -37,6 +38,7 @@ LINK_SOURCES = ("README.md", "ROADMAP.md")
 SNIPPET_DOCS = (
     REPO_ROOT / "docs" / "evaluating.md",
     REPO_ROOT / "docs" / "observability.md",
+    REPO_ROOT / "docs" / "robustness.md",
 )
 
 # [text](target) — deliberately naive; good enough for hand-written docs.

@@ -34,6 +34,15 @@ tokens=...,calls=...,cost=...`` (enforced at dispatch time — a trip exits
 with status 2), ``--llm-cache``/``--no-llm-cache`` for the completion
 cache, and ``--review`` to add the generate→critique→repair method column.
 
+``repro suite run`` and ``repro verify run`` accept ``--faults PLAN.json``
+(arm the :mod:`repro.faults` injection plan for the whole command),
+``--job-timeout`` and ``--job-retries`` (per-cell hardening knobs passed to
+the batch runner).  Runs that complete with recorded cell failures exit 3 —
+distinct from 1 (could not run / relation violated) and 2 (budget trip) —
+and ``repro suite diff A B`` compares two stores cell-by-cell with timing
+fields stripped (exit 1 when any cell differs; the chaos-parity CI job is
+built on it).
+
 The cache root resolves, in order: ``--cache-dir``, the ``REPRO_CACHE_DIR``
 environment variable, then ``~/.cache/chatvis-repro`` (honoring
 ``XDG_CACHE_HOME``).  Everything the CLI does goes through the same library
@@ -304,6 +313,8 @@ def _cmd_suite_run(ns: argparse.Namespace) -> int:
         budget=ns.budget,
         llm_cache_dir=llm_cache_dir,
         review_rounds=ns.review_rounds,
+        job_timeout=ns.job_timeout,
+        job_retries=ns.job_retries,
     )
     try:
         if ns.prefetch:
@@ -343,7 +354,54 @@ def _cmd_suite_run(ns: argparse.Namespace) -> int:
         print(f"wrote {report.write_markdown(ns.report)}")
     if ns.report_json:
         print(f"wrote {report.write_json(ns.report_json)}")
-    return 1 if summary.failures else 0
+    # 3 = "completed with failures": every cell ran (or was recorded as a
+    # structured failure) and the store is resumable — distinct from 1
+    # (couldn't run at all) and 2 (budget trip aborted the run).
+    return 3 if summary.failures else 0
+
+
+def _cmd_suite_diff(ns: argparse.Namespace) -> int:
+    from repro.scenarios import SuiteStore
+    from repro.scenarios.suite import strip_timing
+
+    stores = []
+    for path in (ns.left, ns.right):
+        store_path = Path(path)
+        if not store_path.exists():
+            print(f"no records: results store {store_path} does not exist")
+            return 1
+        stores.append(
+            {
+                key: record
+                for key, record in SuiteStore(store_path).load().items()
+                if not record.get("failed")
+            }
+        )
+    left, right = stores
+
+    def canonical(record) -> str:
+        return json.dumps(strip_timing(record), sort_keys=True)
+
+    def label(record) -> str:
+        return f"{record.get('method', '?')} × {record.get('scenario', '?')}"
+
+    differing = 0
+    for key in sorted(set(left) | set(right)):
+        a, b = left.get(key), right.get(key)
+        if a is None:
+            print(f"only in {ns.right}: {label(b)}")
+        elif b is None:
+            print(f"only in {ns.left}: {label(a)}")
+        elif canonical(a) != canonical(b):
+            print(f"differs: {label(a)} ({key[:12]})")
+        else:
+            continue
+        differing += 1
+    if differing:
+        print(f"{differing} differing cell(s) out of {len(set(left) | set(right))}")
+        return 1
+    print(f"stores match: {len(left)} cell(s) byte-identical after timing strip")
+    return 0
 
 
 def _cmd_suite_report(ns: argparse.Namespace) -> int:
@@ -382,6 +440,9 @@ def _verify_runner(ns: argparse.Namespace, scenarios, cache_dir: Optional[Path],
         max_workers=ns.max_workers,
         executor=ns.executor,
         cache_dir=cache_dir,
+        # update-goldens shares this builder but not the fault arguments
+        job_timeout=getattr(ns, "job_timeout", None),
+        job_retries=getattr(ns, "job_retries", 0),
     )
 
 
@@ -419,7 +480,11 @@ def _cmd_verify_run(ns: argparse.Namespace) -> int:
         print(f"wrote {report.write_markdown(ns.report)}")
     if ns.report_json:
         print(f"wrote {report.write_json(ns.report_json)}")
-    return 1 if (summary.violations or summary.failures) else 0
+    # violations (a relation actually falsified) outrank failures (cells
+    # that errored out and were recorded for resume)
+    if summary.violations:
+        return 1
+    return 3 if summary.failures else 0
 
 
 def _cmd_verify_report(ns: argparse.Namespace) -> int:
@@ -734,6 +799,29 @@ def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN.json",
+        help="inject deterministic faults from a seeded fault plan (see docs/robustness.md)",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock limit per cell attempt (exceeded cells fail with JobTimeoutError)",
+    )
+    parser.add_argument(
+        "--job-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry budget per cell for transient failures and timeouts (default: 0)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -836,6 +924,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_dir_argument(run_parser)
     _add_trace_argument(run_parser)
+    _add_fault_arguments(run_parser)
     run_parser.set_defaults(func=_cmd_suite_run)
 
     report_parser = suite_sub.add_parser(
@@ -847,6 +936,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report_parser.add_argument("--json", default=None, help="also write the JSON report here")
     report_parser.set_defaults(func=_cmd_suite_report)
+
+    diff_parser = suite_sub.add_parser(
+        "diff",
+        help="compare two results stores cell-by-cell, ignoring timing fields",
+    )
+    diff_parser.add_argument("left", help="baseline JSONL results store")
+    diff_parser.add_argument("right", help="candidate JSONL results store")
+    diff_parser.set_defaults(func=_cmd_suite_diff)
 
     verify_parser = subparsers.add_parser(
         "verify",
@@ -905,6 +1002,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--report-json", default=None, help="also write the JSON report here"
     )
     _add_trace_argument(verify_run_parser)
+    _add_fault_arguments(verify_run_parser)
     verify_run_parser.set_defaults(func=_cmd_verify_run)
 
     verify_report_parser = verify_sub.add_parser(
@@ -1049,28 +1147,48 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     ns = build_parser().parse_args(argv)
     logging_setup(ns.log_level)
 
-    trace_path = getattr(ns, "trace", None)
-    if not trace_path:
-        return ns.func(ns)
+    faults_path = getattr(ns, "faults", None)
+    plan_installed = False
+    if faults_path:
+        from repro.faults import FaultPlan, FaultPlanError, enable_faults
 
-    from repro.obs import METRICS, disable_tracing, enable_tracing, write_trace
+        try:
+            plan = FaultPlan.load(faults_path)
+        except FaultPlanError as exc:
+            print(f"bad fault plan: {exc}")
+            return 1
+        enable_faults(plan)
+        plan_installed = True
+        print(plan.describe())
 
-    tracer = enable_tracing()
     try:
-        return ns.func(ns)
+        trace_path = getattr(ns, "trace", None)
+        if not trace_path:
+            return ns.func(ns)
+
+        from repro.obs import METRICS, disable_tracing, enable_tracing, write_trace
+
+        tracer = enable_tracing()
+        try:
+            return ns.func(ns)
+        finally:
+            # written even when the command aborts (budget trip, failure) — a
+            # partial run's trace is exactly when you want to see where time went
+            spans = tracer.drain()
+            disable_tracing()
+            arg_list = list(argv) if argv is not None else sys.argv[1:]
+            written = write_trace(
+                trace_path,
+                spans,
+                metrics=METRICS.snapshot().as_dict(),
+                meta={"command": "repro " + " ".join(str(a) for a in arg_list)},
+            )
+            print(f"wrote trace: {written} ({len(spans)} spans)")
     finally:
-        # written even when the command aborts (budget trip, failure) — a
-        # partial run's trace is exactly when you want to see where time went
-        spans = tracer.drain()
-        disable_tracing()
-        arg_list = list(argv) if argv is not None else sys.argv[1:]
-        written = write_trace(
-            trace_path,
-            spans,
-            metrics=METRICS.snapshot().as_dict(),
-            meta={"command": "repro " + " ".join(str(a) for a in arg_list)},
-        )
-        print(f"wrote trace: {written} ({len(spans)} spans)")
+        if plan_installed:
+            from repro.faults import disable_faults
+
+            disable_faults()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via the console script

@@ -48,6 +48,8 @@ from repro.engine.batch import (
     BatchJobError,
     BatchResult,
     CancelledJob,
+    JobTimeoutError,
+    PoisonJobError,
     ProcessBatchRunner,
     WorkerJobError,
     raise_failures,
@@ -101,11 +103,13 @@ __all__ = [
     "FilterSpec",
     "GraphCycleError",
     "GraphError",
+    "JobTimeoutError",
     "Node",
     "NodeExecutionError",
     "NodeHandle",
     "Pipeline",
     "PipelineGraph",
+    "PoisonJobError",
     "ProcessBatchRunner",
     "RegistryError",
     "ResultCache",

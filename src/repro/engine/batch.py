@@ -26,8 +26,30 @@ parallelism (no GIL contention between cells):
   other's upstream node results through the content-addressed files even
   though they share no memory;
 * errors travel back as pickled exceptions; an exception that cannot be
-  pickled is replaced by a :class:`WorkerJobError` carrying its rendered
-  traceback.
+  pickled is replaced by a :class:`WorkerJobError` carrying the job id, the
+  original class name, and the rendered traceback.
+
+Crash safety
+------------
+
+Both pool paths run through one :class:`_Dispatcher` state machine that adds
+the fault-tolerance contract (see ``docs/robustness.md``):
+
+* ``job_timeout`` bounds each attempt — worker processes arm a ``SIGALRM``
+  timer around the job body (a hang surfaces as :class:`JobTimeoutError`
+  and frees the slot); thread jobs get a parent-side deadline, because a
+  thread cannot be interrupted;
+* retryable failures (timeouts, :class:`~repro.faults.TransientFaultError`,
+  retryable LLM errors) are re-attempted up to ``job_retries`` times with
+  exponential backoff, each attempt under a fresh attempt number so any
+  installed :class:`~repro.faults.FaultPlan` re-rolls its decisions;
+* a ``BrokenProcessPool`` no longer aborts the batch: the pool is restarted,
+  never-started jobs are re-enqueued unchanged, and the in-flight job that
+  killed the worker is identified *exactly* when a fault plan is installed
+  (the parent replays the worker's own seeded kill decision via
+  ``predict_kill``) or heuristically otherwise.  A job that keeps killing
+  workers is quarantined after ``poison_strikes`` strikes as a
+  :class:`PoisonJobError` result instead of sinking the whole run.
 
 ``max_workers=1`` runs the jobs inline in the calling thread, preserving
 exact serial semantics for either executor choice.
@@ -35,14 +57,28 @@ exact serial semantics for either executor choice.
 
 from __future__ import annotations
 
+import contextlib
+import heapq
 import pickle
+import signal
+import threading
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.faults.errors import TransientFaultError
+from repro.faults.plan import FaultPlan
+from repro.faults.runtime import FAULT_STATE, job_scope
 from repro.obs.metrics import METRICS, MetricsSnapshot
 from repro.obs.trace import TRACE_STATE, enable_tracing
 
@@ -51,11 +87,20 @@ __all__ = [
     "BatchJobError",
     "BatchResult",
     "CancelledJob",
+    "JobTimeoutError",
+    "PoisonJobError",
     "ProcessBatchRunner",
     "WorkerJobError",
     "raise_failures",
     "run_batch",
 ]
+
+# retry backoff: 50ms, 100ms, 200ms, ... capped at 2s
+_RETRY_BASE_DELAY = 0.05
+_RETRY_BACKOFF = 2.0
+_RETRY_MAX_DELAY = 2.0
+# a thread job bounced off a saturated pool this many times is charged a timeout
+_MAX_QUEUE_REQUEUES = 32
 
 
 @dataclass
@@ -93,33 +138,69 @@ class BatchResult:
         return self.error is None
 
 
-def _run_one(job: BatchJob) -> BatchResult:
-    tracer = TRACE_STATE.tracer  # the disabled path pays only this read
-    started = time.perf_counter()
-    try:
-        if tracer is None:
-            value = job.fn(*job.args, **job.kwargs)
-        else:
-            with tracer.span(job.name, "batch.job"):
-                value = job.fn(*job.args, **job.kwargs)
-        return BatchResult(job.name, value=value, duration=time.perf_counter() - started)
-    except (KeyboardInterrupt, SystemExit):
-        # a Ctrl-C must abort the batch, not be recorded as the job's result
-        raise
-    except BaseException as exc:  # noqa: BLE001 - jobs must not kill the batch
-        return BatchResult(job.name, error=exc, duration=time.perf_counter() - started)
-
-
+# --------------------------------------------------------------------------- #
+# the error vocabulary
+# --------------------------------------------------------------------------- #
 class CancelledJob(RuntimeError):
     """Marks a job that never ran because an earlier job failed (stop_on_error)."""
+
+
+class JobTimeoutError(RuntimeError):
+    """A job attempt exceeded its ``job_timeout`` budget.
+
+    Retryable: a fresh attempt may run hang-free (and under an installed
+    fault plan it *will* re-roll the hang decision).  Crosses the worker
+    pipe, hence the explicit ``__reduce__``.
+    """
+
+    def __init__(self, job_name: str, timeout: float) -> None:
+        super().__init__(f"job {job_name!r} exceeded its {timeout:g}s timeout")
+        self.job_name = job_name
+        self.timeout = timeout
+
+    def __reduce__(self):
+        return (type(self), (self.job_name, self.timeout))
+
+
+class PoisonJobError(RuntimeError):
+    """A job was quarantined for repeatedly killing worker processes.
+
+    The batch continues without it; the poison job's slot carries this error
+    so callers can tell "this cell is toxic" from "this cell failed".
+    """
+
+    def __init__(self, job_name: str, strikes: int) -> None:
+        super().__init__(
+            f"job {job_name!r} quarantined after killing {strikes} worker process(es)"
+        )
+        self.job_name = job_name
+        self.strikes = strikes
+
+    def __reduce__(self):
+        return (type(self), (self.job_name, self.strikes))
 
 
 class WorkerJobError(RuntimeError):
     """Stand-in for a worker-process exception that could not be pickled.
 
-    Carries the original error's rendered traceback so nothing is lost even
-    though the object itself could not cross the process boundary.
+    Always names the job and the original exception class, so no sanitized
+    path can lose them; the rendered traceback rides along when available.
     """
+
+    def __init__(
+        self, job_name: str, error_type: str, original_message: str, rendered: str = ""
+    ) -> None:
+        message = f"job {job_name!r} failed in worker with {error_type}: {original_message}"
+        if rendered:
+            message = f"{message}\n{rendered}"
+        super().__init__(message)
+        self.job_name = job_name
+        self.error_type = error_type
+        self.original_message = original_message
+        self.rendered = rendered
+
+    def __reduce__(self):
+        return (type(self), (self.job_name, self.error_type, self.original_message, self.rendered))
 
 
 class BatchJobError(RuntimeError):
@@ -149,6 +230,93 @@ def raise_failures(results: Sequence[BatchResult]) -> None:
             raise BatchJobError(result.name, result.error) from result.error
 
 
+# --------------------------------------------------------------------------- #
+# single-attempt execution
+# --------------------------------------------------------------------------- #
+def _invoke(job: BatchJob, tracer) -> Any:
+    if tracer is None:
+        return job.fn(*job.args, **job.kwargs)
+    with tracer.span(job.name, "batch.job"):
+        return job.fn(*job.args, **job.kwargs)
+
+
+def _run_one(job: BatchJob, attempt: int = 0) -> BatchResult:
+    tracer = TRACE_STATE.tracer  # the disabled paths pay only these two reads
+    faults = FAULT_STATE.runtime
+    started = time.perf_counter()
+    try:
+        if faults is None:
+            value = _invoke(job, tracer)
+        else:
+            # publish (job, attempt) so nested engine/cache/LLM checkpoints
+            # draw their fault decisions from this attempt's epoch
+            with job_scope(job.name, attempt):
+                faults.checkpoint("batch.job", job.name)
+                value = _invoke(job, tracer)
+        return BatchResult(job.name, value=value, duration=time.perf_counter() - started)
+    except (KeyboardInterrupt, SystemExit):
+        # a Ctrl-C must abort the batch, not be recorded as the job's result
+        raise
+    except BaseException as exc:  # noqa: BLE001 - jobs must not kill the batch
+        return BatchResult(job.name, error=exc, duration=time.perf_counter() - started)
+
+
+@contextlib.contextmanager
+def _job_alarm(job_name: str, timeout: Optional[float]):
+    """Arm a SIGALRM timer that raises :class:`JobTimeoutError` after ``timeout``.
+
+    Only usable on the main thread of a POSIX process (signal handlers are a
+    main-thread affair); everywhere else this is a no-op and the caller's
+    parent-side deadline takes over.  The alarm interrupts even a
+    ``time.sleep`` hang, which is exactly what the ``hang`` fault injects.
+    """
+    can_alarm = (
+        timeout is not None
+        and timeout > 0
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not can_alarm:
+        yield
+        return
+
+    def _on_alarm(signum, frame):  # noqa: ARG001 - signal handler signature
+        raise JobTimeoutError(job_name, timeout)
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _run_one_timed(job: BatchJob, attempt: int = 0, timeout: Optional[float] = None) -> BatchResult:
+    try:
+        with _job_alarm(job.name, timeout):
+            return _run_one(job, attempt)
+    except JobTimeoutError as exc:
+        # the alarm can fire in the sliver after the job body returns but
+        # before it is disarmed; either way it is this job's timeout
+        return BatchResult(job.name, error=exc)
+
+
+def _is_retryable(error: BaseException) -> bool:
+    """Failures a fresh attempt has a real chance of clearing."""
+    if isinstance(error, (JobTimeoutError, TransientFaultError)):
+        return True
+    try:
+        from repro.llm.errors import RetryableLLMError  # lazy: engine must not require llm
+    except Exception:  # noqa: BLE001 - optional layer
+        return False
+    return isinstance(error, RetryableLLMError)
+
+
+def _retry_delay(attempt: int) -> float:
+    return min(_RETRY_MAX_DELAY, _RETRY_BASE_DELAY * _RETRY_BACKOFF**attempt)
+
+
 def _normalize(jobs: Sequence[Union[BatchJob, Callable[[], Any]]]) -> List[BatchJob]:
     return [
         job if isinstance(job, BatchJob) else BatchJob(getattr(job, "__name__", f"job{i}"), job)
@@ -160,6 +328,8 @@ def _run_serial(
     jobs: List[BatchJob],
     stop_on_error: bool,
     on_result: Optional[Callable[[BatchResult], None]] = None,
+    job_timeout: Optional[float] = None,
+    job_retries: int = 0,
 ) -> List[BatchResult]:
     results: List[BatchResult] = []
     failed = False
@@ -167,7 +337,16 @@ def _run_serial(
         if failed:
             results.append(BatchResult(job.name, error=CancelledJob(job.name)))
             continue
-        outcome = _run_one(job)
+        attempt = 0
+        while True:
+            outcome = _run_one_timed(job, attempt, job_timeout)
+            if isinstance(outcome.error, JobTimeoutError):
+                METRICS.incr("recovery_total", action="timeout")
+            if outcome.error is None or attempt >= job_retries or not _is_retryable(outcome.error):
+                break
+            METRICS.incr("recovery_total", action="retry")
+            time.sleep(_retry_delay(attempt))
+            attempt += 1
         results.append(outcome)
         if on_result is not None:
             on_result(outcome)
@@ -175,31 +354,180 @@ def _run_serial(
     return results
 
 
-def _drain_pool(
-    pool,
-    worker,
-    jobs: List[BatchJob],
-    stop_on_error: bool,
-    on_result: Optional[Callable[[BatchResult], None]] = None,
-) -> List[BatchResult]:
-    """Submit all jobs, collect ordered results, cancel the rest on failure.
+# --------------------------------------------------------------------------- #
+# the dispatcher: ordered slots, retry backoff, stop_on_error — pool-agnostic
+# --------------------------------------------------------------------------- #
+class _PoolBroken(Exception):
+    """Internal escape: the process pool died mid-generation.
 
-    Shared by the thread and process paths — ``worker`` is the (possibly
-    pickled-and-shipped) per-job runner.  ``future.result()`` is guarded: a
-    process-pool future raises here when the worker's *return value* failed
-    to pickle (or the worker died), and that must surface as that job's
-    error, not kill the whole batch.  ``on_result`` fires on the calling
-    thread as each job completes (completion order, not submission order).
+    Carries the blame classification material — ``suspects`` were plausibly
+    on a worker when it died (submission-order oldest first), ``lost`` were
+    queued but never started and can be re-enqueued without suspicion.
     """
-    futures = {pool.submit(worker, job): index for index, job in enumerate(jobs)}
-    slots: List[Optional[BatchResult]] = [None] * len(jobs)
-    pending = set(futures)
-    while pending:
-        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+
+    def __init__(self, cause: BaseException, suspects: List[int], lost: List[int]) -> None:
+        super().__init__(f"process pool broke: {type(cause).__name__}: {cause}")
+        self.cause = cause
+        self.suspects = suspects
+        self.lost = lost
+
+
+class _Dispatcher:
+    """Order-preserving batch state shared by the pool drivers.
+
+    Holds the per-job attempt and strike counters, the ready queue, the
+    backoff heap of delayed retries, and the final result slots.  Pool
+    drivers feed it attempt outcomes through :meth:`settle`; it decides
+    retry-vs-finalize.  The state survives pool restarts, which is what
+    lets :class:`ProcessBatchRunner` resume a half-finished generation
+    after a ``BrokenProcessPool``.
+    """
+
+    def __init__(
+        self,
+        jobs: List[BatchJob],
+        *,
+        stop_on_error: bool = False,
+        on_result: Optional[Callable[[BatchResult], None]] = None,
+        on_attempt: Optional[Callable[[BatchResult], None]] = None,
+        job_retries: int = 0,
+    ) -> None:
+        self.jobs = jobs
+        self.slots: List[Optional[BatchResult]] = [None] * len(jobs)
+        self.attempts = [0] * len(jobs)
+        self.strikes = [0] * len(jobs)
+        self.queue: "deque[int]" = deque(range(len(jobs)))
+        self.delayed: List[Tuple[float, int]] = []  # (ready_at, index) heap
+        self.stop_on_error = stop_on_error
+        self.stopping = False
+        self.stalls = 0
+        self.on_result = on_result
+        self.on_attempt = on_attempt
+        self.job_retries = job_retries
+        self.clock = time.monotonic
+
+    @property
+    def unfinished(self) -> bool:
+        return any(slot is None for slot in self.slots)
+
+    def promote_ready(self) -> None:
+        now = self.clock()
+        while self.delayed and self.delayed[0][0] <= now:
+            _, index = heapq.heappop(self.delayed)
+            self.queue.append(index)
+
+    def next_wakeup(self) -> Optional[float]:
+        """Seconds until the earliest delayed retry is ready (None if none)."""
+        if not self.delayed:
+            return None
+        return max(0.0, self.delayed[0][0] - self.clock())
+
+    def finalize(self, index: int, outcome: BatchResult) -> None:
+        self.slots[index] = outcome
+        if self.on_result is not None:
+            self.on_result(outcome)
+        if (
+            self.stop_on_error
+            and outcome.error is not None
+            and not isinstance(outcome.error, CancelledJob)
+        ):
+            self.stopping = True
+
+    def cancel_unstarted(self) -> None:
+        """stop_on_error tripped: everything not yet submitted fast-fails."""
+        while self.delayed:
+            _, index = heapq.heappop(self.delayed)
+            self.queue.append(index)
+        while self.queue:
+            index = self.queue.popleft()
+            if self.slots[index] is None:
+                name = self.jobs[index].name
+                self.finalize(index, BatchResult(name, error=CancelledJob(name)))
+
+    def finalize_remaining(self, cause: BaseException) -> None:
+        """Stall bail-out: charge the break cause to every unfinished job."""
+        while self.delayed:
+            _, index = heapq.heappop(self.delayed)
+            self.queue.append(index)
+        while self.queue:
+            index = self.queue.popleft()
+            if self.slots[index] is None:
+                self.finalize(index, BatchResult(self.jobs[index].name, error=cause))
+
+    def settle(self, index: int, outcome: BatchResult) -> None:
+        """Record one attempt's outcome: schedule a retry or finalize."""
+        if self.on_attempt is not None:
+            self.on_attempt(outcome)
+        error = outcome.error
+        if isinstance(error, JobTimeoutError):
+            METRICS.incr("recovery_total", action="timeout")
+        if (
+            error is not None
+            and not self.stopping
+            and self.attempts[index] < self.job_retries
+            and _is_retryable(error)
+        ):
+            METRICS.incr("recovery_total", action="retry")
+            self.attempts[index] += 1
+            delay = _retry_delay(self.attempts[index] - 1)
+            heapq.heappush(self.delayed, (self.clock() + delay, index))
+            return
+        self.finalize(index, outcome)
+
+    def results(self) -> List[BatchResult]:
+        return [result for result in self.slots if result is not None]
+
+
+def _drain_thread_pool(
+    pool: ThreadPoolExecutor,
+    dispatcher: _Dispatcher,
+    job_timeout: Optional[float],
+) -> None:
+    """Thread-pool driver: parent-side deadlines (threads cannot be signalled).
+
+    A future past its deadline is cancelled: success means it never left the
+    queue (pool saturation, not execution time — requeue free of charge, up
+    to a sanity cap); failure means the thread is genuinely stuck, so the
+    job is charged a :class:`JobTimeoutError` and the stale future dropped
+    (the thread finishes on its own time; its result is ignored).
+    """
+    jobs = dispatcher.jobs
+    active: Dict[Any, Tuple[int, float]] = {}  # future -> (index, submitted_at)
+    requeues = [0] * len(jobs)
+    while dispatcher.queue or dispatcher.delayed or active:
+        dispatcher.promote_ready()
+        if dispatcher.stopping:
+            dispatcher.cancel_unstarted()
+            for future in list(active):
+                if future.cancel():
+                    index, _ = active.pop(future)
+                    name = jobs[index].name
+                    dispatcher.finalize(index, BatchResult(name, error=CancelledJob(name)))
+        while dispatcher.queue:
+            index = dispatcher.queue.popleft()
+            if dispatcher.slots[index] is not None:
+                continue
+            future = pool.submit(_run_one, jobs[index], dispatcher.attempts[index])
+            active[future] = (index, dispatcher.clock())
+        if not active:
+            wakeup = dispatcher.next_wakeup()
+            if wakeup is None:
+                break
+            time.sleep(wakeup)
+            continue
+        timeout = dispatcher.next_wakeup()
+        if job_timeout is not None:
+            deadline_in = (
+                min(at for _, at in active.values()) + job_timeout - dispatcher.clock()
+            )
+            timeout = deadline_in if timeout is None else min(timeout, deadline_in)
+            timeout = max(timeout, 0.0)
+        done, _ = wait(set(active), timeout=timeout, return_when=FIRST_COMPLETED)
         for future in done:
-            index = futures[future]
+            index, _ = active.pop(future)
             if future.cancelled():
-                slots[index] = BatchResult(jobs[index].name, error=CancelledJob(jobs[index].name))
+                name = jobs[index].name
+                dispatcher.finalize(index, BatchResult(name, error=CancelledJob(name)))
                 continue
             try:
                 outcome = future.result()
@@ -210,24 +538,40 @@ def _drain_pool(
                 raise
             except BaseException as exc:  # noqa: BLE001 - transport-level failure
                 outcome = BatchResult(jobs[index].name, error=exc)
-            slots[index] = outcome
-            if on_result is not None:
-                on_result(outcome)
-            if stop_on_error and outcome.error is not None:
-                for other in pending:
-                    other.cancel()
-    return [result for result in slots if result is not None]
+            dispatcher.settle(index, outcome)
+        if job_timeout is None:
+            continue
+        now = dispatcher.clock()
+        for future, (index, submitted_at) in list(active.items()):
+            if now - submitted_at < job_timeout:
+                continue
+            del active[future]
+            if future.cancel() and requeues[index] < _MAX_QUEUE_REQUEUES:
+                # never started: queue latency is not execution time
+                requeues[index] += 1
+                METRICS.incr("recovery_total", action="requeue")
+                dispatcher.queue.append(index)
+                continue
+            name = jobs[index].name
+            dispatcher.settle(index, BatchResult(name, error=JobTimeoutError(name, job_timeout)))
 
 
 # --------------------------------------------------------------------------- #
 # process pool
 # --------------------------------------------------------------------------- #
-def _process_worker_init(cache_dir: Optional[str], obs_enabled: bool = False) -> None:
+def _process_worker_init(
+    cache_dir: Optional[str],
+    obs_enabled: bool = False,
+    fault_plan: Optional[Dict[str, Any]] = None,
+) -> None:
     """Per-process bootstrap: fresh session state, shared disk cache tier.
 
     When the parent runs with tracing enabled, ``obs_enabled`` turns the
     worker's own tracer on and zeroes its metrics registry, so every delta
-    the worker ships back is exactly its own activity.
+    the worker ships back is exactly its own activity.  ``fault_plan`` ships
+    the parent's installed :class:`~repro.faults.FaultPlan` (as a plain
+    dict) so workers draw the *same* seeded fault decisions — installed
+    ``in_worker=True``, which is what arms the ``worker-kill`` fault.
     """
     from repro.engine.cache import configure_shared_cache
     from repro.pvsim import state
@@ -238,18 +582,30 @@ def _process_worker_init(cache_dir: Optional[str], obs_enabled: bool = False) ->
     if obs_enabled:
         METRICS.reset()
         enable_tracing()
+    if fault_plan is not None:
+        from repro.faults.runtime import enable_faults
+
+        enable_faults(FaultPlan.from_dict(fault_plan), in_worker=True)
 
 
-def _run_one_in_worker(job: BatchJob) -> BatchResult:
+def _run_one_in_worker(
+    job: BatchJob, attempt: int = 0, job_timeout: Optional[float] = None
+) -> BatchResult:
     """Worker-side job runner: sanitize errors that cannot cross the pipe.
 
     With tracing on, the worker drains its span buffer and computes the
     metrics delta this job produced, attaching both (plain data) to
-    :attr:`BatchResult.obs` so the parent can merge them.
+    :attr:`BatchResult.obs` so the parent can merge them.  The worker-kill
+    fault site fires here, before any work — exactly once per job attempt,
+    which is what lets the parent replay the decision to assign blame.
     """
+    runtime = FAULT_STATE.runtime
+    if runtime is not None:
+        with job_scope(job.name, attempt):
+            runtime.checkpoint("batch.worker", job.name)
     tracer = TRACE_STATE.tracer
     metrics_before = METRICS.snapshot() if tracer is not None else None
-    outcome = _run_one(job)
+    outcome = _run_one_timed(job, attempt, job_timeout)
     if outcome.error is not None:
         try:
             pickle.dumps(outcome.error)
@@ -262,7 +618,7 @@ def _run_one_in_worker(job: BatchJob) -> BatchResult:
             outcome = BatchResult(
                 outcome.name,
                 error=WorkerJobError(
-                    f"{type(outcome.error).__name__}: {outcome.error}\n{rendered}"
+                    job.name, type(outcome.error).__name__, str(outcome.error), rendered
                 ),
                 duration=outcome.duration,
             )
@@ -273,6 +629,113 @@ def _run_one_in_worker(job: BatchJob) -> BatchResult:
             "metrics": delta.as_dict(),
         }
     return outcome
+
+
+def _classify_break(
+    dispatcher: _Dispatcher,
+    cause: BaseException,
+    active: Dict[Any, int],
+    max_workers: int,
+) -> None:
+    """Split in-flight work from never-started work after a pool break.
+
+    A broken executor marks *every* pending future broken, started or not.
+    Completed results that raced the break are settled normally (finished
+    work is never discarded); cancellable futures were still queued and are
+    ``lost`` (requeue, no suspicion).  Of the remaining broken futures, only
+    the oldest ``max_workers`` — submission order approximates start order —
+    could actually have been on a worker when it died; they become the
+    ``suspects``, the rest are ``lost`` too.  Always raises
+    :class:`_PoolBroken`.
+    """
+    broken: List[int] = []
+    lost: List[int] = []
+    if active:
+        wait(set(active), timeout=1.0)  # let racing stragglers settle
+        for future, index in list(active.items()):  # insertion = submission order
+            if future.cancel() or future.cancelled():
+                lost.append(index)
+                continue
+            if not future.done():
+                broken.append(index)  # uncancellable and unfinished: in flight
+                continue
+            try:
+                outcome = future.result()
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BrokenExecutor:
+                broken.append(index)
+                continue
+            except BaseException as exc:  # noqa: BLE001 - transport-level failure
+                outcome = BatchResult(dispatcher.jobs[index].name, error=exc)
+            dispatcher.settle(index, outcome)
+        active.clear()
+    raise _PoolBroken(cause, broken[:max_workers], lost + broken[max_workers:])
+
+
+def _drain_process_pool(
+    pool: ProcessPoolExecutor,
+    dispatcher: _Dispatcher,
+    job_timeout: Optional[float],
+    max_workers: int,
+) -> None:
+    """Process-pool driver for one pool generation.
+
+    Timeouts are enforced worker-side (SIGALRM around the job body), so the
+    parent only schedules, settles, and watches for the pool breaking —
+    which surfaces as :class:`_PoolBroken` for the runner's restart loop.
+    """
+    jobs = dispatcher.jobs
+    active: Dict[Any, int] = {}  # future -> index, in submission order
+    while dispatcher.queue or dispatcher.delayed or active:
+        dispatcher.promote_ready()
+        if dispatcher.stopping:
+            dispatcher.cancel_unstarted()
+            for future in list(active):
+                if future.cancel():
+                    index = active.pop(future)
+                    name = jobs[index].name
+                    dispatcher.finalize(index, BatchResult(name, error=CancelledJob(name)))
+        while dispatcher.queue:
+            index = dispatcher.queue.popleft()
+            if dispatcher.slots[index] is not None:
+                continue
+            try:
+                future = pool.submit(
+                    _run_one_in_worker, jobs[index], dispatcher.attempts[index], job_timeout
+                )
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:  # noqa: BLE001 - broken/shut-down pool
+                dispatcher.queue.appendleft(index)
+                _classify_break(dispatcher, exc, active, max_workers)
+            active[future] = index
+        if not active:
+            wakeup = dispatcher.next_wakeup()
+            if wakeup is None:
+                break
+            time.sleep(wakeup)
+            continue
+        done, _ = wait(set(active), timeout=dispatcher.next_wakeup(), return_when=FIRST_COMPLETED)
+        for future in done:
+            index = active[future]
+            if future.cancelled():
+                del active[future]
+                name = jobs[index].name
+                dispatcher.finalize(index, BatchResult(name, error=CancelledJob(name)))
+                continue
+            try:
+                outcome = future.result()
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BrokenExecutor as exc:
+                # keep this future in ``active`` so classification sees it in
+                # its original submission position
+                _classify_break(dispatcher, exc, active, max_workers)
+            except BaseException as exc:  # noqa: BLE001 - transport-level failure
+                outcome = BatchResult(jobs[index].name, error=exc)
+            del active[future]
+            dispatcher.settle(index, outcome)
 
 
 @dataclass
@@ -293,11 +756,24 @@ class ProcessBatchRunner:
         ``multiprocessing`` start-method name.  The default ``"spawn"`` gives
         every worker a clean interpreter (no forked locks/threads), which is
         what makes per-process session bootstrap deterministic.
+    job_timeout:
+        Per-attempt wall-clock budget in seconds, enforced worker-side via
+        ``SIGALRM`` (a hang becomes a retryable :class:`JobTimeoutError`).
+        ``None`` disables it.
+    job_retries:
+        Bounded per-job retry budget for retryable failures (timeouts,
+        transient faults, retryable LLM errors), with exponential backoff.
+    poison_strikes:
+        How many worker kills a single job may cause before it is
+        quarantined as a :class:`PoisonJobError` result.
     """
 
     max_workers: int = 2
     cache_dir: Optional[Union[str, Path]] = None
     mp_context: str = "spawn"
+    job_timeout: Optional[float] = None
+    job_retries: int = 0
+    poison_strikes: int = 3
 
     def run(
         self,
@@ -308,30 +784,38 @@ class ProcessBatchRunner:
         """Run jobs in worker processes; ordered results, errors captured.
 
         When the parent has tracing enabled, workers boot with their own
-        tracer and ship per-job span buffers + metric deltas back on each
-        :class:`BatchResult`; they are folded into the parent's tracer and
-        registry here, before the caller's ``on_result`` fires.
+        tracer and ship per-attempt span buffers + metric deltas back on
+        each :class:`BatchResult`; they are folded into the parent's tracer
+        and registry for *every* attempt (a failed-then-retried attempt's
+        telemetry is real work and is kept), before the caller's
+        ``on_result`` fires on the final outcome.
+
+        A ``BrokenProcessPool`` is survived: the pool restarts, in-flight
+        jobs are re-enqueued, and a job that keeps killing workers is
+        quarantined — see the module docstring for the exact blame rules.
         """
         import multiprocessing
 
         normalized = _normalize(jobs)
         parent_tracer = TRACE_STATE.tracer
+        on_attempt: Optional[Callable[[BatchResult], None]] = None
         if parent_tracer is not None:
-            caller_on_result = on_result
 
-            def on_result(outcome: BatchResult) -> None:  # noqa: F811 - deliberate wrap
+            def on_attempt(outcome: BatchResult) -> None:
                 payload = outcome.obs
                 if payload:
                     parent_tracer.extend_serialized(payload.get("spans", ()))
                     metrics = payload.get("metrics")
                     if metrics:
                         METRICS.merge_snapshot(MetricsSnapshot.from_dict(metrics))
-                if caller_on_result is not None:
-                    caller_on_result(outcome)
 
         if self.max_workers <= 1 or len(normalized) <= 1:
+            # degenerate path runs in-process: obs is already local, no
+            # worker payloads to merge — the caller's on_result is enough
             if self.cache_dir is None:
-                return _run_serial(normalized, stop_on_error, on_result)
+                return _run_serial(
+                    normalized, stop_on_error, on_result, self.job_timeout, self.job_retries
+                )
             # mirror the workers' bootstrap (results land in the disk tier),
             # but restore whatever tier the caller had — running a degenerate
             # batch must not permanently reconfigure the process
@@ -341,19 +825,121 @@ class ProcessBatchRunner:
             previous_disk = cache.disk
             cache.attach_disk(DiskCache(self.cache_dir))
             try:
-                return _run_serial(normalized, stop_on_error, on_result)
+                return _run_serial(
+                    normalized, stop_on_error, on_result, self.job_timeout, self.job_retries
+                )
             finally:
                 cache.attach_disk(previous_disk)
 
         context = multiprocessing.get_context(self.mp_context)
         cache_dir = str(self.cache_dir) if self.cache_dir is not None else None
-        with ProcessPoolExecutor(
-            max_workers=self.max_workers,
-            mp_context=context,
-            initializer=_process_worker_init,
-            initargs=(cache_dir, parent_tracer is not None),
-        ) as pool:
-            return _drain_pool(pool, _run_one_in_worker, normalized, stop_on_error, on_result)
+        runtime = FAULT_STATE.runtime
+        plan_payload = runtime.plan.to_dict() if runtime is not None else None
+        dispatcher = _Dispatcher(
+            normalized,
+            stop_on_error=stop_on_error,
+            on_result=on_result,
+            on_attempt=on_attempt,
+            job_retries=self.job_retries,
+        )
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            while dispatcher.unfinished:
+                if pool is None:
+                    pool = ProcessPoolExecutor(
+                        max_workers=self.max_workers,
+                        mp_context=context,
+                        initializer=_process_worker_init,
+                        initargs=(cache_dir, parent_tracer is not None, plan_payload),
+                    )
+                try:
+                    _drain_process_pool(pool, dispatcher, self.job_timeout, self.max_workers)
+                except _PoolBroken as broken:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = None
+                    self._absorb_break(dispatcher, broken)
+                else:
+                    break  # clean generation: everything settled
+            if pool is not None:
+                pool.shutdown(wait=True)
+                pool = None
+        except (KeyboardInterrupt, SystemExit):
+            self._interrupt_cleanup()
+            raise
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+        return dispatcher.results()
+
+    # ------------------------------------------------------------------ #
+    def _absorb_break(self, dispatcher: _Dispatcher, broken: _PoolBroken) -> None:
+        """Assign blame for a dead worker, quarantine repeat offenders.
+
+        With a fault plan installed the parent *replays* each suspect's own
+        seeded worker-kill decision (``predict_kill``) and blames exactly
+        the jobs that killed themselves — co-scheduled innocents are
+        re-enqueued at the same attempt, unchanged.  Without a plan (a real
+        crash) every in-flight suspect takes a strike.  Blamed jobs re-run
+        under a bumped attempt number (a fresh fault draw); three strikes
+        and the job is quarantined as a :class:`PoisonJobError`.
+        """
+        METRICS.incr("recovery_total", action="pool-restart")
+        runtime = FAULT_STATE.runtime
+        blamed: List[int] = []
+        if runtime is not None and broken.suspects:
+            blamed = [
+                index
+                for index in broken.suspects
+                if runtime.predict_kill(
+                    "batch.worker", dispatcher.jobs[index].name, dispatcher.attempts[index]
+                )
+            ]
+        if not blamed:
+            blamed = list(broken.suspects)
+        for index in broken.suspects:
+            if index in blamed:
+                dispatcher.strikes[index] += 1
+                if dispatcher.strikes[index] >= self.poison_strikes:
+                    METRICS.incr("recovery_total", action="quarantine")
+                    name = dispatcher.jobs[index].name
+                    dispatcher.finalize(
+                        index,
+                        BatchResult(
+                            name, error=PoisonJobError(name, dispatcher.strikes[index])
+                        ),
+                    )
+                else:
+                    dispatcher.attempts[index] += 1
+                    dispatcher.queue.append(index)
+            else:
+                METRICS.incr("recovery_total", action="requeue")
+                dispatcher.queue.append(index)
+        for index in broken.lost:
+            dispatcher.queue.append(index)
+        if broken.suspects or broken.lost:
+            dispatcher.stalls = 0
+        else:
+            # the pool died with nothing identifiable in flight (e.g. its
+            # initializer keeps failing); bounded patience, then bail out
+            dispatcher.stalls += 1
+            if dispatcher.stalls >= 3:
+                dispatcher.finalize_remaining(broken.cause)
+
+    def _interrupt_cleanup(self) -> None:
+        """Ctrl-C / SystemExit mid-batch must not leave cache litter behind.
+
+        Workers killed mid-write leave ``.*.tmp`` staging files next to the
+        shared cache entries; sweep them so an interrupted run leaves the
+        cache directory exactly as a clean run would (the ``.lock`` file
+        stays — it is persistent by design — but no process holds its
+        flock once the pool is gone).
+        """
+        if self.cache_dir is None:
+            return
+        from repro.engine.cache import DiskCache
+
+        with contextlib.suppress(Exception):
+            DiskCache(self.cache_dir).sweep_stale_tmp()
 
 
 def run_batch(
@@ -363,6 +949,8 @@ def run_batch(
     executor: str = "thread",
     cache_dir: Optional[Union[str, Path]] = None,
     on_result: Optional[Callable[[BatchResult], None]] = None,
+    job_timeout: Optional[float] = None,
+    job_retries: int = 0,
 ) -> List[BatchResult]:
     """Run jobs (callables or :class:`BatchJob`) and return ordered results.
 
@@ -382,6 +970,11 @@ def run_batch(
     disk-cache root worker processes share; the thread path ignores it
     (threads already share the in-process cache).
 
+    ``job_timeout`` bounds each attempt in seconds and ``job_retries``
+    grants retryable failures (timeouts, transient faults, retryable LLM
+    errors) bounded re-attempts with exponential backoff — the crash-safety
+    contract described in the module docstring and ``docs/robustness.md``.
+
     ``on_result`` is invoked on the calling thread as each job completes
     (completion order), letting callers persist incremental progress — the
     scenario suite streams its JSONL records through it, so an aborted
@@ -390,11 +983,26 @@ def run_batch(
     if executor not in ("thread", "process"):
         raise ValueError(f"unknown executor {executor!r} (expected 'thread' or 'process')")
     if executor == "process":
-        runner = ProcessBatchRunner(max_workers=max_workers, cache_dir=cache_dir)
+        runner = ProcessBatchRunner(
+            max_workers=max_workers,
+            cache_dir=cache_dir,
+            job_timeout=job_timeout,
+            job_retries=job_retries,
+        )
         return runner.run(jobs, stop_on_error=stop_on_error, on_result=on_result)
 
     normalized = _normalize(jobs)
     if max_workers <= 1 or len(normalized) <= 1:
-        return _run_serial(normalized, stop_on_error, on_result)
-    with ThreadPoolExecutor(max_workers=max_workers) as pool:
-        return _drain_pool(pool, _run_one, normalized, stop_on_error, on_result)
+        return _run_serial(normalized, stop_on_error, on_result, job_timeout, job_retries)
+    dispatcher = _Dispatcher(
+        normalized, stop_on_error=stop_on_error, on_result=on_result, job_retries=job_retries
+    )
+    pool = ThreadPoolExecutor(max_workers=max_workers)
+    try:
+        _drain_thread_pool(pool, dispatcher, job_timeout)
+    finally:
+        # never a ``with`` block: a hung job thread would block the exit of
+        # the context manager; cancel what never started and let stragglers
+        # finish on their own time
+        pool.shutdown(wait=False, cancel_futures=True)
+    return dispatcher.results()

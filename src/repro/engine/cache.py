@@ -41,6 +41,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.faults.runtime import CORRUPT_WRITE, FAULT_STATE
 from repro.obs.metrics import METRICS
 from repro.obs.trace import TRACE_STATE
 
@@ -118,9 +119,9 @@ def node_key(
 
 
 class CacheStats:
-    """Hit/miss/eviction/corruption counters (snapshot-friendly)."""
+    """Hit/miss/eviction/corruption/write-failure counters (snapshot-friendly)."""
 
-    __slots__ = ("hits", "misses", "evictions", "corruptions")
+    __slots__ = ("hits", "misses", "evictions", "corruptions", "write_failures")
 
     def __init__(
         self,
@@ -128,14 +129,18 @@ class CacheStats:
         misses: int = 0,
         evictions: int = 0,
         corruptions: int = 0,
+        write_failures: int = 0,
     ) -> None:
         self.hits = hits
         self.misses = misses
         self.evictions = evictions
         self.corruptions = corruptions
+        self.write_failures = write_failures
 
     def snapshot(self) -> "CacheStats":
-        return CacheStats(self.hits, self.misses, self.evictions, self.corruptions)
+        return CacheStats(
+            self.hits, self.misses, self.evictions, self.corruptions, self.write_failures
+        )
 
     def delta(self, earlier: "CacheStats") -> "CacheStats":
         return CacheStats(
@@ -143,12 +148,15 @@ class CacheStats:
             self.misses - earlier.misses,
             self.evictions - earlier.evictions,
             self.corruptions - earlier.corruptions,
+            self.write_failures - earlier.write_failures,
         )
 
     def __repr__(self) -> str:
         text = f"CacheStats(hits={self.hits}, misses={self.misses}, evictions={self.evictions}"
         if self.corruptions:
             text += f", corruptions={self.corruptions}"
+        if self.write_failures:
+            text += f", write_failures={self.write_failures}"
         return text + ")"
 
 
@@ -247,11 +255,17 @@ class DiskCache(CacheLike):
       counted (``stats.corruptions``), deleted, and reported as a miss —
       never an exception;
     * **graceful degradation** — values that cannot be pickled are simply not
-      persisted (the memory tier above still holds them).
+      persisted (the memory tier above still holds them), and storage-level
+      write failures (ENOSPC, permissions, dying disks) degrade to cache-off
+      with a WARNING and a ``stats.write_failures`` count — never a crash.
+      After :data:`WRITE_FAILURE_LIMIT` *consecutive* failures further
+      writes are skipped entirely; reads keep working throughout.
     """
 
     #: filename suffix of one cache entry
     ENTRY_SUFFIX = ".bin"
+    #: consecutive write failures tolerated before writes shut off
+    WRITE_FAILURE_LIMIT = 3
 
     def __init__(
         self,
@@ -264,6 +278,8 @@ class DiskCache(CacheLike):
         self.stats = CacheStats()
         self._lock = threading.Lock()  # guards stats, the mtime clock, the size estimate
         self._last_tick = 0
+        self._write_streak = 0  # consecutive write failures
+        self._writes_disabled = False
         #: running size estimate; None until the first full scan.  Keeps the
         #: O(entries) stat-and-sort eviction scan off the per-put hot path:
         #: a put only scans when the estimate says the bound is crossed.
@@ -356,27 +372,87 @@ class DiskCache(CacheLike):
             METRICS.incr("cache_ops_total", tier="disk", op="hit")
         return True, value
 
+    @property
+    def writes_disabled(self) -> bool:
+        """True once consecutive write failures shut the write path off."""
+        return self._writes_disabled
+
     def put(self, key: str, value: Any) -> None:
-        """Persist one entry atomically; unpicklable values are skipped."""
+        """Persist one entry atomically; unpicklable values are skipped.
+
+        Storage-level failures — a full disk, a permission change, the
+        injected ``cache-write-error`` fault — drop the write with a WARNING
+        instead of crashing the run (the memory tier still serves the
+        value); :data:`WRITE_FAILURE_LIMIT` consecutive failures disable
+        writes for this cache instance, reads stay on.
+        """
         from repro.datamodel.serialization import dumps_payload
 
+        if self._writes_disabled:
+            return
         try:
             payload = dumps_payload(value)
         except Exception:  # noqa: BLE001 - unpicklable value: memory-tier only
             return
-        path = self._entry_path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.parent / f".{key}.{os.getpid()}.{threading.get_ident()}.tmp"
-        with self._write_lock():
-            try:
-                tmp.write_bytes(payload)
-                os.replace(tmp, path)
-            finally:
+        faults = FAULT_STATE.runtime
+        try:
+            if faults is not None and faults.checkpoint("cache.disk.write", key) == CORRUPT_WRITE:
+                # simulate a torn/scribbled write: the framed checksum catches
+                # it on the next get(), which discards the entry as a miss
+                payload = b"\x00scribble\x00" + payload[: len(payload) // 2]
+            path = self._entry_path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.parent / f".{key}.{os.getpid()}.{threading.get_ident()}.tmp"
+            with self._write_lock():
+                try:
+                    tmp.write_bytes(payload)
+                    os.replace(tmp, path)
+                finally:
+                    with contextlib.suppress(OSError):
+                        tmp.unlink()
+                self._touch(path)
+                if self._grow_estimate(len(payload)):
+                    self._evict_to_fit()
+        except OSError as exc:
+            self._note_write_failure(key, exc)
+            return
+        with self._lock:
+            self._write_streak = 0
+
+    def _note_write_failure(self, key: str, exc: OSError) -> None:
+        """Count, warn, and — after enough consecutive failures — stop writing."""
+        with self._lock:
+            self.stats.write_failures += 1
+            self._write_streak += 1
+            tripped = self._write_streak >= self.WRITE_FAILURE_LIMIT and not self._writes_disabled
+            if tripped:
+                self._writes_disabled = True
+        _log.warning("disk cache write failed for %s: %s", key, exc)
+        if tripped:
+            _log.warning(
+                "disk cache writes disabled after %d consecutive failures (reads stay on)",
+                self.WRITE_FAILURE_LIMIT,
+            )
+        # always counted: a degrading cache must be visible even untraced
+        METRICS.incr("cache_write_failures_total", tier="disk")
+
+    def sweep_stale_tmp(self) -> int:
+        """Remove abandoned ``.*.tmp`` staging files left by killed writers.
+
+        Atomic writers unlink their own staging file on every path except a
+        hard kill mid-write; interrupted batch runs call this so the cache
+        directory ends up exactly as a clean run would leave it.  Returns
+        the number of files removed.
+        """
+        removed = 0
+        for shard in self.root.iterdir():
+            if not shard.is_dir():
+                continue
+            for tmp in shard.glob(".*.tmp"):
                 with contextlib.suppress(OSError):
                     tmp.unlink()
-            self._touch(path)
-            if self._grow_estimate(len(payload)):
-                self._evict_to_fit()
+                    removed += 1
+        return removed
 
     def clear(self) -> None:
         with self._write_lock():
@@ -550,6 +626,7 @@ class TieredCache(CacheLike):
             misses=disk.misses,
             evictions=memory.evictions + disk.evictions,
             corruptions=disk.corruptions,
+            write_failures=disk.write_failures,
         )
 
     def __repr__(self) -> str:

@@ -20,6 +20,7 @@ from repro.engine.cache import CacheLike, CacheStats, node_key, shared_cache
 from repro.engine.errors import NodeExecutionError
 from repro.engine.graph import Node, PipelineGraph
 from repro.engine.registry import ExecContext, get_spec
+from repro.faults.runtime import FAULT_STATE
 from repro.obs.trace import TRACE_STATE
 
 __all__ = ["EvaluationReport", "Engine", "default_engine"]
@@ -129,9 +130,10 @@ class Engine:
         for node in graph.topological_order([target]):
             keys[node.id] = self._node_cache_key(node, keys)
 
-        # captured once per evaluate(); the disabled fast path costs exactly
-        # this one attribute read plus a local-variable None test per node
+        # captured once per evaluate(); the disabled fast paths cost exactly
+        # these two attribute reads plus local-variable None tests per node
         tracer = TRACE_STATE.tracer
+        faults = FAULT_STATE.runtime
 
         def materialize(node_id: str) -> Any:
             """Demand-driven fetch-or-execute: a cached node never touches
@@ -150,6 +152,8 @@ class Engine:
                 # inputs materialize outside the span so node spans carry
                 # self-time (compute + put), not their ancestors' work
                 inputs = [materialize(i) for i in node.inputs]
+                if faults is not None:
+                    faults.checkpoint("engine.node", node.name)
                 if tracer is None:
                     value = self._execute_node(node, inputs)
                     self.cache.put(keys[node_id], value)

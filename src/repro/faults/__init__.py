@@ -1,0 +1,43 @@
+"""repro.faults — deterministic fault injection for chaos testing.
+
+Declare *what breaks where* in a seeded :class:`FaultPlan`, install it with
+:func:`enable_faults`, and every instrumented site in the engine, caches,
+batch runner, and LLM dispatch becomes a potential failure point — worker
+SIGKILLs, hangs, transient exceptions, ENOSPC cache writes, payload
+corruption, flaky providers.  With no plan installed the hooks are a single
+``is None`` check, the same zero-cost discipline as ``repro.obs``.
+
+The point is not breaking things; it is *proving recovery*: a chaos run under
+a kill/hang/corruption plan must finish with result records byte-identical
+to the fault-free run (see ``tests/test_chaos.py`` and docs/robustness.md).
+"""
+
+from repro.faults.errors import FaultPlanError, InjectedFaultError, TransientFaultError
+from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.faults.runtime import (
+    CORRUPT_WRITE,
+    FAULT_STATE,
+    FaultRuntime,
+    checkpoint,
+    disable_faults,
+    enable_faults,
+    faults_enabled,
+    job_scope,
+)
+
+__all__ = [
+    "CORRUPT_WRITE",
+    "FAULT_KINDS",
+    "FAULT_STATE",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRuntime",
+    "FaultSpec",
+    "InjectedFaultError",
+    "TransientFaultError",
+    "checkpoint",
+    "disable_faults",
+    "enable_faults",
+    "faults_enabled",
+    "job_scope",
+]

@@ -1,0 +1,28 @@
+"""The exception vocabulary of the fault-injection subsystem.
+
+Injected faults must be *recognizable* — the hardened runners decide whether
+to retry, quarantine, or record a failure based on the exception type — and
+they must be **honest**: an injected exception travels the exact same code
+paths a real one would, so recovering from the injection proves the runner
+recovers from the genuine failure.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FaultPlanError",
+    "InjectedFaultError",
+    "TransientFaultError",
+]
+
+
+class FaultPlanError(ValueError):
+    """A fault plan is malformed (unknown kind, bad probability, empty site)."""
+
+
+class InjectedFaultError(RuntimeError):
+    """A deliberately injected, *persistent* failure (retrying will not help)."""
+
+
+class TransientFaultError(InjectedFaultError):
+    """A deliberately injected failure that a bounded retry should absorb."""

@@ -1,0 +1,202 @@
+"""Seeded, declarative fault plans.
+
+A :class:`FaultPlan` is a seed plus an ordered list of :class:`FaultSpec`
+entries — *what* to break (``kind``), *where* (``site`` + a glob over the
+checkpoint key), and *when* (a per-occurrence probability, explicit
+occurrence indices, or job-attempt indices).  Every firing decision is a pure
+function of
+
+``(seed, spec index, site, key, epoch, occurrence)``
+
+where the *epoch* names the enclosing batch job and its attempt number
+(``"gpt-4/scn#0"``).  That purity is the load-bearing property: a worker
+process killed by its own injected fault is re-run by the parent under an
+*incremented* attempt, so the replacement draws a fresh decision — while the
+parent can re-evaluate the dead worker's draw exactly (it has the same plan
+and the same inputs) to blame the right job.  Nothing depends on process
+identity, scheduling order, or wall-clock, which is what makes a chaos run
+deterministic enough to diff byte-for-byte against a fault-free run.
+
+Plans round-trip through JSON (:meth:`FaultPlan.load` / :meth:`FaultPlan.save`)
+and through plain dicts (:meth:`FaultPlan.to_dict` / :meth:`FaultPlan.from_dict`)
+so the batch runner can ship one to spawn-started workers as initializer data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.faults.errors import FaultPlanError
+
+__all__ = ["FAULT_KINDS", "FaultPlan", "FaultSpec"]
+
+#: every fault kind the runtime knows how to inject
+FAULT_KINDS = (
+    "exception",
+    "hang",
+    "worker-kill",
+    "cache-write-error",
+    "cache-corrupt",
+    "llm-transient",
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault: kind × site × trigger condition.
+
+    All present conditions must hold for the spec to fire:
+
+    ``match``
+        fnmatch pattern over the checkpoint *key* (a job name, node name,
+        cache key, or model name — whatever the site reports).
+    ``probability``
+        per-occurrence Bernoulli draw from the plan's seeded hash stream.
+    ``times``
+        explicit occurrence indices (0-based, counted per epoch × site ×
+        key).  ``times=[0]`` fires on the first occurrence of *every*
+        attempt — a persistent fault; combine with ``attempts=[0]`` for a
+        one-shot transient.
+    ``attempts``
+        job-attempt indices.  ``attempts=[0]`` fires only on a job's first
+        attempt — the cross-process-safe way to say "transient": the retry
+        (attempt 1) no longer matches, no matter which worker runs it.
+    ``seconds``
+        hang duration (``kind="hang"`` only).
+    ``retryable``
+        whether an injected ``exception`` is a
+        :class:`~repro.faults.errors.TransientFaultError` (retryable) or a
+        plain :class:`~repro.faults.errors.InjectedFaultError`.
+    """
+
+    kind: str
+    site: str
+    match: str = "*"
+    probability: Optional[float] = None
+    times: Optional[Tuple[int, ...]] = None
+    attempts: Optional[Tuple[int, ...]] = None
+    seconds: float = 30.0
+    retryable: bool = True
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r} (expected one of {', '.join(FAULT_KINDS)})"
+            )
+        if not self.site:
+            raise FaultPlanError("a fault spec needs a non-empty site")
+        if self.probability is None and self.times is None and self.attempts is None:
+            raise FaultPlanError(
+                f"fault spec at {self.site!r} never fires: "
+                "give it a probability, times, or attempts condition"
+            )
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise FaultPlanError(f"probability must be in [0, 1], got {self.probability}")
+        if self.seconds <= 0:
+            raise FaultPlanError(f"hang seconds must be positive, got {self.seconds}")
+        # normalize list inputs (JSON arrays) to hashable tuples
+        if self.times is not None:
+            object.__setattr__(self, "times", tuple(int(t) for t in self.times))
+        if self.attempts is not None:
+            object.__setattr__(self, "attempts", tuple(int(a) for a in self.attempts))
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"kind": self.kind, "site": self.site}
+        if self.match != "*":
+            payload["match"] = self.match
+        if self.probability is not None:
+            payload["probability"] = self.probability
+        if self.times is not None:
+            payload["times"] = list(self.times)
+        if self.attempts is not None:
+            payload["attempts"] = list(self.attempts)
+        if self.kind == "hang":
+            payload["seconds"] = self.seconds
+        if self.kind == "exception" and not self.retryable:
+            payload["retryable"] = False
+        if self.message:
+            payload["message"] = self.message
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultSpec":
+        known = {
+            "kind", "site", "match", "probability", "times",
+            "attempts", "seconds", "retryable", "message",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise FaultPlanError(f"unknown fault spec field(s): {sorted(unknown)}")
+        if "kind" not in payload or "site" not in payload:
+            raise FaultPlanError("a fault spec needs at least 'kind' and 'site'")
+        return cls(**payload)
+
+
+@dataclass
+class FaultPlan:
+    """A seed plus an ordered list of fault specs (first matching spec wins)."""
+
+    seed: int = 0
+    faults: Sequence[FaultSpec] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        self.faults = tuple(
+            spec if isinstance(spec, FaultSpec) else FaultSpec.from_dict(spec)
+            for spec in self.faults
+        )
+
+    # ------------------------------------------------------------------ #
+    def unit(self, spec_index: int, site: str, key: str, epoch: str, occurrence: int) -> float:
+        """A deterministic uniform draw in [0, 1) for one firing decision."""
+        material = f"{self.seed}|{spec_index}|{site}|{key}|{epoch}|{occurrence}"
+        digest = hashlib.sha256(material.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed, "faults": [spec.to_dict() for spec in self.faults]}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultPlan":
+        if not isinstance(payload, dict):
+            raise FaultPlanError(f"a fault plan must be a JSON object, got {type(payload).__name__}")
+        unknown = set(payload) - {"seed", "faults"}
+        if unknown:
+            raise FaultPlanError(f"unknown fault plan field(s): {sorted(unknown)}")
+        faults = payload.get("faults", ())
+        if not isinstance(faults, (list, tuple)):
+            raise FaultPlanError("'faults' must be an array of fault specs")
+        return cls(seed=int(payload.get("seed", 0)), faults=tuple(faults))
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FaultPlan":
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise FaultPlanError(f"cannot load fault plan from {path}: {exc}") from exc
+        return cls.from_dict(payload)
+
+    def describe(self) -> str:
+        lines: List[str] = [f"fault plan (seed {self.seed}, {len(self.faults)} fault(s)):"]
+        for spec in self.faults:
+            condition = []
+            if spec.probability is not None:
+                condition.append(f"p={spec.probability:g}")
+            if spec.times is not None:
+                condition.append(f"times={list(spec.times)}")
+            if spec.attempts is not None:
+                condition.append(f"attempts={list(spec.attempts)}")
+            target = spec.site if spec.match == "*" else f"{spec.site}:{spec.match}"
+            lines.append(f"  {spec.kind:<18s} at {target:<28s} {' '.join(condition)}")
+        return "\n".join(lines)

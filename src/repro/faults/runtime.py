@@ -1,0 +1,222 @@
+"""The fault-injection runtime: site hooks compiled into the hot paths.
+
+Mirrors the ``repro.obs`` installation pattern exactly: a module-level
+:data:`FAULT_STATE` slot holds either ``None`` (the common case) or an active
+:class:`FaultRuntime`.  Instrumented call sites capture the slot once and skip
+everything on ``None`` — the disabled cost is one attribute load and an ``is``
+comparison, which is what the ``benchmarks/test_faults_overhead.py`` budget
+pins.
+
+An enabled runtime answers one question per checkpoint — *does a fault fire
+here, now?* — by combining three deterministic ingredients:
+
+* the **epoch**: the enclosing batch job name and attempt number, published
+  by :func:`job_scope` through a context variable (so nested engine/cache/LLM
+  checkpoints inherit it without plumbing);
+* the **occurrence** number: how many times this (epoch, site, key) triple
+  has been hit, tracked per-runtime under a lock;
+* the plan's seeded hash draw (:meth:`FaultPlan.unit`).
+
+Because all three are reproducible in any process that holds the same plan,
+the batch parent can re-evaluate a dead worker's kill decision with
+:meth:`FaultRuntime.predict_kill` and blame exactly the right job after a
+``BrokenProcessPool`` — no guessing from timing.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import errno
+import logging
+import os
+import signal
+import threading
+import time
+from collections import defaultdict
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.faults.errors import InjectedFaultError, TransientFaultError
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.obs.metrics import METRICS
+
+__all__ = [
+    "FAULT_STATE",
+    "FaultRuntime",
+    "checkpoint",
+    "disable_faults",
+    "enable_faults",
+    "faults_enabled",
+    "job_scope",
+]
+
+_log = logging.getLogger("repro.faults")
+
+#: sentinel returned by a fired ``cache-corrupt`` fault — the cache layer
+#: interprets it as "write a scribbled payload instead of the real one"
+CORRUPT_WRITE = "cache-corrupt"
+
+_JOB_SCOPE: "contextvars.ContextVar[Optional[Tuple[str, int]]]" = contextvars.ContextVar(
+    "repro_faults_job_scope", default=None
+)
+
+
+@contextlib.contextmanager
+def job_scope(name: str, attempt: int = 0) -> Iterator[None]:
+    """Publish the enclosing batch job (name, attempt) to nested checkpoints.
+
+    The batch runner wraps every job body in this scope; engine, cache, and
+    LLM checkpoints that execute inside it draw their fault decisions from
+    the job's epoch, so a retried job re-rolls every nested fault too.
+    """
+    token = _JOB_SCOPE.set((name, attempt))
+    try:
+        yield
+    finally:
+        _JOB_SCOPE.reset(token)
+
+
+class FaultRuntime:
+    """An installed fault plan plus the mutable occurrence bookkeeping."""
+
+    def __init__(self, plan: FaultPlan, *, in_worker: bool = False) -> None:
+        self.plan = plan
+        self.in_worker = in_worker
+        self.invocations = 0  # every checkpoint call, fired or not
+        self.fired: Dict[Tuple[str, str], int] = defaultdict(int)
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, str, str], int] = defaultdict(int)
+        self._by_site: Dict[str, Tuple[Tuple[int, FaultSpec], ...]] = {}
+        by_site: Dict[str, list] = defaultdict(list)
+        for index, spec in enumerate(plan.faults):
+            by_site[spec.site].append((index, spec))
+        self._by_site = {site: tuple(specs) for site, specs in by_site.items()}
+
+    # ------------------------------------------------------------------ #
+    def _decide(
+        self, site: str, key: str, epoch: str, attempt: int, occurrence: int
+    ) -> Optional[FaultSpec]:
+        """The pure firing decision: first spec whose conditions all hold."""
+        from fnmatch import fnmatchcase
+
+        for index, spec in self._by_site.get(site, ()):
+            if spec.match != "*" and not fnmatchcase(key, spec.match):
+                continue
+            if spec.attempts is not None and attempt not in spec.attempts:
+                continue
+            if spec.times is not None and occurrence not in spec.times:
+                continue
+            if spec.probability is not None:
+                if self.plan.unit(index, site, key, epoch, occurrence) >= spec.probability:
+                    continue
+            return spec
+        return None
+
+    def predict_kill(self, site: str, key: str, attempt: int) -> bool:
+        """Re-evaluate, parent-side, whether a worker killed itself at ``site``.
+
+        The worker-kill checkpoint runs exactly once per job attempt, so its
+        occurrence number is always 0 and the decision is fully determined by
+        (site, key, attempt) — the parent can replay it without having seen
+        the worker die.
+        """
+        spec = self._decide(site, key, f"{key}#{attempt}", attempt, occurrence=0)
+        return spec is not None and spec.kind == "worker-kill"
+
+    # ------------------------------------------------------------------ #
+    def checkpoint(self, site: str, key: str = "") -> Any:
+        """Hit one instrumented site; inject the first matching fault, if any."""
+        self.invocations += 1
+        if site not in self._by_site:
+            return None
+        scope = _JOB_SCOPE.get()
+        if scope is not None:
+            epoch = f"{scope[0]}#{scope[1]}"
+            attempt = scope[1]
+        else:
+            epoch, attempt = f"{key}#0", 0
+        with self._lock:
+            occurrence = self._counters[(epoch, site, key)]
+            self._counters[(epoch, site, key)] = occurrence + 1
+        spec = self._decide(site, key, epoch, attempt, occurrence)
+        if spec is None:
+            return None
+        with self._lock:
+            self.fired[(spec.kind, site)] += 1
+        METRICS.incr("fault_injected_total", kind=spec.kind, site=site)
+        return self._fire(spec, site, key)
+
+    def _fire(self, spec: FaultSpec, site: str, key: str) -> Any:
+        detail = spec.message or f"injected {spec.kind} at {site}" + (f" ({key})" if key else "")
+        if spec.kind == "exception":
+            if spec.retryable:
+                raise TransientFaultError(detail)
+            raise InjectedFaultError(detail)
+        if spec.kind == "hang":
+            _log.warning("fault: hanging %.3gs at %s (%s)", spec.seconds, site, key)
+            time.sleep(spec.seconds)
+            return None
+        if spec.kind == "worker-kill":
+            if not self.in_worker:
+                # never SIGKILL the orchestrating process (it could be pytest)
+                _log.warning("fault: worker-kill at %s (%s) ignored outside a worker", site, key)
+                return None
+            _log.warning("fault: SIGKILL self at %s (%s)", site, key)
+            os.kill(os.getpid(), signal.SIGKILL)
+            return None  # pragma: no cover - unreachable
+        if spec.kind == "cache-write-error":
+            raise OSError(errno.ENOSPC, detail)
+        if spec.kind == "cache-corrupt":
+            _log.warning("fault: corrupting cache write at %s (%s)", site, key)
+            return CORRUPT_WRITE
+        if spec.kind == "llm-transient":
+            from repro.llm.errors import TransientAPIError
+
+            raise TransientAPIError(detail)
+        raise AssertionError(f"unhandled fault kind {spec.kind!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------ #
+    def fired_total(self, kind: Optional[str] = None) -> int:
+        with self._lock:
+            return sum(
+                count for (fired_kind, _), count in self.fired.items()
+                if kind is None or fired_kind == kind
+            )
+
+
+class _FaultState:
+    """One-slot holder so call sites pay a single attribute load when off."""
+
+    __slots__ = ("runtime",)
+
+    def __init__(self) -> None:
+        self.runtime: Optional[FaultRuntime] = None
+
+
+FAULT_STATE = _FaultState()
+
+
+def enable_faults(plan: FaultPlan, *, in_worker: bool = False) -> FaultRuntime:
+    """Install ``plan`` process-wide and return the live runtime."""
+    runtime = FaultRuntime(plan, in_worker=in_worker)
+    FAULT_STATE.runtime = runtime
+    return runtime
+
+
+def disable_faults() -> Optional[FaultRuntime]:
+    """Uninstall the active plan; returns the runtime for inspection."""
+    runtime = FAULT_STATE.runtime
+    FAULT_STATE.runtime = None
+    return runtime
+
+
+def faults_enabled() -> bool:
+    return FAULT_STATE.runtime is not None
+
+
+def checkpoint(site: str, key: str = "") -> Any:
+    """Module-level hook for sites that don't pre-capture the runtime."""
+    runtime = FAULT_STATE.runtime
+    if runtime is None:
+        return None
+    return runtime.checkpoint(site, key)

@@ -98,8 +98,22 @@ class CompletionCache:
 
     @property
     def stats(self) -> CacheStats:
-        """Hit/miss/eviction/corruption counters of the underlying store."""
+        """Hit/miss/eviction/corruption/write-failure counters of the store."""
         return self.disk.stats
+
+    @property
+    def write_failures(self) -> int:
+        """How many completion writes were dropped by storage failures.
+
+        A failed write degrades to cache-off (the completion is still
+        returned to the caller); it never crashes a dispatch.
+        """
+        return self.disk.stats.write_failures
+
+    @property
+    def writes_disabled(self) -> bool:
+        """True once consecutive write failures shut the write path off."""
+        return self.disk.writes_disabled
 
     # ------------------------------------------------------------------ #
     def get(

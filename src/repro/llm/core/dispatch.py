@@ -41,6 +41,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from repro.llm.base import ChatMessage, CompletionResponse, LLMClient
 from repro.llm.core.budget import BudgetExceededError, BudgetLedger, Spend
 from repro.llm.core.cache import CompletionCache
+from repro.faults.runtime import FAULT_STATE
 from repro.llm.errors import RetryableLLMError
 from repro.obs.metrics import METRICS
 from repro.obs.trace import TRACE_STATE
@@ -194,6 +195,11 @@ class ManagedLLM(LLMClient):
         last: Optional[RetryableLLMError] = None
         for attempt in range(1, policy.max_attempts + 1):
             try:
+                runtime = FAULT_STATE.runtime
+                if runtime is not None:
+                    # the llm-transient fault raises TransientAPIError here,
+                    # travelling the exact path a flaky provider would
+                    runtime.checkpoint("llm.dispatch", self.model_name)
                 return self.inner.complete(
                     messages, temperature=temperature, seed=seed, max_tokens=max_tokens
                 )

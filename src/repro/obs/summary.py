@@ -66,6 +66,31 @@ def _cache_hit_rates(snapshot: MetricsSnapshot) -> Dict[str, Dict[str, float]]:
     return dict(tiers)
 
 
+def _fault_counts(snapshot: MetricsSnapshot) -> Dict[str, Any]:
+    """Injected-fault counts by kind and recovery counts by action.
+
+    Both are zero-valued empty dicts on a fault-free run, so the section
+    doubles as the chaos job's "did anything actually fire?" check.
+    """
+    injected: Dict[str, float] = defaultdict(float)
+    recoveries: Dict[str, float] = defaultdict(float)
+    write_failures = 0.0
+    for key, value in snapshot.counters.items():
+        name, labels = parse_key(key)
+        label_map = dict(labels)
+        if name == "fault_injected_total":
+            injected[label_map.get("kind", "?")] += value
+        elif name == "recovery_total":
+            recoveries[label_map.get("action", "?")] += value
+        elif name == "cache_write_failures_total":
+            write_failures += value
+    return {
+        "injected": dict(injected),
+        "recoveries": dict(recoveries),
+        "cache_write_failures": write_failures,
+    }
+
+
 def summarize(trace: TraceFile, limit: int = 10) -> Dict[str, Any]:
     """Structured digest of a trace: phases, caches, LLM counts, slow spans."""
     snapshot = MetricsSnapshot.from_dict(trace.metrics) if trace.metrics else MetricsSnapshot()
@@ -84,6 +109,7 @@ def summarize(trace: TraceFile, limit: int = 10) -> Dict[str, Any]:
             "retries": snapshot.counter_total("llm_retries_total"),
             "budget_denials": snapshot.counter_total("llm_budget_denials_total"),
         },
+        "faults": _fault_counts(snapshot),
         "slowest": [
             {
                 "name": s.name,
@@ -142,6 +168,20 @@ def format_summary(digest: Dict[str, Any]) -> str:
         f"calls={int(llm['calls'])} cached={int(llm['cached'])} errors={int(llm['errors'])} "
         f"retries={int(llm['retries'])} budget_denials={int(llm['budget_denials'])}"
     )
+
+    faults = digest.get("faults") or {}
+    if faults.get("injected") or faults.get("recoveries") or faults.get("cache_write_failures"):
+        injected = " ".join(
+            f"{kind}={int(count)}" for kind, count in sorted(faults["injected"].items())
+        )
+        recovered = " ".join(
+            f"{action}={int(count)}" for action, count in sorted(faults["recoveries"].items())
+        )
+        lines.append("")
+        lines.append(f"faults injected: {injected or '(none)'}")
+        lines.append(f"recovery actions: {recovered or '(none)'}")
+        if faults.get("cache_write_failures"):
+            lines.append(f"cache write failures: {int(faults['cache_write_failures'])}")
 
     lines.append("")
     lines.append(f"{len(digest['slowest'])} slowest spans:")

@@ -273,10 +273,15 @@ def build_report(records: Iterable[Dict[str, Any]]) -> SuiteReport:
 
 
 def load_report(store: Union[str, Path, SuiteStore]) -> SuiteReport:
-    """Build a report straight from a results store path."""
+    """Build a report straight from a results store path.
+
+    Structured ``{"failed": true}`` records (cells killed by faults,
+    timeouts, or poison workers) carry no measurements — they are skipped
+    here and resumed as pending by the next run.
+    """
     if not isinstance(store, SuiteStore):
         store = SuiteStore(store)
-    return build_report(store.load().values())
+    return build_report(r for r in store.load().values() if not r.get("failed"))
 
 
 # --------------------------------------------------------------------------- #
@@ -425,7 +430,11 @@ def build_verify_report(records: Iterable[Dict[str, Any]]) -> VerifyReport:
 
 
 def load_verify_report(store: Union[str, Path, SuiteStore]) -> VerifyReport:
-    """Build a verification report straight from a verdict store path."""
+    """Build a verification report straight from a verdict store path.
+
+    ``{"failed": true}`` infrastructure-failure records carry no verdicts
+    and are skipped (they resume as pending cells on the next run).
+    """
     if not isinstance(store, SuiteStore):
         store = SuiteStore(store)
-    return build_verify_report(store.load().values())
+    return build_verify_report(r for r in store.load().values() if not r.get("failed"))

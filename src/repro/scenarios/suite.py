@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.engine.batch import BatchJob, BatchResult, raise_failures, run_batch
+from repro.engine.batch import BatchJob, BatchResult, CancelledJob, raise_failures, run_batch
 from repro.llm.core.budget import BudgetExceededError, BudgetLedger, RunBudget
 from repro.llm.core.review import REVIEW_METHOD
 from repro.obs.trace import span as obs_span
@@ -364,7 +364,12 @@ class SuiteRunner:
     the batch substrate, ``cache_dir`` the shared disk-cache root for
     process workers.  ``store`` (a path or :class:`SuiteStore`) enables the
     resumable JSONL results store; without it every call executes the full
-    matrix (the Table II path).
+    matrix (the Table II path).  ``job_timeout``/``job_retries`` bound each
+    cell attempt and grant retryable failures bounded re-attempts (see
+    :func:`~repro.engine.batch.run_batch`); a cell that still fails is
+    appended to the store as a structured ``{"failed": true}`` record — the
+    run completes, the failure is reported in the summary, and the cell
+    resumes as pending on the next run.
     """
 
     def __init__(
@@ -385,6 +390,8 @@ class SuiteRunner:
         llm_cache_dir: Optional[Union[str, Path]] = None,
         review_model: str = "gpt-4",
         review_rounds: int = 2,
+        job_timeout: Optional[float] = None,
+        job_retries: int = 0,
     ) -> None:
         self.scenarios = list(scenarios)
         # job names (and the store's per-cell identity mapping) key on the
@@ -414,6 +421,8 @@ class SuiteRunner:
         self.llm_cache_dir = Path(llm_cache_dir) if llm_cache_dir is not None else None
         self.review_model = review_model
         self.review_rounds = review_rounds
+        self.job_timeout = job_timeout
+        self.job_retries = job_retries
 
     # ------------------------------------------------------------------ #
     def _cell_settings(self, method: str) -> Tuple[Tuple[str, Any], ...]:
@@ -471,7 +480,10 @@ class SuiteRunner:
         :class:`~repro.llm.core.budget.BudgetExceededError` — cells already
         finished stay in the store, so a raised budget resumes the run.
         """
-        existing = self.store.load() if (self.store is not None and resume) else {}
+        loaded = self.store.load() if (self.store is not None and resume) else {}
+        # structured failure records mark cells that died last run (a fault,
+        # a timeout, a poison worker): they resume as *pending*, never as done
+        existing = {key: record for key, record in loaded.items() if not record.get("failed")}
         cells = self.cells()
         pending = self.pending(existing, cells)
         key_of_job = {f"{method}/{scenario.name}": key for scenario, method, key in pending}
@@ -484,6 +496,22 @@ class SuiteRunner:
 
         def _persist(outcome: BatchResult) -> None:
             if outcome.error is not None:
+                # cancelled cells were never attempted, and a tripped budget
+                # re-raises below — neither is a cell-level failure worth a
+                # store record; everything else is recorded so the run's
+                # damage is inspectable (and resumable) after completion
+                if isinstance(outcome.error, (CancelledJob, BudgetExceededError)):
+                    return
+                record = {
+                    "key": key_of_job[outcome.name],
+                    "job": outcome.name,
+                    "failed": True,
+                    "error_type": type(outcome.error).__name__,
+                    "error": str(outcome.error)[:500],
+                    "finished_at": time.time(),
+                }
+                if self.store is not None:
+                    self.store.append(record)
                 return
             record = dict(outcome.value)
             record["key"] = key_of_job[outcome.name]
@@ -522,6 +550,8 @@ class SuiteRunner:
                 executor=self.executor,
                 cache_dir=self.cache_dir,
                 on_result=_persist,
+                job_timeout=self.job_timeout,
+                job_retries=self.job_retries,
             )
 
         # a tripped budget outranks generic failure reporting: surface it typed

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.engine.batch import BatchJob, BatchResult, raise_failures, run_batch
+from repro.engine.batch import BatchJob, BatchResult, CancelledJob, raise_failures, run_batch
 from repro.obs.trace import span as obs_span
 from repro.scenarios.spec import Scenario
 from repro.scenarios.suite import SuiteStore
@@ -193,6 +193,8 @@ class VerifyRunner:
         executor: str = "thread",
         cache_dir: Optional[Union[str, Path]] = None,
         stop_on_error: bool = False,
+        job_timeout: Optional[float] = None,
+        job_retries: int = 0,
     ) -> None:
         self.scenarios = list(scenarios)
         names = [s.name for s in self.scenarios]
@@ -215,6 +217,8 @@ class VerifyRunner:
         self.executor = executor
         self.cache_dir = cache_dir
         self.stop_on_error = stop_on_error
+        self.job_timeout = job_timeout
+        self.job_retries = job_retries
 
     # ------------------------------------------------------------------ #
     def _relations_of(self, scenario: Scenario) -> List[str]:
@@ -258,7 +262,10 @@ class VerifyRunner:
     # ------------------------------------------------------------------ #
     def run(self, resume: bool = True) -> VerifyRunSummary:
         """Execute the matrix; with a store, only the cells not yet in it."""
-        existing = self.store.load() if (self.store is not None and resume) else {}
+        loaded = self.store.load() if (self.store is not None and resume) else {}
+        # cells that died last run (fault, timeout, poison worker) left
+        # structured failure records: they resume as pending, never as done
+        existing = {key: record for key, record in loaded.items() if not record.get("failed")}
         cells = self.cells()
         pending = [cell for cell in cells if cell[2] not in existing]
         key_of_job = {f"{relation}/{scenario.name}": key for scenario, relation, key in pending}
@@ -267,6 +274,20 @@ class VerifyRunner:
 
         def _persist(outcome: BatchResult) -> None:
             if outcome.error is not None:
+                # infrastructure-level failure (not a verdict): record it so
+                # the run's damage is inspectable and the cell resumes pending
+                if isinstance(outcome.error, CancelledJob):
+                    return
+                record = {
+                    "key": key_of_job[outcome.name],
+                    "job": outcome.name,
+                    "failed": True,
+                    "error_type": type(outcome.error).__name__,
+                    "error": str(outcome.error)[:500],
+                    "finished_at": time.time(),
+                }
+                if self.store is not None:
+                    self.store.append(record)
                 return
             record = dict(outcome.value)
             record["key"] = key_of_job[outcome.name]
@@ -299,6 +320,8 @@ class VerifyRunner:
                 executor=self.executor,
                 cache_dir=self.cache_dir,
                 on_result=_persist,
+                job_timeout=self.job_timeout,
+                job_retries=self.job_retries,
             )
         if self.stop_on_error:
             raise_failures(outcomes)

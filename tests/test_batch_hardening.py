@@ -1,0 +1,385 @@
+"""Crash-safety tests for the hardened batch runners (``repro.engine.batch``).
+
+Exercises the fault-tolerance contract end to end with injected faults:
+per-attempt timeouts on all three execution paths (serial SIGALRM, thread
+parent-side deadlines, process worker-side alarms), bounded retry with
+backoff, ``BrokenProcessPool`` recovery with exact blame and quarantine,
+worker-error sanitization, interrupted-run cache cleanup, write-failure
+degradation of the disk cache, and LLM-transient faults riding the
+existing dispatch retry policy.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine import (
+    BatchJob,
+    JobTimeoutError,
+    PoisonJobError,
+    ProcessBatchRunner,
+    run_batch,
+)
+from repro.engine.batch import WorkerJobError
+from repro.engine.cache import DiskCache
+from repro.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+    TransientFaultError,
+    disable_faults,
+    enable_faults,
+)
+from repro.llm.base import ChatMessage, CompletionResponse, Usage
+from repro.llm.core import ManagedLLM
+from repro.obs import METRICS
+
+
+@pytest.fixture(autouse=True)
+def _hermetic():
+    disable_faults()
+    METRICS.reset()
+    yield
+    disable_faults()
+    METRICS.reset()
+
+
+def _recovery_count(action: str) -> float:
+    return METRICS.snapshot().counter_total("recovery_total", action=action)
+
+
+# --------------------------------------------------------------------------- #
+# module-level job bodies (the spawn-based process pool must pickle them)
+# --------------------------------------------------------------------------- #
+def _square(value: int) -> int:
+    return value * value
+
+
+def _napping(seconds: float) -> str:
+    time.sleep(seconds)
+    return "woke"
+
+
+def _kill_first_run(marker: str) -> str:
+    """Self-SIGKILL on the first run, succeed on the second (a real crash)."""
+    path = Path(marker)
+    if not path.exists():
+        path.write_text("struck")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return "recovered"
+
+
+class _SneakyError(RuntimeError):
+    def __init__(self) -> None:
+        super().__init__("hidden detail")
+        self.payload = lambda: None  # lambdas don't pickle
+
+
+def _raise_sneaky() -> None:
+    raise _SneakyError()
+
+
+# --------------------------------------------------------------------------- #
+# timeouts
+# --------------------------------------------------------------------------- #
+class TestTimeouts:
+    def test_serial_timeout_interrupts_a_hang(self):
+        results = run_batch([BatchJob("slow", _napping, (5.0,))], job_timeout=0.2)
+        assert isinstance(results[0].error, JobTimeoutError)
+        assert "slow" in str(results[0].error) and "0.2" in str(results[0].error)
+        assert _recovery_count("timeout") == 1.0
+
+    def test_thread_pool_deadline_frees_the_batch(self):
+        jobs = [BatchJob("hang", _napping, (1.5,))] + [
+            BatchJob(f"quick{i}", _square, (i,)) for i in range(3)
+        ]
+        started = time.perf_counter()
+        results = run_batch(jobs, max_workers=2, job_timeout=0.3)
+        assert time.perf_counter() - started < 1.5  # did not wait out the hang
+        assert isinstance(results[0].error, JobTimeoutError)
+        assert [r.value for r in results[1:]] == [0, 1, 4]
+
+    def test_process_worker_alarm_kills_a_hang(self):
+        results = ProcessBatchRunner(max_workers=2, job_timeout=0.3).run(
+            [BatchJob("hang", _napping, (5.0,)), BatchJob("quick", _square, (3,))]
+        )
+        assert isinstance(results[0].error, JobTimeoutError)
+        assert results[1].ok and results[1].value == 9
+
+    def test_injected_hang_times_out_then_retries_clean(self):
+        # the hang fires only on attempt 0; the retry re-rolls and runs clean
+        enable_faults(
+            FaultPlan(
+                faults=[
+                    FaultSpec(kind="hang", site="batch.job", seconds=5.0, attempts=[0], times=[0])
+                ]
+            )
+        )
+        results = run_batch(
+            [BatchJob("cell", _square, (4,))], job_timeout=0.2, job_retries=1
+        )
+        assert results[0].ok and results[0].value == 16
+        assert _recovery_count("timeout") == 1.0
+        assert _recovery_count("retry") == 1.0
+
+
+# --------------------------------------------------------------------------- #
+# retries
+# --------------------------------------------------------------------------- #
+class TestRetries:
+    def test_transient_fault_retries_to_success(self):
+        enable_faults(
+            FaultPlan(faults=[FaultSpec(kind="exception", site="batch.job", attempts=[0], times=[0])])
+        )
+        results = run_batch([BatchJob("cell", _square, (5,))], job_retries=1)
+        assert results[0].ok and results[0].value == 25
+        assert _recovery_count("retry") == 1.0
+
+    def test_exhausted_retries_surface_the_error(self):
+        enable_faults(
+            FaultPlan(faults=[FaultSpec(kind="exception", site="batch.job", probability=1.0)])
+        )
+        results = run_batch([BatchJob("cell", _square, (5,))], job_retries=1)
+        assert isinstance(results[0].error, TransientFaultError)
+        assert _recovery_count("retry") == 1.0  # one retry granted, then surfaced
+
+    def test_persistent_faults_never_retry(self):
+        enable_faults(
+            FaultPlan(
+                faults=[
+                    FaultSpec(
+                        kind="exception", site="batch.job", times=[0], retryable=False
+                    )
+                ]
+            )
+        )
+        results = run_batch([BatchJob("cell", _square, (5,))], job_retries=3)
+        assert isinstance(results[0].error, InjectedFaultError)
+        assert not isinstance(results[0].error, TransientFaultError)
+        assert _recovery_count("retry") == 0.0
+
+    def test_thread_pool_retry_with_innocents(self):
+        enable_faults(
+            FaultPlan(
+                faults=[
+                    FaultSpec(
+                        kind="exception",
+                        site="batch.job",
+                        match="flaky",
+                        attempts=[0],
+                        times=[0],
+                    )
+                ]
+            )
+        )
+        jobs = [BatchJob("flaky", _square, (2,))] + [
+            BatchJob(f"steady{i}", _square, (i,)) for i in range(3)
+        ]
+        results = run_batch(jobs, max_workers=2, job_retries=2)
+        assert [r.value for r in results] == [4, 0, 1, 4]
+
+
+# --------------------------------------------------------------------------- #
+# BrokenProcessPool recovery
+# --------------------------------------------------------------------------- #
+class TestPoolRecovery:
+    def test_injected_worker_kill_recovers_with_exact_blame(self):
+        enable_faults(
+            FaultPlan(
+                seed=5,
+                faults=[
+                    FaultSpec(
+                        kind="worker-kill", site="batch.worker", match="victim", attempts=[0]
+                    )
+                ],
+            )
+        )
+        jobs = [BatchJob("victim", _square, (7,))] + [
+            BatchJob(f"bystander{i}", _square, (i,)) for i in range(3)
+        ]
+        results = ProcessBatchRunner(max_workers=2).run(jobs)
+        assert [r.value for r in results] == [49, 0, 1, 4]
+        assert all(r.ok for r in results)
+        assert _recovery_count("pool-restart") >= 1.0
+        assert _recovery_count("quarantine") == 0.0
+
+    def test_persistent_killer_is_quarantined(self):
+        enable_faults(
+            FaultPlan(
+                faults=[
+                    FaultSpec(
+                        kind="worker-kill", site="batch.worker", match="poison", probability=1.0
+                    )
+                ]
+            )
+        )
+        jobs = [BatchJob("poison", _square, (1,))] + [
+            BatchJob(f"bystander{i}", _square, (i,)) for i in range(2)
+        ]
+        results = ProcessBatchRunner(max_workers=2, poison_strikes=2).run(jobs)
+        assert isinstance(results[0].error, PoisonJobError)
+        assert "poison" in str(results[0].error) and "quarantined" in str(results[0].error)
+        assert [r.value for r in results[1:]] == [0, 1]
+        assert _recovery_count("quarantine") == 1.0
+        assert _recovery_count("pool-restart") >= 2.0
+
+    def test_real_crash_without_a_plan_recovers_heuristically(self, tmp_path):
+        jobs = [
+            BatchJob("crasher", _kill_first_run, (str(tmp_path / "marker"),)),
+            BatchJob("bystander", _square, (6,)),
+        ]
+        results = ProcessBatchRunner(max_workers=2).run(jobs)
+        assert results[0].ok and results[0].value == "recovered"
+        assert results[1].ok and results[1].value == 36
+        assert _recovery_count("pool-restart") >= 1.0
+
+
+# --------------------------------------------------------------------------- #
+# worker error sanitization (the message contract)
+# --------------------------------------------------------------------------- #
+class TestWorkerJobError:
+    def test_message_always_embeds_type_name_and_job_id(self):
+        results = ProcessBatchRunner(max_workers=2).run(
+            [BatchJob("gpt-4/contour", _raise_sneaky), BatchJob("fine", _square, (2,))]
+        )
+        error = results[0].error
+        assert isinstance(error, WorkerJobError)
+        assert error.job_name == "gpt-4/contour"
+        assert error.error_type == "_SneakyError"
+        rendered = str(error)
+        assert "'gpt-4/contour'" in rendered and "_SneakyError" in rendered
+        assert "hidden detail" in rendered
+
+    def test_hardening_errors_round_trip_through_pickle(self):
+        for error in (
+            WorkerJobError("job", "ValueError", "bad input", "Traceback ..."),
+            JobTimeoutError("job", 1.5),
+            PoisonJobError("job", 3),
+        ):
+            clone = pickle.loads(pickle.dumps(error))
+            assert type(clone) is type(error)
+            assert str(clone) == str(error)
+
+
+# --------------------------------------------------------------------------- #
+# interrupted-run cleanup (KeyboardInterrupt during pool teardown)
+# --------------------------------------------------------------------------- #
+class TestInterruptCleanup:
+    def test_interrupt_sweeps_stale_tmp_and_leaves_lock_acquirable(self, tmp_path, monkeypatch):
+        root = tmp_path / "cache"
+        cache = DiskCache(root)
+        key = "ab" + "0" * 38
+        cache.put(key, {"kept": True})
+        # a worker hard-killed mid-write leaves its staging file behind
+        shard = root / "cd"
+        shard.mkdir()
+        (shard / ".deadbeef.bin.tmp").write_bytes(b"partial")
+
+        from repro.engine import batch as batch_mod
+
+        def _boom(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(batch_mod, "_drain_process_pool", _boom)
+        runner = ProcessBatchRunner(max_workers=2, cache_dir=root)
+        with pytest.raises(KeyboardInterrupt):
+            runner.run([BatchJob(f"j{i}", _square, (i,)) for i in range(3)])
+
+        assert list(root.rglob("*.tmp")) == []
+        # the flock is free and the store still serves reads and writes
+        fresh = DiskCache(root)
+        assert fresh.get(key) == (True, {"kept": True})
+        fresh.put("ef" + "0" * 38, {"new": True})
+        assert fresh.get("ef" + "0" * 38) == (True, {"new": True})
+
+    def test_sweep_counts_only_staging_files(self, tmp_path):
+        cache = DiskCache(tmp_path / "cache")
+        cache.put("ab" + "1" * 38, "value")
+        shard = cache.root / "ab"
+        (shard / ".stale.bin.tmp").write_bytes(b"x")
+        assert cache.sweep_stale_tmp() == 1
+        assert cache.get("ab" + "1" * 38) == (True, "value")
+
+
+# --------------------------------------------------------------------------- #
+# disk-cache write hardening
+# --------------------------------------------------------------------------- #
+class TestCacheWriteHardening:
+    def test_write_failures_degrade_to_cache_off(self, tmp_path):
+        cache = DiskCache(tmp_path / "cache")
+        cache.put("aa" + "0" * 38, "early")  # lands before the storage "fails"
+        enable_faults(
+            FaultPlan(
+                faults=[FaultSpec(kind="cache-write-error", site="cache.disk.write", probability=1.0)]
+            )
+        )
+        for i in range(4):
+            cache.put(f"bb{i}" + "0" * 36, f"doomed{i}")  # never raises
+        assert cache.stats.write_failures == cache.WRITE_FAILURE_LIMIT
+        assert cache.writes_disabled  # the 4th put was skipped outright
+        assert cache.get("aa" + "0" * 38) == (True, "early")  # reads stay on
+        snap = METRICS.snapshot()
+        assert snap.counter_total("cache_write_failures_total", tier="disk") == 3.0
+
+    def test_a_successful_write_resets_the_streak(self, tmp_path):
+        cache = DiskCache(tmp_path / "cache")
+        key = "cc" + "0" * 38
+        enable_faults(
+            FaultPlan(
+                faults=[
+                    FaultSpec(kind="cache-write-error", site="cache.disk.write", times=[0, 1])
+                ]
+            )
+        )
+        cache.put(key, "v1")  # occurrence 0: fails
+        cache.put(key, "v2")  # occurrence 1: fails
+        cache.put(key, "v3")  # occurrence 2: lands, streak resets
+        assert cache.stats.write_failures == 2
+        assert not cache.writes_disabled
+        assert cache.get(key) == (True, "v3")
+
+    def test_corrupt_write_is_discarded_on_read(self, tmp_path):
+        cache = DiskCache(tmp_path / "cache")
+        key = "dd" + "0" * 38
+        enable_faults(
+            FaultPlan(
+                faults=[FaultSpec(kind="cache-corrupt", site="cache.disk.write", times=[0])]
+            )
+        )
+        cache.put(key, {"precious": 1})  # scribbled on the way down
+        found, _ = cache.get(key)
+        assert not found  # a miss, never an exception
+        assert cache.stats.corruptions == 1
+        cache.put(key, {"precious": 2})  # occurrence 1: clean
+        assert cache.get(key) == (True, {"precious": 2})
+
+
+# --------------------------------------------------------------------------- #
+# LLM-transient faults ride the existing dispatch retry policy
+# --------------------------------------------------------------------------- #
+class _FakeClient:
+    def __init__(self) -> None:
+        self.model_name = "fake-model"
+        self.calls = 0
+
+    def complete(self, messages, temperature=0.0, seed=None, max_tokens=None):
+        self.calls += 1
+        return CompletionResponse(text="print('ok')", model=self.model_name, usage=Usage(10, 5))
+
+
+class TestLLMTransientFaults:
+    def test_transient_api_fault_is_absorbed_by_dispatch_retry(self):
+        enable_faults(
+            FaultPlan(faults=[FaultSpec(kind="llm-transient", site="llm.dispatch", times=[0])])
+        )
+        llm = ManagedLLM(_FakeClient(), sleep=lambda s: None)
+        response = llm.complete([ChatMessage(role="user", content="hi")])
+        assert response.text == "print('ok')"
+        assert llm.spend.retries == 1
+        assert llm.inner.calls == 1  # the fault fired before the client was reached

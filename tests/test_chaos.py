@@ -1,0 +1,196 @@
+"""Chaos parity: a faulted suite run must equal the fault-free run, byte for byte.
+
+The acceptance demo for the fault-injection subsystem: the canonical suite
+runs under a seeded plan mixing worker SIGKILLs (10 %), job hangs (5 %,
+longer than the job timeout), and cache-payload corruption (5 %) — and
+finishes with records *byte-identical* (timing fields stripped) to a
+fault-free run.  Seed 19 is chosen so the plan actually bites on this
+suite: at least one worker kill and one hang fire at attempt 0, and no
+cell draws three consecutive kills (which would legitimately quarantine
+it).  The CLI exit-code contract and ``repro suite diff`` ride along.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.engine.cache import CACHE_DIR_ENV_VAR
+from repro.faults import FaultPlan, FaultSpec, FaultRuntime, disable_faults, enable_faults
+from repro.obs import METRICS, disable_tracing
+from repro.pvsim import state
+from repro.scenarios import SuiteRunner, SuiteStore, canonical_scenarios
+from repro.scenarios.suite import strip_timing
+
+#: the canonical chaos plan — committed to in docs/robustness.md and CI
+CHAOS_SEED = 19
+JOB_TIMEOUT = 2.0
+JOB_RETRIES = 3
+
+
+def chaos_plan() -> FaultPlan:
+    return FaultPlan(
+        seed=CHAOS_SEED,
+        faults=[
+            FaultSpec(kind="worker-kill", site="batch.worker", probability=0.10),
+            FaultSpec(kind="hang", site="batch.job", probability=0.05, seconds=5.0),
+            FaultSpec(kind="cache-corrupt", site="cache.disk.write", probability=0.05),
+        ],
+    )
+
+
+@pytest.fixture(autouse=True)
+def _hermetic(monkeypatch):
+    monkeypatch.delenv(CACHE_DIR_ENV_VAR, raising=False)
+    state.reset_session()
+    disable_faults()
+    disable_tracing()
+    METRICS.reset()
+    yield
+    state.reset_session()
+    disable_faults()
+    disable_tracing()
+    METRICS.reset()
+
+
+def _run_canonical(root, plan=None) -> SuiteStore:
+    if plan is not None:
+        enable_faults(plan)
+    try:
+        summary = SuiteRunner(
+            canonical_scenarios(),
+            methods=("gpt-4",),
+            working_dir=root / "work",
+            store=root / "results.jsonl",
+            executor="process",
+            max_workers=2,
+            cache_dir=root / "cache",
+            job_timeout=JOB_TIMEOUT if plan is not None else None,
+            job_retries=JOB_RETRIES if plan is not None else 0,
+        ).run()
+    finally:
+        if plan is not None:
+            disable_faults()
+    assert not summary.failures, summary.failures
+    return SuiteStore(root / "results.jsonl")
+
+
+def _canonical_records(store: SuiteStore):
+    return {
+        key: json.dumps(strip_timing(record), sort_keys=True)
+        for key, record in store.load().items()
+        if not record.get("failed")
+    }
+
+
+class TestChaosParity:
+    def test_seed_actually_bites(self):
+        """Guard the seed choice: the plan must inject real chaos on this
+        suite (≥1 kill, ≥1 hang at attempt 0) without ever drawing the
+        three consecutive kills that would legitimately quarantine a cell."""
+        plan = chaos_plan()
+        runtime = FaultRuntime(plan)
+        names = [f"gpt-4/{s.name}" for s in canonical_scenarios()]
+        kills_at_zero = [n for n in names if runtime.predict_kill("batch.worker", n, 0)]
+        hangs_at_zero = [
+            n for n in names if plan.unit(1, "batch.job", n, f"{n}#0", 0) < 0.05
+        ]
+        assert kills_at_zero, "seed never kills a worker — chaos run proves nothing"
+        assert hangs_at_zero, "seed never hangs a job — chaos run proves nothing"
+        for name in names:
+            streak = 0
+            while runtime.predict_kill("batch.worker", name, streak):
+                streak += 1
+            assert streak < 3, f"{name} would be quarantined (kills {streak} straight attempts)"
+
+    def test_chaos_run_is_byte_identical_to_fault_free_run(self, tmp_path):
+        baseline = _canonical_records(_run_canonical(tmp_path / "base"))
+        assert not METRICS.snapshot().counter_total("fault_injected_total")
+        assert not METRICS.snapshot().counter_total("recovery_total")
+
+        METRICS.reset()
+        state.reset_session()
+        chaos = _canonical_records(_run_canonical(tmp_path / "chaos", plan=chaos_plan()))
+
+        # the run absorbed real faults ...
+        snap = METRICS.snapshot()
+        assert snap.counter_total("recovery_total", action="pool-restart") >= 1.0
+        assert snap.counter_total("recovery_total", action="timeout") >= 1.0
+        # ... and still produced the exact fault-free records
+        assert set(chaos) == set(baseline)
+        assert chaos == baseline
+
+    def test_cli_diff_and_exit_codes(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path / "cache"))
+        plan_path = chaos_plan().save(tmp_path / "plan.json")
+
+        # two fault-free runs into separate stores diff clean (exit 0)
+        for name in ("a", "b"):
+            assert (
+                main(
+                    [
+                        "suite",
+                        "run",
+                        str(tmp_path / name),
+                        "--limit",
+                        "2",
+                        "--no-llm-cache",
+                    ]
+                )
+                == 0
+            )
+        assert (
+            main(
+                [
+                    "suite",
+                    "diff",
+                    str(tmp_path / "a" / "suite-results.jsonl"),
+                    str(tmp_path / "b" / "suite-results.jsonl"),
+                ]
+            )
+            == 0
+        )
+        assert "stores match" in capsys.readouterr().out
+
+        # a run whose cells die under a persistent fault completes with
+        # failure records and exits 3 — the "completed with failures" code
+        doom = FaultPlan(
+            faults=[
+                FaultSpec(kind="exception", site="batch.job", times=[0], retryable=False)
+            ]
+        ).save(tmp_path / "doom.json")
+        code = main(
+            [
+                "suite",
+                "run",
+                str(tmp_path / "doomed"),
+                "--limit",
+                "2",
+                "--no-llm-cache",
+                "--faults",
+                str(doom),
+            ]
+        )
+        assert code == 3
+        assert not disable_faults()  # main() uninstalled the plan on exit
+        doomed_store = SuiteStore(tmp_path / "doomed" / "suite-results.jsonl")
+        records = doomed_store.load()
+        assert records and all(r.get("failed") for r in records.values())
+
+        # the faulted store differs from a healthy one (exit 1): failed
+        # records are skipped, so the cells are simply missing
+        assert (
+            main(
+                [
+                    "suite",
+                    "diff",
+                    str(tmp_path / "a" / "suite-results.jsonl"),
+                    str(tmp_path / "doomed" / "suite-results.jsonl"),
+                ]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "only in" in out and "differing" in out

@@ -1,0 +1,347 @@
+"""Unit tests for the fault-injection subsystem (``repro.faults``).
+
+Pins the plan layer (validation, JSON round-trips), the determinism of the
+seeded firing decision (same plan → same decisions in any process), the
+per-kind injection behavior, and the zero-leak contract: with no plan
+installed — or an installed plan whose specs never match — nothing fires,
+no metrics move, and the site hooks reduce to one attribute load.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import logging
+import time
+
+import pytest
+
+from repro.faults import (
+    CORRUPT_WRITE,
+    FAULT_KINDS,
+    FAULT_STATE,
+    FaultPlan,
+    FaultPlanError,
+    FaultRuntime,
+    FaultSpec,
+    InjectedFaultError,
+    TransientFaultError,
+    checkpoint,
+    disable_faults,
+    enable_faults,
+    faults_enabled,
+    job_scope,
+)
+from repro.llm.errors import TransientAPIError
+from repro.obs import METRICS
+
+
+@pytest.fixture(autouse=True)
+def _no_installed_plan():
+    """Hermetic: no plan before or after, metrics registry empty."""
+    disable_faults()
+    METRICS.reset()
+    yield
+    disable_faults()
+    METRICS.reset()
+
+
+# --------------------------------------------------------------------------- #
+# plan validation & round-trips
+# --------------------------------------------------------------------------- #
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultSpec(kind="gremlin", site="batch.job", probability=1.0)
+
+    def test_empty_site_rejected(self):
+        with pytest.raises(FaultPlanError, match="non-empty site"):
+            FaultSpec(kind="exception", site="", probability=1.0)
+
+    def test_spec_without_any_trigger_rejected(self):
+        with pytest.raises(FaultPlanError, match="never fires"):
+            FaultSpec(kind="exception", site="batch.job")
+
+    @pytest.mark.parametrize("p", [-0.1, 1.5])
+    def test_probability_out_of_range_rejected(self, p):
+        with pytest.raises(FaultPlanError, match="probability"):
+            FaultSpec(kind="exception", site="batch.job", probability=p)
+
+    def test_nonpositive_hang_rejected(self):
+        with pytest.raises(FaultPlanError, match="seconds"):
+            FaultSpec(kind="hang", site="batch.job", probability=1.0, seconds=0.0)
+
+    def test_json_lists_normalize_to_tuples(self):
+        spec = FaultSpec(kind="exception", site="batch.job", times=[0, 2], attempts=[1])
+        assert spec.times == (0, 2)
+        assert spec.attempts == (1,)
+
+    def test_dict_round_trip_is_lossless(self):
+        spec = FaultSpec(
+            kind="hang",
+            site="batch.job",
+            match="gpt-4/*",
+            probability=0.25,
+            seconds=0.5,
+            message="stuck",
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(FaultPlanError, match="unknown fault spec field"):
+            FaultSpec.from_dict({"kind": "exception", "site": "s", "probability": 1.0, "when": "now"})
+
+    def test_from_dict_requires_kind_and_site(self):
+        with pytest.raises(FaultPlanError, match="'kind' and 'site'"):
+            FaultSpec.from_dict({"probability": 1.0})
+
+
+class TestFaultPlan:
+    def _plan(self) -> FaultPlan:
+        return FaultPlan(
+            seed=7,
+            faults=[
+                FaultSpec(kind="worker-kill", site="batch.worker", probability=0.1),
+                FaultSpec(kind="exception", site="engine.node", match="Contour*", times=[0]),
+            ],
+        )
+
+    def test_json_file_round_trip(self, tmp_path):
+        plan = self._plan()
+        path = plan.save(tmp_path / "plan.json")
+        loaded = FaultPlan.load(path)
+        assert loaded == plan
+        # and the on-disk form is plain JSON anybody can write by hand
+        payload = json.loads(path.read_text())
+        assert payload["seed"] == 7
+        assert {f["kind"] for f in payload["faults"]} == {"worker-kill", "exception"}
+
+    def test_dict_specs_are_coerced(self):
+        plan = FaultPlan(seed=1, faults=[{"kind": "hang", "site": "batch.job", "probability": 0.5}])
+        assert isinstance(plan.faults[0], FaultSpec)
+
+    def test_load_missing_file_raises_plan_error(self, tmp_path):
+        with pytest.raises(FaultPlanError, match="cannot load fault plan"):
+            FaultPlan.load(tmp_path / "nope.json")
+
+    def test_load_bad_json_raises_plan_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(FaultPlanError, match="cannot load fault plan"):
+            FaultPlan.load(path)
+
+    def test_from_dict_rejects_unknown_fields_and_shapes(self):
+        with pytest.raises(FaultPlanError, match="unknown fault plan field"):
+            FaultPlan.from_dict({"seed": 0, "faults": [], "extra": 1})
+        with pytest.raises(FaultPlanError, match="must be an array"):
+            FaultPlan.from_dict({"faults": {"kind": "hang"}})
+        with pytest.raises(FaultPlanError, match="JSON object"):
+            FaultPlan.from_dict([1, 2])
+
+    def test_unit_is_deterministic_and_seed_sensitive(self):
+        plan = self._plan()
+        draw = plan.unit(0, "batch.worker", "cell", "cell#0", 0)
+        assert draw == plan.unit(0, "batch.worker", "cell", "cell#0", 0)
+        assert 0.0 <= draw < 1.0
+        assert draw != FaultPlan(seed=8).unit(0, "batch.worker", "cell", "cell#0", 0)
+
+    def test_describe_names_every_spec(self):
+        text = self._plan().describe()
+        assert "worker-kill" in text and "engine.node:Contour*" in text and "seed 7" in text
+
+
+# --------------------------------------------------------------------------- #
+# firing decisions
+# --------------------------------------------------------------------------- #
+class TestDecisions:
+    def test_two_runtimes_same_plan_agree_everywhere(self):
+        plan = FaultPlan(
+            seed=3,
+            faults=[FaultSpec(kind="exception", site="batch.job", probability=0.5)],
+        )
+        a, b = FaultRuntime(plan), FaultRuntime(plan)
+        for key in ("j0", "j1", "j2", "j3", "j4", "j5", "j6", "j7"):
+            fired_a = fired_b = False
+            try:
+                a.checkpoint("batch.job", key)
+            except TransientFaultError:
+                fired_a = True
+            try:
+                b.checkpoint("batch.job", key)
+            except TransientFaultError:
+                fired_b = True
+            assert fired_a == fired_b
+
+    def test_probability_extremes(self):
+        always = FaultRuntime(
+            FaultPlan(faults=[FaultSpec(kind="exception", site="s", probability=1.0)])
+        )
+        never = FaultRuntime(
+            FaultPlan(faults=[FaultSpec(kind="exception", site="s", probability=0.0)])
+        )
+        with pytest.raises(TransientFaultError):
+            always.checkpoint("s", "k")
+        assert never.checkpoint("s", "k") is None
+        assert never.fired_total() == 0
+
+    def test_times_counts_occurrences_per_epoch(self):
+        runtime = FaultRuntime(
+            FaultPlan(faults=[FaultSpec(kind="exception", site="s", times=[1])])
+        )
+        assert runtime.checkpoint("s", "k") is None  # occurrence 0
+        with pytest.raises(TransientFaultError):
+            runtime.checkpoint("s", "k")  # occurrence 1
+        assert runtime.checkpoint("s", "k") is None  # occurrence 2
+        # a new epoch restarts the occurrence counter
+        with job_scope("job-b", 0):
+            assert runtime.checkpoint("s", "k") is None
+            with pytest.raises(TransientFaultError):
+                runtime.checkpoint("s", "k")
+
+    def test_attempts_condition_makes_transients_cross_process_safe(self):
+        runtime = FaultRuntime(
+            FaultPlan(faults=[FaultSpec(kind="exception", site="s", times=[0], attempts=[0])])
+        )
+        with job_scope("cell", 0):
+            with pytest.raises(TransientFaultError):
+                runtime.checkpoint("s", "cell")
+        # the retry runs under attempt 1 — even a fresh runtime (a new
+        # worker process) must not fire again
+        fresh = FaultRuntime(runtime.plan)
+        with job_scope("cell", 1):
+            assert fresh.checkpoint("s", "cell") is None
+
+    def test_match_glob_filters_keys(self):
+        runtime = FaultRuntime(
+            FaultPlan(faults=[FaultSpec(kind="exception", site="s", match="gpt-4/*", times=[0])])
+        )
+        assert runtime.checkpoint("s", "claude/scn") is None
+        with pytest.raises(TransientFaultError):
+            runtime.checkpoint("s", "gpt-4/scn")
+
+    def test_first_matching_spec_wins(self):
+        runtime = FaultRuntime(
+            FaultPlan(
+                faults=[
+                    FaultSpec(kind="cache-corrupt", site="s", times=[0]),
+                    FaultSpec(kind="exception", site="s", times=[0]),
+                ]
+            )
+        )
+        assert runtime.checkpoint("s", "k") == CORRUPT_WRITE
+
+    def test_predict_kill_replays_worker_decision(self):
+        plan = FaultPlan(
+            seed=11,
+            faults=[FaultSpec(kind="worker-kill", site="batch.worker", probability=0.5)],
+        )
+        parent = FaultRuntime(plan)  # in_worker=False: decision only, no SIGKILL
+        worker = FaultRuntime(plan)
+        for attempt in range(4):
+            predicted = parent.predict_kill("batch.worker", "cell", attempt)
+            with job_scope("cell", attempt):
+                fired = worker.checkpoint("batch.worker", "cell") is None and bool(
+                    worker.fired_total("worker-kill")
+                )
+            # the worker-side no-op (in_worker=False) still records the fire
+            assert predicted == fired
+            worker = FaultRuntime(plan)  # fresh process per attempt
+
+
+# --------------------------------------------------------------------------- #
+# per-kind behavior
+# --------------------------------------------------------------------------- #
+class TestFiring:
+    def _runtime(self, **spec_kwargs) -> FaultRuntime:
+        return FaultRuntime(FaultPlan(faults=[FaultSpec(**spec_kwargs)]))
+
+    def test_exception_retryable_flag_selects_error_class(self):
+        transient = self._runtime(kind="exception", site="s", times=[0])
+        with pytest.raises(TransientFaultError):
+            transient.checkpoint("s")
+        persistent = self._runtime(kind="exception", site="s", times=[0], retryable=False)
+        with pytest.raises(InjectedFaultError) as excinfo:
+            persistent.checkpoint("s")
+        assert not isinstance(excinfo.value, TransientFaultError)
+
+    def test_custom_message_is_carried(self):
+        runtime = self._runtime(kind="exception", site="s", times=[0], message="boom")
+        with pytest.raises(TransientFaultError, match="boom"):
+            runtime.checkpoint("s")
+
+    def test_hang_sleeps_for_the_configured_duration(self):
+        runtime = self._runtime(kind="hang", site="s", times=[0], seconds=0.05)
+        started = time.perf_counter()
+        assert runtime.checkpoint("s") is None
+        assert time.perf_counter() - started >= 0.05
+
+    def test_worker_kill_outside_worker_is_a_warning_noop(self, caplog, monkeypatch):
+        # an earlier CLI test may have run logging_setup, which parks a
+        # handler on the "repro" logger and stops propagation — caplog's
+        # root handler would never see the record; neutralize for this test
+        repro_logger = logging.getLogger("repro")
+        monkeypatch.setattr(repro_logger, "propagate", True)
+        monkeypatch.setattr(repro_logger, "handlers", [])
+        runtime = self._runtime(kind="worker-kill", site="s", times=[0])
+        with caplog.at_level("WARNING", logger="repro.faults"):
+            assert runtime.checkpoint("s", "cell") is None
+        assert any("ignored outside a worker" in rec.message for rec in caplog.records)
+        assert runtime.fired_total("worker-kill") == 1
+
+    def test_cache_write_error_is_enospc(self):
+        runtime = self._runtime(kind="cache-write-error", site="s", times=[0])
+        with pytest.raises(OSError) as excinfo:
+            runtime.checkpoint("s")
+        assert excinfo.value.errno == errno.ENOSPC
+
+    def test_cache_corrupt_returns_the_sentinel(self):
+        runtime = self._runtime(kind="cache-corrupt", site="s", times=[0])
+        assert runtime.checkpoint("s") == CORRUPT_WRITE
+
+    def test_llm_transient_raises_retryable_api_error(self):
+        runtime = self._runtime(kind="llm-transient", site="s", times=[0])
+        with pytest.raises(TransientAPIError):
+            runtime.checkpoint("s")
+
+    def test_fires_are_counted_and_surfaced_as_metrics(self):
+        runtime = self._runtime(kind="exception", site="s", times=[0, 1])
+        for _ in range(2):
+            with pytest.raises(TransientFaultError):
+                runtime.checkpoint("s", "k")
+        runtime.checkpoint("s", "k")
+        assert runtime.fired_total() == 2
+        assert runtime.fired_total("exception") == 2
+        assert runtime.fired_total("hang") == 0
+        snap = METRICS.snapshot()
+        assert snap.counter_total("fault_injected_total", kind="exception", site="s") == 2.0
+
+
+# --------------------------------------------------------------------------- #
+# installation & zero-leak
+# --------------------------------------------------------------------------- #
+class TestInstallation:
+    def test_disabled_state_is_inert(self):
+        assert not faults_enabled()
+        assert FAULT_STATE.runtime is None
+        assert checkpoint("batch.job", "anything") is None
+        assert not METRICS.snapshot()  # nothing moved
+
+    def test_enable_disable_round_trip(self):
+        plan = FaultPlan(faults=[FaultSpec(kind="exception", site="s", times=[0])])
+        runtime = enable_faults(plan)
+        assert faults_enabled() and FAULT_STATE.runtime is runtime
+        assert disable_faults() is runtime
+        assert not faults_enabled()
+
+    def test_enabled_plan_with_no_matching_site_never_fires(self):
+        enable_faults(FaultPlan(faults=[FaultSpec(kind="exception", site="elsewhere", times=[0])]))
+        runtime = FAULT_STATE.runtime
+        for _ in range(100):
+            assert checkpoint("batch.job", "cell") is None
+        assert runtime.invocations == 100
+        assert runtime.fired_total() == 0
+        assert not METRICS.snapshot()
+
+    def test_every_kind_is_constructible(self):
+        for kind in FAULT_KINDS:
+            FaultSpec(kind=kind, site="s", probability=0.5)

@@ -92,7 +92,13 @@ class TestEngineSpans:
 # cache corruption logging
 # --------------------------------------------------------------------------- #
 class TestCacheLogging:
-    def test_corrupt_entry_discard_is_logged_and_counted(self, tmp_path, caplog):
+    def test_corrupt_entry_discard_is_logged_and_counted(self, tmp_path, caplog, monkeypatch):
+        # an earlier CLI test may have run logging_setup, which parks a
+        # handler on the "repro" logger and stops propagation — caplog's
+        # root handler would never see the record; neutralize for this test
+        repro_logger = logging.getLogger("repro")
+        monkeypatch.setattr(repro_logger, "propagate", True)
+        monkeypatch.setattr(repro_logger, "handlers", [])
         cache = DiskCache(tmp_path)
         cache.put("deadbeef", {"some": "value"})
         entry = next(tmp_path.rglob(f"*{DiskCache.ENTRY_SUFFIX}"))
@@ -212,6 +218,68 @@ class TestResumeAccounting:
         assert METRICS.snapshot().counter_total("llm_calls_total") == 2.0
         assert len(SuiteStore(store_path).load()) == 4
 
+        METRICS.reset()
+        warm = small_suite().run()
+        assert warm.executed == 0
+        assert METRICS.snapshot().counter_total("llm_calls_total") == 0.0
+
+    def test_fault_killed_cell_resumes_without_double_counting(self, tmp_path):
+        """A cell killed by an injected fault leaves a structured failure
+        record; the resume re-runs exactly that cell — never a finished one —
+        and the obs metrics account each cell's dispatch exactly once."""
+        from repro.faults import FaultPlan, FaultSpec, disable_faults, enable_faults
+
+        scenarios = generate_scenarios(limit=4)
+        doomed = f"gpt-4/{scenarios[1].name}"
+        store_path = tmp_path / "results.jsonl"
+
+        def small_suite():
+            return SuiteRunner(
+                scenarios,
+                methods=("gpt-4",),
+                working_dir=tmp_path / "work",
+                store=store_path,
+            )
+
+        enable_tracing(Tracer())
+        enable_faults(
+            FaultPlan(
+                faults=[
+                    FaultSpec(
+                        kind="exception",
+                        site="batch.job",
+                        match=doomed,
+                        times=[0],
+                        retryable=False,
+                    )
+                ]
+            )
+        )
+        try:
+            summary = small_suite().run()
+        finally:
+            disable_faults()
+        assert summary.executed == 3
+        assert [name for name, _ in summary.failures] == [doomed]
+        # the fault fired before the cell dispatched: only healthy cells called
+        assert METRICS.snapshot().counter_total("llm_calls_total") == 3.0
+        loaded = SuiteStore(store_path).load()
+        assert len(loaded) == 4
+        failed = [r for r in loaded.values() if r.get("failed")]
+        assert len(failed) == 1 and failed[0]["job"] == doomed
+        assert failed[0]["error_type"] == "InjectedFaultError"
+
+        # resume (faults off): exactly the dead cell re-runs, once
+        METRICS.reset()
+        resumed = small_suite().run()
+        assert resumed.executed == 1 and resumed.skipped == 3
+        assert not resumed.failures
+        assert METRICS.snapshot().counter_total("llm_calls_total") == 1.0
+        final = SuiteStore(store_path).load()
+        assert len(final) == 4
+        assert not any(r.get("failed") for r in final.values())
+
+        # a third run touches nothing — no cell is ever double-counted
         METRICS.reset()
         warm = small_suite().run()
         assert warm.executed == 0
