@@ -1,0 +1,122 @@
+"""Scaling and memory benchmarks for block-decomposed execution (ISSUE 10).
+
+Two claims are on the line:
+
+* **wall clock** — ``run_blocks_manifest`` times the four blocked ops at
+  1/2/4/8 workers against whole-dataset execution of the same ops, with the
+  interleaved pairwise-ratio methodology of the main manifest; the
+  committed artifact is ``BENCH_10.json`` (validated by
+  ``tests/test_perf_manifest.py::TestCommittedBlocksBench``).
+* **out-of-core memory** — executing one block must allocate a fraction of
+  what the whole-dataset op allocates, measured with ``tracemalloc`` on a
+  synthetic volume several times the largest small-suite canonical dataset.
+  That per-block bound is the entire point of the decomposition: peak
+  residency is set by the block size, not the dataset size.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import pytest
+
+from repro.algorithms import contour, threshold
+from repro.engine.blocks import partition_image_data
+from repro.engine.blocks import _execute_block_op  # the per-block unit of work
+from repro.perf.manifest import (
+    BLOCKS_BENCH_OPS,
+    BLOCKS_BENCH_WORKERS,
+    blocks_bench_dataset,
+    run_blocks_manifest,
+)
+from repro.perf.report import validate_bench
+
+
+@pytest.fixture(scope="module")
+def blocks_payload():
+    return run_blocks_manifest(rounds=1, n_blocks=8)
+
+
+class TestBlocksScalingManifest:
+    def test_payload_is_schema_valid(self, blocks_payload):
+        assert validate_bench(blocks_payload) is blocks_payload
+        assert blocks_payload["bench"] == "BENCH_10.json"
+
+    def test_one_kernel_per_worker_count(self, blocks_payload):
+        expected = {f"blocks_w{w}" for w in BLOCKS_BENCH_WORKERS}
+        assert set(blocks_payload["kernels"]) == expected
+        for entry in blocks_payload["kernels"].values():
+            assert entry["current_ms"] > 0
+            assert entry["reference_ms"] > 0
+            assert entry["speedup_min"] <= entry["speedup"] <= entry["speedup_max"]
+
+    def test_blocks_section_documents_the_configuration(self, blocks_payload):
+        blocks = blocks_payload["blocks"]
+        assert blocks["n_blocks"] == 8
+        assert blocks["workers"] == list(BLOCKS_BENCH_WORKERS)
+        assert set(blocks["ops"]) == {"contour", "slice", "threshold", "clip"}
+        # the synthetic volume is >= 4x the largest small-suite canonical
+        # dataset (marschner-lobb at 24^3 points)
+        assert blocks["n_points"] >= 4 * 24**3
+
+    def test_blocked_stays_within_an_order_of_whole(self, blocks_payload):
+        """Decomposition overhead (partition + merge + weld) must not blow
+        wall clock up by an order of magnitude at any worker count."""
+        for name, entry in blocks_payload["kernels"].items():
+            assert entry["speedup"] > 0.1, f"{name} is >10x slower than whole"
+
+
+def _peak_bytes(fn) -> int:
+    tracemalloc.start()
+    try:
+        fn()
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+class TestOutOfCoreMemory:
+    """Each test builds a fresh volume: ``tetrahedra_of_dataset`` memoizes
+    per dataset object, and a warm memo would deflate the whole-dataset peak
+    (the blocks always tetrahedralize their freshly-extracted slabs)."""
+
+    def test_per_block_peak_is_a_fraction_of_whole_contour(self):
+        bench_volume = blocks_bench_dataset()
+        whole_peak = _peak_bytes(
+            lambda: contour(bench_volume, 0.2, array_name="field", compute_normals=True)
+        )
+        blockset = partition_image_data(bench_volume, 8, ghost=1)
+        block_peak = max(
+            _peak_bytes(
+                lambda b=block: _execute_block_op(
+                    "contour", "image", b, BLOCKS_BENCH_OPS["contour"]
+                )
+            )
+            for block in blockset.blocks
+        )
+        assert block_peak < whole_peak / 2, (
+            f"per-block contour peak {block_peak} is not a fraction of "
+            f"whole-dataset peak {whole_peak}"
+        )
+
+    def test_per_block_peak_is_a_fraction_of_whole_threshold(self):
+        bench_volume = blocks_bench_dataset()
+        whole_peak = _peak_bytes(
+            lambda: threshold(
+                bench_volume, array_name="field", lower=-0.3, upper=0.7, all_points=True
+            )
+        )
+        blockset = partition_image_data(bench_volume, 8, ghost=1)
+        block_peak = max(
+            _peak_bytes(
+                lambda b=block: _execute_block_op(
+                    "threshold", "image", b, BLOCKS_BENCH_OPS["threshold"]
+                )
+            )
+            for block in blockset.blocks
+        )
+        assert block_peak < whole_peak / 2, (
+            f"per-block threshold peak {block_peak} is not a fraction of "
+            f"whole-dataset peak {whole_peak}"
+        )

@@ -9,7 +9,7 @@ Two checks, both fatal on failure:
 
 2. **Snippets** — every ```` ```bash ```` block in each guide listed in
    ``SNIPPET_DOCS`` (``docs/evaluating.md``, ``docs/observability.md``,
-   ``docs/robustness.md``) is
+   ``docs/robustness.md``, ``docs/sharding.md``) is
    executed, in document order, in one scratch directory per guide with
    ``REPRO_CACHE_DIR`` pointed at scratch storage.  A ``repro`` shell
    function forwards to ``python -m repro.cli`` so the snippets run whether
@@ -39,6 +39,7 @@ SNIPPET_DOCS = (
     REPO_ROOT / "docs" / "evaluating.md",
     REPO_ROOT / "docs" / "observability.md",
     REPO_ROOT / "docs" / "robustness.md",
+    REPO_ROOT / "docs" / "sharding.md",
 )
 
 # [text](target) — deliberately naive; good enough for hand-written docs.

@@ -315,6 +315,8 @@ def _cmd_suite_run(ns: argparse.Namespace) -> int:
         review_rounds=ns.review_rounds,
         job_timeout=ns.job_timeout,
         job_retries=ns.job_retries,
+        blocks=ns.blocks,
+        ghost=ns.ghost,
     )
     try:
         if ns.prefetch:
@@ -908,6 +910,18 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("thread", "process"),
         default="thread",
         help="concurrency substrate for the cells",
+    )
+    run_parser.add_argument(
+        "--blocks",
+        type=int,
+        default=None,
+        help="run contour/slice/threshold/clip block-decomposed into N blocks",
+    )
+    run_parser.add_argument(
+        "--ghost",
+        type=int,
+        default=1,
+        help="ghost layer width for block decomposition (with --blocks)",
     )
     run_parser.add_argument(
         "--no-cache", action="store_true", help="run without the persistent disk tier"

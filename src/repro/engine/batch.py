@@ -269,6 +269,11 @@ def _job_alarm(job_name: str, timeout: Optional[float]):
     main-thread affair); everywhere else this is a no-op and the caller's
     parent-side deadline takes over.  The alarm interrupts even a
     ``time.sleep`` hang, which is exactly what the ``hang`` fault injects.
+
+    An outer caller may have its own ``ITIMER_REAL`` armed (nested timed
+    scopes, application watchdogs): on exit the remaining outer time —
+    minus what this job consumed, floored at a minimal positive tick so a
+    past-due alarm still fires — is restored along with the old handler.
     """
     can_alarm = (
         timeout is not None
@@ -284,12 +289,22 @@ def _job_alarm(job_name: str, timeout: Optional[float]):
         raise JobTimeoutError(job_name, timeout)
 
     previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, timeout)
+    outer_value, outer_interval = signal.setitimer(signal.ITIMER_REAL, timeout)
+    started = time.monotonic()
     try:
         yield
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+        if outer_value > 0.0:
+            # the outer timer kept "running" while this job held ITIMER_REAL;
+            # hand back what is left of it (a tiny positive tick if the outer
+            # deadline already passed — setitimer(0) would cancel it outright).
+            # Re-armed only after the outer handler is back, so a past-due
+            # alarm lands on the outer handler rather than raising a spurious
+            # JobTimeoutError out of this cleanup.
+            remaining = max(outer_value - (time.monotonic() - started), 1e-6)
+            signal.setitimer(signal.ITIMER_REAL, remaining, outer_interval)
 
 
 def _run_one_timed(job: BatchJob, attempt: int = 0, timeout: Optional[float] = None) -> BatchResult:

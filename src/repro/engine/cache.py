@@ -491,7 +491,10 @@ class DiskCache(CacheLike):
 
         Caller holds the write lock.  Entries that vanish mid-scan (evicted
         by a concurrent process) are skipped, not errors.  The scan doubles
-        as a resync of the running size estimate.
+        as a resync of the running size estimate.  An entry whose unlink
+        fails is still on disk, so it keeps counting against the estimate
+        and the eviction stats — otherwise the estimate under-reports and
+        the store can exceed ``max_bytes`` indefinitely.
         """
         if self.max_bytes is None:
             return
@@ -509,8 +512,10 @@ class DiskCache(CacheLike):
         for mtime_ns, size, path in entries:
             if total <= self.max_bytes:
                 break
-            with contextlib.suppress(OSError):
+            try:
                 path.unlink()
+            except OSError:
+                continue  # still on disk: it still counts against the store
             total -= size
             evicted += 1
             with self._lock:

@@ -31,6 +31,7 @@ __all__ = [
     "KernelSpec",
     "all_kernel_names",
     "run_manifest",
+    "run_blocks_manifest",
     "compare_manifests",
     "format_comparison",
     "load_bench",
@@ -42,6 +43,7 @@ _LAZY = {
     "KernelSpec": "repro.perf.manifest",
     "all_kernel_names": "repro.perf.manifest",
     "run_manifest": "repro.perf.manifest",
+    "run_blocks_manifest": "repro.perf.manifest",
     "compare_manifests": "repro.perf.report",
     "format_comparison": "repro.perf.report",
     "load_bench": "repro.perf.report",

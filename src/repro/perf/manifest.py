@@ -29,10 +29,22 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["KernelSpec", "all_kernel_names", "run_manifest", "BENCH_FILENAME"]
+__all__ = [
+    "KernelSpec",
+    "all_kernel_names",
+    "run_manifest",
+    "run_blocks_manifest",
+    "BENCH_FILENAME",
+    "BLOCKS_BENCH_FILENAME",
+    "BLOCKS_BENCH_WORKERS",
+]
 
 #: the perf-trajectory artifact this PR maintains (see README "Performance")
 BENCH_FILENAME = "BENCH_6.json"
+
+#: the block-decomposition scaling artifact (same repro-bench/1 schema)
+BLOCKS_BENCH_FILENAME = "BENCH_10.json"
+BLOCKS_BENCH_WORKERS = (1, 2, 4, 8)
 
 
 @dataclass(frozen=True)
@@ -200,6 +212,148 @@ _KERNELS: List[KernelSpec] = [
 
 def all_kernel_names() -> List[str]:
     return [spec.name for spec in _KERNELS]
+
+
+# --------------------------------------------------------------------------- #
+# block-decomposition scaling kernels (BENCH_10)
+# --------------------------------------------------------------------------- #
+#: synthetic volume for the blocks bench: 48^3 points is ~8x the largest
+#: small-suite canonical dataset (marschner-lobb at 24^3)
+BLOCKS_BENCH_DIMS = (48, 48, 48)
+
+
+def blocks_bench_dataset(dims: Sequence[int] = BLOCKS_BENCH_DIMS):
+    """The synthetic wave volume both sides of the blocks bench run on."""
+    from repro.datamodel import ImageData
+
+    img = ImageData(tuple(dims), spacing=(0.05, 0.05, 0.05))
+    points = img.get_points()
+    values = (
+        np.sin(4.1 * points[:, 0]) * np.cos(3.3 * points[:, 1])
+        + 0.5 * np.sin(5.7 * points[:, 2])
+    )
+    img.add_point_array("field", values)
+    return img
+
+
+#: the four blocked ops with the parameters both sides of the bench use
+BLOCKS_BENCH_OPS: Dict[str, Dict[str, Any]] = {
+    "contour": {"isovalues": [0.2], "array_name": "field", "compute_normals": True},
+    "slice": {"origin": [1.2, 1.2, 1.2], "normal": [0.25, 0.1, 1.0]},
+    "threshold": {"array_name": "field", "lower": -0.3, "upper": 0.7, "all_points": True},
+    "clip": {"origin": [1.2, 1.2, 1.2], "normal": [0.25, 0.1, 1.0], "keep_negative": False},
+}
+
+
+def _blocks_whole_ops(dataset) -> None:
+    from repro.algorithms import clip_dataset, contour, slice_dataset, threshold
+
+    p = BLOCKS_BENCH_OPS
+    contour(
+        dataset,
+        p["contour"]["isovalues"],
+        array_name=p["contour"]["array_name"],
+        compute_normals=p["contour"]["compute_normals"],
+    )
+    slice_dataset(dataset, origin=p["slice"]["origin"], normal=p["slice"]["normal"])
+    threshold(
+        dataset,
+        array_name=p["threshold"]["array_name"],
+        lower=p["threshold"]["lower"],
+        upper=p["threshold"]["upper"],
+        all_points=p["threshold"]["all_points"],
+    )
+    clip_dataset(
+        dataset,
+        origin=p["clip"]["origin"],
+        normal=p["clip"]["normal"],
+        keep_negative=p["clip"]["keep_negative"],
+    )
+
+
+def _blocks_blocked_ops(dataset, n_blocks: int, ghost: int, max_workers: int) -> None:
+    from repro.engine.blocks import BlocksConfig, run_blocked
+    from repro.engine.cache import shared_cache
+
+    # every timed call executes for real: served-from-cache blocks would
+    # measure the cache, not the decomposed execution
+    shared_cache().clear()
+    config = BlocksConfig(
+        n_blocks=n_blocks, ghost=ghost, executor="thread", max_workers=max_workers
+    )
+    for op, params in BLOCKS_BENCH_OPS.items():
+        out = run_blocked(op, dataset, params, config)
+        if out is None:  # pragma: no cover - the bench volume always splits
+            raise RuntimeError(f"bench dataset did not decompose for {op!r}")
+
+
+def blocks_kernel_specs(
+    n_blocks: int = 8,
+    ghost: int = 1,
+    workers: Sequence[int] = BLOCKS_BENCH_WORKERS,
+    dims: Sequence[int] = BLOCKS_BENCH_DIMS,
+) -> List[KernelSpec]:
+    """One kernel per worker count: blocked (current) vs whole (reference)."""
+
+    def setup() -> Dict[str, Any]:
+        return {"dataset": blocks_bench_dataset(dims)}
+
+    size = (
+        f"{dims[0]}x{dims[1]}x{dims[2]} synthetic wave volume, "
+        f"{n_blocks} blocks, ghost {ghost}, all four ops"
+    )
+    specs: List[KernelSpec] = []
+    for count in workers:
+        specs.append(
+            KernelSpec(
+                name=f"blocks_w{count}",
+                title=f"block-decomposed contour/slice/threshold/clip, {count} worker(s)",
+                size=size,
+                setup=setup,
+                current=(
+                    lambda ctx, _w=count: _blocks_blocked_ops(
+                        ctx["dataset"], n_blocks, ghost, _w
+                    )
+                ),
+                reference=lambda ctx: _blocks_whole_ops(ctx["dataset"]),
+            )
+        )
+    return specs
+
+
+def run_blocks_manifest(
+    rounds: int = 3,
+    n_blocks: int = 8,
+    ghost: int = 1,
+    workers: Sequence[int] = BLOCKS_BENCH_WORKERS,
+    dims: Sequence[int] = BLOCKS_BENCH_DIMS,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """The ``BENCH_10.json`` payload: blocked-vs-whole wall clock per worker count.
+
+    Shares the repro-bench/1 schema and the interleaved pairwise-ratio timing
+    of :func:`run_manifest`; ``reference_ms`` is whole-dataset execution of
+    the same four ops, so ``speedup`` reads as "blocked at N workers vs
+    whole" (below 1.0 on a single hardware thread, where the decomposition
+    buys memory headroom, not wall clock).
+    """
+    payload = run_manifest(
+        rounds=rounds,
+        include_suite=False,
+        include_cache=False,
+        progress=progress,
+        specs=blocks_kernel_specs(n_blocks=n_blocks, ghost=ghost, workers=workers, dims=dims),
+    )
+    payload["bench"] = BLOCKS_BENCH_FILENAME
+    payload["blocks"] = {
+        "dims": list(dims),
+        "n_points": int(np.prod(np.asarray(dims))),
+        "n_blocks": n_blocks,
+        "ghost": ghost,
+        "workers": list(workers),
+        "ops": list(BLOCKS_BENCH_OPS),
+    }
+    return payload
 
 
 # --------------------------------------------------------------------------- #

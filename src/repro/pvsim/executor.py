@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.engine.blocks import stats_snapshot as blocks_stats_snapshot
 from repro.pvsim import simple as pvsimple
 from repro.pvsim import state
 from repro.pvsim.pipeline import pvsim_engine
@@ -66,6 +67,11 @@ class ExecutionResult:
     nodes_executed: int = 0
     #: pipeline nodes served from the result cache during this run
     nodes_cached: int = 0
+    #: blocks computed during this run when block-decomposed execution is
+    #: active on this thread (zero otherwise; see repro.engine.blocks)
+    blocks_executed: int = 0
+    #: blocks served from the shared block cache during this run
+    blocks_cached: int = 0
 
     @property
     def output(self) -> str:
@@ -304,6 +310,7 @@ class PvPythonExecutor:
         # this thread's cumulative engine counters; the delta across the run
         # is how many nodes the script really executed vs. got from cache
         stats_before = pvsim_engine().thread_stats().snapshot()
+        blocks_before = blocks_stats_snapshot()
 
         _run_guard.acquire(stdout_buffer, stderr_buffer)
         try:
@@ -326,6 +333,7 @@ class PvPythonExecutor:
         files_after = {p.name for p in self.working_dir.iterdir()}
         produced = sorted(files_after - files_before)
         stats_delta = pvsim_engine().thread_stats().delta(stats_before)
+        blocks_delta = blocks_stats_snapshot().delta(blocks_before)
 
         return ExecutionResult(
             success=success,
@@ -339,6 +347,8 @@ class PvPythonExecutor:
             script_name=script_name,
             nodes_executed=stats_delta.misses,
             nodes_cached=stats_delta.hits,
+            blocks_executed=blocks_delta.blocks_executed,
+            blocks_cached=blocks_delta.blocks_cached,
         )
 
 

@@ -33,6 +33,7 @@ from repro.algorithms import (
 )
 from repro.algorithms.stream_tracer import StreamTracerOptions, line_seeds, point_cloud_seeds
 from repro.datamodel import Dataset, PolyData
+from repro.engine.blocks import maybe_run_blocked
 from repro.engine.registry import ExecContext, register_filter
 from repro.pvsim.pipeline import array_selection, proxy_class
 
@@ -73,6 +74,17 @@ def _contour(ctx: ExecContext) -> Dataset:
         values = [values]
     if not values:
         ctx.error("Isosurfaces is empty")
+    blocked = maybe_run_blocked(
+        "contour",
+        dataset,
+        {
+            "isovalues": [float(v) for v in values],
+            "array_name": name,
+            "compute_normals": bool(ctx.get("ComputeNormals")),
+        },
+    )
+    if blocked is not None:
+        return blocked
     return contour_filter(
         dataset,
         [float(v) for v in values],
@@ -96,6 +108,13 @@ def _contour(ctx: ExecContext) -> Dataset:
 def _slice(ctx: ExecContext) -> Dataset:
     dataset = ctx.input()
     plane = ctx.group("SliceType")
+    params = {
+        "origin": [float(v) for v in plane.Origin],
+        "normal": [float(v) for v in plane.Normal],
+    }
+    blocked = maybe_run_blocked("slice", dataset, params)
+    if blocked is not None:
+        return blocked
     return slice_dataset(dataset, origin=list(plane.Origin), normal=list(plane.Normal))
 
 
@@ -116,6 +135,14 @@ def _slice(ctx: ExecContext) -> Dataset:
 def _clip(ctx: ExecContext) -> Dataset:
     dataset = ctx.input()
     plane = ctx.group("ClipType")
+    params = {
+        "origin": [float(v) for v in plane.Origin],
+        "normal": [float(v) for v in plane.Normal],
+        "keep_negative": bool(ctx.get("Invert")),
+    }
+    blocked = maybe_run_blocked("clip", dataset, params)
+    if blocked is not None:
+        return blocked
     return clip_dataset(
         dataset,
         origin=list(plane.Origin),
@@ -314,6 +341,18 @@ def _threshold(ctx: ExecContext) -> Dataset:
         lower = -np.inf
     elif "above" in method:
         upper = np.inf
+    blocked = maybe_run_blocked(
+        "threshold",
+        dataset,
+        {
+            "array_name": name,
+            "lower": lower,
+            "upper": upper,
+            "all_points": bool(ctx.get("AllScalars")),
+        },
+    )
+    if blocked is not None:
+        return blocked
     return threshold_filter(
         dataset,
         array_name=name,

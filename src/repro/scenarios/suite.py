@@ -33,6 +33,7 @@ from __future__ import annotations
 import hashlib
 import json
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -107,6 +108,9 @@ def run_suite_cell(
     llm_cache_dir: Optional[Union[str, Path]] = None,
     review_model: str = "gpt-4",
     review_rounds: int = 2,
+    blocks: Optional[int] = None,
+    ghost: int = 1,
+    block_workers: int = 1,
 ) -> Dict[str, Any]:
     """Run one (scenario, method) cell and return its result record.
 
@@ -133,26 +137,42 @@ def run_suite_cell(
     the engine's thread-local stats and the cell's own spend, so reports can
     show cache hit-rates without re-deriving them.
     """
+    from repro.engine.blocks import BlocksConfig, blocked_execution, stats_snapshot
     from repro.pvsim.pipeline import pvsim_engine
 
-    stats_before = pvsim_engine().thread_stats().snapshot()
-    with obs_span(
-        f"{method}/{scenario.name}", "suite.cell", scenario=scenario.name, method=str(method)
-    ):
-        record = _run_suite_cell_impl(
-            scenario,
-            method,
-            cell_dir,
-            resolution=resolution,
-            small_data=small_data,
-            max_iterations=max_iterations,
-            chatvis_model=chatvis_model,
-            budget=budget,
-            ledger=ledger,
-            llm_cache_dir=llm_cache_dir,
-            review_model=review_model,
-            review_rounds=review_rounds,
+    if blocks:
+        block_scope = blocked_execution(
+            BlocksConfig(
+                n_blocks=int(blocks),
+                ghost=int(ghost),
+                executor="thread",
+                max_workers=max(1, int(block_workers)),
+            )
         )
+    else:
+        block_scope = nullcontext()
+
+    stats_before = pvsim_engine().thread_stats().snapshot()
+    blocks_before = stats_snapshot()
+    with block_scope:
+        with obs_span(
+            f"{method}/{scenario.name}", "suite.cell", scenario=scenario.name, method=str(method)
+        ):
+            record = _run_suite_cell_impl(
+                scenario,
+                method,
+                cell_dir,
+                resolution=resolution,
+                small_data=small_data,
+                max_iterations=max_iterations,
+                chatvis_model=chatvis_model,
+                budget=budget,
+                ledger=ledger,
+                llm_cache_dir=llm_cache_dir,
+                review_model=review_model,
+                review_rounds=review_rounds,
+            )
+        blocks_delta = stats_snapshot().delta(blocks_before)
     stats_delta = pvsim_engine().thread_stats().delta(stats_before)
     usage = record.get("usage") or {}
     record["metrics"] = {
@@ -161,6 +181,10 @@ def run_suite_cell(
         "llm_calls": usage.get("calls", 0),
         "llm_cached_calls": usage.get("cached_calls", 0),
         "llm_retries": usage.get("retries", 0),
+        "blocked_runs": blocks_delta.runs,
+        "blocks_total": blocks_delta.blocks_total,
+        "blocks_executed": blocks_delta.blocks_executed,
+        "blocks_cached": blocks_delta.blocks_cached,
     }
     return record
 
@@ -392,6 +416,8 @@ class SuiteRunner:
         review_rounds: int = 2,
         job_timeout: Optional[float] = None,
         job_retries: int = 0,
+        blocks: Optional[int] = None,
+        ghost: int = 1,
     ) -> None:
         self.scenarios = list(scenarios)
         # job names (and the store's per-cell identity mapping) key on the
@@ -423,6 +449,11 @@ class SuiteRunner:
         self.review_rounds = review_rounds
         self.job_timeout = job_timeout
         self.job_retries = job_retries
+        # block decomposition is an execution strategy, not a measurement
+        # setting: it stays out of _cell_settings so stored records remain
+        # byte-identical between whole and blocked runs
+        self.blocks = int(blocks) if blocks else None
+        self.ghost = int(ghost)
 
     # ------------------------------------------------------------------ #
     def _cell_settings(self, method: str) -> Tuple[Tuple[str, Any], ...]:
@@ -536,6 +567,9 @@ class SuiteRunner:
                     "llm_cache_dir": str(self.llm_cache_dir) if self.llm_cache_dir else None,
                     "review_model": self.review_model,
                     "review_rounds": self.review_rounds,
+                    "blocks": self.blocks,
+                    "ghost": self.ghost,
+                    "block_workers": self.max_workers,
                 },
             )
             for scenario, method, _key in pending

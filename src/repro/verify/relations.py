@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.engine.blocks import BlocksConfig, blocked_execution
 from repro.scenarios.spec import OperationStep, Scenario
 from repro.verify.comparators import (
     ComparatorResult,
@@ -615,6 +616,66 @@ def _threshold_commute(ctx: RelationContext) -> RelationOutcome:
     b_then_a = apply_operation_chain(dataset, [window_b, window_a])
     comparison = datasets_close(a_then_b, b_then_a, atol=0.0, rtol=0.0)
     return RelationOutcome.from_comparison(comparison, "threshold window reorder")
+
+
+BLOCK_PARITY_BLOCKS = 3
+BLOCK_PARITY_GHOST = 1
+
+
+@register_relation(
+    "block-parity",
+    description=(
+        "running the operation chain block-decomposed (out-of-core shards with "
+        "ghost layers, merged back) reproduces the whole-dataset output"
+    ),
+    applies=_is_geometric,
+)
+def _block_parity(ctx: RelationContext) -> RelationOutcome:
+    dataset = load_scenario_dataset(ctx.scenario, ctx.subdir("data"), small_data=ctx.small_data)
+    steps = [op for op in ctx.scenario.operations if op.kind in GEOMETRIC_KINDS]
+    if not steps:
+        return RelationOutcome.skip("scenario has no engine-level operation chain")
+    # both runs re-execute every node: engine node-cache keys are identical
+    # for whole and blocked execution (blocking is a strategy, not a key), so
+    # a shared cache would hand the second run the first run's results and
+    # the oracle would compare a value with itself
+    with isolated_engine_cache():
+        whole = apply_operation_chain(dataset, steps)
+    config = BlocksConfig(n_blocks=BLOCK_PARITY_BLOCKS, ghost=BLOCK_PARITY_GHOST)
+    with isolated_engine_cache():
+        with blocked_execution(config) as stats:
+            blocked = apply_operation_chain(dataset, steps)
+    metrics = {
+        "blocked_runs": float(stats.runs),
+        "blocks_total": float(stats.blocks_total),
+        "blocks_executed": float(stats.blocks_executed),
+        "blocks_cached": float(stats.blocks_cached),
+    }
+    if stats.blocks_total == 0:
+        return RelationOutcome.violated(
+            "the blocked run never actually decomposed anything — the "
+            "differential oracle compared whole against whole",
+            metrics=metrics,
+        )
+    kinds = {step.kind for step in steps}
+    if kinds <= {"threshold"}:
+        # threshold merges reconstruct the parent's cells exactly, so parity
+        # is bit-exact; the surface/clip ops are geometric (block seams can
+        # tessellate — and weld degenerate slivers — differently)
+        comparison = datasets_close(whole, blocked, atol=0.0, rtol=0.0)
+    else:
+        n_whole = len(whole.get_points())
+        n_blocked = len(blocked.get_points())
+        if n_whole == 0 and n_blocked == 0:
+            return RelationOutcome.ok("both runs produced empty output", metrics=metrics)
+        comparison = point_sets_close(
+            whole, blocked, max_distance=0.5 * _min_spacing(dataset)
+        )
+    outcome = RelationOutcome.from_comparison(
+        comparison, f"whole vs {BLOCK_PARITY_BLOCKS}-block ghost={BLOCK_PARITY_GHOST}"
+    )
+    outcome.metrics.update(metrics)
+    return outcome
 
 
 def _golden_store_token(scenario, resolution, goldens_dir):

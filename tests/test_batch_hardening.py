@@ -112,6 +112,42 @@ class TestTimeouts:
         assert isinstance(results[0].error, JobTimeoutError)
         assert results[1].ok and results[1].value == 9
 
+    def test_outer_itimer_survives_a_timed_job(self):
+        """A pre-armed ITIMER_REAL must come back (minus the job's elapsed
+        time) after a timed serial job — the alarm scope used to discard it."""
+        fired = []
+        previous = signal.signal(signal.SIGALRM, lambda *_: fired.append(True))
+        signal.setitimer(signal.ITIMER_REAL, 0.8)
+        try:
+            results = run_batch([BatchJob("quick", _square, (2,))], job_timeout=0.2)
+            assert results[0].ok and results[0].value == 4
+            value, _interval = signal.getitimer(signal.ITIMER_REAL)
+            assert 0.0 < value <= 0.8  # restored, and debited for elapsed time
+            deadline = time.monotonic() + 2.0
+            while not fired and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert fired  # the outer watchdog still goes off
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+
+    def test_past_due_outer_alarm_fires_instead_of_vanishing(self):
+        fired = []
+        previous = signal.signal(signal.SIGALRM, lambda *_: fired.append(True))
+        # outer deadline expires *while* the job holds ITIMER_REAL: the scope
+        # must re-arm a minimal positive tick, not cancel the alarm outright
+        signal.setitimer(signal.ITIMER_REAL, 0.05)
+        try:
+            results = run_batch([BatchJob("nap", _napping, (0.2,))], job_timeout=5.0)
+            assert results[0].ok
+            deadline = time.monotonic() + 2.0
+            while not fired and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert fired
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+
     def test_injected_hang_times_out_then_retries_clean(self):
         # the hang fires only on attempt 0; the retry re-rolls and runs clean
         enable_faults(

@@ -1,0 +1,394 @@
+"""Tests for block-decomposed, out-of-core execution (repro.engine.blocks).
+
+The parity tests distinguish two strengths deliberately:
+
+* **byte-exact** — threshold merges rebuild the parent's cell enumeration,
+  so blocked and whole outputs share a content fingerprint;
+* **geometric** — contour/slice/clip merge by point-coincidence weld, which
+  can tessellate (and collapse degenerate slivers at) block seams
+  differently, so parity is a symmetric point-set distance far below the
+  lattice spacing.
+
+The process-executor tests rely on everything in this module being
+importable by name (multiprocessing spawn re-imports the test module in the
+workers); keep helper functions at module level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import clip_dataset, contour, slice_dataset, threshold
+from repro.datamodel import CellType, ImageData, PolyData, UnstructuredGrid
+from repro.engine.blocks import (
+    BlocksConfig,
+    blocked_execution,
+    maybe_run_blocked,
+    partition_dataset,
+    partition_image_data,
+    partition_unstructured,
+    run_blocked,
+    stats_snapshot,
+)
+from repro.verify.comparators import point_sets_close
+
+
+@pytest.fixture(autouse=True)
+def _fresh_shared_cache():
+    """Block results ride the process-global shared cache; isolate each test."""
+    from repro.engine.cache import shared_cache
+
+    shared_cache().clear()
+    yield
+    shared_cache().clear()
+
+
+def _wave_image(dims=(7, 6, 8)):
+    img = ImageData(dims, origin=(-0.4, 0.2, 1.5), spacing=(0.35, 0.5, 0.25))
+    pts = img.get_points()
+    values = (
+        np.sin(1.3 * pts[:, 0]) * np.cos(0.9 * pts[:, 1]) + 0.4 * np.sin(1.7 * pts[:, 2])
+    )
+    img.add_point_array("field", values)
+    img.add_point_array("aux", pts[:, 2] * 0.5)
+    return img
+
+
+def _wave_grid():
+    """A tetrahedral grid with the wave field (derived via a wide threshold)."""
+    img = _wave_image((6, 5, 6))
+    return threshold(img, array_name="field", lower=-10.0, upper=10.0)
+
+
+def _config(**overrides):
+    defaults = dict(n_blocks=3, ghost=1, executor="thread", max_workers=2)
+    defaults.update(overrides)
+    return BlocksConfig(**defaults)
+
+
+CONTOUR_PARAMS = {"isovalues": [0.15], "array_name": "field", "compute_normals": True}
+SLICE_PARAMS = {"origin": [0.3, 1.2, 2.2], "normal": [0.3, 0.1, 1.0]}
+THRESHOLD_PARAMS = {"array_name": "field", "lower": -0.2, "upper": 0.6, "all_points": True}
+CLIP_PARAMS = {"origin": [0.3, 1.2, 2.2], "normal": [0.3, 0.1, 1.0], "keep_negative": False}
+
+
+def _whole(op, dataset):
+    if op == "contour":
+        return contour(
+            dataset,
+            CONTOUR_PARAMS["isovalues"],
+            array_name=CONTOUR_PARAMS["array_name"],
+            compute_normals=CONTOUR_PARAMS["compute_normals"],
+        )
+    if op == "slice":
+        return slice_dataset(dataset, origin=SLICE_PARAMS["origin"], normal=SLICE_PARAMS["normal"])
+    if op == "threshold":
+        return threshold(
+            dataset,
+            array_name=THRESHOLD_PARAMS["array_name"],
+            lower=THRESHOLD_PARAMS["lower"],
+            upper=THRESHOLD_PARAMS["upper"],
+            all_points=THRESHOLD_PARAMS["all_points"],
+        )
+    if op == "clip":
+        return clip_dataset(
+            dataset,
+            origin=CLIP_PARAMS["origin"],
+            normal=CLIP_PARAMS["normal"],
+            keep_negative=CLIP_PARAMS["keep_negative"],
+        )
+    raise AssertionError(op)
+
+
+PARAMS_OF = {
+    "contour": CONTOUR_PARAMS,
+    "slice": SLICE_PARAMS,
+    "threshold": THRESHOLD_PARAMS,
+    "clip": CLIP_PARAMS,
+}
+
+
+def _geometric_close(a, b, spacing_floor):
+    if a.n_points == 0 and b.n_points == 0:
+        return True
+    result = point_sets_close(a, b, max_distance=0.5 * spacing_floor)
+    assert result.ok, result.details
+    return True
+
+
+# --------------------------------------------------------------------------- #
+# partitioning invariants
+# --------------------------------------------------------------------------- #
+class TestPartitioning:
+    def test_image_owned_ranges_tile_the_cell_axis(self):
+        img = _wave_image()
+        bs = partition_image_data(img, 3, ghost=1)
+        axis = bs.axis
+        cells = img.cell_dimensions[axis]
+        cursor = 0
+        for block in bs.blocks:
+            assert block.owned[0] == cursor
+            assert block.owned[1] > block.owned[0]
+            assert block.ghosted[0] <= block.owned[0]
+            assert block.ghosted[1] >= block.owned[1]
+            cursor = block.owned[1]
+        assert cursor == cells
+
+    def test_image_partitions_along_slowest_axis_with_cells(self):
+        bs = partition_image_data(_wave_image((7, 6, 8)), 3)
+        assert bs.axis == 2
+        # a flat (degenerate z) image still partitions, along y
+        flat = partition_image_data(_wave_image((5, 6, 1)), 3)
+        assert flat is not None and flat.axis == 1
+
+    @pytest.mark.parametrize("ghost", [0, 1, 2])
+    def test_image_ghost_width_respected(self, ghost):
+        img = _wave_image()
+        bs = partition_image_data(img, 4, ghost=ghost)
+        cells = img.cell_dimensions[bs.axis]
+        for block in bs.blocks:
+            assert block.ghosted[0] == max(block.owned[0] - ghost, 0)
+            assert block.ghosted[1] == min(block.owned[1] + ghost, cells)
+
+    def test_degenerate_partitions_return_none(self):
+        # a single cell cannot split into two blocks
+        assert partition_image_data(ImageData((2, 2, 2)), 4) is None
+        # (2, 2, 1) has exactly one cell along its only cell-bearing axis
+        assert partition_image_data(ImageData((2, 2, 1)), 4) is None
+        # n_blocks < 2 means "don't decompose"
+        assert partition_image_data(_wave_image(), 1) is None
+        grid = _wave_grid()
+        assert partition_unstructured(grid, 1) is None
+        single = UnstructuredGrid(np.zeros((4, 3)))
+        single.add_cell(CellType.TETRA, (0, 1, 2, 3))
+        assert partition_unstructured(single, 8) is None
+
+    def test_unsupported_dataset_type_returns_none(self):
+        poly = PolyData(np.zeros((3, 3)), np.array([[0, 1, 2]]))
+        assert partition_dataset(poly, 4) is None
+
+    def test_grid_shards_own_every_cell_exactly_once(self):
+        grid = _wave_grid()
+        bs = partition_unstructured(grid, 4, ghost=1)
+        owned = np.concatenate([b.cell_ids[b.owned_mask] for b in bs.blocks])
+        assert sorted(owned.tolist()) == list(range(grid.n_cells))
+
+    def test_grid_ghosts_share_points_with_owned_cells(self):
+        grid = _wave_grid()
+        bs = partition_unstructured(grid, 3, ghost=1)
+        cell_list = list(grid.cells())
+        for block in bs.blocks:
+            owned_pts = {
+                int(p)
+                for cid in block.cell_ids[block.owned_mask]
+                for p in cell_list[int(cid)][1]
+            }
+            for cid in block.cell_ids[~block.owned_mask]:
+                ghost_pts = {int(p) for p in cell_list[int(cid)][1]}
+                assert ghost_pts & owned_pts
+
+
+# --------------------------------------------------------------------------- #
+# blocked == whole parity
+# --------------------------------------------------------------------------- #
+class TestParity:
+    def test_image_threshold_is_byte_exact(self):
+        img = _wave_image()
+        whole = _whole("threshold", img)
+        blocked = run_blocked("threshold", img, THRESHOLD_PARAMS, _config())
+        assert blocked.content_fingerprint() == whole.content_fingerprint()
+
+    def test_grid_threshold_is_byte_exact(self):
+        grid = _wave_grid()
+        whole = _whole("threshold", grid)
+        blocked = run_blocked("threshold", grid, THRESHOLD_PARAMS, _config())
+        assert blocked.content_fingerprint() == whole.content_fingerprint()
+
+    @pytest.mark.parametrize("op", ["contour", "slice", "clip"])
+    def test_image_geometric_ops_match_whole(self, op):
+        img = _wave_image()
+        whole = _whole(op, img)
+        blocked = run_blocked(op, img, PARAMS_OF[op], _config())
+        assert _geometric_close(whole, blocked, min(img.spacing))
+
+    @pytest.mark.parametrize("op", ["contour", "slice", "clip"])
+    def test_grid_geometric_ops_match_whole(self, op):
+        grid = _wave_grid()
+        whole = _whole(op, grid)
+        blocked = run_blocked(op, grid, PARAMS_OF[op], _config())
+        assert _geometric_close(whole, blocked, 0.25)
+
+    def test_contour_blocked_carries_normals(self):
+        img = _wave_image()
+        blocked = run_blocked("contour", img, CONTOUR_PARAMS, _config())
+        assert blocked.n_triangles > 0
+        assert "Normals" in blocked.point_data.names()
+
+    @pytest.mark.parametrize("ghost", [0, 1, 2])
+    def test_ghost_width_never_changes_threshold_bytes(self, ghost):
+        img = _wave_image()
+        whole = _whole("threshold", img)
+        blocked = run_blocked("threshold", img, THRESHOLD_PARAMS, _config(ghost=ghost))
+        assert blocked.content_fingerprint() == whole.content_fingerprint()
+
+    @pytest.mark.parametrize("ghost", [0, 1, 2])
+    def test_ghost_width_keeps_slice_geometry(self, ghost):
+        img = _wave_image()
+        whole = _whole("slice", img)
+        blocked = run_blocked("slice", img, SLICE_PARAMS, _config(ghost=ghost))
+        assert _geometric_close(whole, blocked, min(img.spacing))
+
+    def test_single_cell_wide_blocks(self):
+        # as many blocks as cells along the axis: every owned range is one cell
+        img = _wave_image()
+        cells = img.cell_dimensions[2]
+        bs = partition_image_data(img, cells, ghost=1)
+        assert len(bs) == cells
+        assert all(b.owned[1] - b.owned[0] == 1 for b in bs.blocks)
+        whole = _whole("threshold", img)
+        blocked = run_blocked("threshold", img, THRESHOLD_PARAMS, _config(n_blocks=cells))
+        assert blocked.content_fingerprint() == whole.content_fingerprint()
+
+    def test_nan_scalars_crossing_block_boundaries(self):
+        img = _wave_image()
+        values = img.point_data["field"].values.copy()
+        nz, ny, nx = img.dimensions[2], img.dimensions[1], img.dimensions[0]
+        grid = values.reshape(nz, ny, nx, 1)
+        # a NaN band straddling the first block seam of a 3-way split
+        grid[2:4, 1:4, 2:5, :] = np.nan
+        img.point_data.add_array("field", grid.reshape(-1, 1))
+        whole = _whole("threshold", img)
+        blocked = run_blocked("threshold", img, THRESHOLD_PARAMS, _config())
+        assert blocked.content_fingerprint() == whole.content_fingerprint()
+        # the geometric ops must carry NaN geometry through without crashing
+        whole_slice = _whole("slice", img)
+        blocked_slice = run_blocked("slice", img, SLICE_PARAMS, _config())
+        assert blocked_slice.n_points >= 0
+        assert whole_slice.n_points >= 0
+
+
+# --------------------------------------------------------------------------- #
+# executors and caching
+# --------------------------------------------------------------------------- #
+class TestExecutionSubstrate:
+    def test_thread_and_process_executors_agree_byte_for_byte(self):
+        img = _wave_image()
+        by_executor = {}
+        for executor in ("thread", "process"):
+            from repro.engine.cache import shared_cache
+
+            shared_cache().clear()
+            out = run_blocked(
+                "slice", img, SLICE_PARAMS, _config(executor=executor, max_workers=2)
+            )
+            by_executor[executor] = out.content_fingerprint()
+        assert by_executor["thread"] == by_executor["process"]
+
+    def test_worker_counts_agree_byte_for_byte(self):
+        img = _wave_image()
+        prints = set()
+        for workers in (1, 2, 4):
+            from repro.engine.cache import shared_cache
+
+            shared_cache().clear()
+            out = run_blocked("contour", img, CONTOUR_PARAMS, _config(max_workers=workers))
+            prints.add(out.content_fingerprint())
+        assert len(prints) == 1
+
+    def test_second_run_is_served_from_the_block_cache(self):
+        img = _wave_image()
+        config = _config()
+        with blocked_execution(config) as stats:
+            first = maybe_run_blocked("contour", img, CONTOUR_PARAMS)
+            assert stats.blocks_executed == stats.blocks_total > 0
+            assert stats.blocks_cached == 0
+            second = maybe_run_blocked("contour", img, CONTOUR_PARAMS)
+        assert stats.runs == 2
+        assert stats.blocks_cached == stats.blocks_total // 2
+        assert second.content_fingerprint() == first.content_fingerprint()
+
+    def test_cache_key_distinguishes_ghost_and_params(self):
+        img = _wave_image()
+        with blocked_execution(_config(ghost=1)) as stats:
+            maybe_run_blocked("slice", img, SLICE_PARAMS)
+            executed_first = stats.blocks_executed
+            # different ghost width -> different extents -> fresh executions
+            with blocked_execution(_config(ghost=2)) as inner:
+                maybe_run_blocked("slice", img, SLICE_PARAMS)
+                assert inner.blocks_executed > 0
+                assert inner.blocks_cached == 0
+        assert executed_first > 0
+
+    def test_scope_is_required_and_restored(self):
+        img = _wave_image()
+        assert maybe_run_blocked("slice", img, SLICE_PARAMS) is None
+        with blocked_execution(_config()):
+            assert maybe_run_blocked("slice", img, SLICE_PARAMS) is not None
+        assert maybe_run_blocked("slice", img, SLICE_PARAMS) is None
+        assert stats_snapshot().runs == 0
+
+    def test_unsupported_op_and_type_fall_through(self):
+        img = _wave_image()
+        poly = PolyData(np.zeros((3, 3)), np.array([[0, 1, 2]]))
+        with blocked_execution(_config()):
+            assert maybe_run_blocked("streamlines", img, {}) is None
+            assert maybe_run_blocked("slice", poly, SLICE_PARAMS) is None
+
+    def test_degenerate_dataset_falls_back_to_whole(self):
+        tiny = ImageData((2, 2, 2))
+        tiny.add_point_array("field", np.linspace(0.0, 1.0, 8))
+        with blocked_execution(_config(n_blocks=4)) as stats:
+            assert maybe_run_blocked("threshold", tiny, THRESHOLD_PARAMS) is None
+        assert stats.runs == 0
+
+
+# --------------------------------------------------------------------------- #
+# suite / executor integration surface
+# --------------------------------------------------------------------------- #
+class TestIntegrationSurface:
+    def test_suite_runner_threads_block_options_through(self, tmp_path):
+        from repro.scenarios import SuiteRunner
+
+        runner = SuiteRunner([], working_dir=tmp_path, blocks=4, ghost=2)
+        assert runner.blocks == 4 and runner.ghost == 2
+        plain = SuiteRunner([], working_dir=tmp_path)
+        assert plain.blocks is None and plain.ghost == 1
+
+    def test_block_options_stay_out_of_cell_keys(self, tmp_path):
+        """Blocking is an execution strategy: whole and blocked runs must
+        resume (and byte-compare) against the same stored records."""
+        from repro.scenarios import SuiteRunner
+
+        blocked = SuiteRunner([], working_dir=tmp_path, blocks=4, ghost=2)
+        plain = SuiteRunner([], working_dir=tmp_path)
+        assert blocked._cell_settings("gpt-4") == plain._cell_settings("gpt-4")
+
+    def test_execution_result_reports_block_counters(self):
+        from repro.pvsim.executor import ExecutionResult
+
+        result = ExecutionResult(success=True)
+        assert result.blocks_executed == 0
+        assert result.blocks_cached == 0
+
+    def test_cli_suite_run_accepts_block_flags(self):
+        from repro.cli import build_parser
+
+        ns = build_parser().parse_args(
+            ["suite", "run", ".", "--blocks", "4", "--ghost", "2"]
+        )
+        assert ns.blocks == 4 and ns.ghost == 2
+
+    def test_blocked_run_emits_trace_spans(self):
+        from repro.obs.trace import Tracer, disable_tracing, enable_tracing
+
+        img = _wave_image()
+        tracer = enable_tracing(Tracer())
+        try:
+            run_blocked("slice", img, SLICE_PARAMS, _config())
+        finally:
+            disable_tracing()
+        categories = [s.category for s in tracer.spans()]
+        assert "blocks.run" in categories
+        # one zero-length marker span per block, cached or not
+        assert categories.count("blocks.block") == 3

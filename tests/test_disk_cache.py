@@ -123,6 +123,41 @@ class TestDiskCache:
         assert "k3" in cache and "k4" in cache
         assert cache.stats.evictions == 2
 
+    def test_failed_unlink_is_not_counted_as_eviction(self, tmp_path, monkeypatch):
+        """An entry whose shard directory is read-only cannot be unlinked; it
+        is still on disk, so it must not count as evicted and the store must
+        evict the *next* candidate to actually get back under budget."""
+        from pathlib import Path
+
+        payload = b"z" * 800
+        entry_size = len(dumps_payload(payload))
+        cache = DiskCache(tmp_path, max_bytes=2 * entry_size)
+        cache.put("aa1", payload)
+        cache.put("bb2", payload)
+
+        shard = tmp_path / "aa"
+        shard.chmod(0o500)  # read-only entry directory: unlink denied
+        real_unlink = Path.unlink
+
+        def _guarded(self, *args, **kwargs):
+            # root bypasses directory permission bits; enforce the read-only
+            # scenario explicitly so the test holds under any uid
+            if self.parent == shard:
+                raise PermissionError(13, "Permission denied", str(self))
+            return real_unlink(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "unlink", _guarded)
+        try:
+            cache.put("cc3", payload)  # overflow: LRU wants to evict aa1 first
+        finally:
+            monkeypatch.undo()
+            shard.chmod(0o700)
+
+        assert "aa1" in cache  # the stuck entry never left the disk
+        assert "bb2" not in cache  # the next-oldest was evicted instead
+        assert cache.stats.evictions == 1  # only the entry actually removed
+        assert cache.total_bytes() <= 2 * entry_size + entry_size // 2  # fits
+
     def test_corrupted_entry_is_discarded_not_fatal(self, tmp_path):
         cache = DiskCache(tmp_path)
         cache.put("victim", [1, 2, 3])

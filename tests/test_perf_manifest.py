@@ -190,3 +190,26 @@ class TestCommittedBench:
         # the campaign's acceptance bar: >= 2x on at least three kernels
         at_bar = [name for name, entry in kernels.items() if entry["speedup"] >= 2.0]
         assert len(at_bar) >= 3, f"only {at_bar} reached 2x in the committed manifest"
+
+
+class TestCommittedBlocksBench:
+    def test_committed_blocks_manifest_is_valid(self):
+        from pathlib import Path
+
+        from repro.perf.manifest import BLOCKS_BENCH_FILENAME, BLOCKS_BENCH_WORKERS
+
+        committed = Path(__file__).resolve().parents[1] / BLOCKS_BENCH_FILENAME
+        payload = load_bench(committed)
+        assert payload["bench"] == BLOCKS_BENCH_FILENAME
+        expected = {f"blocks_w{w}" for w in BLOCKS_BENCH_WORKERS}
+        assert set(payload["kernels"]) == expected
+        for name, entry in payload["kernels"].items():
+            assert entry["current_ms"] > 0, name
+            assert entry["reference_ms"] > 0, name
+            assert entry["rounds"] >= 1, name
+            assert entry["speedup_min"] <= entry["speedup"] <= entry["speedup_max"], name
+        blocks = payload["blocks"]
+        assert blocks["workers"] == list(BLOCKS_BENCH_WORKERS)
+        assert set(blocks["ops"]) == {"contour", "slice", "threshold", "clip"}
+        # the out-of-core claim needs a volume well beyond the canonical suite
+        assert blocks["n_points"] >= 4 * 24**3
